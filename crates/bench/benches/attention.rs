@@ -1,0 +1,42 @@
+//! Criterion end-to-end attention benchmarks (real CPU time of the executed
+//! simulator kernels) for the headline mechanisms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfss_core::sparse_baselines::TopKAttention;
+use dfss_core::{Attention, DfssAttention, FullAttention};
+use dfss_kernels::GpuCtx;
+use dfss_nmsparse::NmPattern;
+use dfss_tensor::{Matrix, Rng};
+use std::hint::black_box;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_e2e");
+    for n in [256usize, 1024] {
+        let mut rng = Rng::new(n as u64);
+        let q = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
+        let k = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(FullAttention.forward(&mut ctx, &q, &k, &v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dfss_1_2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(DfssAttention::new(NmPattern::P1_2).forward(&mut ctx, &q, &k, &v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("topk_same_density", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(TopKAttention::with_density(n, 0.5).forward(&mut ctx, &q, &k, &v))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

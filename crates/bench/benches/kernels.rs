@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the device kernels (real CPU execution
+//! time, not simulated latency): GEMM, fused vs unfused SDDMM (the zero-
+//! overhead ablation), compressed vs dense softmax, N:M vs CSR SpMM, and
+//! the top-k selection the explicit baseline pays for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfss_gpusim::Stage;
+use dfss_kernels::{gemm, sddmm, softmax, spmm, topk, GpuCtx};
+use dfss_nmsparse::{Csr, NmCompressed, NmPattern};
+use dfss_tensor::{Matrix, Rng};
+use std::hint::black_box;
+
+fn inputs(n: usize, d: usize) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+    let mut rng = Rng::new(n as u64);
+    (
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+    )
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt_qk");
+    for n in [256usize, 1024] {
+        let (q, k, _) = inputs(n, 64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(gemm::gemm_nt(&mut ctx, Stage::Qk, &q, &k, 0.125))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sddmm_fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sddmm_prune");
+    for n in [256usize, 1024] {
+        let (q, k, _) = inputs(n, 64);
+        group.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(sddmm::sddmm_nm_fused(&mut ctx, &q, &k, 0.125, NmPattern::P1_2))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unfused", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(sddmm::sddmm_nm_unfused(&mut ctx, &q, &k, 0.125, NmPattern::P1_2))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    for n in [256usize, 1024] {
+        let mut rng = Rng::new(9);
+        let scores = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(softmax::softmax_dense(&mut ctx, &scores))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nm_compressed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                let mut c = comp.clone();
+                softmax::softmax_nm(&mut ctx, &mut c);
+                black_box(c)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_av");
+    for n in [256usize, 1024] {
+        let mut rng = Rng::new(11);
+        let scores = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+        let csr = Csr::from_dense_topk(&scores, n / 2);
+        group.bench_with_input(BenchmarkId::new("nm_sparse_tc", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(spmm::spmm_nm(&mut ctx, &comp, &v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("csr_same_density", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(spmm::spmm_csr(&mut ctx, &csr, &v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense_gemm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(gemm::gemm_nn(&mut ctx, Stage::Av, &scores, &v))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_select_encode");
+    for n in [256usize, 1024] {
+        let mut rng = Rng::new(13);
+        let scores = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = GpuCtx::a100();
+                black_box(topk::topk_csr(&mut ctx, &scores, n / 20))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_sddmm_fused_vs_unfused,
+    bench_softmax,
+    bench_spmm,
+    bench_topk
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Table 6 (A.7): combining Dfss with Nyströmformer on the Image task —
+//! pretrain a standard Nyströmformer, then finetune for 1/10 of the
+//! training budget under {Nyström, Nyström+Dfss 1:2, Nyström+Dfss 2:4}.
+//!
+//! Run: `cargo run -p dfss-bench --release --bin table6`
+
+use dfss_bench::Report;
+use dfss_nmsparse::NmPattern;
+use dfss_tasks::protocol::{eval_classifier, train_classifier, TrainSpec};
+use dfss_tasks::retrieval;
+use dfss_tensor::Rng;
+use dfss_transformer::heads::ClassifierHead;
+use dfss_transformer::{AttnKind, Encoder, EncoderConfig, Precision};
+use rayon::prelude::*;
+
+fn main() {
+    let quick = dfss_bench::quick();
+    let (n_train, n_test, epochs, d_model) = if quick {
+        (200, 60, 4, 32)
+    } else {
+        (500, 200, 8, 48)
+    };
+    // The paper runs this on LRA-Image; our procedural image task saturates
+    // at ~100% for every mechanism (no contrast), so we use the Retrieval
+    // task, which sits in the paper's unsaturated ~40–70% regime
+    // (substitution documented in EXPERIMENTS.md).
+    let ds = retrieval::generate(
+        &retrieval::RetrievalConfig {
+            seq_len: 96,
+            topic_strength: 0.25,
+            ..Default::default()
+        },
+        n_train,
+        n_test,
+        300,
+    );
+
+    let base = AttnKind::Nystrom { landmarks: 16 };
+    let cfg = EncoderConfig {
+        vocab: ds.vocab,
+        max_len: ds.seq_len,
+        d_model,
+        heads: 2,
+        d_ffn: d_model * 2,
+        layers: 2,
+        kind: base,
+    };
+
+    // Pretrain the standard Nyströmformer.
+    let mut rng = Rng::new(1);
+    let mut enc = Encoder::new(cfg.clone(), &mut rng);
+    let mut head = ClassifierHead::new(d_model, ds.classes, &mut rng);
+    let mut spec = TrainSpec::quick(epochs, ds.train.len(), 16);
+    spec.adam.lr = 1.5e-3;
+    let _ = train_classifier(&mut enc, &mut head, &ds.train, &spec);
+    let pretrain_acc = 100.0 * eval_classifier(&mut enc, &mut head, &ds.test);
+
+    // Finetune for ~1/4 of the budget under each combination (the paper's
+    // 3,500-of-35,000-iteration protocol, scaled to our epoch counts).
+    let ft_epochs = (epochs / 4).max(2);
+    let mut report = Report::new(
+        "Table 6 — Nystromformer ± Dfss on the Retrieval task (accuracy, %)",
+        &["Model", "Pretraining", "Finetuning"],
+    );
+    let variants: Vec<(&str, AttnKind, Precision)> = vec![
+        ("Nystromformer (float)", base, Precision::F32),
+        ("Nystromformer (bfloat16)", base, Precision::Bf16),
+        (
+            "Nystromformer + Dfss 1:2 (float)",
+            AttnKind::NystromNm {
+                landmarks: 16,
+                pattern: NmPattern::P1_2,
+            },
+            Precision::F32,
+        ),
+        (
+            "Nystromformer + Dfss 2:4 (bfloat16)",
+            AttnKind::NystromNm {
+                landmarks: 16,
+                pattern: NmPattern::P2_4,
+            },
+            Precision::Bf16,
+        ),
+    ];
+
+    let rows: Vec<(usize, &str, f64)> = variants
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, (name, kind, prec))| {
+            // Re-train the pretrain phase deterministically (cheap
+            // substitute for checkpoint serialisation), then finetune under
+            // the variant.
+            let mut rng = Rng::new(1);
+            let mut enc_i = Encoder::new(
+                EncoderConfig {
+                    kind: base,
+                    ..cfg.clone()
+                },
+                &mut rng,
+            );
+            let mut head_i = ClassifierHead::new(d_model, ds.classes, &mut rng);
+            let mut spec_i = TrainSpec::quick(epochs, ds.train.len(), 16);
+            spec_i.adam.lr = 1.5e-3;
+            let _ = train_classifier(&mut enc_i, &mut head_i, &ds.train, &spec_i);
+
+            enc_i.set_attention(kind);
+            let mut ft_spec = TrainSpec::quick(ft_epochs, ds.train.len(), 16);
+            ft_spec.adam.lr = 5e-4;
+            ft_spec.shuffle_seed = 77 + i as u64;
+            let _ = train_classifier(&mut enc_i, &mut head_i, &ds.train, &ft_spec);
+            enc_i.set_precision(prec);
+            let acc = 100.0 * eval_classifier(&mut enc_i, &mut head_i, &ds.test);
+            (i, name, acc)
+        })
+        .collect();
+    for (i, name, acc) in rows {
+        report.row(vec![
+            name.into(),
+            if i == 0 {
+                format!("{pretrain_acc:.2}")
+            } else {
+                "-".into()
+            },
+            format!("{acc:.2}"),
+        ]);
+    }
+    report.emit("table6_nystrom_dfss");
+    println!("paper shape: Nystrom + Dfss finetunes to ≥ the plain Nystromformer");
+    println!("             (41.52 → 41.91 / 42.54 on LRA Image).");
+}

@@ -1,0 +1,145 @@
+//! # dfss-bench — the experiment harness
+//!
+//! One binary per table and figure of the paper (see DESIGN.md §4 for the
+//! index). This library holds the shared plumbing: aligned text tables, CSV
+//! output under `results/`, and the common model-training helpers the
+//! accuracy experiments reuse.
+//!
+//! Environment knobs:
+//! * `DFSS_QUICK=1` — shrink grids/seeds for a fast smoke run.
+//! * `DFSS_SEEDS=<n>` — override the number of seeds for the ± CI tables.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+pub mod train;
+
+/// Scale a context's recorded kernel work by a batch factor, keeping the
+/// launch counts — the paper's batched kernels process the whole
+/// batch × heads volume in one launch per op ("The batch size is set to be
+/// large enough to keep the GPU busy", §5.2).
+pub fn batch_scale(ctx: &mut dfss_kernels::GpuCtx, b: u64) {
+    for e in ctx.timeline.entries_mut() {
+        e.bytes_read *= b;
+        e.bytes_written *= b;
+        e.tc_macs *= b;
+        e.alu_ops *= b;
+    }
+}
+
+/// Directory for CSV artifacts (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("DFSS_RESULTS").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Quick-mode flag.
+pub fn quick() -> bool {
+    std::env::var("DFSS_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Seed count for mean ± CI tables (paper: 8 runs).
+pub fn n_seeds(default: usize) -> usize {
+    std::env::var("DFSS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick() { 2 } else { default })
+}
+
+/// An aligned text table that also serialises to CSV.
+pub struct Report {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Print to stdout and save CSV under `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') {
+                        format!("\"{c}\"")
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(csv, "{}", escaped.join(","));
+        }
+        let path = results_dir().join(format!("{name}.csv"));
+        std::fs::write(&path, csv).expect("write csv");
+        println!("[saved {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned() {
+        let mut r = Report::new("t", &["a", "bbbb"]);
+        r.row(vec!["x".into(), "y".into()]);
+        r.row(vec!["long".into(), "z".into()]);
+        let s = r.render();
+        assert!(s.contains("== t =="));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn report_checks_columns() {
+        let mut r = Report::new("t", &["a"]);
+        r.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,479 @@
+//! Clustering/sorting baselines: Reformer (LSH), Routing Transformer
+//! (k-means) and Sparse Sinkhorn attention (block matching).
+//!
+//! These compute full attention inside dynamically formed groups. §2.2's
+//! critique — "the clustering methods contain several GPU-unfriendly
+//! operators like top-k and sorting that offsets their benefits under
+//! moderate sequence length" — is reproduced by charging the grouping
+//! machinery (projections, argmax, sorting, gathering) to the `Overhead`
+//! stage of the simulated timeline.
+
+use crate::mechanism::{check_qkv, Attention};
+use dfss_gpusim::{KernelProfile, Stage};
+use dfss_kernels::{gemm, GpuCtx};
+use dfss_tensor::{math, Matrix, Rng, Scalar};
+
+/// Attend within index groups: every query in `group` attends to all keys in
+/// the same group (plus nothing else). Shared helper for all three
+/// mechanisms; charges block-diagonal attention costs.
+fn grouped_attention<T: Scalar>(
+    ctx: &mut GpuCtx,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    groups: &[Vec<usize>],
+    scale: f32,
+) -> Matrix<T> {
+    let (n, d) = (q.rows(), q.cols());
+    let dv = v.cols();
+    let qf = q.to_f32();
+    let kf = k.to_f32();
+    let vf = v.to_f32();
+    let mut out = Matrix::<T>::zeros(n, dv);
+
+    // Aggregate the per-group tiled GEMM costs into one profile per stage
+    // (each group is an independent g×g×d attention block).
+    let t = ctx.dev.tile as u64;
+    let bytes = T::BYTES as u64;
+    let (mut qk_reads, mut qk_writes, mut macs) = (0u64, 0u64, 0u64);
+    let (mut av_reads, mut av_writes, mut av_macs) = (0u64, 0u64, 0u64);
+    let mut score_elems = 0u64;
+    for g in groups {
+        let glen = g.len() as u64;
+        if glen == 0 {
+            continue;
+        }
+        score_elems += glen * glen;
+        let tg = t.min(glen);
+        let tiles = glen.div_ceil(tg);
+        qk_reads += tiles * tiles * (tg * d as u64 + d as u64 * tg) * bytes;
+        qk_writes += glen * glen * bytes;
+        macs += glen * glen * d as u64;
+        let tiles_av = glen.div_ceil(tg);
+        av_reads += tiles_av * (tg * glen + glen * dv as u64) * bytes;
+        av_writes += glen * dv as u64 * bytes;
+        av_macs += glen * glen * dv as u64;
+    }
+    ctx.record(
+        KernelProfile::new("grouped_qk", Stage::Qk)
+            .with_traffic(qk_reads, qk_writes)
+            .with_tc(macs, dfss_kernels::ctx::dense_class::<T>()),
+    );
+    ctx.record(
+        KernelProfile::new("grouped_softmax", Stage::Softmax)
+            .with_traffic(2 * score_elems * bytes, score_elems * bytes)
+            .with_alu(score_elems * 6),
+    );
+    ctx.record(
+        KernelProfile::new("grouped_av", Stage::Av)
+            .with_traffic(av_reads, av_writes)
+            .with_tc(av_macs, dfss_kernels::ctx::dense_class::<T>()),
+    );
+    if !ctx.exec {
+        return out;
+    }
+
+    for g in groups {
+        let glen = g.len();
+        if glen == 0 {
+            continue;
+        }
+        let mut scores = vec![0.0f32; glen];
+        for (qi_pos, &qi) in g.iter().enumerate() {
+            let _ = qi_pos;
+            let qrow = qf.row(qi);
+            for (s, &kj) in scores.iter_mut().zip(g.iter()) {
+                *s = qrow.iter().zip(kf.row(kj)).map(|(a, b)| a * b).sum::<f32>() * scale;
+            }
+            math::softmax_row(&mut scores);
+            let orow = out.row_mut(qi);
+            for (&kj, &p) in g.iter().zip(scores.iter()) {
+                for (o, &x) in orow.iter_mut().zip(vf.row(kj)) {
+                    *o = T::from_acc(o.to_acc() + p * x);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reformer-style LSH attention (Kitaev et al. 2020), one hash round:
+/// random-rotation bucketing, sort by bucket, fixed-size chunks attending to
+/// themselves and their predecessor chunk.
+#[derive(Clone, Debug)]
+pub struct ReformerAttention {
+    pub chunk: usize,
+    pub buckets: usize,
+    pub seed: u64,
+}
+
+impl ReformerAttention {
+    pub fn new(chunk: usize, seed: u64) -> ReformerAttention {
+        ReformerAttention {
+            chunk,
+            buckets: 16,
+            seed,
+        }
+    }
+}
+
+impl<T: Scalar> Attention<T> for ReformerAttention {
+    fn name(&self) -> String {
+        format!("Reformer ({})", T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let b = self.buckets.max(2);
+        let mut rng = Rng::new(self.seed);
+        let r = Matrix::<f32>::random_normal(b / 2, d, 0.0, 1.0, &mut rng);
+
+        // Hash: project to b/2 dims, bucket = argmax over [p; -p] (Overhead).
+        gemm::charge_gemm::<T>(ctx, "lsh_project", Stage::Overhead, n, b / 2, d);
+        ctx.record(
+            KernelProfile::new("lsh_bucket_sort", Stage::Overhead)
+                .with_traffic(
+                    (n * (b / 2) * 4 + 3 * n * d * T::BYTES) as u64,
+                    (3 * n * d * T::BYTES) as u64,
+                )
+                .with_alu((n as u64) * (b as u64 + (usize::BITS - n.leading_zeros()) as u64)),
+        );
+        let qf = q.to_f32();
+        let mut order: Vec<(usize, usize)> = (0..n)
+            .map(|i| {
+                let mut best = (0usize, f32::NEG_INFINITY);
+                for h in 0..b / 2 {
+                    let p: f32 = qf.row(i).iter().zip(r.row(h)).map(|(a, b)| a * b).sum();
+                    if p > best.1 {
+                        best = (h, p);
+                    }
+                    if -p > best.1 {
+                        best = (h + b / 2, -p);
+                    }
+                }
+                (best.0, i)
+            })
+            .collect();
+        order.sort_unstable();
+
+        // Chunk the sorted order; each chunk groups with its predecessor.
+        let c = self.chunk.min(n).max(1);
+        let sorted: Vec<usize> = order.into_iter().map(|(_, i)| i).collect();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let nchunks = n.div_ceil(c);
+        for ci in 0..nchunks {
+            let lo = ci * c;
+            let hi = (lo + c).min(n);
+            let mut g: Vec<usize> = sorted[lo..hi].to_vec();
+            if ci > 0 {
+                let plo = (ci - 1) * c;
+                g.extend_from_slice(&sorted[plo..lo]);
+            }
+            groups.push(g);
+        }
+        grouped_attention(ctx, q, k, v, &groups, scale)
+    }
+}
+
+/// Routing Transformer (Roy et al. 2021): k-means clusters over the keys;
+/// each query attends within its nearest cluster.
+#[derive(Clone, Debug)]
+pub struct RoutingAttention {
+    pub clusters: usize,
+    pub kmeans_iters: usize,
+    pub seed: u64,
+}
+
+impl RoutingAttention {
+    pub fn new(clusters: usize, seed: u64) -> RoutingAttention {
+        RoutingAttention {
+            clusters,
+            kmeans_iters: 3,
+            seed,
+        }
+    }
+}
+
+impl<T: Scalar> Attention<T> for RoutingAttention {
+    fn name(&self) -> String {
+        format!("Routing ({})", T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let c = self.clusters.min(n).max(1);
+        let kf = k.to_f32();
+        let qf = q.to_f32();
+        let mut rng = Rng::new(self.seed);
+
+        // k-means on keys (Overhead): assignment GEMM + centroid update per
+        // iteration, plus the top-k-like capacity sort the paper complains
+        // about.
+        let mut centroids = kf.gather_rows(&rng.sample_indices(n, c));
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.kmeans_iters {
+            gemm::charge_gemm::<T>(ctx, "routing_assign", Stage::Overhead, n, c, d);
+            for i in 0..n {
+                let mut best = (0usize, f32::NEG_INFINITY);
+                for j in 0..c {
+                    let dot: f32 = kf.row(i).iter().zip(centroids.row(j)).map(|(a, b)| a * b).sum();
+                    if dot > best.1 {
+                        best = (j, dot);
+                    }
+                }
+                assign[i] = best.0;
+            }
+            let mut sums = Matrix::<f32>::zeros(c, d);
+            let mut counts = vec![0usize; c];
+            for i in 0..n {
+                counts[assign[i]] += 1;
+                let srow = sums.row_mut(assign[i]);
+                for (s, &x) in srow.iter_mut().zip(kf.row(i)) {
+                    *s += x;
+                }
+            }
+            for j in 0..c {
+                if counts[j] > 0 {
+                    let srow = sums.row_mut(j);
+                    srow.iter_mut().for_each(|x| *x /= counts[j] as f32);
+                }
+            }
+            centroids = sums;
+            ctx.record(
+                KernelProfile::new("routing_update", Stage::Overhead)
+                    .with_traffic((n * d * 4) as u64, (c * d * 4) as u64)
+                    .with_alu((n * d) as u64),
+            );
+        }
+
+        // Queries route to their nearest centroid; groups = cluster members.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); c];
+        for i in 0..n {
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for j in 0..c {
+                let dot: f32 = qf.row(i).iter().zip(centroids.row(j)).map(|(a, b)| a * b).sum();
+                if dot > best.1 {
+                    best = (j, dot);
+                }
+            }
+            groups[best.0].push(i);
+        }
+        ctx.record(
+            KernelProfile::new("routing_gather", Stage::Overhead)
+                .with_traffic((3 * n * d * T::BYTES) as u64, (3 * n * d * T::BYTES) as u64)
+                .with_alu((n as u64) * (usize::BITS - n.leading_zeros()) as u64),
+        );
+        grouped_attention(ctx, q, k, v, &groups, scale)
+    }
+}
+
+/// Sparse Sinkhorn attention (Tay et al. 2020): sequence blocks are matched
+/// by a Sinkhorn-normalised block-similarity matrix; each block attends to
+/// itself and its matched partner.
+#[derive(Clone, Debug)]
+pub struct SinkhornAttention {
+    pub block: usize,
+    pub sinkhorn_iters: usize,
+}
+
+impl SinkhornAttention {
+    pub fn new(block: usize) -> SinkhornAttention {
+        SinkhornAttention {
+            block,
+            sinkhorn_iters: 5,
+        }
+    }
+}
+
+impl<T: Scalar> Attention<T> for SinkhornAttention {
+    fn name(&self) -> String {
+        format!("Sinkhorn ({})", T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let b = self.block.min(n).max(1);
+        let nb = n / b;
+        if nb <= 1 {
+            return crate::full::FullAttention.forward(ctx, q, k, v);
+        }
+        let qf = q.to_f32();
+        let kf = k.to_f32();
+
+        // Block means + similarity + Sinkhorn iterations (Overhead).
+        ctx.record(
+            KernelProfile::new("sinkhorn_block_means", Stage::Overhead)
+                .with_traffic((2 * n * d * T::BYTES) as u64, (2 * nb * d * 4) as u64)
+                .with_alu((2 * n * d) as u64),
+        );
+        let mut qb = Matrix::<f32>::zeros(nb, d);
+        let mut kb = Matrix::<f32>::zeros(nb, d);
+        for bi in 0..nb {
+            for i in bi * b..(bi + 1) * b {
+                let (qrow, krow) = (qf.row(i), kf.row(i));
+                let qbrow = qb.row_mut(bi);
+                for (o, &x) in qbrow.iter_mut().zip(qrow) {
+                    *o += x / b as f32;
+                }
+                let kbrow = kb.row_mut(bi);
+                for (o, &x) in kbrow.iter_mut().zip(krow) {
+                    *o += x / b as f32;
+                }
+            }
+        }
+        gemm::charge_gemm::<T>(ctx, "sinkhorn_blocksim", Stage::Overhead, nb, nb, d);
+        let mut sim = qb.matmul_ref(&kb.transpose());
+        // Sinkhorn normalisation: alternating row/column softmax in log
+        // space (here: direct normalisation of exp).
+        let mut p: Vec<f32> = sim.as_slice().iter().map(|&x| (x * scale).exp()).collect();
+        for _ in 0..self.sinkhorn_iters {
+            // Rows.
+            for r in 0..nb {
+                let row = &mut p[r * nb..(r + 1) * nb];
+                let s: f32 = row.iter().sum();
+                row.iter_mut().for_each(|x| *x /= s.max(1e-9));
+            }
+            // Columns.
+            for c in 0..nb {
+                let mut s = 0.0f32;
+                for r in 0..nb {
+                    s += p[r * nb + c];
+                }
+                for r in 0..nb {
+                    p[r * nb + c] /= s.max(1e-9);
+                }
+            }
+        }
+        ctx.record(
+            KernelProfile::new("sinkhorn_normalise", Stage::Overhead)
+                .with_traffic(
+                    (2 * self.sinkhorn_iters * nb * nb * 4) as u64,
+                    (nb * nb * 4) as u64,
+                )
+                .with_alu((self.sinkhorn_iters * nb * nb * 4) as u64),
+        );
+        // Greedy hard matching from the doubly-stochastic matrix.
+        let mut matched = vec![usize::MAX; nb];
+        let mut used = vec![false; nb];
+        let mut entries: Vec<(f32, usize, usize)> = Vec::with_capacity(nb * nb);
+        for r in 0..nb {
+            for c in 0..nb {
+                entries.push((p[r * nb + c], r, c));
+            }
+        }
+        entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (_, r, c) in entries {
+            if matched[r] == usize::MAX && !used[c] {
+                matched[r] = c;
+                used[c] = true;
+            }
+        }
+        sim.scale(0.0); // sim no longer needed; silence unused-mut paths.
+
+        // Groups: each Q-block with its own block ∪ matched block.
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(nb);
+        for r in 0..nb {
+            let mut g: Vec<usize> = (r * b..(r + 1) * b).collect();
+            let mb = matched[r];
+            if mb != r {
+                g.extend(mb * b..(mb + 1) * b);
+            }
+            groups.push(g);
+        }
+        grouped_attention(ctx, q, k, v, &groups, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::reference_attention;
+
+    fn qkv(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = Rng::new(seed);
+        (
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn grouped_attention_single_group_is_full() {
+        let (q, k, v) = qkv(16, 8, 1);
+        let mut ctx = GpuCtx::a100();
+        let groups = vec![(0..16).collect::<Vec<_>>()];
+        let out = grouped_attention(&mut ctx, &q, &k, &v, &groups, 1.0 / (8.0f32).sqrt());
+        assert!(out.max_abs_diff(&reference_attention(&q, &k, &v)) < 1e-2);
+    }
+
+    #[test]
+    fn reformer_groups_similar_queries() {
+        let (q, k, v) = qkv(64, 16, 2);
+        let mut ctx = GpuCtx::a100();
+        let out = ReformerAttention::new(16, 3).forward(&mut ctx, &q, &k, &v);
+        assert_eq!(out.shape(), (64, 16));
+        assert!(ctx.timeline.stage_bytes(Stage::Overhead) > 0);
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn routing_covers_every_query() {
+        let (q, k, v) = qkv(64, 16, 3);
+        let mut ctx = GpuCtx::a100();
+        let out = RoutingAttention::new(4, 1).forward(&mut ctx, &q, &k, &v);
+        // Every row must be a convex combination of V rows → finite, and at
+        // least one nonzero unless V is degenerate.
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+        let nonzero_rows = (0..64)
+            .filter(|&r| out.row(r).iter().any(|&x| x != 0.0))
+            .count();
+        assert_eq!(nonzero_rows, 64);
+    }
+
+    #[test]
+    fn sinkhorn_blocks_match_bijectively() {
+        let (q, k, v) = qkv(64, 8, 4);
+        let mut ctx = GpuCtx::a100();
+        let out = SinkhornAttention::new(16).forward(&mut ctx, &q, &k, &v);
+        assert_eq!(out.shape(), (64, 8));
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn sinkhorn_degenerates_to_full_for_single_block() {
+        let (q, k, v) = qkv(16, 8, 5);
+        let mut ctx = GpuCtx::a100();
+        let out = SinkhornAttention::new(16).forward(&mut ctx, &q, &k, &v);
+        assert!(out.max_abs_diff(&reference_attention(&q, &k, &v)) < 1e-2);
+    }
+
+    #[test]
+    fn cluster_family_cheaper_than_full_at_long_seq() {
+        let (q, k, v) = qkv(2048, 64, 6);
+        let mut cf = GpuCtx::a100();
+        let _ = crate::full::FullAttention.forward(&mut cf, &q, &k, &v);
+        for (name, lat) in [
+            ("reformer", {
+                let mut c = GpuCtx::a100();
+                let _ = ReformerAttention::new(64, 1).forward(&mut c, &q, &k, &v);
+                c.latency()
+            }),
+            ("routing", {
+                let mut c = GpuCtx::a100();
+                let _ = RoutingAttention::new(16, 1).forward(&mut c, &q, &k, &v);
+                c.latency()
+            }),
+            ("sinkhorn", {
+                let mut c = GpuCtx::a100();
+                let _ = SinkhornAttention::new(128).forward(&mut c, &q, &k, &v);
+                c.latency()
+            }),
+        ] {
+            assert!(lat < cf.latency(), "{name} not faster at n=2048");
+        }
+    }
+}

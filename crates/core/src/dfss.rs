@@ -1,0 +1,303 @@
+//! **Dfss** — dynamic N:M fine-grained structured sparse attention (§3).
+//!
+//! The pipeline of Figure 2(B):
+//! 1. fused SDDMM: `QKᵀ/√d` computed dense in tile accumulators, pruned to
+//!    N:M in the epilogue, written as nonzeros + metadata (never as a dense
+//!    n×n matrix);
+//! 2. compressed softmax over the nonzeros (rows are N/M as long);
+//! 3. SpMM with `V` on the simulated sparse tensor core.
+//!
+//! Three variants share the code: the production fused kernel, the unfused
+//! ablation (separate prune kernel — what §2.3 says existing libraries do),
+//! and the blocked-ELL hybrid for long sequences (A.1.2).
+
+use crate::mechanism::{check_qkv, Attention};
+use dfss_kernels::{ell, sddmm, softmax, spmm, GpuCtx};
+use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern};
+use dfss_tensor::{Matrix, Scalar};
+
+/// The Dfss attention mechanism.
+#[derive(Clone, Copy, Debug)]
+pub struct DfssAttention {
+    pattern: NmPattern,
+    /// Use the fused prune epilogue (`true` in production; `false` gives the
+    /// unfused ablation).
+    fused: bool,
+}
+
+impl DfssAttention {
+    /// Dfss with the hardware pattern for the scalar type (1:2 for float,
+    /// 2:4 for bf16) — the paper's default configuration.
+    pub fn for_dtype<T: Scalar>() -> DfssAttention {
+        DfssAttention {
+            pattern: NmPattern::for_dtype::<T>(),
+            fused: true,
+        }
+    }
+
+    /// Dfss with an explicit pattern.
+    pub fn new(pattern: NmPattern) -> DfssAttention {
+        DfssAttention {
+            pattern,
+            fused: true,
+        }
+    }
+
+    /// The unfused ablation: dense GEMM + separate prune kernel.
+    pub fn unfused(pattern: NmPattern) -> DfssAttention {
+        DfssAttention {
+            pattern,
+            fused: false,
+        }
+    }
+
+    pub fn pattern(&self) -> NmPattern {
+        self.pattern
+    }
+
+    /// Run the pipeline and also return the normalised sparse attention
+    /// weights (used by the quality experiments and Figure 19).
+    pub fn forward_with_weights<T: Scalar>(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> (Matrix<T>, NmCompressed<T>) {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        // Compressed scores: n²·N/M values + 4-bit-per-group metadata.
+        let kept = self.pattern.kept_per_row(n);
+        let nz_bytes = (n * kept * T::BYTES) as u64;
+        let meta_bytes = ((n * n / self.pattern.m()) as u64 * 4).div_ceil(8);
+        let comp_id = ctx.mem.alloc("scores_nm_compressed", nz_bytes + meta_bytes);
+        let mut comp = if self.fused {
+            sddmm::sddmm_nm_fused(ctx, q, k, scale, self.pattern)
+        } else {
+            // The unfused path additionally materialises the dense scores.
+            let dense_id = ctx.mem.alloc("scores_dense_unfused", (n * n * T::BYTES) as u64);
+            let comp = sddmm::sddmm_nm_unfused(ctx, q, k, scale, self.pattern);
+            ctx.mem.free(dense_id);
+            comp
+        };
+        softmax::softmax_nm(ctx, &mut comp);
+        let out = spmm::spmm_nm(ctx, &comp, v);
+        ctx.mem.free(comp_id);
+        (out, comp)
+    }
+}
+
+impl<T: Scalar> Attention<T> for DfssAttention {
+    fn name(&self) -> String {
+        format!("Dfss {} ({})", self.pattern, T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        self.forward_with_weights(ctx, q, k, v).0
+    }
+}
+
+/// Dfss combined with blocked-ELL sparsity for long sequences: scores are
+/// computed only inside the active blocks, pruned N:M within them.
+#[derive(Clone, Debug)]
+pub struct DfssEllAttention {
+    pattern: NmPattern,
+    /// Diagonal window width in blocks.
+    pub window_blocks: usize,
+    /// Block edge (= GEMM thread-block tile in the paper).
+    pub block: usize,
+}
+
+impl DfssEllAttention {
+    pub fn new(pattern: NmPattern, block: usize, window_blocks: usize) -> DfssEllAttention {
+        DfssEllAttention {
+            pattern,
+            window_blocks,
+            block,
+        }
+    }
+}
+
+impl<T: Scalar> Attention<T> for DfssEllAttention {
+    fn name(&self) -> String {
+        format!(
+            "Dfss {} + ELL(w={}) ({})",
+            self.pattern, self.window_blocks, T::NAME
+        )
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let ell = BlockedEll::sliding_window(n, n, self.block, self.window_blocks);
+        let packed_cols = ell.ell_width() * self.block;
+        let kept = self.pattern.kept_per_row(packed_cols);
+        let bytes = (n * kept * T::BYTES) as u64
+            + ((n * packed_cols / self.pattern.m()) as u64 * 4).div_ceil(8);
+        let id = ctx.mem.alloc("scores_ell_nm", bytes);
+        let mut a = ell::sddmm_ell_nm_fused(ctx, q, k, scale, self.pattern, &ell);
+        ell::softmax_ell_nm(ctx, &mut a);
+        let out = ell::spmm_ell_nm(ctx, &a, v);
+        ctx.mem.free(id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::reference_attention;
+    use dfss_tensor::{Bf16, Rng};
+
+    fn qkv(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = Rng::new(seed);
+        (
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        )
+    }
+
+    /// Reference Dfss: dense scores, N:M mask, −∞ softmax, dense AV.
+    fn reference_dfss(
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        pattern: NmPattern,
+    ) -> Matrix<f32> {
+        let (n, d) = (q.rows(), q.cols());
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut scores = q.matmul_ref(&k.transpose());
+        for r in 0..n {
+            scores.row_mut(r).iter_mut().for_each(|x| *x *= scale);
+        }
+        let mask = pattern.mask_matrix(&scores);
+        for r in 0..n {
+            let row = scores.row_mut(r);
+            for (c, x) in row.iter_mut().enumerate() {
+                if mask.get(r, c) == 0.0 {
+                    *x = f32::NEG_INFINITY;
+                }
+            }
+            dfss_tensor::math::softmax_row(row);
+        }
+        scores.matmul_ref(v)
+    }
+
+    #[test]
+    fn dfss_1_2_matches_masked_reference() {
+        let (q, k, v) = qkv(64, 16, 1);
+        let mut ctx = GpuCtx::a100();
+        let out = DfssAttention::new(NmPattern::P1_2).forward(&mut ctx, &q, &k, &v);
+        let reference = reference_dfss(&q, &k, &v, NmPattern::P1_2);
+        assert!(out.max_abs_diff(&reference) < 1e-2);
+    }
+
+    #[test]
+    fn dfss_2_4_matches_masked_reference() {
+        let (q, k, v) = qkv(32, 16, 2);
+        let mut ctx = GpuCtx::a100();
+        let out = DfssAttention::new(NmPattern::P2_4).forward(&mut ctx, &q, &k, &v);
+        let reference = reference_dfss(&q, &k, &v, NmPattern::P2_4);
+        assert!(out.max_abs_diff(&reference) < 1e-2);
+    }
+
+    #[test]
+    fn unfused_matches_fused() {
+        let (q, k, v) = qkv(32, 16, 3);
+        let mut c1 = GpuCtx::a100();
+        let mut c2 = GpuCtx::a100();
+        let a = DfssAttention::new(NmPattern::P1_2).forward(&mut c1, &q, &k, &v);
+        let b = DfssAttention::unfused(NmPattern::P1_2).forward(&mut c2, &q, &k, &v);
+        assert!(a.max_abs_diff(&b) < 1e-4);
+        // … but the unfused one moves more bytes and peaks higher in memory.
+        assert!(c2.timeline.total_bytes() > c1.timeline.total_bytes());
+        assert!(c2.mem.peak() > c1.mem.peak());
+    }
+
+    #[test]
+    fn dfss_is_faster_than_full_attention_on_sim() {
+        // The headline claim, at n = 1024, float/1:2.
+        let (q, k, v) = qkv(1024, 64, 4);
+        let mut cd = GpuCtx::a100();
+        let mut cf = GpuCtx::a100();
+        let _ = DfssAttention::for_dtype::<f32>().forward(&mut cd, &q, &k, &v);
+        let _ = crate::full::FullAttention.forward(&mut cf, &q, &k, &v);
+        let speedup = cf.latency() / cd.latency();
+        assert!(
+            speedup > 1.2 && speedup < 2.2,
+            "simulated speedup {speedup:.3} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn dfss_reduces_peak_memory() {
+        let (q, k, v) = qkv(512, 64, 5);
+        let mut cd = GpuCtx::a100();
+        let mut cf = GpuCtx::a100();
+        let _ = DfssAttention::for_dtype::<f32>().forward(&mut cd, &q, &k, &v);
+        let _ = crate::full::FullAttention.forward(&mut cf, &q, &k, &v);
+        let ratio = cf.mem.peak() as f64 / cd.mem.peak() as f64;
+        assert!(ratio > 1.4, "memory reduction {ratio:.2} too small");
+    }
+
+    #[test]
+    fn bf16_dfss_runs_2_4() {
+        let mut rng = Rng::new(6);
+        let q = Matrix::<Bf16>::random_normal(32, 16, 0.0, 1.0, &mut rng);
+        let k = Matrix::<Bf16>::random_normal(32, 16, 0.0, 1.0, &mut rng);
+        let v = Matrix::<Bf16>::random_normal(32, 16, 0.0, 1.0, &mut rng);
+        let mech = DfssAttention::for_dtype::<Bf16>();
+        assert_eq!(mech.pattern(), NmPattern::P2_4);
+        let mut ctx = GpuCtx::a100();
+        let out = mech.forward(&mut ctx, &q, &k, &v);
+        assert_eq!(out.shape(), (32, 16));
+        assert!(out.as_slice().iter().all(|x| !x.is_nan()));
+    }
+
+    #[test]
+    fn weights_rows_normalised() {
+        let (q, k, v) = qkv(32, 16, 7);
+        let mut ctx = GpuCtx::a100();
+        let (_, w) =
+            DfssAttention::new(NmPattern::P1_2).forward_with_weights(&mut ctx, &q, &k, &v);
+        for r in 0..32 {
+            let s: f32 = w.row_nonzeros(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ell_hybrid_runs_and_is_cheaper_at_long_seq() {
+        let (q, k, v) = qkv(512, 32, 8);
+        let mut ch = GpuCtx::a100();
+        let mut cd = GpuCtx::a100();
+        let hybrid = DfssEllAttention::new(NmPattern::P1_2, 128, 2);
+        let _ = hybrid.forward(&mut ch, &q, &k, &v);
+        let _ = DfssAttention::new(NmPattern::P1_2).forward(&mut cd, &q, &k, &v);
+        assert!(ch.timeline.total_bytes() < cd.timeline.total_bytes());
+    }
+
+    #[test]
+    fn drop_in_name_matches_paper_notation() {
+        let m = DfssAttention::for_dtype::<f32>();
+        assert_eq!(Attention::<f32>::name(&m), "Dfss 1:2 (float)");
+        let m = DfssAttention::for_dtype::<Bf16>();
+        assert_eq!(Attention::<Bf16>::name(&m), "Dfss 2:4 (bfloat16)");
+    }
+
+    #[test]
+    fn approximation_error_small_relative_to_full() {
+        // Dfss output should stay close to full attention (§3.3): compare
+        // against the dense reference and require the relative Frobenius
+        // error to be well under 1 (softmax mass concentrates on kept
+        // entries).
+        let (q, k, v) = qkv(128, 32, 9);
+        let mut ctx = GpuCtx::a100();
+        let sparse = DfssAttention::new(NmPattern::P1_2).forward(&mut ctx, &q, &k, &v);
+        let dense = reference_attention(&q, &k, &v);
+        let diff = sparse.zip_with(&dense, |a, b| a - b);
+        let rel = diff.frobenius_norm() / dense.frobenius_norm();
+        assert!(rel < 0.5, "relative error {rel}");
+    }
+}

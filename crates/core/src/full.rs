@@ -1,0 +1,112 @@
+//! Full (dense) attention — Equation (1), the baseline of every experiment.
+
+use crate::mechanism::{check_qkv, Attention};
+use dfss_gpusim::Stage;
+use dfss_kernels::{gemm, softmax, GpuCtx};
+use dfss_tensor::{Matrix, Scalar};
+
+/// `O = softmax(QKᵀ/√d) · V`, all dense.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullAttention;
+
+impl<T: Scalar> Attention<T> for FullAttention {
+    fn name(&self) -> String {
+        format!("Transformer ({})", T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = <Self as Attention<T>>::scale_for(self, d);
+        // The dense n×n score matrix is materialised — this allocation is
+        // exactly what Dfss avoids (§3.4).
+        let scores_id = ctx.mem.alloc("scores_dense", (n * n * T::BYTES) as u64);
+        let scores = gemm::gemm_nt(ctx, Stage::Qk, q, k, scale);
+        let weights_id = ctx.mem.alloc("weights_dense", (n * n * T::BYTES) as u64);
+        let weights = softmax::softmax_dense(ctx, &scores);
+        ctx.mem.free(scores_id);
+        let out = gemm::gemm_nn(ctx, Stage::Av, &weights, v);
+        ctx.mem.free(weights_id);
+        out
+    }
+}
+
+/// Reference attention computed with naive host math (no simulator, no
+/// optimised kernels) — the oracle used by tests across the workspace.
+pub fn reference_attention(q: &Matrix<f32>, k: &Matrix<f32>, v: &Matrix<f32>) -> Matrix<f32> {
+    let (n, d) = check_qkv(q, k, v);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut scores = q.matmul_ref(&k.transpose());
+    for r in 0..n {
+        let row = scores.row_mut(r);
+        row.iter_mut().for_each(|x| *x *= scale);
+        dfss_tensor::math::softmax_row(row);
+    }
+    scores.matmul_ref(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_tensor::Rng;
+
+    #[test]
+    fn matches_reference() {
+        let mut rng = Rng::new(1);
+        let q = Matrix::<f32>::random_normal(32, 16, 0.0, 1.0, &mut rng);
+        let k = Matrix::<f32>::random_normal(32, 16, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(32, 16, 0.0, 1.0, &mut rng);
+        let mut ctx = GpuCtx::a100();
+        let out = FullAttention.forward(&mut ctx, &q, &k, &v);
+        let reference = reference_attention(&q, &k, &v);
+        assert!(out.max_abs_diff(&reference) < 1e-2);
+    }
+
+    #[test]
+    fn records_three_stages() {
+        let mut rng = Rng::new(2);
+        let q = Matrix::<f32>::random_normal(64, 16, 0.0, 1.0, &mut rng);
+        let k = q.clone();
+        let v = q.clone();
+        let mut ctx = GpuCtx::a100();
+        let _ = FullAttention.forward(&mut ctx, &q, &k, &v);
+        for stage in [Stage::Qk, Stage::Softmax, Stage::Av] {
+            assert!(ctx.timeline.stage_bytes(stage) > 0, "{stage:?}");
+        }
+        assert_eq!(ctx.timeline.stage_bytes(Stage::Overhead), 0);
+    }
+
+    #[test]
+    fn peak_memory_includes_dense_scores() {
+        let n = 128;
+        let mut rng = Rng::new(3);
+        let q = Matrix::<f32>::random_normal(n, 16, 0.0, 1.0, &mut rng);
+        let mut ctx = GpuCtx::a100();
+        let _ = FullAttention.forward(&mut ctx, &q, &q.clone(), &q.clone());
+        // scores + weights live simultaneously at the softmax step.
+        assert_eq!(ctx.mem.peak(), 2 * (n * n * 4) as u64);
+        assert_eq!(ctx.mem.current(), 0);
+    }
+
+    #[test]
+    fn output_rows_are_convex_combinations() {
+        // Each output row is a softmax-weighted average of V rows, so it
+        // must lie inside V's per-column min/max envelope.
+        let mut rng = Rng::new(4);
+        let q = Matrix::<f32>::random_normal(16, 8, 0.0, 1.0, &mut rng);
+        let k = Matrix::<f32>::random_normal(16, 8, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(16, 8, 0.0, 1.0, &mut rng);
+        let mut ctx = GpuCtx::a100();
+        let out = FullAttention.forward(&mut ctx, &q, &k, &v);
+        for c in 0..8 {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for r in 0..16 {
+                lo = lo.min(v.get(r, c));
+                hi = hi.max(v.get(r, c));
+            }
+            for r in 0..16 {
+                let x = out.get(r, c);
+                assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "({r},{c})");
+            }
+        }
+    }
+}

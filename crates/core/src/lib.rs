@@ -1,0 +1,36 @@
+//! # dfss-core — the Dfss attention mechanism, its baselines, and the
+//! paper's theory
+//!
+//! The primary contribution of the paper lives in [`dfss::DfssAttention`]:
+//! a drop-in replacement for full attention that dynamically prunes the
+//! score matrix to N:M fine-grained structured sparsity inside the QKᵀ GEMM
+//! epilogue, softmaxes the compressed nonzeros, and multiplies by V on the
+//! (simulated) sparse tensor core.
+//!
+//! Everything it is compared against in the evaluation is here too:
+//!
+//! | module | mechanisms | paper role |
+//! |---|---|---|
+//! | [`full`] | dense attention | the baseline of every figure |
+//! | [`dfss`] | Dfss 1:2 / 2:4 / generic N:M, fused & unfused, blocked-ELL hybrid | §3 |
+//! | [`sparse_baselines`] | explicit top-k, fixed (truncated columns), local window, BigBird-style block sparse (± Dfss) | §4.3–4.4, Fig 11 |
+//! | [`linear_baselines`] | Performer (FAVOR+), Nyströmformer (± Dfss), Linformer (± Dfss) | Fig 5, A.5, A.7 |
+//! | [`cluster_baselines`] | Reformer (LSH), Routing (k-means), Sinkhorn (block matching) | Fig 5 |
+//! | [`quality`] | the `Q^p` lottery-ticket quality metric (Def 4.1) | Fig 12, 13 |
+//! | [`theory`] | Props 4.2/4.3, Eqs 5/6/33, the Performer MSE bounds (Eqs 30/31) | §4, A.2–A.5 |
+//! | [`visualize`] | ASCII/CSV attention heat maps | Fig 19 |
+
+pub mod cluster_baselines;
+pub mod dfss;
+pub mod full;
+pub mod linear_baselines;
+pub mod mechanism;
+pub mod model;
+pub mod quality;
+pub mod sparse_baselines;
+pub mod theory;
+pub mod visualize;
+
+pub use dfss::DfssAttention;
+pub use full::FullAttention;
+pub use mechanism::Attention;

@@ -1,0 +1,75 @@
+//! The attention-mechanism interface.
+
+use dfss_kernels::GpuCtx;
+use dfss_tensor::{Matrix, Scalar};
+
+/// An attention mechanism: `O = attend(Q, K, V)` with `Q, K, V : n×d`.
+///
+/// Implementations execute on the host and charge the simulated device
+/// through `ctx` (kernel timeline + peak-memory ledger), so a single forward
+/// call yields the output, the Figure 5 stage breakdown, and the Figure 16
+/// footprint at once.
+pub trait Attention<T: Scalar> {
+    /// Display name as used in the paper's figures (e.g. `"Dfss 1:2"`).
+    fn name(&self) -> String;
+
+    /// Compute the attention output.
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T>;
+
+    /// The `1/√d` standardisation of Equation (1).
+    fn scale_for(&self, d: usize) -> f32 {
+        1.0 / (d as f32).sqrt()
+    }
+}
+
+/// Validate common attention preconditions; returns `(n, d)`.
+pub fn check_qkv<T: Scalar>(q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> (usize, usize) {
+    let (n, d) = q.shape();
+    assert_eq!(k.shape(), (n, d), "K shape mismatch");
+    assert_eq!(v.rows(), n, "V row mismatch");
+    (n, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Id;
+    impl Attention<f32> for Id {
+        fn name(&self) -> String {
+            "id".into()
+        }
+        fn forward(
+            &self,
+            _ctx: &mut GpuCtx,
+            _q: &Matrix<f32>,
+            _k: &Matrix<f32>,
+            v: &Matrix<f32>,
+        ) -> Matrix<f32> {
+            v.clone()
+        }
+    }
+
+    #[test]
+    fn scale_is_inverse_sqrt_d() {
+        let a = Id;
+        assert!((a.scale_for(64) - 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn check_qkv_accepts_valid() {
+        let q = Matrix::<f32>::zeros(8, 4);
+        let k = Matrix::<f32>::zeros(8, 4);
+        let v = Matrix::<f32>::zeros(8, 4);
+        assert_eq!(check_qkv(&q, &k, &v), (8, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "K shape mismatch")]
+    fn check_qkv_rejects_bad_k() {
+        let q = Matrix::<f32>::zeros(8, 4);
+        let k = Matrix::<f32>::zeros(4, 4);
+        let v = Matrix::<f32>::zeros(8, 4);
+        check_qkv(&q, &k, &v);
+    }
+}

@@ -1,0 +1,436 @@
+//! Sparse-pattern baselines: explicit top-k, fixed sparsity, local windows,
+//! and BigBird-style block sparsity (± Dfss inside the blocks).
+//!
+//! These are the comparison points of §4.3–4.4 and Figures 11–13:
+//! * **Top-k** keeps the k largest scores per row — the quality upper bound,
+//!   but it must compute the full dense QKᵀ first, run an expensive
+//!   selection, encode CSR, and then execute a reuse-poor SpMM.
+//! * **Fixed** sparsity is GPU-friendly (the pattern is known offline; we
+//!   use the paper's Figure 11 instantiation, truncating the key range to
+//!   the first `s·n` columns) but its mask is data-oblivious, so its quality
+//!   is only `s` (Prop 4.2).
+//! * **Local** attends inside a sliding window (Parmar et al., the "Local
+//!   Attention" row of Table 4).
+//! * **BigBird-style block sparse** uses global + window + random blocks;
+//!   with [`BlockSparseAttention::with_dfss`] each active block is further
+//!   pruned N:M — the Figure 18(A) combination.
+
+use crate::mechanism::{check_qkv, Attention};
+use dfss_gpusim::{KernelProfile, Stage};
+use dfss_kernels::{ell, gemm, softmax, spmm, topk, GpuCtx};
+use dfss_nmsparse::{BlockedEll, NmPattern};
+use dfss_tensor::{math, Matrix, Scalar};
+use rayon::prelude::*;
+
+/// Explicit top-k sparse attention (Zhao et al. 2019 style).
+#[derive(Clone, Copy, Debug)]
+pub struct TopKAttention {
+    /// Kept entries per row.
+    pub k: usize,
+}
+
+impl TopKAttention {
+    pub fn new(k: usize) -> TopKAttention {
+        TopKAttention { k }
+    }
+
+    /// k chosen to hit a target density `s = k/n` at sequence length `n`.
+    pub fn with_density(n: usize, s: f64) -> TopKAttention {
+        TopKAttention {
+            k: ((n as f64 * s).round() as usize).max(1),
+        }
+    }
+}
+
+impl<T: Scalar> Attention<T> for TopKAttention {
+    fn name(&self) -> String {
+        format!("Top-{} ({})", self.k, T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        // Full dense scores are unavoidable — selection needs them all.
+        let scores_id = ctx.mem.alloc("scores_dense_topk", (n * n * T::BYTES) as u64);
+        let scores = gemm::gemm_nt(ctx, Stage::Qk, q, k, scale);
+        let mut csr = topk::topk_csr(ctx, &scores, self.k);
+        ctx.mem.free(scores_id);
+        let csr_id = ctx.mem.alloc("csr_topk", csr.bytes() as u64);
+        softmax::softmax_csr(ctx, &mut csr);
+        let out = spmm::spmm_csr(ctx, &csr, v);
+        ctx.mem.free(csr_id);
+        out
+    }
+}
+
+/// Fixed sparsity as instantiated for Figure 11: attend only to the first
+/// `⌈s·n⌉` keys ("simply truncate the number of columns of the attention
+/// weight matrix based on the density"). The pattern is known offline, so it
+/// pays no selection overhead — but it is data-oblivious.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedColumnsAttention {
+    pub density: f64,
+}
+
+impl FixedColumnsAttention {
+    pub fn new(density: f64) -> FixedColumnsAttention {
+        assert!(density > 0.0 && density <= 1.0);
+        FixedColumnsAttention { density }
+    }
+}
+
+impl<T: Scalar> Attention<T> for FixedColumnsAttention {
+    fn name(&self) -> String {
+        format!("Fixed s={} ({})", self.density, T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let keep = ((n as f64 * self.density).ceil() as usize).clamp(1, n);
+        let k_kept = k.take_rows(0, keep);
+        let v_kept = v.take_rows(0, keep);
+        let scores_id = ctx.mem.alloc("scores_fixed", (n * keep * T::BYTES) as u64);
+        let scores = gemm::gemm_nt(ctx, Stage::Qk, q, &k_kept, scale);
+        let weights = softmax::softmax_dense(ctx, &scores);
+        let out = gemm::gemm_nn(ctx, Stage::Av, &weights, &v_kept);
+        ctx.mem.free(scores_id);
+        let _ = d;
+        out
+    }
+}
+
+/// Sliding-window local attention (Parmar et al. 2018): each query attends
+/// to the `window` keys centred on its own position.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalAttention {
+    pub window: usize,
+}
+
+impl LocalAttention {
+    pub fn new(window: usize) -> LocalAttention {
+        assert!(window > 0);
+        LocalAttention { window }
+    }
+}
+
+impl<T: Scalar> Attention<T> for LocalAttention {
+    fn name(&self) -> String {
+        format!("Local w={} ({})", self.window, T::NAME)
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let w = self.window.min(n);
+        // Band GEMM: n×w scores, then softmax, then band AV.
+        gemm::charge_gemm::<T>(ctx, "band_qk", Stage::Qk, n, w, d);
+        ctx.record(
+            KernelProfile::new("band_softmax", Stage::Softmax)
+                .with_traffic((2 * n * w * T::BYTES) as u64, (n * w * T::BYTES) as u64)
+                .with_alu((n * w) as u64 * 6),
+        );
+        gemm::charge_gemm::<T>(ctx, "band_av", Stage::Av, n, d, w);
+        let band_id = ctx.mem.alloc("scores_band", (n * w * T::BYTES) as u64);
+        if !ctx.exec {
+            ctx.mem.free(band_id);
+            return Matrix::zeros(n, v.cols());
+        }
+
+        let qw: Vec<f32> = q.as_slice().iter().map(|x| x.to_mul()).collect();
+        let kw: Vec<f32> = k.as_slice().iter().map(|x| x.to_mul()).collect();
+        let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+        let dv = v.cols();
+        let mut out = vec![T::zero(); n * dv];
+        out.par_chunks_mut(dv).enumerate().for_each(|(i, orow)| {
+            let lo = i.saturating_sub(w / 2).min(n - w);
+            let qrow = &qw[i * d..(i + 1) * d];
+            let mut s = vec![0.0f32; w];
+            for (j, sj) in s.iter_mut().enumerate() {
+                let krow = &kw[(lo + j) * d..(lo + j + 1) * d];
+                *sj = qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
+            }
+            math::softmax_row(&mut s);
+            let mut acc = vec![0.0f32; dv];
+            for (j, &p) in s.iter().enumerate() {
+                let vrow = &vw[(lo + j) * dv..(lo + j + 1) * dv];
+                for (a, &x) in acc.iter_mut().zip(vrow) {
+                    *a += p * x;
+                }
+            }
+            for (o, &x) in orow.iter_mut().zip(&acc) {
+                *o = T::from_acc(x);
+            }
+        });
+        ctx.mem.free(band_id);
+        Matrix::from_vec(n, dv, out)
+    }
+}
+
+/// BigBird-style block-sparse attention: global + sliding-window + random
+/// blocks, dense inside each active block; optionally Dfss-pruned inside the
+/// blocks (Figure 18(A)).
+#[derive(Clone, Debug)]
+pub struct BlockSparseAttention {
+    pub block: usize,
+    pub global_blocks: usize,
+    pub window_blocks: usize,
+    pub random_blocks: usize,
+    pub seed: u64,
+    /// `Some(pattern)` applies N:M pruning inside the active blocks.
+    pub dfss: Option<NmPattern>,
+}
+
+impl BlockSparseAttention {
+    pub fn bigbird(block: usize, seed: u64) -> BlockSparseAttention {
+        BlockSparseAttention {
+            block,
+            global_blocks: 1,
+            window_blocks: 3,
+            random_blocks: 2,
+            seed,
+            dfss: None,
+        }
+    }
+
+    /// Combine with Dfss inside the active blocks.
+    pub fn with_dfss(mut self, pattern: NmPattern) -> BlockSparseAttention {
+        self.dfss = Some(pattern);
+        self
+    }
+
+    fn pattern_for(&self, n: usize) -> BlockedEll {
+        let mut rng = dfss_tensor::Rng::new(self.seed);
+        BlockedEll::bigbird(
+            n,
+            n,
+            self.block,
+            self.global_blocks,
+            self.window_blocks,
+            self.random_blocks,
+            &mut rng,
+        )
+    }
+}
+
+impl<T: Scalar> Attention<T> for BlockSparseAttention {
+    fn name(&self) -> String {
+        match self.dfss {
+            Some(p) => format!("BigBird+Dfss {} ({})", p, T::NAME),
+            None => format!("BigBird ({})", T::NAME),
+        }
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        let (n, d) = check_qkv(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let ellpat = self.pattern_for(n);
+
+        if let Some(pattern) = self.dfss {
+            let id = ctx.mem.alloc(
+                "scores_bigbird_nm",
+                (n * ellpat.ell_width() * self.block * T::BYTES) as u64 / 2,
+            );
+            let mut a = ell::sddmm_ell_nm_fused(ctx, q, k, scale, pattern, &ellpat);
+            ell::softmax_ell_nm(ctx, &mut a);
+            let out = ell::spmm_ell_nm(ctx, &a, v);
+            ctx.mem.free(id);
+            return out;
+        }
+
+        // Dense-within-blocks path.
+        let b = self.block;
+        let packed = ellpat.ell_width() * b;
+        gemm::charge_gemm::<T>(ctx, "block_qk", Stage::Qk, n, packed, d);
+        ctx.record(
+            KernelProfile::new("block_softmax", Stage::Softmax)
+                .with_traffic((2 * n * packed * T::BYTES) as u64, (n * packed * T::BYTES) as u64)
+                .with_alu((n * packed) as u64 * 6),
+        );
+        gemm::charge_gemm::<T>(ctx, "block_av", Stage::Av, n, d, packed);
+        let id = ctx.mem.alloc("scores_bigbird", (n * packed * T::BYTES) as u64);
+        if !ctx.exec {
+            ctx.mem.free(id);
+            return Matrix::zeros(n, v.cols());
+        }
+
+        let qw: Vec<f32> = q.as_slice().iter().map(|x| x.to_mul()).collect();
+        let kw: Vec<f32> = k.as_slice().iter().map(|x| x.to_mul()).collect();
+        let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+        let dv = v.cols();
+        let mut out = vec![T::zero(); n * dv];
+        out.par_chunks_mut(dv).enumerate().for_each(|(i, orow)| {
+            let rb = i / b;
+            let qrow = &qw[i * d..(i + 1) * d];
+            let active = ellpat.row_active(rb);
+            let mut s = vec![0.0f32; active.len() * b];
+            let mut cols = Vec::with_capacity(active.len() * b);
+            for (slot, &cb) in active.iter().enumerate() {
+                for j in 0..b {
+                    let c = cb as usize * b + j;
+                    cols.push(c);
+                    let krow = &kw[c * d..(c + 1) * d];
+                    s[slot * b + j] =
+                        qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
+                }
+            }
+            math::softmax_row(&mut s);
+            let mut acc = vec![0.0f32; dv];
+            for (&c, &p) in cols.iter().zip(&s) {
+                let vrow = &vw[c * dv..(c + 1) * dv];
+                for (a, &x) in acc.iter_mut().zip(vrow) {
+                    *a += p * x;
+                }
+            }
+            for (o, &x) in orow.iter_mut().zip(&acc) {
+                *o = T::from_acc(x);
+            }
+        });
+        ctx.mem.free(id);
+        Matrix::from_vec(n, dv, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::{reference_attention, FullAttention};
+    use dfss_tensor::Rng;
+
+    fn qkv(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        let mut rng = Rng::new(seed);
+        (
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn topk_with_k_equal_n_matches_full() {
+        let (q, k, v) = qkv(32, 8, 1);
+        let mut ctx = GpuCtx::a100();
+        let out = TopKAttention::new(32).forward(&mut ctx, &q, &k, &v);
+        let reference = reference_attention(&q, &k, &v);
+        assert!(out.max_abs_diff(&reference) < 1e-2);
+    }
+
+    #[test]
+    fn topk_records_overhead_stage() {
+        let (q, k, v) = qkv(64, 16, 2);
+        let mut ctx = GpuCtx::a100();
+        let _ = TopKAttention::new(8).forward(&mut ctx, &q, &k, &v);
+        assert!(ctx.timeline.stage_latency(Stage::Overhead, &ctx.dev) > 0.0);
+    }
+
+    #[test]
+    fn topk_slower_than_dfss_at_same_density_on_sim() {
+        // §4.4: at equal density 0.5, Dfss wins because top-k pays selection
+        // + CSR + reuse-poor SpMM.
+        let (q, k, v) = qkv(1024, 64, 3);
+        let mut ct = GpuCtx::a100();
+        let mut cd = GpuCtx::a100();
+        let _ = TopKAttention::with_density(1024, 0.5).forward(&mut ct, &q, &k, &v);
+        let _ = crate::DfssAttention::new(NmPattern::P1_2).forward(&mut cd, &q, &k, &v);
+        assert!(ct.latency() > cd.latency());
+    }
+
+    #[test]
+    fn fixed_density_one_matches_full() {
+        let (q, k, v) = qkv(32, 8, 4);
+        let mut ctx = GpuCtx::a100();
+        let out = FixedColumnsAttention::new(1.0).forward(&mut ctx, &q, &k, &v);
+        assert!(out.max_abs_diff(&reference_attention(&q, &k, &v)) < 1e-2);
+    }
+
+    #[test]
+    fn fixed_truncation_uses_prefix_keys_only() {
+        let (q, k, v) = qkv(32, 8, 5);
+        let mut ctx = GpuCtx::a100();
+        let out = FixedColumnsAttention::new(0.25).forward(&mut ctx, &q, &k, &v);
+        // Manually: softmax over first 8 keys only.
+        let keep = 8;
+        let reference = reference_attention(
+            &q,
+            &k.take_rows(0, keep)
+                .vstack(&Matrix::from_fn(32 - keep, 8, |_, _| -1e30_f32)),
+            &v,
+        );
+        // Rows beyond keep have ≈0 weight, so compare with direct compute.
+        assert_eq!(out.shape(), (32, 8));
+        let _ = reference;
+        // Direct check: output = softmax(q·k[0..8]ᵀ)·v[0..8].
+        let scores = q.matmul_ref(&k.take_rows(0, keep).transpose());
+        let mut w = scores.clone();
+        for r in 0..32 {
+            let row = w.row_mut(r);
+            row.iter_mut().for_each(|x| *x *= 1.0 / (8.0f32).sqrt());
+            math::softmax_row(row);
+        }
+        let expect = w.matmul_ref(&v.take_rows(0, keep));
+        assert!(out.max_abs_diff(&expect) < 1e-2);
+    }
+
+    #[test]
+    fn fixed_cheaper_than_full_on_sim() {
+        let (q, k, v) = qkv(512, 64, 6);
+        let mut cf = GpuCtx::a100();
+        let mut cx = GpuCtx::a100();
+        let _ = FullAttention.forward(&mut cf, &q, &k, &v);
+        let _ = FixedColumnsAttention::new(0.25).forward(&mut cx, &q, &k, &v);
+        assert!(cx.latency() < cf.latency());
+    }
+
+    #[test]
+    fn local_rows_sum_to_one_implicitly() {
+        // Convexity check like full attention, but windowed.
+        let (q, k, v) = qkv(64, 8, 7);
+        let mut ctx = GpuCtx::a100();
+        let out = LocalAttention::new(16).forward(&mut ctx, &q, &k, &v);
+        for c in 0..8 {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for r in 0..64 {
+                lo = lo.min(v.get(r, c));
+                hi = hi.max(v.get(r, c));
+            }
+            for r in 0..64 {
+                let x = out.get(r, c);
+                assert!(x >= lo - 1e-4 && x <= hi + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn local_window_larger_than_n_equals_full() {
+        let (q, k, v) = qkv(16, 8, 8);
+        let mut ctx = GpuCtx::a100();
+        let out = LocalAttention::new(64).forward(&mut ctx, &q, &k, &v);
+        assert!(out.max_abs_diff(&reference_attention(&q, &k, &v)) < 1e-2);
+    }
+
+    #[test]
+    fn bigbird_runs_both_variants() {
+        let (q, k, v) = qkv(128, 16, 9);
+        let mut c1 = GpuCtx::a100();
+        let plain = BlockSparseAttention::bigbird(32, 42).forward(&mut c1, &q, &k, &v);
+        let mut c2 = GpuCtx::a100();
+        let hybrid = BlockSparseAttention::bigbird(32, 42)
+            .with_dfss(NmPattern::P1_2)
+            .forward(&mut c2, &q, &k, &v);
+        assert_eq!(plain.shape(), (128, 16));
+        assert_eq!(hybrid.shape(), (128, 16));
+        // Dfss halves the score traffic inside blocks → hybrid moves fewer
+        // bytes.
+        assert!(c2.timeline.total_bytes() < c1.timeline.total_bytes());
+    }
+
+    #[test]
+    fn bigbird_deterministic_given_seed() {
+        let (q, k, v) = qkv(128, 16, 10);
+        let mut c1 = GpuCtx::a100();
+        let mut c2 = GpuCtx::a100();
+        let a = BlockSparseAttention::bigbird(32, 7).forward(&mut c1, &q, &k, &v);
+        let b = BlockSparseAttention::bigbird(32, 7).forward(&mut c2, &q, &k, &v);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

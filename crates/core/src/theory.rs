@@ -1,0 +1,255 @@
+//! Closed-form results of Section 4 and Appendices A.2–A.5.
+//!
+//! * Proposition 4.2 — `Q^p` of top-k / fixed / 1:2 (and the 2:4 lower
+//!   bound) under i.i.d. `N(µ, σ)` scores.
+//! * Proposition 4.3 / Equation (4) — top-k speedup upper bound.
+//! * Equation (5) — fixed-sparsity speedup.
+//! * Equation (6) — dynamic 1:2 / 2:4 speedup.
+//! * Equations (7)–(8) — equal-efficiency densities.
+//! * Equations (30)–(31) — MSE of the Dfss-masked softmax kernel vs
+//!   Performer's positive softmax kernel.
+//! * Equation (33) — Performer speedup under the same memory model.
+
+use dfss_tensor::math::{erf, erfinv};
+
+/// Proposition 4.2: `Q^p` of top-k sparsity at density `s`
+/// (`(1 + erf(pσ/√2 − erfinv(1−2s)))/2`).
+pub fn qp_topk(p: f64, sigma: f64, s: f64) -> f64 {
+    assert!(s > 0.0 && s < 1.0);
+    (1.0 + erf(p * sigma / std::f64::consts::SQRT_2 - erfinv(1.0 - 2.0 * s))) / 2.0
+}
+
+/// Proposition 4.2: `Q^p` of a fixed pattern is its density.
+pub fn qp_fixed(s: f64) -> f64 {
+    s
+}
+
+/// Proposition 4.2: `Q^p` of dynamic 1:2 sparsity, `(1 + erf(pσ/2))/2`;
+/// also the lower bound for 2:4.
+pub fn qp_one_two(p: f64, sigma: f64) -> f64 {
+    (1.0 + erf(p * sigma / 2.0)) / 2.0
+}
+
+/// The 2:4 lower bound of Proposition 4.2 (`Q^p_{2:4} ≥ Q^p_{1:2}`).
+pub fn qp_two_four_lower_bound(p: f64, sigma: f64) -> f64 {
+    qp_one_two(p, sigma)
+}
+
+/// Equation (4): top-k speedup upper bound at density `s`,
+/// `(4d + 3T) / (2d + T + (d + 2T + dT)s)`.
+pub fn speedup_topk_bound(d: f64, t: f64, s: f64) -> f64 {
+    (4.0 * d + 3.0 * t) / (2.0 * d + t + (d + 2.0 * t + d * t) * s)
+}
+
+/// Equation (5) (n ≫ d limit): fixed-sparsity speedup at density `s`,
+/// `(4d + 3T) / ((1 + 3s)d + 3sT)`.
+pub fn speedup_fixed(d: f64, t: f64, s: f64) -> f64 {
+    (4.0 * d + 3.0 * t) / ((1.0 + 3.0 * s) * d + 3.0 * s * t)
+}
+
+/// Equation (6) (n ≫ d limit): dynamic 1:2 / 2:4 speedup,
+/// `(64d + 48T) / (57d + 25T)`.
+pub fn speedup_dfss(d: f64, t: f64) -> f64 {
+    (64.0 * d + 48.0 * t) / (57.0 * d + 25.0 * t)
+}
+
+/// Equation (7): the density below which top-k would need to operate to
+/// match Dfss's efficiency.
+pub fn topk_equal_efficiency_density(d: f64, t: f64) -> f64 {
+    (4.0 * d + 3.0 * t) * (57.0 * d + 25.0 * t) / ((64.0 * d + 48.0 * t) * (d + 2.0 * t + d * t))
+        - (2.0 * d + t) / (d + 2.0 * t + d * t)
+}
+
+/// Equation (8): the density at which fixed sparsity matches Dfss's
+/// efficiency.
+///
+/// Note: the paper's printed Equation (8) inverts the Dfss speedup ratio
+/// (it reads `(64d+48T)/(57d+25T)` where the derivation needs its
+/// reciprocal); evaluated as printed it gives s ≈ 1.55, contradicting the
+/// paper's own stated result "s ≈ 0.63". Solving Eq (5) = Eq (6) directly:
+/// `s = (4d+3T)(57d+25T)/((64d+48T)·3(d+T)) − d/(3(d+T))`, which yields
+/// 0.632 at d = 64, T = 128 — matching the text and Figure 11.
+pub fn fixed_equal_efficiency_density(d: f64, t: f64) -> f64 {
+    (4.0 * d + 3.0 * t) * (57.0 * d + 25.0 * t) / ((64.0 * d + 48.0 * t) * 3.0 * (d + t))
+        - d / (3.0 * (d + t))
+}
+
+/// Exact (pre-limit) speedup ratios from Table 5's memory-access counts, for
+/// validating the executed simulator at finite `n`.
+pub mod table5 {
+    /// Memory accesses (elements) of full attention at sequence length `n`,
+    /// head dim `d`, tile `T`: `n²(2d/T + 1) + 2n² + nd(2n/T + 1)`.
+    pub fn full_attention(n: f64, d: f64, t: f64) -> f64 {
+        n * n * (2.0 * d / t + 1.0) + 2.0 * n * n + n * d * (2.0 * n / t + 1.0)
+    }
+
+    /// Memory accesses of explicit top-k attention at density `s`
+    /// (oracle mask, zero selection cost — the *bound* of Prop 4.3).
+    pub fn topk_attention(n: f64, d: f64, t: f64, s: f64) -> f64 {
+        n * n * (2.0 * d / t + 1.0) + 2.0 * n * n * s + n * d * (s * n + s * n / t + 1.0)
+    }
+
+    /// Memory accesses of fixed sparsity at density `s` (numerator of
+    /// Equation 5's pre-limit form).
+    pub fn fixed_attention(n: f64, d: f64, t: f64, s: f64) -> f64 {
+        s * n * n * (2.0 * d / t + 1.0) + 2.0 * n * n * s + n * d * ((1.0 + s) * n / t + 1.0)
+    }
+
+    /// Memory accesses of Dfss (numerator of Equation 6's pre-limit form):
+    /// `n²(2d/T + 1/2 + 1/16) + n² + nd(n/T + n/2T + n/16T + 1)`.
+    pub fn dfss_attention(n: f64, d: f64, t: f64) -> f64 {
+        n * n * (2.0 * d / t + 0.5 + 1.0 / 16.0)
+            + n * n
+            + n * d * (n / t + n / (2.0 * t) + n / (16.0 * t) + 1.0)
+    }
+}
+
+/// Equation (30): MSE of the Dfss 1:2 approximation of the softmax kernel
+/// `SM(q,k) = exp(qᵀk/√d)`, given `‖q‖` and the kernel value.
+pub fn mse_dfss_1_2(sm: f64, q_norm: f64, d: f64) -> f64 {
+    assert!(sm > 0.0);
+    let z = d.sqrt() / (q_norm * std::f64::consts::SQRT_2) * sm.ln();
+    sm * sm * (1.0 - erf(z)) / 2.0
+}
+
+/// Equation (31): upper bound on the MSE of Performer's positive softmax
+/// kernel with `m` orthogonal random features.
+pub fn mse_performer_bound(sm: f64, q_norm: f64, k_norm: f64, d: f64, m: f64) -> f64 {
+    let e = ((q_norm * q_norm + k_norm * k_norm) / d.sqrt()).exp();
+    (sm * sm / m) * (e * sm * sm - 1.0 - (1.0 - 1.0 / m) * 2.0 / (d + 2.0))
+}
+
+/// Equation (33): Performer memory accesses with `m` features (the fused
+/// computation graph of Equation 32), for the speedup comparison of A.5.
+pub fn performer_memory_accesses(n: f64, d: f64, t: f64, m: f64) -> f64 {
+    2.0 * (n * m * (2.0 * d / t + 1.0) + n * (d + 1.0) + n * (m + 1.0) + n * (m + 3.0))
+        + m * (n + 1.0)
+        + n * (m / t + m + 1.0)
+        + m * d * (2.0 * n / t + 1.0)
+        + n * d * (2.0 * m / t + 1.0)
+        + n
+}
+
+/// Performer speedup over full attention per Equation (33).
+pub fn speedup_performer(n: f64, d: f64, t: f64, m: f64) -> f64 {
+    table5::full_attention(n, d, t) / performer_memory_accesses(n, d, t, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: f64 = 64.0;
+    const T: f64 = 128.0;
+
+    #[test]
+    fn dfss_speedup_is_the_paper_constant() {
+        // (64·64 + 48·128)/(57·64 + 25·128) = 10240/6848 ≈ 1.495.
+        let s = speedup_dfss(D, T);
+        assert!((s - 10240.0 / 6848.0).abs() < 1e-12);
+        assert!(s > 1.2 && s < 1.9, "inside the paper's observed band");
+    }
+
+    #[test]
+    fn topk_needs_tiny_density_to_win() {
+        // §4.3: "s < 4.5% is a necessary and insufficient condition".
+        let mut s = 0.045;
+        assert!(speedup_topk_bound(D, T, s) > 0.99);
+        s = 0.05;
+        assert!(speedup_topk_bound(D, T, s) < 1.0);
+    }
+
+    #[test]
+    fn topk_equal_efficiency_near_two_percent() {
+        // §4.4: "With typical values T = 128, d = 64, we have s < 0.02".
+        let s = topk_equal_efficiency_density(D, T);
+        assert!(s > 0.01 && s < 0.03, "s = {s}");
+        // At that density top-k's bound equals Dfss's speedup.
+        let diff = speedup_topk_bound(D, T, s) - speedup_dfss(D, T);
+        assert!(diff.abs() < 1e-9, "diff {diff}");
+    }
+
+    #[test]
+    fn fixed_equal_efficiency_near_063() {
+        // §4.4: "we have s ≈ 0.63".
+        let s = fixed_equal_efficiency_density(D, T);
+        assert!(s > 0.55 && s < 0.70, "s = {s}");
+        let diff = speedup_fixed(D, T, s) - speedup_dfss(D, T);
+        assert!(diff.abs() < 1e-9);
+    }
+
+    #[test]
+    fn qp_theory_reference_points() {
+        // §4.4: Q^p_{1:2}|pσ=7 ≈ 0.9999996.
+        assert!((qp_one_two(7.0, 1.0) - 0.9999996).abs() < 1e-6);
+        // pσ ≥ 1 ⇒ Q^p_{1:2} ≥ 0.76 (§4.4's fixed-sparsity comparison).
+        assert!(qp_one_two(1.0, 1.0) >= 0.76);
+        // Fixed quality is literally the density.
+        assert_eq!(qp_fixed(0.63), 0.63);
+    }
+
+    #[test]
+    fn qp_topk_dominates_one_two_at_moderate_p() {
+        // Top-k at the same density 0.5 must upper-bound 1:2 for small pσ.
+        for p in [1.0, 2.0, 3.0] {
+            assert!(qp_topk(p, 1.0, 0.5) >= qp_one_two(p, 1.0) - 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn qp_crossover_near_psigma_7_at_s_002() {
+        // §4.4: with s < 0.02, Q^p_topk < Q^p_{1:2} when pσ < 7.
+        let s = 0.02;
+        assert!(qp_topk(5.0, 1.0, s) < qp_one_two(5.0, 1.0));
+        // And above the crossover top-k wins on quality (but both ≈ 1).
+        assert!(qp_topk(9.0, 1.0, s) > qp_one_two(9.0, 1.0));
+        assert!(qp_one_two(9.0, 1.0) > 0.9999);
+    }
+
+    #[test]
+    fn table5_ratios_approach_closed_forms() {
+        let n = 1_000_000.0; // n ≫ d regime
+        let full = table5::full_attention(n, D, T);
+        let dfss = table5::dfss_attention(n, D, T);
+        assert!((full / dfss - speedup_dfss(D, T)).abs() < 1e-3);
+        let fixed = table5::fixed_attention(n, D, T, 0.3);
+        assert!((full / fixed - speedup_fixed(D, T, 0.3)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn mse_dfss_vanishes_for_small_kernel_values() {
+        // Both kernels are accurate on small SM(q,k); Dfss's error *decreases*
+        // for large kernel values thanks to the erf factor (A.5).
+        let qn = 8.0;
+        let small = mse_dfss_1_2(1e-3, qn, D);
+        assert!(small < 1e-6);
+        let large_ratio = mse_dfss_1_2(100.0, qn, D) / (100.0f64).powi(2);
+        assert!(large_ratio < 0.5, "normalised MSE should shrink: {large_ratio}");
+    }
+
+    #[test]
+    fn performer_mse_blows_up_on_large_kernel_values() {
+        let m = 266.0;
+        let qn = 8.0;
+        let kn = 8.0;
+        // Normalised MSE (divided by SM²) grows with SM for Performer …
+        let perf_small = mse_performer_bound(0.1, qn, kn, D, m) / 0.01;
+        let perf_large = mse_performer_bound(100.0, qn, kn, D, m) / 10_000.0;
+        assert!(perf_large > perf_small);
+        // … while Dfss's shrinks (previous test), so Dfss approximates the
+        // important edges better — the A.5 conclusion.
+        let dfss_large = mse_dfss_1_2(100.0, qn, D) / 10_000.0;
+        assert!(dfss_large < perf_large);
+    }
+
+    #[test]
+    fn performer_speedup_crossovers() {
+        // A.5: with m = 266, d = 64, T = 128: speedup > 1 needs n > 672, and
+        // Performer beats Dfss's 1.495 only for n > 1002.
+        let m = 266.0;
+        assert!(speedup_performer(600.0, D, T, m) < 1.0);
+        assert!(speedup_performer(700.0, D, T, m) > 1.0);
+        assert!(speedup_performer(950.0, D, T, m) < speedup_dfss(D, T));
+        assert!(speedup_performer(1100.0, D, T, m) > speedup_dfss(D, T));
+    }
+}

@@ -1,0 +1,107 @@
+//! Attention-weight visualisation (Figure 19).
+//!
+//! The paper renders heat maps of the first-layer attention weights under
+//! dense, 1:2 and 2:4 settings to show the sparse patterns track the dense
+//! one. A terminal cannot show images, so we render density-scaled ASCII
+//! blocks and emit CSV for external plotting.
+
+use dfss_tensor::Matrix;
+
+/// Shade characters from empty to full.
+const SHADES: [char; 10] = [' ', '·', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render a matrix as an ASCII heat map, downsampling to at most
+/// `max_edge × max_edge` character cells (each cell shows the mean of its
+/// patch).
+pub fn ascii_heatmap(a: &Matrix<f32>, max_edge: usize) -> String {
+    let (rows, cols) = a.shape();
+    let r_step = rows.div_ceil(max_edge).max(1);
+    let c_step = cols.div_ceil(max_edge).max(1);
+    let out_rows = rows.div_ceil(r_step);
+    let out_cols = cols.div_ceil(c_step);
+
+    // Patch means.
+    let mut cells = vec![0.0f32; out_rows * out_cols];
+    for (or, cell_row) in cells.chunks_mut(out_cols).enumerate() {
+        for (oc, cell) in cell_row.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            let mut count = 0usize;
+            for r in or * r_step..((or + 1) * r_step).min(rows) {
+                for c in oc * c_step..((oc + 1) * c_step).min(cols) {
+                    sum += a.get(r, c);
+                    count += 1;
+                }
+            }
+            *cell = sum / count.max(1) as f32;
+        }
+    }
+    let max = cells.iter().copied().fold(f32::MIN, f32::max);
+    let min = cells.iter().copied().fold(f32::MAX, f32::min).min(0.0);
+    let span = (max - min).max(1e-12);
+
+    let mut s = String::with_capacity(out_rows * (out_cols + 1));
+    for row in cells.chunks(out_cols) {
+        for &v in row {
+            let t = ((v - min) / span * (SHADES.len() - 1) as f32).round() as usize;
+            s.push(SHADES[t.min(SHADES.len() - 1)]);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// CSV serialisation (row per line) for external plotting tools.
+pub fn to_csv(a: &Matrix<f32>) -> String {
+    let mut s = String::new();
+    for r in 0..a.rows() {
+        let cells: Vec<String> = a.row(r).iter().map(|v| format!("{v:.6}")).collect();
+        s.push_str(&cells.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+/// Fraction of exactly-zero entries — the sparsity a Figure 19 heat map
+/// displays for the 1:2 / 2:4 panels.
+pub fn zero_fraction(a: &Matrix<f32>) -> f64 {
+    let zeros = a.as_slice().iter().filter(|&&v| v == 0.0).count();
+    zeros as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_and_shading() {
+        let a = Matrix::<f32>::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+        let map = ascii_heatmap(&a, 8);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.chars().count() == 8));
+        // Diagonal dominates → the densest shade on the diagonal.
+        assert_eq!(lines[0].chars().next().unwrap(), '@');
+        assert_eq!(lines[1].chars().next().unwrap(), ' ');
+    }
+
+    #[test]
+    fn heatmap_downsamples() {
+        let a = Matrix::<f32>::zeros(100, 100);
+        let map = ascii_heatmap(&a, 10);
+        assert_eq!(map.lines().count(), 10);
+    }
+
+    #[test]
+    fn csv_roundtrippable() {
+        let a = Matrix::<f32>::from_vec(2, 2, vec![1.0, 2.5, -3.0, 0.0]);
+        let csv = to_csv(&a);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("1.000000,2.500000"));
+    }
+
+    #[test]
+    fn zero_fraction_of_half_pruned() {
+        let a = Matrix::<f32>::from_fn(4, 4, |_, c| if c % 2 == 0 { 1.0 } else { 0.0 });
+        assert!((zero_fraction(&a) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Device parameters and the latency model.
+
+/// Which functional unit executes a kernel's multiply-accumulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TcClass {
+    /// Dense tensor core, TF32 inputs (the paper's `float` path).
+    DenseTf32,
+    /// Dense tensor core, bf16 inputs.
+    DenseBf16,
+    /// Sparse tensor core, TF32 inputs (1:2 compressed operand).
+    SparseTf32,
+    /// Sparse tensor core, bf16 inputs (2:4 compressed operand).
+    SparseBf16,
+    /// No tensor core involved (element-wise / reduction kernels).
+    None,
+}
+
+/// Simulated device parameters.
+///
+/// The defaults model an A100-SXM4-40GB, the paper's evaluation platform:
+/// 1555 GB/s HBM2e, 156 TFLOPS dense TF32 (312 dense bf16), 2× peak on the
+/// sparse tensor core de-rated to the paper's observed ~1.7× realised SpMM
+/// speedup, ~5 µs kernel launch, 19.5 TFLOPS CUDA-core fp32 for element-wise
+/// work.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    pub name: &'static str,
+    /// Global-memory bandwidth in bytes/second.
+    pub dram_bytes_per_sec: f64,
+    /// Dense TF32 tensor-core MACs/second (1 FLOP = ½ MAC).
+    pub tf32_macs_per_sec: f64,
+    /// Dense bf16 tensor-core MACs/second.
+    pub bf16_macs_per_sec: f64,
+    /// Realised sparse-tensor-core speedup over dense on the same dtype
+    /// (paper §3.2: "the SpMM … can also achieve 1.7× speedup").
+    pub sparse_tc_speedup: f64,
+    /// CUDA-core scalar ops/second (exp, compare, shuffle, reductions).
+    pub alu_ops_per_sec: f64,
+    /// Fixed cost per kernel launch, seconds.
+    pub kernel_launch_sec: f64,
+    /// Thread-block tile size T used by the paper's cost model (T = 128).
+    pub tile: usize,
+    /// Maximum row length (elements) the softmax kernel can cache in
+    /// registers/shared memory; longer rows fall back to the streaming
+    /// implementation that re-reads the scores (Appendix A.4's explanation
+    /// of the super-theoretical Dfss speedup).
+    pub softmax_cache_elems: usize,
+}
+
+impl DeviceConfig {
+    /// The paper's evaluation device.
+    pub fn a100() -> DeviceConfig {
+        DeviceConfig {
+            name: "A100-SXM4-40GB (simulated)",
+            dram_bytes_per_sec: 1.555e12,
+            tf32_macs_per_sec: 78.0e12,  // 156 TFLOPS
+            bf16_macs_per_sec: 156.0e12, // 312 TFLOPS
+            sparse_tc_speedup: 1.7,
+            alu_ops_per_sec: 9.75e12,
+            kernel_launch_sec: 5.0e-6,
+            tile: 128,
+            softmax_cache_elems: 2048,
+        }
+    }
+
+    /// A bandwidth-starved device (useful in tests to confirm the model is
+    /// memory-bound where the paper says it is).
+    pub fn memory_bound_toy() -> DeviceConfig {
+        DeviceConfig {
+            name: "toy",
+            dram_bytes_per_sec: 1.0e9,
+            tf32_macs_per_sec: 1.0e15,
+            bf16_macs_per_sec: 1.0e15,
+            sparse_tc_speedup: 1.7,
+            alu_ops_per_sec: 1.0e15,
+            kernel_launch_sec: 0.0,
+            tile: 128,
+            softmax_cache_elems: 2048,
+        }
+    }
+
+    /// MAC throughput for a tensor-core class.
+    pub fn macs_per_sec(&self, class: TcClass) -> f64 {
+        match class {
+            TcClass::DenseTf32 => self.tf32_macs_per_sec,
+            TcClass::DenseBf16 => self.bf16_macs_per_sec,
+            TcClass::SparseTf32 => self.tf32_macs_per_sec * self.sparse_tc_speedup,
+            TcClass::SparseBf16 => self.bf16_macs_per_sec * self.sparse_tc_speedup,
+            TcClass::None => f64::INFINITY,
+        }
+    }
+
+    /// Number of read passes over the score matrix the softmax kernel needs
+    /// for a given row length: 1 when the row fits in fast memory (max, sum
+    /// and normalise reuse the cached row), 3 when it must stream
+    /// (Appendix A.1.3: "each element in x has to be loaded for three
+    /// times … instead of loading xi from global memory each time, we cache
+    /// it in the register when the whole row fits").
+    pub fn softmax_read_passes(&self, row_elems: usize) -> u64 {
+        if row_elems <= self.softmax_cache_elems {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_class_is_faster() {
+        let d = DeviceConfig::a100();
+        assert!(d.macs_per_sec(TcClass::SparseTf32) > d.macs_per_sec(TcClass::DenseTf32));
+        assert!(
+            (d.macs_per_sec(TcClass::SparseBf16) / d.macs_per_sec(TcClass::DenseBf16) - 1.7).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn bf16_doubles_tf32() {
+        let d = DeviceConfig::a100();
+        assert!(
+            (d.macs_per_sec(TcClass::DenseBf16) / d.macs_per_sec(TcClass::DenseTf32) - 2.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn none_class_costs_nothing() {
+        let d = DeviceConfig::a100();
+        assert_eq!(d.macs_per_sec(TcClass::None), f64::INFINITY);
+    }
+
+    #[test]
+    fn softmax_passes_threshold() {
+        let d = DeviceConfig::a100();
+        assert_eq!(d.softmax_read_passes(512), 1);
+        assert_eq!(d.softmax_read_passes(2048), 1);
+        assert_eq!(d.softmax_read_passes(2049), 3);
+        assert_eq!(d.softmax_read_passes(4096), 3);
+    }
+}

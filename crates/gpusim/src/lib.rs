@@ -1,0 +1,37 @@
+//! # dfss-gpusim — an execution-driven Ampere-like device model
+//!
+//! The paper's speedups come from an NVIDIA A100: dense/sparse tensor cores
+//! plus an HBM memory system, with kernels whose cost Appendix A.3 argues is
+//! **memory-bound** ("the latency of matrix multiplication operations, both
+//! sparse and dense, are bounded by the memory access"). No Rust bindings to
+//! sparse tensor cores exist, so this crate substitutes the machine: kernels
+//! in `dfss-kernels` execute the *same tile structure* as the CUDA kernels
+//! (thread-block tiles, 16×16 wmma tiles, 32×64-byte prune tiles) and charge
+//! each tile's global-memory traffic and tensor-core MACs to a
+//! [`KernelProfile`]. A [`DeviceConfig`] then converts the profile into
+//! simulated latency = launch overhead + max(memory time, compute time).
+//!
+//! Because the paper's own analysis derives every speedup from counted
+//! memory accesses under tiling reuse (its Table 5), preserving the counts
+//! preserves the *shape* of every latency figure; the executed counters
+//! additionally capture the overheads (top-k selection, CSR encoding,
+//! Performer's extra element-wise traffic) that make the paper's measured
+//! curves deviate from its closed forms.
+//!
+//! Components:
+//! * [`DeviceConfig`] — bandwidth/throughput/launch parameters (A100 preset).
+//! * [`KernelProfile`] — one executed kernel's traffic & compute counts.
+//! * [`Timeline`] — an ordered log of profiles with per-stage aggregation
+//!   (the Figure 5 latency breakdown).
+//! * [`MemTracker`] — allocation ledger for peak-memory accounting
+//!   (Figure 16).
+
+pub mod device;
+pub mod memtrack;
+pub mod profile;
+pub mod timeline;
+
+pub use device::{DeviceConfig, TcClass};
+pub use memtrack::MemTracker;
+pub use profile::{KernelProfile, Stage};
+pub use timeline::Timeline;

@@ -1,0 +1,207 @@
+//! Per-kernel cost profiles.
+
+use crate::device::{DeviceConfig, TcClass};
+
+/// Attention pipeline stage a kernel belongs to — the categories of the
+/// Figure 5 breakdown, plus `NonAttention` for the rest of the transformer
+/// (Figure 15 splits end-to-end time into "Attention" and "Others").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The QKᵀ product (dense GEMM or fused SDDMM).
+    Qk,
+    /// Softmax over scores (dense or compressed).
+    Softmax,
+    /// The A·V product (dense GEMM or SpMM).
+    Av,
+    /// Mechanism-specific extra work: top-k selection, CSR encoding,
+    /// landmark pooling, random-feature projection, hashing, sorting …
+    Overhead,
+    /// Projections, FFN, layer norm, residuals — everything outside
+    /// Equation (1).
+    NonAttention,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::Qk,
+        Stage::Softmax,
+        Stage::Av,
+        Stage::Overhead,
+        Stage::NonAttention,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Qk => "QK^T",
+            Stage::Softmax => "Softmax",
+            Stage::Av => "AV",
+            Stage::Overhead => "Overhead",
+            Stage::NonAttention => "Others",
+        }
+    }
+}
+
+/// Cost counters for one executed kernel.
+#[derive(Clone, Debug)]
+pub struct KernelProfile {
+    /// Kernel name, e.g. `"sddmm_prune_epilogue"`.
+    pub name: &'static str,
+    pub stage: Stage,
+    /// Bytes read from simulated global memory.
+    pub bytes_read: u64,
+    /// Bytes written to simulated global memory.
+    pub bytes_written: u64,
+    /// Tensor-core multiply-accumulates.
+    pub tc_macs: u64,
+    /// Functional unit executing `tc_macs`.
+    pub tc_class: TcClass,
+    /// Scalar ALU operations (exp ≈ 4 ops, compare/shuffle/add ≈ 1 op).
+    pub alu_ops: u64,
+    /// Kernel launches this profile covers (batched kernels = 1).
+    pub launches: u64,
+}
+
+impl KernelProfile {
+    /// A zeroed profile for incremental accumulation inside a kernel.
+    pub fn new(name: &'static str, stage: Stage) -> KernelProfile {
+        KernelProfile {
+            name,
+            stage,
+            bytes_read: 0,
+            bytes_written: 0,
+            tc_macs: 0,
+            tc_class: TcClass::None,
+            alu_ops: 0,
+            launches: 1,
+        }
+    }
+
+    pub fn with_tc(mut self, macs: u64, class: TcClass) -> KernelProfile {
+        self.tc_macs = macs;
+        self.tc_class = class;
+        self
+    }
+
+    pub fn with_traffic(mut self, read: u64, written: u64) -> KernelProfile {
+        self.bytes_read = read;
+        self.bytes_written = written;
+        self
+    }
+
+    pub fn with_alu(mut self, ops: u64) -> KernelProfile {
+        self.alu_ops = ops;
+        self
+    }
+
+    /// Total global-memory traffic.
+    #[inline]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Memory time under the device's bandwidth.
+    pub fn mem_time(&self, dev: &DeviceConfig) -> f64 {
+        self.bytes_total() as f64 / dev.dram_bytes_per_sec
+    }
+
+    /// Compute time: tensor-core and ALU pipes run concurrently, so take the
+    /// max.
+    pub fn compute_time(&self, dev: &DeviceConfig) -> f64 {
+        let tc = if self.tc_macs == 0 {
+            0.0
+        } else {
+            self.tc_macs as f64 / dev.macs_per_sec(self.tc_class)
+        };
+        let alu = self.alu_ops as f64 / dev.alu_ops_per_sec;
+        tc.max(alu)
+    }
+
+    /// Simulated latency: launches + max(memory, compute) — memory and
+    /// compute overlap inside a kernel (double-buffered software pipeline,
+    /// Appendix A.1.2), so the slower pipe dominates.
+    pub fn latency(&self, dev: &DeviceConfig) -> f64 {
+        self.launches as f64 * dev.kernel_launch_sec + self.mem_time(dev).max(self.compute_time(dev))
+    }
+
+    /// Merge another profile into this one (same stage assumed by caller).
+    pub fn absorb(&mut self, other: &KernelProfile) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.tc_macs += other.tc_macs;
+        if self.tc_class == TcClass::None {
+            self.tc_class = other.tc_class;
+        }
+        self.alu_ops += other.alu_ops;
+        self.launches += other.launches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernel_latency_is_mem_time() {
+        let dev = DeviceConfig::memory_bound_toy();
+        let p = KernelProfile::new("k", Stage::Qk)
+            .with_traffic(1_000_000, 0)
+            .with_tc(1_000, TcClass::DenseTf32);
+        // 1 MB at 1 GB/s = 1 ms; compute is negligible on the toy device.
+        assert!((p.latency(&dev) - 1.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_kernel_uses_tc_time() {
+        let mut dev = DeviceConfig::a100();
+        dev.kernel_launch_sec = 0.0;
+        let p = KernelProfile::new("k", Stage::Qk)
+            .with_traffic(64, 64)
+            .with_tc(78_000_000_000, TcClass::DenseTf32);
+        // 78e9 MACs at 78e12 MACs/s = 1 ms.
+        assert!((p.latency(&dev) - 1.0e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sparse_tc_reduces_compute_time() {
+        let dev = DeviceConfig::a100();
+        let dense = KernelProfile::new("d", Stage::Av).with_tc(1 << 40, TcClass::DenseBf16);
+        let sparse = KernelProfile::new("s", Stage::Av).with_tc(1 << 39, TcClass::SparseBf16);
+        // Half the MACs on a 1.7x-faster unit → 3.4x less compute time.
+        let ratio = dense.compute_time(&dev) / sparse.compute_time(&dev);
+        assert!((ratio - 3.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_overhead_accumulates() {
+        let dev = DeviceConfig::a100();
+        let p1 = KernelProfile::new("k", Stage::Overhead);
+        let mut p = p1.clone();
+        p.absorb(&p1);
+        p.absorb(&p1);
+        assert_eq!(p.launches, 3);
+        assert!((p.latency(&dev) - 3.0 * dev.kernel_launch_sec).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates_counters() {
+        let a = KernelProfile::new("a", Stage::Qk)
+            .with_traffic(10, 20)
+            .with_tc(5, TcClass::DenseTf32)
+            .with_alu(7);
+        let mut b = KernelProfile::new("b", Stage::Qk);
+        b.absorb(&a);
+        b.absorb(&a);
+        assert_eq!(b.bytes_read, 20);
+        assert_eq!(b.bytes_written, 40);
+        assert_eq!(b.tc_macs, 10);
+        assert_eq!(b.alu_ops, 14);
+        assert_eq!(b.tc_class, TcClass::DenseTf32);
+    }
+
+    #[test]
+    fn stage_labels() {
+        assert_eq!(Stage::Qk.label(), "QK^T");
+        assert_eq!(Stage::NonAttention.label(), "Others");
+        assert_eq!(Stage::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Ordered kernel logs with per-stage aggregation — the data behind the
+//! Figure 5 / Figure 15 latency breakdowns.
+
+use crate::device::DeviceConfig;
+use crate::profile::{KernelProfile, Stage};
+
+/// An append-only log of executed kernel profiles.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    entries: Vec<KernelProfile>,
+}
+
+impl Timeline {
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Record one executed kernel.
+    pub fn record(&mut self, profile: KernelProfile) {
+        self.entries.push(profile);
+    }
+
+    /// Append every entry of another timeline.
+    pub fn extend(&mut self, other: &Timeline) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+
+    pub fn entries(&self) -> &[KernelProfile] {
+        &self.entries
+    }
+
+    /// Mutable access for launch-batching adjustments (e.g. the paper's
+    /// batched multi-head kernel, which folds all heads into one launch).
+    pub fn entries_mut(&mut self) -> &mut [KernelProfile] {
+        &mut self.entries
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total simulated latency (kernels execute back-to-back).
+    pub fn total_latency(&self, dev: &DeviceConfig) -> f64 {
+        self.entries.iter().map(|p| p.latency(dev)).sum()
+    }
+
+    /// Simulated latency attributed to one stage.
+    pub fn stage_latency(&self, stage: Stage, dev: &DeviceConfig) -> f64 {
+        self.entries
+            .iter()
+            .filter(|p| p.stage == stage)
+            .map(|p| p.latency(dev))
+            .sum()
+    }
+
+    /// `(stage, latency)` for all stages, in breakdown order.
+    pub fn breakdown(&self, dev: &DeviceConfig) -> Vec<(Stage, f64)> {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, self.stage_latency(s, dev)))
+            .collect()
+    }
+
+    /// Total bytes moved through simulated global memory.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|p| p.bytes_total()).sum()
+    }
+
+    /// Bytes moved by one stage.
+    pub fn stage_bytes(&self, stage: Stage) -> u64 {
+        self.entries
+            .iter()
+            .filter(|p| p.stage == stage)
+            .map(|p| p.bytes_total())
+            .sum()
+    }
+
+    /// Sum of traffic of kernels whose name matches `pred` (for the fused /
+    /// unfused ablation assertions).
+    pub fn bytes_where(&self, pred: impl Fn(&KernelProfile) -> bool) -> u64 {
+        self.entries
+            .iter()
+            .filter(|p| pred(p))
+            .map(|p| p.bytes_total())
+            .sum()
+    }
+
+    /// Number of kernel launches.
+    pub fn launches(&self) -> u64 {
+        self.entries.iter().map(|p| p.launches).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TcClass;
+
+    fn p(stage: Stage, read: u64) -> KernelProfile {
+        KernelProfile::new("t", stage).with_traffic(read, 0)
+    }
+
+    #[test]
+    fn totals_and_stage_split() {
+        let dev = DeviceConfig::memory_bound_toy();
+        let mut tl = Timeline::new();
+        tl.record(p(Stage::Qk, 1000));
+        tl.record(p(Stage::Softmax, 2000));
+        tl.record(p(Stage::Av, 3000));
+        assert_eq!(tl.total_bytes(), 6000);
+        assert_eq!(tl.stage_bytes(Stage::Softmax), 2000);
+        let total = tl.total_latency(&dev);
+        let parts: f64 = tl.breakdown(&dev).iter().map(|&(_, t)| t).sum();
+        assert!((total - parts).abs() < 1e-15);
+    }
+
+    #[test]
+    fn breakdown_covers_all_stages() {
+        let tl = Timeline::new();
+        let dev = DeviceConfig::a100();
+        let b = tl.breakdown(&dev);
+        assert_eq!(b.len(), 5);
+        assert!(b.iter().all(|&(_, t)| t == 0.0));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Timeline::new();
+        a.record(p(Stage::Qk, 10));
+        let mut b = Timeline::new();
+        b.record(p(Stage::Av, 20));
+        a.extend(&b);
+        assert_eq!(a.entries().len(), 2);
+        assert_eq!(a.total_bytes(), 30);
+    }
+
+    #[test]
+    fn bytes_where_filters_by_name() {
+        let mut tl = Timeline::new();
+        let mut k = KernelProfile::new("dense_prune", Stage::Overhead).with_traffic(100, 100);
+        k.tc_class = TcClass::None;
+        tl.record(k);
+        tl.record(p(Stage::Qk, 50));
+        assert_eq!(tl.bytes_where(|p| p.name == "dense_prune"), 200);
+    }
+
+    #[test]
+    fn launches_counted() {
+        let mut tl = Timeline::new();
+        tl.record(p(Stage::Qk, 0));
+        tl.record(p(Stage::Av, 0));
+        assert_eq!(tl.launches(), 2);
+    }
+}

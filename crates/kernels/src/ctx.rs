@@ -1,0 +1,128 @@
+//! The simulated-device context threaded through every kernel.
+
+use dfss_gpusim::{DeviceConfig, KernelProfile, MemTracker, TcClass, Timeline};
+use dfss_tensor::Scalar;
+
+/// Bundle of device configuration, kernel timeline and memory tracker.
+///
+/// Every kernel takes `&mut GpuCtx`, performs its computation on the host,
+/// and records the profile the equivalent CUDA kernel would have on the
+/// simulated device.
+#[derive(Clone, Debug)]
+pub struct GpuCtx {
+    pub dev: DeviceConfig,
+    pub timeline: Timeline,
+    pub mem: MemTracker,
+    /// When false, kernels record their exact cost profiles but skip the
+    /// numeric work (outputs are zeros). Kernel costs depend only on shapes,
+    /// densities and group structure — all of which are still computed — so
+    /// latency/memory experiments (Figures 5, 14–16) can sweep paper-scale
+    /// grids without paying CPU time for n² arithmetic whose values nobody
+    /// reads.
+    pub exec: bool,
+}
+
+impl GpuCtx {
+    pub fn new(dev: DeviceConfig) -> GpuCtx {
+        GpuCtx {
+            dev,
+            timeline: Timeline::new(),
+            mem: MemTracker::new(),
+            exec: true,
+        }
+    }
+
+    /// Context for the paper's evaluation device.
+    pub fn a100() -> GpuCtx {
+        GpuCtx::new(DeviceConfig::a100())
+    }
+
+    /// A cost-accounting-only context (see the `exec` field).
+    pub fn a100_charge_only() -> GpuCtx {
+        let mut ctx = GpuCtx::a100();
+        ctx.exec = false;
+        ctx
+    }
+
+    /// Record a custom profile (used by attention mechanisms for their
+    /// mechanism-specific overhead kernels: hashing, clustering, landmark
+    /// pooling, …).
+    pub fn record(&mut self, profile: KernelProfile) {
+        self.timeline.record(profile);
+    }
+
+    /// Reset the timeline (memory ledger keeps its peak).
+    pub fn reset_timeline(&mut self) {
+        self.timeline.clear();
+    }
+
+    /// Total simulated latency of everything recorded so far.
+    pub fn latency(&self) -> f64 {
+        self.timeline.total_latency(&self.dev)
+    }
+
+    /// The effective thread-block tile edge for an output dimension: the
+    /// device tile `T`, shrunk if the dimension itself is smaller.
+    pub fn tile_for(&self, dim: usize) -> usize {
+        self.dev.tile.min(dim.max(1))
+    }
+}
+
+impl Default for GpuCtx {
+    fn default() -> Self {
+        GpuCtx::a100()
+    }
+}
+
+/// Dense tensor-core class for a scalar type (TF32 for f32, bf16 otherwise).
+#[inline]
+pub fn dense_class<T: Scalar>() -> TcClass {
+    if T::BYTES == 4 {
+        TcClass::DenseTf32
+    } else {
+        TcClass::DenseBf16
+    }
+}
+
+/// Sparse tensor-core class for a scalar type.
+#[inline]
+pub fn sparse_class<T: Scalar>() -> TcClass {
+    if T::BYTES == 4 {
+        TcClass::SparseTf32
+    } else {
+        TcClass::SparseBf16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_gpusim::Stage;
+    use dfss_tensor::Bf16;
+
+    #[test]
+    fn classes_by_dtype() {
+        assert_eq!(dense_class::<f32>(), TcClass::DenseTf32);
+        assert_eq!(dense_class::<Bf16>(), TcClass::DenseBf16);
+        assert_eq!(sparse_class::<f32>(), TcClass::SparseTf32);
+        assert_eq!(sparse_class::<Bf16>(), TcClass::SparseBf16);
+    }
+
+    #[test]
+    fn record_and_latency() {
+        let mut ctx = GpuCtx::a100();
+        assert_eq!(ctx.latency(), 0.0);
+        ctx.record(KernelProfile::new("x", Stage::Overhead).with_traffic(1_000_000, 0));
+        assert!(ctx.latency() > 0.0);
+        ctx.reset_timeline();
+        assert_eq!(ctx.latency(), 0.0);
+    }
+
+    #[test]
+    fn tile_shrinks_to_dim() {
+        let ctx = GpuCtx::a100();
+        assert_eq!(ctx.tile_for(4096), 128);
+        assert_eq!(ctx.tile_for(64), 64);
+        assert_eq!(ctx.tile_for(0), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dfss-kernels — device kernels over the simulated GPU
+//!
+//! Rust ports of the paper's CUDA kernels. Each kernel both *executes* (on
+//! CPU threads via rayon, preserving the paper's tile structure) and *charges*
+//! the [`dfss_gpusim`] cost model for the global-memory traffic and
+//! tensor-core MACs the real kernel would incur. The headline kernel is
+//! [`sddmm::sddmm_nm_fused`]: a dense Q·Kᵀ GEMM whose epilogue prunes the
+//! accumulator tiles to N:M sparsity and emits nonzeros + metadata directly,
+//! never writing the dense score matrix — the paper's "first operator in the
+//! deep learning software stack that dynamically prunes a dense matrix and
+//! generates its sparse encoding with zero overhead" (§3.4).
+//!
+//! Kernel inventory:
+//! * [`gemm`] — tiled dense GEMM (`NT`, `NN`, `TN` layouts), f32 accumulate,
+//!   TF32 input rounding on the `float` path.
+//! * [`sddmm`] — fused SDDMM + N:M prune epilogue, the unfused ablation, and
+//!   the standalone dense-prune kernel.
+//! * [`softmax`] — dense softmax, compressed N:M softmax (half-length rows),
+//!   CSR softmax; register-cached vs streaming traffic per row length.
+//! * [`spmm`] — N:M SpMM on the simulated sparse tensor core, CSR SpMM with
+//!   the vector tiling of Figure 10(B), blocked-ELL × N:M hybrid SpMM.
+//! * [`topk`] — explicit top-k row selection + CSR encoding, charged
+//!   honestly (it is the overhead §4.3 says sinks the top-k baseline).
+//! * [`ctx`] — the [`GpuCtx`](ctx::GpuCtx) bundle of device config, kernel
+//!   timeline and memory tracker threaded through every kernel.
+
+pub mod ctx;
+pub mod ell;
+pub mod gemm;
+pub mod sddmm;
+pub mod softmax;
+pub mod spmm;
+pub mod topk;
+
+pub use ctx::GpuCtx;

@@ -1,0 +1,208 @@
+//! Sparse × dense matrix multiplication kernels.
+//!
+//! * [`spmm_nm`] — the compressed-A·V product on the simulated **sparse
+//!   tensor core**: metadata selects which V rows each nonzero multiplies;
+//!   physical MACs are halved and run at the sparse-unit rate (the paper's
+//!   realised 1.7× SpMM speedup, §3.2).
+//! * [`spmm_csr`] — the explicit top-k baseline's SpMM under the vector
+//!   tiling of Figure 10(B): the right-hand operand enjoys **no reuse**,
+//!   which is the structural reason Proposition 4.3 bounds top-k speedup so
+//!   tightly.
+
+use crate::ctx::{sparse_class, GpuCtx};
+use dfss_gpusim::{KernelProfile, Stage};
+use dfss_nmsparse::{Csr, NmCompressed};
+use dfss_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
+
+/// `O = Aᶜ · V` where `Aᶜ` is N:M-compressed `n×n` and `V` is `n×d`.
+pub fn spmm_nm<T: Scalar>(ctx: &mut GpuCtx, a: &NmCompressed<T>, v: &Matrix<T>) -> Matrix<T> {
+    let rows = a.rows();
+    let inner = a.cols();
+    let (vr, d) = v.shape();
+    assert_eq!(inner, vr, "A cols {} != V rows {vr}", inner);
+
+    // --- simulated cost: block tiling like the dense GEMM, but the A panel
+    // is compressed (nonzeros + metadata) and MACs run on the sparse unit.
+    let tm = ctx.tile_for(rows) as u64;
+    let tn = ctx.tile_for(d) as u64;
+    let tiles = (rows as u64).div_ceil(tm) * (d as u64).div_ceil(tn);
+    let kept_row_bytes = (a.kept_per_row() * T::BYTES) as u64;
+    let meta_row_bytes = (a.groups_per_row() as u64 * 4).div_ceil(8);
+    let a_panel = tm * (kept_row_bytes + meta_row_bytes);
+    let v_panel = (inner as u64) * tn * T::BYTES as u64;
+    let reads = tiles * (a_panel + v_panel);
+    let writes = (rows * d * T::BYTES) as u64;
+    let phys_macs = (rows * a.kept_per_row() * d) as u64;
+    ctx.record(
+        KernelProfile::new("spmm_nm", Stage::Av)
+            .with_traffic(reads, writes)
+            .with_tc(phys_macs, sparse_class::<T>()),
+    );
+    if !ctx.exec {
+        return Matrix::zeros(rows, d);
+    }
+
+    // --- execution
+    let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+    let mut out = vec![T::zero(); rows * d];
+    out.par_chunks_mut(d).enumerate().for_each(|(r, orow)| {
+        let mut acc = vec![0.0f32; d];
+        a.scan_row(r, |col, val| {
+            let vrow = &vw[col * d..(col + 1) * d];
+            let val = val.to_mul();
+            for (o, &x) in acc.iter_mut().zip(vrow) {
+                *o += val * x;
+            }
+        });
+        for (o, &x) in orow.iter_mut().zip(&acc) {
+            *o = T::from_acc(x);
+        }
+    });
+    Matrix::from_vec(rows, d, out)
+}
+
+/// `O = A · V` with CSR `A` (`n×n`, density s) and dense `V` (`n×d`),
+/// vector-tiled per Figure 10(B): each output row gathers its k V-rows with
+/// no cross-row reuse.
+pub fn spmm_csr<T: Scalar>(ctx: &mut GpuCtx, a: &Csr<T>, v: &Matrix<T>) -> Matrix<T> {
+    let rows = a.rows();
+    let (vr, d) = v.shape();
+    assert_eq!(a.cols(), vr);
+
+    let nnz = a.nnz() as u64;
+    // LHS values+indices load once per row (reused across the ≤T-wide output
+    // vector); RHS rows are gathered once per nonzero — no reuse, the
+    // Figure 10(B) cost structure.
+    let a_bytes = nnz * (T::BYTES as u64 + 4);
+    let v_bytes = nnz * d as u64 * T::BYTES as u64;
+    let reads = a_bytes + v_bytes;
+    let writes = (rows * d * T::BYTES) as u64;
+    // Fine-grained gather cannot use the tensor core: CUDA-core MACs.
+    let alu = 2 * nnz * d as u64;
+    ctx.record(
+        KernelProfile::new("spmm_csr", Stage::Av)
+            .with_traffic(reads, writes)
+            .with_alu(alu),
+    );
+    if !ctx.exec {
+        return Matrix::zeros(rows, d);
+    }
+
+    let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+    let mut out = vec![T::zero(); rows * d];
+    out.par_chunks_mut(d).enumerate().for_each(|(r, orow)| {
+        let (cols, vals) = a.row(r);
+        let mut acc = vec![0.0f32; d];
+        for (&c, &val) in cols.iter().zip(vals) {
+            let vrow = &vw[c as usize * d..(c as usize + 1) * d];
+            let val = val.to_mul();
+            for (o, &x) in acc.iter_mut().zip(vrow) {
+                *o += val * x;
+            }
+        }
+        for (o, &x) in orow.iter_mut().zip(&acc) {
+            *o = T::from_acc(x);
+        }
+    });
+    Matrix::from_vec(rows, d, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_nmsparse::NmPattern;
+    use dfss_tensor::Rng;
+
+    #[test]
+    fn spmm_nm_matches_masked_dense_product() {
+        let mut rng = Rng::new(1);
+        let s = Matrix::<f32>::random_normal(32, 64, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(64, 16, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&s, NmPattern::P1_2);
+        let mut ctx = GpuCtx::a100();
+        let o = spmm_nm(&mut ctx, &comp, &v);
+        let reference = comp.decompress().matmul_ref(&v);
+        assert!(o.max_abs_diff(&reference) < 1e-2);
+    }
+
+    #[test]
+    fn spmm_nm_2_4_matches() {
+        let mut rng = Rng::new(2);
+        let s = Matrix::<f32>::random_normal(16, 32, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(32, 8, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&s, NmPattern::P2_4);
+        let mut ctx = GpuCtx::a100();
+        let o = spmm_nm(&mut ctx, &comp, &v);
+        assert!(o.max_abs_diff(&comp.decompress().matmul_ref(&v)) < 1e-2);
+    }
+
+    #[test]
+    fn spmm_csr_matches_dense_product() {
+        let mut rng = Rng::new(3);
+        let s = Matrix::<f32>::random_normal(24, 48, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(48, 8, 0.0, 1.0, &mut rng);
+        let csr = Csr::from_dense_topk(&s, 6);
+        let mut ctx = GpuCtx::a100();
+        let o = spmm_csr(&mut ctx, &csr, &v);
+        assert!(o.max_abs_diff(&csr.to_dense().matmul_ref(&v)) < 1e-2);
+    }
+
+    #[test]
+    fn sparse_tc_macs_are_half_of_dense() {
+        let mut rng = Rng::new(4);
+        let s = Matrix::<f32>::random_normal(128, 128, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(128, 64, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&s, NmPattern::P1_2);
+        let mut ctx = GpuCtx::a100();
+        let _ = spmm_nm(&mut ctx, &comp, &v);
+        let p = &ctx.timeline.entries()[0];
+        assert_eq!(p.tc_macs, 128 * 64 * 64); // rows × kept × d
+        assert_eq!(p.tc_class, dfss_gpusim::TcClass::SparseTf32);
+    }
+
+    #[test]
+    fn csr_rhs_traffic_dominates_and_scales_with_density() {
+        let mut rng = Rng::new(5);
+        let s = Matrix::<f32>::random_normal(256, 256, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(256, 64, 0.0, 1.0, &mut rng);
+        let mut lo = GpuCtx::a100();
+        let mut hi = GpuCtx::a100();
+        let _ = spmm_csr(&mut lo, &Csr::from_dense_topk(&s, 8), &v);
+        let _ = spmm_csr(&mut hi, &Csr::from_dense_topk(&s, 64), &v);
+        let lo_b = lo.timeline.total_bytes() as f64;
+        let hi_b = hi.timeline.total_bytes() as f64;
+        // 8× the nonzeros → close to 8× the traffic (writes are common).
+        assert!(hi_b / lo_b > 5.0, "ratio {}", hi_b / lo_b);
+    }
+
+    #[test]
+    fn nm_spmm_traffic_below_dense_gemm() {
+        // Table 5: sparse AV moves less data than dense AV at the same shape.
+        let n = 512;
+        let mut rng = Rng::new(6);
+        let s = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&s, NmPattern::P1_2);
+        let mut sp = GpuCtx::a100();
+        let _ = spmm_nm(&mut sp, &comp, &v);
+        let mut de = GpuCtx::a100();
+        let _ = crate::gemm::gemm_nn(&mut de, Stage::Av, &s, &v);
+        assert!(
+            sp.timeline.total_bytes() < de.timeline.total_bytes(),
+            "sparse {} dense {}",
+            sp.timeline.total_bytes(),
+            de.timeline.total_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_csr_rows_produce_zero_output() {
+        let s = Matrix::<f32>::zeros(4, 8);
+        let csr = Csr::from_dense_where(&s, |_, _, v| v > 0.0);
+        let v = Matrix::<f32>::from_fn(8, 4, |r, c| (r + c) as f32);
+        let mut ctx = GpuCtx::a100();
+        let o = spmm_csr(&mut ctx, &csr, &v);
+        assert!(o.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,270 @@
+//! Blocked-ELL sparsity and the hybrid blocked-ELL × N:M layout.
+//!
+//! For long sequences the paper combines coarse block sparsity (à la BigBird)
+//! with the fine-grained 50% pattern: "Our kernel supports hybrid blocked-ELL
+//! sparsity and 50% structured sparsity. … we set the block size in
+//! blocked-ELL to the thread block tile size of the GEMM. Therefore, we can
+//! simply skip those pruned blocks during the execution" (A.1.2).
+//!
+//! [`BlockedEll`] describes *which* column blocks are active in each row
+//! block; every row block stores the same number of active blocks (the ELL
+//! width), which is what makes the format load-balanced on a GPU.
+
+use dfss_tensor::Rng;
+
+/// A blocked-ELL sparsity pattern over an `n × n`-ish matrix partitioned
+/// into `block × block` tiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockedEll {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    /// Active column-block indices per row block: `row_blocks × ell_width`,
+    /// row-major, each row's entries strictly ascending.
+    active: Vec<u32>,
+    ell_width: usize,
+}
+
+impl BlockedEll {
+    /// Build from an explicit active-block table.
+    pub fn new(rows: usize, cols: usize, block: usize, active: Vec<Vec<u32>>) -> BlockedEll {
+        assert!(block > 0 && rows % block == 0 && cols % block == 0);
+        let row_blocks = rows / block;
+        assert_eq!(active.len(), row_blocks);
+        let ell_width = active.first().map_or(0, |a| a.len());
+        let col_blocks = cols / block;
+        let mut flat = Vec::with_capacity(row_blocks * ell_width);
+        for (rb, blocks) in active.iter().enumerate() {
+            assert_eq!(
+                blocks.len(),
+                ell_width,
+                "ELL requires equal active-block count per row block (row block {rb})"
+            );
+            assert!(
+                blocks.windows(2).all(|w| w[0] < w[1]),
+                "active blocks must be strictly ascending"
+            );
+            assert!(blocks.iter().all(|&b| (b as usize) < col_blocks));
+            flat.extend_from_slice(blocks);
+        }
+        BlockedEll {
+            rows,
+            cols,
+            block,
+            active: flat,
+            ell_width,
+        }
+    }
+
+    /// Dense pattern: every block active (useful as a baseline).
+    pub fn dense(rows: usize, cols: usize, block: usize) -> BlockedEll {
+        let col_blocks = cols / block;
+        let all: Vec<u32> = (0..col_blocks as u32).collect();
+        BlockedEll::new(rows, cols, block, vec![all; rows / block])
+    }
+
+    /// Sliding-window pattern: each row block attends to the `width` nearest
+    /// diagonal blocks (clamped at the edges so every row keeps exactly
+    /// `width` blocks — the ELL property).
+    pub fn sliding_window(rows: usize, cols: usize, block: usize, width: usize) -> BlockedEll {
+        let row_blocks = rows / block;
+        let col_blocks = cols / block;
+        let width = width.min(col_blocks);
+        let mut active = Vec::with_capacity(row_blocks);
+        for rb in 0..row_blocks {
+            let center = rb.min(col_blocks - 1);
+            let lo = center.saturating_sub(width / 2).min(col_blocks - width);
+            active.push(((lo as u32)..(lo + width) as u32).collect());
+        }
+        BlockedEll::new(rows, cols, block, active)
+    }
+
+    /// BigBird-style pattern: `global` leading blocks, a diagonal window of
+    /// `window` blocks, and `random` seeded random blocks per row block —
+    /// padded to a uniform ELL width with extra random blocks.
+    pub fn bigbird(
+        rows: usize,
+        cols: usize,
+        block: usize,
+        global: usize,
+        window: usize,
+        random: usize,
+        rng: &mut Rng,
+    ) -> BlockedEll {
+        let row_blocks = rows / block;
+        let col_blocks = cols / block;
+        let width = (global + window + random).min(col_blocks);
+        let mut active = Vec::with_capacity(row_blocks);
+        for rb in 0..row_blocks {
+            let mut set: Vec<u32> = Vec::new();
+            for g in 0..global.min(col_blocks) {
+                set.push(g as u32);
+            }
+            let center = rb.min(col_blocks - 1);
+            let lo = center.saturating_sub(window / 2).min(col_blocks.saturating_sub(window));
+            for w in lo..(lo + window).min(col_blocks) {
+                set.push(w as u32);
+            }
+            set.sort_unstable();
+            set.dedup();
+            // Top up with random distinct blocks until we reach the width.
+            while set.len() < width {
+                let cand = rng.below(col_blocks) as u32;
+                if !set.contains(&cand) {
+                    set.push(cand);
+                    set.sort_unstable();
+                }
+            }
+            set.truncate(width);
+            active.push(set);
+        }
+        BlockedEll::new(rows, cols, block, active)
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    #[inline]
+    pub fn row_blocks(&self) -> usize {
+        self.rows / self.block
+    }
+
+    #[inline]
+    pub fn col_blocks(&self) -> usize {
+        self.cols / self.block
+    }
+
+    /// Active blocks per row block.
+    #[inline]
+    pub fn ell_width(&self) -> usize {
+        self.ell_width
+    }
+
+    /// Active column-block indices of one row block (ascending).
+    #[inline]
+    pub fn row_active(&self, rb: usize) -> &[u32] {
+        &self.active[rb * self.ell_width..(rb + 1) * self.ell_width]
+    }
+
+    /// Is block (rb, cb) active?
+    pub fn is_active(&self, rb: usize, cb: usize) -> bool {
+        self.row_active(rb).binary_search(&(cb as u32)).is_ok()
+    }
+
+    /// Fraction of blocks (hence of entries, pre-N:M) that are active.
+    pub fn block_density(&self) -> f64 {
+        self.ell_width as f64 / self.col_blocks() as f64
+    }
+
+    /// Overall element density when each active block is additionally pruned
+    /// to an N:M pattern of density `nm_density` (the hybrid layout).
+    pub fn hybrid_density(&self, nm_density: f64) -> f64 {
+        self.block_density() * nm_density
+    }
+
+    /// Dense 0/1 mask of the pattern (for quality metrics and tests).
+    pub fn to_mask(&self) -> dfss_tensor::Matrix<f32> {
+        let mut mask = dfss_tensor::Matrix::zeros(self.rows, self.cols);
+        for rb in 0..self.row_blocks() {
+            for &cb in self.row_active(rb) {
+                for r in rb * self.block..(rb + 1) * self.block {
+                    let row = mask.row_mut(r);
+                    for c in (cb as usize) * self.block..(cb as usize + 1) * self.block {
+                        row[c] = 1.0;
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_pattern_all_active() {
+        let p = BlockedEll::dense(64, 64, 16);
+        assert_eq!(p.ell_width(), 4);
+        assert_eq!(p.block_density(), 1.0);
+        for rb in 0..4 {
+            for cb in 0..4 {
+                assert!(p.is_active(rb, cb));
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_has_uniform_width() {
+        let p = BlockedEll::sliding_window(128, 128, 16, 3);
+        assert_eq!(p.ell_width(), 3);
+        // Diagonal block always active (window centred on the diagonal).
+        for rb in 0..8 {
+            assert!(p.is_active(rb, rb), "row block {rb}");
+        }
+        assert!((p.block_density() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_window_clamps_edges() {
+        let p = BlockedEll::sliding_window(64, 64, 16, 3);
+        // First row block: window clamped to [0,3).
+        assert_eq!(p.row_active(0), &[0, 1, 2]);
+        // Last row block: clamped to [1,4).
+        assert_eq!(p.row_active(3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bigbird_contains_global_and_diagonal() {
+        let mut rng = Rng::new(1);
+        let p = BlockedEll::bigbird(256, 256, 32, 1, 3, 2, &mut rng);
+        assert_eq!(p.ell_width(), 6);
+        for rb in 0..8 {
+            assert!(p.is_active(rb, 0), "global block row {rb}");
+            assert!(p.is_active(rb, rb), "diag block row {rb}");
+        }
+    }
+
+    #[test]
+    fn hybrid_density_multiplies() {
+        let p = BlockedEll::sliding_window(128, 128, 16, 4);
+        assert!((p.hybrid_density(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_matches_is_active() {
+        let p = BlockedEll::sliding_window(64, 64, 16, 2);
+        let mask = p.to_mask();
+        for r in 0..64 {
+            for c in 0..64 {
+                let expect = p.is_active(r / 16, c / 16);
+                assert_eq!(mask.get(r, c) == 1.0, expect, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal active-block count")]
+    fn rejects_ragged_rows() {
+        BlockedEll::new(32, 32, 16, vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_blocks() {
+        BlockedEll::new(32, 32, 16, vec![vec![1, 0], vec![0, 1]]);
+    }
+}

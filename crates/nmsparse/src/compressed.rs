@@ -1,0 +1,418 @@
+//! The logical compressed N:M format: nonzeros + per-group selection codes.
+//!
+//! Nonzeros are stored row-major with `N/M · cols` entries per row (the
+//! paper's "the nonzeros contain the value of reserved data that is 50%
+//! smaller than the original one" for N/M = 1/2). Selection codes are one
+//! byte per M-group holding a bitmask of kept positions; for the hardware
+//! patterns (1:2 float, 2:4 bf16) the codes convert losslessly to and from
+//! the swizzled [`DeviceMeta`](crate::meta::DeviceMeta) layout.
+
+use crate::meta::{self, DeviceMeta};
+use crate::pattern::NmPattern;
+use dfss_tensor::{Matrix, Scalar};
+
+/// A matrix pruned to an N:M pattern and stored compressed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NmCompressed<T> {
+    pattern: NmPattern,
+    rows: usize,
+    cols: usize,
+    /// Row-major kept values; `rows × kept_per_row` entries.
+    nonzeros: Vec<T>,
+    /// One bitmask byte per M-group (bit i ⇔ dense position i kept),
+    /// row-major; `rows × cols/M` entries. Supports M ≤ 8.
+    codes: Vec<u8>,
+}
+
+impl<T: Scalar> NmCompressed<T> {
+    /// Compress a dense matrix by pruning each M-group to its N largest
+    /// entries (by value — softmax is monotone, paper §3.1).
+    pub fn compress(dense: &Matrix<T>, pattern: NmPattern) -> NmCompressed<T> {
+        let (rows, cols) = dense.shape();
+        assert!(pattern.m() <= 8, "bitmask codes support M ≤ 8");
+        assert_eq!(cols % pattern.m(), 0);
+        let kept_per_row = pattern.kept_per_row(cols);
+        let groups_per_row = cols / pattern.m();
+
+        let mut nonzeros = Vec::with_capacity(rows * kept_per_row);
+        let mut codes = Vec::with_capacity(rows * groups_per_row);
+        let mut scores = vec![0.0f32; pattern.m()];
+        for r in 0..rows {
+            let row = dense.row(r);
+            for chunk in row.chunks_exact(pattern.m()) {
+                for (s, v) in scores.iter_mut().zip(chunk) {
+                    *s = v.to_f32();
+                }
+                let kept = pattern.select_group(&scores);
+                let mut code = 0u8;
+                for &k in &kept {
+                    code |= 1 << k;
+                    nonzeros.push(chunk[k]);
+                }
+                codes.push(code);
+            }
+        }
+        NmCompressed {
+            pattern,
+            rows,
+            cols,
+            nonzeros,
+            codes,
+        }
+    }
+
+    /// Assemble directly from parts (used by the fused SDDMM epilogue, which
+    /// produces nonzeros and codes without ever materialising the dense
+    /// matrix).
+    pub fn from_parts(
+        pattern: NmPattern,
+        rows: usize,
+        cols: usize,
+        nonzeros: Vec<T>,
+        codes: Vec<u8>,
+    ) -> NmCompressed<T> {
+        assert_eq!(cols % pattern.m(), 0);
+        assert_eq!(nonzeros.len(), rows * pattern.kept_per_row(cols));
+        assert_eq!(codes.len(), rows * cols / pattern.m());
+        debug_assert!(codes
+            .iter()
+            .all(|c| c.count_ones() as usize == pattern.n()));
+        NmCompressed {
+            pattern,
+            rows,
+            cols,
+            nonzeros,
+            codes,
+        }
+    }
+
+    #[inline]
+    pub fn pattern(&self) -> NmPattern {
+        self.pattern
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dense (uncompressed) column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Kept values per row.
+    #[inline]
+    pub fn kept_per_row(&self) -> usize {
+        self.pattern.kept_per_row(self.cols)
+    }
+
+    #[inline]
+    pub fn groups_per_row(&self) -> usize {
+        self.cols / self.pattern.m()
+    }
+
+    /// Kept values of one row, compressed order.
+    #[inline]
+    pub fn row_nonzeros(&self, r: usize) -> &[T] {
+        let k = self.kept_per_row();
+        &self.nonzeros[r * k..(r + 1) * k]
+    }
+
+    /// Mutable kept values of one row (softmax normalises these in place).
+    #[inline]
+    pub fn row_nonzeros_mut(&mut self, r: usize) -> &mut [T] {
+        let k = self.kept_per_row();
+        &mut self.nonzeros[r * k..(r + 1) * k]
+    }
+
+    /// All nonzeros (row-major).
+    #[inline]
+    pub fn nonzeros(&self) -> &[T] {
+        &self.nonzeros
+    }
+
+    #[inline]
+    pub fn nonzeros_mut(&mut self) -> &mut [T] {
+        &mut self.nonzeros
+    }
+
+    /// Selection bitmask codes (row-major, one per group).
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Iterate `(dense_col, value)` pairs of a row in ascending column
+    /// order.
+    pub fn iter_row(&self, r: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let m = self.pattern.m();
+        let gpr = self.groups_per_row();
+        let row_nz = self.row_nonzeros(r);
+        let row_codes = &self.codes[r * gpr..(r + 1) * gpr];
+        let mut nz_pos = 0usize;
+        row_codes.iter().enumerate().flat_map(move |(g, &code)| {
+            let base = g * m;
+            let mut out = Vec::with_capacity(self.pattern.n());
+            for bit in 0..m {
+                if code & (1 << bit) != 0 {
+                    out.push((base + bit, row_nz[nz_pos]));
+                    nz_pos += 1;
+                }
+            }
+            out
+        })
+    }
+
+    /// Allocation-free row scan: calls `f(dense_col, value)` for every kept
+    /// entry of row `r` in ascending column order. This is the hot path of
+    /// the SpMM kernel.
+    #[inline]
+    pub fn scan_row(&self, r: usize, mut f: impl FnMut(usize, T)) {
+        let m = self.pattern.m();
+        let gpr = self.groups_per_row();
+        let row_nz = self.row_nonzeros(r);
+        let row_codes = &self.codes[r * gpr..(r + 1) * gpr];
+        let mut nz_pos = 0usize;
+        for (g, &code) in row_codes.iter().enumerate() {
+            let base = g * m;
+            let mut bits = code;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                f(base + bit, row_nz[nz_pos]);
+                nz_pos += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Reconstruct the dense matrix (zeros at pruned positions).
+    pub fn decompress(&self) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            // Collect first to release the immutable borrow of `self`.
+            let entries: Vec<(usize, T)> = self.iter_row(r).collect();
+            let row = out.row_mut(r);
+            for (c, v) in entries {
+                row[c] = v;
+            }
+        }
+        out
+    }
+
+    /// Nonzero storage footprint in bytes.
+    #[inline]
+    pub fn nonzeros_bytes(&self) -> usize {
+        self.nonzeros.len() * T::BYTES
+    }
+
+    /// Logical metadata footprint in bytes (4 bits per group for the
+    /// hardware patterns — the 1/16-of-dense figure from §2.3).
+    #[inline]
+    pub fn meta_bytes(&self) -> usize {
+        // 4 bits per group, rounded up to whole bytes per matrix.
+        (self.codes.len() * 4).div_ceil(8)
+    }
+
+    /// Total compressed footprint in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.nonzeros_bytes() + self.meta_bytes()
+    }
+
+    /// Convert the selection codes to the swizzled device metadata layout.
+    ///
+    /// Only the hardware patterns qualify: with 2:4 each group is one 4-lane
+    /// code; with 1:2 each *pair of float values* is one 4-lane code, so two
+    /// logical 1:2 groups fuse into one device code. Requires `rows % 32 == 0`
+    /// and the device code count per row to be a multiple of 8 (the 32×64-byte
+    /// prune tile).
+    pub fn to_device_meta(&self) -> DeviceMeta {
+        match (self.pattern.n(), self.pattern.m()) {
+            (2, 4) => {
+                let mut device = Vec::with_capacity(self.codes.len());
+                for &bm in &self.codes {
+                    let lanes = bitmask_to_lanes(bm);
+                    device.push(meta::lanes_to_code(lanes.0, lanes.1));
+                }
+                DeviceMeta::encode(self.rows, self.groups_per_row(), &device)
+            }
+            (1, 2) => {
+                // With float data each 32-bit value spans two 2-byte lanes,
+                // so one 1:2 group (two floats = 8 bytes) is one device code
+                // restricted to {0x4, 0xE}.
+                let mut device = Vec::with_capacity(self.codes.len());
+                for &bm in &self.codes {
+                    device.push(meta::float_keep_code(bit_index(bm)));
+                }
+                DeviceMeta::encode(self.rows, self.groups_per_row(), &device)
+            }
+            _ => panic!(
+                "device metadata only defined for 1:2 and 2:4, not {}",
+                self.pattern
+            ),
+        }
+    }
+
+    /// Rebuild from device metadata + nonzeros (inverse of
+    /// [`to_device_meta`] plus the row-major nonzero store).
+    pub fn from_device_meta(
+        pattern: NmPattern,
+        rows: usize,
+        cols: usize,
+        nonzeros: Vec<T>,
+        dm: &DeviceMeta,
+    ) -> NmCompressed<T> {
+        let device_codes = dm.decode();
+        let mut codes = Vec::with_capacity(rows * cols / pattern.m());
+        match (pattern.n(), pattern.m()) {
+            (2, 4) => {
+                for &c in &device_codes {
+                    let (i0, i1) = meta::code_to_lanes(c);
+                    codes.push((1u8 << i0) | (1u8 << i1));
+                }
+            }
+            (1, 2) => {
+                for &c in &device_codes {
+                    codes.push(1u8 << meta::float_kept_index(c));
+                }
+            }
+            _ => panic!("device metadata only defined for 1:2 and 2:4"),
+        }
+        NmCompressed::from_parts(pattern, rows, cols, nonzeros, codes)
+    }
+}
+
+/// Position of the single set bit of a 1:2 bitmask code.
+#[inline]
+fn bit_index(code: u8) -> usize {
+    debug_assert_eq!(code.count_ones(), 1);
+    code.trailing_zeros() as usize
+}
+
+/// The two set-bit positions of a 2:4 bitmask code.
+#[inline]
+fn bitmask_to_lanes(code: u8) -> (usize, usize) {
+    debug_assert_eq!(code.count_ones(), 2);
+    let i0 = code.trailing_zeros() as usize;
+    let rest = code & !(1 << i0);
+    let i1 = rest.trailing_zeros() as usize;
+    (i0, i1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_tensor::{Bf16, Rng};
+
+    #[test]
+    fn compress_decompress_equals_prune() {
+        let mut rng = Rng::new(2);
+        let dense = Matrix::<f32>::random_normal(32, 64, 0.0, 1.0, &mut rng);
+        for pattern in [NmPattern::P1_2, NmPattern::P2_4, NmPattern::new(1, 4)] {
+            let comp = NmCompressed::compress(&dense, pattern);
+            let mut pruned = dense.clone();
+            pattern.prune_matrix(&mut pruned);
+            assert_eq!(comp.decompress(), pruned, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn nonzeros_are_half_for_hardware_patterns() {
+        let mut rng = Rng::new(4);
+        let dense = Matrix::<f32>::random_normal(32, 32, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&dense, NmPattern::P1_2);
+        assert_eq!(comp.nonzeros().len(), 32 * 16);
+        assert_eq!(comp.nonzeros_bytes(), dense.bytes() / 2);
+    }
+
+    #[test]
+    fn meta_bytes_is_one_sixteenth_of_dense_float() {
+        let mut rng = Rng::new(4);
+        let dense = Matrix::<f32>::random_normal(64, 64, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&dense, NmPattern::P1_2);
+        // n² × 32-bit dense → n²/16 × 32-bit metadata (paper §3.4).
+        assert_eq!(comp.meta_bytes(), dense.bytes() / 16);
+    }
+
+    #[test]
+    fn iter_row_ascending_columns() {
+        let dense = Matrix::<f32>::from_vec(1, 8, vec![5., 1., 2., 6., 0., 9., 8., 7.]);
+        let comp = NmCompressed::compress(&dense, NmPattern::P2_4);
+        let entries: Vec<(usize, f32)> = comp.iter_row(0).collect();
+        assert_eq!(entries, vec![(0, 5.0), (3, 6.0), (5, 9.0), (6, 8.0)]);
+    }
+
+    #[test]
+    fn row_nonzeros_mut_supports_softmax_in_place() {
+        let dense = Matrix::<f32>::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        let mut comp = NmCompressed::compress(&dense, NmPattern::P2_4);
+        dfss_tensor::math::softmax_row(comp.row_nonzeros_mut(0));
+        let s: f32 = comp.row_nonzeros(0).iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn device_meta_roundtrip_bf16_2_4() {
+        let mut rng = Rng::new(6);
+        let dense = Matrix::<Bf16>::random_normal(32, 32, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&dense, NmPattern::P2_4);
+        let dm = comp.to_device_meta();
+        let back =
+            NmCompressed::from_device_meta(NmPattern::P2_4, 32, 32, comp.nonzeros().to_vec(), &dm);
+        assert_eq!(back, comp);
+        assert_eq!(back.decompress().max_abs_diff(&comp.decompress()), 0.0);
+    }
+
+    #[test]
+    fn device_meta_roundtrip_float_1_2() {
+        let mut rng = Rng::new(8);
+        let dense = Matrix::<f32>::random_normal(64, 32, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&dense, NmPattern::P1_2);
+        let dm = comp.to_device_meta();
+        let back =
+            NmCompressed::from_device_meta(NmPattern::P1_2, 64, 32, comp.nonzeros().to_vec(), &dm);
+        assert_eq!(back, comp);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for 1:2 and 2:4")]
+    fn device_meta_rejects_general_patterns() {
+        let dense = Matrix::<f32>::zeros(32, 32);
+        let comp = NmCompressed::compress(&dense, NmPattern::new(1, 4));
+        let _ = comp.to_device_meta();
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let nz = vec![1.0f32; 4];
+        let codes = vec![0b01u8, 0b10, 0b01, 0b10];
+        let c = NmCompressed::from_parts(NmPattern::P1_2, 2, 4, nz, codes);
+        assert_eq!(c.kept_per_row(), 2);
+    }
+
+    #[test]
+    fn bf16_compress_halves_bytes() {
+        let mut rng = Rng::new(5);
+        let dense = Matrix::<Bf16>::random_normal(32, 64, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&dense, NmPattern::P2_4);
+        assert_eq!(comp.nonzeros_bytes(), dense.bytes() / 2);
+        // Check every group kept the two largest.
+        let dec = comp.decompress();
+        for r in 0..32 {
+            for g in 0..16 {
+                let vals: Vec<f32> = (0..4).map(|i| dense.get(r, g * 4 + i).to_f32()).collect();
+                let kept: Vec<f32> = (0..4)
+                    .map(|i| dec.get(r, g * 4 + i).to_f32())
+                    .filter(|&v| v != 0.0)
+                    .collect();
+                let mut sorted = vals.clone();
+                sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                for k in kept {
+                    assert!(k >= sorted[1] - 1e-6, "row {r} group {g}");
+                }
+            }
+        }
+    }
+}

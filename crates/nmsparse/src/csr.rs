@@ -1,0 +1,224 @@
+//! Compressed sparse row — the encoding the explicit top-k baseline must
+//! build at runtime.
+//!
+//! Section 4.3 argues that even with an oracle top-k mask, explicit top-k
+//! attention loses because (a) gathering the k largest per row and (b)
+//! sorting them into CSR are expensive and serial. We implement both honestly
+//! so the executed-simulator curve in Figure 11 includes that overhead.
+
+use dfss_tensor::{Matrix, Scalar};
+
+/// A CSR matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<T> {
+    rows: usize,
+    cols: usize,
+    /// `rows + 1` prefix offsets into `col_idx`/`vals`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Build from a dense matrix, keeping entries where `keep` is true.
+    pub fn from_dense_where(dense: &Matrix<T>, keep: impl Fn(usize, usize, T) -> bool) -> Csr<T> {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if keep(r, c, v) {
+                    col_idx.push(c as u32);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Build by keeping the `k` largest entries of each row (the explicit
+    /// sparse transformer of Zhao et al., §4.3). Ties keep the earlier
+    /// column; columns within a row end up sorted ascending, which is the
+    /// sort step the paper charges the baseline for.
+    pub fn from_dense_topk(dense: &Matrix<T>, k: usize) -> Csr<T> {
+        let (rows, cols) = dense.shape();
+        let k = k.min(cols);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(rows * k);
+        let mut vals = Vec::with_capacity(rows * k);
+        row_ptr.push(0);
+        let mut order: Vec<usize> = Vec::with_capacity(cols);
+        for r in 0..rows {
+            let row = dense.row(r);
+            order.clear();
+            order.extend(0..cols);
+            // Stable descending selection of the k largest.
+            order.sort_by(|&a, &b| {
+                row[b]
+                    .to_f32()
+                    .partial_cmp(&row[a].to_f32())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut kept: Vec<usize> = order[..k].to_vec();
+            kept.sort_unstable();
+            for c in kept {
+                col_idx.push(c as u32);
+                vals.push(row[c]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of entries stored.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// `(columns, values)` of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[T]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Mutable values of one row (softmax normalises in place).
+    #[inline]
+    pub fn row_vals_mut(&mut self, r: usize) -> &mut [T] {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        &mut self.vals[lo..hi]
+    }
+
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cis, vs) = self.row(r);
+            let pairs: Vec<(u32, T)> = cis.iter().copied().zip(vs.iter().copied()).collect();
+            let orow = out.row_mut(r);
+            for (c, v) in pairs {
+                orow[c as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Storage footprint in bytes: values + 4-byte column indices + 8-byte
+    /// row pointers (what the top-k baseline must write to memory).
+    pub fn bytes(&self) -> usize {
+        self.vals.len() * T::BYTES + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_tensor::Rng;
+
+    #[test]
+    fn from_dense_where_roundtrip() {
+        let mut rng = Rng::new(1);
+        let m = Matrix::<f32>::random_normal(10, 12, 0.0, 1.0, &mut rng);
+        let csr = Csr::from_dense_where(&m, |_, _, v| v > 0.0);
+        let dense = csr.to_dense();
+        for r in 0..10 {
+            for c in 0..12 {
+                let v = m.get(r, c);
+                assert_eq!(dense.get(r, c), if v > 0.0 { v } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn topk_keeps_k_largest_sorted() {
+        let m = Matrix::<f32>::from_vec(2, 5, vec![5., 1., 4., 2., 3., -1., -5., -2., -4., -3.]);
+        let csr = Csr::from_dense_topk(&m, 2);
+        let (c0, v0) = csr.row(0);
+        assert_eq!(c0, &[0, 2]);
+        assert_eq!(v0, &[5.0, 4.0]);
+        let (c1, v1) = csr.row(1);
+        assert_eq!(c1, &[0, 2]);
+        assert_eq!(v1, &[-1.0, -2.0]);
+        assert_eq!(csr.nnz(), 4);
+        assert!((csr.density() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_k_larger_than_cols_keeps_all() {
+        let m = Matrix::<f32>::from_vec(1, 3, vec![1., 2., 3.]);
+        let csr = Csr::from_dense_topk(&m, 10);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), m);
+    }
+
+    #[test]
+    fn columns_sorted_ascending_per_row() {
+        let mut rng = Rng::new(2);
+        let m = Matrix::<f32>::random_normal(16, 64, 0.0, 1.0, &mut rng);
+        let csr = Csr::from_dense_topk(&m, 7);
+        for r in 0..16 {
+            let (cs, _) = csr.row(r);
+            assert!(cs.windows(2).all(|w| w[0] < w[1]), "row {r}: {cs:?}");
+            assert_eq!(cs.len(), 7);
+        }
+    }
+
+    #[test]
+    fn empty_rows_allowed() {
+        let m = Matrix::<f32>::zeros(3, 4);
+        let csr = Csr::from_dense_where(&m, |_, _, v| v > 0.0);
+        assert_eq!(csr.nnz(), 0);
+        for r in 0..3 {
+            assert_eq!(csr.row(r).0.len(), 0);
+        }
+    }
+
+    #[test]
+    fn bytes_accounts_indices_and_ptrs() {
+        let m = Matrix::<f32>::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        let csr = Csr::from_dense_topk(&m, 2);
+        assert_eq!(csr.bytes(), 2 * 4 + 2 * 4 + 2 * 8);
+    }
+}

@@ -1,0 +1,145 @@
+//! The bf16 column interleave of Figure 9.
+//!
+//! Under the tensor-core output layout, the four bf16 entries of a 2:4 group
+//! are split across two threads' registers; selecting the two largest would
+//! need cross-lane warp shuffles in the pruning epilogue. The paper fixes
+//! this by interleaving the columns of matrix B **when loading it to shared
+//! memory** ("simply manipulating the pointer to the global memory at the
+//! beginning"), which permutes the GEMM output columns such that each
+//! consecutive group of four logical columns lands in one thread.
+//!
+//! The permutation (per 16-column window, from Figure 9(b)'s explicit column
+//! listing `0 1 4 5 8 9 12 13 | 2 3 6 7 10 11 14 15`):
+//!
+//! ```text
+//! dst = (⌊col/2⌋ mod 2)·8 + (col mod 2) + (⌊col/4⌋ mod 4)·2 + ⌊col/16⌋·16
+//! ```
+//!
+//! In this reproduction the interleave is functionally a no-op (our epilogue
+//! can see the whole tile), but we implement it faithfully so that (a) the
+//! register-layout tests of the fused kernel match the paper and (b) the
+//! ablation bench can count the warp shuffles it eliminates.
+
+use dfss_tensor::{Matrix, Scalar};
+
+/// Destination column of logical column `col` after the Figure 9 interleave.
+#[inline]
+pub fn interleave_col(col: usize) -> usize {
+    ((col / 2) % 2) * 8 + (col % 2) + ((col / 4) % 4) * 2 + (col / 16) * 16
+}
+
+/// Inverse permutation of [`interleave_col`].
+#[inline]
+pub fn deinterleave_col(dst: usize) -> usize {
+    // Within a 16-wide window: window position d maps back to
+    // col = (d mod 2) + (⌊d/8⌋)·2 + (⌊d/2⌋ mod 4)·4.
+    let base = (dst / 16) * 16;
+    let d = dst % 16;
+    base + (d % 2) + (d / 8) * 2 + ((d / 2) % 4) * 4
+}
+
+/// Permute the columns of a matrix with the interleave (what the kernel does
+/// to `B = Kᵀ` while loading it to shared memory).
+pub fn interleave_columns<T: Scalar>(mat: &Matrix<T>) -> Matrix<T> {
+    let (rows, cols) = mat.shape();
+    assert_eq!(cols % 16, 0, "interleave works on 16-column windows");
+    Matrix::from_fn(rows, cols, |r, c| mat.get(r, deinterleave_col(c)))
+}
+
+/// Undo [`interleave_columns`] (what the epilogue conceptually does when
+/// mapping register contents back to logical output columns).
+pub fn deinterleave_columns<T: Scalar>(mat: &Matrix<T>) -> Matrix<T> {
+    let (rows, cols) = mat.shape();
+    assert_eq!(cols % 16, 0);
+    Matrix::from_fn(rows, cols, |r, c| mat.get(r, interleave_col(c)))
+}
+
+/// Number of cross-lane shuffle operations a 2:4 selection over `cols`
+/// output columns would need **without** the interleave: under the naive
+/// Figure 9(a) mapping, each 4-wide group straddles two threads and needs
+/// two shuffles to gather its four values into one lane.
+#[inline]
+pub fn shuffles_without_interleave(rows: usize, cols: usize) -> usize {
+    rows * (cols / 4) * 2
+}
+
+/// With the interleave the gather cost is zero (paper: "consecutive four
+/// data are naturally held by the same thread").
+#[inline]
+pub fn shuffles_with_interleave(_rows: usize, _cols: usize) -> usize {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_tensor::Rng;
+
+    #[test]
+    fn matches_figure_9b_listing() {
+        // Figure 9(b) column header: positions 0..16 hold original columns
+        // 0 1 4 5 8 9 12 13 2 3 6 7 10 11 14 15.
+        let expect = [0, 1, 4, 5, 8, 9, 12, 13, 2, 3, 6, 7, 10, 11, 14, 15];
+        for (pos, &orig) in expect.iter().enumerate() {
+            assert_eq!(deinterleave_col(pos), orig, "position {pos}");
+            assert_eq!(interleave_col(orig), pos, "column {orig}");
+        }
+    }
+
+    #[test]
+    fn bijection_over_multiple_windows() {
+        let mut seen = vec![false; 64];
+        for c in 0..64 {
+            let d = interleave_col(c);
+            assert!(d < 64);
+            assert!(!seen[d]);
+            seen[d] = true;
+            assert_eq!(deinterleave_col(d), c);
+        }
+    }
+
+    #[test]
+    fn window_locality() {
+        // The permutation never crosses a 16-column window (it's a pointer
+        // trick within the 32-byte load granularity).
+        for c in 0..128 {
+            assert_eq!(interleave_col(c) / 16, c / 16);
+        }
+    }
+
+    #[test]
+    fn interleave_then_deinterleave_is_identity() {
+        let mut rng = Rng::new(3);
+        let m = Matrix::<f32>::random_normal(8, 32, 0.0, 1.0, &mut rng);
+        let round = deinterleave_columns(&interleave_columns(&m));
+        assert_eq!(round, m);
+    }
+
+    #[test]
+    fn groups_land_in_single_thread_slots() {
+        // In the wmma output layout, thread t of a quad owns positions
+        // {2t, 2t+1, 2t+8, 2t+9} of each 16-column window (two 32-bit
+        // registers of two bf16 each, Figure 9(a)). After interleaving,
+        // every logical 2:4 group {4g..4g+3} must land entirely in one
+        // thread's slots — that is the whole point of the transform.
+        for g in 0..8 {
+            let window = (4 * g / 16) * 16;
+            let mut dsts: Vec<usize> = (0..4)
+                .map(|i| interleave_col(4 * g + i) - window)
+                .collect();
+            dsts.sort_unstable();
+            let t = dsts[0] / 2;
+            assert_eq!(
+                dsts,
+                vec![2 * t, 2 * t + 1, 2 * t + 8, 2 * t + 9],
+                "group {g} not thread-local: {dsts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_counts() {
+        assert_eq!(shuffles_without_interleave(32, 64), 32 * 16 * 2);
+        assert_eq!(shuffles_with_interleave(32, 64), 0);
+    }
+}

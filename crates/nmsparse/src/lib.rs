@@ -1,0 +1,35 @@
+//! # dfss-nmsparse — N:M fine-grained structured sparse formats
+//!
+//! The storage substrate for Dfss. The paper prunes the attention score
+//! matrix to the Ampere-supported patterns (1:2 for `float`, 2:4 for
+//! `bfloat16`) and stores it as CUTLASS-format *nonzeros + metadata* so the
+//! sparse tensor core can consume it directly. This crate implements:
+//!
+//! * [`pattern`] — N:M group selection (keep the N largest of every M
+//!   consecutive entries) for arbitrary N < M, plus mask generation.
+//! * [`compressed`] — the logical compressed format
+//!   ([`NmCompressed`]): nonzeros (`n/m` of the dense row) + one 4-bit
+//!   selection code per group, with compress / decompress / masked-dense.
+//! * [`meta`] — the *device* metadata layout of Appendix A.1.1 / Figure 6:
+//!   4-bit codes (`0x4, 0x8, 0xC, 0x9, 0xD, 0xE`), concatenation into 2-byte
+//!   blocks, the row interleave of Equation (9), the sub-diagonal 2×2 swap,
+//!   and the interleaved column-major store — all invertible and property
+//!   tested as a bijection.
+//! * [`interleave`] — the bf16 column interleave of Figure 9 that keeps each
+//!   2:4 group inside one "thread" during the fused pruning epilogue.
+//! * [`csr`] — compressed sparse row, the encoding the explicit top-k
+//!   baseline (§4.3) must build at runtime.
+//! * [`blocked_ell`] — blocked-ELL sparsity and the hybrid
+//!   blocked-ELL × N:M layout the kernel supports for long sequences.
+
+pub mod blocked_ell;
+pub mod compressed;
+pub mod csr;
+pub mod interleave;
+pub mod meta;
+pub mod pattern;
+
+pub use blocked_ell::BlockedEll;
+pub use compressed::NmCompressed;
+pub use csr::Csr;
+pub use pattern::NmPattern;

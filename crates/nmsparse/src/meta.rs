@@ -1,0 +1,351 @@
+//! The device metadata layout of Appendix A.1.1 (Figure 6).
+//!
+//! On Ampere, every 8 bytes of dense data (four 2-byte lanes) is pruned to
+//! 50% and described by one 4-bit code naming the two surviving lanes. With
+//! `bfloat16` the four lanes are four values (2:4 selection); with `float`
+//! each value spans two lanes, so only the codes `0x4` (first value) and
+//! `0xE` (second value) occur — exactly the paper's observation.
+//!
+//! The codes then undergo three layout transforms before hitting global
+//! memory, reproduced bit-for-bit here and inverted for decoding:
+//!
+//! 1. **Pack** — four consecutive codes concatenate LSB-first into a 2-byte
+//!    *metadata block* (code *k* occupies bits `[4k, 4k+3]`).
+//! 2. **Row interleave** (Equation 9) —
+//!    `dst_row = ⌊row/32⌋·32 + (row%8)·4 + ⌊(row%32)/8⌋`.
+//! 3. **Sub-diagonal swap** — in every 2×2 grid of blocks, the upper-right
+//!    and lower-left blocks exchange places.
+//! 4. **Interleaved column-major store** — each row's block pairs are
+//!    reinterpreted as little-endian `u32` words and written column-major
+//!    (stride 4 bytes).
+//!
+//! The whole pipeline is a bijection on (position, bits); a proptest
+//! verifies `decode(encode(x)) == x` for random inputs.
+
+/// The 4-bit code for keeping lanes `(i0, i1)` with `i0 < i1`:
+/// `code = i0 | (i1 << 2)`.
+///
+/// Enumerated over all six pairs this yields exactly Figure 6(b):
+/// `0x4, 0x8, 0xC, 0x9, 0xD, 0xE`.
+#[inline]
+pub fn lanes_to_code(i0: usize, i1: usize) -> u8 {
+    debug_assert!(i0 < i1 && i1 < 4, "invalid lane pair ({i0},{i1})");
+    (i0 as u8) | ((i1 as u8) << 2)
+}
+
+/// Invert [`lanes_to_code`].
+#[inline]
+pub fn code_to_lanes(code: u8) -> (usize, usize) {
+    let i0 = (code & 0x3) as usize;
+    let i1 = ((code >> 2) & 0x3) as usize;
+    debug_assert!(i0 < i1, "invalid code {code:#x}");
+    (i0, i1)
+}
+
+/// All valid 2:4 codes in Figure 6(b)'s enumeration order.
+pub const BF16_CODES: [u8; 6] = [0x4, 0x8, 0xC, 0x9, 0xD, 0xE];
+
+/// The two codes reachable with `float` data (value 0 = lanes {0,1}, value 1
+/// = lanes {2,3}).
+pub const FLOAT_CODES: [u8; 2] = [0x4, 0xE];
+
+/// Code for keeping float value `i` (0 or 1) of a 1:2 group.
+#[inline]
+pub fn float_keep_code(i: usize) -> u8 {
+    FLOAT_CODES[i]
+}
+
+/// Which float value a code keeps (inverse of [`float_keep_code`]).
+#[inline]
+pub fn float_kept_index(code: u8) -> usize {
+    match code {
+        0x4 => 0,
+        0xE => 1,
+        _ => panic!("code {code:#x} is not a float 1:2 code"),
+    }
+}
+
+/// Equation (9): the destination row of metadata row `row` after the
+/// interleave.
+#[inline]
+pub fn interleave_row(row: usize) -> usize {
+    (row / 32) * 32 + (row % 8) * 4 + (row % 32) / 8
+}
+
+/// Inverse of [`interleave_row`].
+#[inline]
+pub fn deinterleave_row(dst: usize) -> usize {
+    (dst / 32) * 32 + (dst % 4) * 8 + (dst % 32) / 4
+}
+
+/// Metadata for a pruned dense region, stored in the exact device layout.
+///
+/// `rows` must be a multiple of 32 and `codes_per_row` a multiple of 8
+/// (= one 32×64-byte prune tile, the paper's "basic tile to prune").
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceMeta {
+    rows: usize,
+    codes_per_row: usize,
+    /// Little-endian u32 words in interleaved column-major order.
+    words: Vec<u32>,
+}
+
+impl DeviceMeta {
+    /// Blocks (u16 units) per row.
+    #[inline]
+    fn blocks_per_row(codes_per_row: usize) -> usize {
+        codes_per_row / 4
+    }
+
+    /// Encode logical codes (row-major, one 4-bit code per 8 dense bytes)
+    /// into the swizzled device layout.
+    pub fn encode(rows: usize, codes_per_row: usize, codes: &[u8]) -> DeviceMeta {
+        assert_eq!(rows % 32, 0, "prune tile height is 32 rows, got {rows}");
+        assert_eq!(
+            codes_per_row % 8,
+            0,
+            "prune tile width is 64 bytes = 8 codes, got {codes_per_row}"
+        );
+        assert_eq!(codes.len(), rows * codes_per_row);
+        let bpr = Self::blocks_per_row(codes_per_row);
+
+        // Step 1: pack codes into u16 blocks, LSB-first.
+        let mut blocks = vec![0u16; rows * bpr];
+        for r in 0..rows {
+            for b in 0..bpr {
+                let mut word = 0u16;
+                for k in 0..4 {
+                    let code = codes[r * codes_per_row + b * 4 + k];
+                    debug_assert!(code < 16);
+                    word |= (code as u16) << (4 * k);
+                }
+                blocks[r * bpr + b] = word;
+            }
+        }
+
+        // Step 2: interleave rows (Equation 9).
+        let mut inter = vec![0u16; rows * bpr];
+        for r in 0..rows {
+            let dst = interleave_row(r);
+            inter[dst * bpr..(dst + 1) * bpr].copy_from_slice(&blocks[r * bpr..(r + 1) * bpr]);
+        }
+
+        // Step 3: sub-diagonal swap in every 2x2 grid of blocks.
+        for gr in (0..rows).step_by(2) {
+            for gb in (0..bpr).step_by(2) {
+                inter.swap(gr * bpr + gb + 1, (gr + 1) * bpr + gb);
+            }
+        }
+
+        // Step 4: pair consecutive blocks into u32 words, store column-major.
+        let wcols = bpr / 2;
+        let mut words = vec![0u32; rows * wcols];
+        for r in 0..rows {
+            for w in 0..wcols {
+                let lo = inter[r * bpr + 2 * w] as u32;
+                let hi = inter[r * bpr + 2 * w + 1] as u32;
+                words[w * rows + r] = lo | (hi << 16);
+            }
+        }
+
+        DeviceMeta {
+            rows,
+            codes_per_row,
+            words,
+        }
+    }
+
+    /// Decode back to logical row-major codes (inverse of [`encode`]).
+    pub fn decode(&self) -> Vec<u8> {
+        let rows = self.rows;
+        let bpr = Self::blocks_per_row(self.codes_per_row);
+        let wcols = bpr / 2;
+
+        // Undo step 4.
+        let mut inter = vec![0u16; rows * bpr];
+        for r in 0..rows {
+            for w in 0..wcols {
+                let word = self.words[w * rows + r];
+                inter[r * bpr + 2 * w] = (word & 0xFFFF) as u16;
+                inter[r * bpr + 2 * w + 1] = (word >> 16) as u16;
+            }
+        }
+
+        // Undo step 3 (self-inverse).
+        for gr in (0..rows).step_by(2) {
+            for gb in (0..bpr).step_by(2) {
+                inter.swap(gr * bpr + gb + 1, (gr + 1) * bpr + gb);
+            }
+        }
+
+        // Undo step 2.
+        let mut blocks = vec![0u16; rows * bpr];
+        for r in 0..rows {
+            let dst = interleave_row(r);
+            blocks[r * bpr..(r + 1) * bpr].copy_from_slice(&inter[dst * bpr..(dst + 1) * bpr]);
+        }
+
+        // Undo step 1.
+        let mut codes = vec![0u8; rows * self.codes_per_row];
+        for r in 0..rows {
+            for b in 0..bpr {
+                let word = blocks[r * bpr + b];
+                for k in 0..4 {
+                    codes[r * self.codes_per_row + b * 4 + k] = ((word >> (4 * k)) & 0xF) as u8;
+                }
+            }
+        }
+        codes
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn codes_per_row(&self) -> usize {
+        self.codes_per_row
+    }
+
+    /// Raw swizzled words (what the SpMM kernel and traffic counter see).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Storage footprint in bytes. For an n×n dense f32 matrix this is
+    /// n²·4/16 bytes — the paper's "metadata is only 1/16 of the original
+    /// dense matrix in terms of bits".
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_figure_6b() {
+        // All six (i0, i1) pairs, in the figure's enumeration order.
+        let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for (&(i0, i1), &expect) in pairs.iter().zip(BF16_CODES.iter()) {
+            assert_eq!(lanes_to_code(i0, i1), expect, "pair ({i0},{i1})");
+            assert_eq!(code_to_lanes(expect), (i0, i1));
+        }
+    }
+
+    #[test]
+    fn float_codes_are_0x4_and_0xe() {
+        assert_eq!(float_keep_code(0), 0x4);
+        assert_eq!(float_keep_code(1), 0xE);
+        assert_eq!(float_kept_index(0x4), 0);
+        assert_eq!(float_kept_index(0xE), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a float")]
+    fn float_kept_index_rejects_bf16_only_codes() {
+        float_kept_index(0x9);
+    }
+
+    #[test]
+    fn interleave_row_matches_equation_9() {
+        // Spot values from the formula.
+        assert_eq!(interleave_row(0), 0);
+        assert_eq!(interleave_row(1), 4);
+        assert_eq!(interleave_row(7), 28);
+        assert_eq!(interleave_row(8), 1);
+        assert_eq!(interleave_row(15), 29);
+        assert_eq!(interleave_row(16), 2);
+        assert_eq!(interleave_row(24), 3);
+        assert_eq!(interleave_row(31), 31);
+        // Second 32-row window shifts by 32.
+        assert_eq!(interleave_row(33), 36);
+    }
+
+    #[test]
+    fn interleave_is_bijection_on_window() {
+        let mut seen = [false; 64];
+        for r in 0..64 {
+            let d = interleave_row(r);
+            assert!(!seen[d], "collision at {d}");
+            seen[d] = true;
+            assert_eq!(deinterleave_row(d), r);
+        }
+    }
+
+    fn random_codes(rows: usize, cpr: usize, seed: u64) -> Vec<u8> {
+        let mut rng = dfss_tensor::Rng::new(seed);
+        (0..rows * cpr)
+            .map(|_| BF16_CODES[rng.below(6)])
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_min_tile() {
+        let codes = random_codes(32, 8, 7);
+        let dm = DeviceMeta::encode(32, 8, &codes);
+        assert_eq!(dm.decode(), codes);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_large() {
+        let codes = random_codes(128, 32, 9);
+        let dm = DeviceMeta::encode(128, 32, &codes);
+        assert_eq!(dm.decode(), codes);
+    }
+
+    #[test]
+    fn meta_is_one_sixteenth_of_dense_f32() {
+        // 64x64 dense f32 = 64*64*4 bytes. codes_per_row = 64/2 = 32.
+        let codes = vec![0x4u8; 64 * 32];
+        let dm = DeviceMeta::encode(64, 32, &codes);
+        assert_eq!(dm.bytes(), 64 * 64 * 4 / 16);
+    }
+
+    #[test]
+    fn swizzle_actually_moves_blocks() {
+        // One distinguishable code; everything else zero... use two values so
+        // the swizzled buffer differs from the packed one.
+        let mut codes = vec![0x4u8; 32 * 8];
+        codes[9 * 8 + 3] = 0xE;
+        let dm = DeviceMeta::encode(32, 8, &codes);
+        // The word holding row 9's data must not be at the naive location
+        // (row 9, first word) because row 9 interleaves to row 5... merely
+        // assert round trip plus non-identity of the words layout.
+        let naive = DeviceMeta {
+            rows: 32,
+            codes_per_row: 8,
+            words: {
+                let mut w = vec![0u32; 32];
+                for r in 0..32 {
+                    let mut lo = 0u16;
+                    let mut hi = 0u16;
+                    for k in 0..4 {
+                        lo |= (codes[r * 8 + k] as u16) << (4 * k);
+                        hi |= (codes[r * 8 + 4 + k] as u16) << (4 * k);
+                    }
+                    w[r] = lo as u32 | ((hi as u32) << 16);
+                }
+                w
+            },
+        };
+        assert_ne!(dm.words(), naive.words());
+        assert_eq!(dm.decode(), codes);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune tile height")]
+    fn rejects_non_tile_rows() {
+        DeviceMeta::encode(16, 8, &vec![0u8; 16 * 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune tile width")]
+    fn rejects_non_tile_cols() {
+        DeviceMeta::encode(32, 4, &vec![0u8; 32 * 4]);
+    }
+}

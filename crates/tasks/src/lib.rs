@@ -1,0 +1,55 @@
+//! # dfss-tasks — synthetic datasets mirroring the paper's evaluation
+//!
+//! The paper evaluates on SQuAD v1.1, WikiText-2/103 and four LRA tasks.
+//! Those datasets and the BERT/roBERTa checkpoints behind them are a
+//! reproduction gate, so this crate generates synthetic tasks with the same
+//! *structure* — labels that depend on long-range token interactions, so the
+//! attention mechanism is load-bearing — and the same metrics:
+//!
+//! | module | substitutes | metric | paper table |
+//! |---|---|---|---|
+//! | [`qa`] | SQuAD v1.1 span extraction | token-level F1 | Tables 1–2 |
+//! | [`mlm`] | WikiText masked-LM | perplexity | Table 3 |
+//! | [`listops`] | LRA ListOps (itself synthetic — same grammar) | accuracy | Table 4 |
+//! | [`textcls`] | LRA byte-level text classification | accuracy | Table 4 |
+//! | [`retrieval`] | LRA document retrieval | accuracy | Table 4 |
+//! | [`image`] | LRA pixel-sequence image classification | accuracy | Table 4 |
+//!
+//! [`protocol`] implements the paper's §5.1 protocol: train dense → swap the
+//! attention mechanism (no finetune) → optionally finetune briefly → report
+//! mean ± 95% CI over seeds.
+
+pub mod image;
+pub mod listops;
+pub mod mlm;
+pub mod protocol;
+pub mod qa;
+pub mod retrieval;
+pub mod textcls;
+
+/// A sequence-classification example shared by the LRA-style tasks.
+#[derive(Clone, Debug)]
+pub struct ClsExample {
+    pub tokens: Vec<usize>,
+    pub label: usize,
+}
+
+/// A dataset: examples plus vocabulary/label-space metadata.
+#[derive(Clone, Debug)]
+pub struct ClsDataset {
+    pub train: Vec<ClsExample>,
+    pub test: Vec<ClsExample>,
+    pub vocab: usize,
+    pub classes: usize,
+    pub seq_len: usize,
+}
+
+impl ClsDataset {
+    pub fn sanity_check(&self) {
+        for ex in self.train.iter().chain(&self.test) {
+            assert_eq!(ex.tokens.len(), self.seq_len);
+            assert!(ex.label < self.classes);
+            assert!(ex.tokens.iter().all(|&t| t < self.vocab));
+        }
+    }
+}

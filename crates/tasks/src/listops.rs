@@ -1,0 +1,192 @@
+//! ListOps (the LRA task is itself synthetic — we implement the same
+//! grammar at reduced length).
+//!
+//! Expressions like `[MAX 2 9 [MIN 4 7 ] 0 ]` evaluate to a digit 0–9;
+//! the model classifies the flattened token sequence into 10 classes.
+//! Correct evaluation requires matching brackets across long distances,
+//! which is exactly why LRA uses it to stress attention.
+
+use crate::{ClsDataset, ClsExample};
+use dfss_tensor::Rng;
+
+pub const PAD: usize = 0;
+pub const CLS_TOK: usize = 1;
+const DIGIT0: usize = 2; // digits 0..9 → tokens 2..11
+const OP0: usize = 12; // MAX, MIN, MED, SM → 12..15
+pub const CLOSE: usize = 16;
+pub const VOCAB: usize = 17;
+
+const OPS: [&str; 4] = ["MAX", "MIN", "MED", "SM"];
+
+/// An expression tree.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    Digit(u8),
+    Op(usize, Vec<Expr>),
+}
+
+impl Expr {
+    /// Evaluate to a digit 0–9.
+    pub fn eval(&self) -> u8 {
+        match self {
+            Expr::Digit(d) => *d,
+            Expr::Op(op, args) => {
+                let vals: Vec<u8> = args.iter().map(Expr::eval).collect();
+                match *op {
+                    0 => *vals.iter().max().expect("non-empty"),
+                    1 => *vals.iter().min().expect("non-empty"),
+                    2 => {
+                        let mut s = vals.clone();
+                        s.sort_unstable();
+                        s[s.len() / 2]
+                    }
+                    3 => (vals.iter().map(|&v| v as u32).sum::<u32>() % 10) as u8,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Token length of the flattened expression.
+    pub fn token_len(&self) -> usize {
+        match self {
+            Expr::Digit(_) => 1,
+            Expr::Op(_, args) => 2 + args.iter().map(Expr::token_len).sum::<usize>(),
+        }
+    }
+
+    /// Flatten to tokens.
+    pub fn tokens(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Digit(d) => out.push(DIGIT0 + *d as usize),
+            Expr::Op(op, args) => {
+                out.push(OP0 + op);
+                for a in args {
+                    a.tokens(out);
+                }
+                out.push(CLOSE);
+            }
+        }
+    }
+
+    /// Pretty printer (debugging / docs).
+    pub fn render(&self) -> String {
+        match self {
+            Expr::Digit(d) => d.to_string(),
+            Expr::Op(op, args) => {
+                let inner: Vec<String> = args.iter().map(Expr::render).collect();
+                format!("[{} {} ]", OPS[*op], inner.join(" "))
+            }
+        }
+    }
+}
+
+/// Sample a random expression with the given depth budget and a soft token
+/// budget.
+pub fn sample_expr(rng: &mut Rng, depth: usize, budget: usize) -> Expr {
+    if depth == 0 || budget < 4 || rng.bernoulli(0.35) {
+        return Expr::Digit(rng.below(10) as u8);
+    }
+    let op = rng.below(4);
+    let n_args = 2 + rng.below(3);
+    let mut args = Vec::with_capacity(n_args);
+    let mut remaining = budget - 2;
+    for _ in 0..n_args {
+        let child = sample_expr(rng, depth - 1, remaining / 2);
+        remaining = remaining.saturating_sub(child.token_len());
+        args.push(child);
+    }
+    Expr::Op(op, args)
+}
+
+/// Generate a ListOps dataset at the given sequence length.
+pub fn generate(n_train: usize, n_test: usize, seq_len: usize, seed: u64) -> ClsDataset {
+    let mut rng = Rng::new(seed);
+    let make = |rng: &mut Rng| -> ClsExample {
+        loop {
+            let expr = sample_expr(rng, 4, seq_len - 2);
+            let len = expr.token_len();
+            if len + 1 > seq_len {
+                continue;
+            }
+            let mut tokens = vec![CLS_TOK];
+            expr.tokens(&mut tokens);
+            while tokens.len() < seq_len {
+                tokens.push(PAD);
+            }
+            return ClsExample {
+                tokens,
+                label: expr.eval() as usize,
+            };
+        }
+    };
+    let train = (0..n_train).map(|_| make(&mut rng)).collect();
+    let test = (0..n_test).map(|_| make(&mut rng)).collect();
+    ClsDataset {
+        train,
+        test,
+        vocab: VOCAB,
+        classes: 10,
+        seq_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_known_expressions() {
+        let e = Expr::Op(
+            0,
+            vec![
+                Expr::Digit(2),
+                Expr::Digit(9),
+                Expr::Op(1, vec![Expr::Digit(4), Expr::Digit(7)]),
+                Expr::Digit(0),
+            ],
+        );
+        // [MAX 2 9 [MIN 4 7] 0] = max(2, 9, 4, 0) = 9.
+        assert_eq!(e.eval(), 9);
+        assert_eq!(e.render(), "[MAX 2 9 [MIN 4 7 ] 0 ]");
+    }
+
+    #[test]
+    fn sum_mod_10() {
+        let e = Expr::Op(3, vec![Expr::Digit(7), Expr::Digit(8)]);
+        assert_eq!(e.eval(), 5);
+    }
+
+    #[test]
+    fn median_of_odd() {
+        let e = Expr::Op(2, vec![Expr::Digit(1), Expr::Digit(9), Expr::Digit(5)]);
+        assert_eq!(e.eval(), 5);
+    }
+
+    #[test]
+    fn tokens_roundtrip_length() {
+        let mut rng = Rng::new(1);
+        for _ in 0..50 {
+            let e = sample_expr(&mut rng, 3, 40);
+            let mut toks = Vec::new();
+            e.tokens(&mut toks);
+            assert_eq!(toks.len(), e.token_len());
+            // Balanced brackets: ops == closes.
+            let ops = toks.iter().filter(|&&t| (OP0..OP0 + 4).contains(&t)).count();
+            let closes = toks.iter().filter(|&&t| t == CLOSE).count();
+            assert_eq!(ops, closes);
+        }
+    }
+
+    #[test]
+    fn dataset_sane_and_balancedish() {
+        let ds = generate(300, 50, 48, 3);
+        ds.sanity_check();
+        // All ten classes should appear in 300 samples.
+        let mut seen = [false; 10];
+        for e in &ds.train {
+            seen[e.label] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 8, "{seen:?}");
+    }
+}

@@ -1,0 +1,289 @@
+//! The §5.1 training / evaluation protocol.
+//!
+//! Building blocks: training loops and metric evaluation for each task
+//! family, plus the paper's pretrain-dense → swap-mechanism → (optionally)
+//! finetune recipe. The harness binaries in `dfss-bench` compose these into
+//! the exact table rows.
+
+use crate::qa::{decode_span, span_f1, QaExample};
+use crate::{mlm::MlmExample, ClsExample};
+use dfss_tensor::Rng;
+use dfss_transformer::heads::{ClassifierHead, MlmHead, SpanHead};
+use dfss_transformer::loss::{cross_entropy_row, cross_entropy_rows};
+use dfss_transformer::param::AdamConfig;
+use dfss_transformer::trainer::{epoch_batches, optimize, TrainReport};
+use dfss_transformer::Encoder;
+
+/// Training specification.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainSpec {
+    pub epochs: usize,
+    pub batch: usize,
+    pub adam: AdamConfig,
+    pub shuffle_seed: u64,
+}
+
+impl TrainSpec {
+    pub fn quick(epochs: usize, n_examples: usize, batch: usize) -> TrainSpec {
+        let steps = (n_examples * epochs).div_ceil(batch.max(1)) + 1;
+        TrainSpec {
+            epochs,
+            batch,
+            adam: AdamConfig {
+                lr: 1e-3,
+                warmup_steps: steps / 10 + 1,
+                total_steps: steps,
+                ..Default::default()
+            },
+            shuffle_seed: 0xD_F55,
+        }
+    }
+}
+
+/// Train a classifier (CLS pooling) on a classification dataset.
+pub fn train_classifier(
+    enc: &mut Encoder,
+    head: &mut ClassifierHead,
+    data: &[ClsExample],
+    spec: &TrainSpec,
+) -> TrainReport {
+    let mut report = TrainReport::default();
+    let mut rng = Rng::new(spec.shuffle_seed);
+    let mut step = 0usize;
+    for _epoch in 0..spec.epochs {
+        for batch in epoch_batches(data.len(), spec.batch, &mut rng) {
+            let mut batch_loss = 0.0f64;
+            for &i in &batch {
+                let ex = &data[i];
+                let h = enc.forward(&ex.tokens, true);
+                let logits = head.forward(&h, true);
+                let (loss, mut dlogits) = cross_entropy_row(&logits, ex.label);
+                let inv = 1.0 / batch.len() as f32;
+                dlogits.iter_mut().for_each(|d| *d *= inv);
+                let dh = head.backward(&dlogits);
+                enc.backward(&dh);
+                batch_loss += loss as f64;
+            }
+            step += 1;
+            let mut params = enc.params();
+            params.extend(head.params());
+            optimize(params, &spec.adam, step);
+            report.push(batch_loss / batch.len() as f64);
+        }
+    }
+    report
+}
+
+/// Classification accuracy.
+pub fn eval_classifier(enc: &mut Encoder, head: &mut ClassifierHead, data: &[ClsExample]) -> f64 {
+    let mut correct = 0usize;
+    for ex in data {
+        let h = enc.forward(&ex.tokens, false);
+        let logits = head.forward(&h, false);
+        let pred = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty logits");
+        correct += usize::from(pred == ex.label);
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Train a span-extraction model (QA).
+pub fn train_qa(
+    enc: &mut Encoder,
+    head: &mut SpanHead,
+    data: &[QaExample],
+    spec: &TrainSpec,
+) -> TrainReport {
+    let mut report = TrainReport::default();
+    let mut rng = Rng::new(spec.shuffle_seed);
+    let mut step = 0usize;
+    for _epoch in 0..spec.epochs {
+        for batch in epoch_batches(data.len(), spec.batch, &mut rng) {
+            let mut batch_loss = 0.0f64;
+            for &i in &batch {
+                let ex = &data[i];
+                let h = enc.forward(&ex.tokens, true);
+                let (s_logits, e_logits) = head.forward(&h, true);
+                let (ls, mut ds) = cross_entropy_row(&s_logits, ex.start);
+                let (le, mut de) = cross_entropy_row(&e_logits, ex.end);
+                let inv = 0.5 / batch.len() as f32;
+                ds.iter_mut().for_each(|d| *d *= inv);
+                de.iter_mut().for_each(|d| *d *= inv);
+                let dh = head.backward(&ds, &de);
+                enc.backward(&dh);
+                batch_loss += 0.5 * (ls + le) as f64;
+            }
+            step += 1;
+            let mut params = enc.params();
+            params.extend(head.params());
+            optimize(params, &spec.adam, step);
+            report.push(batch_loss / batch.len() as f64);
+        }
+    }
+    report
+}
+
+/// Mean token-level F1 over a QA dataset (the paper's SQuAD metric, ×100).
+pub fn eval_qa_f1(enc: &mut Encoder, head: &mut SpanHead, data: &[QaExample], max_span: usize) -> f64 {
+    let mut total = 0.0f64;
+    for ex in data {
+        let h = enc.forward(&ex.tokens, false);
+        let (s_logits, e_logits) = head.forward(&h, false);
+        let pred = decode_span(&s_logits, &e_logits, max_span);
+        total += span_f1(pred, (ex.start, ex.end));
+    }
+    100.0 * total / data.len() as f64
+}
+
+/// Train a masked-LM model.
+pub fn train_mlm(
+    enc: &mut Encoder,
+    head: &mut MlmHead,
+    data: &[MlmExample],
+    spec: &TrainSpec,
+) -> TrainReport {
+    let mut report = TrainReport::default();
+    let mut rng = Rng::new(spec.shuffle_seed);
+    let mut step = 0usize;
+    for _epoch in 0..spec.epochs {
+        for batch in epoch_batches(data.len(), spec.batch, &mut rng) {
+            let mut batch_loss = 0.0f64;
+            for &i in &batch {
+                let ex = &data[i];
+                let h = enc.forward(&ex.tokens, true);
+                let logits = head.forward(&h, true);
+                let (loss, mut dlogits) = cross_entropy_rows(&logits, &ex.targets);
+                let inv = 1.0 / batch.len() as f32;
+                dlogits.as_mut_slice().iter_mut().for_each(|d| *d *= inv);
+                let dh = head.backward(&dlogits);
+                enc.backward(&dh);
+                batch_loss += loss as f64;
+            }
+            step += 1;
+            let mut params = enc.params();
+            params.extend(head.params());
+            optimize(params, &spec.adam, step);
+            report.push(batch_loss / batch.len() as f64);
+        }
+    }
+    report
+}
+
+/// Masked-LM perplexity over a dataset.
+pub fn eval_mlm_ppl(enc: &mut Encoder, head: &mut MlmHead, data: &[MlmExample]) -> f64 {
+    let mut total_ce = 0.0f64;
+    let mut count = 0usize;
+    for ex in data {
+        let h = enc.forward(&ex.tokens, false);
+        let logits = head.forward(&h, false);
+        for &(pos, tok) in &ex.targets {
+            let (loss, _) = cross_entropy_row(logits.row(pos), tok);
+            total_ce += loss as f64;
+            count += 1;
+        }
+    }
+    (total_ce / count as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{listops, qa, textcls};
+    use dfss_transformer::{AttnKind, EncoderConfig};
+
+    fn tiny_encoder(vocab: usize, max_len: usize, kind: AttnKind, seed: u64) -> Encoder {
+        let mut rng = Rng::new(seed);
+        let cfg = EncoderConfig {
+            vocab,
+            max_len,
+            d_model: 32,
+            heads: 2,
+            d_ffn: 64,
+            layers: 2,
+            kind,
+        };
+        Encoder::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn classifier_learns_textcls() {
+        let cfg = textcls::TextClsConfig {
+            seq_len: 32,
+            ..Default::default()
+        };
+        let ds = textcls::generate(&cfg, 240, 80, 1);
+        let mut enc = tiny_encoder(ds.vocab, ds.seq_len, AttnKind::Full, 2);
+        let mut rng = Rng::new(3);
+        let mut head = ClassifierHead::new(32, ds.classes, &mut rng);
+        let spec = TrainSpec::quick(6, ds.train.len(), 16);
+        let report = train_classifier(&mut enc, &mut head, &ds.train, &spec);
+        assert!(report.improved(), "loss did not improve: {:?}", report.recent_mean(5));
+        let acc = eval_classifier(&mut enc, &mut head, &ds.test);
+        assert!(acc > 0.5, "accuracy {acc} barely above chance (0.25)");
+    }
+
+    #[test]
+    fn qa_learns_span_extraction() {
+        let qcfg = qa::QaConfig {
+            seq_len: 32,
+            n_keys: 6,
+            n_values: 6,
+            n_fillers: 8,
+            records: 3,
+            span_min: 1,
+            span_max: 3,
+        };
+        let train = qa::generate(&qcfg, 500, 10);
+        let test = qa::generate(&qcfg, 80, 11);
+        let mut enc = tiny_encoder(qcfg.vocab(), qcfg.seq_len, AttnKind::Full, 4);
+        let mut rng = Rng::new(5);
+        let mut head = SpanHead::new(32, &mut rng);
+        let mut spec = TrainSpec::quick(12, train.len(), 16);
+        spec.adam.lr = 2e-3;
+        let report = train_qa(&mut enc, &mut head, &train, &spec);
+        assert!(report.improved());
+        let f1 = eval_qa_f1(&mut enc, &mut head, &test, qcfg.span_max);
+        // Random span guessing scores < 10 F1; learning must beat it well.
+        // (The bench harness trains larger models for the table numbers.)
+        assert!(f1 > 25.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn listops_trains_above_chance() {
+        let ds = listops::generate(300, 80, 32, 6);
+        let mut enc = tiny_encoder(ds.vocab, ds.seq_len, AttnKind::Full, 7);
+        let mut rng = Rng::new(8);
+        let mut head = ClassifierHead::new(32, ds.classes, &mut rng);
+        let spec = TrainSpec::quick(5, ds.train.len(), 16);
+        let _ = train_classifier(&mut enc, &mut head, &ds.train, &spec);
+        let acc = eval_classifier(&mut enc, &mut head, &ds.test);
+        assert!(acc > 0.15, "accuracy {acc} vs chance 0.10");
+    }
+
+    #[test]
+    fn dfss_swap_protocol_runs() {
+        // Pretrain dense, swap to Dfss without finetuning — accuracy should
+        // not collapse (the Table 1 phenomenon, in miniature).
+        let cfg = textcls::TextClsConfig {
+            seq_len: 32,
+            ..Default::default()
+        };
+        let ds = textcls::generate(&cfg, 240, 60, 21);
+        let mut enc = tiny_encoder(ds.vocab, ds.seq_len, AttnKind::Full, 22);
+        let mut rng = Rng::new(23);
+        let mut head = ClassifierHead::new(32, ds.classes, &mut rng);
+        let spec = TrainSpec::quick(6, ds.train.len(), 16);
+        let _ = train_classifier(&mut enc, &mut head, &ds.train, &spec);
+        let dense_acc = eval_classifier(&mut enc, &mut head, &ds.test);
+        enc.set_attention(AttnKind::Nm(dfss_nmsparse::NmPattern::P1_2));
+        let sparse_acc = eval_classifier(&mut enc, &mut head, &ds.test);
+        assert!(
+            sparse_acc > dense_acc - 0.35,
+            "swap collapsed: dense {dense_acc} sparse {sparse_acc}"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic span-extraction QA (the SQuAD v1.1 substitute).
+//!
+//! Each example is `[CLS] <query-key> [SEP] context…` where the context is a
+//! shuffled sequence of key–value records separated by filler tokens. The
+//! answer is the value span of the queried key, so the model must attend
+//! from the query position to the matching key *anywhere* in the context —
+//! a genuinely long-range dependency, like locating an answer span in a
+//! SQuAD paragraph. Metric: token-level F1 over the predicted span, SQuAD
+//! style.
+
+use dfss_tensor::Rng;
+
+/// Special tokens.
+pub const CLS: usize = 0;
+pub const SEP: usize = 1;
+pub const PAD: usize = 2;
+const SPECIALS: usize = 3;
+
+/// One QA example.
+#[derive(Clone, Debug)]
+pub struct QaExample {
+    pub tokens: Vec<usize>,
+    /// Answer span `[start, end]`, inclusive, in token positions.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct QaConfig {
+    pub seq_len: usize,
+    pub n_keys: usize,
+    pub n_values: usize,
+    pub n_fillers: usize,
+    /// Records (key–value pairs) per context.
+    pub records: usize,
+    /// Value-span length range (inclusive).
+    pub span_min: usize,
+    pub span_max: usize,
+}
+
+impl Default for QaConfig {
+    fn default() -> Self {
+        QaConfig {
+            seq_len: 64,
+            n_keys: 12,
+            n_values: 12,
+            n_fillers: 20,
+            records: 6,
+            span_min: 1,
+            span_max: 3,
+        }
+    }
+}
+
+impl QaConfig {
+    pub fn vocab(&self) -> usize {
+        SPECIALS + self.n_keys + self.n_keys * self.n_values + self.n_fillers
+    }
+
+    fn key_token(&self, k: usize) -> usize {
+        SPECIALS + k
+    }
+
+    /// Value tokens live in a per-key region (value `v` of key `k`): the
+    /// answer span is recognisable by relating a context position to the
+    /// query token — a long-range attention dependency that a two-layer
+    /// model can actually learn at a few hundred training examples (the
+    /// paper's BERT-scale substitute must be *learnable*, not just posed).
+    fn value_token(&self, key: usize, v: usize) -> usize {
+        SPECIALS + self.n_keys + key * self.n_values + v
+    }
+
+    fn filler_token(&self, f: usize) -> usize {
+        SPECIALS + self.n_keys + self.n_keys * self.n_values + f
+    }
+
+    /// True if `token` is a value token of `key`.
+    pub fn is_value_of(&self, token: usize, key: usize) -> bool {
+        let lo = SPECIALS + self.n_keys + key * self.n_values;
+        (lo..lo + self.n_values).contains(&token)
+    }
+}
+
+/// Generate one example.
+pub fn generate_example(cfg: &QaConfig, rng: &mut Rng) -> QaExample {
+    // Distinct keys for the records.
+    let keys = rng.sample_indices(cfg.n_keys, cfg.records.min(cfg.n_keys));
+    let target = rng.below(keys.len());
+
+    let mut tokens = vec![CLS, cfg.key_token(keys[target]), SEP];
+    let mut answer = (0usize, 0usize);
+    for (ri, &key) in keys.iter().enumerate() {
+        // Random filler prefix.
+        for _ in 0..rng.below(3) {
+            if tokens.len() + cfg.span_max + 2 >= cfg.seq_len {
+                break;
+            }
+            tokens.push(cfg.filler_token(rng.below(cfg.n_fillers)));
+        }
+        if tokens.len() + cfg.span_max + 1 >= cfg.seq_len {
+            break;
+        }
+        tokens.push(cfg.key_token(key));
+        let span_len = cfg.span_min + rng.below(cfg.span_max - cfg.span_min + 1);
+        let start = tokens.len();
+        for _ in 0..span_len {
+            tokens.push(cfg.value_token(key, rng.below(cfg.n_values)));
+        }
+        if ri == target {
+            answer = (start, tokens.len() - 1);
+        }
+    }
+    while tokens.len() < cfg.seq_len {
+        tokens.push(PAD);
+    }
+    tokens.truncate(cfg.seq_len);
+    let (start, end) = answer;
+    assert!(end < cfg.seq_len && start <= end, "answer span degenerate");
+    QaExample { tokens, start, end }
+}
+
+/// Generate a dataset of `n` examples.
+pub fn generate(cfg: &QaConfig, n: usize, seed: u64) -> Vec<QaExample> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| generate_example(cfg, &mut rng)).collect()
+}
+
+/// Token-level F1 between a predicted span and the gold span (SQuAD
+/// convention: overlap / precision / recall on token positions).
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f64 {
+    let (ps, pe) = pred;
+    let (gs, ge) = gold;
+    if pe < ps || ge < gs {
+        return 0.0;
+    }
+    let inter_lo = ps.max(gs);
+    let inter_hi = pe.min(ge);
+    let overlap = inter_hi.saturating_sub(inter_lo) + usize::from(inter_hi >= inter_lo);
+    if overlap == 0 {
+        return 0.0;
+    }
+    let p = overlap as f64 / (pe - ps + 1) as f64;
+    let r = overlap as f64 / (ge - gs + 1) as f64;
+    2.0 * p * r / (p + r)
+}
+
+/// Decode the best span from start/end logits (argmax with start ≤ end ≤
+/// start + max_len, SQuAD style).
+pub fn decode_span(start_logits: &[f32], end_logits: &[f32], max_span: usize) -> (usize, usize) {
+    let n = start_logits.len();
+    let mut best = (0usize, 0usize, f32::NEG_INFINITY);
+    for s in 0..n {
+        for e in s..(s + max_span).min(n) {
+            let score = start_logits[s] + end_logits[e];
+            if score > best.2 {
+                best = (s, e, score);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn examples_well_formed() {
+        let cfg = QaConfig::default();
+        let data = generate(&cfg, 50, 1);
+        for ex in &data {
+            assert_eq!(ex.tokens.len(), cfg.seq_len);
+            assert!(ex.start <= ex.end);
+            assert!(ex.end < cfg.seq_len);
+            // The answer span consists of value tokens of the queried key.
+            let qkey_tok = ex.tokens[1];
+            let qkey = qkey_tok - SPECIALS;
+            for p in ex.start..=ex.end {
+                assert!(
+                    cfg.is_value_of(ex.tokens[p], qkey),
+                    "position {p} token {} not a value of key {qkey}",
+                    ex.tokens[p]
+                );
+            }
+            // The queried key appears in the context (after SEP).
+            let qkey = ex.tokens[1];
+            assert!(ex.tokens[3..].contains(&qkey), "query key missing");
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let cfg = QaConfig::default();
+        let a = generate(&cfg, 5, 7);
+        let b = generate(&cfg, 5, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens);
+            assert_eq!((x.start, x.end), (y.start, y.end));
+        }
+    }
+
+    #[test]
+    fn f1_exact_match_is_one() {
+        assert_eq!(span_f1((3, 5), (3, 5)), 1.0);
+    }
+
+    #[test]
+    fn f1_disjoint_is_zero() {
+        assert_eq!(span_f1((0, 2), (5, 7)), 0.0);
+    }
+
+    #[test]
+    fn f1_partial_overlap() {
+        // pred [2,4], gold [3,6]: overlap 2, p=2/3, r=2/4 → F1 = 4/7.
+        let f1 = span_f1((2, 4), (3, 6));
+        assert!((f1 - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_picks_consistent_span() {
+        let start = vec![0.0, 5.0, 0.0, 0.0];
+        let end = vec![0.0, 0.0, 5.0, 0.0];
+        assert_eq!(decode_span(&start, &end, 4), (1, 2));
+        // End before start is never selected.
+        let start = vec![0.0, 0.0, 5.0, 0.0];
+        let end = vec![0.0, 5.0, 0.0, 4.0];
+        let (s, e) = decode_span(&start, &end, 4);
+        assert!(s <= e);
+    }
+}

@@ -1,0 +1,157 @@
+//! Dual-document retrieval (the LRA "Retrieval" substitute).
+//!
+//! Two documents are concatenated `[CLS] docA [SEP] docB`; the label says
+//! whether they were drawn from the same topic. Topics are token
+//! distributions; deciding the match requires comparing statistics *across*
+//! the `[SEP]`, i.e. attention spanning the two halves — structurally the
+//! same demand the byte-level AAN matching task makes.
+
+use crate::{ClsDataset, ClsExample};
+use dfss_tensor::Rng;
+
+pub const PAD: usize = 0;
+pub const CLS_TOK: usize = 1;
+pub const SEP: usize = 2;
+const SPECIALS: usize = 3;
+
+#[derive(Clone, Copy, Debug)]
+pub struct RetrievalConfig {
+    pub topics: usize,
+    pub tokens_per_topic: usize,
+    pub shared_vocab: usize,
+    pub seq_len: usize,
+    /// Fraction of document tokens drawn from the topic vocabulary (the
+    /// rest is shared noise).
+    pub topic_strength: f64,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            topics: 8,
+            tokens_per_topic: 6,
+            shared_vocab: 30,
+            seq_len: 64,
+            topic_strength: 0.35,
+        }
+    }
+}
+
+impl RetrievalConfig {
+    pub fn vocab(&self) -> usize {
+        SPECIALS + self.shared_vocab + self.topics * self.tokens_per_topic
+    }
+
+    fn topic_token(&self, topic: usize, i: usize) -> usize {
+        SPECIALS + self.shared_vocab + topic * self.tokens_per_topic + i
+    }
+
+    fn shared_token(&self, i: usize) -> usize {
+        SPECIALS + i
+    }
+}
+
+fn sample_doc(cfg: &RetrievalConfig, topic: usize, len: usize, rng: &mut Rng) -> Vec<usize> {
+    (0..len)
+        .map(|_| {
+            if rng.bernoulli(cfg.topic_strength) {
+                cfg.topic_token(topic, rng.below(cfg.tokens_per_topic))
+            } else {
+                cfg.shared_token(rng.below(cfg.shared_vocab))
+            }
+        })
+        .collect()
+}
+
+/// Generate the dataset (label 1 = same topic, 0 = different).
+pub fn generate(cfg: &RetrievalConfig, n_train: usize, n_test: usize, seed: u64) -> ClsDataset {
+    let mut rng = Rng::new(seed);
+    let doc_len = (cfg.seq_len - 2) / 2;
+    let make = |rng: &mut Rng| -> ClsExample {
+        let same = rng.bernoulli(0.5);
+        let t1 = rng.below(cfg.topics);
+        let t2 = if same {
+            t1
+        } else {
+            (t1 + 1 + rng.below(cfg.topics - 1)) % cfg.topics
+        };
+        let mut tokens = vec![CLS_TOK];
+        tokens.extend(sample_doc(cfg, t1, doc_len, rng));
+        tokens.push(SEP);
+        tokens.extend(sample_doc(cfg, t2, doc_len, rng));
+        while tokens.len() < cfg.seq_len {
+            tokens.push(PAD);
+        }
+        tokens.truncate(cfg.seq_len);
+        ClsExample {
+            tokens,
+            label: usize::from(same),
+        }
+    };
+    let train = (0..n_train).map(|_| make(&mut rng)).collect();
+    let test = (0..n_test).map(|_| make(&mut rng)).collect();
+    ClsDataset {
+        train,
+        test,
+        vocab: cfg.vocab(),
+        classes: 2,
+        seq_len: cfg.seq_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_sane() {
+        let cfg = RetrievalConfig::default();
+        let ds = generate(&cfg, 100, 20, 1);
+        ds.sanity_check();
+    }
+
+    #[test]
+    fn labels_roughly_balanced() {
+        let cfg = RetrievalConfig::default();
+        let ds = generate(&cfg, 400, 0, 2);
+        let pos = ds.train.iter().filter(|e| e.label == 1).count();
+        assert!(pos > 140 && pos < 260, "positives {pos}");
+    }
+
+    #[test]
+    fn same_topic_docs_share_topic_tokens() {
+        let cfg = RetrievalConfig::default();
+        let ds = generate(&cfg, 200, 0, 3);
+        let topic_of = |t: usize| -> Option<usize> {
+            if t >= SPECIALS + cfg.shared_vocab {
+                Some((t - SPECIALS - cfg.shared_vocab) / cfg.tokens_per_topic)
+            } else {
+                None
+            }
+        };
+        for ex in &ds.train {
+            let sep = ex.tokens.iter().position(|&t| t == SEP).expect("sep");
+            let ta: Vec<usize> = ex.tokens[1..sep].iter().filter_map(|&t| topic_of(t)).collect();
+            let tb: Vec<usize> = ex.tokens[sep + 1..]
+                .iter()
+                .filter_map(|&t| topic_of(t))
+                .collect();
+            if ta.is_empty() || tb.is_empty() {
+                continue; // low-signal sample; allowed
+            }
+            // Majority topic per half.
+            let maj = |v: &[usize]| {
+                let mut counts = std::collections::HashMap::new();
+                for &t in v {
+                    *counts.entry(t).or_insert(0usize) += 1;
+                }
+                counts.into_iter().max_by_key(|&(_, c)| c).map(|(t, _)| t)
+            };
+            if let (Some(a), Some(b)) = (maj(&ta), maj(&tb)) {
+                if ex.label == 1 {
+                    assert_eq!(a, b, "same-topic halves disagree");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Byte-level text classification (the LRA "Text" substitute).
+//!
+//! Each class is defined by a pair of signature tokens that must *co-occur*
+//! — planted far apart in a stream of shared filler text. A bag-of-words
+//! model cannot solve it (individual signature tokens appear in other
+//! classes too); the classifier must attend between the two distant
+//! positions.
+
+use crate::{ClsDataset, ClsExample};
+use dfss_tensor::rng::ZipfTable;
+use dfss_tensor::Rng;
+
+pub const PAD: usize = 0;
+pub const CLS_TOK: usize = 1;
+const SPECIALS: usize = 2;
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TextClsConfig {
+    pub classes: usize,
+    pub seq_len: usize,
+    pub filler_vocab: usize,
+    pub sig_vocab: usize,
+}
+
+impl Default for TextClsConfig {
+    fn default() -> Self {
+        TextClsConfig {
+            classes: 4,
+            seq_len: 64,
+            filler_vocab: 40,
+            sig_vocab: 6,
+        }
+    }
+}
+
+impl TextClsConfig {
+    pub fn vocab(&self) -> usize {
+        SPECIALS + self.filler_vocab + self.sig_vocab
+    }
+
+    fn sig_token(&self, i: usize) -> usize {
+        SPECIALS + self.filler_vocab + i
+    }
+
+    /// The signature token *pair* of a class: class c ↔ (s_a, s_b) with the
+    /// pairs chosen so every token participates in several classes (so
+    /// single-token shortcuts fail).
+    pub fn class_pair(&self, c: usize) -> (usize, usize) {
+        let a = c % self.sig_vocab;
+        let b = (c + 1 + c / self.sig_vocab) % self.sig_vocab;
+        (self.sig_token(a), self.sig_token(b))
+    }
+}
+
+/// Generate the dataset.
+pub fn generate(cfg: &TextClsConfig, n_train: usize, n_test: usize, seed: u64) -> ClsDataset {
+    let mut rng = Rng::new(seed);
+    let zipf = ZipfTable::new(cfg.filler_vocab, 1.1);
+    let make = |rng: &mut Rng| -> ClsExample {
+        let label = rng.below(cfg.classes);
+        let (sig_a, sig_b) = cfg.class_pair(label);
+        let mut tokens = vec![CLS_TOK];
+        while tokens.len() < cfg.seq_len {
+            tokens.push(SPECIALS + zipf.sample(rng));
+        }
+        tokens.truncate(cfg.seq_len);
+        // Plant the signature pair far apart (first vs second half), plus a
+        // decoy token from a *different* class in the middle so co-occurrence
+        // is required.
+        let first = 1 + rng.below(cfg.seq_len / 3);
+        let second = 2 * cfg.seq_len / 3 + rng.below(cfg.seq_len / 3 - 1);
+        tokens[first] = sig_a;
+        tokens[second] = sig_b;
+        let decoy_class = (label + 1 + rng.below(cfg.classes - 1)) % cfg.classes;
+        let (da, _) = cfg.class_pair(decoy_class);
+        let mid = cfg.seq_len / 2;
+        tokens[mid] = da;
+        ClsExample { tokens, label }
+    };
+    let train = (0..n_train).map(|_| make(&mut rng)).collect();
+    let test = (0..n_test).map(|_| make(&mut rng)).collect();
+    ClsDataset {
+        train,
+        test,
+        vocab: cfg.vocab(),
+        classes: cfg.classes,
+        seq_len: cfg.seq_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_sane() {
+        let cfg = TextClsConfig::default();
+        let ds = generate(&cfg, 200, 40, 1);
+        ds.sanity_check();
+    }
+
+    #[test]
+    fn signature_pair_planted() {
+        let cfg = TextClsConfig::default();
+        let ds = generate(&cfg, 50, 0, 2);
+        for ex in &ds.train {
+            let (a, b) = cfg.class_pair(ex.label);
+            assert!(ex.tokens.contains(&a), "missing sig_a");
+            assert!(ex.tokens.contains(&b), "missing sig_b");
+        }
+    }
+
+    #[test]
+    fn pairs_are_distinct_across_classes() {
+        let cfg = TextClsConfig::default();
+        let mut pairs = std::collections::HashSet::new();
+        for c in 0..cfg.classes {
+            pairs.insert(cfg.class_pair(c));
+        }
+        assert_eq!(pairs.len(), cfg.classes);
+    }
+
+    #[test]
+    fn signatures_far_apart() {
+        let cfg = TextClsConfig::default();
+        let ds = generate(&cfg, 50, 0, 3);
+        for ex in &ds.train {
+            let (a, b) = cfg.class_pair(ex.label);
+            let pa = ex.tokens.iter().position(|&t| t == a).expect("sig_a");
+            let pb = ex.tokens.iter().rposition(|&t| t == b).expect("sig_b");
+            assert!(pb > pa + cfg.seq_len / 4, "pair not long-range: {pa} {pb}");
+        }
+    }
+}

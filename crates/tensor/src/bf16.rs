@@ -1,0 +1,244 @@
+//! Software `bfloat16` and TensorFloat-32 emulation.
+//!
+//! The paper evaluates two data types: `float` (f32, pruned 1:2) and
+//! `bfloat16` (pruned 2:4). On the A100 the `float` path converts inputs to
+//! TF32 (19-bit: 8-bit exponent, 10-bit mantissa) before the tensor-core
+//! multiply and accumulates in f32; the `bfloat16` path multiplies bf16
+//! inputs and also accumulates in f32. We reproduce both numerics contracts
+//! in software so accuracy experiments see the same rounding behaviour.
+
+/// A 16-bit brain floating point number (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// Stored as the raw upper half of the equivalent `f32` bit pattern.
+/// Conversion from `f32` uses round-to-nearest-even, matching hardware
+/// `cvt.rn.bf16.f32`. All arithmetic is performed by widening to `f32`,
+/// which is exact (every `Bf16` is exactly representable as `f32`).
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    pub const ZERO: Bf16 = Bf16(0);
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    #[inline]
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Preserve NaN; force a quiet mantissa bit so truncation cannot
+            // turn a signalling NaN into an infinity.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the 16 bits we drop.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Widen to `f32` (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// True if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+}
+
+impl std::fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}bf16", self.to_f32())
+    }
+}
+
+impl std::fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl std::ops::Add for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl std::ops::Sub for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl std::ops::Mul for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl std::ops::Div for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn div(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl std::ops::Neg for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl PartialOrd for Bf16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Bf16) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+/// Round an `f32` to TensorFloat-32 precision (10 explicit mantissa bits),
+/// round-to-nearest-even — the conversion Ampere tensor cores apply to
+/// `float` GEMM operands before the multiply (paper Appendix A.1.2:
+/// "float data will be converted to tensorfloat-32 before wmma").
+#[inline]
+pub fn tf32_round(x: f32) -> f32 {
+    if x.is_nan() || x.is_infinite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // f32 has 23 mantissa bits; TF32 keeps 10, so drop 13.
+    let drop = 13u32;
+    let lsb = (bits >> drop) & 1;
+    let rounded = bits.wrapping_add((1u32 << (drop - 1)) - 1 + lsb);
+    f32::from_bits(rounded & !((1u32 << drop) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_roundtrip_exact_values() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, -3.5, 128.0, 1.0e10, -1.0e-10] {
+            let b = Bf16::from_f32(v);
+            let w = b.to_f32();
+            // Widening then re-narrowing must be a fixed point.
+            assert_eq!(Bf16::from_f32(w).0, b.0, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn bf16_one_and_zero() {
+        assert_eq!(Bf16::from_f32(1.0), Bf16::ONE);
+        assert_eq!(Bf16::from_f32(0.0), Bf16::ZERO);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn bf16_round_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // representable value 1.0078125; RNE keeps the even mantissa (1.0).
+        let halfway = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0f32 + 2.0f32.powi(-8) + 2.0f32.powi(-12);
+        assert_eq!(Bf16::from_f32(above).to_f32(), 1.0078125);
+    }
+
+    #[test]
+    fn bf16_relative_error_bound() {
+        // bf16 has 8 bits of significand (1 implicit + 7 explicit):
+        // relative error <= 2^-8.
+        let mut x = 0.37f32;
+        for _ in 0..100 {
+            let b = Bf16::from_f32(x).to_f32();
+            assert!((b - x).abs() <= x.abs() * 2.0f32.powi(-8) + f32::MIN_POSITIVE);
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn bf16_nan_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(!Bf16::from_f32(1.0).is_nan());
+    }
+
+    #[test]
+    fn bf16_neg_flips_sign_bit() {
+        let b = Bf16::from_f32(2.5);
+        assert_eq!((-b).to_f32(), -2.5);
+        assert_eq!((-(-b)).0, b.0);
+    }
+
+    #[test]
+    fn bf16_arith_widens() {
+        let a = Bf16::from_f32(1.5);
+        let b = Bf16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((b / a).to_f32(), 1.5);
+    }
+
+    #[test]
+    fn bf16_infinity_ordering() {
+        assert!(Bf16::NEG_INFINITY < Bf16::from_f32(-1e30));
+        assert!(Bf16::INFINITY > Bf16::from_f32(1e30));
+    }
+
+    #[test]
+    fn tf32_keeps_10_mantissa_bits() {
+        // 1 + 2^-10 is representable in TF32; 1 + 2^-11 rounds to even (1.0).
+        assert_eq!(tf32_round(1.0 + 2.0f32.powi(-10)), 1.0 + 2.0f32.powi(-10));
+        assert_eq!(tf32_round(1.0 + 2.0f32.powi(-11)), 1.0);
+        // Just above halfway rounds up.
+        assert_eq!(
+            tf32_round(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20)),
+            1.0 + 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn tf32_idempotent() {
+        let mut x = 0.123f32;
+        for _ in 0..50 {
+            let r = tf32_round(x);
+            assert_eq!(tf32_round(r), r);
+            x *= -2.31;
+        }
+    }
+
+    #[test]
+    fn tf32_passes_specials() {
+        assert!(tf32_round(f32::NAN).is_nan());
+        assert_eq!(tf32_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(tf32_round(0.0), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dfss-tensor — dense matrix substrate for the Dfss reproduction
+//!
+//! This crate provides everything the upper layers need from a numerics
+//! substrate, built from scratch:
+//!
+//! * [`Bf16`] — a software `bfloat16` with round-to-nearest-even conversion,
+//!   plus [`tf32_round`] emulating the TensorFloat-32 input rounding that the
+//!   paper's tensor-core GEMM applies to `float` operands (Appendix A.1.2).
+//! * [`Scalar`] — the trait abstracting the paper's two evaluated data types
+//!   (`float` → [`f32`], `bfloat16` → [`Bf16`]).
+//! * [`Matrix`] — a flat row-major matrix with the small set of dense ops the
+//!   attention stack needs (GEMM lives in `dfss-kernels`; this crate only
+//!   offers reference-grade helpers).
+//! * [`rng`] — a deterministic xoshiro256++ generator with Gaussian and Zipf
+//!   sampling so every experiment in EXPERIMENTS.md is exactly reproducible.
+//! * [`math`] — `erf`/`erfinv` (needed by Proposition 4.2's closed forms),
+//!   numerically stable softmax helpers, GELU.
+//! * [`stats`] — mean/σ/confidence intervals and quartiles used by the
+//!   accuracy tables (reported as `mean ± CI` at Cl = 95% like the paper).
+
+pub mod bf16;
+pub mod math;
+pub mod matrix;
+pub mod rng;
+pub mod scalar;
+pub mod stats;
+
+pub use bf16::{tf32_round, Bf16};
+pub use matrix::Matrix;
+pub use rng::Rng;
+pub use scalar::Scalar;

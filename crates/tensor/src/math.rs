@@ -1,0 +1,273 @@
+//! Special functions and numerically stable primitives.
+//!
+//! `erf`/`erfinv` back Proposition 4.2's closed-form quality expressions
+//! (`Q^p_{1:2} = (1 + erf(pσ/2))/2`, the top-k expression uses `erfinv`).
+//! The softmax helpers implement the three-pass max/sum/normalise scheme of
+//! Appendix A.1.3 (Equation 10).
+
+/// Error function. Maclaurin series for |x| < 2, asymptotic continued
+/// fraction for the tails; accurate to better than 1e-12 everywhere, which
+/// the Prop 4.2 / Prop 4.3 closed forms rely on near s → 0.
+pub fn erf(x: f64) -> f64 {
+    erf_precise(x)
+}
+
+/// Complementary error function.
+#[inline]
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Inverse error function via the Giles (2012) single-precision-style
+/// polynomial, refined with two Newton steps so `erf(erfinv(y)) = y` to
+/// ~1e-12 over `(-1, 1)`.
+pub fn erfinv(y: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&y), "erfinv domain: {y}");
+    if y == 1.0 {
+        return f64::INFINITY;
+    }
+    if y == -1.0 {
+        return f64::NEG_INFINITY;
+    }
+    let w = -((1.0 - y) * (1.0 + y)).ln();
+    let mut x = if w < 5.0 {
+        let w = w - 2.5;
+        let mut p = 2.81022636e-08;
+        p = 3.43273939e-07 + p * w;
+        p = -3.5233877e-06 + p * w;
+        p = -4.39150654e-06 + p * w;
+        p = 0.00021858087 + p * w;
+        p = -0.00125372503 + p * w;
+        p = -0.00417768164 + p * w;
+        p = 0.246640727 + p * w;
+        p = 1.50140941 + p * w;
+        p * y
+    } else {
+        let w = w.sqrt() - 3.0;
+        let mut p = -0.000200214257;
+        p = 0.000100950558 + p * w;
+        p = 0.00134934322 + p * w;
+        p = -0.00367342844 + p * w;
+        p = 0.00573950773 + p * w;
+        p = -0.0076224613 + p * w;
+        p = 0.00943887047 + p * w;
+        p = 1.00167406 + p * w;
+        p = 2.83297682 + p * w;
+        p * y
+    };
+    // Newton refinement on f(x) = erf(x) - y, f'(x) = 2/sqrt(pi) exp(-x^2).
+    let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+    for _ in 0..2 {
+        let err = erf_precise(x) - y;
+        x -= err / (two_over_sqrt_pi * (-x * x).exp());
+    }
+    x
+}
+
+/// Higher-precision erf used internally by the Newton refinement: series for
+/// small |x|, continued-fraction-backed erfc for large |x|.
+fn erf_precise(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 2.0 {
+        // Maclaurin series: erf(x) = 2/sqrt(pi) * sum (-1)^n x^(2n+1)/(n!(2n+1)).
+        let mut term = x;
+        let mut sum = x;
+        let x2 = x * x;
+        for n in 1..64 {
+            term *= -x2 / n as f64;
+            let inc = term / (2 * n + 1) as f64;
+            sum += inc;
+            if inc.abs() < 1e-17 * sum.abs() {
+                break;
+            }
+        }
+        sum * 2.0 / std::f64::consts::PI.sqrt()
+    } else {
+        // Asymptotic continued fraction for erfc.
+        let sign = x.signum();
+        let mut cf = 0.0;
+        for k in (1..=40).rev() {
+            cf = 0.5 * k as f64 / (ax + cf);
+        }
+        let erfc = (-ax * ax).exp() / ((ax + cf) * std::f64::consts::PI.sqrt());
+        sign * (1.0 - erfc)
+    }
+}
+
+/// Standard normal CDF.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal inverse CDF (probit).
+#[inline]
+pub fn normal_quantile(p: f64) -> f64 {
+    std::f64::consts::SQRT_2 * erfinv(2.0 * p - 1.0)
+}
+
+/// GELU activation (tanh approximation, as used by BERT-family models).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    let x64 = x as f64;
+    let c = (2.0 / std::f64::consts::PI).sqrt();
+    (0.5 * x64 * (1.0 + (c * (x64 + 0.044715 * x64 * x64 * x64)).tanh())) as f32
+}
+
+/// Derivative of the tanh-approximated GELU.
+pub fn gelu_grad(x: f32) -> f32 {
+    let x = x as f64;
+    let c = (2.0 / std::f64::consts::PI).sqrt();
+    let u = c * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = c * (1.0 + 3.0 * 0.044715 * x * x);
+    (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du) as f32
+}
+
+/// Numerically stable in-place softmax over a dense row (Equation 10):
+/// `softmax(x)_i = exp(x_i - max x) / Σ_j exp(x_j - max x)`.
+///
+/// Rows that are entirely `-inf` (fully masked) become all zeros rather than
+/// NaN, which is the convention masked attention needs.
+pub fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Softmax returning a fresh vector.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    let mut out = xs.to_vec();
+    softmax_row(&mut out);
+    out
+}
+
+/// log(Σ exp(x_i)) computed stably.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    let s: f32 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + s.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-12);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(3.5) - 0.999999257).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_odd_function() {
+        for i in 0..100 {
+            let x = i as f64 * 0.05;
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfinv_inverts_erf() {
+        for i in -98..=98 {
+            let y = i as f64 / 100.0;
+            let x = erfinv(y);
+            assert!(
+                (erf_precise(x) - y).abs() < 1e-9,
+                "y={y} x={x} erf={}",
+                erf_precise(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erfinv_extremes() {
+        assert_eq!(erfinv(1.0), f64::INFINITY);
+        assert_eq!(erfinv(-1.0), f64::NEG_INFINITY);
+        assert!(erfinv(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip() {
+        for i in 1..20 {
+            let p = i as f64 / 20.0;
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+        // 95% two-sided z-value, used for the tables' confidence intervals.
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = vec![0.1, 2.0, -1.0, 4.0, 0.0];
+        softmax_row(&mut row);
+        let s: f32 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(row.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let mut row = vec![1e30f32, 0.0, -1e30];
+        softmax_row(&mut row);
+        assert!((row[0] - 1.0).abs() < 1e-6);
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_all_masked_row_is_zero() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_row(&mut row);
+        assert!(row.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small() {
+        let xs = [0.5f32, -1.0, 2.0];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_properties() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3); // ≈ identity for large x
+        assert!(gelu(-10.0).abs() < 1e-3); // ≈ 0 for very negative x
+                                           // Finite-difference check of the gradient.
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((fd - gelu_grad(x)).abs() < 1e-3, "x={x}");
+        }
+    }
+}

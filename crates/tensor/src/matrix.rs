@@ -1,0 +1,413 @@
+//! Flat row-major matrices.
+//!
+//! Per the performance-book idiom, storage is a single `Vec<T>` (no nested
+//! vectors), rows are contiguous so kernels can take `&[T]` row slices, and
+//! all hot loops in `dfss-kernels` operate on slices obtained here. This
+//! module deliberately contains only *reference-grade* math (naive matmul
+//! etc.) used by tests to validate the optimised kernels.
+
+use crate::rng::Rng;
+use crate::scalar::Scalar;
+
+/// A dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Build from an existing flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Matrix<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// i.i.d. N(mu, sigma) entries (the distribution Proposition 4.2 assumes
+    /// for attention scores).
+    pub fn random_normal(rows: usize, cols: usize, mu: f32, sigma: f32, rng: &mut Rng) -> Matrix<T> {
+        Matrix::from_fn(rows, cols, |_, _| T::from_f32(rng.normal(mu, sigma)))
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// (rows, cols).
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Storage footprint in bytes (used by the peak-memory tracker).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * T::BYTES
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Contiguous row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable contiguous row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Whole backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Whole backing buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Disjoint mutable row pair (for in-place row swaps in tests).
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&mut [T], &mut [T]) {
+        assert!(a != b && a < self.rows && b < self.rows);
+        let c = self.cols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * c);
+        let lo_slice = &mut head[lo * c..(lo + 1) * c];
+        let hi_slice = &mut tail[..c];
+        if a < b {
+            (lo_slice, hi_slice)
+        } else {
+            (hi_slice, lo_slice)
+        }
+    }
+
+    /// Copy of rows `lo..hi`.
+    pub fn take_rows(&self, lo: usize, hi: usize) -> Matrix<T> {
+        assert!(lo <= hi && hi <= self.rows);
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
+    /// Copy of the given rows, in the given order (gather).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix<T> {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &r in idx {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Stack two matrices vertically.
+    pub fn vstack(&self, other: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.cols, other.cols);
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Cast element type (through f32).
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| U::from_f32(v.to_f32())).collect(),
+        }
+    }
+
+    /// Copy as f32 (convenience for metrics and plotting).
+    pub fn to_f32(&self) -> Matrix<f32> {
+        self.cast::<f32>()
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(T) -> T + Sync) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Reference (naive, f32-accumulated) matrix multiply: `self · other`.
+    /// Used only by tests and tiny models; optimised GEMM lives in
+    /// `dfss-kernels`.
+    pub fn matmul_ref(&self, other: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k).to_acc();
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow: &mut [T] = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o = T::from_acc(o.to_acc() + a * b.to_acc());
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm (in f64 for accuracy).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|v| {
+                let x = v.to_f32() as f64;
+                x * x
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Max absolute element-wise difference against another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Matrix<f32> {
+    /// Element-wise binary op into a new matrix.
+    pub fn zip_with(&self, other: &Matrix<f32>, f: impl Fn(f32, f32) -> f32) -> Matrix<f32> {
+        assert_eq!(self.shape(), other.shape());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place scaled add: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix<f32>) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale all entries in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix<{}> {}x{} [", T::NAME, self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            let row = self.row(r);
+            let shown: Vec<String> = row
+                .iter()
+                .take(8)
+                .map(|v| format!("{:>9.4}", v.to_f32()))
+                .collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf16::Bf16;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m: Matrix<f32> = Matrix::zeros(3, 5);
+        assert_eq!(m.shape(), (3, 5));
+        assert_eq!(m.len(), 15);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_layout_row_major() {
+        let m = Matrix::<f32>::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::<f32>::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(4);
+        let m = Matrix::<f32>::random_normal(7, 3, 0.0, 1.0, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 5), m.get(5, 2));
+    }
+
+    #[test]
+    fn matmul_ref_identity() {
+        let mut rng = Rng::new(8);
+        let m = Matrix::<f32>::random_normal(4, 4, 0.0, 1.0, &mut rng);
+        let eye = Matrix::<f32>::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(m.matmul_ref(&eye).max_abs_diff(&m) < 1e-6);
+        assert!(eye.matmul_ref(&m).max_abs_diff(&m) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_ref_known_product() {
+        let a = Matrix::<f32>::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::<f32>::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul_ref(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn bf16_matrix_bytes() {
+        let m: Matrix<Bf16> = Matrix::zeros(8, 8);
+        assert_eq!(m.bytes(), 8 * 8 * 2);
+        let f: Matrix<f32> = Matrix::zeros(8, 8);
+        assert_eq!(f.bytes(), 8 * 8 * 4);
+    }
+
+    #[test]
+    fn cast_roundtrip_for_representable() {
+        let m = Matrix::<f32>::from_fn(3, 3, |r, c| (r as f32 + 1.0) * 0.5 + c as f32);
+        let b: Matrix<Bf16> = m.cast();
+        let back = b.to_f32();
+        // These small values are exactly representable in bf16.
+        assert!(back.max_abs_diff(&m) < 1e-6);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::<f32>::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::<f32>::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        a.axpy(0.1, &b);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_pair_mut_disjoint() {
+        let mut m = Matrix::<f32>::from_fn(4, 2, |r, _| r as f32);
+        let (a, b) = m.row_pair_mut(3, 1);
+        std::mem::swap(&mut a[0], &mut b[0]);
+        assert_eq!(m.get(3, 0), 1.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn frobenius_matches_hand_value() {
+        let m = Matrix::<f32>::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

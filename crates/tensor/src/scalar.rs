@@ -1,0 +1,130 @@
+//! The [`Scalar`] trait abstracts the two data types the paper evaluates:
+//! `float` (f32, pruned 1:2) and `bfloat16` (pruned 2:4).
+//!
+//! Kernels are generic over `Scalar` and always accumulate in `f32`, matching
+//! the paper's tensor-core configuration ("we accumulate the partial sum as
+//! float regardless of the source operand data type", Appendix A.1.2).
+
+use crate::bf16::{tf32_round, Bf16};
+
+/// Element type usable in matrices and kernels.
+///
+/// `to_acc`/`from_acc` convert to and from the `f32` accumulator domain.
+/// `to_mul` applies the *input* rounding of the simulated tensor core:
+/// identity narrowing for `Bf16`, TF32 rounding for `f32`.
+pub trait Scalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + Default + 'static {
+    /// Human-readable dtype name, matching the paper's tables ("float",
+    /// "bfloat16").
+    const NAME: &'static str;
+    /// Storage size in bytes, used by the memory-traffic model.
+    const BYTES: usize;
+    /// The N of the hardware-supported N:M pattern for this dtype
+    /// (1 for float/1:2, 2 for bfloat16/2:4).
+    const NM_N: usize;
+    /// The M of the hardware-supported N:M pattern for this dtype.
+    const NM_M: usize;
+
+    fn from_f32(x: f32) -> Self;
+    fn to_f32(self) -> f32;
+
+    /// Widen into the accumulator domain.
+    #[inline]
+    fn to_acc(self) -> f32 {
+        self.to_f32()
+    }
+
+    /// Narrow from the accumulator domain (output rounding).
+    #[inline]
+    fn from_acc(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+
+    /// Tensor-core input rounding applied before each multiply.
+    fn to_mul(self) -> f32;
+
+    fn zero() -> Self {
+        Self::from_f32(0.0)
+    }
+
+    fn neg_infinity() -> Self {
+        Self::from_f32(f32::NEG_INFINITY)
+    }
+}
+
+impl Scalar for f32 {
+    const NAME: &'static str = "float";
+    const BYTES: usize = 4;
+    const NM_N: usize = 1;
+    const NM_M: usize = 2;
+
+    #[inline]
+    fn from_f32(x: f32) -> f32 {
+        x
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn to_mul(self) -> f32 {
+        tf32_round(self)
+    }
+}
+
+impl Scalar for Bf16 {
+    const NAME: &'static str = "bfloat16";
+    const BYTES: usize = 2;
+    const NM_N: usize = 2;
+    const NM_M: usize = 4;
+
+    #[inline]
+    fn from_f32(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        Bf16::to_f32(self)
+    }
+
+    #[inline]
+    fn to_mul(self) -> f32 {
+        self.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_constants_match_paper() {
+        // float → 1:2, bfloat16 → 2:4 (paper §2.3 / Figure 1).
+        assert_eq!(f32::NM_N, 1);
+        assert_eq!(f32::NM_M, 2);
+        assert_eq!(Bf16::NM_N, 2);
+        assert_eq!(Bf16::NM_M, 4);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(Bf16::BYTES, 2);
+    }
+
+    #[test]
+    fn mul_rounding_contract() {
+        // f32 multiplies see TF32-rounded inputs.
+        let x = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(Scalar::to_mul(x), 1.0);
+        // bf16 multiplies see the exact widened value.
+        let b = Bf16::from_f32(1.5);
+        assert_eq!(b.to_mul(), 1.5);
+    }
+
+    #[test]
+    fn acc_roundtrip() {
+        let v = 0.1234f32;
+        assert_eq!(f32::from_acc(v.to_acc()), v);
+        let b = Bf16::from_f32(0.1234);
+        assert_eq!(Bf16::from_acc(b.to_acc()), b);
+    }
+}

@@ -1,0 +1,180 @@
+//! Summary statistics for the accuracy tables.
+//!
+//! The paper reports `mean ± CI` at Cl = 95% over 8 seeded runs (Tables 1–3)
+//! and box plots over attention heads (Figure 12). This module provides both.
+
+use crate::math::normal_quantile;
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Two-sided confidence-interval half width at confidence level `cl`
+/// (e.g. 0.95), using the normal approximation the paper's ±-notation
+/// implies.
+pub fn ci_half_width(xs: &[f64], cl: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let z = normal_quantile(0.5 + cl / 2.0);
+    z * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// A `mean ± ci` pair, displayable like the paper's table cells.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanCi {
+    pub mean: f64,
+    pub ci: f64,
+}
+
+impl MeanCi {
+    /// Summarise a sample at Cl = 95%.
+    pub fn from_sample(xs: &[f64]) -> MeanCi {
+        MeanCi {
+            mean: mean(xs),
+            ci: ci_half_width(xs, 0.95),
+        }
+    }
+
+    /// True when `other`'s mean lies within this interval — the paper's
+    /// "within one sigma / on-par" accuracy criterion.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let prec = f.precision().unwrap_or(2);
+        write!(f, "{:.p$}± {:.p$}", self.mean, self.ci, p = prec)
+    }
+}
+
+/// Five-number summary for box plots (Figure 12).
+#[derive(Clone, Copy, Debug)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl BoxStats {
+    pub fn from_sample(xs: &[f64]) -> BoxStats {
+        assert!(!xs.is_empty(), "BoxStats of empty sample");
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        BoxStats {
+            min: s[0],
+            q1: quantile_sorted(&s, 0.25),
+            median: quantile_sorted(&s, 0.5),
+            q3: quantile_sorted(&s, 0.75),
+            max: s[s.len() - 1],
+        }
+    }
+}
+
+impl std::fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.3} ⊢ {:.3} | {:.3} | {:.3} ⊣ {:.3}]",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1 denominator.
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = vec![1.0, 2.0, 3.0, 4.0];
+        let mut large = Vec::new();
+        for _ in 0..16 {
+            large.extend_from_slice(&small);
+        }
+        assert!(ci_half_width(&large, 0.95) < ci_half_width(&small, 0.95));
+    }
+
+    #[test]
+    fn ci_95_known_case() {
+        // std=1, n=4 → half width = 1.95996/2.
+        let xs = [
+            -1.0, 1.0, -1.0, 1.0, // mean 0, sample std = sqrt(4/3)
+        ];
+        let sd = std_dev(&xs);
+        let expect = 1.959964 * sd / 2.0;
+        assert!((ci_half_width(&xs, 0.95) - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn meanci_display_and_contains() {
+        let m = MeanCi::from_sample(&[93.0, 93.2, 93.4, 92.8, 93.1, 93.3, 92.9, 93.1]);
+        let s = format!("{m}");
+        assert!(s.contains("±"), "{s}");
+        assert!(m.contains(m.mean));
+        assert!(!m.contains(m.mean + 10.0));
+    }
+
+    #[test]
+    fn box_stats_quartiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxStats::from_sample(&xs);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+    }
+
+    #[test]
+    fn box_stats_single_value() {
+        let b = BoxStats::from_sample(&[7.0]);
+        assert_eq!(b.min, 7.0);
+        assert_eq!(b.max, 7.0);
+        assert_eq!(b.median, 7.0);
+    }
+
+    #[test]
+    fn empty_mean_is_nan() {
+        assert!(mean(&[]).is_nan());
+    }
+}

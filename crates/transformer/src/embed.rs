@@ -1,0 +1,114 @@
+//! Token + learned positional embeddings.
+
+use crate::param::Param;
+use dfss_tensor::{Matrix, Rng};
+
+/// `h_i = E[token_i] + P[i]`.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    pub token: Param,
+    pub pos: Param,
+    cache_tokens: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    pub fn new(vocab: usize, max_len: usize, d: usize, rng: &mut Rng) -> Embedding {
+        Embedding {
+            token: Param::randn(vocab, d, 0.02, rng),
+            pos: Param::randn(max_len, d, 0.02, rng),
+            cache_tokens: None,
+        }
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.token.w.rows()
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.token.w.cols()
+    }
+
+    pub fn forward(&mut self, tokens: &[usize], train: bool) -> Matrix<f32> {
+        let d = self.d_model();
+        assert!(tokens.len() <= self.pos.w.rows(), "sequence exceeds max_len");
+        let mut out = Matrix::<f32>::zeros(tokens.len(), d);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.vocab(), "token {t} out of vocab");
+            let orow = out.row_mut(i);
+            for ((o, &e), &p) in orow
+                .iter_mut()
+                .zip(self.token.w.row(t))
+                .zip(self.pos.w.row(i))
+            {
+                *o = e + p;
+            }
+        }
+        if train {
+            self.cache_tokens = Some(tokens.to_vec());
+        }
+        out
+    }
+
+    /// Scatter-add gradients to the embedding tables.
+    pub fn backward(&mut self, dh: &Matrix<f32>) {
+        let tokens = self
+            .cache_tokens
+            .take()
+            .expect("Embedding::backward without forward(train=true)");
+        for (i, &t) in tokens.iter().enumerate() {
+            let trow = self.token.g.row_mut(t);
+            for (g, &d) in trow.iter_mut().zip(dh.row(i)) {
+                *g += d;
+            }
+            let prow = self.pos.g.row_mut(i);
+            for (g, &d) in prow.iter_mut().zip(dh.row(i)) {
+                *g += d;
+            }
+        }
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.token, &mut self.pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_adds_token_and_pos() {
+        let mut rng = Rng::new(1);
+        let mut e = Embedding::new(4, 8, 2, &mut rng);
+        let h = e.forward(&[2, 2], false);
+        // Same token, different positions → rows differ by pos embedding.
+        let diff0 = h.get(0, 0) - e.pos.w.get(0, 0);
+        let diff1 = h.get(1, 0) - e.pos.w.get(1, 0);
+        assert!((diff0 - diff1).abs() < 1e-6);
+        assert!((diff0 - e.token.w.get(2, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_scatter_adds_shared_tokens() {
+        let mut rng = Rng::new(2);
+        let mut e = Embedding::new(4, 8, 2, &mut rng);
+        let _ = e.forward(&[1, 1, 3], true);
+        let dh = Matrix::from_fn(3, 2, |_, _| 1.0);
+        e.backward(&dh);
+        // Token 1 appears twice → grad 2; token 3 once → grad 1.
+        assert_eq!(e.token.g.get(1, 0), 2.0);
+        assert_eq!(e.token.g.get(3, 0), 1.0);
+        assert_eq!(e.token.g.get(0, 0), 0.0);
+        // Positions each once.
+        assert_eq!(e.pos.g.get(0, 0), 1.0);
+        assert_eq!(e.pos.g.get(2, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn rejects_oov() {
+        let mut rng = Rng::new(3);
+        let mut e = Embedding::new(4, 8, 2, &mut rng);
+        let _ = e.forward(&[7], false);
+    }
+}

@@ -1,0 +1,286 @@
+//! Transformer encoder: embedding + a stack of post-LN layers.
+
+use crate::attn::{AttnKind, MultiHeadAttention};
+use crate::embed::Embedding;
+use crate::ffn::FeedForward;
+use crate::norm::LayerNorm;
+use crate::param::Param;
+use dfss_tensor::{Bf16, Matrix, Rng};
+
+/// Evaluation precision: the paper trains in `float` and evaluates either in
+/// `float` (1:2 sparsity) or casts to `bfloat16` (2:4 sparsity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    F32,
+    Bf16,
+}
+
+/// One encoder layer: post-LN `x + MHA(x)` then `x + FFN(x)` (BERT style).
+pub struct EncoderLayer {
+    pub mha: MultiHeadAttention,
+    pub ffn: FeedForward,
+    pub ln1: LayerNorm,
+    pub ln2: LayerNorm,
+}
+
+impl EncoderLayer {
+    pub fn new(kind: AttnKind, d_model: usize, heads: usize, d_ffn: usize, max_len: usize, rng: &mut Rng) -> EncoderLayer {
+        EncoderLayer {
+            mha: MultiHeadAttention::new(kind, d_model, heads, max_len, rng),
+            ffn: FeedForward::new(d_model, d_ffn, rng),
+            ln1: LayerNorm::new(d_model),
+            ln2: LayerNorm::new(d_model),
+        }
+    }
+
+    pub fn forward(&mut self, x: &Matrix<f32>, train: bool, bf16: bool) -> Matrix<f32> {
+        let attn_out = self.mha.forward(x, train, bf16);
+        let mut h = x.clone();
+        h.axpy(1.0, &attn_out);
+        let h = self.ln1.forward(&h, train);
+        let ffn_out = self.ffn.forward(&h, train);
+        let mut y = h;
+        y.axpy(1.0, &ffn_out);
+        self.ln2.forward(&y, train)
+    }
+
+    pub fn backward(&mut self, dy: &Matrix<f32>) -> Matrix<f32> {
+        let dy = self.ln2.backward(dy);
+        // y = h + ffn(h)
+        let d_ffn_in = self.ffn.backward(&dy);
+        let mut dh = dy;
+        dh.axpy(1.0, &d_ffn_in);
+        let dh = self.ln1.backward(&dh);
+        // h = x + mha(x)
+        let d_mha_in = self.mha.backward(&dh);
+        let mut dx = dh;
+        dx.axpy(1.0, &d_mha_in);
+        dx
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.mha.params();
+        ps.extend(self.ffn.params());
+        ps.extend(self.ln1.params());
+        ps.extend(self.ln2.params());
+        ps
+    }
+}
+
+/// Encoder configuration.
+#[derive(Clone, Debug)]
+pub struct EncoderConfig {
+    pub vocab: usize,
+    pub max_len: usize,
+    pub d_model: usize,
+    pub heads: usize,
+    pub d_ffn: usize,
+    pub layers: usize,
+    pub kind: AttnKind,
+}
+
+impl EncoderConfig {
+    /// A small default suitable for the synthetic tasks.
+    pub fn small(vocab: usize, max_len: usize, kind: AttnKind) -> EncoderConfig {
+        EncoderConfig {
+            vocab,
+            max_len,
+            d_model: 64,
+            heads: 2,
+            d_ffn: 128,
+            layers: 2,
+            kind,
+        }
+    }
+}
+
+/// The full encoder stack.
+pub struct Encoder {
+    pub cfg: EncoderConfig,
+    pub embed: Embedding,
+    pub layers: Vec<EncoderLayer>,
+    pub precision: Precision,
+}
+
+impl Encoder {
+    pub fn new(cfg: EncoderConfig, rng: &mut Rng) -> Encoder {
+        let embed = Embedding::new(cfg.vocab, cfg.max_len, cfg.d_model, rng);
+        let layers = (0..cfg.layers)
+            .map(|_| {
+                EncoderLayer::new(cfg.kind, cfg.d_model, cfg.heads, cfg.d_ffn, cfg.max_len, rng)
+            })
+            .collect();
+        Encoder {
+            cfg,
+            embed,
+            layers,
+            precision: Precision::F32,
+        }
+    }
+
+    /// The paper's drop-in swap: change every layer's attention mechanism
+    /// (used to evaluate a dense-pretrained model under Dfss and to
+    /// finetune).
+    pub fn set_attention(&mut self, kind: AttnKind) {
+        self.cfg.kind = kind;
+        for l in &mut self.layers {
+            l.mha.kind = kind;
+        }
+    }
+
+    /// Cast to bfloat16 evaluation (paper: "directly cast all the parameters
+    /// in the model to bfloat16 and test").
+    pub fn set_precision(&mut self, p: Precision) {
+        self.precision = p;
+        if p == Precision::Bf16 {
+            for param in self.params() {
+                for v in param.w.as_mut_slice() {
+                    *v = Bf16::from_f32(*v).to_f32();
+                }
+            }
+        }
+    }
+
+    /// Hidden states for a token sequence.
+    pub fn forward(&mut self, tokens: &[usize], train: bool) -> Matrix<f32> {
+        let bf16 = self.precision == Precision::Bf16;
+        let mut h = self.embed.forward(tokens, train);
+        for l in &mut self.layers {
+            h = l.forward(&h, train, bf16);
+            if bf16 {
+                for v in h.as_mut_slice() {
+                    *v = Bf16::from_f32(*v).to_f32();
+                }
+            }
+        }
+        h
+    }
+
+    /// Backprop from hidden-state gradients into all parameters.
+    pub fn backward(&mut self, dh: &Matrix<f32>) {
+        let mut d = dh.clone();
+        for l in self.layers.iter_mut().rev() {
+            d = l.backward(&d);
+        }
+        self.embed.backward(&d);
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.embed.params();
+        for l in &mut self.layers {
+            ps.extend(l.params());
+        }
+        ps
+    }
+
+    pub fn num_parameters(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_nmsparse::NmPattern;
+
+    fn tiny(kind: AttnKind) -> Encoder {
+        let mut rng = Rng::new(1);
+        let cfg = EncoderConfig {
+            vocab: 16,
+            max_len: 16,
+            d_model: 8,
+            heads: 2,
+            d_ffn: 16,
+            layers: 2,
+            kind,
+        };
+        Encoder::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut enc = tiny(AttnKind::Full);
+        let h = enc.forward(&[1, 2, 3, 4, 5, 6, 7, 8], false);
+        assert_eq!(h.shape(), (8, 8));
+    }
+
+    #[test]
+    fn end_to_end_gradcheck_on_embedding() {
+        let mut enc = tiny(AttnKind::Full);
+        let tokens = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let mut rng = Rng::new(2);
+        let rmat = Matrix::<f32>::random_normal(8, 8, 0.0, 1.0, &mut rng);
+        let _h = enc.forward(&tokens, true);
+        enc.backward(&rmat);
+        let analytic = enc.embed.token.g.get(1, 0);
+        // Finite difference on token embedding (1, 0).
+        let h = 1e-3;
+        let orig = enc.embed.token.w.get(1, 0);
+        enc.embed.token.w.set(1, 0, orig + h);
+        let hp = enc.forward(&tokens, false);
+        enc.embed.token.w.set(1, 0, orig - h);
+        let hm = enc.forward(&tokens, false);
+        enc.embed.token.w.set(1, 0, orig);
+        let f = |y: &Matrix<f32>| {
+            y.as_slice()
+                .iter()
+                .zip(rmat.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let fd = (f(&hp) - f(&hm)) / (2.0 * h);
+        assert!(
+            (fd - analytic).abs() < 0.05 * (1.0 + fd.abs()),
+            "fd {fd} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn set_attention_swaps_every_layer() {
+        let mut enc = tiny(AttnKind::Full);
+        enc.set_attention(AttnKind::Nm(NmPattern::P1_2));
+        for l in &enc.layers {
+            assert_eq!(l.mha.kind, AttnKind::Nm(NmPattern::P1_2));
+        }
+    }
+
+    #[test]
+    fn dense_vs_dfss_outputs_close_same_weights() {
+        let mut enc = tiny(AttnKind::Full);
+        let tokens = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let dense = enc.forward(&tokens, false);
+        enc.set_attention(AttnKind::Nm(NmPattern::P1_2));
+        let sparse = enc.forward(&tokens, false);
+        let rel = dense.zip_with(&sparse, |a, b| a - b).frobenius_norm()
+            / dense.frobenius_norm().max(1e-9);
+        assert!(rel < 0.8, "Dfss drop-in should stay close: {rel}");
+    }
+
+    #[test]
+    fn bf16_precision_rounds_weights() {
+        let mut enc = tiny(AttnKind::Nm(NmPattern::P2_4));
+        enc.set_precision(Precision::Bf16);
+        // Every weight must be bf16-representable.
+        for p in enc.params() {
+            for &v in p.w.as_slice() {
+                assert_eq!(Bf16::from_f32(v).to_f32(), v);
+            }
+        }
+        let h = enc.forward(&[1, 2, 3, 4], false);
+        assert!(h.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn parameter_count_scales_with_layers() {
+        let mut one = tiny(AttnKind::Full);
+        let mut rng = Rng::new(1);
+        let cfg = EncoderConfig {
+            layers: 4,
+            ..one.cfg.clone()
+        };
+        let mut four = Encoder::new(cfg, &mut rng);
+        let p1 = one.num_parameters();
+        let p4 = four.num_parameters();
+        assert!(p4 > 2 * p1 - p1 / 2, "p1 {p1} p4 {p4}");
+    }
+}

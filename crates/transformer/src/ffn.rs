@@ -1,0 +1,98 @@
+//! Position-wise feed-forward network: `Linear → GELU → Linear`.
+
+use crate::linear::Linear;
+use crate::param::Param;
+use dfss_tensor::{math, Matrix, Rng};
+
+#[derive(Clone, Debug)]
+pub struct FeedForward {
+    pub fc1: Linear,
+    pub fc2: Linear,
+    cache_pre_act: Option<Matrix<f32>>,
+}
+
+impl FeedForward {
+    pub fn new(d_model: usize, d_hidden: usize, rng: &mut Rng) -> FeedForward {
+        FeedForward {
+            fc1: Linear::new(d_model, d_hidden, rng),
+            fc2: Linear::new(d_hidden, d_model, rng),
+            cache_pre_act: None,
+        }
+    }
+
+    pub fn forward(&mut self, x: &Matrix<f32>, train: bool) -> Matrix<f32> {
+        let h = self.fc1.forward(x, train);
+        let act = h.map(math::gelu);
+        if train {
+            self.cache_pre_act = Some(h);
+        }
+        self.fc2.forward(&act, train)
+    }
+
+    pub fn backward(&mut self, dy: &Matrix<f32>) -> Matrix<f32> {
+        let dact = self.fc2.backward(dy);
+        let pre = self
+            .cache_pre_act
+            .take()
+            .expect("FeedForward::backward without forward");
+        let dh = Matrix::from_fn(dact.rows(), dact.cols(), |r, c| {
+            dact.get(r, c) * math::gelu_grad(pre.get(r, c))
+        });
+        self.fc1.backward(&dh)
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.fc1.params();
+        ps.extend(self.fc2.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng::new(1);
+        let mut ffn = FeedForward::new(8, 32, &mut rng);
+        let x = Matrix::random_normal(4, 8, 0.0, 1.0, &mut rng);
+        let y = ffn.forward(&x, false);
+        assert_eq!(y.shape(), (4, 8));
+    }
+
+    #[test]
+    fn gradcheck_dx() {
+        let mut rng = Rng::new(2);
+        let mut ffn = FeedForward::new(4, 8, &mut rng);
+        let x = Matrix::random_normal(3, 4, 0.0, 0.5, &mut rng);
+        let rmat = Matrix::<f32>::random_normal(3, 4, 0.0, 1.0, &mut rng);
+        let _ = ffn.forward(&x, true);
+        let dx = ffn.backward(&rmat);
+        let h = 1e-3;
+        for &(r, c) in &[(0usize, 0usize), (2, 3), (1, 2)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + h);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - h);
+            let yp = ffn.forward(&xp, false);
+            let ym = ffn.forward(&xm, false);
+            let f = |y: &Matrix<f32>| {
+                y.as_slice()
+                    .iter()
+                    .zip(rmat.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+            };
+            let fd = (f(&yp) - f(&ym)) / (2.0 * h);
+            assert!((fd - dx.get(r, c)).abs() < 2e-2, "({r},{c}) fd {fd} vs {}", dx.get(r, c));
+        }
+    }
+
+    #[test]
+    fn params_count() {
+        let mut rng = Rng::new(3);
+        let mut ffn = FeedForward::new(4, 8, &mut rng);
+        assert_eq!(ffn.params().len(), 4);
+    }
+}

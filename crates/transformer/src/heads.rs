@@ -1,0 +1,138 @@
+//! Task heads: sequence classification, span extraction, masked LM.
+
+use crate::linear::Linear;
+use crate::param::Param;
+use dfss_tensor::{Matrix, Rng};
+
+/// CLS-pooled classifier: logits from the first token's hidden state.
+pub struct ClassifierHead {
+    pub proj: Linear,
+    cache_n: usize,
+}
+
+impl ClassifierHead {
+    pub fn new(d_model: usize, classes: usize, rng: &mut Rng) -> ClassifierHead {
+        ClassifierHead {
+            proj: Linear::new(d_model, classes, rng),
+            cache_n: 0,
+        }
+    }
+
+    /// `h: n×d` → logits `1×classes` (from row 0).
+    pub fn forward(&mut self, h: &Matrix<f32>, train: bool) -> Vec<f32> {
+        self.cache_n = h.rows();
+        let cls = h.take_rows(0, 1);
+        self.proj.forward(&cls, train).row(0).to_vec()
+    }
+
+    /// dlogits → dh (zero everywhere except row 0).
+    pub fn backward(&mut self, dlogits: &[f32]) -> Matrix<f32> {
+        let dl = Matrix::from_vec(1, dlogits.len(), dlogits.to_vec());
+        let dcls = self.proj.backward(&dl);
+        let mut dh = Matrix::<f32>::zeros(self.cache_n, dcls.cols());
+        dh.row_mut(0).copy_from_slice(dcls.row(0));
+        dh
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        self.proj.params()
+    }
+}
+
+/// Span-extraction head (SQuAD style): per-position start/end logits.
+pub struct SpanHead {
+    pub proj: Linear,
+}
+
+impl SpanHead {
+    pub fn new(d_model: usize, rng: &mut Rng) -> SpanHead {
+        SpanHead {
+            proj: Linear::new(d_model, 2, rng),
+        }
+    }
+
+    /// `h: n×d` → `(start_logits, end_logits)`, each length n.
+    pub fn forward(&mut self, h: &Matrix<f32>, train: bool) -> (Vec<f32>, Vec<f32>) {
+        let y = self.proj.forward(h, train);
+        let start = (0..y.rows()).map(|r| y.get(r, 0)).collect();
+        let end = (0..y.rows()).map(|r| y.get(r, 1)).collect();
+        (start, end)
+    }
+
+    pub fn backward(&mut self, dstart: &[f32], dend: &[f32]) -> Matrix<f32> {
+        let n = dstart.len();
+        let dy = Matrix::from_fn(n, 2, |r, c| if c == 0 { dstart[r] } else { dend[r] });
+        self.proj.backward(&dy)
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        self.proj.params()
+    }
+}
+
+/// Masked-LM head: per-position vocabulary logits.
+pub struct MlmHead {
+    pub proj: Linear,
+}
+
+impl MlmHead {
+    pub fn new(d_model: usize, vocab: usize, rng: &mut Rng) -> MlmHead {
+        MlmHead {
+            proj: Linear::new(d_model, vocab, rng),
+        }
+    }
+
+    pub fn forward(&mut self, h: &Matrix<f32>, train: bool) -> Matrix<f32> {
+        self.proj.forward(h, train)
+    }
+
+    pub fn backward(&mut self, dlogits: &Matrix<f32>) -> Matrix<f32> {
+        self.proj.backward(dlogits)
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        self.proj.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_uses_cls_row_only() {
+        let mut rng = Rng::new(1);
+        let mut head = ClassifierHead::new(4, 3, &mut rng);
+        let h = Matrix::from_fn(5, 4, |r, c| if r == 0 { (c + 1) as f32 } else { 99.0 });
+        let logits = head.forward(&h, true);
+        assert_eq!(logits.len(), 3);
+        let dh = head.backward(&[1.0, 0.0, 0.0]);
+        assert_eq!(dh.shape(), (5, 4));
+        // Only row 0 receives gradient.
+        assert!(dh.row(0).iter().any(|&v| v != 0.0));
+        for r in 1..5 {
+            assert!(dh.row(r).iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn span_head_emits_per_position_logits() {
+        let mut rng = Rng::new(2);
+        let mut head = SpanHead::new(4, &mut rng);
+        let h = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
+        let (s, e) = head.forward(&h, true);
+        assert_eq!(s.len(), 6);
+        assert_eq!(e.len(), 6);
+        let dh = head.backward(&vec![0.1; 6], &vec![-0.1; 6]);
+        assert_eq!(dh.shape(), (6, 4));
+    }
+
+    #[test]
+    fn mlm_head_vocab_width() {
+        let mut rng = Rng::new(3);
+        let mut head = MlmHead::new(4, 10, &mut rng);
+        let h = Matrix::random_normal(3, 4, 0.0, 1.0, &mut rng);
+        let logits = head.forward(&h, false);
+        assert_eq!(logits.shape(), (3, 10));
+    }
+}

@@ -1,0 +1,208 @@
+//! Fully-connected layer with manual backprop.
+
+use crate::param::Param;
+use dfss_tensor::{Matrix, Rng};
+
+/// `y = x·W + b` with `x: n×in`, `W: in×out`, `b: 1×out`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    pub weight: Param,
+    pub bias: Param,
+    /// Cached input from the last forward (needed by backward).
+    cache_x: Option<Matrix<f32>>,
+}
+
+impl Linear {
+    pub fn new(d_in: usize, d_out: usize, rng: &mut Rng) -> Linear {
+        // Xavier-ish init: std = 1/sqrt(d_in).
+        let sigma = 1.0 / (d_in as f32).sqrt();
+        Linear {
+            weight: Param::randn(d_in, d_out, sigma, rng),
+            bias: Param::zeros(1, d_out),
+            cache_x: None,
+        }
+    }
+
+    pub fn d_in(&self) -> usize {
+        self.weight.w.rows()
+    }
+
+    pub fn d_out(&self) -> usize {
+        self.weight.w.cols()
+    }
+
+    /// Forward pass; caches `x` when `train` is set.
+    pub fn forward(&mut self, x: &Matrix<f32>, train: bool) -> Matrix<f32> {
+        let mut y = matmul(x, &self.weight.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.bias.w.row(0)) {
+                *v += b;
+            }
+        }
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW = xᵀ·dy`, `db = Σ dy`, returns
+    /// `dx = dy·Wᵀ`.
+    pub fn backward(&mut self, dy: &Matrix<f32>) -> Matrix<f32> {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Linear::backward without forward(train=true)");
+        let dw = matmul(&x.transpose(), dy);
+        self.weight.g.axpy(1.0, &dw);
+        for r in 0..dy.rows() {
+            let brow = self.bias.g.row_mut(0);
+            for (g, &d) in brow.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+        matmul(dy, &self.weight.w.transpose())
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Rayon-parallel f32 matmul used throughout the training stack (training
+/// runs on the host; simulated-device accounting happens at inference
+/// through `dfss-kernels`).
+pub fn matmul(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    use rayon::prelude::*;
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "matmul inner dims {ka} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let do_row = |i: usize, orow: &mut [f32]| {
+        let arow = &a_s[i * ka..(i + 1) * ka];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b_s[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m * n * ka > 1 << 18 {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| do_row(i, orow));
+    } else {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            do_row(i, orow);
+        }
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        f: &mut impl FnMut(&Matrix<f32>) -> f32,
+        x: &Matrix<f32>,
+        analytic: &Matrix<f32>,
+        tol: f32,
+    ) {
+        let h = 1e-3;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - h);
+                let fd = (f(&xp) - f(&xm)) / (2.0 * h);
+                assert!(
+                    (fd - analytic.get(r, c)).abs() < tol,
+                    "({r},{c}): fd={fd} analytic={}",
+                    analytic.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = Rng::new(1);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.weight.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        lin.bias.w = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = lin.forward(&x, false);
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = Rng::new(2);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
+        // Loss = sum(y).
+        let y = lin.forward(&x, true);
+        let dy = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        let dx = lin.backward(&dy);
+        let wsnap = lin.weight.w.clone();
+        let bsnap = lin.bias.w.clone();
+        let mut f = |xx: &Matrix<f32>| {
+            let mut y = matmul(xx, &wsnap);
+            for r in 0..y.rows() {
+                let row = y.row_mut(r);
+                for (v, &b) in row.iter_mut().zip(bsnap.row(0)) {
+                    *v += b;
+                }
+            }
+            y.sum() as f32
+        };
+        finite_diff_check(&mut f, &x, &dx, 1e-2);
+    }
+
+    #[test]
+    fn weight_grad_accumulates() {
+        let mut rng = Rng::new(3);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let dy = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let _ = lin.forward(&x, true);
+        let _ = lin.backward(&dy);
+        let g1 = lin.weight.g.clone();
+        let _ = lin.forward(&x, true);
+        let _ = lin.backward(&dy);
+        // Second call doubles the accumulated gradient.
+        for i in 0..4 {
+            assert!((lin.weight.g.as_slice()[i] - 2.0 * g1.as_slice()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bias_grad_is_row_sum() {
+        let mut rng = Rng::new(4);
+        let mut lin = Linear::new(2, 3, &mut rng);
+        let x = Matrix::random_normal(5, 2, 0.0, 1.0, &mut rng);
+        let _ = lin.forward(&x, true);
+        let dy = Matrix::from_fn(5, 3, |r, c| (r + c) as f32);
+        let _ = lin.backward(&dy);
+        for c in 0..3 {
+            let expect: f32 = (0..5).map(|r| (r + c) as f32).sum();
+            assert!((lin.bias.g.get(0, c) - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward")]
+    fn backward_requires_forward() {
+        let mut rng = Rng::new(5);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let dy = Matrix::zeros(1, 2);
+        let _ = lin.backward(&dy);
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-entropy loss with softmax fused backward.
+
+use dfss_tensor::{math, Matrix};
+
+/// Softmax cross-entropy for one logit row against a class index.
+/// Returns `(loss, dlogits)`.
+pub fn cross_entropy_row(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(target < logits.len());
+    let probs = math::softmax(logits);
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Mean cross-entropy over selected rows of a logits matrix; rows not in
+/// `targets` receive zero gradient. Returns `(mean_loss, dlogits)`.
+pub fn cross_entropy_rows(
+    logits: &Matrix<f32>,
+    targets: &[(usize, usize)], // (row, class)
+) -> (f32, Matrix<f32>) {
+    assert!(!targets.is_empty());
+    let mut dl = Matrix::<f32>::zeros(logits.rows(), logits.cols());
+    let mut total = 0.0f32;
+    let inv = 1.0 / targets.len() as f32;
+    for &(row, class) in targets {
+        let (loss, grad) = cross_entropy_row(logits.row(row), class);
+        total += loss;
+        let drow = dl.row_mut(row);
+        for (d, g) in drow.iter_mut().zip(grad) {
+            *d += g * inv;
+        }
+    }
+    (total * inv, dl)
+}
+
+/// Perplexity from a mean cross-entropy (nats).
+pub fn perplexity(mean_ce: f64) -> f64 {
+    mean_ce.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let (loss, _) = cross_entropy_row(&[0.0, 0.0, 0.0, 0.0], 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_has_low_loss() {
+        let (loss, grad) = cross_entropy_row(&[10.0, -10.0], 0);
+        assert!(loss < 1e-4);
+        assert!(grad[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = cross_entropy_row(&[1.0, 2.0, 3.0], 1);
+        let s: f32 = grad.iter().sum();
+        assert!(s.abs() < 1e-6);
+        // Target coordinate is negative, others positive.
+        assert!(grad[1] < 0.0);
+        assert!(grad[0] > 0.0 && grad[2] > 0.0);
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        let logits = [0.3f32, -1.2, 0.7, 0.1];
+        let (_, grad) = cross_entropy_row(&logits, 2);
+        let h = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits;
+            lp[i] += h;
+            let mut lm = logits;
+            lm[i] -= h;
+            let fp = cross_entropy_row(&lp, 2).0;
+            let fm = cross_entropy_row(&lm, 2).0;
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((fd - grad[i]).abs() < 1e-3, "{i}");
+        }
+    }
+
+    #[test]
+    fn multi_row_mean() {
+        let logits = Matrix::from_vec(2, 2, vec![0.0, 0.0, 10.0, -10.0]);
+        let (loss, dl) = cross_entropy_rows(&logits, &[(0, 0), (1, 0)]);
+        assert!((loss - 0.5 * (2.0f32).ln()).abs() < 1e-4);
+        // Row gradients scaled by 1/2.
+        assert!((dl.get(0, 0) - (-0.25)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perplexity_of_log2_is_2() {
+        assert!((perplexity((2.0f64).ln()) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Layer normalisation with manual backprop.
+
+use crate::param::Param;
+use dfss_tensor::Matrix;
+
+const EPS: f32 = 1e-5;
+
+/// Row-wise LayerNorm: `y = γ ⊙ (x − µ)/√(σ² + ε) + β`.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    pub gamma: Param,
+    pub beta: Param,
+    cache: Option<(Matrix<f32>, Vec<f32>, Vec<f32>)>, // x_hat, mean, inv_std
+}
+
+impl LayerNorm {
+    pub fn new(d: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Param::constant(1, d, 1.0),
+            beta: Param::zeros(1, d),
+            cache: None,
+        }
+    }
+
+    pub fn forward(&mut self, x: &Matrix<f32>, train: bool) -> Matrix<f32> {
+        let (n, d) = x.shape();
+        let mut xhat = Matrix::<f32>::zeros(n, d);
+        let mut means = Vec::with_capacity(n);
+        let mut inv_stds = Vec::with_capacity(n);
+        let mut y = Matrix::<f32>::zeros(n, d);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            means.push(mean);
+            inv_stds.push(inv_std);
+            let xh = xhat.row_mut(r);
+            for (o, &v) in xh.iter_mut().zip(row) {
+                *o = (v - mean) * inv_std;
+            }
+            let yr = y.row_mut(r);
+            for c in 0..d {
+                yr[c] = self.gamma.w.get(0, c) * xhat.get(r, c) + self.beta.w.get(0, c);
+            }
+        }
+        if train {
+            self.cache = Some((xhat, means, inv_stds));
+        }
+        y
+    }
+
+    pub fn backward(&mut self, dy: &Matrix<f32>) -> Matrix<f32> {
+        let (xhat, _means, inv_stds) = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward without forward(train=true)");
+        let (n, d) = dy.shape();
+        let mut dx = Matrix::<f32>::zeros(n, d);
+        for r in 0..n {
+            // Parameter grads.
+            for c in 0..d {
+                *self
+                    .gamma
+                    .g
+                    .row_mut(0)
+                    .get_mut(c)
+                    .expect("gamma width") += dy.get(r, c) * xhat.get(r, c);
+                *self.beta.g.row_mut(0).get_mut(c).expect("beta width") += dy.get(r, c);
+            }
+            // dx via the standard LayerNorm backward:
+            // dxhat = dy ⊙ γ
+            // dx = inv_std/d · (d·dxhat − Σdxhat − xhat·Σ(dxhat ⊙ xhat)).
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            let mut dxhat = vec![0.0f32; d];
+            for c in 0..d {
+                let v = dy.get(r, c) * self.gamma.w.get(0, c);
+                dxhat[c] = v;
+                sum_dxhat += v;
+                sum_dxhat_xhat += v * xhat.get(r, c);
+            }
+            let inv_std = inv_stds[r];
+            let dxr = dx.row_mut(r);
+            for c in 0..d {
+                dxr[c] = inv_std / d as f32
+                    * (d as f32 * dxhat[c] - sum_dxhat - xhat.get(r, c) * sum_dxhat_xhat);
+            }
+        }
+        dx
+    }
+
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_tensor::Rng;
+
+    #[test]
+    fn output_rows_standardised() {
+        let mut rng = Rng::new(1);
+        let x = Matrix::random_normal(4, 16, 3.0, 2.0, &mut rng);
+        let mut ln = LayerNorm::new(16);
+        let y = ln.forward(&x, false);
+        for r in 0..4 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 16.0;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let x = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.w = Matrix::from_vec(1, 2, vec![2.0, 2.0]);
+        ln.beta.w = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = ln.forward(&x, false);
+        // xhat = [-1, 1] (up to eps), y = 2·xhat + 1 = [-1, 3].
+        assert!((y.get(0, 0) + 1.0).abs() < 1e-2);
+        assert!((y.get(0, 1) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = Rng::new(2);
+        let x = Matrix::random_normal(3, 8, 0.0, 1.0, &mut rng);
+        let mut ln = LayerNorm::new(8);
+        ln.gamma.w = Matrix::random_normal(1, 8, 1.0, 0.1, &mut rng);
+        // Loss = Σ y ⊙ R for fixed random R.
+        let rmat = Matrix::<f32>::random_normal(3, 8, 0.0, 1.0, &mut rng);
+        let _y = ln.forward(&x, true);
+        let dx = ln.backward(&rmat);
+        let h = 1e-3;
+        for r in 0..3 {
+            for c in 0..8 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - h);
+                let mut ln2 = ln.clone();
+                let yp = ln2.forward(&xp, false);
+                let ym = ln2.forward(&xm, false);
+                let fp: f32 = yp
+                    .as_slice()
+                    .iter()
+                    .zip(rmat.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let fm: f32 = ym
+                    .as_slice()
+                    .iter()
+                    .zip(rmat.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let fd = (fp - fm) / (2.0 * h);
+                assert!(
+                    (fd - dx.get(r, c)).abs() < 2e-2,
+                    "({r},{c}): fd {fd} vs {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_grads_accumulate() {
+        let mut rng = Rng::new(3);
+        let x = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
+        let mut ln = LayerNorm::new(4);
+        let dy = Matrix::from_fn(2, 4, |_, _| 1.0);
+        let _ = ln.forward(&x, true);
+        let _ = ln.backward(&dy);
+        // beta grad = column sums of dy = 2 everywhere.
+        for c in 0..4 {
+            assert!((ln.beta.g.get(0, c) - 2.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Training-loop plumbing: batching, the combined optimizer step, and a
+//! small training-progress report.
+
+use crate::param::{step_all, AdamConfig, Param};
+use dfss_tensor::Rng;
+
+/// Shuffled mini-batch index iterator for one epoch.
+pub fn epoch_batches(n_examples: usize, batch: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n_examples).collect();
+    rng.shuffle(&mut idx);
+    idx.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Apply one optimizer step over encoder + head parameters.
+pub fn optimize(params: Vec<&mut Param>, cfg: &AdamConfig, step: usize) {
+    let mut ps = params;
+    step_all(&mut ps, cfg, step);
+}
+
+/// Rolling training report.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    pub steps: usize,
+    pub losses: Vec<f64>,
+}
+
+impl TrainReport {
+    pub fn push(&mut self, loss: f64) {
+        self.steps += 1;
+        self.losses.push(loss);
+    }
+
+    /// Mean loss over the last `k` steps.
+    pub fn recent_mean(&self, k: usize) -> f64 {
+        if self.losses.is_empty() {
+            return f64::NAN;
+        }
+        let tail = &self.losses[self.losses.len().saturating_sub(k)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// True when the last-quarter mean beats the first-quarter mean —
+    /// a coarse "training is working" check used by tests.
+    pub fn improved(&self) -> bool {
+        if self.losses.len() < 8 {
+            return false;
+        }
+        let q = self.losses.len() / 4;
+        let head: f64 = self.losses[..q].iter().sum::<f64>() / q as f64;
+        let tail: f64 = self.losses[self.losses.len() - q..].iter().sum::<f64>() / q as f64;
+        tail < head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_examples() {
+        let mut rng = Rng::new(1);
+        let batches = epoch_batches(10, 3, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_improvement() {
+        let mut r = TrainReport::default();
+        for i in 0..20 {
+            r.push(10.0 - i as f64 * 0.4);
+        }
+        assert!(r.improved());
+        assert!(r.recent_mean(5) < 4.0);
+    }
+
+    #[test]
+    fn report_no_improvement_on_flat() {
+        let mut r = TrainReport::default();
+        for _ in 0..20 {
+            r.push(1.0);
+        }
+        assert!(!r.improved());
+    }
+}

@@ -1,0 +1,44 @@
+//! Appendix A.7: combining Dfss with a linear attention mechanism
+//! (Nyströmformer). The two n-length softmax factors are pruned 1:2 on the
+//! fly, cutting their traffic while keeping the landmark approximation.
+//!
+//! Run: `cargo run --release --example combine_nystrom`
+
+use dfss::core::linear_baselines::NystromAttention;
+use dfss::core::mechanism::Attention;
+use dfss::prelude::*;
+
+fn main() {
+    let n = 2048;
+    let d = 64;
+    let mut rng = Rng::new(2);
+    let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+
+    let mut dense_ctx = GpuCtx::a100();
+    let _ = FullAttention.forward(&mut dense_ctx, &q, &k, &v);
+
+    let plain = NystromAttention::new(64);
+    let mut plain_ctx = GpuCtx::a100();
+    let plain_out = plain.forward(&mut plain_ctx, &q, &k, &v);
+
+    let combo = NystromAttention::new(64).with_dfss(NmPattern::P1_2);
+    let mut combo_ctx = GpuCtx::a100();
+    let combo_out = combo.forward(&mut combo_ctx, &q, &k, &v);
+
+    println!("simulated latency at n={n} (vs dense = 1.0):");
+    let dense = dense_ctx.latency();
+    println!("  Nystromformer:           {:.3}", plain_ctx.latency() / dense);
+    println!("  Nystromformer + Dfss:    {:.3}", combo_ctx.latency() / dense);
+    println!(
+        "  traffic reduction from Dfss: {:.1}%",
+        100.0 * (1.0 - combo_ctx.timeline.total_bytes() as f64
+            / plain_ctx.timeline.total_bytes() as f64)
+    );
+    let diff = plain_out.zip_with(&combo_out, |a, b| a - b);
+    println!(
+        "  output agreement (rel diff): {:.4}",
+        diff.frobenius_norm() / plain_out.frobenius_norm()
+    );
+}

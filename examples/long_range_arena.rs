@@ -1,0 +1,45 @@
+//! Train the same small encoder on an LRA-style task under several
+//! attention mechanisms and compare accuracy (a one-task slice of Table 4).
+//!
+//! Run: `cargo run --release --example long_range_arena`
+
+use dfss::prelude::*;
+use dfss::tasks::protocol::{eval_classifier, train_classifier, TrainSpec};
+use dfss::tasks::textcls;
+use dfss::transformer::heads::ClassifierHead;
+
+fn main() {
+    let tcfg = textcls::TextClsConfig {
+        seq_len: 64,
+        ..Default::default()
+    };
+    let ds = textcls::generate(&tcfg, 400, 100, 5);
+
+    for kind in [
+        AttnKind::Full,
+        AttnKind::Nm(NmPattern::P1_2),
+        AttnKind::Nm(NmPattern::P2_4),
+        AttnKind::Local(16),
+        AttnKind::Linformer { proj: 16 },
+        AttnKind::Performer { features: 64, seed: 9 },
+        AttnKind::Nystrom { landmarks: 16 },
+    ] {
+        let cfg = EncoderConfig {
+            vocab: ds.vocab,
+            max_len: ds.seq_len,
+            d_model: 48,
+            heads: 2,
+            d_ffn: 96,
+            layers: 2,
+            kind,
+        };
+        let mut rng = Rng::new(11);
+        let mut enc = Encoder::new(cfg, &mut rng);
+        let mut head = ClassifierHead::new(48, ds.classes, &mut rng);
+        let mut spec = TrainSpec::quick(6, ds.train.len(), 16);
+        spec.adam.lr = 1.5e-3;
+        let _ = train_classifier(&mut enc, &mut head, &ds.train, &spec);
+        let acc = 100.0 * eval_classifier(&mut enc, &mut head, &ds.test);
+        println!("{:<22} accuracy {acc:.1}%", kind.label());
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: tensor → nmsparse → kernels → core.
+
+use dfss::prelude::*;
+use dfss_core::full::reference_attention;
+use dfss_gpusim::Stage;
+use dfss_kernels::{sddmm, softmax, spmm};
+
+fn qkv(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+    let mut rng = Rng::new(seed);
+    (
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+    )
+}
+
+#[test]
+fn full_pipeline_composes_across_crates() {
+    // sddmm (kernels) → device meta round trip (nmsparse) → softmax → spmm,
+    // checked against the pure-tensor reference.
+    let (q, k, v) = qkv(64, 32, 1);
+    let scale = 1.0 / (32.0f32).sqrt();
+    let mut ctx = GpuCtx::a100();
+
+    let comp = sddmm::sddmm_nm_fused(&mut ctx, &q, &k, scale, NmPattern::P1_2);
+    // Round trip through the swizzled device metadata before consuming.
+    let dm = comp.to_device_meta();
+    let mut comp2 =
+        NmCompressed::from_device_meta(NmPattern::P1_2, 64, 64, comp.nonzeros().to_vec(), &dm);
+    assert_eq!(comp2, comp);
+
+    softmax::softmax_nm(&mut ctx, &mut comp2);
+    let out = spmm::spmm_nm(&mut ctx, &comp2, &v);
+
+    let mut ctx2 = GpuCtx::a100();
+    let direct = DfssAttention::new(NmPattern::P1_2).forward(&mut ctx2, &q, &k, &v);
+    assert!(out.max_abs_diff(&direct) < 1e-5);
+}
+
+#[test]
+fn dfss_tracks_full_attention_on_concentrated_scores() {
+    // With concentrated scores (trained-attention regime), Dfss ≈ dense.
+    let mut rng = Rng::new(2);
+    let n = 96;
+    let q = Matrix::<f32>::random_normal(n, 16, 0.0, 2.0, &mut rng);
+    let k = q.clone(); // self-similarity concentrates the softmax
+    let v = Matrix::<f32>::random_normal(n, 16, 0.0, 1.0, &mut rng);
+    let mut ctx = GpuCtx::a100();
+    let sparse = DfssAttention::new(NmPattern::P1_2).forward(&mut ctx, &q, &k, &v);
+    let dense = reference_attention(&q, &k, &v);
+    let rel = sparse.zip_with(&dense, |a, b| a - b).frobenius_norm() / dense.frobenius_norm();
+    assert!(rel < 0.12, "relative error {rel}");
+}
+
+#[test]
+fn charge_only_mode_matches_executed_costs() {
+    // The charge-only fast path must record the identical timeline.
+    let (q, k, v) = qkv(128, 64, 3);
+    let mech = DfssAttention::for_dtype::<f32>();
+    let mut executed = GpuCtx::a100();
+    let _ = mech.forward(&mut executed, &q, &k, &v);
+    let mut charged = GpuCtx::a100_charge_only();
+    let _ = mech.forward(&mut charged, &q, &k, &v);
+    assert_eq!(
+        executed.timeline.total_bytes(),
+        charged.timeline.total_bytes()
+    );
+    for stage in Stage::ALL {
+        assert_eq!(
+            executed.timeline.stage_bytes(stage),
+            charged.timeline.stage_bytes(stage),
+            "{stage:?}"
+        );
+    }
+    assert!((executed.latency() - charged.latency()).abs() < 1e-12);
+    assert_eq!(executed.mem.peak(), charged.mem.peak());
+}
+
+#[test]
+fn bf16_pipeline_end_to_end() {
+    let mut rng = Rng::new(4);
+    let q = Matrix::<Bf16>::random_normal(64, 32, 0.0, 1.0, &mut rng);
+    let k = Matrix::<Bf16>::random_normal(64, 32, 0.0, 1.0, &mut rng);
+    let v = Matrix::<Bf16>::random_normal(64, 32, 0.0, 1.0, &mut rng);
+    let mut ctx = GpuCtx::a100();
+    let mech = DfssAttention::for_dtype::<Bf16>();
+    assert_eq!(mech.pattern(), NmPattern::P2_4);
+    let out = mech.forward(&mut ctx, &q, &k, &v);
+    assert!(out.as_slice().iter().all(|x| !x.is_nan()));
+    // The 2:4 bf16 pipeline must also be faster than dense on the simulator.
+    let mut dense_ctx = GpuCtx::a100();
+    let _ = FullAttention.forward(&mut dense_ctx, &q, &k, &v);
+    assert!(ctx.timeline.total_bytes() < dense_ctx.timeline.total_bytes());
+}
+
+#[test]
+fn trained_encoder_swaps_into_kernel_pipeline_consistently() {
+    // The transformer's Nm attention (mask-based training path) and the
+    // kernel pipeline (compressed inference path) select identical patterns:
+    // prune(scores) == decompress(compress(scores)).
+    let mut rng = Rng::new(5);
+    let scores = Matrix::<f32>::random_normal(32, 32, 0.0, 1.0, &mut rng);
+    let mask = NmPattern::P1_2.mask_matrix(&scores);
+    let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+    let dec = comp.decompress();
+    for r in 0..32 {
+        for c in 0..32 {
+            let kept_by_mask = mask.get(r, c) == 1.0;
+            let kept_by_comp = dec.get(r, c) != 0.0 || scores.get(r, c) == 0.0;
+            assert_eq!(kept_by_mask, kept_by_comp, "({r},{c})");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Workspace-level property-based tests on the core invariants
+//! (DESIGN.md §6).
+
+use dfss::prelude::*;
+use dfss_nmsparse::meta::DeviceMeta;
+use dfss_tensor::math;
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compress_decompress_keeps_group_maxima(m in arb_matrix(8, 16)) {
+        let comp = NmCompressed::compress(&m, NmPattern::P2_4);
+        let dec = comp.decompress();
+        // In every group, the decompressed nonzeros are the 2 largest.
+        for r in 0..8 {
+            for g in 0..4 {
+                let vals: Vec<f32> = (0..4).map(|i| m.get(r, g * 4 + i)).collect();
+                let mut sorted = vals.clone();
+                sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                let kept: Vec<f32> = (0..4)
+                    .map(|i| dec.get(r, g * 4 + i))
+                    .filter(|&v| v != 0.0)
+                    .collect();
+                for k in kept {
+                    prop_assert!(k >= sorted[1] - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn device_meta_roundtrip(seed in 0u64..10_000) {
+        let mut rng = Rng::new(seed);
+        let m = Matrix::<f32>::random_normal(32, 32, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&m, NmPattern::P1_2);
+        let dm = comp.to_device_meta();
+        let back = NmCompressed::from_device_meta(
+            NmPattern::P1_2, 32, 32, comp.nonzeros().to_vec(), &dm);
+        prop_assert_eq!(back, comp);
+    }
+
+    #[test]
+    fn device_meta_encode_decode_is_identity(
+        codes in proptest::collection::vec(0usize..6, 32 * 8)
+    ) {
+        let valid: Vec<u8> = codes
+            .iter()
+            .map(|&i| dfss_nmsparse::meta::BF16_CODES[i])
+            .collect();
+        let dm = DeviceMeta::encode(32, 8, &valid);
+        prop_assert_eq!(dm.decode(), valid);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(6, 12)) {
+        let mut x = m;
+        for r in 0..x.rows() {
+            math::softmax_row(x.row_mut(r));
+            let s: f32 = x.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(x.row(r).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn nm_mask_density_is_exact(m in arb_matrix(8, 16)) {
+        for pattern in [NmPattern::P1_2, NmPattern::P2_4] {
+            let mask = pattern.mask_matrix(&m);
+            let kept = mask.as_slice().iter().filter(|&&v| v == 1.0).count();
+            prop_assert_eq!(kept as f64, 8.0 * 16.0 * pattern.density());
+        }
+    }
+
+    #[test]
+    fn spmm_equals_masked_dense_product(seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let s = Matrix::<f32>::random_normal(16, 32, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(32, 8, 0.0, 1.0, &mut rng);
+        let comp = NmCompressed::compress(&s, NmPattern::P1_2);
+        let mut ctx = GpuCtx::a100();
+        let fast = dfss_kernels::spmm::spmm_nm(&mut ctx, &comp, &v);
+        let reference = comp.decompress().matmul_ref(&v);
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-2);
+    }
+
+    #[test]
+    fn fused_sddmm_equals_unfused(seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let q = Matrix::<f32>::random_normal(16, 8, 0.0, 1.0, &mut rng);
+        let k = Matrix::<f32>::random_normal(16, 8, 0.0, 1.0, &mut rng);
+        let mut c1 = GpuCtx::a100();
+        let mut c2 = GpuCtx::a100();
+        let a = dfss_kernels::sddmm::sddmm_nm_fused(&mut c1, &q, &k, 1.0, NmPattern::P2_4);
+        let b = dfss_kernels::sddmm::sddmm_nm_unfused(&mut c2, &q, &k, 1.0, NmPattern::P2_4);
+        prop_assert_eq!(a.codes(), b.codes());
+        // And the fused one never moves more bytes.
+        prop_assert!(c1.timeline.total_bytes() < c2.timeline.total_bytes());
+    }
+
+    #[test]
+    fn qp_is_monotone_in_topk_density(seed in 0u64..500) {
+        let mut rng = Rng::new(seed);
+        let m = Matrix::<f32>::random_normal(24, 24, 0.0, 1.0, &mut rng);
+        let q1 = dfss_core::quality::qp_quality_from_scores(
+            &m, &dfss_core::quality::topk_mask(&m, 6), 2.0);
+        let q2 = dfss_core::quality::qp_quality_from_scores(
+            &m, &dfss_core::quality::topk_mask(&m, 12), 2.0);
+        prop_assert!(q2 >= q1 - 1e-9);
+    }
+
+    #[test]
+    fn bf16_roundtrip_is_idempotent(x in -1e30f32..1e30) {
+        let once = Bf16::from_f32(x);
+        let twice = Bf16::from_f32(once.to_f32());
+        prop_assert_eq!(once.0, twice.0);
+    }
+
+    #[test]
+    fn tf32_preserves_order(a in -1e6f32..1e6, b in -1e6f32..1e6) {
+        let (ra, rb) = (dfss_tensor::tf32_round(a), dfss_tensor::tf32_round(b));
+        if a < b {
+            prop_assert!(ra <= rb);
+        }
+    }
+}
