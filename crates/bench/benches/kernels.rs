@@ -40,13 +40,25 @@ fn bench_sddmm_fused_vs_unfused(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
-                black_box(sddmm::sddmm_nm_fused(&mut ctx, &q, &k, 0.125, NmPattern::P1_2))
+                black_box(sddmm::sddmm_nm_fused(
+                    &mut ctx,
+                    &q,
+                    &k,
+                    0.125,
+                    NmPattern::P1_2,
+                ))
             })
         });
         group.bench_with_input(BenchmarkId::new("unfused", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
-                black_box(sddmm::sddmm_nm_unfused(&mut ctx, &q, &k, 0.125, NmPattern::P1_2))
+                black_box(sddmm::sddmm_nm_unfused(
+                    &mut ctx,
+                    &q,
+                    &k,
+                    0.125,
+                    NmPattern::P1_2,
+                ))
             })
         });
     }

@@ -46,7 +46,9 @@ fn main() {
         ],
     );
 
-    let densities = [0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.63, 0.7];
+    let densities = [
+        0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.63, 0.7,
+    ];
     let dfss_actual = run(&DfssAttention::new(NmPattern::P1_2));
     for &s in &densities {
         let topk_actual = run(&TopKAttention::with_density(n, s));

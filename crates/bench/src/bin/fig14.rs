@@ -15,14 +15,31 @@ fn mechanisms<T: Scalar>(n: usize) -> Vec<(&'static str, Box<dyn Attention<T>>)>
     vec![
         ("Ours", Box::new(DfssAttention::for_dtype::<T>())),
         ("Performer", Box::new(PerformerAttention::new(11))),
-        ("Reformer", Box::new(ReformerAttention::new(64.min(n / 4).max(8), 12))),
-        ("Routing", Box::new(RoutingAttention::new((n / 128).clamp(4, 16), 13))),
-        ("Sinkhorn", Box::new(SinkhornAttention::new(64.min(n / 2).max(8)))),
-        ("Nystrom", Box::new(NystromAttention::new(64.min(n / 4).max(8)))),
+        (
+            "Reformer",
+            Box::new(ReformerAttention::new(64.min(n / 4).max(8), 12)),
+        ),
+        (
+            "Routing",
+            Box::new(RoutingAttention::new((n / 128).clamp(4, 16), 13)),
+        ),
+        (
+            "Sinkhorn",
+            Box::new(SinkhornAttention::new(64.min(n / 2).max(8))),
+        ),
+        (
+            "Nystrom",
+            Box::new(NystromAttention::new(64.min(n / 4).max(8))),
+        ),
     ]
 }
 
-fn run_dtype<T: Scalar>(report: &mut Report, heads_list: &[usize], hiddens: &[usize], seqs: &[usize]) {
+fn run_dtype<T: Scalar>(
+    report: &mut Report,
+    heads_list: &[usize],
+    hiddens: &[usize],
+    seqs: &[usize],
+) {
     for &heads in heads_list {
         for &hidden in hiddens {
             for &n in seqs {
@@ -51,13 +68,25 @@ fn main() {
     let (heads, hiddens, seqs): (Vec<usize>, Vec<usize>, Vec<usize>) = if dfss_bench::quick() {
         (vec![4], vec![256], vec![512, 2048])
     } else {
-        (vec![4, 8], vec![256, 512, 1024], vec![512, 1024, 2048, 4096])
+        (
+            vec![4, 8],
+            vec![256, 512, 1024],
+            vec![512, 1024, 2048, 4096],
+        )
     };
     let mut report = Report::new(
         "Figure 14 — end-to-end speedup over dense transformer (4 layers; simulated A100)",
         &[
-            "dtype", "heads", "hidden", "seq", "Ours", "Performer", "Reformer", "Routing",
-            "Sinkhorn", "Nystrom",
+            "dtype",
+            "heads",
+            "hidden",
+            "seq",
+            "Ours",
+            "Performer",
+            "Reformer",
+            "Routing",
+            "Sinkhorn",
+            "Nystrom",
         ],
     );
     run_dtype::<f32>(&mut report, &heads, &hiddens, &seqs);

@@ -11,16 +11,26 @@ use dfss_kernels::GpuCtx;
 use dfss_tensor::Bf16;
 
 fn main() {
-    let (heads_list, hiddens, seqs): (Vec<usize>, Vec<usize>, Vec<usize>) =
-        if dfss_bench::quick() {
-            (vec![4], vec![256], vec![512, 2048])
-        } else {
-            (vec![4, 8], vec![256, 512, 1024], vec![512, 1024, 2048, 4096])
-        };
+    let (heads_list, hiddens, seqs): (Vec<usize>, Vec<usize>, Vec<usize>) = if dfss_bench::quick() {
+        (vec![4], vec![256], vec![512, 2048])
+    } else {
+        (
+            vec![4, 8],
+            vec![256, 512, 1024],
+            vec![512, 1024, 2048, 4096],
+        )
+    };
     let mut report = Report::new(
         "Figure 15 — end-to-end latency breakdown, bfloat16 (normalised to dense total)",
         &[
-            "heads", "hidden", "seq", "model", "attention", "others", "total", "speedup",
+            "heads",
+            "hidden",
+            "seq",
+            "model",
+            "attention",
+            "others",
+            "total",
+            "speedup",
         ],
     );
     for &heads in &heads_list {

@@ -16,10 +16,22 @@ fn mechanisms<T: Scalar>(n: usize) -> Vec<(&'static str, Box<dyn Attention<T>>)>
         ("Transformer", Box::new(FullAttention)),
         ("Ours", Box::new(DfssAttention::for_dtype::<T>())),
         ("Performer", Box::new(PerformerAttention::new(11))),
-        ("Reformer", Box::new(ReformerAttention::new(64.min(n / 4).max(8), 12))),
-        ("Routing", Box::new(RoutingAttention::new((n / 128).clamp(4, 16), 13))),
-        ("Sinkhorn", Box::new(SinkhornAttention::new(64.min(n / 2).max(8)))),
-        ("Nystrom", Box::new(NystromAttention::new(64.min(n / 4).max(8)))),
+        (
+            "Reformer",
+            Box::new(ReformerAttention::new(64.min(n / 4).max(8), 12)),
+        ),
+        (
+            "Routing",
+            Box::new(RoutingAttention::new((n / 128).clamp(4, 16), 13)),
+        ),
+        (
+            "Sinkhorn",
+            Box::new(SinkhornAttention::new(64.min(n / 2).max(8))),
+        ),
+        (
+            "Nystrom",
+            Box::new(NystromAttention::new(64.min(n / 4).max(8))),
+        ),
     ]
 }
 
@@ -71,7 +83,14 @@ fn main() {
     let mut report = Report::new(
         "Figure 5 — attention latency breakdown (normalised to Transformer; simulated A100)",
         &[
-            "dtype", "seq", "mechanism", "QK^T", "Softmax", "AV", "Overhead", "total",
+            "dtype",
+            "seq",
+            "mechanism",
+            "QK^T",
+            "Softmax",
+            "AV",
+            "Overhead",
+            "total",
             "speedup",
         ],
     );

@@ -19,8 +19,18 @@ fn main() {
         .map(|seed| {
             let (mut model, _train, test) = pretrain_qa(seed, quick);
             let full = eval_qa(&mut model, AttnKind::Full, Precision::F32, &test);
-            let s12 = eval_qa(&mut model, AttnKind::Nm(NmPattern::P1_2), Precision::F32, &test);
-            let s24 = eval_qa(&mut model, AttnKind::Nm(NmPattern::P2_4), Precision::F32, &test);
+            let s12 = eval_qa(
+                &mut model,
+                AttnKind::Nm(NmPattern::P1_2),
+                Precision::F32,
+                &test,
+            );
+            let s24 = eval_qa(
+                &mut model,
+                AttnKind::Nm(NmPattern::P2_4),
+                Precision::F32,
+                &test,
+            );
             (full, s12, s24)
         })
         .collect();

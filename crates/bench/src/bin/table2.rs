@@ -39,20 +39,34 @@ fn main() {
             run.tf_float[1] = eval_qa(&mut d, AttnKind::Full, Precision::F32, &test);
             run.dfss12[0] = eval_qa(&mut d, AttnKind::Nm(NmPattern::P1_2), Precision::F32, &test);
             run.tf_bf16[1] = eval_qa(&mut d, AttnKind::Full, Precision::Bf16, &test);
-            run.dfss24[0] = eval_qa(&mut d, AttnKind::Nm(NmPattern::P2_4), Precision::Bf16, &test);
+            run.dfss24[0] = eval_qa(
+                &mut d,
+                AttnKind::Nm(NmPattern::P2_4),
+                Precision::Bf16,
+                &test,
+            );
             // NOTE: set_precision(Bf16) rounds the weights permanently, so
             // finetuned checkpoints fork fresh from a reloaded pretrain.
             let (mut s12, _, _) = pretrain_qa(seed, quick);
             finetune_qa(&mut s12, AttnKind::Nm(NmPattern::P1_2), &train, seed);
-            run.dfss12[1] = eval_qa(&mut s12, AttnKind::Nm(NmPattern::P1_2), Precision::F32, &test);
+            run.dfss12[1] = eval_qa(
+                &mut s12,
+                AttnKind::Nm(NmPattern::P1_2),
+                Precision::F32,
+                &test,
+            );
             // Paper footnote: Transformer w/o finetune = sparse checkpoint,
             // dense attention.
             run.tf_float[0] = eval_qa(&mut s12, AttnKind::Full, Precision::F32, &test);
 
             let (mut s24, _, _) = pretrain_qa(seed, quick);
             finetune_qa(&mut s24, AttnKind::Nm(NmPattern::P2_4), &train, seed + 100);
-            run.dfss24[1] =
-                eval_qa(&mut s24, AttnKind::Nm(NmPattern::P2_4), Precision::Bf16, &test);
+            run.dfss24[1] = eval_qa(
+                &mut s24,
+                AttnKind::Nm(NmPattern::P2_4),
+                Precision::Bf16,
+                &test,
+            );
             run.tf_bf16[0] = eval_qa(&mut s24, AttnKind::Full, Precision::Bf16, &test);
             run
         })

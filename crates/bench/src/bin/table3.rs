@@ -29,16 +29,31 @@ fn corpus_rows(cfg: mlm::MlmConfig, label: &str, report: &mut Report, seeds: usi
             run.tf_float[1] = eval_mlm(&mut d, AttnKind::Full, Precision::F32, &test);
             run.dfss12[0] = eval_mlm(&mut d, AttnKind::Nm(NmPattern::P1_2), Precision::F32, &test);
             run.tf_bf16[1] = eval_mlm(&mut d, AttnKind::Full, Precision::Bf16, &test);
-            run.dfss24[0] = eval_mlm(&mut d, AttnKind::Nm(NmPattern::P2_4), Precision::Bf16, &test);
+            run.dfss24[0] = eval_mlm(
+                &mut d,
+                AttnKind::Nm(NmPattern::P2_4),
+                Precision::Bf16,
+                &test,
+            );
 
             let (mut s12, _, _) = pretrain_mlm(&lang, seed, quick);
             finetune_mlm(&mut s12, AttnKind::Nm(NmPattern::P1_2), &train, seed);
-            run.dfss12[1] = eval_mlm(&mut s12, AttnKind::Nm(NmPattern::P1_2), Precision::F32, &test);
+            run.dfss12[1] = eval_mlm(
+                &mut s12,
+                AttnKind::Nm(NmPattern::P1_2),
+                Precision::F32,
+                &test,
+            );
             run.tf_float[0] = eval_mlm(&mut s12, AttnKind::Full, Precision::F32, &test);
 
             let (mut s24, _, _) = pretrain_mlm(&lang, seed, quick);
             finetune_mlm(&mut s24, AttnKind::Nm(NmPattern::P2_4), &train, seed + 50);
-            run.dfss24[1] = eval_mlm(&mut s24, AttnKind::Nm(NmPattern::P2_4), Precision::Bf16, &test);
+            run.dfss24[1] = eval_mlm(
+                &mut s24,
+                AttnKind::Nm(NmPattern::P2_4),
+                Precision::Bf16,
+                &test,
+            );
             run.tf_bf16[0] = eval_mlm(&mut s24, AttnKind::Full, Precision::Bf16, &test);
             run
         })
@@ -49,10 +64,26 @@ fn corpus_rows(cfg: mlm::MlmConfig, label: &str, report: &mut Report, seeds: usi
         MeanCi::from_sample(&xs)
     };
     for (model, wo, w) in [
-        ("Transformer (float)", col(&|r| r.tf_float[0]), col(&|r| r.tf_float[1])),
-        ("Transformer (bfloat16)", col(&|r| r.tf_bf16[0]), col(&|r| r.tf_bf16[1])),
-        ("Dfss 1:2 (float)", col(&|r| r.dfss12[0]), col(&|r| r.dfss12[1])),
-        ("Dfss 2:4 (bfloat16)", col(&|r| r.dfss24[0]), col(&|r| r.dfss24[1])),
+        (
+            "Transformer (float)",
+            col(&|r| r.tf_float[0]),
+            col(&|r| r.tf_float[1]),
+        ),
+        (
+            "Transformer (bfloat16)",
+            col(&|r| r.tf_bf16[0]),
+            col(&|r| r.tf_bf16[1]),
+        ),
+        (
+            "Dfss 1:2 (float)",
+            col(&|r| r.dfss12[0]),
+            col(&|r| r.dfss12[1]),
+        ),
+        (
+            "Dfss 2:4 (bfloat16)",
+            col(&|r| r.dfss24[0]),
+            col(&|r| r.dfss24[1]),
+        ),
     ] {
         report.row(vec![
             label.into(),

@@ -20,7 +20,11 @@ fn mechanisms() -> Vec<(&'static str, AttnKind, Precision)> {
         ("Transformer (float)", AttnKind::Full, Precision::F32),
         ("Transformer (bfloat16)", AttnKind::Full, Precision::Bf16),
         ("Local Attention", AttnKind::Local(16), Precision::F32),
-        ("Sparse Trans. (fixed)", AttnKind::FixedPrefix(0.35), Precision::F32),
+        (
+            "Sparse Trans. (fixed)",
+            AttnKind::FixedPrefix(0.35),
+            Precision::F32,
+        ),
         (
             "Longformer",
             AttnKind::Longformer {
@@ -29,7 +33,11 @@ fn mechanisms() -> Vec<(&'static str, AttnKind, Precision)> {
             },
             Precision::F32,
         ),
-        ("Linformer", AttnKind::Linformer { proj: 16 }, Precision::F32),
+        (
+            "Linformer",
+            AttnKind::Linformer { proj: 16 },
+            Precision::F32,
+        ),
         (
             "Reformer",
             AttnKind::LshChunks {
@@ -44,7 +52,11 @@ fn mechanisms() -> Vec<(&'static str, AttnKind, Precision)> {
             AttnKind::SinkhornBlocks { block: 16 },
             Precision::F32,
         ),
-        ("BigBird", AttnKind::BigBird { block: 8, seed: 13 }, Precision::F32),
+        (
+            "BigBird",
+            AttnKind::BigBird { block: 8, seed: 13 },
+            Precision::F32,
+        ),
         (
             "Performer",
             AttnKind::Performer {
@@ -53,10 +65,29 @@ fn mechanisms() -> Vec<(&'static str, AttnKind, Precision)> {
             },
             Precision::F32,
         ),
-        ("Routing Trans.", AttnKind::Cluster { clusters: 8, seed: 19 }, Precision::F32),
-        ("Nystromformer", AttnKind::Nystrom { landmarks: 16 }, Precision::F32),
-        ("Dfss 1:2 (float)", AttnKind::Nm(NmPattern::P1_2), Precision::F32),
-        ("Dfss 2:4 (bfloat16)", AttnKind::Nm(NmPattern::P2_4), Precision::Bf16),
+        (
+            "Routing Trans.",
+            AttnKind::Cluster {
+                clusters: 8,
+                seed: 19,
+            },
+            Precision::F32,
+        ),
+        (
+            "Nystromformer",
+            AttnKind::Nystrom { landmarks: 16 },
+            Precision::F32,
+        ),
+        (
+            "Dfss 1:2 (float)",
+            AttnKind::Nm(NmPattern::P1_2),
+            Precision::F32,
+        ),
+        (
+            "Dfss 2:4 (bfloat16)",
+            AttnKind::Nm(NmPattern::P2_4),
+            Precision::Bf16,
+        ),
     ]
 }
 

@@ -37,7 +37,9 @@ pub fn results_dir() -> PathBuf {
 
 /// Quick-mode flag.
 pub fn quick() -> bool {
-    std::env::var("DFSS_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("DFSS_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Seed count for mean ± CI tables (paper: 8 runs).

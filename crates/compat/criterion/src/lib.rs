@@ -1,0 +1,202 @@
+//! Vendored, API-compatible subset of
+//! [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so the workspace ships this
+//! shim under the same package name (see the root `Cargo.toml`). It keeps the
+//! macro/bencher surface the two harnesses in `crates/bench/benches/` use, and
+//! it really measures: each benchmark is warmed up, then timed over an
+//! adaptive iteration count, reporting mean wall-clock time per iteration.
+//! No statistics engine, plots, or baseline comparison — swap the dependency
+//! back to real criterion for those.
+//!
+//! Knobs: `CRITERION_SAMPLE_MS` (target measurement window per benchmark,
+//! default 200 ms).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn sample_window() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a closure: one warm-up call, then an adaptive iteration count sized
+/// to fill the sample window, reporting the mean.
+pub struct Bencher {
+    /// (iterations, total elapsed) of the measured phase.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + pilot measurement.
+        let t0 = Instant::now();
+        black_box(f());
+        let pilot = t0.elapsed().max(Duration::from_nanos(1));
+        let window = sample_window();
+        let iters = (window.as_nanos() / pilot.as_nanos()).clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((iters, t1.elapsed()));
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) => {
+                let mean = total / iters.max(1) as u32;
+                println!(
+                    "{}/{:<28} time: {:>12}   ({} iterations)",
+                    self.name,
+                    id,
+                    human(mean),
+                    iters
+                );
+            }
+            None => println!("{}/{}  (no measurement recorded)", self.name, id),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        // `cargo bench` forwards harness args (e.g. `--bench`); accepted and
+        // ignored — the shim has no filtering.
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: "bench".into(),
+            _criterion: self,
+        };
+        group.run(id.into(), f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher { result: None };
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        let (iters, total) = b.result.expect("measured");
+        assert_eq!(calls, iters + 1); // warm-up + measured iterations
+        assert!(total >= Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fused", 256).id, "fused/256");
+        assert_eq!(BenchmarkId::from_parameter(1024).id, "1024");
+    }
+}

@@ -1,0 +1,245 @@
+//! Vendored, API-compatible subset of [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment has no crates.io access, so the workspace ships this
+//! shim under the same package name and routes it through
+//! `[workspace.dependencies]`. Swapping back to the real rayon is a one-line
+//! change in the root `Cargo.toml`; no source file changes.
+//!
+//! The parallelism is real, not a sequential fallback: work items are split
+//! into contiguous per-thread groups and executed under [`std::thread::scope`].
+//! Only the surface the workspace actually uses is implemented:
+//!
+//! * `slice.par_chunks_mut(n)` (+ `.zip()`, `.enumerate()`, `.for_each()`)
+//! * `collection.par_iter().map(f).collect()`
+//! * `range.into_par_iter().map(f).collect()`
+//!
+//! Unlike real rayon there is no work-stealing pool: each call site spawns
+//! scoped threads. The kernels already chunk work coarsely (see
+//! `PAR_ROW_CHUNK` in `dfss-kernels`), so per-call spawn overhead stays in
+//! the noise for the matrix sizes the paper evaluates.
+
+use std::num::NonZeroUsize;
+
+/// Items most users need; mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `items` into per-thread groups, apply `f` to every item under a
+/// thread scope, and return the results in the original order.
+fn exec_ordered<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per_thread = n.div_ceil(threads);
+    let mut groups: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let group: Vec<I> = it.by_ref().take(per_thread).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| scope.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+/// The one concrete parallel iterator. Pre-collects its items (they are
+/// cheap: slice borrows or small scalars at every workspace call site) and
+/// fans out on the consuming call.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        exec_ordered(self.items, &f);
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Lazy `map` adapter; the parallel execution happens in [`ParMap::collect`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, F> ParMap<I, F>
+where
+    I: Send,
+{
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        exec_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` call sites that name
+/// `ParallelIterator` keep compiling; the methods live on [`ParIter`].
+pub trait ParallelIterator {}
+impl<I> ParallelIterator for ParIter<I> {}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<C> IntoParallelIterator for C
+where
+    C: IntoIterator,
+    C::Item: Send,
+{
+    type Item = C::Item;
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` borrowing counterpart.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u64;
+            }
+        });
+        for (idx, &x) in data.iter().enumerate() {
+            assert_eq!(x, 1 + (idx / 64) as u64);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_rows_in_order() {
+        let mut a = vec![0usize; 12];
+        let mut b = vec![0usize; 6];
+        a.par_chunks_mut(4)
+            .zip(b.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(i, (ar, br))| {
+                ar.iter_mut().for_each(|x| *x = i + 1);
+                br.iter_mut().for_each(|x| *x = 10 * (i + 1));
+            });
+        assert_eq!(a, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(b, vec![10, 10, 20, 20, 30, 30]);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let jobs = vec![(1usize, 2usize), (3, 4)];
+        let out: Vec<usize> = jobs.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut empty: Vec<f32> = Vec::new();
+        empty.par_chunks_mut(8).for_each(|_| unreachable!());
+        let out: Vec<i32> = (0..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -218,7 +218,12 @@ impl<T: Scalar> Attention<T> for RoutingAttention {
             for i in 0..n {
                 let mut best = (0usize, f32::NEG_INFINITY);
                 for j in 0..c {
-                    let dot: f32 = kf.row(i).iter().zip(centroids.row(j)).map(|(a, b)| a * b).sum();
+                    let dot: f32 = kf
+                        .row(i)
+                        .iter()
+                        .zip(centroids.row(j))
+                        .map(|(a, b)| a * b)
+                        .sum();
                     if dot > best.1 {
                         best = (j, dot);
                     }
@@ -253,7 +258,12 @@ impl<T: Scalar> Attention<T> for RoutingAttention {
         for i in 0..n {
             let mut best = (0usize, f32::NEG_INFINITY);
             for j in 0..c {
-                let dot: f32 = qf.row(i).iter().zip(centroids.row(j)).map(|(a, b)| a * b).sum();
+                let dot: f32 = qf
+                    .row(i)
+                    .iter()
+                    .zip(centroids.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 if dot > best.1 {
                     best = (j, dot);
                 }

@@ -75,7 +75,9 @@ impl DfssAttention {
             sddmm::sddmm_nm_fused(ctx, q, k, scale, self.pattern)
         } else {
             // The unfused path additionally materialises the dense scores.
-            let dense_id = ctx.mem.alloc("scores_dense_unfused", (n * n * T::BYTES) as u64);
+            let dense_id = ctx
+                .mem
+                .alloc("scores_dense_unfused", (n * n * T::BYTES) as u64);
             let comp = sddmm::sddmm_nm_unfused(ctx, q, k, scale, self.pattern);
             ctx.mem.free(dense_id);
             comp
@@ -122,7 +124,9 @@ impl<T: Scalar> Attention<T> for DfssEllAttention {
     fn name(&self) -> String {
         format!(
             "Dfss {} + ELL(w={}) ({})",
-            self.pattern, self.window_blocks, T::NAME
+            self.pattern,
+            self.window_blocks,
+            T::NAME
         )
     }
 
@@ -259,8 +263,7 @@ mod tests {
     fn weights_rows_normalised() {
         let (q, k, v) = qkv(32, 16, 7);
         let mut ctx = GpuCtx::a100();
-        let (_, w) =
-            DfssAttention::new(NmPattern::P1_2).forward_with_weights(&mut ctx, &q, &k, &v);
+        let (_, w) = DfssAttention::new(NmPattern::P1_2).forward_with_weights(&mut ctx, &q, &k, &v);
         for r in 0..32 {
             let s: f32 = w.row_nonzeros(r).iter().sum();
             assert!((s - 1.0).abs() < 1e-5);

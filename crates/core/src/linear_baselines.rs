@@ -144,7 +144,9 @@ impl<T: Scalar> Attention<T> for PerformerAttention {
         // T9 = φ(K)ᵀ·V and T10 = φ(Q)·T9.
         gemm::charge_gemm::<T>(ctx, "favor_kv", Stage::Qk, m, d, n);
         gemm::charge_gemm::<T>(ctx, "favor_qkv", Stage::Av, n, d, m);
-        let phi_id = ctx.mem.alloc("performer_phi", (2 * n * m * T::BYTES) as u64);
+        let phi_id = ctx
+            .mem
+            .alloc("performer_phi", (2 * n * m * T::BYTES) as u64);
         if !ctx.exec {
             ctx.mem.free(phi_id);
             return Matrix::zeros(n, v.cols());
@@ -319,7 +321,9 @@ impl<T: Scalar> Attention<T> for NystromAttention {
         }
         let z = iterative_pinv(&a_ss, self.pinv_iters);
 
-        let mid_id = ctx.mem.alloc("nystrom_factors", (2 * n * m * T::BYTES) as u64);
+        let mid_id = ctx
+            .mem
+            .alloc("nystrom_factors", (2 * n * m * T::BYTES) as u64);
         if !ctx.exec && self.dfss.is_none() {
             gemm::charge_gemm::<T>(ctx, "nystrom_f1", Stage::Qk, n, m, d);
             gemm::charge_gemm::<T>(ctx, "nystrom_f3", Stage::Qk, m, n, d);
@@ -421,13 +425,18 @@ impl<T: Scalar> Attention<T> for LinformerAttention {
         gemm::charge_gemm::<T>(ctx, "linformer_fv", Stage::Overhead, kdim, d, n);
         let ek = e.matmul_ref(&k.to_f32());
         let fv = f.matmul_ref(&v.to_f32());
-        let id = ctx.mem.alloc("linformer_scores", (n * kdim * T::BYTES) as u64);
+        let id = ctx
+            .mem
+            .alloc("linformer_scores", (n * kdim * T::BYTES) as u64);
 
         if !ctx.exec && self.dfss.is_none() {
             gemm::charge_gemm::<T>(ctx, "linformer_qk", Stage::Qk, n, kdim, d);
             ctx.record(
                 KernelProfile::new("linformer_softmax", Stage::Softmax)
-                    .with_traffic((2 * n * kdim * T::BYTES) as u64, (n * kdim * T::BYTES) as u64)
+                    .with_traffic(
+                        (2 * n * kdim * T::BYTES) as u64,
+                        (n * kdim * T::BYTES) as u64,
+                    )
                     .with_alu((n * kdim) as u64 * 6),
             );
             gemm::charge_gemm::<T>(ctx, "linformer_av", Stage::Av, n, d, kdim);
@@ -444,7 +453,10 @@ impl<T: Scalar> Attention<T> for LinformerAttention {
             gemm::charge_gemm::<T>(ctx, "linformer_qk", Stage::Qk, n, kdim, d);
             ctx.record(
                 KernelProfile::new("linformer_softmax", Stage::Softmax)
-                    .with_traffic((2 * n * kdim * T::BYTES) as u64, (n * kdim * T::BYTES) as u64)
+                    .with_traffic(
+                        (2 * n * kdim * T::BYTES) as u64,
+                        (n * kdim * T::BYTES) as u64,
+                    )
                     .with_alu((n * kdim) as u64 * 6),
             );
             gemm::charge_gemm::<T>(ctx, "linformer_av", Stage::Av, n, d, kdim);

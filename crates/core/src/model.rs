@@ -117,7 +117,9 @@ pub fn simulate_encoder<T: Scalar>(
         }
 
         // FFN (Others): two GEMMs + GELU.
-        let ffn_id = ctx.mem.alloc("ffn_hidden", (n * cfg.d_ffn * T::BYTES) as u64);
+        let ffn_id = ctx
+            .mem
+            .alloc("ffn_hidden", (n * cfg.d_ffn * T::BYTES) as u64);
         let mid = gemm::gemm_nn(ctx, Stage::NonAttention, &h1, &w1);
         ctx.record(
             KernelProfile::new("gelu", Stage::NonAttention)
@@ -173,12 +175,7 @@ mod tests {
         let mut cd = GpuCtx::a100();
         let _ = simulate_encoder::<f32>(&mut cd, &cfg, &FullAttention, 1);
         let mut cs = GpuCtx::a100();
-        let _ = simulate_encoder::<f32>(
-            &mut cs,
-            &cfg,
-            &DfssAttention::new(NmPattern::P1_2),
-            1,
-        );
+        let _ = simulate_encoder::<f32>(&mut cs, &cfg, &DfssAttention::new(NmPattern::P1_2), 1);
         let speedup = cd.latency() / cs.latency();
         // Paper A.6: 1.08–1.52× end-to-end.
         assert!(speedup > 1.02 && speedup < 1.6, "e2e speedup {speedup}");

@@ -191,7 +191,8 @@ mod tests {
         let s = gaussian_scores(96, 1.0, 7);
         let m_nm = nm_mask(&s, NmPattern::P1_2);
         let m_fix = fixed_mask(96, 96, 0.63);
-        let qp_gap = qp_quality_from_scores(&s, &m_nm, 6.5) - qp_quality_from_scores(&s, &m_fix, 6.5);
+        let qp_gap =
+            qp_quality_from_scores(&s, &m_nm, 6.5) - qp_quality_from_scores(&s, &m_fix, 6.5);
         // 1:2 wins on the task-aligned Q^p at p=6.5 …
         assert!(qp_gap > 0.0);
         // … while holding *less* raw density (0.5 < 0.63), the mismatch the

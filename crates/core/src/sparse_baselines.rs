@@ -51,7 +51,9 @@ impl<T: Scalar> Attention<T> for TopKAttention {
         let (n, d) = check_qkv(q, k, v);
         let scale = 1.0 / (d as f32).sqrt();
         // Full dense scores are unavoidable — selection needs them all.
-        let scores_id = ctx.mem.alloc("scores_dense_topk", (n * n * T::BYTES) as u64);
+        let scores_id = ctx
+            .mem
+            .alloc("scores_dense_topk", (n * n * T::BYTES) as u64);
         let scores = gemm::gemm_nt(ctx, Stage::Qk, q, k, scale);
         let mut csr = topk::topk_csr(ctx, &scores, self.k);
         ctx.mem.free(scores_id);
@@ -244,11 +246,16 @@ impl<T: Scalar> Attention<T> for BlockSparseAttention {
         gemm::charge_gemm::<T>(ctx, "block_qk", Stage::Qk, n, packed, d);
         ctx.record(
             KernelProfile::new("block_softmax", Stage::Softmax)
-                .with_traffic((2 * n * packed * T::BYTES) as u64, (n * packed * T::BYTES) as u64)
+                .with_traffic(
+                    (2 * n * packed * T::BYTES) as u64,
+                    (n * packed * T::BYTES) as u64,
+                )
                 .with_alu((n * packed) as u64 * 6),
         );
         gemm::charge_gemm::<T>(ctx, "block_av", Stage::Av, n, d, packed);
-        let id = ctx.mem.alloc("scores_bigbird", (n * packed * T::BYTES) as u64);
+        let id = ctx
+            .mem
+            .alloc("scores_bigbird", (n * packed * T::BYTES) as u64);
         if !ctx.exec {
             ctx.mem.free(id);
             return Matrix::zeros(n, v.cols());

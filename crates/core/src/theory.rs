@@ -224,7 +224,10 @@ mod tests {
         let small = mse_dfss_1_2(1e-3, qn, D);
         assert!(small < 1e-6);
         let large_ratio = mse_dfss_1_2(100.0, qn, D) / (100.0f64).powi(2);
-        assert!(large_ratio < 0.5, "normalised MSE should shrink: {large_ratio}");
+        assert!(
+            large_ratio < 0.5,
+            "normalised MSE should shrink: {large_ratio}"
+        );
     }
 
     #[test]

@@ -120,7 +120,8 @@ impl KernelProfile {
     /// compute overlap inside a kernel (double-buffered software pipeline,
     /// Appendix A.1.2), so the slower pipe dominates.
     pub fn latency(&self, dev: &DeviceConfig) -> f64 {
-        self.launches as f64 * dev.kernel_launch_sec + self.mem_time(dev).max(self.compute_time(dev))
+        self.launches as f64 * dev.kernel_launch_sec
+            + self.mem_time(dev).max(self.compute_time(dev))
     }
 
     /// Merge another profile into this one (same stage assumed by caller).

@@ -244,9 +244,8 @@ mod tests {
                 .filter(|(_, &kp)| kp)
                 .map(|(&(c, s), _)| (c, s))
                 .collect();
-            let probs = dfss_tensor::math::softmax(
-                &kept.iter().map(|&(_, s)| s).collect::<Vec<f32>>(),
-            );
+            let probs =
+                dfss_tensor::math::softmax(&kept.iter().map(|&(_, s)| s).collect::<Vec<f32>>());
             for ((c, _), p) in kept.into_iter().zip(probs) {
                 out_weights.set(r, c, p);
             }
@@ -312,13 +311,7 @@ mod tests {
         let plain = crate::sddmm::sddmm_nm_fused(&mut c2, &q, &k, 1.0, NmPattern::P1_2);
         // With all blocks active, packed order == dense order.
         assert_eq!(hybrid.packed.codes(), plain.codes());
-        assert!(
-            hybrid
-                .packed
-                .decompress()
-                .max_abs_diff(&plain.decompress())
-                < 1e-5
-        );
+        assert!(hybrid.packed.decompress().max_abs_diff(&plain.decompress()) < 1e-5);
     }
 
     #[test]

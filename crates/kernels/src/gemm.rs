@@ -69,7 +69,13 @@ fn record_gemm<T: Scalar>(
 ///
 /// This is the natural layout for the attention score matrix
 /// (`Q·Kᵀ` with both `Q` and `K` stored row-major `n×d`).
-pub fn gemm_nt<T: Scalar>(ctx: &mut GpuCtx, stage: Stage, a: &Matrix<T>, b: &Matrix<T>, scale: f32) -> Matrix<T> {
+pub fn gemm_nt<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    scale: f32,
+) -> Matrix<T> {
     let (m, ka) = a.shape();
     let (n, kb) = b.shape();
     assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
@@ -102,7 +108,12 @@ pub fn gemm_nt<T: Scalar>(ctx: &mut GpuCtx, stage: Stage, a: &Matrix<T>, b: &Mat
 }
 
 /// `C = A · B`; `A: M×K`, `B: K×N`, `C: M×N` (e.g. `A·V`).
-pub fn gemm_nn<T: Scalar>(ctx: &mut GpuCtx, stage: Stage, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+pub fn gemm_nn<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
@@ -141,7 +152,12 @@ pub fn gemm_nn<T: Scalar>(ctx: &mut GpuCtx, stage: Stage, a: &Matrix<T>, b: &Mat
 }
 
 /// `C = Aᵀ · B`; `A: K×M`, `B: K×N`, `C: M×N` (gradient layouts).
-pub fn gemm_tn<T: Scalar>(ctx: &mut GpuCtx, stage: Stage, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+pub fn gemm_tn<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
     let (ka, m) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
@@ -199,7 +215,11 @@ mod tests {
         let c = gemm_nt(&mut ctx, Stage::Qk, &a, &b, 1.0);
         let reference = a.matmul_ref(&b.transpose());
         // TF32 input rounding bounds the error.
-        assert!(c.max_abs_diff(&reference) < 1e-2, "{}", c.max_abs_diff(&reference));
+        assert!(
+            c.max_abs_diff(&reference) < 1e-2,
+            "{}",
+            c.max_abs_diff(&reference)
+        );
     }
 
     #[test]

@@ -258,10 +258,7 @@ mod tests {
             (comp.nonzeros_bytes() + comp.meta_bytes()) as u64
         );
         // n²/2 × 4B + n²/16 × 4B (§3.4).
-        assert_eq!(
-            entry.bytes_written,
-            (n * n / 2 * 4 + n * n / 16 * 4) as u64
-        );
+        assert_eq!(entry.bytes_written, (n * n / 2 * 4 + n * n / 16 * 4) as u64);
     }
 
     #[test]
@@ -313,13 +310,8 @@ mod tests {
         let mut ctx = GpuCtx::a100();
         let comp = sddmm_nm_fused(&mut ctx, &q, &k, 1.0, NmPattern::P1_2);
         let dm = comp.to_device_meta();
-        let back = NmCompressed::from_device_meta(
-            NmPattern::P1_2,
-            64,
-            64,
-            comp.nonzeros().to_vec(),
-            &dm,
-        );
+        let back =
+            NmCompressed::from_device_meta(NmPattern::P1_2, 64, 64, comp.nonzeros().to_vec(), &dm);
         assert_eq!(back, comp);
     }
 }

@@ -22,10 +22,7 @@ fn record_softmax<T: Scalar>(ctx: &mut GpuCtx, name: &'static str, rows: usize, 
     let elems = (rows * row_len) as u64;
     ctx.record(
         KernelProfile::new(name, Stage::Softmax)
-            .with_traffic(
-                passes * elems * T::BYTES as u64,
-                elems * T::BYTES as u64,
-            )
+            .with_traffic(passes * elems * T::BYTES as u64, elems * T::BYTES as u64)
             .with_alu(elems * OPS_PER_ELEM),
     );
 }
@@ -76,7 +73,11 @@ pub fn softmax_nm<T: Scalar>(ctx: &mut GpuCtx, comp: &mut NmCompressed<T>) {
 /// stored values.
 pub fn softmax_csr<T: Scalar>(ctx: &mut GpuCtx, csr: &mut Csr<T>) {
     let rows = csr.rows();
-    let avg_len = if rows == 0 { 0 } else { csr.nnz() / rows.max(1) };
+    let avg_len = if rows == 0 {
+        0
+    } else {
+        csr.nnz() / rows.max(1)
+    };
     record_softmax::<T>(ctx, "softmax_csr", rows, avg_len);
     if !ctx.exec {
         return;

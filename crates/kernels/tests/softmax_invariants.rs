@@ -1,0 +1,91 @@
+//! The softmax kernels must produce probability distributions in every
+//! storage format — dense rows, compressed N:M rows, and CSR rows.
+
+use dfss_kernels::{softmax, GpuCtx};
+use dfss_nmsparse::{Csr, NmCompressed, NmPattern};
+use dfss_tensor::{Bf16, Matrix, Rng};
+use proptest::prelude::*;
+
+fn row_sums_to_one(row: &[f32], tol: f32) -> bool {
+    let s: f32 = row.iter().sum();
+    (s - 1.0).abs() < tol && row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compressed_softmax_rows_sum_to_one(seed in 0u64..10_000, pat in 0usize..2) {
+        let pattern = [NmPattern::P1_2, NmPattern::P2_4][pat];
+        let mut rng = Rng::new(seed);
+        let scores = Matrix::<f32>::random_normal(24, 48, 0.0, 2.0, &mut rng);
+        let mut comp = NmCompressed::compress(&scores, pattern);
+        let mut ctx = GpuCtx::a100();
+        softmax::softmax_nm(&mut ctx, &mut comp);
+        for r in 0..comp.rows() {
+            prop_assert!(
+                row_sums_to_one(comp.row_nonzeros(r), 1e-4),
+                "row {r} of {}", pattern.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_softmax_rows_sum_to_one_bf16(seed in 0u64..10_000) {
+        let mut rng = Rng::new(seed);
+        let scores = Matrix::<Bf16>::random_normal(16, 32, 0.0, 2.0, &mut rng);
+        let mut comp = NmCompressed::compress(&scores, NmPattern::P2_4);
+        let mut ctx = GpuCtx::a100();
+        softmax::softmax_nm(&mut ctx, &mut comp);
+        // bf16 has ~8 bits of mantissa; the per-row sum carries the rounding.
+        for r in 0..comp.rows() {
+            let row: Vec<f32> = comp.row_nonzeros(r).iter().map(|v| v.to_f32()).collect();
+            prop_assert!(row_sums_to_one(&row, 0.05), "row {r}");
+        }
+    }
+
+    #[test]
+    fn dense_softmax_rows_sum_to_one(seed in 0u64..10_000) {
+        let mut rng = Rng::new(seed);
+        let scores = Matrix::<f32>::random_normal(12, 40, 0.0, 2.0, &mut rng);
+        let mut ctx = GpuCtx::a100();
+        let probs = softmax::softmax_dense(&mut ctx, &scores);
+        for r in 0..probs.rows() {
+            prop_assert!(row_sums_to_one(probs.row(r), 1e-4), "row {r}");
+        }
+    }
+
+    #[test]
+    fn csr_softmax_rows_sum_to_one(seed in 0u64..10_000) {
+        let mut rng = Rng::new(seed);
+        let scores = Matrix::<f32>::random_normal(20, 40, 0.0, 2.0, &mut rng);
+        let mut csr = Csr::from_dense_topk(&scores, 10);
+        let mut ctx = GpuCtx::a100();
+        softmax::softmax_csr(&mut ctx, &mut csr);
+        for r in 0..csr.rows() {
+            let (_, vals) = csr.row(r);
+            prop_assert!(row_sums_to_one(vals, 1e-4), "row {r}");
+        }
+    }
+}
+
+/// Softmax over extreme magnitudes must stay finite (the stable three-phase
+/// scheme of Equation (10)).
+#[test]
+fn compressed_softmax_is_stable_at_extremes() {
+    let mut scores = Matrix::<f32>::zeros(4, 16);
+    for c in 0..16 {
+        scores.set(0, c, 1e30);
+        scores.set(1, c, -1e30);
+        scores.set(2, c, if c % 2 == 0 { 500.0 } else { -500.0 });
+        scores.set(3, c, 0.0);
+    }
+    let mut comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+    let mut ctx = GpuCtx::a100();
+    softmax::softmax_nm(&mut ctx, &mut comp);
+    for r in 0..4 {
+        let s: f32 = comp.row_nonzeros(r).iter().sum();
+        assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+        assert!(comp.row_nonzeros(r).iter().all(|p| p.is_finite()));
+    }
+}

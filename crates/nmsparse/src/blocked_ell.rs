@@ -28,7 +28,7 @@ pub struct BlockedEll {
 impl BlockedEll {
     /// Build from an explicit active-block table.
     pub fn new(rows: usize, cols: usize, block: usize, active: Vec<Vec<u32>>) -> BlockedEll {
-        assert!(block > 0 && rows % block == 0 && cols % block == 0);
+        assert!(block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block));
         let row_blocks = rows / block;
         assert_eq!(active.len(), row_blocks);
         let ell_width = active.first().map_or(0, |a| a.len());
@@ -101,7 +101,9 @@ impl BlockedEll {
                 set.push(g as u32);
             }
             let center = rb.min(col_blocks - 1);
-            let lo = center.saturating_sub(window / 2).min(col_blocks.saturating_sub(window));
+            let lo = center
+                .saturating_sub(window / 2)
+                .min(col_blocks.saturating_sub(window));
             for w in lo..(lo + window).min(col_blocks) {
                 set.push(w as u32);
             }

@@ -74,9 +74,7 @@ impl<T: Scalar> NmCompressed<T> {
         assert_eq!(cols % pattern.m(), 0);
         assert_eq!(nonzeros.len(), rows * pattern.kept_per_row(cols));
         assert_eq!(codes.len(), rows * cols / pattern.m());
-        debug_assert!(codes
-            .iter()
-            .all(|c| c.count_ones() as usize == pattern.n()));
+        debug_assert!(codes.iter().all(|c| c.count_ones() as usize == pattern.n()));
         NmCompressed {
             pattern,
             rows,

@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn bijection_over_multiple_windows() {
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for c in 0..64 {
             let d = interleave_col(c);
             assert!(d < 64);
@@ -124,9 +124,7 @@ mod tests {
         // thread's slots — that is the whole point of the transform.
         for g in 0..8 {
             let window = (4 * g / 16) * 16;
-            let mut dsts: Vec<usize> = (0..4)
-                .map(|i| interleave_col(4 * g + i) - window)
-                .collect();
+            let mut dsts: Vec<usize> = (0..4).map(|i| interleave_col(4 * g + i) - window).collect();
             dsts.sort_unstable();
             let t = dsts[0] / 2;
             assert_eq!(

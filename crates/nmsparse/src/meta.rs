@@ -279,9 +279,7 @@ mod tests {
 
     fn random_codes(rows: usize, cpr: usize, seed: u64) -> Vec<u8> {
         let mut rng = dfss_tensor::Rng::new(seed);
-        (0..rows * cpr)
-            .map(|_| BF16_CODES[rng.below(6)])
-            .collect()
+        (0..rows * cpr).map(|_| BF16_CODES[rng.below(6)]).collect()
     }
 
     #[test]
@@ -340,12 +338,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "prune tile height")]
     fn rejects_non_tile_rows() {
-        DeviceMeta::encode(16, 8, &vec![0u8; 16 * 8]);
+        DeviceMeta::encode(16, 8, &[0u8; 16 * 8]);
     }
 
     #[test]
     #[should_panic(expected = "prune tile width")]
     fn rejects_non_tile_cols() {
-        DeviceMeta::encode(32, 4, &vec![0u8; 32 * 4]);
+        DeviceMeta::encode(32, 4, &[0u8; 32 * 4]);
     }
 }

@@ -60,7 +60,12 @@ impl NmPattern {
     /// Number of kept values in a row of `cols` dense entries.
     #[inline]
     pub fn kept_per_row(&self, cols: usize) -> usize {
-        assert_eq!(cols % self.m, 0, "cols {cols} not a multiple of M={}", self.m);
+        assert_eq!(
+            cols % self.m,
+            0,
+            "cols {cols} not a multiple of M={}",
+            self.m
+        );
         cols / self.m * self.n
     }
 

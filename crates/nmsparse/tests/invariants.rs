@@ -1,0 +1,117 @@
+//! Format-level invariants of the N:M sparse substrate, pinned as the
+//! crate's own contract (the workspace integration tests in
+//! `tests/proptests.rs` only reach these through the kernel pipeline).
+
+use dfss_nmsparse::{NmCompressed, NmPattern};
+use dfss_tensor::{Bf16, Matrix, Rng};
+use proptest::prelude::*;
+
+/// `from_device_meta ∘ to_device_meta` must be the identity for every
+/// pattern that has a device metadata layout (the two Ampere hardware
+/// patterns — generic N:M deliberately panics, see below).
+#[test]
+fn device_meta_roundtrip_identity_all_hardware_patterns() {
+    let mut rng = Rng::new(0xD0D0);
+    for pattern in [NmPattern::P1_2, NmPattern::P2_4] {
+        for (rows, cols) in [(32, 32), (32, 64), (64, 64), (96, 32)] {
+            let m = Matrix::<f32>::random_normal(rows, cols, 0.0, 1.0, &mut rng);
+            let comp = NmCompressed::compress(&m, pattern);
+            let dm = comp.to_device_meta();
+            let back =
+                NmCompressed::from_device_meta(pattern, rows, cols, comp.nonzeros().to_vec(), &dm);
+            assert_eq!(back, comp, "{} at {rows}x{cols}", pattern.name());
+        }
+    }
+}
+
+#[test]
+fn device_meta_roundtrip_identity_bf16() {
+    let mut rng = Rng::new(0xBF16);
+    let m = Matrix::<Bf16>::random_normal(32, 64, 0.0, 1.0, &mut rng);
+    let comp = NmCompressed::compress(&m, NmPattern::P2_4);
+    let dm = comp.to_device_meta();
+    let back =
+        NmCompressed::from_device_meta(NmPattern::P2_4, 32, 64, comp.nonzeros().to_vec(), &dm);
+    assert_eq!(back, comp);
+}
+
+#[test]
+#[should_panic(expected = "device metadata only defined for 1:2 and 2:4")]
+fn device_meta_rejects_generic_patterns() {
+    let mut rng = Rng::new(1);
+    let m = Matrix::<f32>::random_normal(32, 32, 0.0, 1.0, &mut rng);
+    let comp = NmCompressed::compress(&m, NmPattern::new(2, 8));
+    let _ = comp.to_device_meta();
+}
+
+/// For one dense row and a pattern, check every M-group of the compressed
+/// form keeps exactly the top-N entries (ties broken toward lower index).
+fn assert_keeps_top_n(dense: &Matrix<f32>, pattern: NmPattern) {
+    let comp = NmCompressed::compress(dense, pattern);
+    let dec = comp.decompress();
+    let (n, m) = (pattern.n(), pattern.m());
+    for r in 0..dense.rows() {
+        for (g, group) in dense.row(r).chunks_exact(m).enumerate() {
+            // Expected kept indices: stable sort descending by value.
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.sort_by(|&a, &b| group[b].partial_cmp(&group[a]).unwrap());
+            let mut expect: Vec<usize> = idx[..n].to_vec();
+            expect.sort_unstable();
+            // Actual kept indices: nonzero positions of the decompressed
+            // group — except that a kept *value* of exactly 0.0 is invisible
+            // in the decompressed form, so compare via the selection codes.
+            let code = comp.codes()[r * dense.cols() / m + g];
+            let actual: Vec<usize> = (0..m).filter(|&i| code & (1 << i) != 0).collect();
+            assert_eq!(actual.len(), n, "group keeps exactly N");
+            assert_eq!(actual, expect, "row {r} group {g} of {}", pattern.name());
+            // And the decompressed values at kept positions match the dense
+            // input exactly.
+            for &i in &actual {
+                assert_eq!(dec.get(r, g * m + i), group[i]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prune_keeps_exactly_top_n_of_every_group(seed in 0u64..10_000, pat in 0usize..6) {
+        let pattern = [
+            NmPattern::P1_2,
+            NmPattern::P2_4,
+            NmPattern::new(1, 4),
+            NmPattern::new(3, 4),
+            NmPattern::new(2, 8),
+            NmPattern::new(4, 8),
+        ][pat];
+        let mut rng = Rng::new(seed);
+        let dense = Matrix::<f32>::random_normal(16, 32, 0.0, 1.0, &mut rng);
+        assert_keeps_top_n(&dense, pattern);
+    }
+
+    #[test]
+    fn prune_keeps_top_n_with_ties(seed in 0u64..10_000) {
+        // Quantise hard so M-groups contain duplicated values; the
+        // lower-index tie-break must still hold.
+        let mut rng = Rng::new(seed);
+        let dense = Matrix::<f32>::from_fn(8, 16, |_, _| {
+            (rng.next_u64() % 3) as f32 - 1.0
+        });
+        for pattern in [NmPattern::P1_2, NmPattern::P2_4, NmPattern::new(2, 8)] {
+            assert_keeps_top_n(&dense, pattern);
+        }
+    }
+
+    #[test]
+    fn device_meta_roundtrip_randomized(seed in 0u64..10_000, pat in 0usize..2) {
+        let pattern = [NmPattern::P1_2, NmPattern::P2_4][pat];
+        let mut rng = Rng::new(seed);
+        let m = Matrix::<f32>::random_normal(32, 64, 0.0, 3.0, &mut rng);
+        let comp = NmCompressed::compress(&m, pattern);
+        let back = NmCompressed::from_device_meta(
+            pattern, 32, 64, comp.nonzeros().to_vec(), &comp.to_device_meta());
+        prop_assert_eq!(back, comp);
+    }
+}

@@ -36,10 +36,10 @@ impl Default for ImageConfig {
 fn pattern(c: usize, r: usize, col: usize, edge: usize, phase: usize) -> f64 {
     let stripes = |x: usize| ((x + phase) / 2 % 2) as f64;
     match c {
-        0 => stripes(r),                       // horizontal stripes
-        1 => stripes(col),                     // vertical stripes
-        2 => stripes(r + col),                 // diagonal stripes
-        3 => ((r + phase) % 2 ^ (col + phase) % 2) as f64, // checkerboard
+        0 => stripes(r),                                       // horizontal stripes
+        1 => stripes(col),                                     // vertical stripes
+        2 => stripes(r + col),                                 // diagonal stripes
+        3 => (((r + phase) % 2) ^ ((col + phase) % 2)) as f64, // checkerboard
         4 => {
             // centre blob
             let dr = r as f64 - edge as f64 / 2.0;
@@ -144,9 +144,8 @@ mod tests {
         let ds = generate(&cfg, 120, 0, 3);
         // Mean-intensity profiles must differ between stripe classes and
         // blob classes.
-        let mean = |ex: &ClsExample| {
-            ex.tokens.iter().sum::<usize>() as f64 / ex.tokens.len() as f64
-        };
+        let mean =
+            |ex: &ClsExample| ex.tokens.iter().sum::<usize>() as f64 / ex.tokens.len() as f64;
         let stripe: Vec<f64> = ds.train.iter().filter(|e| e.label == 0).map(mean).collect();
         let blob: Vec<f64> = ds.train.iter().filter(|e| e.label == 4).map(mean).collect();
         if !stripe.is_empty() && !blob.is_empty() {

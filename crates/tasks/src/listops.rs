@@ -172,7 +172,10 @@ mod tests {
             e.tokens(&mut toks);
             assert_eq!(toks.len(), e.token_len());
             // Balanced brackets: ops == closes.
-            let ops = toks.iter().filter(|&&t| (OP0..OP0 + 4).contains(&t)).count();
+            let ops = toks
+                .iter()
+                .filter(|&&t| (OP0..OP0 + 4).contains(&t))
+                .count();
             let closes = toks.iter().filter(|&&t| t == CLOSE).count();
             assert_eq!(ops, closes);
         }

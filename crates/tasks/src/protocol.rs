@@ -128,7 +128,12 @@ pub fn train_qa(
 }
 
 /// Mean token-level F1 over a QA dataset (the paper's SQuAD metric, ×100).
-pub fn eval_qa_f1(enc: &mut Encoder, head: &mut SpanHead, data: &[QaExample], max_span: usize) -> f64 {
+pub fn eval_qa_f1(
+    enc: &mut Encoder,
+    head: &mut SpanHead,
+    data: &[QaExample],
+    max_span: usize,
+) -> f64 {
     let mut total = 0.0f64;
     for ex in data {
         let h = enc.forward(&ex.tokens, false);
@@ -221,7 +226,11 @@ mod tests {
         let mut head = ClassifierHead::new(32, ds.classes, &mut rng);
         let spec = TrainSpec::quick(6, ds.train.len(), 16);
         let report = train_classifier(&mut enc, &mut head, &ds.train, &spec);
-        assert!(report.improved(), "loss did not improve: {:?}", report.recent_mean(5));
+        assert!(
+            report.improved(),
+            "loss did not improve: {:?}",
+            report.recent_mean(5)
+        );
         let acc = eval_classifier(&mut enc, &mut head, &ds.test);
         assert!(acc > 0.5, "accuracy {acc} barely above chance (0.25)");
     }

@@ -131,7 +131,10 @@ mod tests {
         };
         for ex in &ds.train {
             let sep = ex.tokens.iter().position(|&t| t == SEP).expect("sep");
-            let ta: Vec<usize> = ex.tokens[1..sep].iter().filter_map(|&t| topic_of(t)).collect();
+            let ta: Vec<usize> = ex.tokens[1..sep]
+                .iter()
+                .filter_map(|&t| topic_of(t))
+                .collect();
             let tb: Vec<usize> = ex.tokens[sep + 1..]
                 .iter()
                 .filter_map(|&t| topic_of(t))

@@ -51,7 +51,13 @@ impl<T: Scalar> Matrix<T> {
 
     /// i.i.d. N(mu, sigma) entries (the distribution Proposition 4.2 assumes
     /// for attention scores).
-    pub fn random_normal(rows: usize, cols: usize, mu: f32, sigma: f32, rng: &mut Rng) -> Matrix<T> {
+    pub fn random_normal(
+        rows: usize,
+        cols: usize,
+        mu: f32,
+        sigma: f32,
+        rng: &mut Rng,
+    ) -> Matrix<T> {
         Matrix::from_fn(rows, cols, |_, _| T::from_f32(rng.normal(mu, sigma)))
     }
 

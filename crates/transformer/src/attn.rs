@@ -33,15 +33,9 @@ pub enum AttnKind {
     /// Sliding window of the given width.
     Local(usize),
     /// BigBird-style global + window + random blocks.
-    BigBird {
-        block: usize,
-        seed: u64,
-    },
+    BigBird { block: usize, seed: u64 },
     /// Longformer-style: sliding window + a few global tokens.
-    Longformer {
-        window: usize,
-        global_tokens: usize,
-    },
+    Longformer { window: usize, global_tokens: usize },
     /// Reformer-style LSH bucketing into chunks.
     LshChunks {
         chunk: usize,
@@ -49,28 +43,16 @@ pub enum AttnKind {
         seed: u64,
     },
     /// Routing-style k-means clusters over keys.
-    Cluster {
-        clusters: usize,
-        seed: u64,
-    },
+    Cluster { clusters: usize, seed: u64 },
     /// Sinkhorn-style block matching.
-    SinkhornBlocks {
-        block: usize,
-    },
+    SinkhornBlocks { block: usize },
     /// Linformer: learned sequence-length projections E, F of rank `proj`.
-    Linformer {
-        proj: usize,
-    },
+    Linformer { proj: usize },
     /// Performer: FAVOR+ positive softmax kernel, `features` random
     /// features.
-    Performer {
-        features: usize,
-        seed: u64,
-    },
+    Performer { features: usize, seed: u64 },
     /// Nyströmformer with `landmarks` segment-mean landmarks.
-    Nystrom {
-        landmarks: usize,
-    },
+    Nystrom { landmarks: usize },
     /// Nyströmformer with Dfss applied to both n-length factors (A.7).
     NystromNm {
         landmarks: usize,
@@ -131,7 +113,12 @@ fn group_mask(n: usize, groups: &[Vec<usize>]) -> Matrix<f32> {
 }
 
 /// Build the binary keep-mask for the mask-family mechanisms.
-fn build_mask(kind: &AttnKind, scores: &Matrix<f32>, q: &Matrix<f32>, k: &Matrix<f32>) -> Matrix<f32> {
+fn build_mask(
+    kind: &AttnKind,
+    scores: &Matrix<f32>,
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+) -> Matrix<f32> {
     let n = scores.rows();
     match *kind {
         AttnKind::Full => Matrix::from_fn(n, n, |_, _| 1.0),
@@ -252,8 +239,12 @@ fn build_mask(kind: &AttnKind, scores: &Matrix<f32>, q: &Matrix<f32>, k: &Matrix
                 for i in 0..n {
                     let mut best = (0usize, f32::NEG_INFINITY);
                     for j in 0..c {
-                        let dot: f32 =
-                            k.row(i).iter().zip(centroids.row(j)).map(|(a, b)| a * b).sum();
+                        let dot: f32 = k
+                            .row(i)
+                            .iter()
+                            .zip(centroids.row(j))
+                            .map(|(a, b)| a * b)
+                            .sum();
                         if dot > best.1 {
                             best = (j, dot);
                         }
@@ -271,7 +262,9 @@ fn build_mask(kind: &AttnKind, scores: &Matrix<f32>, q: &Matrix<f32>, k: &Matrix
                 }
                 for j in 0..c {
                     if counts[j] > 0 {
-                        sums.row_mut(j).iter_mut().for_each(|x| *x /= counts[j] as f32);
+                        sums.row_mut(j)
+                            .iter_mut()
+                            .for_each(|x| *x /= counts[j] as f32);
                     }
                 }
                 centroids = sums;
@@ -876,7 +869,7 @@ fn masked_softmax_scaled(s: &Matrix<f32>, scale: f32, pattern: Option<NmPattern>
     let mut out = s.clone();
     out.scale(scale);
     if let Some(p) = pattern {
-        if out.cols() % p.m() == 0 {
+        if out.cols().is_multiple_of(p.m()) {
             let mask = p.mask_matrix(&out);
             for r in 0..out.rows() {
                 let row = out.row_mut(r);
@@ -922,7 +915,9 @@ fn favor_backward(
 ) -> Matrix<f32> {
     let quarter = (d as f32).sqrt().sqrt();
     // dproj_ij = dphi_ij · phi_ij (through exp), scaled by 1/d^¼ on x.
-    let dproj = Matrix::from_fn(phi.rows(), phi.cols(), |i, j| dphi.get(i, j) * phi.get(i, j));
+    let dproj = Matrix::from_fn(phi.rows(), phi.cols(), |i, j| {
+        dphi.get(i, j) * phi.get(i, j)
+    });
     let mut dx = matmul(&dproj, w);
     dx.scale(1.0 / quarter);
     // sq_i = ‖x_i‖²/(2√d): dsq_i = −Σ_j dphi_ij φ_ij; dx_i += dsq_i · x_i/√d.

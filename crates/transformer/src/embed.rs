@@ -30,7 +30,10 @@ impl Embedding {
 
     pub fn forward(&mut self, tokens: &[usize], train: bool) -> Matrix<f32> {
         let d = self.d_model();
-        assert!(tokens.len() <= self.pos.w.rows(), "sequence exceeds max_len");
+        assert!(
+            tokens.len() <= self.pos.w.rows(),
+            "sequence exceeds max_len"
+        );
         let mut out = Matrix::<f32>::zeros(tokens.len(), d);
         for (i, &t) in tokens.iter().enumerate() {
             assert!(t < self.vocab(), "token {t} out of vocab");

@@ -24,7 +24,14 @@ pub struct EncoderLayer {
 }
 
 impl EncoderLayer {
-    pub fn new(kind: AttnKind, d_model: usize, heads: usize, d_ffn: usize, max_len: usize, rng: &mut Rng) -> EncoderLayer {
+    pub fn new(
+        kind: AttnKind,
+        d_model: usize,
+        heads: usize,
+        d_ffn: usize,
+        max_len: usize,
+        rng: &mut Rng,
+    ) -> EncoderLayer {
         EncoderLayer {
             mha: MultiHeadAttention::new(kind, d_model, heads, max_len, rng),
             ffn: FeedForward::new(d_model, d_ffn, rng),
@@ -107,7 +114,14 @@ impl Encoder {
         let embed = Embedding::new(cfg.vocab, cfg.max_len, cfg.d_model, rng);
         let layers = (0..cfg.layers)
             .map(|_| {
-                EncoderLayer::new(cfg.kind, cfg.d_model, cfg.heads, cfg.d_ffn, cfg.max_len, rng)
+                EncoderLayer::new(
+                    cfg.kind,
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.d_ffn,
+                    cfg.max_len,
+                    rng,
+                )
             })
             .collect();
         Encoder {

@@ -85,7 +85,11 @@ mod tests {
                     .sum::<f32>()
             };
             let fd = (f(&yp) - f(&ym)) / (2.0 * h);
-            assert!((fd - dx.get(r, c)).abs() < 2e-2, "({r},{c}) fd {fd} vs {}", dx.get(r, c));
+            assert!(
+                (fd - dx.get(r, c)).abs() < 2e-2,
+                "({r},{c}) fd {fd} vs {}",
+                dx.get(r, c)
+            );
         }
     }
 

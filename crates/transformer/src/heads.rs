@@ -123,7 +123,7 @@ mod tests {
         let (s, e) = head.forward(&h, true);
         assert_eq!(s.len(), 6);
         assert_eq!(e.len(), 6);
-        let dh = head.backward(&vec![0.1; 6], &vec![-0.1; 6]);
+        let dh = head.backward(&[0.1; 6], &[-0.1; 6]);
         assert_eq!(dh.shape(), (6, 4));
     }
 

@@ -60,12 +60,8 @@ impl LayerNorm {
         for r in 0..n {
             // Parameter grads.
             for c in 0..d {
-                *self
-                    .gamma
-                    .g
-                    .row_mut(0)
-                    .get_mut(c)
-                    .expect("gamma width") += dy.get(r, c) * xhat.get(r, c);
+                *self.gamma.g.row_mut(0).get_mut(c).expect("gamma width") +=
+                    dy.get(r, c) * xhat.get(r, c);
                 *self.beta.g.row_mut(0).get_mut(c).expect("beta width") += dy.get(r, c);
             }
             // dx via the standard LayerNorm backward:
@@ -108,7 +104,12 @@ mod tests {
         let y = ln.forward(&x, false);
         for r in 0..4 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 16.0;
-            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 16.0;
             assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
         }

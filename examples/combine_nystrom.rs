@@ -29,12 +29,20 @@ fn main() {
 
     println!("simulated latency at n={n} (vs dense = 1.0):");
     let dense = dense_ctx.latency();
-    println!("  Nystromformer:           {:.3}", plain_ctx.latency() / dense);
-    println!("  Nystromformer + Dfss:    {:.3}", combo_ctx.latency() / dense);
+    println!(
+        "  Nystromformer:           {:.3}",
+        plain_ctx.latency() / dense
+    );
+    println!(
+        "  Nystromformer + Dfss:    {:.3}",
+        combo_ctx.latency() / dense
+    );
     println!(
         "  traffic reduction from Dfss: {:.1}%",
-        100.0 * (1.0 - combo_ctx.timeline.total_bytes() as f64
-            / plain_ctx.timeline.total_bytes() as f64)
+        100.0
+            * (1.0
+                - combo_ctx.timeline.total_bytes() as f64
+                    / plain_ctx.timeline.total_bytes() as f64)
     );
     let diff = plain_out.zip_with(&combo_out, |a, b| a - b);
     println!(

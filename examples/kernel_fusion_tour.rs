@@ -33,7 +33,11 @@ fn main() {
     // Continue the attention pipeline on the compressed format.
     softmax::softmax_nm(&mut fused, &mut comp);
     let out = spmm::spmm_nm(&mut fused, &comp, &v);
-    println!("attention output: {:?} rows x cols = {:?}", out.rows(), out.cols());
+    println!(
+        "attention output: {:?} rows x cols = {:?}",
+        out.rows(),
+        out.cols()
+    );
 
     // The metadata in the exact Ampere layout (Appendix A.1.1).
     let dm = comp.to_device_meta();

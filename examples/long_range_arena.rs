@@ -21,7 +21,10 @@ fn main() {
         AttnKind::Nm(NmPattern::P2_4),
         AttnKind::Local(16),
         AttnKind::Linformer { proj: 16 },
-        AttnKind::Performer { features: 64, seed: 9 },
+        AttnKind::Performer {
+            features: 64,
+            seed: 9,
+        },
         AttnKind::Nystrom { landmarks: 16 },
     ] {
         let cfg = EncoderConfig {
