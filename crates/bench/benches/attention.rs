@@ -1,7 +1,7 @@
 //! Criterion end-to-end attention benchmarks (real CPU time of the executed
 //! simulator kernels) for the headline mechanisms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dfss_core::sparse_baselines::TopKAttention;
 use dfss_core::{Attention, DfssAttention, FullAttention};
 use dfss_kernels::GpuCtx;
@@ -16,6 +16,7 @@ fn bench_attention(c: &mut Criterion) {
         let q = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
         let k = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
         let v = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((n * n) as u64));
         group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();

@@ -3,7 +3,7 @@
 //! overhead ablation), compressed vs dense softmax, N:M vs CSR SpMM, and
 //! the top-k selection the explicit baseline pays for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dfss_gpusim::Stage;
 use dfss_kernels::{gemm, sddmm, softmax, spmm, topk, GpuCtx};
 use dfss_nmsparse::{Csr, NmCompressed, NmPattern};
@@ -23,6 +23,7 @@ fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_nt_qk");
     for n in [256usize, 1024] {
         let (q, k, _) = inputs(n, 64);
+        group.throughput(Throughput::Elements((n * n * 64) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
@@ -37,6 +38,7 @@ fn bench_sddmm_fused_vs_unfused(c: &mut Criterion) {
     let mut group = c.benchmark_group("sddmm_prune");
     for n in [256usize, 1024] {
         let (q, k, _) = inputs(n, 64);
+        group.throughput(Throughput::Elements((n * n * 64) as u64));
         group.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
@@ -71,12 +73,14 @@ fn bench_softmax(c: &mut Criterion) {
         let mut rng = Rng::new(9);
         let scores = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
         let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+        group.throughput(Throughput::Elements((n * n) as u64));
         group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
                 black_box(softmax::softmax_dense(&mut ctx, &scores))
             })
         });
+        group.throughput(Throughput::Elements((n * n / 2) as u64));
         group.bench_with_input(BenchmarkId::new("nm_compressed", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
@@ -97,6 +101,7 @@ fn bench_spmm(c: &mut Criterion) {
         let v = Matrix::<f32>::random_normal(n, 64, 0.0, 1.0, &mut rng);
         let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
         let csr = Csr::from_dense_topk(&scores, n / 2);
+        group.throughput(Throughput::Elements((n * n / 2 * 64) as u64));
         group.bench_with_input(BenchmarkId::new("nm_sparse_tc", n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();
@@ -124,6 +129,7 @@ fn bench_topk(c: &mut Criterion) {
     for n in [256usize, 1024] {
         let mut rng = Rng::new(13);
         let scores = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((n * n) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut ctx = GpuCtx::a100();

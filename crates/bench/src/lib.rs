@@ -12,6 +12,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+pub mod json;
 pub mod train;
 
 /// Scale a context's recorded kernel work by a batch factor, keeping the

@@ -3,26 +3,45 @@
 //!
 //! The build environment has no crates.io access, so the workspace ships this
 //! shim under the same package name (see the root `Cargo.toml`). It keeps the
-//! macro/bencher surface the two harnesses in `crates/bench/benches/` use, and
-//! it really measures: each benchmark is warmed up, then timed over an
-//! adaptive iteration count, reporting mean wall-clock time per iteration.
-//! No statistics engine, plots, or baseline comparison — swap the dependency
-//! back to real criterion for those.
+//! macro/bencher surface the harnesses in `crates/bench/benches/` use, and it
+//! really measures: each benchmark runs a warm-up window, then a fixed number
+//! of timed samples (several iterations each), reporting the mean plus
+//! p50/p95/p99 percentiles — and elements/sec throughput when the group set
+//! one via [`BenchmarkGroup::throughput`]. Each benchmark additionally writes
+//! a small JSON report next to the text output (under
+//! `target/criterion-json/` by default) so tooling can diff runs.
 //!
-//! Knobs: `CRITERION_SAMPLE_MS` (target measurement window per benchmark,
-//! default 200 ms).
+//! Knobs:
+//! * `CRITERION_SAMPLE_MS` — target measurement window per benchmark
+//!   (default 200 ms).
+//! * `CRITERION_WARMUP_MS` — warm-up window before sampling (default 50 ms).
+//! * `CRITERION_JSON_DIR` — where per-bench JSON lands (default
+//!   `target/criterion-json`; empty string disables).
 
 use std::fmt::Display;
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-fn sample_window() -> Duration {
-    let ms = std::env::var("CRITERION_SAMPLE_MS")
+/// Number of timed samples per benchmark; percentiles are computed over
+/// per-sample mean iteration times.
+const SAMPLES: usize = 20;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    let ms = std::env::var(var)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(200u64);
+        .unwrap_or(default);
     Duration::from_millis(ms)
+}
+
+fn sample_window() -> Duration {
+    env_ms("CRITERION_SAMPLE_MS", 200)
+}
+
+fn warmup_window() -> Duration {
+    env_ms("CRITERION_WARMUP_MS", 50)
 }
 
 /// Benchmark identifier: `group/function/parameter`.
@@ -44,31 +63,92 @@ impl BenchmarkId {
     }
 }
 
-/// Times a closure: one warm-up call, then an adaptive iteration count sized
-/// to fill the sample window, reporting the mean.
+/// Throughput unit for a benchmark group (mirrors `criterion::Throughput`).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// Per-benchmark statistics over the timed samples, in nanoseconds per
+/// iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    pub p95_ns: f64,
+    pub p99_ns: f64,
+    pub samples: usize,
+    pub total_iters: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Times a closure: a warm-up window, then [`SAMPLES`] timed samples of an
+/// adaptive iteration count each.
 pub struct Bencher {
-    /// (iterations, total elapsed) of the measured phase.
-    result: Option<(u64, Duration)>,
+    /// Per-sample (iterations, elapsed) of the measured phase.
+    samples: Vec<(u64, Duration)>,
 }
 
 impl Bencher {
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        // Warm-up + pilot measurement.
-        let t0 = Instant::now();
-        black_box(f());
-        let pilot = t0.elapsed().max(Duration::from_nanos(1));
-        let window = sample_window();
-        let iters = (window.as_nanos() / pilot.as_nanos()).clamp(1, 10_000) as u64;
-        let t1 = Instant::now();
-        for _ in 0..iters {
+        // Warm-up: at least one call, until the warm-up window elapses; the
+        // slowest observed call is the pilot estimate.
+        let warmup = warmup_window();
+        let mut pilot = Duration::ZERO;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
             black_box(f());
+            pilot = pilot.max(t.elapsed());
+            if warm_start.elapsed() >= warmup {
+                break;
+            }
         }
-        self.result = Some((iters, t1.elapsed()));
+        let pilot = pilot.max(Duration::from_nanos(1));
+        // Split the sample window into SAMPLES batches.
+        let per_sample = sample_window() / SAMPLES as u32;
+        let iters = (per_sample.as_nanos() / pilot.as_nanos()).clamp(1, 10_000) as u64;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push((iters, t.elapsed()));
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|&(iters, total)| total.as_nanos() as f64 / iters.max(1) as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        Some(Stats {
+            mean_ns,
+            p50_ns: percentile(&per_iter, 50.0),
+            p95_ns: percentile(&per_iter, 95.0),
+            p99_ns: percentile(&per_iter, 99.0),
+            samples: per_iter.len(),
+            total_iters: self.samples.iter().map(|&(i, _)| i).sum(),
+        })
     }
 }
 
-fn human(d: Duration) -> String {
-    let ns = d.as_nanos() as f64;
+fn human(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.1} ns")
     } else if ns < 1e6 {
@@ -80,26 +160,111 @@ fn human(d: Duration) -> String {
     }
 }
 
+fn throughput_label(t: Throughput, mean_ns: f64) -> String {
+    match t {
+        Throughput::Elements(elems) => {
+            format!("{:.1} Melem/s", elems as f64 / mean_ns * 1e9 / 1e6)
+        }
+        Throughput::Bytes(bytes) => {
+            format!(
+                "{:.1} MiB/s",
+                bytes as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+    }
+}
+
+fn json_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("CRITERION_JSON_DIR") {
+        Ok(s) if s.is_empty() => None,
+        Ok(s) => Some(s.into()),
+        Err(_) => Some("target/criterion-json".into()),
+    }
+}
+
+/// Write the per-bench JSON report (flat schema, hand-rolled — the shim has
+/// no serde and the fields are all scalars).
+fn write_json(group: &str, id: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let Some(dir) = json_dir() else { return };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"group\": \"{}\",", group.replace('"', "'"));
+    let _ = writeln!(body, "  \"bench\": \"{}\",", id.replace('"', "'"));
+    let _ = writeln!(body, "  \"mean_ns\": {:.1},", stats.mean_ns);
+    let _ = writeln!(body, "  \"p50_ns\": {:.1},", stats.p50_ns);
+    let _ = writeln!(body, "  \"p95_ns\": {:.1},", stats.p95_ns);
+    let _ = writeln!(body, "  \"p99_ns\": {:.1},", stats.p99_ns);
+    let _ = writeln!(body, "  \"samples\": {},", stats.samples);
+    match throughput {
+        Some(Throughput::Elements(e)) => {
+            let _ = writeln!(body, "  \"elements\": {e},");
+            let _ = writeln!(
+                body,
+                "  \"elems_per_sec\": {:.0},",
+                e as f64 / stats.mean_ns * 1e9
+            );
+        }
+        Some(Throughput::Bytes(b)) => {
+            let _ = writeln!(body, "  \"bytes\": {b},");
+            let _ = writeln!(
+                body,
+                "  \"bytes_per_sec\": {:.0},",
+                b as f64 / stats.mean_ns * 1e9
+            );
+        }
+        None => {}
+    }
+    let _ = writeln!(body, "  \"total_iters\": {}", stats.total_iters);
+    body.push_str("}\n");
+    let file = format!(
+        "{}__{}.json",
+        group.replace(['/', ' '], "_"),
+        id.replace(['/', ' '], "_")
+    );
+    let _ = std::fs::write(dir.join(file), body);
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work amount used for throughput reporting on
+    /// subsequent benches in this group (mirrors real criterion).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { result: None };
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         f(&mut b);
-        match b.result {
-            Some((iters, total)) => {
-                let mean = total / iters.max(1) as u32;
+        match b.stats() {
+            Some(stats) => {
+                let tp = self
+                    .throughput
+                    .map(|t| format!("   {}", throughput_label(t, stats.mean_ns)))
+                    .unwrap_or_default();
                 println!(
-                    "{}/{:<28} time: {:>12}   ({} iterations)",
+                    "{}/{:<28} mean: {:>11}   p50: {:>11}  p95: {:>11}  p99: {:>11}   ({} samples × {} iters){}",
                     self.name,
                     id,
-                    human(mean),
-                    iters
+                    human(stats.mean_ns),
+                    human(stats.p50_ns),
+                    human(stats.p95_ns),
+                    human(stats.p99_ns),
+                    stats.samples,
+                    stats.total_iters / stats.samples.max(1) as u64,
+                    tp
                 );
+                write_json(&self.name, &id, &stats, self.throughput);
             }
             None => println!("{}/{}  (no measurement recorded)", self.name, id),
         }
@@ -140,6 +305,7 @@ impl Criterion {
         println!("-- group: {name}");
         BenchmarkGroup {
             name,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -150,6 +316,7 @@ impl Criterion {
     {
         let mut group = BenchmarkGroup {
             name: "bench".into(),
+            throughput: None,
             _criterion: self,
         };
         group.run(id.into(), f);
@@ -183,15 +350,75 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes tests that mutate process environment variables:
+    /// concurrent `setenv`/`getenv` is undefined behavior on glibc, so every
+    /// env-touching test holds this lock for its whole body.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fast_env() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "2");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+    }
+
     #[test]
-    fn bencher_records_iterations() {
-        let mut b = Bencher { result: None };
-        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+    fn bencher_records_samples_and_stats() {
+        let _env = env_lock();
+        fast_env();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
         let mut calls = 0u64;
         b.iter(|| calls += 1);
-        let (iters, total) = b.result.expect("measured");
-        assert_eq!(calls, iters + 1); // warm-up + measured iterations
-        assert!(total >= Duration::ZERO);
+        let stats = b.stats().expect("measured");
+        assert_eq!(stats.samples, SAMPLES);
+        assert!(calls > stats.total_iters, "warm-up calls must also happen");
+        assert!(stats.mean_ns >= 0.0);
+        // Percentiles are ordered.
+        assert!(stats.p50_ns <= stats.p95_ns);
+        assert!(stats.p95_ns <= stats.p99_ns);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn throughput_labels() {
+        // 1000 elements in 1 µs = 1000 Melem/s.
+        assert_eq!(
+            throughput_label(Throughput::Elements(1000), 1_000.0),
+            "1000.0 Melem/s"
+        );
+        let mib = throughput_label(Throughput::Bytes(1024 * 1024), 1e9);
+        assert_eq!(mib, "1.0 MiB/s");
+    }
+
+    #[test]
+    fn json_report_written() {
+        let _env = env_lock();
+        fast_env();
+        let dir = std::env::temp_dir().join("criterion-shim-test-json");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("CRITERION_JSON_DIR", dir.display().to_string());
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let text = std::fs::read_to_string(dir.join("unit__noop.json")).expect("json written");
+        assert!(text.contains("\"group\": \"unit\""));
+        assert!(text.contains("\"p99_ns\""));
+        assert!(text.contains("\"elems_per_sec\""));
+        std::env::remove_var("CRITERION_JSON_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

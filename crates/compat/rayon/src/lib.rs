@@ -3,22 +3,28 @@
 //! The build environment has no crates.io access, so the workspace ships this
 //! shim under the same package name and routes it through
 //! `[workspace.dependencies]`. Swapping back to the real rayon is a one-line
-//! change in the root `Cargo.toml`; no source file changes.
+//! change in the root `Cargo.toml`; no source file changes (the extra
+//! [`with_serial`] / [`spawned_workers`] helpers are used by tests only).
 //!
-//! The parallelism is real, not a sequential fallback: work items are split
-//! into contiguous per-thread groups and executed under [`std::thread::scope`].
+//! The parallelism is real and runs on a **persistent worker pool**
+//! ([`pool`]): workers are spawned once per process (lazily, honoring
+//! `RAYON_NUM_THREADS`), park on a condvar between jobs, and are fed from a
+//! chunked work queue. Each `par_*` call splits its items into contiguous
+//! ordered chunks; the caller helps execute chunks alongside the workers and
+//! returns once the job is drained. Nested `par_*` calls from inside a worker
+//! run inline, so nesting cannot deadlock; a panicking task poisons only its
+//! own job (the panic is re-thrown on the caller, workers survive).
+//!
 //! Only the surface the workspace actually uses is implemented:
 //!
 //! * `slice.par_chunks_mut(n)` (+ `.zip()`, `.enumerate()`, `.for_each()`)
 //! * `collection.par_iter().map(f).collect()`
 //! * `range.into_par_iter().map(f).collect()`
-//!
-//! Unlike real rayon there is no work-stealing pool: each call site spawns
-//! scoped threads. The kernels already chunk work coarsely (see
-//! `PAR_ROW_CHUNK` in `dfss-kernels`), so per-call spawn overhead stays in
-//! the noise for the matrix sizes the paper evaluates.
+//! * [`current_num_threads`]
 
-use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+mod pool;
 
 /// Items most users need; mirrors `rayon::prelude`.
 pub mod prelude {
@@ -27,14 +33,35 @@ pub mod prelude {
     };
 }
 
-fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+/// Number of threads `par_*` calls fan out to (mirrors
+/// `rayon::current_num_threads`): `RAYON_NUM_THREADS` if set, else available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    pool::Pool::global().threads()
 }
 
-/// Split `items` into per-thread groups, apply `f` to every item under a
-/// thread scope, and return the results in the original order.
+/// **Shim extension** (not in real rayon): run `f` with every `par_*` call
+/// on this thread executing serially, in item order, on this thread. Used by
+/// tests to check parallel execution is bit-identical to serial.
+pub fn with_serial<R>(f: impl FnOnce() -> R) -> R {
+    pool::with_serial(f)
+}
+
+/// **Shim extension** (not in real rayon): how many pool workers this
+/// process has ever spawned. The persistent-pool contract is that this value
+/// never exceeds [`current_num_threads`] no matter how many `par_*` calls
+/// run.
+pub fn spawned_workers() -> usize {
+    pool::spawned_workers()
+}
+
+#[cfg(test)]
+pub(crate) use pool::parse_num_threads;
+
+/// Fan a chunk of work items out across the pool: items are split into
+/// contiguous groups (≈2 per thread for mild load balancing), each group is
+/// claimed and mapped by exactly one thread, and results return in the
+/// original order.
 fn exec_ordered<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
 where
     I: Send,
@@ -42,30 +69,41 @@ where
     F: Fn(I) -> R + Sync,
 {
     let n = items.len();
-    let threads = max_threads().min(n);
-    if threads <= 1 {
+    let worker_pool = pool::Pool::global();
+    if n <= 1 || worker_pool.threads() <= 1 || pool::must_run_inline() {
         return items.into_iter().map(f).collect();
     }
-    let per_thread = n.div_ceil(threads);
-    let mut groups: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let group_count = (worker_pool.threads() * 2).min(n);
+    let per_group = n.div_ceil(group_count);
+    let mut groups: Vec<Mutex<Option<Vec<I>>>> = Vec::with_capacity(group_count);
     let mut it = items.into_iter();
     loop {
-        let group: Vec<I> = it.by_ref().take(per_thread).collect();
+        let group: Vec<I> = it.by_ref().take(per_group).collect();
         if group.is_empty() {
             break;
         }
-        groups.push(group);
+        groups.push(Mutex::new(Some(group)));
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| scope.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
-            .collect()
-    })
+    // One result slot per group; Mutex (not OnceLock) so `R: Sync` is not
+    // required. Each slot is written exactly once, by the claiming thread.
+    let slots: Vec<Mutex<Option<Vec<R>>>> = groups.iter().map(|_| Mutex::new(None)).collect();
+    worker_pool.run(groups.len(), &|gi: usize| {
+        let group = groups[gi]
+            .lock()
+            .expect("group lock")
+            .take()
+            .expect("each group is claimed exactly once");
+        let mapped: Vec<R> = group.into_iter().map(f).collect();
+        *slots[gi].lock().expect("slot lock") = Some(mapped);
+    });
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every group executed")
+        })
+        .collect()
 }
 
 /// The one concrete parallel iterator. Pre-collects its items (they are
@@ -187,12 +225,26 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// Ensure the pool width is pinned (tests): `RAYON_NUM_THREADS=4` must be in
+/// place before the first `par_*` call initialises the global pool, and this
+/// helper is called at the top of every pool-touching test so any test order
+/// works.
+#[cfg(test)]
+fn pin_test_pool() {
+    static PIN: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    PIN.get_or_init(|| {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_chunks_mut_covers_every_chunk_once() {
+        pin_test_pool();
         let mut data = vec![0u64; 1003];
         data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
             for x in chunk.iter_mut() {
@@ -206,6 +258,7 @@ mod tests {
 
     #[test]
     fn zip_pairs_rows_in_order() {
+        pin_test_pool();
         let mut a = vec![0usize; 12];
         let mut b = vec![0usize; 6];
         a.par_chunks_mut(4)
@@ -221,6 +274,7 @@ mod tests {
 
     #[test]
     fn map_collect_preserves_order() {
+        pin_test_pool();
         let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
         assert_eq!(out.len(), 1000);
         for (i, &v) in out.iter().enumerate() {
@@ -230,6 +284,7 @@ mod tests {
 
     #[test]
     fn par_iter_borrows() {
+        pin_test_pool();
         let jobs = vec![(1usize, 2usize), (3, 4)];
         let out: Vec<usize> = jobs.par_iter().map(|&(a, b)| a + b).collect();
         assert_eq!(out, vec![3, 7]);
@@ -237,9 +292,102 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine() {
+        pin_test_pool();
         let mut empty: Vec<f32> = Vec::new();
         empty.par_chunks_mut(8).for_each(|_| unreachable!());
         let out: Vec<i32> = (0..0).into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_spawn_at_most_once() {
+        pin_test_pool();
+        // Hammer the pool with many separate par_* calls …
+        for round in 0..50 {
+            let out: Vec<usize> = (0..256usize).into_par_iter().map(|x| x + round).collect();
+            assert_eq!(out.len(), 256);
+        }
+        // … and the process-wide spawn count stays bounded by the pool width.
+        assert!(
+            spawned_workers() <= current_num_threads(),
+            "spawned {} workers for a {}-wide pool",
+            spawned_workers(),
+            current_num_threads()
+        );
+    }
+
+    #[test]
+    fn nested_par_calls_do_not_deadlock() {
+        pin_test_pool();
+        // Outer par over rows, inner par per row: inner calls run inline on
+        // workers (or enqueue from the caller), so this must complete.
+        let rows: Vec<Vec<u64>> = (0..64u64)
+            .into_par_iter()
+            .map(|i| {
+                let row: Vec<u64> = (0..64u64).into_par_iter().map(|j| i * j).collect();
+                row
+            })
+            .collect();
+        let out: Vec<u64> = rows.into_iter().map(|row| row.into_iter().sum()).collect();
+        for (i, &s) in out.iter().enumerate() {
+            assert_eq!(s, i as u64 * (63 * 64 / 2));
+        }
+    }
+
+    #[test]
+    fn deeply_nested_for_each() {
+        pin_test_pool();
+        let mut data = vec![0u32; 512];
+        data.par_chunks_mut(32).for_each(|chunk| {
+            chunk.par_chunks_mut(4).for_each(|inner| {
+                inner.par_chunks_mut(1).for_each(|cell| cell[0] += 1);
+            });
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn panic_poisons_only_its_job() {
+        pin_test_pool();
+        let boom = std::panic::catch_unwind(|| {
+            (0..128usize).into_par_iter().for_each(|i| {
+                if i == 97 {
+                    panic!("task 97 exploded");
+                }
+            });
+        });
+        let payload = boom.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+        // The pool survives: the next job runs to completion.
+        let out: Vec<usize> = (0..128usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out[100], 200);
+        assert!(spawned_workers() <= current_num_threads());
+    }
+
+    #[test]
+    fn with_serial_matches_parallel() {
+        pin_test_pool();
+        let par: Vec<u64> = (0..333u64).into_par_iter().map(|x| x * 7).collect();
+        let ser: Vec<u64> = with_serial(|| (0..333u64).into_par_iter().map(|x| x * 7).collect());
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn num_threads_env_parsing() {
+        assert_eq!(parse_num_threads(Some("4"), 8), 4);
+        assert_eq!(parse_num_threads(Some("0"), 8), 8); // rayon: 0 = default
+        assert_eq!(parse_num_threads(Some("garbage"), 8), 8);
+        assert_eq!(parse_num_threads(None, 8), 8);
+        assert_eq!(parse_num_threads(None, 0), 1); // never zero-wide
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        pin_test_pool();
+        assert!(current_num_threads() >= 1);
     }
 }

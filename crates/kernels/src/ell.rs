@@ -11,9 +11,11 @@
 //! [`EllNm`] carries the packing map so SpMM can gather the right V rows.
 
 use crate::ctx::{dense_class, sparse_class, GpuCtx};
+use crate::micro;
+use crate::spmm::ROW_CHUNK;
 use dfss_gpusim::{KernelProfile, Stage};
 use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern};
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{scratch_f32, scratch_f32_stale, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// An attention weight matrix under hybrid blocked-ELL × N:M sparsity.
@@ -98,8 +100,12 @@ pub fn sddmm_ell_nm_fused<T: Scalar>(
         };
     }
     // Execution: per row, compute scores for active blocks only, packed.
-    let qw: Vec<f32> = q.as_slice().iter().map(|v| v.to_mul()).collect();
-    let kw: Vec<f32> = k.as_slice().iter().map(|v| v.to_mul()).collect();
+    // Scores accumulate as an outer product over the widen-transposed K
+    // panel — the same `axpy` microkernel (same serial-k-order sums) as the
+    // dense GEMM and plain fused SDDMM, so packed scores are bit-identical
+    // to theirs.
+    let qw = micro::widen(q);
+    let kt = micro::widen_transposed(k);
     let mut nonzeros = vec![T::zero(); rows * kept_per_row];
     let mut codes = vec![0u8; rows * groups_per_row];
 
@@ -110,24 +116,25 @@ pub fn sddmm_ell_nm_fused<T: Scalar>(
         .for_each(|(i, (nz_row, code_row))| {
             let rb = i / b;
             let qrow = &qw[i * d..(i + 1) * d];
-            let mut acc = vec![0.0f32; packed_cols];
-            for (slot, &cb) in ell.row_active(rb).iter().enumerate() {
-                for j in 0..b {
-                    let col = cb as usize * b + j;
-                    let krow = &kw[col * d..(col + 1) * d];
-                    let mut s = 0.0f32;
-                    for (x, y) in qrow.iter().zip(krow) {
-                        s += x * y;
-                    }
-                    acc[slot * b + j] = s;
+            let mut acc = scratch_f32(packed_cols);
+            for (kk, &qv) in qrow.iter().enumerate() {
+                let krow = &kt[kk * kn..(kk + 1) * kn];
+                for (slot, &cb) in ell.row_active(rb).iter().enumerate() {
+                    let col0 = cb as usize * b;
+                    micro::axpy(
+                        &mut acc[slot * b..(slot + 1) * b],
+                        qv,
+                        &krow[col0..col0 + b],
+                    );
                 }
             }
             // Prune the packed row.
             let mut nz_pos = 0usize;
+            let mut kept = [0usize; dfss_nmsparse::MAX_M];
             for (g, chunk) in acc.chunks_exact(pattern.m()).enumerate() {
-                let kept = pattern.select_group(chunk);
+                let n_kept = pattern.select_group_into(chunk, &mut kept);
                 let mut code = 0u8;
-                for &kidx in &kept {
+                for &kidx in &kept[..n_kept] {
                     code |= 1 << kidx;
                     nz_row[nz_pos] = T::from_acc(chunk[kidx] * scale);
                     nz_pos += 1;
@@ -174,23 +181,26 @@ pub fn spmm_ell_nm<T: Scalar>(ctx: &mut GpuCtx, a: &EllNm<T>, v: &Matrix<T>) -> 
         return Matrix::zeros(rows, d);
     }
 
-    let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+    let vw = micro::widen(v);
     let mut out = vec![T::zero(); rows * d];
-    out.par_chunks_mut(d).enumerate().for_each(|(r, orow)| {
-        let rb = r / b;
-        let mut acc = vec![0.0f32; d];
-        a.packed.scan_row(r, |pc, val| {
-            let col = a.dense_col(rb, pc);
-            let vrow = &vw[col * d..(col + 1) * d];
-            let val = val.to_mul();
-            for (o, &x) in acc.iter_mut().zip(vrow) {
-                *o += val * x;
+    // Batch rows per work item (one scratch accumulator per chunk).
+    out.par_chunks_mut(d * ROW_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut acc = scratch_f32_stale(d);
+            for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                let r = ci * ROW_CHUNK + local;
+                let rb = r / b;
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                a.packed.scan_row(r, |pc, val| {
+                    let col = a.dense_col(rb, pc);
+                    micro::axpy(&mut acc, val.to_mul(), &vw[col * d..(col + 1) * d]);
+                });
+                for (o, &x) in orow.iter_mut().zip(acc.iter()) {
+                    *o = T::from_acc(x);
+                }
             }
         });
-        for (o, &x) in orow.iter_mut().zip(&acc) {
-            *o = T::from_acc(x);
-        }
-    });
     Matrix::from_vec(rows, d, out)
 }
 

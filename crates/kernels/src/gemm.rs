@@ -13,18 +13,13 @@
 //! kernel does for free via `ldmatrix` and is therefore *not* charged).
 
 use crate::ctx::{dense_class, GpuCtx};
+use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{scratch_f32_stale, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// Minimum per-thread row chunk, to avoid rayon overhead on small matrices.
 const PAR_ROW_CHUNK: usize = 16;
-
-/// Widen (and input-round) a matrix into an f32 buffer — the tensor-core
-/// operand conversion (TF32 for f32 inputs, exact widening for bf16).
-fn widen_mul<T: Scalar>(m: &Matrix<T>) -> Vec<f32> {
-    m.as_slice().iter().map(|v| v.to_mul()).collect()
-}
 
 /// Charge the simulated cost of a dense `M×K · K×N` GEMM without executing
 /// it here — for mechanisms that fuse the product into a custom host loop
@@ -84,23 +79,57 @@ pub fn gemm_nt<T: Scalar>(
         return Matrix::zeros(m, n);
     }
 
-    let aw = widen_mul(a);
-    let bw = widen_mul(b);
+    // Outer-product microkernel: stream a widen-transposed B panel (`ka×n`)
+    // and accumulate whole output rows with `axpy2` — per-element sums run
+    // in serial k-order, the shape rustc vectorizes robustly, and row pairs
+    // share every panel load.
+    let aw = micro::widen(a);
+    let bt = micro::widen_transposed(b);
     let mut out = vec![T::zero(); m * n];
-    out.par_chunks_mut(n * PAR_ROW_CHUNK.max(1))
+    out.par_chunks_mut(n * PAR_ROW_CHUNK)
         .enumerate()
         .for_each(|(chunk_idx, chunk)| {
             let row0 = chunk_idx * PAR_ROW_CHUNK;
-            for (local, orow) in chunk.chunks_mut(n).enumerate() {
+            let rows_here = chunk.len() / n;
+            // Stale scratch: both accumulators are zeroed per output row.
+            let mut acc0 = scratch_f32_stale(n);
+            let mut acc1 = scratch_f32_stale(n);
+            let mut local = 0;
+            while local + 2 <= rows_here {
                 let i = row0 + local;
+                acc0.iter_mut().for_each(|v| *v = 0.0);
+                acc1.iter_mut().for_each(|v| *v = 0.0);
+                let a0 = &aw[i * ka..(i + 1) * ka];
+                let a1 = &aw[(i + 1) * ka..(i + 2) * ka];
+                for kk in 0..ka {
+                    micro::axpy2(
+                        &mut acc0,
+                        &mut acc1,
+                        a0[kk],
+                        a1[kk],
+                        &bt[kk * n..(kk + 1) * n],
+                    );
+                }
+                let (o0, rest) = chunk[local * n..].split_at_mut(n);
+                let o1 = &mut rest[..n];
+                for (o, &v) in o0.iter_mut().zip(acc0.iter()) {
+                    *o = T::from_acc(v * scale);
+                }
+                for (o, &v) in o1.iter_mut().zip(acc1.iter()) {
+                    *o = T::from_acc(v * scale);
+                }
+                local += 2;
+            }
+            if local < rows_here {
+                let i = row0 + local;
+                acc0.iter_mut().for_each(|v| *v = 0.0);
                 let arow = &aw[i * ka..(i + 1) * ka];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &bw[j * ka..(j + 1) * ka];
-                    let mut acc = 0.0f32;
-                    for (x, y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    *o = T::from_acc(acc * scale);
+                for kk in 0..ka {
+                    micro::axpy(&mut acc0, arow[kk], &bt[kk * n..(kk + 1) * n]);
+                }
+                let orow = &mut chunk[local * n..(local + 1) * n];
+                for (o, &v) in orow.iter_mut().zip(acc0.iter()) {
+                    *o = T::from_acc(v * scale);
                 }
             }
         });
@@ -122,33 +151,81 @@ pub fn gemm_nn<T: Scalar>(
         return Matrix::zeros(m, n);
     }
 
-    let aw = widen_mul(a);
-    let bw = widen_mul(b);
+    let aw = micro::widen(a);
+    let bw = micro::widen(b);
     let mut out = vec![T::zero(); m * n];
-    out.par_chunks_mut(n * PAR_ROW_CHUNK.max(1))
+    out.par_chunks_mut(n * PAR_ROW_CHUNK)
         .enumerate()
         .for_each(|(chunk_idx, chunk)| {
-            let row0 = chunk_idx * PAR_ROW_CHUNK;
-            let mut acc = vec![0.0f32; n];
-            for (local, orow) in chunk.chunks_mut(n).enumerate() {
-                let i = row0 + local;
-                acc.iter_mut().for_each(|v| *v = 0.0);
-                let arow = &aw[i * ka..(i + 1) * ka];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue; // pruned entries cost nothing numerically
-                    }
-                    let brow = &bw[kk * n..(kk + 1) * n];
-                    for (o, &bv) in acc.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-                for (o, &v) in orow.iter_mut().zip(&acc) {
-                    *o = T::from_acc(v);
-                }
-            }
+            nn_chunk_exec::<T>(&aw, &bw, chunk, chunk_idx * PAR_ROW_CHUNK, n, ka);
         });
     Matrix::from_vec(m, n, out)
+}
+
+/// Shared NN/TN row-accumulation: output rows of `chunk` are built by
+/// streaming B rows, pairing output rows so each B row is loaded once for
+/// two accumulators. Rows whose A entry is zero are skipped exactly as the
+/// single-row path skips them (pruned entries cost nothing numerically, and
+/// skipping — rather than multiplying by zero — also keeps non-finite B
+/// values from poisoning outputs the old code left finite); only a
+/// both-nonzero pair takes the fused `axpy2`.
+fn nn_chunk_exec<T: Scalar>(
+    aw: &[f32],
+    bw: &[f32],
+    chunk: &mut [T],
+    row0: usize,
+    n: usize,
+    ka: usize,
+) {
+    let rows_here = chunk.len() / n;
+    // Stale scratch: both accumulators are zeroed per output row.
+    let mut acc0 = dfss_tensor::scratch_f32_stale(n);
+    let mut acc1 = dfss_tensor::scratch_f32_stale(n);
+    let mut local = 0;
+    while local + 2 <= rows_here {
+        let i = row0 + local;
+        acc0.iter_mut().for_each(|v| *v = 0.0);
+        acc1.iter_mut().for_each(|v| *v = 0.0);
+        let a0 = &aw[i * ka..(i + 1) * ka];
+        let a1 = &aw[(i + 1) * ka..(i + 2) * ka];
+        for kk in 0..ka {
+            let (s0, s1) = (a0[kk], a1[kk]);
+            let brow = &bw[kk * n..(kk + 1) * n];
+            if s0 == 0.0 {
+                if s1 != 0.0 {
+                    micro::axpy(&mut acc1, s1, brow);
+                }
+            } else if s1 == 0.0 {
+                micro::axpy(&mut acc0, s0, brow);
+            } else {
+                micro::axpy2(&mut acc0, &mut acc1, s0, s1, brow);
+            }
+        }
+        let (o0, rest) = chunk[local * n..].split_at_mut(n);
+        let o1 = &mut rest[..n];
+        for (o, &v) in o0.iter_mut().zip(acc0.iter()) {
+            *o = T::from_acc(v);
+        }
+        for (o, &v) in o1.iter_mut().zip(acc1.iter()) {
+            *o = T::from_acc(v);
+        }
+        local += 2;
+    }
+    if local < rows_here {
+        let i = row0 + local;
+        acc0.iter_mut().for_each(|v| *v = 0.0);
+        let arow = &aw[i * ka..(i + 1) * ka];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            micro::axpy(&mut acc0, av, &bw[kk * n..(kk + 1) * n]);
+        }
+        let orow = &mut chunk[local * n..(local + 1) * n];
+        for (o, &v) in orow.iter_mut().zip(acc0.iter()) {
+            *o = T::from_acc(v);
+        }
+    }
 }
 
 /// `C = Aᵀ · B`; `A: K×M`, `B: K×N`, `C: M×N` (gradient layouts).
@@ -166,33 +243,15 @@ pub fn gemm_tn<T: Scalar>(
         return Matrix::zeros(m, n);
     }
 
-    // Host side: transpose A once, then reuse the NN accumulation pattern.
-    let at = a.transpose();
-    let aw = widen_mul(&at);
-    let bw = widen_mul(b);
+    // Host side: fused widen + transpose of A into a pooled panel, then the
+    // NN accumulation pattern.
+    let aw = micro::widen_transposed(a);
+    let bw = micro::widen(b);
     let mut out = vec![T::zero(); m * n];
-    out.par_chunks_mut(n * PAR_ROW_CHUNK.max(1))
+    out.par_chunks_mut(n * PAR_ROW_CHUNK)
         .enumerate()
         .for_each(|(chunk_idx, chunk)| {
-            let row0 = chunk_idx * PAR_ROW_CHUNK;
-            let mut acc = vec![0.0f32; n];
-            for (local, orow) in chunk.chunks_mut(n).enumerate() {
-                let i = row0 + local;
-                acc.iter_mut().for_each(|v| *v = 0.0);
-                let arow = &aw[i * ka..(i + 1) * ka];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bw[kk * n..(kk + 1) * n];
-                    for (o, &bv) in acc.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-                for (o, &v) in orow.iter_mut().zip(&acc) {
-                    *o = T::from_acc(v);
-                }
-            }
+            nn_chunk_exec::<T>(&aw, &bw, chunk, chunk_idx * PAR_ROW_CHUNK, n, ka);
         });
     Matrix::from_vec(m, n, out)
 }

@@ -27,6 +27,7 @@
 pub mod ctx;
 pub mod ell;
 pub mod gemm;
+pub mod micro;
 pub mod sddmm;
 pub mod softmax;
 pub mod spmm;

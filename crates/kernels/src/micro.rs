@@ -1,0 +1,193 @@
+//! Packed, autovectorizable microkernels shared by every compute kernel.
+//!
+//! The paper's speedups presume the three attention kernels run at hardware
+//! speed; on the host side that means the inner loops must vectorize. Two
+//! loop shapes do so *robustly* with rustc (verified by disassembly — the
+//! dot-product-with-lane-accumulators shape vectorizes but loses its
+//! unrolling under inlining pressure and lands 3–4× off peak, so the score
+//! kernels avoid it):
+//!
+//! * [`axpy`] / [`axpy2`] — `acc[j] += s · row[j]` over a long contiguous
+//!   row. The lanes are independent, so the vectorizer needs no reduction
+//!   reasoning. Score kernels (`gemm_nt`, fused SDDMM, blocked-ELL SDDMM)
+//!   therefore run as an **outer product over the K dimension** against a
+//!   widen-transposed operand panel, accumulating whole output rows; this
+//!   reproduces the *serial left-to-right* per-element summation order, so
+//!   scores are bit-identical across every kernel that computes them, and
+//!   [`axpy2`] processes two output rows per operand-panel pass (the panel
+//!   stream is the bandwidth bottleneck).
+//! * [`dot`] — 8-lane blocked reduction, for call sites that genuinely need
+//!   a single standalone dot product.
+//!
+//! Operand widening ([`widen`], [`widen_transposed`]) goes through the
+//! thread-local scratch arena: the f32 copies (and the per-row accumulators
+//! kernels take via [`dfss_tensor::scratch_f32`]) are reused across calls
+//! instead of re-allocated — the persistent worker pool keeps each worker's
+//! arena warm for the whole process lifetime.
+
+use dfss_tensor::{scratch_f32_from, Matrix, Scalar, ScratchF32};
+
+/// Accumulator width of the [`dot`] microkernel. Eight f32 lanes = one AVX2
+/// register (or two NEON registers).
+pub const LANES: usize = 8;
+
+/// Lane-blocked dot product with a fixed, deterministic reduction order.
+///
+/// `a` and `b` must have equal length. The result is *not* equal to a serial
+/// left-to-right sum (the score kernels use the [`axpy`] form precisely so
+/// their sums stay serial-order); use this only where a standalone dot is
+/// needed and no cross-kernel bit-identity is required.
+#[inline(always)]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let full = a.len() / LANES * LANES;
+    let mut lanes = [0.0f32; LANES];
+    // Fixed-size array views: rustc reliably vectorizes this shape at every
+    // inlined call site (the slice-iterator formulation can regress to
+    // scalar code under inlining pressure — measured, not theoretical).
+    for c in (0..full).step_by(LANES) {
+        let xa: &[f32; LANES] = a[c..c + LANES].try_into().unwrap();
+        let xb: &[f32; LANES] = b[c..c + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lanes[l] += xa[l] * xb[l];
+        }
+    }
+    // Pairwise tree reduction: fixed order, and better rounding than a
+    // serial lane sweep.
+    let q0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let q1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    let mut acc = q0 + q1;
+    for (x, y) in a[full..].iter().zip(&b[full..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `acc[j] += s * row[j]` over the whole slice. The lanes are independent,
+/// so this shape autovectorizes as-is; the helper exists to keep the update
+/// in one place (and one idiom) across every row-accumulation loop.
+#[inline(always)]
+pub fn axpy(acc: &mut [f32], s: f32, row: &[f32]) {
+    debug_assert_eq!(acc.len(), row.len());
+    for (o, &x) in acc.iter_mut().zip(row) {
+        *o += s * x;
+    }
+}
+
+/// Fused update of **two** accumulator rows against one shared operand row:
+/// `acc0[j] += s0 · row[j]; acc1[j] += s1 · row[j]`.
+///
+/// Each `row[j]` is loaded once for both outputs — the operand-panel stream
+/// is what bounds the outer-product GEMM, so pairing output rows nearly
+/// doubles its arithmetic intensity. Per accumulator row the update is the
+/// **same element-wise operation in the same order** as [`axpy`], so pairing
+/// rows never changes a result bit.
+#[inline(always)]
+pub fn axpy2(acc0: &mut [f32], acc1: &mut [f32], s0: f32, s1: f32, row: &[f32]) {
+    debug_assert_eq!(acc0.len(), row.len());
+    debug_assert_eq!(acc1.len(), row.len());
+    for ((o0, o1), &x) in acc0.iter_mut().zip(acc1.iter_mut()).zip(row) {
+        *o0 += s0 * x;
+        *o1 += s1 * x;
+    }
+}
+
+/// Widen (and input-round) a matrix into a pooled f32 buffer — the
+/// tensor-core operand conversion (TF32 for f32 inputs, exact widening for
+/// bf16), allocation-free in steady state.
+pub fn widen<T: Scalar>(m: &Matrix<T>) -> ScratchF32 {
+    scratch_f32_from(m.len(), m.as_slice().iter().map(|v| v.to_mul()))
+}
+
+/// Widen a `K×M` matrix directly into its `M×K` transpose (fused widen +
+/// transpose, one pass, no intermediate `Matrix`).
+pub fn widen_transposed<T: Scalar>(m: &Matrix<T>) -> ScratchF32 {
+    let (k, cols) = m.shape();
+    let mut out = dfss_tensor::scratch_f32(k * cols);
+    for (kk, row) in m.as_slice().chunks_exact(cols.max(1)).enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            out[c * k + kk] = v.to_mul();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_tensor::{Bf16, Rng};
+
+    #[test]
+    fn dot_matches_serial_within_rounding() {
+        let mut rng = Rng::new(1);
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let a: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+            let serial: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y) as f64).sum();
+            let blocked = dot(&a, &b) as f64;
+            assert!(
+                (serial - blocked).abs() < 1e-3 * (1.0 + serial.abs()),
+                "len {len}: {serial} vs {blocked}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let mut rng = Rng::new(2);
+        let a: Vec<f32> = (0..77).map(|_| rng.normal(0.0, 1.0)).collect();
+        let b: Vec<f32> = (0..77).map(|_| rng.normal(0.0, 1.0)).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut acc = vec![1.0f32; 5];
+        axpy(&mut acc, 2.0, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(acc, vec![3.0, 5.0, 7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn axpy2_bit_identical_to_two_axpys() {
+        let mut rng = Rng::new(7);
+        for len in [0usize, 1, 7, 64, 129] {
+            let row: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+            let init: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+            let (s0, s1) = (rng.normal(0.0, 1.0), rng.normal(0.0, 1.0));
+            let mut p0 = init.clone();
+            let mut p1 = init.clone();
+            axpy2(&mut p0, &mut p1, s0, s1, &row);
+            let mut r0 = init.clone();
+            let mut r1 = init.clone();
+            axpy(&mut r0, s0, &row);
+            axpy(&mut r1, s1, &row);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&p0), bits(&r0), "len {len}");
+            assert_eq!(bits(&p1), bits(&r1), "len {len}");
+        }
+    }
+
+    #[test]
+    fn widen_applies_tf32_rounding() {
+        let x = 1.0f32 + 2.0f32.powi(-11); // dropped by TF32's 10-bit mantissa
+        let m = Matrix::<f32>::from_vec(1, 2, vec![x, 0.5]);
+        let w = widen(&m);
+        assert_eq!(&*w, &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn widen_bf16_is_exact() {
+        let m = Matrix::<Bf16>::from_fn(2, 2, |r, c| Bf16::from_f32((r + c) as f32 * 0.25));
+        let w = widen(&m);
+        assert_eq!(w[3], 0.5);
+    }
+
+    #[test]
+    fn widen_transposed_matches_transpose_then_widen() {
+        let mut rng = Rng::new(3);
+        let m = Matrix::<f32>::random_normal(7, 5, 0.0, 1.0, &mut rng);
+        let expect = widen(&m.transpose());
+        let got = widen_transposed(&m);
+        assert_eq!(&*expect, &*got);
+    }
+}

@@ -19,9 +19,10 @@
 //!    `n²/2 · 4 + n²/16 · 4` bytes of nonzeros + metadata.
 
 use crate::ctx::{dense_class, GpuCtx};
+use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
 use dfss_nmsparse::{NmCompressed, NmPattern};
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{scratch_f32, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// ALU cost of pruning one M-group in the epilogue.
@@ -57,11 +58,12 @@ fn prune_rows_into<T: Scalar>(
     let n_keep = pattern.n();
     let mut nz_pos = 0usize;
     let mut code_pos = 0usize;
+    let mut kept = [0usize; dfss_nmsparse::MAX_M];
     for row in scores.chunks_exact(cols) {
         for chunk in row.chunks_exact(m) {
-            let kept = pattern.select_group(chunk);
+            let n_kept = pattern.select_group_into(chunk, &mut kept);
             let mut code = 0u8;
-            for &kidx in &kept {
+            for &kidx in &kept[..n_kept] {
                 code |= 1 << kidx;
                 nz_out[nz_pos] = T::from_acc(chunk[kidx] * scale);
                 nz_pos += 1;
@@ -121,29 +123,40 @@ pub fn sddmm_nm_fused<T: Scalar>(
             vec![code; rows * groups_per_row],
         );
     }
-    let qw: Vec<f32> = q.as_slice().iter().map(|v| v.to_mul()).collect();
-    let kw: Vec<f32> = k.as_slice().iter().map(|v| v.to_mul()).collect();
+    let qw = micro::widen(q);
+    let kt = micro::widen_transposed(k);
 
     let mut nonzeros = vec![T::zero(); rows * kept_per_row];
     let mut codes = vec![0u8; rows * groups_per_row];
 
+    // Two Q-rows per work item, accumulated as an outer product over the
+    // widen-transposed K panel — the same `axpy`/`axpy2` microkernel (and
+    // therefore the same serial-k-order per-element sums) as the dense
+    // `gemm_nt`, so the fused epilogue prunes exactly the scores the dense
+    // GEMM would have produced.
     nonzeros
-        .par_chunks_mut(kept_per_row)
-        .zip(codes.par_chunks_mut(groups_per_row))
+        .par_chunks_mut(2 * kept_per_row)
+        .zip(codes.par_chunks_mut(2 * groups_per_row))
         .enumerate()
-        .for_each(|(i, (nz_row, code_row))| {
-            // Accumulate one score row in the "registers".
-            let qrow = &qw[i * dq..(i + 1) * dq];
-            let mut acc = vec![0.0f32; cols];
-            for (j, a) in acc.iter_mut().enumerate() {
-                let krow = &kw[j * dq..(j + 1) * dq];
-                let mut s = 0.0f32;
-                for (x, y) in qrow.iter().zip(krow) {
-                    s += x * y;
+        .for_each(|(pair_idx, (nz_chunk, code_chunk))| {
+            let i0 = pair_idx * 2;
+            let rows_here = nz_chunk.len() / kept_per_row;
+            // Accumulate the pair's score rows in the "registers" (a pooled
+            // scratch buffer, zero-filled on acquisition).
+            let mut acc = scratch_f32(rows_here * cols);
+            let q0 = &qw[i0 * dq..(i0 + 1) * dq];
+            if rows_here == 2 {
+                let q1 = &qw[(i0 + 1) * dq..(i0 + 2) * dq];
+                let (acc0, acc1) = acc.split_at_mut(cols);
+                for kk in 0..dq {
+                    micro::axpy2(acc0, acc1, q0[kk], q1[kk], &kt[kk * cols..(kk + 1) * cols]);
                 }
-                *a = s;
+            } else {
+                for kk in 0..dq {
+                    micro::axpy(&mut acc, q0[kk], &kt[kk * cols..(kk + 1) * cols]);
+                }
             }
-            prune_rows_into(pattern, &acc, cols, scale, nz_row, code_row);
+            prune_rows_into(pattern, &acc, cols, scale, nz_chunk, code_chunk);
         });
 
     NmCompressed::from_parts(pattern, rows, cols, nonzeros, codes)

@@ -27,13 +27,70 @@ fn record_softmax<T: Scalar>(ctx: &mut GpuCtx, name: &'static str, rows: usize, 
     );
 }
 
-/// Stable softmax of one row, through f32.
-fn softmax_slice<T: Scalar>(row: &mut [T]) {
-    let mut buf: Vec<f32> = row.iter().map(|v| v.to_f32()).collect();
-    math::softmax_row(&mut buf);
-    for (dst, &v) in row.iter_mut().zip(&buf) {
-        *dst = T::from_f32(v);
+/// Rows per parallel work item: one scratch acquisition and one shim item
+/// serve a whole batch of rows.
+const ROW_CHUNK: usize = 16;
+
+/// Lane-blocked row maximum (a serial `fold(NEG_INFINITY, f32::max)` is a
+/// scalar dependency chain the vectorizer cannot break). `f32::max` is
+/// associative, commutative, and NaN-ignoring, and the only order-sensitive
+/// case — a `±0.0` tie for the row maximum — is invisible downstream
+/// because `exp(x - -0.0) == exp(x - 0.0)` exactly; softmax results are
+/// identical to the serial fold.
+fn row_max(buf: &[f32]) -> f32 {
+    const LANES: usize = 8;
+    let full = buf.len() / LANES * LANES;
+    let mut lanes = [f32::NEG_INFINITY; LANES];
+    for c in (0..full).step_by(LANES) {
+        let xb: &[f32; LANES] = buf[c..c + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lanes[l] = lanes[l].max(xb[l]);
+        }
     }
+    let mut max = f32::NEG_INFINITY;
+    for l in 0..LANES {
+        max = max.max(lanes[l]);
+    }
+    for &x in &buf[full..] {
+        max = max.max(x);
+    }
+    max
+}
+
+/// Stable softmax of one row in place through a caller-provided f32 scratch
+/// slice (`buf.len() >= row.len()`): vectorizable widening copy, a
+/// lane-blocked max, the shared exp pass, and the normalising multiply
+/// fused into the narrowing write-back — one fewer pass over the row than
+/// the textbook four, with bit-identical results.
+fn softmax_into<T: Scalar>(row: &mut [T], buf: &mut [f32]) {
+    let buf = &mut buf[..row.len()];
+    for (b, v) in buf.iter_mut().zip(row.iter()) {
+        *b = v.to_f32();
+    }
+    let inv = math::softmax_exp_pass(buf, row_max(buf));
+    for (dst, &v) in row.iter_mut().zip(buf.iter()) {
+        *dst = T::from_f32(v * inv);
+    }
+}
+
+/// Stable softmax of one row, through a pooled f32 scratch buffer.
+fn softmax_slice<T: Scalar>(row: &mut [T]) {
+    let mut buf = dfss_tensor::scratch_f32_stale(row.len());
+    softmax_into(row, &mut buf);
+}
+
+/// Row-batched parallel softmax over a flat `rows × row_len` buffer.
+fn softmax_rows<T: Scalar>(data: &mut [T], row_len: usize) {
+    if row_len == 0 {
+        return;
+    }
+    data.par_chunks_mut(row_len * ROW_CHUNK).for_each(|chunk| {
+        // Stale scratch: `softmax_into`'s widening copy overwrites it.
+        let mut buf = dfss_tensor::scratch_f32_stale(row_len);
+        for row in chunk.chunks_mut(row_len) {
+            softmax_into(row, &mut buf);
+        }
+    });
 }
 
 /// Dense row-wise softmax: `A = softmax(S)` over each length-n row.
@@ -44,9 +101,7 @@ pub fn softmax_dense<T: Scalar>(ctx: &mut GpuCtx, scores: &Matrix<T>) -> Matrix<
         return scores.clone();
     }
     let mut out = scores.clone();
-    out.as_mut_slice()
-        .par_chunks_mut(cols)
-        .for_each(|row| softmax_slice(row));
+    softmax_rows(out.as_mut_slice(), cols);
     out
 }
 
@@ -64,9 +119,7 @@ pub fn softmax_nm<T: Scalar>(ctx: &mut GpuCtx, comp: &mut NmCompressed<T>) {
     if !ctx.exec {
         return;
     }
-    comp.nonzeros_mut()
-        .par_chunks_mut(kept)
-        .for_each(|row| softmax_slice(row));
+    softmax_rows(comp.nonzeros_mut(), kept);
 }
 
 /// CSR softmax for the explicit top-k baseline: normalises each row's

@@ -10,10 +10,15 @@
 //!   tightly.
 
 use crate::ctx::{sparse_class, GpuCtx};
+use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
 use dfss_nmsparse::{Csr, NmCompressed};
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{scratch_f32_stale, Matrix, Scalar};
 use rayon::prelude::*;
+
+/// Output rows per parallel work item: one scratch accumulator and one shim
+/// item serve a whole batch of rows (shared with the blocked-ELL SpMM).
+pub(crate) const ROW_CHUNK: usize = 16;
 
 /// `O = Aᶜ · V` where `Aᶜ` is N:M-compressed `n×n` and `V` is `n×d`.
 pub fn spmm_nm<T: Scalar>(ctx: &mut GpuCtx, a: &NmCompressed<T>, v: &Matrix<T>) -> Matrix<T> {
@@ -43,22 +48,39 @@ pub fn spmm_nm<T: Scalar>(ctx: &mut GpuCtx, a: &NmCompressed<T>, v: &Matrix<T>) 
         return Matrix::zeros(rows, d);
     }
 
-    // --- execution
-    let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+    // --- execution: batch rows per work item so one scratch accumulator
+    // serves the whole chunk. The hardware 1:2 pattern takes a direct
+    // indexed decode (one nonzero per group, the column is `2g` plus the
+    // code's high bit) — no per-nonzero callback or bit-scan loop; group
+    // order and per-element accumulation match `scan_row` exactly.
+    let vw = micro::widen(v);
+    let gpr = a.groups_per_row();
+    let p1_2 = a.pattern() == dfss_nmsparse::NmPattern::P1_2;
     let mut out = vec![T::zero(); rows * d];
-    out.par_chunks_mut(d).enumerate().for_each(|(r, orow)| {
-        let mut acc = vec![0.0f32; d];
-        a.scan_row(r, |col, val| {
-            let vrow = &vw[col * d..(col + 1) * d];
-            let val = val.to_mul();
-            for (o, &x) in acc.iter_mut().zip(vrow) {
-                *o += val * x;
+    out.par_chunks_mut(d * ROW_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut acc = scratch_f32_stale(d);
+            for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                let r = ci * ROW_CHUNK + local;
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                if p1_2 {
+                    let codes = &a.codes()[r * gpr..(r + 1) * gpr];
+                    for (g, (&code, val)) in codes.iter().zip(a.row_nonzeros(r)).enumerate() {
+                        debug_assert!(code == 1 || code == 2);
+                        let col = 2 * g + (code >> 1) as usize;
+                        micro::axpy(&mut acc, val.to_mul(), &vw[col * d..(col + 1) * d]);
+                    }
+                } else {
+                    a.scan_row(r, |col, val| {
+                        micro::axpy(&mut acc, val.to_mul(), &vw[col * d..(col + 1) * d]);
+                    });
+                }
+                for (o, &x) in orow.iter_mut().zip(acc.iter()) {
+                    *o = T::from_acc(x);
+                }
             }
         });
-        for (o, &x) in orow.iter_mut().zip(&acc) {
-            *o = T::from_acc(x);
-        }
-    });
     Matrix::from_vec(rows, d, out)
 }
 
@@ -89,22 +111,28 @@ pub fn spmm_csr<T: Scalar>(ctx: &mut GpuCtx, a: &Csr<T>, v: &Matrix<T>) -> Matri
         return Matrix::zeros(rows, d);
     }
 
-    let vw: Vec<f32> = v.as_slice().iter().map(|x| x.to_mul()).collect();
+    let vw = micro::widen(v);
     let mut out = vec![T::zero(); rows * d];
-    out.par_chunks_mut(d).enumerate().for_each(|(r, orow)| {
-        let (cols, vals) = a.row(r);
-        let mut acc = vec![0.0f32; d];
-        for (&c, &val) in cols.iter().zip(vals) {
-            let vrow = &vw[c as usize * d..(c as usize + 1) * d];
-            let val = val.to_mul();
-            for (o, &x) in acc.iter_mut().zip(vrow) {
-                *o += val * x;
+    out.par_chunks_mut(d * ROW_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let mut acc = scratch_f32_stale(d);
+            for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                let r = ci * ROW_CHUNK + local;
+                let (cols, vals) = a.row(r);
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                for (&c, &val) in cols.iter().zip(vals) {
+                    micro::axpy(
+                        &mut acc,
+                        val.to_mul(),
+                        &vw[c as usize * d..(c as usize + 1) * d],
+                    );
+                }
+                for (o, &x) in orow.iter_mut().zip(acc.iter()) {
+                    *o = T::from_acc(x);
+                }
             }
-        }
-        for (o, &x) in orow.iter_mut().zip(&acc) {
-            *o = T::from_acc(x);
-        }
-    });
+        });
     Matrix::from_vec(rows, d, out)
 }
 

@@ -1,0 +1,165 @@
+//! Worker-pool parity tests: every kernel must produce **bit-identical**
+//! results whether its `par_*` loops fan out across the persistent pool or
+//! run serially on one thread, nested parallel sections must not deadlock,
+//! and a panic inside one kernel launch must not poison the pool.
+//!
+//! `RAYON_NUM_THREADS=4` is pinned before the first pool use so the fan-out
+//! paths are exercised even on single-core CI runners.
+
+use dfss_gpusim::Stage;
+use dfss_kernels::{ell, gemm, sddmm, softmax, spmm, GpuCtx};
+use dfss_nmsparse::{BlockedEll, Csr, NmCompressed, NmPattern};
+use dfss_tensor::{Matrix, Rng, Scalar};
+
+/// Pin the pool width before its lazy initialisation (call first in every
+/// test; whichever test runs first wins the race, all set the same value).
+fn pin_pool() {
+    static PIN: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    PIN.get_or_init(|| {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
+fn bits<T: Scalar>(m: &Matrix<T>) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_f32().to_bits()).collect()
+}
+
+fn qkv(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+    let mut rng = Rng::new(seed);
+    (
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+    )
+}
+
+#[test]
+fn gemm_kernels_match_serial_bitwise() {
+    pin_pool();
+    // 67 rows: exercises the odd-row tail of the paired NT microkernel.
+    let (q, k, v) = qkv(67, 64, 1);
+    let par_nt = gemm::gemm_nt(&mut GpuCtx::a100(), Stage::Qk, &q, &k, 0.125);
+    let ser_nt =
+        rayon::with_serial(|| gemm::gemm_nt(&mut GpuCtx::a100(), Stage::Qk, &q, &k, 0.125));
+    assert_eq!(bits(&par_nt), bits(&ser_nt), "gemm_nt");
+
+    let par_nn = gemm::gemm_nn(&mut GpuCtx::a100(), Stage::Av, &par_nt, &v);
+    let ser_nn = rayon::with_serial(|| gemm::gemm_nn(&mut GpuCtx::a100(), Stage::Av, &par_nt, &v));
+    assert_eq!(bits(&par_nn), bits(&ser_nn), "gemm_nn");
+
+    let par_tn = gemm::gemm_tn(&mut GpuCtx::a100(), Stage::NonAttention, &q, &k);
+    let ser_tn =
+        rayon::with_serial(|| gemm::gemm_tn(&mut GpuCtx::a100(), Stage::NonAttention, &q, &k));
+    assert_eq!(bits(&par_tn), bits(&ser_tn), "gemm_tn");
+}
+
+#[test]
+fn sddmm_matches_serial_bitwise() {
+    pin_pool();
+    let (q, k, _) = qkv(66, 32, 2);
+    let par = sddmm::sddmm_nm_fused(&mut GpuCtx::a100(), &q, &k, 0.2, NmPattern::P1_2);
+    let ser = rayon::with_serial(|| {
+        sddmm::sddmm_nm_fused(&mut GpuCtx::a100(), &q, &k, 0.2, NmPattern::P1_2)
+    });
+    assert_eq!(par.codes(), ser.codes());
+    assert_eq!(bits(&par.decompress()), bits(&ser.decompress()));
+}
+
+#[test]
+fn softmax_matches_serial_bitwise() {
+    pin_pool();
+    let mut rng = Rng::new(3);
+    let scores = Matrix::<f32>::random_normal(65, 64, 0.0, 1.0, &mut rng);
+    let par = softmax::softmax_dense(&mut GpuCtx::a100(), &scores);
+    let ser = rayon::with_serial(|| softmax::softmax_dense(&mut GpuCtx::a100(), &scores));
+    assert_eq!(bits(&par), bits(&ser));
+
+    let mut par_c = NmCompressed::compress(&scores, NmPattern::P1_2);
+    let mut ser_c = par_c.clone();
+    softmax::softmax_nm(&mut GpuCtx::a100(), &mut par_c);
+    rayon::with_serial(|| softmax::softmax_nm(&mut GpuCtx::a100(), &mut ser_c));
+    assert_eq!(bits(&par_c.decompress()), bits(&ser_c.decompress()));
+}
+
+#[test]
+fn spmm_matches_serial_bitwise() {
+    pin_pool();
+    let mut rng = Rng::new(4);
+    let scores = Matrix::<f32>::random_normal(64, 64, 0.0, 1.0, &mut rng);
+    let v = Matrix::<f32>::random_normal(64, 32, 0.0, 1.0, &mut rng);
+    let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+    let par = spmm::spmm_nm(&mut GpuCtx::a100(), &comp, &v);
+    let ser = rayon::with_serial(|| spmm::spmm_nm(&mut GpuCtx::a100(), &comp, &v));
+    assert_eq!(bits(&par), bits(&ser), "spmm_nm");
+
+    let csr = Csr::from_dense_topk(&scores, 9);
+    let par = spmm::spmm_csr(&mut GpuCtx::a100(), &csr, &v);
+    let ser = rayon::with_serial(|| spmm::spmm_csr(&mut GpuCtx::a100(), &csr, &v));
+    assert_eq!(bits(&par), bits(&ser), "spmm_csr");
+}
+
+#[test]
+fn ell_pipeline_matches_serial_bitwise() {
+    pin_pool();
+    let (q, k, v) = qkv(64, 16, 5);
+    let ell_map = BlockedEll::sliding_window(64, 64, 16, 2);
+    let run = |ctx: &mut GpuCtx| {
+        let mut a = ell::sddmm_ell_nm_fused(ctx, &q, &k, 0.25, NmPattern::P1_2, &ell_map);
+        ell::softmax_ell_nm(ctx, &mut a);
+        ell::spmm_ell_nm(ctx, &a, &v)
+    };
+    let par = run(&mut GpuCtx::a100());
+    let ser = rayon::with_serial(|| run(&mut GpuCtx::a100()));
+    assert_eq!(bits(&par), bits(&ser));
+}
+
+#[test]
+fn nested_kernel_calls_do_not_deadlock() {
+    pin_pool();
+    use rayon::prelude::*;
+    // Outer parallel loop over heads, each head running full parallel
+    // kernels — the shape `dfss-transformer::attn` produces once batching
+    // lands. Completion (rather than hanging) is the assertion.
+    let outs: Vec<Matrix<f32>> = (0..4usize)
+        .into_par_iter()
+        .map(|h| {
+            let (q, k, v) = qkv(48, 16, 100 + h as u64);
+            let mut ctx = GpuCtx::a100();
+            let mut a = sddmm::sddmm_nm_fused(&mut ctx, &q, &k, 0.25, NmPattern::P1_2);
+            softmax::softmax_nm(&mut ctx, &mut a);
+            spmm::spmm_nm(&mut ctx, &a, &v)
+        })
+        .collect();
+    assert_eq!(outs.len(), 4);
+    for (h, o) in outs.iter().enumerate() {
+        // And each nested result matches its serial computation.
+        let (q, k, v) = qkv(48, 16, 100 + h as u64);
+        let expect = rayon::with_serial(|| {
+            let mut ctx = GpuCtx::a100();
+            let mut a = sddmm::sddmm_nm_fused(&mut ctx, &q, &k, 0.25, NmPattern::P1_2);
+            softmax::softmax_nm(&mut ctx, &mut a);
+            spmm::spmm_nm(&mut ctx, &a, &v)
+        });
+        assert_eq!(bits(o), bits(&expect), "head {h}");
+    }
+}
+
+#[test]
+fn kernel_panic_poisons_only_its_launch() {
+    pin_pool();
+    // A dimension-mismatch panic fires *inside* the launch path. It must
+    // propagate to the caller…
+    let boom = std::panic::catch_unwind(|| {
+        let a = Matrix::<f32>::zeros(64, 3);
+        let b = Matrix::<f32>::zeros(64, 4);
+        let _ = gemm::gemm_nt(&mut GpuCtx::a100(), Stage::Qk, &a, &b, 1.0);
+    });
+    assert!(boom.is_err());
+    // …and the pool must keep serving kernels afterwards.
+    let (q, k, _) = qkv(64, 32, 6);
+    let c = gemm::gemm_nt(&mut GpuCtx::a100(), Stage::Qk, &q, &k, 1.0);
+    let reference =
+        rayon::with_serial(|| gemm::gemm_nt(&mut GpuCtx::a100(), Stage::Qk, &q, &k, 1.0));
+    assert_eq!(bits(&c), bits(&reference));
+    assert!(rayon::spawned_workers() <= rayon::current_num_threads());
+}

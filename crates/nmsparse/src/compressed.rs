@@ -37,15 +37,16 @@ impl<T: Scalar> NmCompressed<T> {
         let mut nonzeros = Vec::with_capacity(rows * kept_per_row);
         let mut codes = Vec::with_capacity(rows * groups_per_row);
         let mut scores = vec![0.0f32; pattern.m()];
+        let mut kept = [0usize; crate::MAX_M];
         for r in 0..rows {
             let row = dense.row(r);
             for chunk in row.chunks_exact(pattern.m()) {
                 for (s, v) in scores.iter_mut().zip(chunk) {
                     *s = v.to_f32();
                 }
-                let kept = pattern.select_group(&scores);
+                let n_kept = pattern.select_group_into(&scores, &mut kept);
                 let mut code = 0u8;
-                for &k in &kept {
+                for &k in &kept[..n_kept] {
                     code |= 1 << k;
                     nonzeros.push(chunk[k]);
                 }

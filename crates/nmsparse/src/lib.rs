@@ -32,4 +32,4 @@ pub mod pattern;
 pub use blocked_ell::BlockedEll;
 pub use compressed::NmCompressed;
 pub use csr::Csr;
-pub use pattern::NmPattern;
+pub use pattern::{NmPattern, MAX_M};

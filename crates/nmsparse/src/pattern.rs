@@ -11,6 +11,10 @@
 
 use dfss_tensor::{Matrix, Scalar};
 
+/// Largest M representable by the u8 bitmask metadata codes; the
+/// allocation-free selection path is sized to it.
+pub const MAX_M: usize = 8;
+
 /// An N:M fine-grained structured sparsity pattern (N kept out of M).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NmPattern {
@@ -24,9 +28,11 @@ impl NmPattern {
     /// The pattern the A100 supports for `bfloat16`/`float16` inputs.
     pub const P2_4: NmPattern = NmPattern { n: 2, m: 4 };
 
-    /// A general pattern; requires `0 < n < m`.
+    /// A general pattern; requires `0 < n < m ≤ 8` (the metadata codes every
+    /// compressed format uses are u8 bitmasks, one bit per group lane).
     pub fn new(n: usize, m: usize) -> NmPattern {
         assert!(n > 0 && n < m, "N:M requires 0 < N < M, got {n}:{m}");
+        assert!(m <= MAX_M, "bitmask codes support M ≤ {MAX_M}, got M = {m}");
         NmPattern { n, m }
     }
 
@@ -72,18 +78,38 @@ impl NmPattern {
     /// Select the kept indices (sorted ascending) within one M-group of
     /// scores. Keeps the N largest by value; ties prefer the earlier index.
     pub fn select_group(&self, group: &[f32]) -> Vec<usize> {
+        let mut buf = [0usize; MAX_M];
+        let n = self.select_group_into(group, &mut buf);
+        buf[..n].to_vec()
+    }
+
+    /// Allocation-free [`select_group`](Self::select_group) for the prune
+    /// epilogue hot loop: writes the kept indices (sorted ascending) into
+    /// `kept[..N]` and returns N. Selection semantics are identical (N
+    /// largest by value, ties to the earlier index). Requires `M ≤ 8`, the
+    /// bitmask-code domain every compressed format uses.
+    #[inline]
+    pub fn select_group_into(&self, group: &[f32], kept: &mut [usize; MAX_M]) -> usize {
         debug_assert_eq!(group.len(), self.m);
-        let mut idx: Vec<usize> = (0..self.m).collect();
-        // Stable sort descending by value; stability gives the lower-index
-        // tie-break.
-        idx.sort_by(|&a, &b| {
-            group[b]
-                .partial_cmp(&group[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut kept = idx[..self.n].to_vec();
-        kept.sort_unstable();
-        kept
+        // `m ≤ MAX_M` is enforced by the constructor.
+        debug_assert!(self.m <= MAX_M);
+        let mut idx = [0usize; MAX_M];
+        for (i, slot) in idx[..self.m].iter_mut().enumerate() {
+            *slot = i;
+        }
+        // Stable insertion sort, descending by value: an element moves left
+        // only past *strictly smaller* values, which reproduces the stable
+        // sort's lower-index tie-break.
+        for i in 1..self.m {
+            let mut j = i;
+            while j > 0 && group[idx[j]] > group[idx[j - 1]] {
+                idx.swap(j, j - 1);
+                j -= 1;
+            }
+        }
+        kept[..self.n].copy_from_slice(&idx[..self.n]);
+        kept[..self.n].sort_unstable();
+        self.n
     }
 
     /// Boolean keep-mask over a full row (`row.len()` must be a multiple of
@@ -172,6 +198,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "bitmask codes support M ≤ 8")]
+    fn rejects_m_wider_than_code_domain() {
+        let _ = NmPattern::new(3, 16);
+    }
+
+    #[test]
     fn select_group_picks_largest() {
         let p = NmPattern::P2_4;
         assert_eq!(p.select_group(&[0.1, 0.9, 0.5, 0.2]), vec![1, 2]);
@@ -195,6 +227,39 @@ mod tests {
         assert_eq!(p.select_group(&[1.0, 1.0, 1.0, 1.0]), vec![0, 1]);
         let q = NmPattern::P1_2;
         assert_eq!(q.select_group(&[2.0, 2.0]), vec![0]);
+    }
+
+    #[test]
+    fn select_group_into_matches_stable_sort_reference() {
+        // Reference: the stable-descending-sort formulation of the
+        // selection semantics (what `select_group` historically did).
+        fn reference(n: usize, group: &[f32]) -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..group.len()).collect();
+            idx.sort_by(|&a, &b| {
+                group[b]
+                    .partial_cmp(&group[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut kept = idx[..n].to_vec();
+            kept.sort_unstable();
+            kept
+        }
+        let mut rng = Rng::new(11);
+        for &(n, m) in &[(1usize, 2usize), (2, 4), (1, 4), (3, 4), (3, 8)] {
+            let p = NmPattern::new(n, m);
+            for _ in 0..200 {
+                let group: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 1.0)).collect();
+                let mut buf = [0usize; MAX_M];
+                let k = p.select_group_into(&group, &mut buf);
+                assert_eq!(&buf[..k], &reference(n, &group)[..], "{p} {group:?}");
+                assert_eq!(&buf[..k], &p.select_group(&group)[..], "{p} wrapper");
+            }
+            // Tie-heavy groups exercise the stability contract.
+            let ties: Vec<f32> = (0..m).map(|i| (i % 2) as f32).collect();
+            let mut buf = [0usize; MAX_M];
+            let k = p.select_group_into(&ties, &mut buf);
+            assert_eq!(&buf[..k], &reference(n, &ties)[..], "{p} ties");
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`Matrix`] — a flat row-major matrix with the small set of dense ops the
 //!   attention stack needs (GEMM lives in `dfss-kernels`; this crate only
 //!   offers reference-grade helpers).
+//! * [`arena`] — a thread-local scratch-buffer pool so kernel hot loops
+//!   reuse their widened-operand and accumulator buffers across calls.
 //! * [`rng`] — a deterministic xoshiro256++ generator with Gaussian and Zipf
 //!   sampling so every experiment in EXPERIMENTS.md is exactly reproducible.
 //! * [`math`] — `erf`/`erfinv` (needed by Proposition 4.2's closed forms),
@@ -18,6 +20,7 @@
 //! * [`stats`] — mean/σ/confidence intervals and quartiles used by the
 //!   accuracy tables (reported as `mean ± CI` at Cl = 95% like the paper).
 
+pub mod arena;
 pub mod bf16;
 pub mod math;
 pub mod matrix;
@@ -25,6 +28,7 @@ pub mod rng;
 pub mod scalar;
 pub mod stats;
 
+pub use arena::{scratch_f32, scratch_f32_from, scratch_f32_stale, ScratchF32};
 pub use bf16::{tf32_round, Bf16};
 pub use matrix::Matrix;
 pub use rng::Rng;

@@ -130,23 +130,40 @@ pub fn gelu_grad(x: f32) -> f32 {
 /// Rows that are entirely `-inf` (fully masked) become all zeros rather than
 /// NaN, which is the convention masked attention needs.
 pub fn softmax_row(row: &mut [f32]) {
-    if row.is_empty() {
-        return;
-    }
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    softmax_row_with_max(row, max);
+}
+
+/// [`softmax_row`] with the row maximum already known — for callers that
+/// fuse the max reduction into a preceding copy/widen pass. `max` must be
+/// the left-to-right `f32::max` fold of `row` for identical numerics.
+pub fn softmax_row_with_max(row: &mut [f32], max: f32) {
+    let inv = softmax_exp_pass(row, max);
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// The exp phase of a stable softmax: overwrites `row` with
+/// `exp(x - max)` and returns the normaliser `1/Σ`, letting callers fuse
+/// the final multiply into their own write-back pass (`v * inv` there is
+/// the exact multiplication [`softmax_row`] would perform in place). For an
+/// all-`-∞` row the entries become `0.0` and the returned normaliser is
+/// `0.0`, so a fused `v * inv` write-back still produces the zero row.
+pub fn softmax_exp_pass(row: &mut [f32], max: f32) -> f32 {
+    if row.is_empty() {
+        return 0.0;
+    }
     if max == f32::NEG_INFINITY {
         row.iter_mut().for_each(|v| *v = 0.0);
-        return;
+        return 0.0;
     }
     let mut sum = 0.0f32;
     for v in row.iter_mut() {
         *v = (*v - max).exp();
         sum += *v;
     }
-    let inv = 1.0 / sum;
-    for v in row.iter_mut() {
-        *v *= inv;
-    }
+    1.0 / sum
 }
 
 /// Softmax returning a fresh vector.
