@@ -65,6 +65,9 @@ fn run_dtype<T: Scalar>(
 }
 
 fn main() {
+    if dfss_bench::handle_report_check("fig14_e2e_speedup") {
+        return;
+    }
     let (heads, hiddens, seqs): (Vec<usize>, Vec<usize>, Vec<usize>) = if dfss_bench::quick() {
         (vec![4], vec![256], vec![512, 2048])
     } else {

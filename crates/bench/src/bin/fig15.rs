@@ -11,6 +11,9 @@ use dfss_kernels::GpuCtx;
 use dfss_tensor::Bf16;
 
 fn main() {
+    if dfss_bench::handle_report_check("fig15_e2e_breakdown") {
+        return;
+    }
     let (heads_list, hiddens, seqs): (Vec<usize>, Vec<usize>, Vec<usize>) = if dfss_bench::quick() {
         (vec![4], vec![256], vec![512, 2048])
     } else {

@@ -2,6 +2,7 @@
 //! full-attention Transformer, across sequence lengths and data types.
 //!
 //! Run: `cargo run -p dfss-bench --release --bin fig5`
+//! Validate the JSON artifact: `fig5 --check results/fig5_latency_breakdown.json`
 
 use dfss_bench::Report;
 use dfss_core::cluster_baselines::{ReformerAttention, RoutingAttention, SinkhornAttention};
@@ -9,7 +10,7 @@ use dfss_core::linear_baselines::{NystromAttention, PerformerAttention};
 use dfss_core::{Attention, DfssAttention, FullAttention};
 use dfss_gpusim::Stage;
 use dfss_kernels::GpuCtx;
-use dfss_tensor::{Bf16, Matrix, Rng, Scalar};
+use dfss_tensor::{BatchedMatrix, Bf16, Matrix, Rng, Scalar};
 
 fn mechanisms<T: Scalar>(n: usize) -> Vec<(&'static str, Box<dyn Attention<T>>)> {
     vec![
@@ -38,24 +39,26 @@ fn mechanisms<T: Scalar>(n: usize) -> Vec<(&'static str, Box<dyn Attention<T>>)>
 fn run_dtype<T: Scalar>(report: &mut Report, seq_lens: &[usize]) {
     let d = 64;
     for &n in seq_lens {
-        // "Batch size large enough to keep the GPU busy" (§5.2): the batched
-        // kernels do B sequences' work per launch. Keep total tokens fixed.
-        let batch = ((1usize << 17) / n).max(1) as u64;
+        // "Batch size large enough to keep the GPU busy" (§5.2): every
+        // kernel processes the whole B-sequence volume in one real batched
+        // launch. Keep total tokens fixed across sequence lengths.
+        let batch = ((1usize << 17) / n).max(1);
         let mut rng = Rng::new(n as u64);
         let q: Matrix<T> = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
         let k: Matrix<T> = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
         let v: Matrix<T> = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let qb = BatchedMatrix::broadcast(&q, batch);
+        let kb = BatchedMatrix::broadcast(&k, batch);
+        let vb = BatchedMatrix::broadcast(&v, batch);
 
         // Baseline latency for normalisation.
         let mut base_ctx = GpuCtx::a100_charge_only();
-        let _ = FullAttention.forward(&mut base_ctx, &q, &k, &v);
-        dfss_bench::batch_scale(&mut base_ctx, batch);
+        let _ = FullAttention.forward_batched(&mut base_ctx, &qb, &kb, &vb);
         let base = base_ctx.latency();
 
         for (name, mech) in mechanisms::<T>(n) {
             let mut ctx = GpuCtx::a100_charge_only();
-            let _ = mech.forward(&mut ctx, &q, &k, &v);
-            dfss_bench::batch_scale(&mut ctx, batch);
+            let _ = mech.forward_batched(&mut ctx, &qb, &kb, &vb);
             let dev = ctx.dev.clone();
             let get = |s: Stage| (ctx.timeline.stage_latency(s, &dev) / base).max(0.0);
             let total = ctx.latency() / base;
@@ -75,6 +78,9 @@ fn run_dtype<T: Scalar>(report: &mut Report, seq_lens: &[usize]) {
 }
 
 fn main() {
+    if dfss_bench::handle_report_check("fig5_latency_breakdown") {
+        return;
+    }
     let seq_lens: Vec<usize> = if dfss_bench::quick() {
         vec![256, 1024]
     } else {
@@ -99,5 +105,5 @@ fn main() {
     report.emit("fig5_latency_breakdown");
 
     // Headline check: Dfss speedup band across all lengths.
-    println!("note: paper reports 1.27–1.89x attention speedup for Dfss across 256–4096.");
+    println!("note: paper reports 1.27-1.89x attention speedup for Dfss across 256-4096.");
 }

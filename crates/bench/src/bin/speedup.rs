@@ -18,15 +18,23 @@
 //!   artifact pair is produced — alternating seed-build and current-build
 //!   invocations so host-load drift hits both sides equally (see README
 //!   "Performance").
-//! * `speedup --check <path>` — validate an artifact against the schema and
-//!   exit non-zero on violation (used by the CI bench-smoke job).
+//! * `speedup --check <path>` — validate an artifact against its schema
+//!   (`bench_kernels` or `bench_attention`, dispatched on the `artifact`
+//!   field) and exit non-zero on violation (used by the CI bench-smoke job).
+//!
+//! Besides the kernel grid, the run measures a **batched-attention
+//! section**: exec-mode Dfss multi-head forward over the §5.2 B×H grid,
+//! batched (one launch per op across the whole stack) vs the per-head loop,
+//! emitted as `results/bench_attention.json` so the trajectory tooling can
+//! track batched-vs-looped speedups across PRs.
 
 use dfss_bench::json::Json;
 use dfss_bench::{quick, results_dir, Report};
+use dfss_core::{Attention, DfssAttention};
 use dfss_gpusim::Stage;
 use dfss_kernels::{gemm, sddmm, softmax, spmm, GpuCtx};
 use dfss_nmsparse::{NmCompressed, NmPattern};
-use dfss_tensor::{Matrix, Rng};
+use dfss_tensor::{BatchedMatrix, Matrix, Rng};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -261,6 +269,158 @@ fn run_grid_pass(sizes: &[usize], d: usize, pass: usize, passes: usize) -> Vec<M
     out
 }
 
+/// One batched-attention configuration: interleaved samples of the
+/// per-head-looped and natively batched exec-mode Dfss forward.
+struct AttnMeasurement {
+    n: usize,
+    d: usize,
+    bh: usize,
+    looped_s: Vec<f64>,
+    batched_s: Vec<f64>,
+}
+
+fn stats_of(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = sorted[(sorted.len() - 1) / 2];
+    (sorted[0], p50)
+}
+
+/// Measure the batched-attention section over the §5.2 B×H grid: the same
+/// B×H panel stack runs through `forward_batched` (one launch per op) and
+/// through a per-head `forward` loop, alternating so host-load drift hits
+/// both sides equally. Outputs are bit-identical (asserted once per
+/// config); only wall-clock differs.
+fn run_attention_grid() -> Vec<AttnMeasurement> {
+    let d = HEAD_DIM;
+    let grid: &[(usize, usize)] = if quick() {
+        &[(256, 8)]
+    } else {
+        // (n, B×H): the acceptance gate shape (512, 64) plus a longer
+        // sequence at the same batch volume.
+        &[(512, 64), (1024, 64)]
+    };
+    let samples = if quick() { 3 } else { 7 };
+    let mech = DfssAttention::new(NmPattern::P1_2);
+    let mut out = Vec::new();
+    for &(n, bh) in grid {
+        let mut rng = Rng::new((n + bh) as u64);
+        let qb = BatchedMatrix::<f32>::random_normal(bh, n, d, 0.0, 1.0, &mut rng);
+        let kb = BatchedMatrix::<f32>::random_normal(bh, n, d, 0.0, 1.0, &mut rng);
+        let vb = BatchedMatrix::<f32>::random_normal(bh, n, d, 0.0, 1.0, &mut rng);
+        let panels: Vec<(Matrix<f32>, Matrix<f32>, Matrix<f32>)> = (0..bh)
+            .map(|b| (qb.to_panel(b), kb.to_panel(b), vb.to_panel(b)))
+            .collect();
+
+        let run_looped = || {
+            let mut outs = Vec::with_capacity(bh);
+            for (q, k, v) in &panels {
+                let mut ctx = GpuCtx::a100();
+                outs.push(mech.forward(&mut ctx, q, k, v));
+            }
+            outs
+        };
+        let run_batched = || {
+            let mut ctx = GpuCtx::a100();
+            mech.forward_batched(&mut ctx, &qb, &kb, &vb)
+        };
+
+        // Warm-up doubles as the bit-parity assertion.
+        let looped = run_looped();
+        let batched = run_batched();
+        for (b, m) in looped.iter().enumerate() {
+            let equal = m
+                .as_slice()
+                .iter()
+                .zip(batched.panel(b))
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                equal,
+                "batched forward diverged from per-head loop (panel {b})"
+            );
+        }
+
+        eprintln!("[speedup] attention n = {n}, BxH = {bh} ...");
+        let mut m = AttnMeasurement {
+            n,
+            d,
+            bh,
+            looped_s: Vec::new(),
+            batched_s: Vec::new(),
+        };
+        for _ in 0..samples {
+            let t = Instant::now();
+            black_box(run_looped());
+            m.looped_s.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            black_box(run_batched());
+            m.batched_s.push(t.elapsed().as_secs_f64());
+        }
+        out.push(m);
+    }
+    out
+}
+
+fn emit_attention(measurements: &[AttnMeasurement]) {
+    let mut report = Report::new(
+        "batched vs per-head-looped Dfss forward (exec mode wall-clock)",
+        &[
+            "n",
+            "d",
+            "BxH",
+            "looped_min_ms",
+            "looped_p50_ms",
+            "batched_min_ms",
+            "batched_p50_ms",
+            "speedup",
+        ],
+    );
+    let mut entries = Vec::new();
+    for m in measurements {
+        let (lmin, lp50) = stats_of(&m.looped_s);
+        let (bmin, bp50) = stats_of(&m.batched_s);
+        let speedup = lmin / bmin.max(1e-12);
+        entries.push(Json::obj(vec![
+            ("n", Json::Num(m.n as f64)),
+            ("d", Json::Num(m.d as f64)),
+            ("bh", Json::Num(m.bh as f64)),
+            ("samples", Json::Num(m.looped_s.len() as f64)),
+            ("looped_min_ms", Json::Num(round3(lmin * 1e3))),
+            ("looped_p50_ms", Json::Num(round3(lp50 * 1e3))),
+            ("batched_min_ms", Json::Num(round3(bmin * 1e3))),
+            ("batched_p50_ms", Json::Num(round3(bp50 * 1e3))),
+            ("speedup", Json::Num(round3(speedup))),
+            ("work_elems", Json::Num((m.bh * m.n * m.n * m.d) as f64)),
+        ]));
+        report.row(vec![
+            m.n.to_string(),
+            m.d.to_string(),
+            m.bh.to_string(),
+            format!("{:.3}", lmin * 1e3),
+            format!("{:.3}", lp50 * 1e3),
+            format!("{:.3}", bmin * 1e3),
+            format!("{:.3}", bp50 * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    let doc = Json::obj(vec![
+        ("schema_version", Json::Num(SCHEMA_VERSION)),
+        ("artifact", Json::Str("bench_attention".into())),
+        (
+            "mode",
+            Json::Str(if quick() { "quick" } else { "full" }.into()),
+        ),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+        ("dtype", Json::Str("float".into())),
+        ("pattern", Json::Str("1:2".into())),
+        ("entries", Json::Arr(entries)),
+    ]);
+    println!("{}", report.render());
+    let path = results_dir().join("bench_attention.json");
+    std::fs::write(&path, doc.render()).expect("write bench_attention.json");
+    println!("[saved {}]", path.display());
+}
+
 /// Load a baseline artifact: `(kernel, n, d, min_ms, p50_ms)` per entry.
 fn load_baseline(path: &str) -> Vec<(String, usize, usize, f64, f64)> {
     let text =
@@ -347,6 +507,12 @@ fn emit(measurements: &[Measurement]) {
         ]);
     }
 
+    if entries.is_empty() {
+        // DFSS_BENCH_ONLY skipped the whole kernel grid: keep the existing
+        // artifact instead of overwriting it with an empty document.
+        eprintln!("[speedup] no kernel samples; leaving bench_kernels.json untouched");
+        return;
+    }
     let doc = Json::obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("artifact", Json::Str("bench_kernels".into())),
@@ -369,7 +535,8 @@ fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
 
-/// Schema validation for the CI smoke job.
+/// Schema validation for the CI smoke job, dispatched on the document's
+/// `artifact` field (`bench_kernels` or `bench_attention`).
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text)?;
@@ -379,9 +546,6 @@ fn check(path: &str) -> Result<(), String> {
         .ok_or("missing schema_version")?;
     if version != SCHEMA_VERSION {
         return Err(format!("schema_version {version} != {SCHEMA_VERSION}"));
-    }
-    if doc.get("artifact").and_then(Json::as_str) != Some("bench_kernels") {
-        return Err("artifact field must be \"bench_kernels\"".into());
     }
     let mode = doc
         .get("mode")
@@ -400,6 +564,25 @@ fn check(path: &str) -> Result<(), String> {
     if entries.is_empty() {
         return Err("entries array is empty".into());
     }
+    let artifact = doc.get("artifact").and_then(Json::as_str);
+    let n_entries = entries.len();
+    match artifact {
+        Some("bench_kernels") => check_kernel_entries(entries, mode)?,
+        Some("bench_attention") => check_attention_entries(entries, mode)?,
+        other => {
+            return Err(format!(
+                "artifact {other:?} not in {{bench_kernels, bench_attention}}"
+            ))
+        }
+    }
+    println!(
+        "{path}: schema OK ({} {mode} mode, {n_entries} entries)",
+        artifact.unwrap_or("?"),
+    );
+    Ok(())
+}
+
+fn check_kernel_entries(entries: &[Json], mode: &str) -> Result<(), String> {
     for (i, e) in entries.iter().enumerate() {
         e.get("kernel")
             .and_then(Json::as_str)
@@ -436,7 +619,44 @@ fn check(path: &str) -> Result<(), String> {
     {
         return Err("full-mode artifact lacks the gemm_nt n=1024 entry".into());
     }
-    println!("{path}: schema OK ({mode} mode, {} entries)", entries.len());
+    Ok(())
+}
+
+fn check_attention_entries(entries: &[Json], mode: &str) -> Result<(), String> {
+    for (i, e) in entries.iter().enumerate() {
+        for field in [
+            "n",
+            "d",
+            "bh",
+            "samples",
+            "looped_min_ms",
+            "looped_p50_ms",
+            "batched_min_ms",
+            "batched_p50_ms",
+            "speedup",
+            "work_elems",
+        ] {
+            let x = e
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("entry {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "entry {i}: {field} = {x} not a finite non-negative"
+                ));
+            }
+        }
+    }
+    // A full-mode artifact must cover the acceptance-gate shape
+    // (B×H ≥ 64 at n ≥ 512).
+    if mode == "full"
+        && !entries.iter().any(|e| {
+            e.get("n").and_then(Json::as_f64).unwrap_or(0.0) >= 512.0
+                && e.get("bh").and_then(Json::as_f64).unwrap_or(0.0) >= 64.0
+        })
+    {
+        return Err("full-mode artifact lacks a (n >= 512, BxH >= 64) entry".into());
+    }
     Ok(())
 }
 
@@ -476,4 +696,9 @@ fn main() {
         eprintln!("[speedup] sample cache {cache}: {total} samples total");
     }
     emit(&measurements);
+    // Batched-attention section (skipped when DFSS_BENCH_ONLY pins another
+    // kernel).
+    if kernel_enabled("attention") {
+        emit_attention(&run_attention_grid());
+    }
 }

@@ -9,24 +9,15 @@
 //! * `DFSS_QUICK=1` — shrink grids/seeds for a fast smoke run.
 //! * `DFSS_SEEDS=<n>` — override the number of seeds for the ± CI tables.
 
+use json::Json;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 pub mod json;
 pub mod train;
 
-/// Scale a context's recorded kernel work by a batch factor, keeping the
-/// launch counts — the paper's batched kernels process the whole
-/// batch × heads volume in one launch per op ("The batch size is set to be
-/// large enough to keep the GPU busy", §5.2).
-pub fn batch_scale(ctx: &mut dfss_kernels::GpuCtx, b: u64) {
-    for e in ctx.timeline.entries_mut() {
-        e.bytes_read *= b;
-        e.bytes_written *= b;
-        e.tc_macs *= b;
-        e.alu_ops *= b;
-    }
-}
+/// Schema version of the `results/*.json` report artifacts.
+pub const REPORT_SCHEMA_VERSION: f64 = 1.0;
 
 /// Directory for CSV artifacts (created on demand).
 pub fn results_dir() -> PathBuf {
@@ -101,7 +92,9 @@ impl Report {
         out
     }
 
-    /// Print to stdout and save CSV under `results/<name>.csv`.
+    /// Print to stdout and save CSV + schema-stable JSON under
+    /// `results/<name>.{csv,json}` (the JSON is what trajectory tooling
+    /// diffs across PRs; validate with the binary's `--check` flag).
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
         let mut csv = String::new();
@@ -122,6 +115,107 @@ impl Report {
         let path = results_dir().join(format!("{name}.csv"));
         std::fs::write(&path, csv).expect("write csv");
         println!("[saved {}]", path.display());
+
+        let doc = self.to_json(name);
+        let jpath = results_dir().join(format!("{name}.json"));
+        std::fs::write(&jpath, doc.render()).expect("write report json");
+        println!("[saved {}]", jpath.display());
+    }
+
+    /// The report as its JSON artifact document.
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(REPORT_SCHEMA_VERSION)),
+            ("artifact", Json::Str(name.into())),
+            ("title", Json::Str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|c| Json::Str(c.clone())).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Validate a `results/<artifact>.json` report document against the shared
+/// schema: version, matching artifact name, string columns, and every row
+/// exactly as wide as the header.
+pub fn check_report(path: &str, artifact: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != REPORT_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != {REPORT_SCHEMA_VERSION}"
+        ));
+    }
+    match doc.get("artifact").and_then(Json::as_str) {
+        Some(a) if a == artifact => {}
+        other => return Err(format!("artifact {other:?} != {artifact:?}")),
+    }
+    doc.get("title")
+        .and_then(Json::as_str)
+        .ok_or("missing title")?;
+    let columns = doc
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or("missing columns array")?;
+    if columns.is_empty() || !columns.iter().all(|c| c.as_str().is_some()) {
+        return Err("columns must be a non-empty string array".into());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows array is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_arr().ok_or(format!("row {i} is not an array"))?;
+        if cells.len() != columns.len() || !cells.iter().all(|c| c.as_str().is_some()) {
+            return Err(format!(
+                "row {i}: expected {} string cells, got {}",
+                columns.len(),
+                cells.len()
+            ));
+        }
+    }
+    Ok(rows.len())
+}
+
+/// Handle a figure/table binary's `--check <path>` invocation: validates
+/// the named report artifact and exits the process on failure. Returns
+/// `true` when the invocation was a check (the caller should return without
+/// running the experiment); malformed command lines abort with usage.
+pub fn handle_report_check(artifact: &str) -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 1 {
+        return false;
+    }
+    if args.len() != 3 || args[1] != "--check" {
+        eprintln!("usage: {} [--check <artifact.json>]", args[0]);
+        std::process::exit(2);
+    }
+    match check_report(&args[2], artifact) {
+        Ok(rows) => {
+            println!("{}: schema OK ({rows} rows)", args[2]);
+            true
+        }
+        Err(e) => {
+            eprintln!("schema validation failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -144,5 +238,42 @@ mod tests {
     fn report_checks_columns() {
         let mut r = Report::new("t", &["a"]);
         r.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_check() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("dfss_report_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figX.json");
+        std::fs::write(&path, r.to_json("figX").render()).unwrap();
+        let p = path.to_str().unwrap();
+        assert_eq!(check_report(p, "figX"), Ok(1));
+        // Wrong artifact name must fail.
+        assert!(check_report(p, "figY").is_err());
+    }
+
+    #[test]
+    fn check_report_rejects_ragged_rows() {
+        let doc = Json::obj(vec![
+            ("schema_version", Json::Num(REPORT_SCHEMA_VERSION)),
+            ("artifact", Json::Str("t".into())),
+            ("title", Json::Str("t".into())),
+            (
+                "columns",
+                Json::Arr(vec![Json::Str("a".into()), Json::Str("b".into())]),
+            ),
+            (
+                "rows",
+                Json::Arr(vec![Json::Arr(vec![Json::Str("1".into())])]),
+            ),
+        ]);
+        let dir = std::env::temp_dir().join("dfss_report_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.json");
+        std::fs::write(&path, doc.render()).unwrap();
+        let err = check_report(path.to_str().unwrap(), "t").unwrap_err();
+        assert!(err.contains("row 0"), "{err}");
     }
 }

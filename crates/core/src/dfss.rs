@@ -11,10 +11,10 @@
 //! ablation (separate prune kernel — what §2.3 says existing libraries do),
 //! and the blocked-ELL hybrid for long sequences (A.1.2).
 
-use crate::mechanism::{check_qkv, Attention};
+use crate::mechanism::{check_qkv, check_qkv_batched, Attention};
 use dfss_kernels::{ell, sddmm, softmax, spmm, GpuCtx};
 use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern};
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
 
 /// The Dfss attention mechanism.
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +97,43 @@ impl<T: Scalar> Attention<T> for DfssAttention {
     fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
         self.forward_with_weights(ctx, q, k, v).0
     }
+
+    /// Natively batched pipeline: the whole B×H stack runs through one
+    /// fused-SDDMM launch, one compressed-softmax launch and one SpMM
+    /// launch, each charging a single profile of exactly `batch ×` the
+    /// per-head cost. Outputs are bit-identical to a per-head loop.
+    fn forward_batched(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &BatchedMatrix<T>,
+        k: &BatchedMatrix<T>,
+        v: &BatchedMatrix<T>,
+    ) -> BatchedMatrix<T> {
+        let (batch, n, d) = check_qkv_batched(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        // Compressed scores for the whole stack live simultaneously: the
+        // batched launch's peak footprint is batch × the per-head one.
+        let kept = self.pattern.kept_per_row(n);
+        let nz_bytes = (batch * n * kept * T::BYTES) as u64;
+        let meta_bytes = ((batch * n * n / self.pattern.m()) as u64 * 4).div_ceil(8);
+        let comp_id = ctx.mem.alloc("scores_nm_compressed", nz_bytes + meta_bytes);
+        let mut comp = if self.fused {
+            sddmm::sddmm_nm_fused_batched(ctx, q, k, scale, self.pattern)
+        } else {
+            // The unfused path additionally materialises every panel's
+            // dense scores.
+            let dense_id = ctx
+                .mem
+                .alloc("scores_dense_unfused", (batch * n * n * T::BYTES) as u64);
+            let comp = sddmm::sddmm_nm_unfused_batched(ctx, q, k, scale, self.pattern);
+            ctx.mem.free(dense_id);
+            comp
+        };
+        softmax::softmax_nm_batched(ctx, &mut comp);
+        let out = spmm::spmm_nm_batched(ctx, &comp, v);
+        ctx.mem.free(comp_id);
+        out
+    }
 }
 
 /// Dfss combined with blocked-ELL sparsity for long sequences: scores are
@@ -142,6 +179,30 @@ impl<T: Scalar> Attention<T> for DfssEllAttention {
         let mut a = ell::sddmm_ell_nm_fused(ctx, q, k, scale, self.pattern, &ell);
         ell::softmax_ell_nm(ctx, &mut a);
         let out = ell::spmm_ell_nm(ctx, &a, v);
+        ctx.mem.free(id);
+        out
+    }
+
+    /// Natively batched hybrid pipeline: one launch per op for the whole
+    /// stack (the ELL block map is shape-derived, so every head shares it).
+    fn forward_batched(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &BatchedMatrix<T>,
+        k: &BatchedMatrix<T>,
+        v: &BatchedMatrix<T>,
+    ) -> BatchedMatrix<T> {
+        let (batch, n, d) = check_qkv_batched(q, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let ell = BlockedEll::sliding_window(n, n, self.block, self.window_blocks);
+        let packed_cols = ell.ell_width() * self.block;
+        let kept = self.pattern.kept_per_row(packed_cols);
+        let bytes = (batch * n * kept * T::BYTES) as u64
+            + ((batch * n * packed_cols / self.pattern.m()) as u64 * 4).div_ceil(8);
+        let id = ctx.mem.alloc("scores_ell_nm", bytes);
+        let mut a = ell::sddmm_ell_nm_fused_batched(ctx, q, k, scale, self.pattern, &ell);
+        ell::softmax_ell_nm_batched(ctx, &mut a);
+        let out = ell::spmm_ell_nm_batched(ctx, &a, v);
         ctx.mem.free(id);
         out
     }
@@ -287,6 +348,116 @@ mod tests {
         assert_eq!(Attention::<f32>::name(&m), "Dfss 1:2 (float)");
         let m = DfssAttention::for_dtype::<Bf16>();
         assert_eq!(Attention::<Bf16>::name(&m), "Dfss 2:4 (bfloat16)");
+    }
+
+    #[test]
+    fn batched_forward_bit_identical_to_per_head_loop() {
+        // The tentpole contract: one launch per op over the whole B×H
+        // stack, outputs bit-identical to the per-head loop and charges
+        // exactly batch × the per-head profiles.
+        let (batch, n, d) = (6usize, 64usize, 16usize);
+        let mut rng = Rng::new(12);
+        let qb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let kb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let vb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        for (fused, entries) in [(true, 3usize), (false, 4usize)] {
+            let mech = if fused {
+                DfssAttention::new(NmPattern::P1_2)
+            } else {
+                DfssAttention::unfused(NmPattern::P1_2)
+            };
+            let mut bctx = GpuCtx::a100();
+            let out = mech.forward_batched(&mut bctx, &qb, &kb, &vb);
+            // One launch per op.
+            assert_eq!(bctx.timeline.entries().len(), entries);
+            assert_eq!(bctx.timeline.launches(), entries as u64);
+            let mut sctx = GpuCtx::a100();
+            for b in 0..batch {
+                let single =
+                    mech.forward(&mut sctx, &qb.to_panel(b), &kb.to_panel(b), &vb.to_panel(b));
+                let same = out
+                    .panel(b)
+                    .iter()
+                    .zip(single.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "fused={fused} head {b} diverged");
+            }
+            // Exact batch × charge totals.
+            assert_eq!(
+                bctx.timeline.total_bytes(),
+                sctx.timeline.total_bytes(),
+                "fused={fused}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_full_attention_bit_identical_to_per_head_loop() {
+        let (batch, n, d) = (4usize, 48usize, 16usize);
+        let mut rng = Rng::new(13);
+        let qb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let kb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let vb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let mut bctx = GpuCtx::a100();
+        let out = crate::full::FullAttention.forward_batched(&mut bctx, &qb, &kb, &vb);
+        assert_eq!(bctx.timeline.entries().len(), 3);
+        let mut sctx = GpuCtx::a100();
+        for b in 0..batch {
+            let single = crate::full::FullAttention.forward(
+                &mut sctx,
+                &qb.to_panel(b),
+                &kb.to_panel(b),
+                &vb.to_panel(b),
+            );
+            let same = out
+                .panel(b)
+                .iter()
+                .zip(single.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "head {b} diverged");
+        }
+        assert_eq!(bctx.timeline.total_bytes(), sctx.timeline.total_bytes());
+    }
+
+    #[test]
+    fn batched_ell_forward_matches_per_head_loop() {
+        let (batch, n, d) = (3usize, 128usize, 16usize);
+        let mut rng = Rng::new(14);
+        let qb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let kb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let vb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let mech = DfssEllAttention::new(NmPattern::P1_2, 32, 2);
+        let mut bctx = GpuCtx::a100();
+        let out = mech.forward_batched(&mut bctx, &qb, &kb, &vb);
+        assert_eq!(bctx.timeline.entries().len(), 3);
+        let mut sctx = GpuCtx::a100();
+        for b in 0..batch {
+            let single = mech.forward(&mut sctx, &qb.to_panel(b), &kb.to_panel(b), &vb.to_panel(b));
+            let same = out
+                .panel(b)
+                .iter()
+                .zip(single.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "head {b} diverged");
+        }
+        assert_eq!(bctx.timeline.total_bytes(), sctx.timeline.total_bytes());
+    }
+
+    #[test]
+    fn charge_only_batched_forward_matches_executed_charges() {
+        // Figure binaries run the batched pipeline charge-only: profiles
+        // must be identical to exec mode, with no panel data materialised.
+        let (batch, n, d) = (8usize, 64usize, 32usize);
+        let mut rng = Rng::new(15);
+        let qb = BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let mech = DfssAttention::for_dtype::<f32>();
+        let mut exec = GpuCtx::a100();
+        let _ = mech.forward_batched(&mut exec, &qb, &qb, &qb);
+        let mut charge = GpuCtx::a100_charge_only();
+        let out = mech.forward_batched(&mut charge, &qb, &qb, &qb);
+        assert!(!out.is_materialized());
+        assert_eq!(exec.timeline.total_bytes(), charge.timeline.total_bytes());
+        assert_eq!(exec.mem.peak(), charge.mem.peak());
     }
 
     #[test]

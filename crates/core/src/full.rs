@@ -1,9 +1,9 @@
 //! Full (dense) attention — Equation (1), the baseline of every experiment.
 
-use crate::mechanism::{check_qkv, Attention};
+use crate::mechanism::{check_qkv, check_qkv_batched, Attention};
 use dfss_gpusim::Stage;
 use dfss_kernels::{gemm, softmax, GpuCtx};
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
 
 /// `O = softmax(QKᵀ/√d) · V`, all dense.
 #[derive(Clone, Copy, Debug, Default)]
@@ -25,6 +25,34 @@ impl<T: Scalar> Attention<T> for FullAttention {
         let weights = softmax::softmax_dense(ctx, &scores);
         ctx.mem.free(scores_id);
         let out = gemm::gemm_nn(ctx, Stage::Av, &weights, v);
+        ctx.mem.free(weights_id);
+        out
+    }
+
+    /// Natively batched dense pipeline: one GEMM / softmax / GEMM launch
+    /// for the whole B×H stack, each charging `batch ×` the per-head cost
+    /// in a single profile. Bit-identical to a per-head loop.
+    fn forward_batched(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &BatchedMatrix<T>,
+        k: &BatchedMatrix<T>,
+        v: &BatchedMatrix<T>,
+    ) -> BatchedMatrix<T> {
+        let (batch, n, d) = check_qkv_batched(q, k, v);
+        let scale = <Self as Attention<T>>::scale_for(self, d);
+        // Every panel's dense n×n scores are live at once in the batched
+        // launch — the footprint Dfss's compressed stack avoids.
+        let scores_id = ctx
+            .mem
+            .alloc("scores_dense", (batch * n * n * T::BYTES) as u64);
+        let scores = gemm::gemm_nt_batched(ctx, Stage::Qk, q, k, scale);
+        let weights_id = ctx
+            .mem
+            .alloc("weights_dense", (batch * n * n * T::BYTES) as u64);
+        let weights = softmax::softmax_dense_batched(ctx, &scores);
+        ctx.mem.free(scores_id);
+        let out = gemm::gemm_nn_batched(ctx, Stage::Av, &weights, v);
         ctx.mem.free(weights_id);
         out
     }

@@ -12,6 +12,10 @@ pub struct MemTracker {
     live: Vec<(String, u64, bool)>,
     current: u64,
     peak: u64,
+    /// High-water mark since the last [`begin_window`](Self::begin_window)
+    /// (used to size the concurrent-residency reservation of batched
+    /// launches).
+    window_peak: u64,
 }
 
 /// Handle to one allocation (index into the ledger).
@@ -28,6 +32,7 @@ impl MemTracker {
         self.live.push((label.into(), bytes, true));
         self.current += bytes;
         self.peak = self.peak.max(self.current);
+        self.window_peak = self.window_peak.max(self.current);
         AllocId(self.live.len() - 1)
     }
 
@@ -48,6 +53,19 @@ impl MemTracker {
     /// High-water mark.
     pub fn peak(&self) -> u64 {
         self.peak
+    }
+
+    /// Start a measurement window: the next [`window_peak`](Self::window_peak)
+    /// reports the high-water mark from this point on (the global
+    /// [`peak`](Self::peak) is unaffected).
+    pub fn begin_window(&mut self) {
+        self.window_peak = self.current;
+    }
+
+    /// High-water mark since the last [`begin_window`](Self::begin_window)
+    /// (process start if never called).
+    pub fn window_peak(&self) -> u64 {
+        self.window_peak
     }
 
     /// Labels and sizes of currently live allocations (debugging aid).

@@ -39,6 +39,12 @@ impl Timeline {
         self.entries.clear();
     }
 
+    /// Drop every entry past `len` (used when per-panel logs are merged
+    /// into batched launches).
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

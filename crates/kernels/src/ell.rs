@@ -14,8 +14,8 @@ use crate::ctx::{dense_class, sparse_class, GpuCtx};
 use crate::micro;
 use crate::spmm::ROW_CHUNK;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern};
-use dfss_tensor::{scratch_f32, scratch_f32_stale, Matrix, Scalar};
+use dfss_nmsparse::{BlockedEll, NmBatch, NmCompressed, NmPattern};
+use dfss_tensor::{scratch_f32, scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// An attention weight matrix under hybrid blocked-ELL × N:M sparsity.
@@ -48,6 +48,28 @@ impl<T: Scalar> EllNm<T> {
     }
 }
 
+/// Per-panel cost counters of the hybrid fused SDDMM (shared by the single
+/// and batched entry points so the batched charge is exactly `batch ×`
+/// this).
+fn ell_sddmm_charge<T: Scalar>(
+    ell: &BlockedEll,
+    rows: usize,
+    d: usize,
+    pattern: NmPattern,
+) -> (u64, u64, u64, u64) {
+    let b = ell.block();
+    let packed_cols = ell.ell_width() * b;
+    let kept_per_row = pattern.kept_per_row(packed_cols);
+    let groups_per_row = packed_cols / pattern.m();
+    let active_tiles = (ell.row_blocks() * ell.ell_width()) as u64;
+    let reads = active_tiles * (2 * b * d) as u64 * T::BYTES as u64;
+    let nz_bytes = (rows * kept_per_row * T::BYTES) as u64;
+    let meta_bytes = ((rows * groups_per_row) as u64 * 4).div_ceil(8);
+    let macs = active_tiles * (b * b * d) as u64;
+    let groups = (rows * groups_per_row) as u64;
+    (reads, nz_bytes + meta_bytes, macs, groups)
+}
+
 /// Fused SDDMM + N:M prune restricted to the active blocks of `ell`.
 ///
 /// Inactive blocks are never computed (their tiles are skipped in the launch
@@ -73,15 +95,10 @@ pub fn sddmm_ell_nm_fused<T: Scalar>(
     let groups_per_row = packed_cols / pattern.m();
 
     // Simulated cost: only active tiles compute & load operands.
-    let active_tiles = (ell.row_blocks() * ell.ell_width()) as u64;
-    let reads = active_tiles * (2 * b * d) as u64 * T::BYTES as u64;
-    let nz_bytes = (rows * kept_per_row * T::BYTES) as u64;
-    let meta_bytes = ((rows * groups_per_row) as u64 * 4).div_ceil(8);
-    let macs = active_tiles * (b * b * d) as u64;
-    let groups = (rows * groups_per_row) as u64;
+    let (reads, writes, macs, groups) = ell_sddmm_charge::<T>(ell, rows, d, pattern);
     ctx.record(
         KernelProfile::new("sddmm_ell_nm_fused", Stage::Qk)
-            .with_traffic(reads, nz_bytes + meta_bytes)
+            .with_traffic(reads, writes)
             .with_tc(macs, dense_class::<T>())
             .with_alu(groups * 12),
     );
@@ -114,38 +131,69 @@ pub fn sddmm_ell_nm_fused<T: Scalar>(
         .zip(codes.par_chunks_mut(groups_per_row))
         .enumerate()
         .for_each(|(i, (nz_row, code_row))| {
-            let rb = i / b;
-            let qrow = &qw[i * d..(i + 1) * d];
             let mut acc = scratch_f32(packed_cols);
-            for (kk, &qv) in qrow.iter().enumerate() {
-                let krow = &kt[kk * kn..(kk + 1) * kn];
-                for (slot, &cb) in ell.row_active(rb).iter().enumerate() {
-                    let col0 = cb as usize * b;
-                    micro::axpy(
-                        &mut acc[slot * b..(slot + 1) * b],
-                        qv,
-                        &krow[col0..col0 + b],
-                    );
-                }
-            }
-            // Prune the packed row.
-            let mut nz_pos = 0usize;
-            let mut kept = [0usize; dfss_nmsparse::MAX_M];
-            for (g, chunk) in acc.chunks_exact(pattern.m()).enumerate() {
-                let n_kept = pattern.select_group_into(chunk, &mut kept);
-                let mut code = 0u8;
-                for &kidx in &kept[..n_kept] {
-                    code |= 1 << kidx;
-                    nz_row[nz_pos] = T::from_acc(chunk[kidx] * scale);
-                    nz_pos += 1;
-                }
-                code_row[g] = code;
-            }
+            ell_sddmm_row(
+                &qw[i * d..(i + 1) * d],
+                &kt,
+                kn,
+                ell,
+                i / b,
+                b,
+                pattern,
+                scale,
+                &mut acc,
+                nz_row,
+                code_row,
+            );
         });
 
     EllNm {
         ell: ell.clone(),
         packed: NmCompressed::from_parts(pattern, rows, packed_cols, nonzeros, codes),
+    }
+}
+
+/// One packed score row of the hybrid SDDMM: active-block outer-product
+/// accumulation into `acc` (caller-zeroed) followed by the N:M prune.
+/// Shared by the single-head and batched entry points so both produce
+/// bit-identical rows.
+#[allow(clippy::too_many_arguments)]
+fn ell_sddmm_row<T: Scalar>(
+    qrow: &[f32],
+    kt: &[f32],
+    kn: usize,
+    ell: &BlockedEll,
+    rb: usize,
+    b: usize,
+    pattern: NmPattern,
+    scale: f32,
+    acc: &mut [f32],
+    nz_row: &mut [T],
+    code_row: &mut [u8],
+) {
+    for (kk, &qv) in qrow.iter().enumerate() {
+        let krow = &kt[kk * kn..(kk + 1) * kn];
+        for (slot, &cb) in ell.row_active(rb).iter().enumerate() {
+            let col0 = cb as usize * b;
+            micro::axpy(
+                &mut acc[slot * b..(slot + 1) * b],
+                qv,
+                &krow[col0..col0 + b],
+            );
+        }
+    }
+    // Prune the packed row.
+    let mut nz_pos = 0usize;
+    let mut kept = [0usize; dfss_nmsparse::MAX_M];
+    for (g, chunk) in acc.chunks_exact(pattern.m()).enumerate() {
+        let n_kept = pattern.select_group_into(chunk, &mut kept);
+        let mut code = 0u8;
+        for &kidx in &kept[..n_kept] {
+            code |= 1 << kidx;
+            nz_row[nz_pos] = T::from_acc(chunk[kidx] * scale);
+            nz_pos += 1;
+        }
+        code_row[g] = code;
     }
 }
 
@@ -155,6 +203,52 @@ pub fn softmax_ell_nm<T: Scalar>(ctx: &mut GpuCtx, a: &mut EllNm<T>) {
     crate::softmax::softmax_nm(ctx, &mut a.packed);
 }
 
+/// Per-panel cost counters of the hybrid SpMM (tiling computed once, shared
+/// by the single and batched entry points).
+fn ell_spmm_charge<T: Scalar>(
+    ctx: &GpuCtx,
+    ell: &BlockedEll,
+    rows: usize,
+    d: usize,
+    kept_per_row: usize,
+    groups_per_row: usize,
+) -> (u64, u64, u64) {
+    // Like spmm_nm but only active-block V panels are loaded.
+    let tm = ctx.tile_for(rows) as u64;
+    let tiles_m = (rows as u64).div_ceil(tm);
+    let kept_row_bytes = (kept_per_row * T::BYTES) as u64;
+    let meta_row_bytes = (groups_per_row as u64 * 4).div_ceil(8);
+    let packed_inner = (ell.ell_width() * ell.block()) as u64;
+    let v_panel = packed_inner * d as u64 * T::BYTES as u64;
+    let reads = tiles_m * (tm * (kept_row_bytes + meta_row_bytes) + v_panel);
+    let writes = (rows * d * T::BYTES) as u64;
+    let phys_macs = (rows * kept_per_row * d) as u64;
+    (reads, writes, phys_macs)
+}
+
+/// One output row of the hybrid SpMM (shared single/batched): packed scan,
+/// dense-column gather, `axpy` into the caller's zeroed accumulator.
+fn ell_spmm_row<T: Scalar>(
+    packed_row: impl FnOnce(&mut dyn FnMut(usize, T)),
+    ell: &BlockedEll,
+    rb: usize,
+    vw: &[f32],
+    d: usize,
+    acc: &mut [f32],
+    orow: &mut [T],
+) {
+    let b = ell.block();
+    acc.iter_mut().for_each(|x| *x = 0.0);
+    packed_row(&mut |pc, val: T| {
+        let active = ell.row_active(rb);
+        let col = active[pc / b] as usize * b + pc % b;
+        micro::axpy(acc, val.to_mul(), &vw[col * d..(col + 1) * d]);
+    });
+    for (o, &x) in orow.iter_mut().zip(acc.iter()) {
+        *o = T::from_acc(x);
+    }
+}
+
 /// `O = Aᶜ · V` for hybrid blocked-ELL × N:M `A`.
 pub fn spmm_ell_nm<T: Scalar>(ctx: &mut GpuCtx, a: &EllNm<T>, v: &Matrix<T>) -> Matrix<T> {
     let rows = a.packed.rows();
@@ -162,16 +256,14 @@ pub fn spmm_ell_nm<T: Scalar>(ctx: &mut GpuCtx, a: &EllNm<T>, v: &Matrix<T>) -> 
     assert_eq!(vr, a.ell.cols());
     let b = a.ell.block();
 
-    // Cost: like spmm_nm but only active-block V panels are loaded.
-    let tm = ctx.tile_for(rows) as u64;
-    let tiles_m = (rows as u64).div_ceil(tm);
-    let kept_row_bytes = (a.packed.kept_per_row() * T::BYTES) as u64;
-    let meta_row_bytes = (a.packed.groups_per_row() as u64 * 4).div_ceil(8);
-    let packed_inner = (a.ell.ell_width() * b) as u64;
-    let v_panel = packed_inner * d as u64 * T::BYTES as u64;
-    let reads = tiles_m * (tm * (kept_row_bytes + meta_row_bytes) + v_panel);
-    let writes = (rows * d * T::BYTES) as u64;
-    let phys_macs = (rows * a.packed.kept_per_row() * d) as u64;
+    let (reads, writes, phys_macs) = ell_spmm_charge::<T>(
+        ctx,
+        &a.ell,
+        rows,
+        d,
+        a.packed.kept_per_row(),
+        a.packed.groups_per_row(),
+    );
     ctx.record(
         KernelProfile::new("spmm_ell_nm", Stage::Av)
             .with_traffic(reads, writes)
@@ -190,18 +282,207 @@ pub fn spmm_ell_nm<T: Scalar>(ctx: &mut GpuCtx, a: &EllNm<T>, v: &Matrix<T>) -> 
             let mut acc = scratch_f32_stale(d);
             for (local, orow) in chunk.chunks_mut(d).enumerate() {
                 let r = ci * ROW_CHUNK + local;
-                let rb = r / b;
-                acc.iter_mut().for_each(|x| *x = 0.0);
-                a.packed.scan_row(r, |pc, val| {
-                    let col = a.dense_col(rb, pc);
-                    micro::axpy(&mut acc, val.to_mul(), &vw[col * d..(col + 1) * d]);
-                });
-                for (o, &x) in orow.iter_mut().zip(acc.iter()) {
-                    *o = T::from_acc(x);
-                }
+                ell_spmm_row(
+                    |f| a.packed.scan_row(r, f),
+                    &a.ell,
+                    r / b,
+                    &vw,
+                    d,
+                    &mut acc,
+                    orow,
+                );
             }
         });
     Matrix::from_vec(rows, d, out)
+}
+
+/// An attention weight stack under hybrid blocked-ELL × N:M sparsity: one
+/// shared block map (the ELL pattern is shape-derived, identical across
+/// heads) over a batched packed compressed stack.
+#[derive(Clone, Debug)]
+pub struct EllNmBatch<T> {
+    /// Which column blocks are active per row block (shared by every panel).
+    pub ell: BlockedEll,
+    /// N:M-compressed packed scores for every panel.
+    pub packed: NmBatch<T>,
+}
+
+impl<T: Scalar> EllNmBatch<T> {
+    /// Copy panel `b` out as a standalone [`EllNm`].
+    pub fn to_ell_nm(&self, b: usize) -> EllNm<T> {
+        EllNm {
+            ell: self.ell.clone(),
+            packed: self.packed.to_compressed(b),
+        }
+    }
+
+    /// Overall density (active fraction × N/M).
+    pub fn density(&self) -> f64 {
+        self.ell.hybrid_density(self.packed.pattern().density())
+    }
+
+    /// Total compressed bytes across the stack (nonzeros + N:M metadata +
+    /// the shared ELL table).
+    pub fn bytes(&self) -> usize {
+        self.packed.bytes() + self.ell.row_blocks() * self.ell.ell_width() * 4
+    }
+}
+
+/// Batched hybrid fused SDDMM over a whole B×H stack in **one launch**: a
+/// single profile of exactly `batch ×` the per-panel
+/// [`sddmm_ell_nm_fused`] cost and one pool fan-out over (panel, row-tile)
+/// work items. Bit-identical to a per-panel loop.
+pub fn sddmm_ell_nm_fused_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    q: &BatchedMatrix<T>,
+    k: &BatchedMatrix<T>,
+    scale: f32,
+    pattern: NmPattern,
+    ell: &BlockedEll,
+) -> EllNmBatch<T> {
+    let (batch, rows, d) = q.shape();
+    let (bb, kn, dk) = k.shape();
+    assert_eq!(batch, bb, "batch sizes differ");
+    assert_eq!(d, dk);
+    assert_eq!(rows, ell.rows());
+    assert_eq!(kn, ell.cols());
+    let b = ell.block();
+    assert_eq!(b % pattern.m(), 0, "block size must be a multiple of M");
+
+    let packed_cols = ell.ell_width() * b;
+    let kept_per_row = pattern.kept_per_row(packed_cols);
+    let groups_per_row = packed_cols / pattern.m();
+
+    let (reads, writes, macs, groups) = ell_sddmm_charge::<T>(ell, rows, d, pattern);
+    let b64 = batch as u64;
+    ctx.record(
+        KernelProfile::new("sddmm_ell_nm_fused", Stage::Qk)
+            .with_traffic(b64 * reads, b64 * writes)
+            .with_tc(b64 * macs, dense_class::<T>())
+            .with_alu(b64 * groups * 12),
+    );
+    if !ctx.exec {
+        return EllNmBatch {
+            ell: ell.clone(),
+            packed: NmBatch::charge_only(pattern, batch, rows, packed_cols),
+        };
+    }
+
+    let qw = micro::widen_batched(q);
+    // Per-panel widen-transposed K (same layout the single-head kernel
+    // streams) packed back to back.
+    let mut kts = dfss_tensor::scratch_f32(batch * d * kn);
+    for p in 0..batch {
+        let dst = &mut kts[p * d * kn..(p + 1) * d * kn];
+        for (j, row) in k.panel(p).chunks_exact(d.max(1)).enumerate() {
+            for (kk, v) in row.iter().enumerate() {
+                dst[kk * kn + j] = v.to_mul();
+            }
+        }
+    }
+    let mut nonzeros = vec![T::zero(); batch * rows * kept_per_row];
+    let mut codes = vec![0u8; batch * rows * groups_per_row];
+    crate::batched::fan_out2(
+        &mut nonzeros,
+        rows * kept_per_row,
+        crate::batched::ROW_TILE * kept_per_row,
+        &mut codes,
+        rows * groups_per_row,
+        crate::batched::ROW_TILE * groups_per_row,
+        |p, e0, nz_chunk, code_chunk| {
+            let qw_p = &qw[p * rows * d..(p + 1) * rows * d];
+            let kt_p = &kts[p * d * kn..(p + 1) * d * kn];
+            let row0 = e0 / kept_per_row;
+            let rows_here = nz_chunk.len() / kept_per_row;
+            let mut acc = scratch_f32_stale(packed_cols);
+            for local in 0..rows_here {
+                let r = row0 + local;
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                ell_sddmm_row(
+                    &qw_p[r * d..(r + 1) * d],
+                    kt_p,
+                    kn,
+                    ell,
+                    r / b,
+                    b,
+                    pattern,
+                    scale,
+                    &mut acc,
+                    &mut nz_chunk[local * kept_per_row..(local + 1) * kept_per_row],
+                    &mut code_chunk[local * groups_per_row..(local + 1) * groups_per_row],
+                );
+            }
+        },
+    );
+    EllNmBatch {
+        ell: ell.clone(),
+        packed: NmBatch::from_parts(pattern, batch, rows, packed_cols, nonzeros, codes),
+    }
+}
+
+/// Batched softmax over the packed compressed stack (one launch for every
+/// panel's rows).
+pub fn softmax_ell_nm_batched<T: Scalar>(ctx: &mut GpuCtx, a: &mut EllNmBatch<T>) {
+    crate::softmax::softmax_nm_batched(ctx, &mut a.packed);
+}
+
+/// Batched `O = Aᶜ · V` for hybrid blocked-ELL × N:M stacks in one launch
+/// (single profile = `batch ×` the per-panel [`spmm_ell_nm`] cost, tiling
+/// hoisted). Bit-identical to a per-panel loop.
+pub fn spmm_ell_nm_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    a: &EllNmBatch<T>,
+    v: &BatchedMatrix<T>,
+) -> BatchedMatrix<T> {
+    let (batch, rows) = (a.packed.batch(), a.packed.rows());
+    let (bb, vr, d) = v.shape();
+    assert_eq!(batch, bb, "batch sizes differ");
+    assert_eq!(vr, a.ell.cols());
+    let b = a.ell.block();
+
+    let (reads, writes, phys_macs) = ell_spmm_charge::<T>(
+        ctx,
+        &a.ell,
+        rows,
+        d,
+        a.packed.kept_per_row(),
+        a.packed.groups_per_row(),
+    );
+    let b64 = batch as u64;
+    ctx.record(
+        KernelProfile::new("spmm_ell_nm", Stage::Av)
+            .with_traffic(b64 * reads, b64 * writes)
+            .with_tc(b64 * phys_macs, sparse_class::<T>()),
+    );
+    if !ctx.exec {
+        return BatchedMatrix::charge_only(batch, rows, d);
+    }
+
+    let vw = micro::widen_batched(v);
+    let mut out = vec![T::zero(); batch * rows * d];
+    crate::batched::fan_out(
+        &mut out,
+        rows * d,
+        crate::batched::ROW_TILE * d,
+        |p, e0, chunk| {
+            let vw_p = &vw[p * vr * d..(p + 1) * vr * d];
+            let row0 = e0 / d;
+            let mut acc = scratch_f32_stale(d);
+            for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                let r = row0 + local;
+                ell_spmm_row(
+                    |f| a.packed.scan_row(p, r, f),
+                    &a.ell,
+                    r / b,
+                    vw_p,
+                    d,
+                    &mut acc,
+                    orow,
+                );
+            }
+        },
+    );
+    BatchedMatrix::from_vec(batch, rows, d, out)
 }
 
 #[cfg(test)]

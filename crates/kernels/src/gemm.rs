@@ -15,7 +15,7 @@
 use crate::ctx::{dense_class, GpuCtx};
 use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_tensor::{scratch_f32_stale, Matrix, Scalar};
+use dfss_tensor::{scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// Minimum per-thread row chunk, to avoid rayon overhead on small matrices.
@@ -44,15 +44,30 @@ fn record_gemm<T: Scalar>(
     n: usize,
     k: usize,
 ) {
+    record_gemm_batched::<T>(ctx, name, stage, 1, m, n, k);
+}
+
+/// Record one batched launch covering `batch` same-shape GEMMs: a single
+/// profile whose counters are exactly `batch ×` the per-panel charge.
+/// Tiling (`tile_for`) is computed once per launch, not once per panel.
+fn record_gemm_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    name: &'static str,
+    stage: Stage,
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
     let tm = ctx.tile_for(m) as u64;
     let tn = ctx.tile_for(n) as u64;
-    let (m, n, k) = (m as u64, n as u64, k as u64);
+    let (batch, m, n, k) = (batch as u64, m as u64, n as u64, k as u64);
     let tiles_m = m.div_ceil(tm);
     let tiles_n = n.div_ceil(tn);
     // Each tile loads a tm×k panel of A and a k×tn panel of B.
-    let reads = tiles_m * tiles_n * (tm * k + k * tn) * T::BYTES as u64;
-    let writes = m * n * T::BYTES as u64;
-    let macs = m * n * k;
+    let reads = batch * tiles_m * tiles_n * (tm * k + k * tn) * T::BYTES as u64;
+    let writes = batch * m * n * T::BYTES as u64;
+    let macs = batch * m * n * k;
     ctx.record(
         KernelProfile::new(name, stage)
             .with_traffic(reads, writes)
@@ -134,6 +149,93 @@ pub fn gemm_nt<T: Scalar>(
             }
         });
     Matrix::from_vec(m, n, out)
+}
+
+/// Batched `C = scale · (A · Bᵀ)` over a whole B×H stack in **one launch**:
+/// `A: batch×M×K`, `B: batch×N×K`, `C: batch×M×N`. Charges a single profile
+/// of exactly `batch ×` the per-panel [`gemm_nt`] cost and fans out once
+/// over (panel, row-tile) work items. Per-element sums run in serial
+/// k-order through the register-tiled [`micro::panel_product`], so results
+/// are bit-identical to a per-panel [`gemm_nt`] loop.
+pub fn gemm_nt_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    a: &BatchedMatrix<T>,
+    b: &BatchedMatrix<T>,
+    scale: f32,
+) -> BatchedMatrix<T> {
+    let (batch, m, ka) = a.shape();
+    let (bb, n, kb) = b.shape();
+    assert_eq!(batch, bb, "batch sizes differ: {batch} vs {bb}");
+    assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
+    record_gemm_batched::<T>(ctx, "gemm_nt", stage, batch, m, n, ka);
+    if !ctx.exec {
+        return BatchedMatrix::charge_only(batch, m, n);
+    }
+
+    let aw = micro::widen_batched(a);
+    let bp = micro::widen_packed_batched(b);
+    let ppl = micro::packed_len(n, ka);
+    let mut out = vec![T::zero(); batch * m * n];
+    crate::batched::fan_out(
+        &mut out,
+        m * n,
+        crate::batched::ROW_TILE * n,
+        |p, e0, chunk| {
+            let aw_p = &aw[p * m * ka..(p + 1) * m * ka];
+            let bp_p = &bp[p * ppl..(p + 1) * ppl];
+            let rows_here = chunk.len() / n;
+            let row0 = e0 / n;
+            let mut acc = scratch_f32_stale(micro::TILE_ROWS * n);
+            let mut local = 0;
+            while local < rows_here {
+                let rcnt = micro::TILE_ROWS.min(rows_here - local);
+                micro::panel_product(aw_p, row0 + local, rcnt, ka, bp_p, n, &mut acc);
+                for (o, &v) in chunk[local * n..(local + rcnt) * n]
+                    .iter_mut()
+                    .zip(acc[..rcnt * n].iter())
+                {
+                    *o = T::from_acc(v * scale);
+                }
+                local += rcnt;
+            }
+        },
+    );
+    BatchedMatrix::from_vec(batch, m, n, out)
+}
+
+/// Batched `C = A · B` over a whole B×H stack in one launch (`A: batch×M×K`,
+/// `B: batch×K×N`); single profile = `batch ×` the per-panel [`gemm_nn`]
+/// cost, bit-identical results to a per-panel loop.
+pub fn gemm_nn_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    a: &BatchedMatrix<T>,
+    b: &BatchedMatrix<T>,
+) -> BatchedMatrix<T> {
+    let (batch, m, ka) = a.shape();
+    let (bb, kb, n) = b.shape();
+    assert_eq!(batch, bb, "batch sizes differ: {batch} vs {bb}");
+    assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
+    record_gemm_batched::<T>(ctx, "gemm_nn", stage, batch, m, n, ka);
+    if !ctx.exec {
+        return BatchedMatrix::charge_only(batch, m, n);
+    }
+
+    let aw = micro::widen_batched(a);
+    let bw = micro::widen_batched(b);
+    let mut out = vec![T::zero(); batch * m * n];
+    crate::batched::fan_out(&mut out, m * n, PAR_ROW_CHUNK * n, |p, e0, chunk| {
+        nn_chunk_exec::<T>(
+            &aw[p * m * ka..(p + 1) * m * ka],
+            &bw[p * ka * n..(p + 1) * ka * n],
+            chunk,
+            e0 / n,
+            n,
+            ka,
+        );
+    });
+    BatchedMatrix::from_vec(batch, m, n, out)
 }
 
 /// `C = A · B`; `A: M×K`, `B: K×N`, `C: M×N` (e.g. `A·V`).

@@ -24,6 +24,7 @@
 //! * [`ctx`] — the [`GpuCtx`](ctx::GpuCtx) bundle of device config, kernel
 //!   timeline and memory tracker threaded through every kernel.
 
+pub mod batched;
 pub mod ctx;
 pub mod ell;
 pub mod gemm;

@@ -92,6 +92,141 @@ pub fn axpy2(acc0: &mut [f32], acc1: &mut [f32], s0: f32, s1: f32, row: &[f32]) 
     }
 }
 
+/// Column-tile width of the register-tiled batched kernels: 16 f32 lanes =
+/// two AVX2 registers (four NEON), leaving room for [`TILE_ROWS`] rows of
+/// accumulators in the register file.
+pub const TILE_COLS: usize = 16;
+
+/// Output rows per register tile of [`panel_product`].
+pub const TILE_ROWS: usize = 4;
+
+/// Widen an `n × ka` operand directly into the **tile-packed** layout the
+/// register-tiled batched kernels stream: the (logical) `ka × n` transpose is
+/// stored as `⌈n/TILE_COLS⌉` contiguous `ka × TILE_COLS` blocks, so a
+/// [`panel_product`] column tile reads one contiguous block instead of `ka`
+/// strided rows. The tail tile is zero-padded (the padding lanes never leave
+/// the register block). One packing pass per operand per launch.
+pub fn widen_packed<T: Scalar>(m: &Matrix<T>) -> ScratchF32 {
+    let (n, ka) = m.shape();
+    let tiles = n.div_ceil(TILE_COLS).max(1);
+    let mut out = dfss_tensor::scratch_f32(tiles * ka * TILE_COLS);
+    pack_into(m.as_slice(), ka, &mut out);
+    out
+}
+
+/// Elements of one [`widen_packed`] panel for an `n × ka` operand.
+#[inline]
+pub fn packed_len(n: usize, ka: usize) -> usize {
+    n.div_ceil(TILE_COLS).max(1) * ka * TILE_COLS
+}
+
+/// Pack one `n × ka` row-major operand slice into a caller-provided packed
+/// block (see [`widen_packed`]); `out.len() >= packed_len(n, ka)` and the
+/// caller is responsible for zeroing the tail-tile padding.
+pub fn pack_into<T: Scalar>(src: &[T], ka: usize, out: &mut [f32]) {
+    for (j, row) in src.chunks_exact(ka.max(1)).enumerate() {
+        let (jt, l) = (j / TILE_COLS, j % TILE_COLS);
+        let block = &mut out[jt * ka * TILE_COLS..];
+        for (kk, v) in row.iter().enumerate() {
+            block[kk * TILE_COLS + l] = v.to_mul();
+        }
+    }
+}
+
+/// Widen a whole batched stack into one pooled f32 buffer (panel-major, the
+/// same contiguous layout as the stack itself).
+pub fn widen_batched<T: Scalar>(m: &dfss_tensor::BatchedMatrix<T>) -> ScratchF32 {
+    scratch_f32_from(m.len(), m.as_slice().iter().map(|v| v.to_mul()))
+}
+
+/// Widen + tile-pack every panel of a batched stack (each `rows × cols`
+/// panel becomes one [`widen_packed`] block of `packed_len(rows, cols)`
+/// f32s, stored panel-major).
+pub fn widen_packed_batched<T: Scalar>(m: &dfss_tensor::BatchedMatrix<T>) -> ScratchF32 {
+    let (batch, n, ka) = m.shape();
+    let pl = packed_len(n, ka);
+    let mut out = dfss_tensor::scratch_f32(batch * pl);
+    for b in 0..batch {
+        pack_into(m.panel(b), ka, &mut out[b * pl..(b + 1) * pl]);
+    }
+    out
+}
+
+#[inline(always)]
+fn panel_tile<const R: usize>(
+    arows: &[&[f32]; TILE_ROWS],
+    block: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    acc_out: &mut [f32],
+) {
+    let ka = arows[0].len();
+    // The accumulator block lives in registers for the whole k-loop — the
+    // single-head kernels' slice accumulators round-trip through L1 on every
+    // k step instead, which is what bounds them.
+    let mut acc = [[0.0f32; TILE_COLS]; R];
+    for kk in 0..ka {
+        let row: &[f32; TILE_COLS] = block[kk * TILE_COLS..(kk + 1) * TILE_COLS]
+            .try_into()
+            .unwrap();
+        for r in 0..R {
+            let s = arows[r][kk];
+            for (o, &x) in acc[r].iter_mut().zip(row) {
+                *o += s * x;
+            }
+        }
+    }
+    for r in 0..R {
+        acc_out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[r][..w]);
+    }
+}
+
+/// Register-tiled product of `rcnt ≤ 4` consecutive rows of `aw` (row-major,
+/// `ka` columns, starting at row `i0`) against a [`widen_packed`] panel of
+/// logical shape `ka × n`: **overwrites** the first `rcnt × n` entries of
+/// `acc` with the row sums (no caller zeroing needed — accumulation happens
+/// in registers and spills once per tile).
+///
+/// Per-element sums run in serial k-order, exactly like the [`axpy`] /
+/// [`axpy2`] accumulation of the single-head kernels, so results are
+/// bit-identical to them; only the memory traffic differs (the accumulator
+/// block stays in registers and the packed panel streams contiguously).
+/// This is the batched launches' microkernel.
+pub fn panel_product(
+    aw: &[f32],
+    i0: usize,
+    rcnt: usize,
+    ka: usize,
+    packed: &[f32],
+    n: usize,
+    acc: &mut [f32],
+) {
+    debug_assert!((1..=TILE_ROWS).contains(&rcnt));
+    debug_assert!(acc.len() >= rcnt * n);
+    debug_assert!(packed.len() >= n.div_ceil(TILE_COLS) * ka * TILE_COLS);
+    // Fixed-size row-slice array (pad unused slots with the last row — a
+    // `panel_tile::<R>` only ever reads its first `R = rcnt` entries).
+    let arows: [&[f32]; TILE_ROWS] = std::array::from_fn(|r| {
+        let i = i0 + r.min(rcnt - 1);
+        &aw[i * ka..(i + 1) * ka]
+    });
+    let mut j0 = 0;
+    let mut jt = 0;
+    while j0 < n {
+        let w = TILE_COLS.min(n - j0);
+        let block = &packed[jt * ka * TILE_COLS..(jt + 1) * ka * TILE_COLS];
+        match rcnt {
+            4 => panel_tile::<4>(&arows, block, n, j0, w, acc),
+            3 => panel_tile::<3>(&arows, block, n, j0, w, acc),
+            2 => panel_tile::<2>(&arows, block, n, j0, w, acc),
+            _ => panel_tile::<1>(&arows, block, n, j0, w, acc),
+        }
+        j0 += w;
+        jt += 1;
+    }
+}
+
 /// Widen (and input-round) a matrix into a pooled f32 buffer — the
 /// tensor-core operand conversion (TF32 for f32 inputs, exact widening for
 /// bf16), allocation-free in steady state.
@@ -189,5 +324,52 @@ mod tests {
         let expect = widen(&m.transpose());
         let got = widen_transposed(&m);
         assert_eq!(&*expect, &*got);
+    }
+
+    #[test]
+    fn panel_product_bit_identical_to_axpy_accumulation() {
+        let mut rng = Rng::new(9);
+        // Ragged shapes: odd rows (tail rcnt < 4) and a non-multiple-of-16
+        // column count (tail tile).
+        for &(m, n, ka) in &[(7usize, 37usize, 13usize), (8, 32, 16), (5, 16, 8)] {
+            let a = Matrix::<f32>::random_normal(m, ka, 0.0, 1.0, &mut rng);
+            let b = Matrix::<f32>::random_normal(n, ka, 0.0, 1.0, &mut rng);
+            let aw = widen(&a);
+            let bt = widen_transposed(&b);
+            let bp = widen_packed(&b);
+            // Reference: serial axpy accumulation (the single-head order).
+            let mut expect = vec![0.0f32; m * n];
+            for i in 0..m {
+                for kk in 0..ka {
+                    axpy(
+                        &mut expect[i * n..(i + 1) * n],
+                        aw[i * ka + kk],
+                        &bt[kk * n..(kk + 1) * n],
+                    );
+                }
+            }
+            let mut got = vec![f32::NAN; m * n];
+            let mut i0 = 0;
+            while i0 < m {
+                let rcnt = TILE_ROWS.min(m - i0);
+                let mut acc = vec![0.0f32; rcnt * n];
+                panel_product(&aw, i0, rcnt, ka, &bp, n, &mut acc);
+                got[i0 * n..(i0 + rcnt) * n].copy_from_slice(&acc);
+                i0 += rcnt;
+            }
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&expect), bits(&got), "{m}x{n}x{ka}");
+        }
+    }
+
+    #[test]
+    fn packed_layout_is_tile_major() {
+        let m = Matrix::<f32>::from_fn(3, 2, |r, c| (r * 10 + c) as f32);
+        let p = widen_packed(&m);
+        assert_eq!(p.len(), packed_len(3, 2));
+        // Tile 0, kk = 0 holds column 0 of rows 0..3 then zero padding.
+        assert_eq!(&p[..4], &[0.0, 10.0, 20.0, 0.0]);
+        // kk = 1 lane block starts at TILE_COLS.
+        assert_eq!(&p[TILE_COLS..TILE_COLS + 3], &[1.0, 11.0, 21.0]);
     }
 }

@@ -21,8 +21,8 @@
 use crate::ctx::{dense_class, GpuCtx};
 use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{NmCompressed, NmPattern};
-use dfss_tensor::{scratch_f32, Matrix, Scalar};
+use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern};
+use dfss_tensor::{scratch_f32, scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// ALU cost of pruning one M-group in the epilogue.
@@ -90,21 +90,13 @@ pub fn sddmm_nm_fused<T: Scalar>(
     assert_eq!(cols % pattern.m(), 0);
 
     // --- simulated cost -------------------------------------------------
-    // Input traffic: identical to the dense GEMM (Figure 7 tiling).
-    let tm = ctx.tile_for(rows) as u64;
-    let tn = ctx.tile_for(cols) as u64;
-    let (rows64, cols64, d64) = (rows as u64, cols as u64, dq as u64);
-    let tiles = rows64.div_ceil(tm) * cols64.div_ceil(tn);
-    let reads = tiles * (tm * d64 + d64 * tn) * T::BYTES as u64;
-    // Output traffic: nonzeros + metadata only — the zero-overhead claim.
-    let kept = pattern.kept_per_row(cols) as u64;
-    let nz_bytes = rows64 * kept * T::BYTES as u64;
-    let meta_bytes = (rows64 * (cols64 / pattern.m() as u64) * 4).div_ceil(8);
-    let groups = rows64 * cols64 / pattern.m() as u64;
+    // Input traffic: identical to the dense GEMM (Figure 7 tiling). Output
+    // traffic: nonzeros + metadata only — the zero-overhead claim.
+    let (reads, writes, macs, groups) = fused_charge::<T>(ctx, rows, cols, dq, pattern);
     ctx.record(
         KernelProfile::new("sddmm_nm_fused", Stage::Qk)
-            .with_traffic(reads, nz_bytes + meta_bytes)
-            .with_tc(rows64 * cols64 * d64, dense_class::<T>())
+            .with_traffic(reads, writes)
+            .with_tc(macs, dense_class::<T>())
             .with_alu(groups * epilogue_ops_per_group(pattern)),
     );
 
@@ -162,6 +154,139 @@ pub fn sddmm_nm_fused<T: Scalar>(
     NmCompressed::from_parts(pattern, rows, cols, nonzeros, codes)
 }
 
+/// Fast 1:2 prune of score rows: per pair, keep the strictly larger value
+/// (ties to the earlier index) — branchless, so the compare/select loop
+/// vectorizes. The *selection* is exactly
+/// [`NmPattern::select_group_into`]'s (`group[1] > group[0]` is the same
+/// predicate its insertion sort applies), so codes and values are
+/// bit-identical to [`prune_rows_into`]; only the host wall-clock differs.
+fn prune_rows_into_1_2<T: Scalar>(
+    scores: &[f32],
+    scale: f32,
+    nz_out: &mut [T],
+    code_out: &mut [u8],
+) {
+    for ((pair, nz), code) in scores
+        .chunks_exact(2)
+        .zip(nz_out.iter_mut())
+        .zip(code_out.iter_mut())
+    {
+        let hi = (pair[1] > pair[0]) as usize;
+        *code = 1 + hi as u8;
+        *nz = T::from_acc(pair[hi] * scale);
+    }
+}
+
+/// Prune a block of score rows with the fastest epilogue for the pattern.
+fn prune_rows_dispatch<T: Scalar>(
+    pattern: NmPattern,
+    scores: &[f32],
+    cols: usize,
+    scale: f32,
+    nz_out: &mut [T],
+    code_out: &mut [u8],
+) {
+    if pattern == NmPattern::P1_2 {
+        prune_rows_into_1_2(scores, scale, nz_out, code_out);
+    } else {
+        prune_rows_into(pattern, scores, cols, scale, nz_out, code_out);
+    }
+}
+
+/// The per-panel cost counters of one fused SDDMM (shared by the single and
+/// batched entry points so the batched charge is exactly `batch ×` this).
+fn fused_charge<T: Scalar>(
+    ctx: &GpuCtx,
+    rows: usize,
+    cols: usize,
+    d: usize,
+    pattern: NmPattern,
+) -> (u64, u64, u64, u64) {
+    let tm = ctx.tile_for(rows) as u64;
+    let tn = ctx.tile_for(cols) as u64;
+    let (rows64, cols64, d64) = (rows as u64, cols as u64, d as u64);
+    let tiles = rows64.div_ceil(tm) * cols64.div_ceil(tn);
+    let reads = tiles * (tm * d64 + d64 * tn) * T::BYTES as u64;
+    let kept = pattern.kept_per_row(cols) as u64;
+    let nz_bytes = rows64 * kept * T::BYTES as u64;
+    let meta_bytes = (rows64 * (cols64 / pattern.m() as u64) * 4).div_ceil(8);
+    let groups = rows64 * cols64 / pattern.m() as u64;
+    (reads, nz_bytes + meta_bytes, rows64 * cols64 * d64, groups)
+}
+
+/// Batched fused SDDMM: `compress_{N:M}(scale · Q·Kᵀ)` for a whole B×H
+/// stack in **one launch** — a single profile of exactly `batch ×` the
+/// per-panel [`sddmm_nm_fused`] cost (tiling hoisted out of the head loop),
+/// one pool fan-out over (panel, row-tile) work items, and nonzeros +
+/// metadata written straight into the stacked [`NmBatch`] buffers.
+/// Bit-identical to a per-panel [`sddmm_nm_fused`] loop.
+pub fn sddmm_nm_fused_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    q: &BatchedMatrix<T>,
+    k: &BatchedMatrix<T>,
+    scale: f32,
+    pattern: NmPattern,
+) -> NmBatch<T> {
+    let (batch, rows, dq) = q.shape();
+    let (bb, cols, dk) = k.shape();
+    assert_eq!(batch, bb, "batch sizes differ");
+    assert_eq!(dq, dk, "inner dimensions differ");
+    assert_eq!(cols % pattern.m(), 0);
+
+    let (reads, writes, macs, groups) = fused_charge::<T>(ctx, rows, cols, dq, pattern);
+    let b64 = batch as u64;
+    ctx.record(
+        KernelProfile::new("sddmm_nm_fused", Stage::Qk)
+            .with_traffic(b64 * reads, b64 * writes)
+            .with_tc(b64 * macs, dense_class::<T>())
+            .with_alu(b64 * groups * epilogue_ops_per_group(pattern)),
+    );
+    if !ctx.exec {
+        return NmBatch::charge_only(pattern, batch, rows, cols);
+    }
+
+    let kept_per_row = pattern.kept_per_row(cols);
+    let groups_per_row = cols / pattern.m();
+    let qw = micro::widen_batched(q);
+    let kp = micro::widen_packed_batched(k);
+    let ppl = micro::packed_len(cols, dq);
+
+    let mut nonzeros = vec![T::zero(); batch * rows * kept_per_row];
+    let mut codes = vec![0u8; batch * rows * groups_per_row];
+    crate::batched::fan_out2(
+        &mut nonzeros,
+        rows * kept_per_row,
+        crate::batched::ROW_TILE * kept_per_row,
+        &mut codes,
+        rows * groups_per_row,
+        crate::batched::ROW_TILE * groups_per_row,
+        |p, e0, nz_chunk, code_chunk| {
+            let qw_p = &qw[p * rows * dq..(p + 1) * rows * dq];
+            let kp_p = &kp[p * ppl..(p + 1) * ppl];
+            let rows_here = nz_chunk.len() / kept_per_row;
+            let row0 = e0 / kept_per_row;
+            // Score rows accumulate in the register-tiled microkernel and
+            // spill once into this scratch block ("the registers").
+            let mut acc = scratch_f32_stale(micro::TILE_ROWS * cols);
+            let mut local = 0;
+            while local < rows_here {
+                let rcnt = micro::TILE_ROWS.min(rows_here - local);
+                micro::panel_product(qw_p, row0 + local, rcnt, dq, kp_p, cols, &mut acc);
+                prune_rows_dispatch(
+                    pattern,
+                    &acc[..rcnt * cols],
+                    cols,
+                    scale,
+                    &mut nz_chunk[local * kept_per_row..(local + rcnt) * kept_per_row],
+                    &mut code_chunk[local * groups_per_row..(local + rcnt) * groups_per_row],
+                );
+                local += rcnt;
+            }
+        },
+    );
+    NmBatch::from_parts(pattern, batch, rows, cols, nonzeros, codes)
+}
+
 /// Standalone prune kernel (the unfused path): reads a dense score matrix
 /// from memory, writes nonzeros + metadata. This is what "current software
 /// library designed for pruning under N:M sparsity" does and what §2.3 says
@@ -207,6 +332,89 @@ pub fn sddmm_nm_unfused<T: Scalar>(
 ) -> NmCompressed<T> {
     let scores = crate::gemm::gemm_nt(ctx, Stage::Qk, q, k, scale);
     dense_prune(ctx, &scores, pattern)
+}
+
+/// Batched standalone prune kernel: one launch over the whole stack, a
+/// single profile of exactly `batch ×` the per-panel [`dense_prune`] cost.
+/// Panel results are bit-identical to `NmCompressed::compress` of each
+/// panel (the same group selection, values copied unscaled).
+pub fn dense_prune_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    scores: &BatchedMatrix<T>,
+    pattern: NmPattern,
+) -> NmBatch<T> {
+    let (batch, rows, cols) = scores.shape();
+    assert_eq!(cols % pattern.m(), 0);
+    let kept = pattern.kept_per_row(cols) as u64;
+    let groups = (rows * cols / pattern.m()) as u64;
+    let nz_bytes = rows as u64 * kept * T::BYTES as u64;
+    let meta_bytes = (groups * 4).div_ceil(8);
+    let b64 = batch as u64;
+    ctx.record(
+        KernelProfile::new("dense_prune", Stage::Overhead)
+            .with_traffic(
+                b64 * (rows * cols * T::BYTES) as u64,
+                b64 * (nz_bytes + meta_bytes),
+            )
+            .with_alu(b64 * groups * epilogue_ops_per_group(pattern)),
+    );
+    if !ctx.exec {
+        return NmBatch::charge_only(pattern, batch, rows, cols);
+    }
+
+    let kept_per_row = pattern.kept_per_row(cols);
+    let groups_per_row = cols / pattern.m();
+    let mut nonzeros = vec![T::zero(); batch * rows * kept_per_row];
+    let mut codes = vec![0u8; batch * rows * groups_per_row];
+    crate::batched::fan_out2(
+        &mut nonzeros,
+        rows * kept_per_row,
+        crate::batched::ROW_TILE * kept_per_row,
+        &mut codes,
+        rows * groups_per_row,
+        crate::batched::ROW_TILE * groups_per_row,
+        |p, e0, nz_chunk, code_chunk| {
+            let row0 = e0 / kept_per_row;
+            let rows_here = nz_chunk.len() / kept_per_row;
+            let m = pattern.m();
+            let mut group_scores = [0.0f32; dfss_nmsparse::MAX_M];
+            let mut kept_idx = [0usize; dfss_nmsparse::MAX_M];
+            let mut nz_pos = 0usize;
+            let mut code_pos = 0usize;
+            for r in row0..row0 + rows_here {
+                for chunk in scores.row(p, r).chunks_exact(m) {
+                    for (s, v) in group_scores.iter_mut().zip(chunk) {
+                        *s = v.to_f32();
+                    }
+                    let n_kept = pattern.select_group_into(&group_scores[..m], &mut kept_idx);
+                    let mut code = 0u8;
+                    for &ki in &kept_idx[..n_kept] {
+                        code |= 1 << ki;
+                        nz_chunk[nz_pos] = chunk[ki];
+                        nz_pos += 1;
+                    }
+                    code_chunk[code_pos] = code;
+                    code_pos += 1;
+                }
+            }
+        },
+    );
+    NmBatch::from_parts(pattern, batch, rows, cols, nonzeros, codes)
+}
+
+/// Batched unfused ablation: batched dense GEMM materialises every panel's
+/// scores, then the batched prune kernel reads them back — both as single
+/// whole-stack launches. Numerically identical to
+/// [`sddmm_nm_fused_batched`].
+pub fn sddmm_nm_unfused_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    q: &BatchedMatrix<T>,
+    k: &BatchedMatrix<T>,
+    scale: f32,
+    pattern: NmPattern,
+) -> NmBatch<T> {
+    let scores = crate::gemm::gemm_nt_batched(ctx, Stage::Qk, q, k, scale);
+    dense_prune_batched(ctx, &scores, pattern)
 }
 
 #[cfg(test)]

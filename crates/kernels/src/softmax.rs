@@ -10,16 +10,29 @@
 
 use crate::GpuCtx;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{Csr, NmCompressed};
-use dfss_tensor::{math, Matrix, Scalar};
+use dfss_nmsparse::{Csr, NmBatch, NmCompressed};
+use dfss_tensor::{math, BatchedMatrix, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// ALU ops per element: exp ≈ 4, plus max/sum/normalise passes ≈ 2.
 const OPS_PER_ELEM: u64 = 6;
 
 fn record_softmax<T: Scalar>(ctx: &mut GpuCtx, name: &'static str, rows: usize, row_len: usize) {
+    record_softmax_batched::<T>(ctx, name, 1, rows, row_len);
+}
+
+/// One batched launch covering `batch` same-shape softmaxes: a single
+/// profile of exactly `batch ×` the per-panel charge (the cache-regime pass
+/// count depends only on `row_len` and is computed once per launch).
+fn record_softmax_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    name: &'static str,
+    batch: usize,
+    rows: usize,
+    row_len: usize,
+) {
     let passes = ctx.dev.softmax_read_passes(row_len);
-    let elems = (rows * row_len) as u64;
+    let elems = (batch * rows * row_len) as u64;
     ctx.record(
         KernelProfile::new(name, Stage::Softmax)
             .with_traffic(passes * elems * T::BYTES as u64, elems * T::BYTES as u64)
@@ -116,6 +129,37 @@ pub fn softmax_nm<T: Scalar>(ctx: &mut GpuCtx, comp: &mut NmCompressed<T>) {
     let rows = comp.rows();
     let kept = comp.kept_per_row();
     record_softmax::<T>(ctx, "softmax_nm", rows, kept);
+    if !ctx.exec {
+        return;
+    }
+    softmax_rows(comp.nonzeros_mut(), kept);
+}
+
+/// Batched dense softmax: row-wise softmax over every panel of the stack in
+/// **one launch** (single profile = `batch ×` the per-panel
+/// [`softmax_dense`] charge; rows are independent, so the whole
+/// batch × rows volume is one pool fan-out). Bit-identical to a per-panel
+/// loop.
+pub fn softmax_dense_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    scores: &BatchedMatrix<T>,
+) -> BatchedMatrix<T> {
+    let (batch, rows, cols) = scores.shape();
+    record_softmax_batched::<T>(ctx, "softmax_dense", batch, rows, cols);
+    if !ctx.exec {
+        return scores.clone();
+    }
+    let mut out = scores.clone();
+    softmax_rows(out.as_mut_slice(), cols);
+    out
+}
+
+/// Batched compressed softmax: normalises the nonzeros of every panel in
+/// one launch (single profile = `batch ×` the per-panel [`softmax_nm`]
+/// charge). Bit-identical to a per-panel loop.
+pub fn softmax_nm_batched<T: Scalar>(ctx: &mut GpuCtx, comp: &mut NmBatch<T>) {
+    let (batch, rows, kept) = (comp.batch(), comp.rows(), comp.kept_per_row());
+    record_softmax_batched::<T>(ctx, "softmax_nm", batch, rows, kept);
     if !ctx.exec {
         return;
     }

@@ -12,13 +12,38 @@
 use crate::ctx::{sparse_class, GpuCtx};
 use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{Csr, NmCompressed};
-use dfss_tensor::{scratch_f32_stale, Matrix, Scalar};
+use dfss_nmsparse::{Csr, NmBatch, NmCompressed};
+use dfss_tensor::{scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
 use rayon::prelude::*;
 
 /// Output rows per parallel work item: one scratch accumulator and one shim
 /// item serve a whole batch of rows (shared with the blocked-ELL SpMM).
 pub(crate) const ROW_CHUNK: usize = 16;
+
+/// Per-panel cost counters of the N:M SpMM (shared by the single and
+/// batched entry points so the batched charge is exactly `batch ×` this).
+fn spmm_nm_charge<T: Scalar>(
+    ctx: &GpuCtx,
+    rows: usize,
+    inner: usize,
+    d: usize,
+    kept_per_row: usize,
+    groups_per_row: usize,
+) -> (u64, u64, u64) {
+    // Block tiling like the dense GEMM, but the A panel is compressed
+    // (nonzeros + metadata) and MACs run on the sparse unit.
+    let tm = ctx.tile_for(rows) as u64;
+    let tn = ctx.tile_for(d) as u64;
+    let tiles = (rows as u64).div_ceil(tm) * (d as u64).div_ceil(tn);
+    let kept_row_bytes = (kept_per_row * T::BYTES) as u64;
+    let meta_row_bytes = (groups_per_row as u64 * 4).div_ceil(8);
+    let a_panel = tm * (kept_row_bytes + meta_row_bytes);
+    let v_panel = (inner as u64) * tn * T::BYTES as u64;
+    let reads = tiles * (a_panel + v_panel);
+    let writes = (rows * d * T::BYTES) as u64;
+    let phys_macs = (rows * kept_per_row * d) as u64;
+    (reads, writes, phys_macs)
+}
 
 /// `O = Aᶜ · V` where `Aᶜ` is N:M-compressed `n×n` and `V` is `n×d`.
 pub fn spmm_nm<T: Scalar>(ctx: &mut GpuCtx, a: &NmCompressed<T>, v: &Matrix<T>) -> Matrix<T> {
@@ -27,18 +52,8 @@ pub fn spmm_nm<T: Scalar>(ctx: &mut GpuCtx, a: &NmCompressed<T>, v: &Matrix<T>) 
     let (vr, d) = v.shape();
     assert_eq!(inner, vr, "A cols {} != V rows {vr}", inner);
 
-    // --- simulated cost: block tiling like the dense GEMM, but the A panel
-    // is compressed (nonzeros + metadata) and MACs run on the sparse unit.
-    let tm = ctx.tile_for(rows) as u64;
-    let tn = ctx.tile_for(d) as u64;
-    let tiles = (rows as u64).div_ceil(tm) * (d as u64).div_ceil(tn);
-    let kept_row_bytes = (a.kept_per_row() * T::BYTES) as u64;
-    let meta_row_bytes = (a.groups_per_row() as u64 * 4).div_ceil(8);
-    let a_panel = tm * (kept_row_bytes + meta_row_bytes);
-    let v_panel = (inner as u64) * tn * T::BYTES as u64;
-    let reads = tiles * (a_panel + v_panel);
-    let writes = (rows * d * T::BYTES) as u64;
-    let phys_macs = (rows * a.kept_per_row() * d) as u64;
+    let (reads, writes, phys_macs) =
+        spmm_nm_charge::<T>(ctx, rows, inner, d, a.kept_per_row(), a.groups_per_row());
     ctx.record(
         KernelProfile::new("spmm_nm", Stage::Av)
             .with_traffic(reads, writes)
@@ -82,6 +97,125 @@ pub fn spmm_nm<T: Scalar>(ctx: &mut GpuCtx, a: &NmCompressed<T>, v: &Matrix<T>) 
             }
         });
     Matrix::from_vec(rows, d, out)
+}
+
+/// One output row of the batched N:M SpMM, register-tiled over
+/// [`micro::TILE_COLS`]-wide column tiles: the accumulator tile stays in
+/// registers for the whole nonzero scan instead of streaming through L1 per
+/// nonzero. Per output element the adds run in the same ascending
+/// group/bit order as `scan_row`, so results are bit-identical to the
+/// single-head [`spmm_nm`] row loop.
+fn spmm_row_tiled<T: Scalar>(
+    nz_row: &[T],
+    codes_row: &[u8],
+    m: usize,
+    p1_2: bool,
+    vw: &[f32],
+    d: usize,
+    orow: &mut [T],
+) {
+    let mut j0 = 0usize;
+    while j0 < d {
+        let w = micro::TILE_COLS.min(d - j0);
+        let mut acc = [0.0f32; micro::TILE_COLS];
+        if p1_2 && w == micro::TILE_COLS {
+            // Hardware 1:2 fast path: one nonzero per group, direct decode.
+            for (g, (&code, val)) in codes_row.iter().zip(nz_row.iter()).enumerate() {
+                debug_assert!(code == 1 || code == 2);
+                let col = 2 * g + (code >> 1) as usize;
+                let vrow: &[f32; micro::TILE_COLS] = vw
+                    [col * d + j0..col * d + j0 + micro::TILE_COLS]
+                    .try_into()
+                    .unwrap();
+                let s = val.to_mul();
+                for (o, &x) in acc.iter_mut().zip(vrow) {
+                    *o += s * x;
+                }
+            }
+        } else {
+            // General pattern (or tail tile): bit-scan decode per tile pass;
+            // the scan repeats per tile but each pass touches the same
+            // 64-byte V lines a full-row pass would.
+            let mut nz_pos = 0usize;
+            for (g, &code) in codes_row.iter().enumerate() {
+                let base = g * m;
+                let mut bits = code;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    let col = base + bit;
+                    let s = nz_row[nz_pos].to_mul();
+                    let vrow = &vw[col * d + j0..col * d + j0 + w];
+                    for (o, &x) in acc[..w].iter_mut().zip(vrow) {
+                        *o += s * x;
+                    }
+                    nz_pos += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        for (o, &x) in orow[j0..j0 + w].iter_mut().zip(acc[..w].iter()) {
+            *o = T::from_acc(x);
+        }
+        j0 += w;
+    }
+}
+
+/// Batched `O = Aᶜ · V` over a whole B×H stack in **one launch**: a single
+/// profile of exactly `batch ×` the per-panel [`spmm_nm`] cost (tiling
+/// hoisted out of the head loop) and one pool fan-out over (panel,
+/// row-tile) work items. Bit-identical to a per-panel [`spmm_nm`] loop.
+pub fn spmm_nm_batched<T: Scalar>(
+    ctx: &mut GpuCtx,
+    a: &NmBatch<T>,
+    v: &BatchedMatrix<T>,
+) -> BatchedMatrix<T> {
+    let (batch, rows, inner) = (a.batch(), a.rows(), a.cols());
+    let (bb, vr, d) = v.shape();
+    assert_eq!(batch, bb, "batch sizes differ");
+    assert_eq!(inner, vr, "A cols {inner} != V rows {vr}");
+
+    let (reads, writes, phys_macs) =
+        spmm_nm_charge::<T>(ctx, rows, inner, d, a.kept_per_row(), a.groups_per_row());
+    let b64 = batch as u64;
+    ctx.record(
+        KernelProfile::new("spmm_nm", Stage::Av)
+            .with_traffic(b64 * reads, b64 * writes)
+            .with_tc(b64 * phys_macs, sparse_class::<T>()),
+    );
+    if !ctx.exec {
+        return BatchedMatrix::charge_only(batch, rows, d);
+    }
+
+    let vw = micro::widen_batched(v);
+    let kept = a.kept_per_row();
+    let gpr = a.groups_per_row();
+    let m = a.pattern().m();
+    let p1_2 = a.pattern() == dfss_nmsparse::NmPattern::P1_2;
+    let mut out = vec![T::zero(); batch * rows * d];
+    crate::batched::fan_out(
+        &mut out,
+        rows * d,
+        crate::batched::ROW_TILE * d,
+        |p, e0, chunk| {
+            let vw_p = &vw[p * inner * d..(p + 1) * inner * d];
+            let nz_p = a.panel_nonzeros(p);
+            let code_p = a.panel_codes(p);
+            let row0 = e0 / d;
+            for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                let r = row0 + local;
+                spmm_row_tiled(
+                    &nz_p[r * kept..(r + 1) * kept],
+                    &code_p[r * gpr..(r + 1) * gpr],
+                    m,
+                    p1_2,
+                    vw_p,
+                    d,
+                    orow,
+                );
+            }
+        },
+    );
+    BatchedMatrix::from_vec(batch, rows, d, out)
 }
 
 /// `O = A · V` with CSR `A` (`n×n`, density s) and dense `V` (`n×d`),

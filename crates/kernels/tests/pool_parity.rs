@@ -3,13 +3,19 @@
 //! run serially on one thread, nested parallel sections must not deadlock,
 //! and a panic inside one kernel launch must not poison the pool.
 //!
+//! The batched B×H entry points carry the same contract twice over: their
+//! outputs must be bit-identical to a **per-panel serial loop** of the
+//! single-head kernels (for all five kernel families), and their single
+//! recorded profile must charge **exactly batch ×** the single-head
+//! `KernelProfile` in one launch.
+//!
 //! `RAYON_NUM_THREADS=4` is pinned before the first pool use so the fan-out
 //! paths are exercised even on single-core CI runners.
 
-use dfss_gpusim::Stage;
+use dfss_gpusim::{KernelProfile, Stage};
 use dfss_kernels::{ell, gemm, sddmm, softmax, spmm, GpuCtx};
 use dfss_nmsparse::{BlockedEll, Csr, NmCompressed, NmPattern};
-use dfss_tensor::{Matrix, Rng, Scalar};
+use dfss_tensor::{BatchedMatrix, Matrix, Rng, Scalar};
 
 /// Pin the pool width before its lazy initialisation (call first in every
 /// test; whichever test runs first wins the race, all set the same value).
@@ -111,6 +117,302 @@ fn ell_pipeline_matches_serial_bitwise() {
     let par = run(&mut GpuCtx::a100());
     let ser = rayon::with_serial(|| run(&mut GpuCtx::a100()));
     assert_eq!(bits(&par), bits(&ser));
+}
+
+/// A stack of `batch` distinct random n×d panels.
+fn stack(batch: usize, n: usize, d: usize, seed: u64) -> BatchedMatrix<f32> {
+    let mut rng = Rng::new(seed);
+    BatchedMatrix::random_normal(batch, n, d, 0.0, 1.0, &mut rng)
+}
+
+/// Assert one batched profile charges exactly `batch ×` the single-head
+/// profile, in a single launch.
+fn assert_batched_charge(batched: &KernelProfile, single: &KernelProfile, batch: u64, what: &str) {
+    assert_eq!(batched.name, single.name, "{what}: kernel name");
+    assert_eq!(batched.stage, single.stage, "{what}: stage");
+    assert_eq!(
+        batched.bytes_read,
+        batch * single.bytes_read,
+        "{what}: reads"
+    );
+    assert_eq!(
+        batched.bytes_written,
+        batch * single.bytes_written,
+        "{what}: writes"
+    );
+    assert_eq!(batched.tc_macs, batch * single.tc_macs, "{what}: MACs");
+    assert_eq!(batched.alu_ops, batch * single.alu_ops, "{what}: ALU ops");
+    assert_eq!(batched.tc_class, single.tc_class, "{what}: tc class");
+    assert_eq!(batched.launches, 1, "{what}: one launch per batched op");
+}
+
+/// Batched GEMMs: bit-identical to a serial per-panel loop; one profile of
+/// exactly batch × the per-panel charge.
+#[test]
+fn batched_gemm_matches_serial_panel_loop() {
+    pin_pool();
+    // 35 rows: odd row-group tail; 37-wide B panels: odd column-tile tail.
+    let (batch, m, n, d) = (5usize, 35usize, 37usize, 16usize);
+    let a = stack(batch, m, d, 10);
+    let b = stack(batch, n, d, 11);
+    let mut bctx = GpuCtx::a100();
+    let nt = gemm::gemm_nt_batched(&mut bctx, Stage::Qk, &a, &b, 0.25);
+    let mut sctx = GpuCtx::a100();
+    for p in 0..batch {
+        let single = rayon::with_serial(|| {
+            gemm::gemm_nt(&mut sctx, Stage::Qk, &a.to_panel(p), &b.to_panel(p), 0.25)
+        });
+        assert_eq!(bits(&nt.to_panel(p)), bits(&single), "gemm_nt panel {p}");
+    }
+    assert_eq!(bctx.timeline.entries().len(), 1);
+    assert_batched_charge(
+        &bctx.timeline.entries()[0],
+        &sctx.timeline.entries()[0],
+        batch as u64,
+        "gemm_nt",
+    );
+
+    // NN: weights (batch×m×n) × V (batch×n×d).
+    let w = stack(batch, m, n, 12);
+    let v = stack(batch, n, d, 13);
+    let mut bctx = GpuCtx::a100();
+    let nn = gemm::gemm_nn_batched(&mut bctx, Stage::Av, &w, &v);
+    let mut sctx = GpuCtx::a100();
+    for p in 0..batch {
+        let single = rayon::with_serial(|| {
+            gemm::gemm_nn(&mut sctx, Stage::Av, &w.to_panel(p), &v.to_panel(p))
+        });
+        assert_eq!(bits(&nn.to_panel(p)), bits(&single), "gemm_nn panel {p}");
+    }
+    assert_batched_charge(
+        &bctx.timeline.entries()[0],
+        &sctx.timeline.entries()[0],
+        batch as u64,
+        "gemm_nn",
+    );
+}
+
+/// Batched fused SDDMM (both hardware patterns): bit-identical nonzeros +
+/// codes, exact batch × charge.
+#[test]
+fn batched_sddmm_matches_serial_panel_loop() {
+    pin_pool();
+    let (batch, n, d) = (4usize, 66usize, 32usize);
+    for pattern in [NmPattern::P1_2, NmPattern::P2_4, NmPattern::new(1, 4)] {
+        // 66 columns is not a multiple of 4; round the K stack to the
+        // pattern's group size.
+        let cols = n - n % pattern.m().max(2);
+        let q = stack(batch, n, d, 20);
+        let k = stack(batch, cols, d, 21);
+        let mut bctx = GpuCtx::a100();
+        let comp = sddmm::sddmm_nm_fused_batched(&mut bctx, &q, &k, 0.2, pattern);
+        let mut sctx = GpuCtx::a100();
+        for p in 0..batch {
+            let single = rayon::with_serial(|| {
+                sddmm::sddmm_nm_fused(&mut sctx, &q.to_panel(p), &k.to_panel(p), 0.2, pattern)
+            });
+            assert_eq!(comp.panel_codes(p), single.codes(), "{pattern} codes {p}");
+            assert_eq!(
+                bits(&comp.to_compressed(p).decompress()),
+                bits(&single.decompress()),
+                "{pattern} values {p}"
+            );
+        }
+        assert_eq!(bctx.timeline.entries().len(), 1);
+        assert_batched_charge(
+            &bctx.timeline.entries()[0],
+            &sctx.timeline.entries()[0],
+            batch as u64,
+            "sddmm_nm_fused",
+        );
+    }
+}
+
+/// Batched unfused SDDMM: same results as fused, with the two-kernel charge
+/// exactly batch × the per-panel pair.
+#[test]
+fn batched_unfused_sddmm_matches_serial_panel_loop() {
+    pin_pool();
+    let (batch, n, d) = (3usize, 32usize, 16usize);
+    let q = stack(batch, n, d, 30);
+    let k = stack(batch, n, d, 31);
+    let mut bctx = GpuCtx::a100();
+    let comp = sddmm::sddmm_nm_unfused_batched(&mut bctx, &q, &k, 1.0, NmPattern::P1_2);
+    let mut sctx = GpuCtx::a100();
+    for p in 0..batch {
+        let single = rayon::with_serial(|| {
+            sddmm::sddmm_nm_unfused(
+                &mut sctx,
+                &q.to_panel(p),
+                &k.to_panel(p),
+                1.0,
+                NmPattern::P1_2,
+            )
+        });
+        assert_eq!(comp.panel_codes(p), single.codes(), "codes {p}");
+        assert_eq!(
+            bits(&comp.to_compressed(p).decompress()),
+            bits(&single.decompress()),
+            "values {p}"
+        );
+    }
+    // Two launches (GEMM + prune), each exactly batch × the per-panel one.
+    assert_eq!(bctx.timeline.entries().len(), 2);
+    for j in 0..2 {
+        assert_batched_charge(
+            &bctx.timeline.entries()[j],
+            &sctx.timeline.entries()[j],
+            batch as u64,
+            "sddmm_nm_unfused",
+        );
+    }
+}
+
+/// Batched softmax (dense + compressed): bit-identical rows, exact batch ×
+/// charge.
+#[test]
+fn batched_softmax_matches_serial_panel_loop() {
+    pin_pool();
+    let (batch, n) = (4usize, 48usize);
+    let scores = stack(batch, n, n, 40);
+    let mut bctx = GpuCtx::a100();
+    let dense = softmax::softmax_dense_batched(&mut bctx, &scores);
+    let mut sctx = GpuCtx::a100();
+    for p in 0..batch {
+        let single = rayon::with_serial(|| softmax::softmax_dense(&mut sctx, &scores.to_panel(p)));
+        assert_eq!(bits(&dense.to_panel(p)), bits(&single), "dense panel {p}");
+    }
+    assert_batched_charge(
+        &bctx.timeline.entries()[0],
+        &sctx.timeline.entries()[0],
+        batch as u64,
+        "softmax_dense",
+    );
+
+    let panels: Vec<NmCompressed<f32>> = (0..batch)
+        .map(|p| NmCompressed::compress(&scores.to_panel(p), NmPattern::P1_2))
+        .collect();
+    let mut comp = dfss_nmsparse::NmBatch::from_panels(&panels);
+    let mut bctx = GpuCtx::a100();
+    softmax::softmax_nm_batched(&mut bctx, &mut comp);
+    let mut sctx = GpuCtx::a100();
+    for (p, panel) in panels.into_iter().enumerate() {
+        let mut single = panel;
+        rayon::with_serial(|| softmax::softmax_nm(&mut sctx, &mut single));
+        assert_eq!(
+            bits(&comp.to_compressed(p).decompress()),
+            bits(&single.decompress()),
+            "nm panel {p}"
+        );
+    }
+    assert_batched_charge(
+        &bctx.timeline.entries()[0],
+        &sctx.timeline.entries()[0],
+        batch as u64,
+        "softmax_nm",
+    );
+}
+
+/// Batched N:M SpMM (both patterns): bit-identical outputs, exact batch ×
+/// charge.
+#[test]
+fn batched_spmm_matches_serial_panel_loop() {
+    pin_pool();
+    let (batch, n, d) = (4usize, 64usize, 24usize); // d=24: column-tile tail
+    for pattern in [NmPattern::P1_2, NmPattern::P2_4] {
+        let scores = stack(batch, n, n, 50);
+        let v = stack(batch, n, d, 51);
+        let panels: Vec<NmCompressed<f32>> = (0..batch)
+            .map(|p| NmCompressed::compress(&scores.to_panel(p), pattern))
+            .collect();
+        let comp = dfss_nmsparse::NmBatch::from_panels(&panels);
+        let mut bctx = GpuCtx::a100();
+        let out = spmm::spmm_nm_batched(&mut bctx, &comp, &v);
+        let mut sctx = GpuCtx::a100();
+        for (p, panel) in panels.iter().enumerate() {
+            let single = rayon::with_serial(|| spmm::spmm_nm(&mut sctx, panel, &v.to_panel(p)));
+            assert_eq!(bits(&out.to_panel(p)), bits(&single), "{pattern} panel {p}");
+        }
+        assert_batched_charge(
+            &bctx.timeline.entries()[0],
+            &sctx.timeline.entries()[0],
+            batch as u64,
+            "spmm_nm",
+        );
+    }
+}
+
+/// Batched blocked-ELL pipeline: bit-identical end to end, exact batch ×
+/// charge for all three launches.
+#[test]
+fn batched_ell_pipeline_matches_serial_panel_loop() {
+    pin_pool();
+    let (batch, n, d) = (3usize, 64usize, 16usize);
+    let ell_map = BlockedEll::sliding_window(n, n, 16, 2);
+    let q = stack(batch, n, d, 60);
+    let k = stack(batch, n, d, 61);
+    let v = stack(batch, n, d, 62);
+    let mut bctx = GpuCtx::a100();
+    let mut a = ell::sddmm_ell_nm_fused_batched(&mut bctx, &q, &k, 0.25, NmPattern::P1_2, &ell_map);
+    ell::softmax_ell_nm_batched(&mut bctx, &mut a);
+    let out = ell::spmm_ell_nm_batched(&mut bctx, &a, &v);
+
+    let mut sctx = GpuCtx::a100();
+    for p in 0..batch {
+        let (single_a, single_o) = rayon::with_serial(|| {
+            let mut sa = ell::sddmm_ell_nm_fused(
+                &mut sctx,
+                &q.to_panel(p),
+                &k.to_panel(p),
+                0.25,
+                NmPattern::P1_2,
+                &ell_map,
+            );
+            ell::softmax_ell_nm(&mut sctx, &mut sa);
+            let so = ell::spmm_ell_nm(&mut sctx, &sa, &v.to_panel(p));
+            (sa, so)
+        });
+        assert_eq!(
+            a.packed.panel_codes(p),
+            single_a.packed.codes(),
+            "panel {p}"
+        );
+        assert_eq!(
+            bits(&a.packed.to_compressed(p).decompress()),
+            bits(&single_a.packed.decompress()),
+            "packed values {p}"
+        );
+        assert_eq!(bits(&out.to_panel(p)), bits(&single_o), "output {p}");
+    }
+    assert_eq!(bctx.timeline.entries().len(), 3);
+    for j in 0..3 {
+        assert_batched_charge(
+            &bctx.timeline.entries()[j],
+            &sctx.timeline.entries()[j],
+            batch as u64,
+            "ell pipeline",
+        );
+    }
+}
+
+/// Charge-only batched launches record the identical profiles without
+/// materialising any panel data.
+#[test]
+fn batched_charge_only_profiles_match_executed() {
+    pin_pool();
+    let (batch, n, d) = (4usize, 64usize, 32usize);
+    let q = stack(batch, n, d, 70);
+    let k = stack(batch, n, d, 71);
+    let mut exec = GpuCtx::a100();
+    let _ = sddmm::sddmm_nm_fused_batched(&mut exec, &q, &k, 0.125, NmPattern::P1_2);
+    let mut charge = GpuCtx::a100_charge_only();
+    let comp = sddmm::sddmm_nm_fused_batched(&mut charge, &q, &k, 0.125, NmPattern::P1_2);
+    assert!(!comp.is_materialized());
+    let (e, c) = (&exec.timeline.entries()[0], &charge.timeline.entries()[0]);
+    assert_eq!(e.bytes_read, c.bytes_read);
+    assert_eq!(e.bytes_written, c.bytes_written);
+    assert_eq!(e.tc_macs, c.tc_macs);
+    assert_eq!(e.alu_ops, c.alu_ops);
 }
 
 #[test]

@@ -10,6 +10,9 @@
 //! * [`compressed`] — the logical compressed format
 //!   ([`NmCompressed`]): nonzeros (`n/m` of the dense row) + one 4-bit
 //!   selection code per group, with compress / decompress / masked-dense.
+//! * [`batch`] — [`NmBatch`], a contiguous stack of same-shape compressed
+//!   panels with per-panel metadata views, produced and consumed by the
+//!   batched B×H kernels in one launch.
 //! * [`meta`] — the *device* metadata layout of Appendix A.1.1 / Figure 6:
 //!   4-bit codes (`0x4, 0x8, 0xC, 0x9, 0xD, 0xE`), concatenation into 2-byte
 //!   blocks, the row interleave of Equation (9), the sub-diagonal 2×2 swap,
@@ -22,6 +25,7 @@
 //! * [`blocked_ell`] — blocked-ELL sparsity and the hybrid
 //!   blocked-ELL × N:M layout the kernel supports for long sequences.
 
+pub mod batch;
 pub mod blocked_ell;
 pub mod compressed;
 pub mod csr;
@@ -29,6 +33,7 @@ pub mod interleave;
 pub mod meta;
 pub mod pattern;
 
+pub use batch::NmBatch;
 pub use blocked_ell::BlockedEll;
 pub use compressed::NmCompressed;
 pub use csr::Csr;

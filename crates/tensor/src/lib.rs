@@ -11,6 +11,8 @@
 //! * [`Matrix`] — a flat row-major matrix with the small set of dense ops the
 //!   attention stack needs (GEMM lives in `dfss-kernels`; this crate only
 //!   offers reference-grade helpers).
+//! * [`BatchedMatrix`] — a contiguous B×H stack of row-major panels, the
+//!   unit the batched kernels process in one launch (§5.2).
 //! * [`arena`] — a thread-local scratch-buffer pool so kernel hot loops
 //!   reuse their widened-operand and accumulator buffers across calls.
 //! * [`rng`] — a deterministic xoshiro256++ generator with Gaussian and Zipf
@@ -21,6 +23,7 @@
 //!   accuracy tables (reported as `mean ± CI` at Cl = 95% like the paper).
 
 pub mod arena;
+pub mod batched;
 pub mod bf16;
 pub mod math;
 pub mod matrix;
@@ -29,6 +32,7 @@ pub mod scalar;
 pub mod stats;
 
 pub use arena::{scratch_f32, scratch_f32_from, scratch_f32_stale, ScratchF32};
+pub use batched::BatchedMatrix;
 pub use bf16::{tf32_round, Bf16};
 pub use matrix::Matrix;
 pub use rng::Rng;

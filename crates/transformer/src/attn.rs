@@ -98,6 +98,37 @@ fn round_bf16(x: &mut Matrix<f32>) {
     }
 }
 
+/// Rows per work item of the batched multi-head fan-outs.
+const HEAD_ROW_CHUNK: usize = 8;
+
+/// One batched "launch": fan out over (head, row-tile) work items across a
+/// stack of same-shape head panels, calling `f(head, row, row_slice)` for
+/// every row. This is the training stack's analogue of the batched B×H
+/// kernels in `dfss-kernels` — all heads' rows feed one parallel dispatch
+/// instead of a serial per-head loop of parallel ops.
+fn batched_rows(
+    panels: &mut [Matrix<f32>],
+    row_len: usize,
+    f: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    use rayon::prelude::*;
+    let items: Vec<(usize, usize, &mut [f32])> = panels
+        .iter_mut()
+        .enumerate()
+        .flat_map(|(h, m)| {
+            m.as_mut_slice()
+                .chunks_mut(row_len * HEAD_ROW_CHUNK)
+                .enumerate()
+                .map(move |(ci, c)| (h, ci * HEAD_ROW_CHUNK, c))
+        })
+        .collect();
+    items.into_par_iter().for_each(|(h, row0, chunk)| {
+        for (l, row) in chunk.chunks_mut(row_len).enumerate() {
+            f(h, row0 + l, row);
+        }
+    });
+}
+
 /// Binary group mask: union of index groups, each fully connected.
 fn group_mask(n: usize, groups: &[Vec<usize>]) -> Matrix<f32> {
     let mut mask = Matrix::<f32>::zeros(n, n);
@@ -470,25 +501,115 @@ impl MultiHeadAttention {
 
         self.head_caches.clear();
         let mut concat = Matrix::<f32>::zeros(n, d_model);
-        for h in 0..self.heads {
-            let qh = self.split_head(&q, h);
-            let kh = self.split_head(&k, h);
-            let vh = self.split_head(&v, h);
-            let (oh, cache) = self.head_forward(&qh, &kh, &vh, scale, n);
-            for r in 0..n {
-                let crow = concat.row_mut(r);
-                for c in 0..dh {
-                    crow[h * dh + c] = oh.get(r, c);
+        if self.kind.is_mask_family() {
+            // The whole mask family shares the batched multi-head path: all
+            // heads run through one fan-out per op (QKᵀ, mask+softmax, AV)
+            // instead of a per-head loop.
+            let (outs, caches) = self.mask_family_forward_batched(&q, &k, &v, scale, n, dh);
+            for (h, oh) in outs.iter().enumerate() {
+                for r in 0..n {
+                    concat.row_mut(r)[h * dh..(h + 1) * dh].copy_from_slice(oh.row(r));
                 }
             }
             if train {
-                self.head_caches.push(cache);
+                self.head_caches = caches;
+            }
+        } else {
+            for h in 0..self.heads {
+                let qh = self.split_head(&q, h);
+                let kh = self.split_head(&k, h);
+                let vh = self.split_head(&v, h);
+                let (oh, cache) = self.head_forward(&qh, &kh, &vh, scale, n);
+                for r in 0..n {
+                    let crow = concat.row_mut(r);
+                    for c in 0..dh {
+                        crow[h * dh + c] = oh.get(r, c);
+                    }
+                }
+                if train {
+                    self.head_caches.push(cache);
+                }
             }
         }
         if train {
             self.cache_x = Some(x.clone());
         }
         self.wo.forward(&concat, train)
+    }
+
+    /// Batched mask-family forward: head panels are split once, then the
+    /// three ops each run as **one launch across every head** — a single
+    /// (head, row-tile) fan-out for the scaled QKᵀ scores, one for the
+    /// mask + softmax pass, and one for the AV product. Mask construction
+    /// stays per head between launches (host-side metadata, like the
+    /// paper's overhead stage). Numerically identical to the per-head
+    /// loop (same per-element operations in the same order).
+    fn mask_family_forward_batched(
+        &self,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        scale: f32,
+        n: usize,
+        dh: usize,
+    ) -> (Vec<Matrix<f32>>, Vec<HeadCache>) {
+        let heads = self.heads;
+        let qh: Vec<Matrix<f32>> = (0..heads).map(|h| self.split_head(q, h)).collect();
+        let kh: Vec<Matrix<f32>> = (0..heads).map(|h| self.split_head(k, h)).collect();
+        let vh: Vec<Matrix<f32>> = (0..heads).map(|h| self.split_head(v, h)).collect();
+        let kt: Vec<Matrix<f32>> = kh.iter().map(|m| m.transpose()).collect();
+
+        // Launch 1: scaled scores for every (head, row).
+        let mut scores: Vec<Matrix<f32>> = (0..heads).map(|_| Matrix::zeros(n, n)).collect();
+        batched_rows(&mut scores, n, |h, i, orow| {
+            for (kk, &av) in qh[h].row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in orow.iter_mut().zip(kt[h].row(kk)) {
+                    *o += av * bv;
+                }
+            }
+            orow.iter_mut().for_each(|x| *x *= scale);
+        });
+
+        // Host-side mask metadata per head.
+        let masks: Vec<Matrix<f32>> = (0..heads)
+            .map(|h| build_mask(&self.kind, &scores[h], &qh[h], &kh[h]))
+            .collect();
+
+        // Launch 2: mask + softmax for every (head, row).
+        batched_rows(&mut scores, n, |h, i, row| {
+            let mrow = &masks[h].row(i)[..row.len()];
+            for (x, &m) in row.iter_mut().zip(mrow) {
+                if m == 0.0 {
+                    *x = f32::NEG_INFINITY;
+                }
+            }
+            math::softmax_row(row);
+        });
+
+        // Launch 3: AV for every (head, row).
+        let mut outs: Vec<Matrix<f32>> = (0..heads).map(|_| Matrix::zeros(n, dh)).collect();
+        batched_rows(&mut outs, dh, |h, i, orow| {
+            for (kk, &av) in scores[h].row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in orow.iter_mut().zip(vh[h].row(kk)) {
+                    *o += av * bv;
+                }
+            }
+        });
+
+        let caches: Vec<HeadCache> = qh
+            .into_iter()
+            .zip(kh)
+            .zip(vh)
+            .zip(scores)
+            .map(|(((q, k), v), a)| HeadCache::Mask(MaskCache { q, k, v, a }))
+            .collect();
+        (outs, caches)
     }
 
     fn head_forward(

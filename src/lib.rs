@@ -31,7 +31,7 @@ pub mod prelude {
     pub use dfss_core::full::FullAttention;
     pub use dfss_core::mechanism::Attention;
     pub use dfss_kernels::GpuCtx;
-    pub use dfss_nmsparse::{NmCompressed, NmPattern};
-    pub use dfss_tensor::{Bf16, Matrix, Rng, Scalar};
+    pub use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern};
+    pub use dfss_tensor::{BatchedMatrix, Bf16, Matrix, Rng, Scalar};
     pub use dfss_transformer::{AttnKind, Encoder, EncoderConfig, Precision};
 }
