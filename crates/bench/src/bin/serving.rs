@@ -1,0 +1,483 @@
+//! `serving` — open-loop load generator for the attention serving layer.
+//!
+//! Sweeps offered load × batch policy against `dfss-serve`: requests with
+//! heterogeneous shapes arrive on a Poisson schedule, the server coalesces
+//! them per policy, and every response's latency breakdown feeds the tail
+//! statistics. Two policies run on the *same* arrival schedule per load:
+//!
+//! * **baseline** — the per-request loop a deployment without a batcher
+//!   runs: a FIFO worker serving each request as one solo
+//!   `Attention::forward` with a fresh context, no coalescing;
+//! * **batched** — `dfss-serve` with shape-bucketed coalescing and a
+//!   max-batch + deadline close policy, one batched launch per op per
+//!   closed bucket through the `AttentionEngine`.
+//!
+//! Reported per (load, policy): host wall-clock p50/p95/p99, simulated-
+//! device p50 (the device latency of the batch each request rode in), mean
+//! batch size and sustained throughput. Served outputs are asserted
+//! bit-identical to solo `Attention::forward` calls on a deterministic
+//! subset of requests.
+//!
+//! Emits schema-stable `results/bench_serving.json`. In full mode the
+//! artifact must show the batched policy beating the baseline on p50 at
+//! ≥ 3 offered loads (asserted at generation time and re-validated by
+//! `serving --check`, which CI runs against the checked-in artifact; quick
+//! mode validates schema only — CI smoke runners are too noisy to gate on
+//! wall-clock).
+//!
+//! Knobs: `DFSS_QUICK=1` (small shapes, short run), `DFSS_RESULTS=<dir>`.
+
+use dfss_bench::json::Json;
+use dfss_bench::{quick, results_dir};
+use dfss_core::{Attention, DfssAttention};
+use dfss_kernels::GpuCtx;
+use dfss_nmsparse::NmPattern;
+use dfss_serve::{AttentionServer, BatchPolicy, Served};
+use dfss_tensor::{Matrix, Rng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SCHEMA_VERSION: f64 = 1.0;
+
+/// Offered-load multipliers of the measured per-request capacity. The
+/// first is deliberately sub-capacity (the regime where a deadline policy
+/// pays for batches that never fill); the rest saturate the per-request
+/// loop so the batcher's higher throughput shows up in the tails.
+const LOAD_MULTS: [f64; 4] = [0.6, 1.05, 1.2, 1.4];
+/// How many of the swept loads the batched policy must win on p50 for a
+/// full-mode artifact to be acceptable.
+const MIN_P50_WINS: usize = 3;
+
+struct WorkloadSpec {
+    shapes: Vec<(usize, usize)>,
+    requests_per_load: usize,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+fn workload() -> WorkloadSpec {
+    if quick() {
+        WorkloadSpec {
+            shapes: vec![(64, 32), (128, 32)],
+            requests_per_load: 32,
+            max_batch: 8,
+            max_delay: Duration::from_micros(500),
+        }
+    } else {
+        WorkloadSpec {
+            shapes: vec![(256, 64), (512, 64)],
+            requests_per_load: 96,
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One pre-generated request with its solo-forward reference (computed for
+/// a deterministic subset; `None` elsewhere).
+struct Request {
+    q: Matrix<f32>,
+    k: Matrix<f32>,
+    v: Matrix<f32>,
+    reference: Option<Matrix<f32>>,
+    /// Offset from the run start at which the request is offered.
+    arrival: Duration,
+}
+
+/// Build one load point's request stream: shapes round-robin, Poisson
+/// interarrivals at `rate` requests/sec, references every 4th request.
+fn build_requests(
+    spec: &WorkloadSpec,
+    mech: &dyn Attention<f32>,
+    rate: f64,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = Rng::new(seed);
+    let mut at = 0.0f64;
+    (0..spec.requests_per_load)
+        .map(|i| {
+            let (n, d) = spec.shapes[i % spec.shapes.len()];
+            let q = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let k = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let reference = (i % 4 == 0).then(|| {
+                let mut ctx = GpuCtx::a100();
+                mech.forward(&mut ctx, &q, &k, &v)
+            });
+            // Exponential interarrival: -ln(U)/rate.
+            let u: f64 = rng.uniform().max(1e-12);
+            at += -u.ln() / rate;
+            Request {
+                q,
+                k,
+                v,
+                reference,
+                arrival: Duration::from_secs_f64(at),
+            }
+        })
+        .collect()
+}
+
+/// Saturated throughput of the per-request loop: a warm back-to-back burst
+/// of solo `forward` calls over the shape mix — exactly the work the
+/// baseline runner does per request. Offered loads are scaled against this
+/// honest capacity.
+fn measure_capacity(spec: &WorkloadSpec, mech: &dyn Attention<f32>) -> f64 {
+    let burst = if quick() { 16 } else { 48 };
+    let mut rng = Rng::new(0xCA11B);
+    let reqs: Vec<(Matrix<f32>, Matrix<f32>, Matrix<f32>)> = (0..burst + 1)
+        .map(|i| {
+            let (n, d) = spec.shapes[i % spec.shapes.len()];
+            (
+                Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            )
+        })
+        .collect();
+    // Warm-up call (pool spawn, allocator, caches) before the timed burst.
+    let mut ctx = GpuCtx::a100();
+    std::hint::black_box(mech.forward(&mut ctx, &reqs[0].0, &reqs[0].1, &reqs[0].2));
+    let t0 = Instant::now();
+    for (q, k, v) in &reqs[1..] {
+        let mut ctx = GpuCtx::a100();
+        std::hint::black_box(mech.forward(&mut ctx, q, k, v));
+    }
+    burst as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Tail statistics of one (load, policy) run.
+struct PolicyResult {
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    sim_p50_ms: f64,
+    mean_batch: f64,
+    throughput_rps: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize(
+    mut host_ms: Vec<f64>,
+    mut sim_ms: Vec<f64>,
+    mean_batch: f64,
+    makespan_s: f64,
+) -> PolicyResult {
+    let n = host_ms.len();
+    host_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sim_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PolicyResult {
+        p50_ms: percentile(&host_ms, 50.0),
+        p95_ms: percentile(&host_ms, 95.0),
+        p99_ms: percentile(&host_ms, 99.0),
+        sim_p50_ms: percentile(&sim_ms, 50.0),
+        mean_batch,
+        throughput_rps: n as f64 / makespan_s.max(1e-9),
+    }
+}
+
+fn assert_bit_identical(reference: &Matrix<f32>, got: &Matrix<f32>, i: usize, side: &str) {
+    let same = got
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "{side} output {i} diverged from solo forward");
+}
+
+/// The per-request-loop baseline: the deployment a batcher replaces. A
+/// worker thread serves the same arrival stream FIFO, one solo `forward`
+/// with a fresh context per request — no coalescing, no engine.
+fn run_baseline(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    requests: &[Request],
+) -> PolicyResult {
+    type Job = (usize, Matrix<f32>, Matrix<f32>, Matrix<f32>, Instant);
+    let (tx, rx) = std::sync::mpsc::channel::<Job>();
+    let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, Matrix<f32>, Duration, f64)>();
+    let worker_mech = Arc::clone(mech);
+    let worker = std::thread::spawn(move || {
+        while let Ok((i, q, k, v, submitted)) = rx.recv() {
+            let mut ctx = GpuCtx::a100();
+            let out = worker_mech.forward(&mut ctx, &q, &k, &v);
+            let _ = res_tx.send((i, out, submitted.elapsed(), ctx.latency()));
+        }
+    });
+    let start = Instant::now();
+    for (i, req) in requests.iter().enumerate() {
+        if let Some(wait) = req.arrival.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        tx.send((
+            i,
+            req.q.clone(),
+            req.k.clone(),
+            req.v.clone(),
+            Instant::now(),
+        ))
+        .expect("baseline worker alive");
+    }
+    drop(tx);
+    let mut host_ms = vec![0.0f64; requests.len()];
+    let mut sim_ms = vec![0.0f64; requests.len()];
+    for _ in 0..requests.len() {
+        let (i, out, latency, sim_s) = res_rx.recv().expect("baseline worker alive");
+        if let Some(reference) = &requests[i].reference {
+            assert_bit_identical(reference, &out, i, "baseline");
+        }
+        host_ms[i] = latency.as_secs_f64() * 1e3;
+        sim_ms[i] = sim_s * 1e3;
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    worker.join().expect("baseline worker");
+    summarize(host_ms, sim_ms, 1.0, makespan)
+}
+
+/// Offer one request stream to the batched server and collect tails.
+/// Outputs on the reference subset are asserted bit-identical to solo
+/// forward.
+fn run_batched(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    policy: BatchPolicy,
+    requests: &[Request],
+) -> PolicyResult {
+    let server = AttentionServer::start(Arc::clone(mech), policy);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(requests.len());
+    for req in requests {
+        if let Some(wait) = req.arrival.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let handle = server
+            .submit(req.q.clone(), req.k.clone(), req.v.clone())
+            .expect("generated requests are servable");
+        handles.push(handle);
+    }
+    let served: Vec<Served<f32>> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("server alive"))
+        .collect();
+    let makespan = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.served as usize, requests.len());
+
+    for (i, (req, out)) in requests.iter().zip(&served).enumerate() {
+        if let Some(reference) = &req.reference {
+            assert_bit_identical(reference, &out.output, i, "batched");
+        }
+    }
+    let host_ms: Vec<f64> = served
+        .iter()
+        .map(|s| s.latency.as_secs_f64() * 1e3)
+        .collect();
+    let sim_ms: Vec<f64> = served.iter().map(|s| s.sim_latency_s * 1e3).collect();
+    summarize(host_ms, sim_ms, stats.mean_batch(), makespan)
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn policy_json(r: &PolicyResult) -> Json {
+    Json::obj(vec![
+        ("p50_ms", Json::Num(round3(r.p50_ms))),
+        ("p95_ms", Json::Num(round3(r.p95_ms))),
+        ("p99_ms", Json::Num(round3(r.p99_ms))),
+        ("sim_p50_ms", Json::Num(round3(r.sim_p50_ms))),
+        ("mean_batch", Json::Num(round3(r.mean_batch))),
+        ("throughput_rps", Json::Num(round3(r.throughput_rps))),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() > 1 {
+        if args.len() != 3 || args[1] != "--check" {
+            eprintln!("usage: serving [--check <artifact.json>]");
+            std::process::exit(2);
+        }
+        if let Err(e) = check(&args[2]) {
+            eprintln!("schema validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let spec = workload();
+    let mech_concrete = DfssAttention::new(NmPattern::P1_2);
+    let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(mech_concrete);
+    let capacity_rps = measure_capacity(&spec, mech.as_ref());
+    eprintln!(
+        "[serving] {} mode, per-request capacity ~{capacity_rps:.1} req/s",
+        if quick() { "quick" } else { "full" }
+    );
+
+    let batched_policy = BatchPolicy::batched(spec.max_batch, spec.max_delay);
+    let mut rows = Vec::new();
+    let mut wins = 0usize;
+    println!(
+        "{:>6}  {:>9}  {:>12}  {:>12}  {:>8}  {:>10}",
+        "load", "rps", "base p50 ms", "batch p50 ms", "speedup", "mean batch"
+    );
+    for (li, &mult) in LOAD_MULTS.iter().enumerate() {
+        let rate = mult * capacity_rps;
+        let requests = build_requests(&spec, mech.as_ref(), rate, 1000 + li as u64);
+        let baseline = run_baseline(&mech, &requests);
+        let batched = run_batched(&mech, batched_policy, &requests);
+        let speedup = baseline.p50_ms / batched.p50_ms.max(1e-9);
+        if batched.p50_ms < baseline.p50_ms {
+            wins += 1;
+        }
+        println!(
+            "{mult:>6.2}  {rate:>9.1}  {:>12.3}  {:>12.3}  {speedup:>7.2}x  {:>10.2}",
+            baseline.p50_ms, batched.p50_ms, batched.mean_batch
+        );
+        rows.push(Json::obj(vec![
+            ("load_mult", Json::Num(mult)),
+            ("offered_rps", Json::Num(round3(rate))),
+            ("requests", Json::Num(requests.len() as f64)),
+            ("baseline", policy_json(&baseline)),
+            ("batched", policy_json(&batched)),
+            ("p50_speedup", Json::Num(round3(speedup))),
+        ]));
+    }
+
+    if !quick() {
+        assert!(
+            wins >= MIN_P50_WINS,
+            "batched serving won p50 at only {wins}/{} loads (need {MIN_P50_WINS})",
+            LOAD_MULTS.len()
+        );
+    }
+
+    let doc = Json::obj(vec![
+        ("schema_version", Json::Num(SCHEMA_VERSION)),
+        ("artifact", Json::Str("bench_serving".into())),
+        (
+            "mode",
+            Json::Str(if quick() { "quick" } else { "full" }.into()),
+        ),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+        (
+            "mechanism",
+            Json::Str(Attention::<f32>::name(&mech_concrete)),
+        ),
+        ("capacity_rps", Json::Num(round3(capacity_rps))),
+        (
+            "policy",
+            Json::obj(vec![
+                ("max_batch", Json::Num(spec.max_batch as f64)),
+                (
+                    "max_delay_ms",
+                    Json::Num(round3(spec.max_delay.as_secs_f64() * 1e3)),
+                ),
+            ]),
+        ),
+        ("p50_wins", Json::Num(wins as f64)),
+        ("loads", Json::Arr(rows)),
+    ]);
+    let path = results_dir().join("bench_serving.json");
+    std::fs::write(&path, doc.render()).expect("write bench_serving.json");
+    println!("[saved {}]", path.display());
+}
+
+/// Schema validation (`serving --check <path>`): structure always; the
+/// "batched beats the per-request loop on p50 at ≥ 3 loads" acceptance gate
+/// on full-mode artifacts.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("schema_version {version} != {SCHEMA_VERSION}"));
+    }
+    match doc.get("artifact").and_then(Json::as_str) {
+        Some("bench_serving") => {}
+        other => return Err(format!("artifact {other:?} != \"bench_serving\"")),
+    }
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing mode")?;
+    if mode != "quick" && mode != "full" {
+        return Err(format!("mode `{mode}` not in {{quick, full}}"));
+    }
+    for field in ["threads", "capacity_rps", "p50_wins"] {
+        doc.get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric {field}"))?;
+    }
+    doc.get("mechanism")
+        .and_then(Json::as_str)
+        .ok_or("missing mechanism")?;
+    let policy = doc.get("policy").ok_or("missing policy")?;
+    for field in ["max_batch", "max_delay_ms"] {
+        policy
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric policy.{field}"))?;
+    }
+    let loads = doc
+        .get("loads")
+        .and_then(Json::as_arr)
+        .ok_or("missing loads array")?;
+    if loads.len() < 3 {
+        return Err(format!("need >= 3 offered loads, got {}", loads.len()));
+    }
+    let mut wins = 0usize;
+    for (i, l) in loads.iter().enumerate() {
+        for field in ["load_mult", "offered_rps", "requests", "p50_speedup"] {
+            let x = l
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("load {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("load {i}: {field} = {x} not finite non-negative"));
+            }
+        }
+        let mut p50 = [0.0f64; 2];
+        for (slot, side) in ["baseline", "batched"].iter().enumerate() {
+            let s = l.get(side).ok_or(format!("load {i}: missing {side}"))?;
+            for field in [
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "sim_p50_ms",
+                "mean_batch",
+                "throughput_rps",
+            ] {
+                let x = s
+                    .get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("load {i}: missing numeric {side}.{field}"))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(format!(
+                        "load {i}: {side}.{field} = {x} not finite non-negative"
+                    ));
+                }
+            }
+            p50[slot] = s.get("p50_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        }
+        if p50[1] < p50[0] {
+            wins += 1;
+        }
+    }
+    if mode == "full" && wins < MIN_P50_WINS {
+        return Err(format!(
+            "full-mode artifact: batched p50 beats baseline at only {wins}/{} loads (need {MIN_P50_WINS})",
+            loads.len()
+        ));
+    }
+    println!(
+        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins)",
+        loads.len()
+    );
+    Ok(())
+}

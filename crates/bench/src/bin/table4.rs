@@ -137,7 +137,8 @@ fn main() {
                 n_train,
                 n_test,
                 103,
-            ),
+            )
+            .expect("static config within MAX_CLASSES"),
         ),
     ];
 

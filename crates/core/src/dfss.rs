@@ -11,7 +11,7 @@
 //! ablation (separate prune kernel — what §2.3 says existing libraries do),
 //! and the blocked-ELL hybrid for long sequences (A.1.2).
 
-use crate::mechanism::{check_qkv, check_qkv_batched, Attention};
+use crate::mechanism::{check_qkv, check_qkv_batched, Attention, RequestError};
 use dfss_kernels::{ell, sddmm, softmax, spmm, GpuCtx};
 use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern};
 use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
@@ -134,6 +134,21 @@ impl<T: Scalar> Attention<T> for DfssAttention {
         ctx.mem.free(comp_id);
         out
     }
+
+    /// The score matrix's rows (length `n`) are pruned in M-groups, so `n`
+    /// must be a multiple of M.
+    fn check_shape(&self, n: usize, _d: usize) -> Result<(), RequestError> {
+        if n == 0 {
+            return Err(RequestError::EmptyRequest);
+        }
+        if !n.is_multiple_of(self.pattern.m()) {
+            return Err(RequestError::Unsupported {
+                mechanism: Attention::<T>::name(self),
+                reason: format!("n = {n} is not a multiple of M = {}", self.pattern.m()),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Dfss combined with blocked-ELL sparsity for long sequences: scores are
@@ -205,6 +220,32 @@ impl<T: Scalar> Attention<T> for DfssEllAttention {
         let out = ell::spmm_ell_nm_batched(ctx, &a, v);
         ctx.mem.free(id);
         out
+    }
+
+    /// The hybrid needs whole ELL blocks (`n` a multiple of the block edge)
+    /// and the packed window rows to split into M-groups.
+    fn check_shape(&self, n: usize, _d: usize) -> Result<(), RequestError> {
+        if n == 0 {
+            return Err(RequestError::EmptyRequest);
+        }
+        let name = Attention::<T>::name(self);
+        if self.block == 0 || !n.is_multiple_of(self.block) {
+            return Err(RequestError::Unsupported {
+                mechanism: name,
+                reason: format!("n = {n} is not a multiple of block = {}", self.block),
+            });
+        }
+        let packed_cols = self.window_blocks.min(n / self.block) * self.block;
+        if packed_cols == 0 || !packed_cols.is_multiple_of(self.pattern.m()) {
+            return Err(RequestError::Unsupported {
+                mechanism: name,
+                reason: format!(
+                    "packed window width {packed_cols} is not a positive multiple of M = {}",
+                    self.pattern.m()
+                ),
+            });
+        }
+        Ok(())
     }
 }
 

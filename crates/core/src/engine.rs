@@ -1,0 +1,468 @@
+//! The reusable attention execution engine — batching as a *service*, not
+//! a call convention.
+//!
+//! Before this module, every caller that wanted the paper's one-launch-per-
+//! op batching (A.1.2) hand-assembled `BatchedMatrix` stacks, created a
+//! fresh `GpuCtx` per call and re-derived the launch shape work each time.
+//! [`AttentionEngine`] owns that per-launch state across calls — the device
+//! context (timeline + memory ledger), the request queue, and the pack/
+//! unpack plumbing — and exposes the serving-shaped surface the ROADMAP
+//! asks for:
+//!
+//! * [`submit`](AttentionEngine::submit) — admit one `(Q, K, V)` request,
+//!   validated against the mechanism's shape constraints with a typed
+//!   [`RequestError`] (never a panic), returning a [`Ticket`];
+//! * [`flush`](AttentionEngine::flush) — pack everything pending into one
+//!   contiguous stack **per shape bucket** (heterogeneous requests sharing
+//!   a bucket coalesce via [`BatchedMatrix::gather`]), run a single
+//!   `forward_batched` per bucket (one simulated launch per op), and unpack
+//!   per-request outputs bit-identically to what a solo
+//!   [`Attention::forward`] would have produced.
+//!
+//! `simulate_encoder`, the serving layer (`dfss-serve`) and the load
+//! generator all sit on this engine; none of them touch `BatchedMatrix`
+//! assembly directly.
+
+use crate::mechanism::{try_check_qkv, Attention, RequestError};
+use dfss_kernels::GpuCtx;
+use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
+
+/// Identifier of a submitted request, unique per engine for its lifetime.
+/// Tickets are issued in submission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub u64);
+
+/// The shape bucket a request is admitted into: requests agree on the
+/// sequence length, head dim and value dim, so their panels can stack into
+/// one batched launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    pub n: usize,
+    pub d: usize,
+    pub d_v: usize,
+}
+
+struct PendingRequest<T> {
+    ticket: Ticket,
+    q: Matrix<T>,
+    k: Matrix<T>,
+    v: Matrix<T>,
+}
+
+/// One completed request out of a [`flush`](AttentionEngine::flush).
+#[derive(Debug)]
+pub struct FlushedRequest<T: Scalar> {
+    pub ticket: Ticket,
+    /// The attention output — `None` only under a charge-only context
+    /// (`ctx.exec == false`), where kernels skip the numeric work.
+    pub output: Option<Matrix<T>>,
+    /// Shape bucket the request was batched in.
+    pub bucket: ShapeKey,
+    /// How many requests shared the request's batched launch.
+    pub batch_size: usize,
+    /// Simulated-device latency of the bucket's launches (the whole batch —
+    /// every request in it waits for the full launch).
+    pub sim_latency_s: f64,
+}
+
+/// Per-bucket accounting of one flush.
+#[derive(Clone, Debug)]
+pub struct BucketReport {
+    pub bucket: ShapeKey,
+    pub batch_size: usize,
+    /// Simulated-device latency of this bucket's launches.
+    pub sim_latency_s: f64,
+    /// Kernel launches this bucket recorded (one per op).
+    pub launches: u64,
+}
+
+/// Accounting of one [`flush`](AttentionEngine::flush).
+#[derive(Clone, Debug, Default)]
+pub struct FlushReport {
+    pub buckets: Vec<BucketReport>,
+}
+
+impl FlushReport {
+    /// Total simulated-device latency across the flush's buckets.
+    pub fn sim_latency_s(&self) -> f64 {
+        self.buckets.iter().map(|b| b.sim_latency_s).sum()
+    }
+}
+
+/// A reusable batching front end over one attention mechanism.
+///
+/// The engine borrows the mechanism (mechanisms are small, often `Copy`
+/// structs; the serving layer owns one per server) and owns the simulated
+/// device context, reusing it across flushes instead of recreating it per
+/// call.
+pub struct AttentionEngine<'m, T: Scalar> {
+    mech: &'m dyn Attention<T>,
+    ctx: GpuCtx,
+    pending: Vec<PendingRequest<T>>,
+    next_ticket: u64,
+    last_flush: FlushReport,
+}
+
+impl<'m, T: Scalar> AttentionEngine<'m, T> {
+    /// Engine on the paper's evaluation device (A100).
+    pub fn new(mech: &'m dyn Attention<T>) -> AttentionEngine<'m, T> {
+        AttentionEngine::with_ctx(mech, GpuCtx::a100())
+    }
+
+    /// Engine over an existing context (carries its `exec` mode, device
+    /// config and any recorded history).
+    pub fn with_ctx(mech: &'m dyn Attention<T>, ctx: GpuCtx) -> AttentionEngine<'m, T> {
+        AttentionEngine {
+            mech,
+            ctx,
+            pending: Vec::new(),
+            next_ticket: 0,
+            last_flush: FlushReport::default(),
+        }
+    }
+
+    /// The mechanism this engine batches for.
+    pub fn mech(&self) -> &dyn Attention<T> {
+        self.mech
+    }
+
+    /// The owned device context (timeline, memory ledger).
+    pub fn ctx(&self) -> &GpuCtx {
+        &self.ctx
+    }
+
+    /// Mutable device context — callers that interleave non-attention
+    /// kernels with submits (the encoder simulation) record them here so
+    /// the timeline stays in program order.
+    pub fn ctx_mut(&mut self) -> &mut GpuCtx {
+        &mut self.ctx
+    }
+
+    /// Consume the engine, returning its context (with the full timeline).
+    pub fn into_ctx(self) -> GpuCtx {
+        self.ctx
+    }
+
+    /// Requests admitted but not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accounting of the most recent [`flush`](Self::flush).
+    pub fn last_flush(&self) -> &FlushReport {
+        &self.last_flush
+    }
+
+    /// Validate and admit one request. Returns its [`Ticket`]; malformed
+    /// triples and shapes the mechanism cannot run come back as typed
+    /// errors without touching engine state.
+    pub fn submit(
+        &mut self,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    ) -> Result<Ticket, RequestError> {
+        try_check_qkv(self.mech, &q, &k, &v)?;
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push(PendingRequest { ticket, q, k, v });
+        Ok(ticket)
+    }
+
+    /// Run everything pending: requests group into shape buckets (admission
+    /// order preserved within a bucket, buckets in first-seen order), each
+    /// bucket packs into one contiguous stack and runs a single
+    /// `forward_batched` — one simulated launch per op for the whole bucket
+    /// — and outputs unpack per request, bit-identical to solo `forward`
+    /// calls. Results are returned in ticket (= submission) order.
+    pub fn flush(&mut self) -> Vec<FlushedRequest<T>> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut report = FlushReport::default();
+        if pending.is_empty() {
+            self.last_flush = report;
+            return Vec::new();
+        }
+
+        // Shape-bucket the queue, preserving order within buckets.
+        let mut buckets: Vec<(ShapeKey, Vec<PendingRequest<T>>)> = Vec::new();
+        for req in pending {
+            let key = ShapeKey {
+                n: req.q.rows(),
+                d: req.q.cols(),
+                d_v: req.v.cols(),
+            };
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, reqs)) => reqs.push(req),
+                None => buckets.push((key, vec![req])),
+            }
+        }
+
+        let mut results: Vec<FlushedRequest<T>> = Vec::new();
+        for (key, reqs) in buckets {
+            let batch_size = reqs.len();
+            let qs: Vec<&Matrix<T>> = reqs.iter().map(|r| &r.q).collect();
+            let ks: Vec<&Matrix<T>> = reqs.iter().map(|r| &r.k).collect();
+            let vs: Vec<&Matrix<T>> = reqs.iter().map(|r| &r.v).collect();
+            let qb = BatchedMatrix::gather(&qs);
+            let kb = BatchedMatrix::gather(&ks);
+            let vb = BatchedMatrix::gather(&vs);
+
+            let mark = self.ctx.timeline.entries().len();
+            let out = self.mech.forward_batched(&mut self.ctx, &qb, &kb, &vb);
+            let new_entries = &self.ctx.timeline.entries()[mark..];
+            let sim_latency_s: f64 = new_entries.iter().map(|e| e.latency(&self.ctx.dev)).sum();
+            let launches: u64 = new_entries.iter().map(|e| e.launches).sum();
+            report.buckets.push(BucketReport {
+                bucket: key,
+                batch_size,
+                sim_latency_s,
+                launches,
+            });
+
+            let mut outputs: Vec<Option<Matrix<T>>> = if out.is_materialized() {
+                out.into_panels().into_iter().map(Some).collect()
+            } else {
+                (0..batch_size).map(|_| None).collect()
+            };
+            for (req, output) in reqs.into_iter().zip(outputs.drain(..)) {
+                results.push(FlushedRequest {
+                    ticket: req.ticket,
+                    output,
+                    bucket: key,
+                    batch_size,
+                    sim_latency_s,
+                });
+            }
+        }
+        results.sort_by_key(|r| r.ticket);
+        self.last_flush = report;
+        results
+    }
+
+    /// Run an **already-packed** B×H stack through the engine as one
+    /// bucket — the encoder-simulation fast path. Callers that hold their
+    /// panels in a contiguous stack (e.g. a `split_heads` result) skip the
+    /// per-request queue and the gather/unpack copies while keeping the
+    /// engine's one-launch-per-op execution, owned context and flush
+    /// accounting. Equivalent to submitting each panel and flushing.
+    pub fn flush_stack(
+        &mut self,
+        q: &BatchedMatrix<T>,
+        k: &BatchedMatrix<T>,
+        v: &BatchedMatrix<T>,
+    ) -> BatchedMatrix<T> {
+        let key = ShapeKey {
+            n: q.rows(),
+            d: q.cols(),
+            d_v: v.cols(),
+        };
+        let mark = self.ctx.timeline.entries().len();
+        let out = self.mech.forward_batched(&mut self.ctx, q, k, v);
+        let new_entries = &self.ctx.timeline.entries()[mark..];
+        self.last_flush = FlushReport {
+            buckets: vec![BucketReport {
+                bucket: key,
+                batch_size: q.batch(),
+                sim_latency_s: new_entries.iter().map(|e| e.latency(&self.ctx.dev)).sum(),
+                launches: new_entries.iter().map(|e| e.launches).sum(),
+            }],
+        };
+        out
+    }
+
+    /// Drop the accumulated kernel timeline (the memory ledger keeps its
+    /// peak) — long-running servers call this between batches so the
+    /// context does not grow without bound.
+    pub fn reset_timeline(&mut self) {
+        self.ctx.reset_timeline();
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for AttentionEngine<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AttentionEngine<{}> for {:?} ({} pending)",
+            T::NAME,
+            self.mech.name(),
+            self.pending.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfss::DfssAttention;
+    use crate::full::FullAttention;
+    use dfss_nmsparse::NmPattern;
+    use dfss_tensor::Rng;
+
+    fn request(n: usize, d: usize, rng: &mut Rng) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        (
+            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+        )
+    }
+
+    #[test]
+    fn flush_is_bit_identical_to_solo_forward_across_buckets() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(7);
+        // Heterogeneous queue: two shape buckets interleaved.
+        let shapes = [(32, 16), (64, 8), (32, 16), (64, 8), (32, 16)];
+        let mut solo = Vec::new();
+        for &(n, d) in &shapes {
+            let (q, k, v) = request(n, d, &mut rng);
+            let mut sctx = GpuCtx::a100();
+            solo.push(mech.forward(&mut sctx, &q, &k, &v));
+            engine.submit(q, k, v).unwrap();
+        }
+        assert_eq!(engine.pending(), 5);
+        let results = engine.flush();
+        assert_eq!(engine.pending(), 0);
+        assert_eq!(results.len(), 5);
+        for (i, (res, want)) in results.iter().zip(&solo).enumerate() {
+            assert_eq!(res.ticket, Ticket(i as u64));
+            let got = res.output.as_ref().expect("exec mode");
+            let same = got
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "request {i} diverged from solo forward");
+        }
+        // Two buckets: (32,16) × 3 and (64,8) × 2.
+        let report = engine.last_flush();
+        assert_eq!(report.buckets.len(), 2);
+        assert_eq!(report.buckets[0].batch_size, 3);
+        assert_eq!(report.buckets[1].batch_size, 2);
+        assert!(report.sim_latency_s() > 0.0);
+    }
+
+    #[test]
+    fn one_launch_per_op_per_bucket() {
+        // Dfss runs 3 ops (fused SDDMM, softmax, SpMM): a flush with two
+        // buckets must record exactly 6 launches no matter how many
+        // requests each bucket holds.
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(9);
+        for &(n, d) in &[(32, 8), (32, 8), (32, 8), (64, 8), (64, 8)] {
+            let (q, k, v) = request(n, d, &mut rng);
+            engine.submit(q, k, v).unwrap();
+        }
+        let _ = engine.flush();
+        assert_eq!(engine.ctx().timeline.launches(), 6);
+        for b in &engine.last_flush().buckets {
+            assert_eq!(b.launches, 3);
+        }
+    }
+
+    #[test]
+    fn submit_rejects_unservable_requests_without_queueing() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        // n = 31 is not a multiple of M = 2 → typed rejection.
+        let q = Matrix::<f32>::zeros(31, 8);
+        let err = engine.submit(q.clone(), q.clone(), q.clone()).unwrap_err();
+        assert!(matches!(err, RequestError::Unsupported { .. }));
+        // Mismatched K → typed rejection.
+        let q32 = Matrix::<f32>::zeros(32, 8);
+        let k_bad = Matrix::<f32>::zeros(32, 4);
+        let err = engine.submit(q32.clone(), k_bad, q32.clone()).unwrap_err();
+        assert!(matches!(err, RequestError::KShapeMismatch { .. }));
+        assert_eq!(engine.pending(), 0);
+        assert!(engine.flush().is_empty());
+    }
+
+    #[test]
+    fn tickets_are_unique_across_flushes_and_ctx_persists() {
+        let mech = FullAttention;
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(11);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let t0 = engine.submit(q.clone(), k.clone(), v.clone()).unwrap();
+        let _ = engine.flush();
+        let launches_after_first = engine.ctx().timeline.launches();
+        let t1 = engine.submit(q, k, v).unwrap();
+        assert!(t1 > t0, "tickets must be monotone across flushes");
+        let _ = engine.flush();
+        // The context is owned and reused: the timeline accumulated both
+        // flushes' launches until explicitly reset.
+        assert_eq!(engine.ctx().timeline.launches(), 2 * launches_after_first);
+        engine.reset_timeline();
+        assert_eq!(engine.ctx().timeline.launches(), 0);
+    }
+
+    #[test]
+    fn flush_stack_matches_submit_flush() {
+        // The pre-packed fast path runs the same launches and reports the
+        // same accounting as the queued path, with bit-identical outputs.
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut rng = Rng::new(21);
+        let (batch, n, d) = (4usize, 32usize, 16usize);
+        let qb = dfss_tensor::BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let kb = dfss_tensor::BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+        let vb = dfss_tensor::BatchedMatrix::<f32>::random_normal(batch, n, d, 0.0, 1.0, &mut rng);
+
+        let mut queued = AttentionEngine::new(&mech);
+        for b in 0..batch {
+            queued
+                .submit(qb.to_panel(b), kb.to_panel(b), vb.to_panel(b))
+                .unwrap();
+        }
+        let queued_out = queued.flush();
+
+        let mut stacked = AttentionEngine::new(&mech);
+        let out = stacked.flush_stack(&qb, &kb, &vb);
+        assert_eq!(out.shape(), (batch, n, d));
+        for (b, res) in queued_out.iter().enumerate() {
+            let want = res.output.as_ref().unwrap();
+            let same = out
+                .panel(b)
+                .iter()
+                .zip(want.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "panel {b} diverged between stack and queued paths");
+        }
+        assert_eq!(
+            stacked.ctx().timeline.total_bytes(),
+            queued.ctx().timeline.total_bytes()
+        );
+        let (sr, qr) = (stacked.last_flush(), queued.last_flush());
+        assert_eq!(sr.buckets.len(), 1);
+        assert_eq!(sr.buckets[0].batch_size, batch);
+        assert_eq!(sr.buckets[0].launches, qr.buckets[0].launches);
+        assert!((sr.sim_latency_s() - qr.sim_latency_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn charge_only_flush_reports_costs_without_outputs() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut exec_engine = AttentionEngine::new(&mech);
+        let mut charge_engine = AttentionEngine::with_ctx(&mech, GpuCtx::a100_charge_only());
+        let mut rng = Rng::new(13);
+        for _ in 0..3 {
+            let (q, k, v) = request(32, 16, &mut rng);
+            exec_engine.submit(q.clone(), k.clone(), v.clone()).unwrap();
+            charge_engine.submit(q, k, v).unwrap();
+        }
+        let exec_out = exec_engine.flush();
+        let charge_out = charge_engine.flush();
+        assert!(exec_out.iter().all(|r| r.output.is_some()));
+        assert!(charge_out.iter().all(|r| r.output.is_none()));
+        // Identical charges either way.
+        assert_eq!(
+            exec_engine.ctx().timeline.total_bytes(),
+            charge_engine.ctx().timeline.total_bytes()
+        );
+        assert!(
+            (exec_engine.last_flush().sim_latency_s() - charge_engine.last_flush().sim_latency_s())
+                .abs()
+                < 1e-15
+        );
+    }
+}

@@ -19,9 +19,11 @@
 //! | [`quality`] | the `Q^p` lottery-ticket quality metric (Def 4.1) | Fig 12, 13 |
 //! | [`theory`] | Props 4.2/4.3, Eqs 5/6/33, the Performer MSE bounds (Eqs 30/31) | §4, A.2–A.5 |
 //! | [`visualize`] | ASCII/CSV attention heat maps | Fig 19 |
+//! | [`engine`] | [`AttentionEngine`]: shape-bucketed submit/flush batching over any mechanism | §5.2 serving, A.1.2 |
 
 pub mod cluster_baselines;
 pub mod dfss;
+pub mod engine;
 pub mod full;
 pub mod linear_baselines;
 pub mod mechanism;
@@ -32,5 +34,6 @@ pub mod theory;
 pub mod visualize;
 
 pub use dfss::DfssAttention;
+pub use engine::{AttentionEngine, FlushedRequest, ShapeKey, Ticket};
 pub use full::FullAttention;
-pub use mechanism::Attention;
+pub use mechanism::{Attention, RequestError};

@@ -65,6 +65,84 @@ pub trait Attention<T: Scalar> {
     fn scale_for(&self, d: usize) -> f32 {
         1.0 / (d as f32).sqrt()
     }
+
+    /// Validate that this mechanism can run an `n × d` request, without
+    /// panicking — the serving front door ([`crate::engine`], `dfss-serve`)
+    /// rejects unservable shapes with a typed error before admission.
+    ///
+    /// The default accepts any non-empty shape; mechanisms with structural
+    /// requirements (N:M group alignment, ELL block tiling) override it.
+    fn check_shape(&self, n: usize, d: usize) -> Result<(), RequestError> {
+        let _ = d;
+        if n == 0 {
+            return Err(RequestError::EmptyRequest);
+        }
+        Ok(())
+    }
+}
+
+/// Typed rejection of an attention request — serving must not abort the
+/// process on a malformed `(Q, K, V)` triple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// K's shape differs from Q's `n × d`.
+    KShapeMismatch {
+        q: (usize, usize),
+        k: (usize, usize),
+    },
+    /// V's row count differs from the sequence length.
+    VRowsMismatch { n: usize, v_rows: usize },
+    /// Zero-sized panels cannot be served.
+    EmptyRequest,
+    /// The mechanism cannot run this shape (e.g. `n` not a multiple of M).
+    Unsupported { mechanism: String, reason: String },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::KShapeMismatch { q, k } => {
+                write!(f, "K shape {}x{} != Q shape {}x{}", k.0, k.1, q.0, q.1)
+            }
+            RequestError::VRowsMismatch { n, v_rows } => {
+                write!(f, "V has {v_rows} rows, sequence length is {n}")
+            }
+            RequestError::EmptyRequest => write!(f, "empty request"),
+            RequestError::Unsupported { mechanism, reason } => {
+                write!(f, "{mechanism} cannot serve this shape: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Non-panicking counterpart of [`check_qkv`]: validates the Q/K/V triple
+/// and the mechanism's own shape constraints, returning `(n, d)`.
+pub fn try_check_qkv<T: Scalar>(
+    mech: &dyn Attention<T>,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+) -> Result<(usize, usize), RequestError> {
+    let (n, d) = q.shape();
+    if n == 0 || d == 0 {
+        return Err(RequestError::EmptyRequest);
+    }
+    if k.shape() != (n, d) {
+        return Err(RequestError::KShapeMismatch {
+            q: (n, d),
+            k: k.shape(),
+        });
+    }
+    if v.rows() != n {
+        return Err(RequestError::VRowsMismatch {
+            n,
+            v_rows: v.rows(),
+        });
+    }
+    mech.check_shape(n, d)?;
+    Ok((n, d))
 }
 
 /// Merge the per-panel kernel logs recorded since `mark` into batched
@@ -79,14 +157,25 @@ pub trait Attention<T: Scalar> {
 /// recorded differing sequences keeps every entry and collapses launches by
 /// kernel name instead.
 ///
-/// Latency model note: a merged entry's latency is
-/// `max(Σ mem_time, Σ compute_time)` — the batched launch overlaps memory
-/// and compute across the whole panel grid, like a real batched kernel's
-/// software pipeline. For identical panels (the figure binaries' broadcast
-/// stacks) this equals the old per-head-loop×B accounting exactly; for
-/// heterogeneous panels whose ops straddle the memory/compute boundary it
-/// is deliberately ≤ the per-head sum-of-maxes the pre-batched code
-/// reported (one launch hides the underutilised pipe).
+/// **Latency model (pinned)**: a merged entry charges **one** launch
+/// overhead and `max(Σ mem_time, Σ compute_time)` over its panels — the
+/// batched launch overlaps memory and compute across the whole panel grid,
+/// like a real batched kernel's double-buffered software pipeline
+/// (A.1.2). Consequences, load-bearing for the serving bench's
+/// simulated-device numbers:
+///
+/// * identical panels (the figure binaries' broadcast stacks): exactly the
+///   old per-head-loop×B accounting, since every panel sits on the same
+///   side of the memory/compute boundary;
+/// * heterogeneous panels whose ops straddle that boundary (a serving
+///   bucket mixing mem-bound and compute-bound requests): deliberately
+///   **≤** the per-panel sum of maxes — one launch hides each panel's
+///   underutilised pipe behind the other panels' busy one. The merged
+///   latency is never below `max` of either pipe's total, so it cannot
+///   under-charge a saturated resource.
+///
+/// `mechanism::tests::merged_launch_latency_is_max_of_pipe_totals` pins
+/// this model.
 pub fn batch_panel_launches(ctx: &mut GpuCtx, mark: usize, batch: usize) {
     let entries = ctx.timeline.entries();
     let total = entries.len() - mark;
@@ -269,6 +358,67 @@ mod tests {
         assert_eq!(ctx.timeline.entries().len(), 3);
         assert_eq!(ctx.timeline.total_bytes(), 7);
         assert_eq!(ctx.timeline.launches(), 2); // op_a once + op_b once
+    }
+
+    /// Pin the merged-launch latency model: one launch overhead plus
+    /// `max(Σ mem_time, Σ compute_time)` across panels — cheaper than the
+    /// per-panel sum of maxes when panels straddle the memory/compute
+    /// boundary, never cheaper than either pipe's own total.
+    #[test]
+    fn merged_launch_latency_is_max_of_pipe_totals() {
+        use dfss_gpusim::{KernelProfile, Stage, TcClass};
+        let mut ctx = GpuCtx::a100();
+        // Panel 0: op strongly memory-bound. Panel 1: same op, strongly
+        // compute-bound (a heterogeneous serving bucket).
+        let mem_heavy = KernelProfile::new("op", Stage::Av)
+            .with_traffic(2_000_000_000, 0)
+            .with_tc(1_000_000, TcClass::DenseTf32);
+        let compute_heavy = KernelProfile::new("op", Stage::Av)
+            .with_traffic(1_000, 0)
+            .with_tc(400_000_000_000, TcClass::DenseTf32);
+        let per_panel_sum_of_maxes = mem_heavy.latency(&ctx.dev) + compute_heavy.latency(&ctx.dev);
+        let mem_total = mem_heavy.mem_time(&ctx.dev) + compute_heavy.mem_time(&ctx.dev);
+        let compute_total = mem_heavy.compute_time(&ctx.dev) + compute_heavy.compute_time(&ctx.dev);
+        ctx.record(mem_heavy);
+        ctx.record(compute_heavy);
+        batch_panel_launches(&mut ctx, 0, 2);
+        assert_eq!(ctx.timeline.entries().len(), 1);
+        assert_eq!(ctx.timeline.launches(), 1);
+        let merged = ctx.latency();
+        let expected = ctx.dev.kernel_launch_sec + mem_total.max(compute_total);
+        assert!(
+            (merged - expected).abs() < 1e-12,
+            "merged {merged} != max(sum-mem, sum-compute) model {expected}"
+        );
+        // Strictly cheaper than running the panels back to back (the hidden
+        // pipe), but not cheaper than the saturated pipe itself.
+        assert!(merged < per_panel_sum_of_maxes);
+        assert!(merged >= mem_total.max(compute_total));
+    }
+
+    #[test]
+    fn try_check_qkv_rejects_bad_requests_with_typed_errors() {
+        let q = Matrix::<f32>::zeros(8, 4);
+        let k_bad = Matrix::<f32>::zeros(4, 4);
+        let v_bad = Matrix::<f32>::zeros(6, 4);
+        let v = Matrix::<f32>::zeros(8, 4);
+        assert_eq!(try_check_qkv(&Id, &q, &q, &v), Ok((8, 4)));
+        assert_eq!(
+            try_check_qkv(&Id, &q, &k_bad, &v),
+            Err(RequestError::KShapeMismatch {
+                q: (8, 4),
+                k: (4, 4)
+            })
+        );
+        assert_eq!(
+            try_check_qkv(&Id, &q, &q, &v_bad),
+            Err(RequestError::VRowsMismatch { n: 8, v_rows: 6 })
+        );
+        let empty = Matrix::<f32>::zeros(0, 4);
+        assert_eq!(
+            try_check_qkv(&Id, &empty, &empty, &empty),
+            Err(RequestError::EmptyRequest)
+        );
     }
 
     #[test]

@@ -7,25 +7,17 @@
 //! so a single run yields end-to-end latency, the attention-vs-others
 //! breakdown, and peak memory.
 
+use crate::engine::AttentionEngine;
 use crate::mechanism::Attention;
 use dfss_gpusim::{KernelProfile, Stage};
 use dfss_kernels::{gemm, GpuCtx};
 use dfss_tensor::{BatchedMatrix, Matrix, Rng, Scalar};
 
 /// Split an `n × (H·d_head)` activation into an H-panel stack of `n ×
-/// d_head` head slices (one pass; the batched attention input).
+/// d_head` head slices (one pass; the batched attention input). Thin
+/// re-export of [`BatchedMatrix::split_heads`], kept for compatibility.
 pub fn split_heads<T: Scalar>(x: &Matrix<T>, heads: usize) -> BatchedMatrix<T> {
-    let (n, dm) = x.shape();
-    assert_eq!(dm % heads, 0, "d_model must divide into heads");
-    let dh = dm / heads;
-    let mut data = Vec::with_capacity(n * dm);
-    for h in 0..heads {
-        let lo = h * dh;
-        for r in 0..n {
-            data.extend_from_slice(&x.row(r)[lo..lo + dh]);
-        }
-    }
-    BatchedMatrix::from_vec(heads, n, dh, data)
+    BatchedMatrix::split_heads(x, heads)
 }
 
 /// End-to-end model shape (defaults follow the paper's A.6 configuration:
@@ -59,6 +51,13 @@ impl SimModelConfig {
 /// Execute one encoder inference pass on the simulated device. Returns the
 /// final hidden states (numerics are real; the interesting outputs are in
 /// `ctx.timeline` / `ctx.mem`).
+///
+/// Multi-head attention rides the [`AttentionEngine`]: every layer splits
+/// its heads into one contiguous stack and runs it through the engine's
+/// pre-packed `flush_stack` bucket — one batched launch per op across the
+/// head grid (A.1.2), the same engine the serving layer queues into. The
+/// engine temporarily takes ownership of `ctx` so non-attention kernels and
+/// attention launches share one timeline in program order.
 pub fn simulate_encoder<T: Scalar>(
     ctx: &mut GpuCtx,
     cfg: &SimModelConfig,
@@ -68,8 +67,14 @@ pub fn simulate_encoder<T: Scalar>(
     let n = cfg.seq_len;
     let dm = cfg.d_model();
     let mut rng = Rng::new(seed);
+    let placeholder = GpuCtx::new(ctx.dev.clone());
+    let mut engine = AttentionEngine::with_ctx(mech, std::mem::replace(ctx, placeholder));
+
     let mut x: Matrix<T> = Matrix::random_normal(n, dm, 0.0, 1.0, &mut rng);
-    let x_id = ctx.mem.alloc("activations", (n * dm * T::BYTES) as u64);
+    let x_id = engine
+        .ctx_mut()
+        .mem
+        .alloc("activations", (n * dm * T::BYTES) as u64);
 
     // Static weights live for the whole pass.
     let wq: Matrix<T> = Matrix::random_normal(dm, dm, 0.0, 0.05, &mut rng);
@@ -79,44 +84,42 @@ pub fn simulate_encoder<T: Scalar>(
     let w1: Matrix<T> = Matrix::random_normal(dm, cfg.d_ffn, 0.0, 0.05, &mut rng);
     let w2: Matrix<T> = Matrix::random_normal(cfg.d_ffn, dm, 0.0, 0.05, &mut rng);
     let weights_bytes = ((4 * dm * dm + 2 * dm * cfg.d_ffn) * T::BYTES) as u64;
-    let w_id = ctx.mem.alloc("weights", weights_bytes);
+    let w_id = engine.ctx_mut().mem.alloc("weights", weights_bytes);
 
     for _layer in 0..cfg.layers {
         // QKV projections (Others).
-        let qkv_id = ctx.mem.alloc("qkv", (3 * n * dm * T::BYTES) as u64);
-        let q = gemm::gemm_nn(ctx, Stage::NonAttention, &x, &wq);
-        let k = gemm::gemm_nn(ctx, Stage::NonAttention, &x, &wk);
-        let v = gemm::gemm_nn(ctx, Stage::NonAttention, &x, &wv);
+        let qkv_id = engine
+            .ctx_mut()
+            .mem
+            .alloc("qkv", (3 * n * dm * T::BYTES) as u64);
+        let q = gemm::gemm_nn(engine.ctx_mut(), Stage::NonAttention, &x, &wq);
+        let k = gemm::gemm_nn(engine.ctx_mut(), Stage::NonAttention, &x, &wk);
+        let v = gemm::gemm_nn(engine.ctx_mut(), Stage::NonAttention, &x, &wv);
 
-        // Batched multi-head attention: all heads run as one launch per op
-        // ("using a batched kernel … reduce kernel launching overhead",
-        // A.1.2). Head panels are split once into a contiguous stack;
-        // natively batched mechanisms (Dfss, dense) charge one profile per
-        // kernel for the whole head grid, the rest run per head with their
-        // launches collapsed by the default `forward_batched`.
-        let qb = split_heads(&q, cfg.heads);
-        let kb = split_heads(&k, cfg.heads);
-        let vb = split_heads(&v, cfg.heads);
-        let ob = mech.forward_batched(ctx, &qb, &kb, &vb);
-        let mut concat: Matrix<T> = Matrix::zeros(n, dm);
-        if ob.is_materialized() {
-            for h in 0..cfg.heads {
-                let lo = h * cfg.d_head;
-                for r in 0..n {
-                    let orow = ob.row(h, r);
-                    let crow = concat.row_mut(r);
-                    crow[lo..lo + cfg.d_head].copy_from_slice(&orow[..cfg.d_head]);
-                }
-            }
-        }
-        // (Charge-only placeholder outputs leave the zero concat in place —
-        // downstream kernels skip the numeric work anyway.)
+        // Batched multi-head attention through the engine's pre-packed
+        // fast path: head panels are split once into a contiguous stack and
+        // run as one bucket — one launch per op for the whole head grid,
+        // with no per-request pack/unpack copies. Natively batched
+        // mechanisms (Dfss, dense) charge one profile per kernel, the rest
+        // run per head with their launches collapsed by the default
+        // `forward_batched`.
+        let qh = BatchedMatrix::split_heads(&q, cfg.heads);
+        let kh = BatchedMatrix::split_heads(&k, cfg.heads);
+        let vh = BatchedMatrix::split_heads(&v, cfg.heads);
+        let ob = engine.flush_stack(&qh, &kh, &vh);
+        let concat: Matrix<T> = if ob.is_materialized() {
+            ob.merge_heads()
+        } else {
+            // Charge-only placeholder outputs leave a zero concat in place
+            // — downstream kernels skip the numeric work anyway.
+            Matrix::zeros(n, dm)
+        };
         // Output projection (Others).
-        let attn_out = gemm::gemm_nn(ctx, Stage::NonAttention, &concat, &wo);
-        ctx.mem.free(qkv_id);
+        let attn_out = gemm::gemm_nn(engine.ctx_mut(), Stage::NonAttention, &concat, &wo);
+        engine.ctx_mut().mem.free(qkv_id);
 
         // Residual + LayerNorm (Others, element-wise).
-        ctx.record(
+        engine.ctx_mut().record(
             KernelProfile::new("residual_ln", Stage::NonAttention)
                 .with_traffic((2 * n * dm * T::BYTES) as u64, (n * dm * T::BYTES) as u64)
                 .with_alu((n * dm * 8) as u64),
@@ -127,11 +130,12 @@ pub fn simulate_encoder<T: Scalar>(
         }
 
         // FFN (Others): two GEMMs + GELU.
-        let ffn_id = ctx
+        let ffn_id = engine
+            .ctx_mut()
             .mem
             .alloc("ffn_hidden", (n * cfg.d_ffn * T::BYTES) as u64);
-        let mid = gemm::gemm_nn(ctx, Stage::NonAttention, &h1, &w1);
-        ctx.record(
+        let mid = gemm::gemm_nn(engine.ctx_mut(), Stage::NonAttention, &h1, &w1);
+        engine.ctx_mut().record(
             KernelProfile::new("gelu", Stage::NonAttention)
                 .with_traffic(
                     (n * cfg.d_ffn * T::BYTES) as u64,
@@ -140,9 +144,9 @@ pub fn simulate_encoder<T: Scalar>(
                 .with_alu((n * cfg.d_ffn * 8) as u64),
         );
         let mid = mid.map(|v| T::from_f32(dfss_tensor::math::gelu(v.to_f32())));
-        let ffn_out = gemm::gemm_nn(ctx, Stage::NonAttention, &mid, &w2);
-        ctx.mem.free(ffn_id);
-        ctx.record(
+        let ffn_out = gemm::gemm_nn(engine.ctx_mut(), Stage::NonAttention, &mid, &w2);
+        engine.ctx_mut().mem.free(ffn_id);
+        engine.ctx_mut().record(
             KernelProfile::new("residual_ln", Stage::NonAttention)
                 .with_traffic((2 * n * dm * T::BYTES) as u64, (n * dm * T::BYTES) as u64)
                 .with_alu((n * dm * 8) as u64),
@@ -153,8 +157,9 @@ pub fn simulate_encoder<T: Scalar>(
         }
         x = h2;
     }
-    ctx.mem.free(w_id);
-    ctx.mem.free(x_id);
+    engine.ctx_mut().mem.free(w_id);
+    engine.ctx_mut().mem.free(x_id);
+    *ctx = engine.into_ctx();
     x
 }
 

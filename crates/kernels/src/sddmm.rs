@@ -530,9 +530,10 @@ mod tests {
         let (q, k) = qk(64, 32, 8);
         let mut ctx = GpuCtx::a100();
         let comp = sddmm_nm_fused(&mut ctx, &q, &k, 1.0, NmPattern::P1_2);
-        let dm = comp.to_device_meta();
+        let dm = comp.to_device_meta().expect("hardware pattern");
         let back =
-            NmCompressed::from_device_meta(NmPattern::P1_2, 64, 64, comp.nonzeros().to_vec(), &dm);
+            NmCompressed::from_device_meta(NmPattern::P1_2, 64, 64, comp.nonzeros().to_vec(), &dm)
+                .expect("hardware pattern");
         assert_eq!(back, comp);
     }
 }

@@ -7,7 +7,7 @@
 //! patterns (1:2 float, 2:4 bf16) the codes convert losslessly to and from
 //! the swizzled [`DeviceMeta`](crate::meta::DeviceMeta) layout.
 
-use crate::meta::{self, DeviceMeta};
+use crate::meta::{self, DeviceMeta, MetaError};
 use crate::pattern::NmPattern;
 use dfss_tensor::{Matrix, Scalar};
 
@@ -227,7 +227,11 @@ impl<T: Scalar> NmCompressed<T> {
     /// logical 1:2 groups fuse into one device code. Requires `rows % 32 == 0`
     /// and the device code count per row to be a multiple of 8 (the 32×64-byte
     /// prune tile).
-    pub fn to_device_meta(&self) -> DeviceMeta {
+    ///
+    /// General patterns and non-tileable shapes are rejected with a typed
+    /// [`MetaError`] — the serving front door converts formats on behalf of
+    /// untrusted requests and must not abort the process.
+    pub fn to_device_meta(&self) -> Result<DeviceMeta, MetaError> {
         match (self.pattern.n(), self.pattern.m()) {
             (2, 4) => {
                 let mut device = Vec::with_capacity(self.codes.len());
@@ -235,7 +239,7 @@ impl<T: Scalar> NmCompressed<T> {
                     let lanes = bitmask_to_lanes(bm);
                     device.push(meta::lanes_to_code(lanes.0, lanes.1));
                 }
-                DeviceMeta::encode(self.rows, self.groups_per_row(), &device)
+                DeviceMeta::try_encode(self.rows, self.groups_per_row(), &device)
             }
             (1, 2) => {
                 // With float data each 32-bit value spans two 2-byte lanes,
@@ -245,41 +249,75 @@ impl<T: Scalar> NmCompressed<T> {
                 for &bm in &self.codes {
                     device.push(meta::float_keep_code(bit_index(bm)));
                 }
-                DeviceMeta::encode(self.rows, self.groups_per_row(), &device)
+                DeviceMeta::try_encode(self.rows, self.groups_per_row(), &device)
             }
-            _ => panic!(
-                "device metadata only defined for 1:2 and 2:4, not {}",
-                self.pattern
-            ),
+            _ => Err(MetaError::UnsupportedPattern {
+                n: self.pattern.n(),
+                m: self.pattern.m(),
+            }),
         }
     }
 
     /// Rebuild from device metadata + nonzeros (inverse of
-    /// [`to_device_meta`] plus the row-major nonzero store).
+    /// [`to_device_meta`] plus the row-major nonzero store). Rejects
+    /// unsupported patterns and malformed code streams with a typed
+    /// [`MetaError`].
     pub fn from_device_meta(
         pattern: NmPattern,
         rows: usize,
         cols: usize,
         nonzeros: Vec<T>,
         dm: &DeviceMeta,
-    ) -> NmCompressed<T> {
+    ) -> Result<NmCompressed<T>, MetaError> {
+        // Everything `from_parts` would assert is pre-checked here as a
+        // typed error: the inputs come from untrusted requests.
+        if cols == 0 || !cols.is_multiple_of(pattern.m()) {
+            return Err(MetaError::BadShape {
+                rows,
+                cols,
+                m: pattern.m(),
+            });
+        }
+        let expected_nz = rows * pattern.kept_per_row(cols);
+        if nonzeros.len() != expected_nz {
+            return Err(MetaError::LengthMismatch {
+                what: "nonzeros",
+                expected: expected_nz,
+                got: nonzeros.len(),
+            });
+        }
+        let groups = rows * cols / pattern.m();
         let device_codes = dm.decode();
-        let mut codes = Vec::with_capacity(rows * cols / pattern.m());
+        if device_codes.len() != groups {
+            return Err(MetaError::LengthMismatch {
+                what: "device metadata codes",
+                expected: groups,
+                got: device_codes.len(),
+            });
+        }
+        let mut codes = Vec::with_capacity(groups);
         match (pattern.n(), pattern.m()) {
             (2, 4) => {
                 for &c in &device_codes {
-                    let (i0, i1) = meta::code_to_lanes(c);
+                    let (i0, i1) = meta::try_code_to_lanes(c)?;
                     codes.push((1u8 << i0) | (1u8 << i1));
                 }
             }
             (1, 2) => {
                 for &c in &device_codes {
-                    codes.push(1u8 << meta::float_kept_index(c));
+                    codes.push(1u8 << meta::float_kept_index(c)?);
                 }
             }
-            _ => panic!("device metadata only defined for 1:2 and 2:4"),
+            _ => {
+                return Err(MetaError::UnsupportedPattern {
+                    n: pattern.n(),
+                    m: pattern.m(),
+                })
+            }
         }
-        NmCompressed::from_parts(pattern, rows, cols, nonzeros, codes)
+        Ok(NmCompressed::from_parts(
+            pattern, rows, cols, nonzeros, codes,
+        ))
     }
 }
 
@@ -357,9 +395,10 @@ mod tests {
         let mut rng = Rng::new(6);
         let dense = Matrix::<Bf16>::random_normal(32, 32, 0.0, 1.0, &mut rng);
         let comp = NmCompressed::compress(&dense, NmPattern::P2_4);
-        let dm = comp.to_device_meta();
+        let dm = comp.to_device_meta().unwrap();
         let back =
-            NmCompressed::from_device_meta(NmPattern::P2_4, 32, 32, comp.nonzeros().to_vec(), &dm);
+            NmCompressed::from_device_meta(NmPattern::P2_4, 32, 32, comp.nonzeros().to_vec(), &dm)
+                .unwrap();
         assert_eq!(back, comp);
         assert_eq!(back.decompress().max_abs_diff(&comp.decompress()), 0.0);
     }
@@ -369,18 +408,99 @@ mod tests {
         let mut rng = Rng::new(8);
         let dense = Matrix::<f32>::random_normal(64, 32, 0.0, 1.0, &mut rng);
         let comp = NmCompressed::compress(&dense, NmPattern::P1_2);
-        let dm = comp.to_device_meta();
+        let dm = comp.to_device_meta().unwrap();
         let back =
-            NmCompressed::from_device_meta(NmPattern::P1_2, 64, 32, comp.nonzeros().to_vec(), &dm);
+            NmCompressed::from_device_meta(NmPattern::P1_2, 64, 32, comp.nonzeros().to_vec(), &dm)
+                .unwrap();
         assert_eq!(back, comp);
     }
 
     #[test]
-    #[should_panic(expected = "only defined for 1:2 and 2:4")]
-    fn device_meta_rejects_general_patterns() {
+    fn device_meta_rejects_general_patterns_with_typed_error() {
         let dense = Matrix::<f32>::zeros(32, 32);
         let comp = NmCompressed::compress(&dense, NmPattern::new(1, 4));
-        let _ = comp.to_device_meta();
+        assert_eq!(
+            comp.to_device_meta(),
+            Err(MetaError::UnsupportedPattern { n: 1, m: 4 })
+        );
+        let dm = DeviceMeta::encode(32, 8, &[0x4u8; 32 * 8]);
+        let err = NmCompressed::<f32>::from_device_meta(
+            NmPattern::new(1, 4),
+            32,
+            32,
+            vec![0.0; 32 * 8],
+            &dm,
+        )
+        .unwrap_err();
+        assert_eq!(err, MetaError::UnsupportedPattern { n: 1, m: 4 });
+    }
+
+    #[test]
+    fn from_device_meta_rejects_malformed_streams_with_typed_errors() {
+        // A 2:4 metadata stream containing a code outside Figure 6(b)'s
+        // alphabet (0x0 = "keep lane 0 twice") must be a typed rejection,
+        // not a silent popcount-1 bitmask.
+        let mut codes = vec![0x4u8; 32 * 8];
+        codes[17] = 0x0;
+        let dm = DeviceMeta::encode(32, 8, &codes);
+        let err = NmCompressed::<Bf16>::from_device_meta(
+            NmPattern::P2_4,
+            32,
+            32,
+            vec![Bf16::from_f32(0.0); 32 * 16],
+            &dm,
+        )
+        .unwrap_err();
+        assert_eq!(err, MetaError::BadBf16Code(0x0));
+        // Wrong nonzero count.
+        let dm = DeviceMeta::encode(32, 8, &[0x4u8; 32 * 8]);
+        let err = NmCompressed::<f32>::from_device_meta(NmPattern::P1_2, 32, 32, vec![0.0; 7], &dm)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MetaError::LengthMismatch {
+                what: "nonzeros",
+                expected: 32 * 16,
+                got: 7
+            }
+        );
+        // Metadata stream sized for a different shape.
+        let err =
+            NmCompressed::<f32>::from_device_meta(NmPattern::P1_2, 32, 64, vec![0.0; 32 * 32], &dm)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            MetaError::LengthMismatch {
+                what: "device metadata codes",
+                expected: 32 * 32,
+                got: 32 * 8
+            }
+        );
+        // Columns that do not split into M-groups.
+        let err = NmCompressed::<f32>::from_device_meta(NmPattern::P1_2, 32, 33, vec![0.0; 1], &dm)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MetaError::BadShape {
+                rows: 32,
+                cols: 33,
+                m: 2
+            }
+        );
+    }
+
+    #[test]
+    fn device_meta_rejects_non_tile_shapes_with_typed_error() {
+        // 16 rows do not fill a 32-row prune tile.
+        let dense = Matrix::<f32>::zeros(16, 32);
+        let comp = NmCompressed::compress(&dense, NmPattern::P1_2);
+        assert_eq!(
+            comp.to_device_meta(),
+            Err(MetaError::BadTile {
+                rows: 16,
+                codes_per_row: 16
+            })
+        );
     }
 
     #[test]

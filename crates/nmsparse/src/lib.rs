@@ -37,4 +37,5 @@ pub use batch::NmBatch;
 pub use blocked_ell::BlockedEll;
 pub use compressed::NmCompressed;
 pub use csr::Csr;
+pub use meta::MetaError;
 pub use pattern::{NmPattern, MAX_M};

@@ -22,6 +22,64 @@
 //! The whole pipeline is a bijection on (position, bits); a proptest
 //! verifies `decode(encode(x)) == x` for random inputs.
 
+/// Typed error for the device-metadata conversions. A serving front door
+/// decodes metadata from untrusted requests, so the decode path must reject
+/// malformed input with a `Result` instead of aborting the process; the
+/// panicking `*_unchecked` variants remain for hot paths that already
+/// validated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetaError {
+    /// The N:M pattern has no Ampere device-metadata layout (only 1:2 float
+    /// and 2:4 bfloat16 do, Appendix A.1.1).
+    UnsupportedPattern { n: usize, m: usize },
+    /// A metadata code outside the float 1:2 alphabet `{0x4, 0xE}`.
+    BadFloatCode(u8),
+    /// A metadata code outside the 2:4 alphabet of Figure 6(b).
+    BadBf16Code(u8),
+    /// The shape does not tile into 32-row × 8-code prune tiles.
+    BadTile { rows: usize, codes_per_row: usize },
+    /// The dense column count does not split into M-groups.
+    BadShape { rows: usize, cols: usize, m: usize },
+    /// A buffer's length disagrees with the `rows × cols` shape.
+    LengthMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::UnsupportedPattern { n, m } => {
+                write!(
+                    f,
+                    "device metadata only defined for 1:2 and 2:4, not {n}:{m}"
+                )
+            }
+            MetaError::BadFloatCode(c) => write!(f, "code {c:#x} is not a float 1:2 code"),
+            MetaError::BadBf16Code(c) => write!(f, "code {c:#x} is not a 2:4 lane-pair code"),
+            MetaError::BadTile {
+                rows,
+                codes_per_row,
+            } => write!(
+                f,
+                "shape {rows}x{codes_per_row} does not tile into 32-row x 8-code prune tiles"
+            ),
+            MetaError::BadShape { rows, cols, m } => {
+                write!(f, "shape {rows}x{cols} does not split into M={m} groups")
+            }
+            MetaError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected} entries, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
 /// The 4-bit code for keeping lanes `(i0, i1)` with `i0 < i1`:
 /// `code = i0 | (i1 << 2)`.
 ///
@@ -42,6 +100,19 @@ pub fn code_to_lanes(code: u8) -> (usize, usize) {
     (i0, i1)
 }
 
+/// Checked variant of [`code_to_lanes`]: rejects codes outside Figure
+/// 6(b)'s six-value alphabet with a typed error (the decode path for
+/// untrusted metadata).
+#[inline]
+pub fn try_code_to_lanes(code: u8) -> Result<(usize, usize), MetaError> {
+    let i0 = (code & 0x3) as usize;
+    let i1 = ((code >> 2) & 0x3) as usize;
+    if code >= 16 || i0 >= i1 {
+        return Err(MetaError::BadBf16Code(code));
+    }
+    Ok((i0, i1))
+}
+
 /// All valid 2:4 codes in Figure 6(b)'s enumeration order.
 pub const BF16_CODES: [u8; 6] = [0x4, 0x8, 0xC, 0x9, 0xD, 0xE];
 
@@ -56,8 +127,20 @@ pub fn float_keep_code(i: usize) -> u8 {
 }
 
 /// Which float value a code keeps (inverse of [`float_keep_code`]).
+/// Rejects codes outside `{0x4, 0xE}` with a typed error.
 #[inline]
-pub fn float_kept_index(code: u8) -> usize {
+pub fn float_kept_index(code: u8) -> Result<usize, MetaError> {
+    match code {
+        0x4 => Ok(0),
+        0xE => Ok(1),
+        _ => Err(MetaError::BadFloatCode(code)),
+    }
+}
+
+/// Panicking variant of [`float_kept_index`] for hot decode loops that have
+/// already validated their code stream.
+#[inline]
+pub fn float_kept_index_unchecked(code: u8) -> usize {
     match code {
         0x4 => 0,
         0xE => 1,
@@ -95,6 +178,29 @@ impl DeviceMeta {
     #[inline]
     fn blocks_per_row(codes_per_row: usize) -> usize {
         codes_per_row / 4
+    }
+
+    /// Whether a `(rows, codes_per_row)` shape tiles into the 32-row ×
+    /// 64-byte (= 8-code) prune tiles the layout is defined on.
+    #[inline]
+    pub fn tileable(rows: usize, codes_per_row: usize) -> bool {
+        rows.is_multiple_of(32) && codes_per_row.is_multiple_of(8) && codes_per_row > 0
+    }
+
+    /// [`encode`](Self::encode) with the tile precondition checked as a
+    /// typed error instead of a panic.
+    pub fn try_encode(
+        rows: usize,
+        codes_per_row: usize,
+        codes: &[u8],
+    ) -> Result<DeviceMeta, MetaError> {
+        if !Self::tileable(rows, codes_per_row) {
+            return Err(MetaError::BadTile {
+                rows,
+                codes_per_row,
+            });
+        }
+        Ok(Self::encode(rows, codes_per_row, codes))
     }
 
     /// Encode logical codes (row-major, one 4-bit code per 8 dense bytes)
@@ -241,14 +347,33 @@ mod tests {
     fn float_codes_are_0x4_and_0xe() {
         assert_eq!(float_keep_code(0), 0x4);
         assert_eq!(float_keep_code(1), 0xE);
-        assert_eq!(float_kept_index(0x4), 0);
-        assert_eq!(float_kept_index(0xE), 1);
+        assert_eq!(float_kept_index(0x4), Ok(0));
+        assert_eq!(float_kept_index(0xE), Ok(1));
+        assert_eq!(float_kept_index_unchecked(0x4), 0);
+        assert_eq!(float_kept_index_unchecked(0xE), 1);
+    }
+
+    #[test]
+    fn float_kept_index_rejects_bf16_only_codes() {
+        assert_eq!(float_kept_index(0x9), Err(MetaError::BadFloatCode(0x9)));
     }
 
     #[test]
     #[should_panic(expected = "not a float")]
-    fn float_kept_index_rejects_bf16_only_codes() {
-        float_kept_index(0x9);
+    fn float_kept_index_unchecked_panics_on_bad_code() {
+        float_kept_index_unchecked(0x9);
+    }
+
+    #[test]
+    fn try_encode_rejects_bad_tiles_with_typed_error() {
+        assert_eq!(
+            DeviceMeta::try_encode(16, 8, &[0u8; 16 * 8]),
+            Err(MetaError::BadTile {
+                rows: 16,
+                codes_per_row: 8
+            })
+        );
+        assert!(DeviceMeta::try_encode(32, 8, &[0x4u8; 32 * 8]).is_ok());
     }
 
     #[test]

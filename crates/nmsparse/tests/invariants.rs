@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 /// `from_device_meta ∘ to_device_meta` must be the identity for every
 /// pattern that has a device metadata layout (the two Ampere hardware
-/// patterns — generic N:M deliberately panics, see below).
+/// patterns — generic N:M is rejected with a typed error, see below).
 #[test]
 fn device_meta_roundtrip_identity_all_hardware_patterns() {
     let mut rng = Rng::new(0xD0D0);
@@ -16,9 +16,10 @@ fn device_meta_roundtrip_identity_all_hardware_patterns() {
         for (rows, cols) in [(32, 32), (32, 64), (64, 64), (96, 32)] {
             let m = Matrix::<f32>::random_normal(rows, cols, 0.0, 1.0, &mut rng);
             let comp = NmCompressed::compress(&m, pattern);
-            let dm = comp.to_device_meta();
+            let dm = comp.to_device_meta().expect("hardware pattern");
             let back =
-                NmCompressed::from_device_meta(pattern, rows, cols, comp.nonzeros().to_vec(), &dm);
+                NmCompressed::from_device_meta(pattern, rows, cols, comp.nonzeros().to_vec(), &dm)
+                    .expect("hardware pattern");
             assert_eq!(back, comp, "{} at {rows}x{cols}", pattern.name());
         }
     }
@@ -29,19 +30,22 @@ fn device_meta_roundtrip_identity_bf16() {
     let mut rng = Rng::new(0xBF16);
     let m = Matrix::<Bf16>::random_normal(32, 64, 0.0, 1.0, &mut rng);
     let comp = NmCompressed::compress(&m, NmPattern::P2_4);
-    let dm = comp.to_device_meta();
+    let dm = comp.to_device_meta().expect("hardware pattern");
     let back =
-        NmCompressed::from_device_meta(NmPattern::P2_4, 32, 64, comp.nonzeros().to_vec(), &dm);
+        NmCompressed::from_device_meta(NmPattern::P2_4, 32, 64, comp.nonzeros().to_vec(), &dm)
+            .expect("hardware pattern");
     assert_eq!(back, comp);
 }
 
 #[test]
-#[should_panic(expected = "device metadata only defined for 1:2 and 2:4")]
 fn device_meta_rejects_generic_patterns() {
     let mut rng = Rng::new(1);
     let m = Matrix::<f32>::random_normal(32, 32, 0.0, 1.0, &mut rng);
     let comp = NmCompressed::compress(&m, NmPattern::new(2, 8));
-    let _ = comp.to_device_meta();
+    assert_eq!(
+        comp.to_device_meta(),
+        Err(dfss_nmsparse::MetaError::UnsupportedPattern { n: 2, m: 8 })
+    );
 }
 
 /// For one dense row and a pattern, check every M-group of the compressed
@@ -111,7 +115,9 @@ proptest! {
         let m = Matrix::<f32>::random_normal(32, 64, 0.0, 3.0, &mut rng);
         let comp = NmCompressed::compress(&m, pattern);
         let back = NmCompressed::from_device_meta(
-            pattern, 32, 64, comp.nonzeros().to_vec(), &comp.to_device_meta());
+            pattern, 32, 64, comp.nonzeros().to_vec(),
+            &comp.to_device_meta().expect("hardware pattern"))
+            .expect("hardware pattern");
         prop_assert_eq!(back, comp);
     }
 }

@@ -1,0 +1,123 @@
+//! # dfss-serve — the async attention serving layer
+//!
+//! The ROADMAP's heavy-traffic story: independent `(Q, K, V)` requests
+//! arrive at unpredictable times; the server admits them into **shape
+//! buckets**, closes a bucket when it is full (`max_batch`) or its oldest
+//! request has waited long enough (`max_delay`), and runs the closed batch
+//! through the [`AttentionEngine`] as **one batched launch per op** —
+//! exactly the deployment regime the paper motivates with its "drop-in
+//! module at inference time" claim (§5.2, A.1.2).
+//!
+//! Architecture (no tokio — a plain batcher thread; the batched launches
+//! themselves fan out on the vendored rayon-compat worker pool like every
+//! other kernel):
+//!
+//! ```text
+//!  clients ── submit(Q,K,V) ──► admission (typed RequestError on bad shapes)
+//!                                   │ mpsc
+//!                                   ▼
+//!                            batcher thread
+//!                  shape-bucketed queue + close policy
+//!                   (max_batch reached | max_delay due)
+//!                                   │ closed batch
+//!                                   ▼
+//!                       AttentionEngine::submit × B
+//!                       AttentionEngine::flush  ──► one launch per op
+//!                                   │ per-request outputs + latency
+//!                                   ▼
+//!                     ResponseHandle::wait() on each client
+//! ```
+//!
+//! Every response carries the request's full latency breakdown (queue wait,
+//! service wall-clock, end-to-end) plus the simulated-device latency of its
+//! batch, so the load generator in `dfss-bench` can report host and device
+//! tail latency against offered load.
+
+mod queue;
+mod server;
+
+pub use dfss_core::engine::{ShapeKey, Ticket};
+pub use dfss_core::mechanism::RequestError;
+pub use server::{AttentionServer, ResponseHandle, Served};
+
+use std::time::Duration;
+
+/// When the batcher closes a bucket and launches it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Close a bucket as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Close a bucket once its oldest request has waited this long.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// Serve every request as its own launch the moment it arrives — the
+    /// per-request-loop baseline of the serving bench.
+    pub fn per_request() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Coalesce up to `max_batch` same-shape requests, waiting at most
+    /// `max_delay` for stragglers.
+    pub fn batched(max_batch: usize, max_delay: Duration) -> BatchPolicy {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        BatchPolicy {
+            max_batch,
+            max_delay,
+        }
+    }
+}
+
+/// Why a response never arrived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server stopped (shut down or worker died) before serving the
+    /// request.
+    ServerStopped,
+    /// The request failed validation after admission (only reachable if
+    /// the mechanism's constraints changed between admission and launch —
+    /// kept typed so the worker never panics on it).
+    Rejected(RequestError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ServerStopped => write!(f, "server stopped before serving the request"),
+            ServeError::Rejected(e) => write!(f, "request rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregate counters over a server's lifetime, returned by
+/// [`AttentionServer::shutdown`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests rejected at admission with a typed error.
+    pub rejected: u64,
+    /// Batched launches executed (closed buckets).
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: usize,
+    /// Total simulated-device latency across all launches.
+    pub total_sim_latency_s: f64,
+}
+
+impl ServeStats {
+    /// Mean requests per batched launch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+}

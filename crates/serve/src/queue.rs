@@ -1,0 +1,183 @@
+//! Shape-bucketed admission queue — the batcher thread's in-memory state.
+
+use crate::BatchPolicy;
+use dfss_core::engine::ShapeKey;
+use dfss_tensor::{Matrix, Scalar};
+use std::time::Instant;
+
+/// One admitted request waiting in a bucket.
+pub(crate) struct QueuedRequest<T: Scalar, R> {
+    pub q: Matrix<T>,
+    pub k: Matrix<T>,
+    pub v: Matrix<T>,
+    /// When the client submitted it (queue-wait measurement origin).
+    pub submitted: Instant,
+    /// Whatever the server uses to deliver the response.
+    pub reply: R,
+}
+
+/// A shape bucket: same-shape requests that can stack into one launch.
+pub(crate) struct Bucket<T: Scalar, R> {
+    pub key: ShapeKey,
+    pub requests: Vec<QueuedRequest<T, R>>,
+    /// Admission time of the oldest request (deadline origin).
+    pub oldest: Instant,
+}
+
+/// The batcher's queue of open buckets, in first-opened order.
+pub(crate) struct BucketQueue<T: Scalar, R> {
+    buckets: Vec<Bucket<T, R>>,
+    policy: BatchPolicy,
+}
+
+impl<T: Scalar, R> BucketQueue<T, R> {
+    pub fn new(policy: BatchPolicy) -> BucketQueue<T, R> {
+        BucketQueue {
+            buckets: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Whether any bucket is open (test observability).
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Admit a request into its shape bucket (opening one if needed).
+    /// Returns the bucket if the push filled it to `max_batch` — the
+    /// caller launches it immediately.
+    pub fn push(&mut self, req: QueuedRequest<T, R>) -> Option<Bucket<T, R>> {
+        let key = ShapeKey {
+            n: req.q.rows(),
+            d: req.q.cols(),
+            d_v: req.v.cols(),
+        };
+        let now = req.submitted;
+        match self.buckets.iter_mut().position(|b| b.key == key) {
+            Some(i) => {
+                self.buckets[i].requests.push(req);
+                if self.buckets[i].requests.len() >= self.policy.max_batch {
+                    return Some(self.buckets.remove(i));
+                }
+            }
+            None => {
+                let bucket = Bucket {
+                    key,
+                    requests: vec![req],
+                    oldest: now,
+                };
+                if self.policy.max_batch <= 1 {
+                    return Some(bucket);
+                }
+                self.buckets.push(bucket);
+            }
+        }
+        None
+    }
+
+    /// The earliest instant at which some bucket's deadline fires.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.buckets
+            .iter()
+            .map(|b| b.oldest + self.policy.max_delay)
+            .min()
+    }
+
+    /// Remove and return every bucket whose oldest request has waited
+    /// `max_delay` or longer, in first-opened order.
+    pub fn take_due(&mut self, now: Instant) -> Vec<Bucket<T, R>> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.buckets.len() {
+            if now.saturating_duration_since(self.buckets[i].oldest) >= self.policy.max_delay {
+                due.push(self.buckets.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Remove and return every open bucket (shutdown drain).
+    pub fn take_all(&mut self) -> Vec<Bucket<T, R>> {
+        std::mem::take(&mut self.buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn req(n: usize, d: usize) -> QueuedRequest<f32, usize> {
+        QueuedRequest {
+            q: Matrix::zeros(n, d),
+            k: Matrix::zeros(n, d),
+            v: Matrix::zeros(n, d),
+            submitted: Instant::now(),
+            reply: 0,
+        }
+    }
+
+    #[test]
+    fn fills_and_closes_at_max_batch() {
+        let mut q = BucketQueue::new(BatchPolicy::batched(3, Duration::from_secs(60)));
+        assert!(q.push(req(16, 8)).is_none());
+        assert!(q.push(req(16, 8)).is_none());
+        let full = q.push(req(16, 8)).expect("third push fills the bucket");
+        assert_eq!(full.requests.len(), 3);
+        assert_eq!(
+            full.key,
+            ShapeKey {
+                n: 16,
+                d: 8,
+                d_v: 8
+            }
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shapes_bucket_separately() {
+        let mut q = BucketQueue::new(BatchPolicy::batched(2, Duration::from_secs(60)));
+        assert!(q.push(req(16, 8)).is_none());
+        assert!(q.push(req(32, 8)).is_none());
+        // Same shapes coalesce, different shapes never mix.
+        let full = q.push(req(32, 8)).expect("second 32x8 fills its bucket");
+        assert!(full.requests.iter().all(|r| r.q.rows() == 32));
+        assert!(!q.is_empty()); // the 16x8 bucket is still open
+    }
+
+    #[test]
+    fn per_request_policy_closes_immediately() {
+        let mut q = BucketQueue::new(BatchPolicy::per_request());
+        let b = q.push(req(16, 8)).expect("max_batch=1 closes on push");
+        assert_eq!(b.requests.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadlines_fire_oldest_first() {
+        let mut q = BucketQueue::new(BatchPolicy::batched(10, Duration::ZERO));
+        assert!(q.push(req(16, 8)).is_none());
+        assert!(q.push(req(32, 8)).is_none());
+        let now = Instant::now();
+        assert!(q.next_deadline().expect("open buckets") <= now);
+        let due = q.take_due(now);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].key.n, 16);
+        assert_eq!(due[1].key.n, 32);
+        assert!(q.is_empty());
+        assert!(q.next_deadline().is_none());
+    }
+
+    #[test]
+    fn take_all_drains() {
+        let mut q = BucketQueue::new(BatchPolicy::batched(10, Duration::from_secs(60)));
+        let _ = q.push(req(16, 8));
+        let _ = q.push(req(32, 8));
+        assert_eq!(q.take_all().len(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,424 @@
+//! The attention server: admission front door + batcher thread.
+
+use crate::queue::{Bucket, BucketQueue, QueuedRequest};
+use crate::{BatchPolicy, ServeError, ServeStats};
+use dfss_core::engine::{AttentionEngine, ShapeKey, Ticket};
+use dfss_core::mechanism::{try_check_qkv, Attention, RequestError};
+use dfss_kernels::GpuCtx;
+use dfss_tensor::{Matrix, Scalar};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One served request, with its latency breakdown.
+#[derive(Debug)]
+pub struct Served<T: Scalar> {
+    /// The attention output, bit-identical to a solo `forward` call.
+    pub output: Matrix<T>,
+    /// Engine ticket (monotone in launch order across the server's life).
+    pub ticket: Ticket,
+    /// Shape bucket the request was batched in.
+    pub bucket: ShapeKey,
+    /// Requests that shared this request's batched launch.
+    pub batch_size: usize,
+    /// Admission → bucket close (time spent waiting for batch-mates).
+    pub queue_wait: std::time::Duration,
+    /// Bucket close → outputs ready (host wall-clock of the launches).
+    pub service: std::time::Duration,
+    /// Admission → response (end-to-end host latency).
+    pub latency: std::time::Duration,
+    /// Simulated-device latency of the request's whole batch (one launch
+    /// per op; every request in the batch waits for the full launch).
+    pub sim_latency_s: f64,
+}
+
+/// Client-side handle for one submitted request.
+#[derive(Debug)]
+pub struct ResponseHandle<T: Scalar> {
+    rx: Receiver<Result<Served<T>, ServeError>>,
+}
+
+impl<T: Scalar> ResponseHandle<T> {
+    /// Block until the request is served (or the server stops).
+    pub fn wait(self) -> Result<Served<T>, ServeError> {
+        match self.rx.recv() {
+            Ok(res) => res,
+            Err(_) => Err(ServeError::ServerStopped),
+        }
+    }
+}
+
+type Reply<T> = SyncSender<Result<Served<T>, ServeError>>;
+
+enum Msg<T: Scalar> {
+    Request(QueuedRequest<T, Reply<T>>),
+    Shutdown,
+}
+
+/// An async attention server over one mechanism.
+///
+/// `submit` is the admission front door: it validates the triple against
+/// the mechanism's shape constraints on the caller's thread (typed
+/// [`RequestError`], never a panic) and enqueues it to the batcher thread,
+/// returning a [`ResponseHandle`] immediately. The batcher coalesces
+/// same-shape requests per [`BatchPolicy`] and serves each closed bucket as
+/// one [`AttentionEngine::flush`] — a single batched launch per op.
+pub struct AttentionServer<T: Scalar> {
+    mech: Arc<dyn Attention<T> + Send + Sync>,
+    tx: Sender<Msg<T>>,
+    rejected: Arc<AtomicU64>,
+    worker: Option<JoinHandle<ServeStats>>,
+}
+
+impl<T: Scalar> AttentionServer<T> {
+    /// Start a server on the paper's evaluation device (A100 simulation).
+    pub fn start(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_with_ctx(mech, policy, GpuCtx::a100())
+    }
+
+    /// Start a server whose engine runs on a caller-provided context
+    /// (device config and exec mode carry over).
+    pub fn start_with_ctx(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        ctx: GpuCtx,
+    ) -> AttentionServer<T> {
+        let (tx, rx) = mpsc::channel::<Msg<T>>();
+        let worker_mech = Arc::clone(&mech);
+        let worker = std::thread::Builder::new()
+            .name("dfss-serve-batcher".into())
+            .spawn(move || batcher_loop(worker_mech, policy, ctx, rx))
+            .expect("spawn batcher thread");
+        AttentionServer {
+            mech,
+            tx,
+            rejected: Arc::new(AtomicU64::new(0)),
+            worker: Some(worker),
+        }
+    }
+
+    /// Validate and enqueue one request. Returns immediately; the output
+    /// arrives on the handle. Malformed or unservable requests come back
+    /// as typed errors without reaching the queue.
+    pub fn submit(
+        &self,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    ) -> Result<ResponseHandle<T>, RequestError> {
+        if let Err(e) = try_check_qkv(self.mech.as_ref(), &q, &k, &v) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        // Rendezvous capacity 1: the batcher never blocks sending a
+        // response, clients may wait lazily.
+        let (reply, rx) = mpsc::sync_channel(1);
+        let msg = Msg::Request(QueuedRequest {
+            q,
+            k,
+            v,
+            submitted: Instant::now(),
+            reply,
+        });
+        // A dropped batcher surfaces as ServerStopped on wait(); submission
+        // itself stays infallible for valid requests.
+        let _ = self.tx.send(msg);
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Drain every open bucket, stop the batcher and return lifetime
+    /// counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        let _ = self.tx.send(Msg::Shutdown);
+        let mut stats = match self.worker.take() {
+            Some(w) => w.join().unwrap_or_default(),
+            None => ServeStats::default(),
+        };
+        stats.rejected = self.rejected.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+impl<T: Scalar> Drop for AttentionServer<T> {
+    fn drop(&mut self) {
+        if let Some(w) = self.worker.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = w.join();
+        }
+    }
+}
+
+/// The batcher thread: shape-bucketed admission, max-batch + deadline close
+/// policy, one engine flush per closed bucket.
+fn batcher_loop<T: Scalar>(
+    mech: Arc<dyn Attention<T> + Send + Sync>,
+    policy: BatchPolicy,
+    ctx: GpuCtx,
+    rx: Receiver<Msg<T>>,
+) -> ServeStats {
+    let mut engine = AttentionEngine::with_ctx(mech.as_ref(), ctx);
+    let mut queue: BucketQueue<T, Reply<T>> = BucketQueue::new(policy);
+    let mut stats = ServeStats::default();
+    let mut stopping = false;
+    while !stopping {
+        let msg = match queue.next_deadline() {
+            None => match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break, // all senders gone: drain and stop
+            },
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        // Greedily drain everything already waiting in the channel before
+        // closing any bucket: when a launch kept the batcher busy, the
+        // backlog that built up behind it coalesces into full batches
+        // instead of trickling out one deadline-expired request at a time.
+        let mut next = msg;
+        loop {
+            match next {
+                Some(Msg::Request(req)) => {
+                    if let Some(full) = queue.push(req) {
+                        serve_bucket(&mut engine, full, &mut stats);
+                    }
+                }
+                Some(Msg::Shutdown) => {
+                    stopping = true;
+                    break;
+                }
+                None => break,
+            }
+            next = rx.try_recv().ok();
+        }
+        for due in queue.take_due(Instant::now()) {
+            serve_bucket(&mut engine, due, &mut stats);
+        }
+    }
+    for bucket in queue.take_all() {
+        serve_bucket(&mut engine, bucket, &mut stats);
+    }
+    stats
+}
+
+/// Launch one closed bucket: engine submit × B, one flush (one batched
+/// launch per op), reply per request with its latency breakdown.
+fn serve_bucket<T: Scalar>(
+    engine: &mut AttentionEngine<'_, T>,
+    bucket: Bucket<T, Reply<T>>,
+    stats: &mut ServeStats,
+) {
+    let closed_at = Instant::now();
+    let mut waiting = Vec::with_capacity(bucket.requests.len());
+    for req in bucket.requests {
+        match engine.submit(req.q, req.k, req.v) {
+            Ok(_) => waiting.push((req.reply, req.submitted)),
+            Err(e) => {
+                // Admission already validated; a typed reply (not a panic)
+                // keeps the batcher alive if constraints ever diverge.
+                let _ = req.reply.send(Err(ServeError::Rejected(e)));
+            }
+        }
+    }
+    let results = engine.flush();
+    let service = closed_at.elapsed();
+    stats.batches += 1;
+    stats.max_batch = stats.max_batch.max(results.len());
+    stats.total_sim_latency_s += engine.last_flush().sim_latency_s();
+    // Flush results come back in ticket (= submission) order, matching
+    // `waiting`.
+    for (res, (reply, submitted)) in results.into_iter().zip(waiting) {
+        stats.served += 1;
+        let served = Served {
+            output: res
+                .output
+                .expect("serving engines run in exec mode and materialise outputs"),
+            ticket: res.ticket,
+            bucket: res.bucket,
+            batch_size: res.batch_size,
+            queue_wait: closed_at.saturating_duration_since(submitted),
+            service,
+            latency: submitted.elapsed(),
+            sim_latency_s: res.sim_latency_s,
+        };
+        let _ = reply.send(Ok(served));
+    }
+    // Bound the owned context: the timeline's job is done once the flush
+    // report is folded into the stats.
+    engine.reset_timeline();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_core::dfss::DfssAttention;
+    use dfss_core::full::FullAttention;
+    use dfss_nmsparse::NmPattern;
+    use dfss_tensor::Rng;
+    use std::time::Duration;
+
+    fn request(n: usize, d: usize, rng: &mut Rng) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
+        (
+            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+        )
+    }
+
+    #[test]
+    fn served_outputs_are_bit_identical_to_solo_forward() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(4, Duration::from_millis(5)),
+        );
+        let mut rng = Rng::new(3);
+        let mut handles = Vec::new();
+        let mut solo = Vec::new();
+        for _ in 0..8 {
+            let (q, k, v) = request(32, 16, &mut rng);
+            let mut sctx = GpuCtx::a100();
+            solo.push(mech.forward(&mut sctx, &q, &k, &v));
+            handles.push(server.submit(q, k, v).unwrap());
+        }
+        for (i, (h, want)) in handles.into_iter().zip(&solo).enumerate() {
+            let served = h.wait().expect("served");
+            let same = served
+                .output
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "request {i} diverged from solo forward");
+            assert!(served.batch_size >= 1 && served.batch_size <= 4);
+            assert!(served.sim_latency_s > 0.0);
+            assert!(served.latency >= served.service);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 8);
+        assert!(stats.batches >= 2); // max_batch 4 caps every launch
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn max_batch_fills_before_deadline() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // Deadline far away: only the max-batch close can fire quickly.
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(3, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(5);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let (q, k, v) = request(16, 8, &mut rng);
+            handles.push(server.submit(q, k, v).unwrap());
+        }
+        for h in handles {
+            let served = h.wait().expect("served");
+            assert_eq!(served.batch_size, 3);
+        }
+        let stats = server.shutdown();
+        assert_eq!((stats.served, stats.batches), (3, 1));
+        assert_eq!(stats.max_batch, 3);
+    }
+
+    #[test]
+    fn deadline_closes_partial_buckets() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_millis(10)),
+        );
+        let mut rng = Rng::new(7);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let t0 = Instant::now();
+        let served = server.submit(q, k, v).unwrap().wait().expect("served");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "closed too early"
+        );
+        assert_eq!(served.batch_size, 1);
+        assert!(served.queue_wait >= Duration::from_millis(9));
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn heterogeneous_shapes_never_share_a_launch() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(8, Duration::from_millis(5)),
+        );
+        let mut rng = Rng::new(9);
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let n = if i % 2 == 0 { 32 } else { 64 };
+            let (q, k, v) = request(n, 8, &mut rng);
+            handles.push((n, server.submit(q, k, v).unwrap()));
+        }
+        for (n, h) in handles {
+            let served = h.wait().expect("served");
+            assert_eq!(served.bucket.n, n);
+            assert_eq!(served.batch_size, 3);
+            assert_eq!(served.output.rows(), n);
+        }
+        let stats = server.shutdown();
+        assert_eq!((stats.served, stats.batches), (6, 2));
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors_and_server_survives() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start(Arc::clone(&mech), BatchPolicy::per_request());
+        // n = 31 violates the 1:2 group alignment.
+        let q = Matrix::<f32>::zeros(31, 8);
+        let err = server.submit(q.clone(), q.clone(), q.clone()).unwrap_err();
+        assert!(matches!(err, RequestError::Unsupported { .. }));
+        // K mismatch.
+        let q32 = Matrix::<f32>::zeros(32, 8);
+        let k_bad = Matrix::<f32>::zeros(16, 8);
+        let err = server.submit(q32.clone(), k_bad, q32.clone()).unwrap_err();
+        assert!(matches!(err, RequestError::KShapeMismatch { .. }));
+        // The server still serves valid traffic afterwards.
+        let mut rng = Rng::new(11);
+        let (q, k, v) = request(32, 8, &mut rng);
+        let served = server.submit(q, k, v).unwrap().wait().expect("served");
+        assert_eq!(served.batch_size, 1);
+        let stats = server.shutdown();
+        assert_eq!((stats.served, stats.rejected), (1, 2));
+    }
+
+    #[test]
+    fn shutdown_drains_open_buckets() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // Deadline far in the future: only the shutdown drain can serve.
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(13);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (q, k, v) = request(16, 8, &mut rng);
+            handles.push(server.submit(q, k, v).unwrap());
+        }
+        let stats = server.shutdown();
+        assert_eq!((stats.served, stats.batches), (4, 1));
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+    }
+}

@@ -13,6 +13,32 @@ use dfss_tensor::Rng;
 /// Intensity quantisation levels (the token vocabulary).
 pub const LEVELS: usize = 8;
 
+/// Number of geometric pattern classes the generator knows.
+pub const MAX_CLASSES: usize = 6;
+
+/// Typed error for an unsatisfiable [`ImageConfig`] — dataset generation is
+/// reachable from serving/benchmark front doors, so a bad request must come
+/// back as a `Result`, not abort the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnsupportedClasses {
+    /// Classes the config asked for.
+    pub requested: usize,
+    /// Classes the generator supports ([`MAX_CLASSES`]).
+    pub supported: usize,
+}
+
+impl std::fmt::Display for UnsupportedClasses {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "image task supports at most {} classes, config asked for {}",
+            self.supported, self.requested
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedClasses {}
+
 #[derive(Clone, Copy, Debug)]
 pub struct ImageConfig {
     /// Image edge; the sequence length is `edge²`.
@@ -32,7 +58,10 @@ impl Default for ImageConfig {
     }
 }
 
-/// Pattern intensity in [0, 1] for class `c` at pixel (r, col).
+/// Pattern intensity in [0, 1] for class `c < MAX_CLASSES` at pixel
+/// (r, col). Infallible: [`generate`] validates the class count once up
+/// front (the typed library boundary), so the per-pixel hot loop carries no
+/// error plumbing.
 fn pattern(c: usize, r: usize, col: usize, edge: usize, phase: usize) -> f64 {
     let stripes = |x: usize| ((x + phase) / 2 % 2) as f64;
     match c {
@@ -59,13 +88,24 @@ fn pattern(c: usize, r: usize, col: usize, edge: usize, phase: usize) -> f64 {
             let dc = col as f64 - cc;
             (-(dr * dr + dc * dc) / (edge as f64)).exp()
         }
-        _ => panic!("class {c} unsupported"),
+        _ => unreachable!("generate() validates classes <= MAX_CLASSES"),
     }
 }
 
-/// Generate the dataset.
-pub fn generate(cfg: &ImageConfig, n_train: usize, n_test: usize, seed: u64) -> ClsDataset {
-    assert!(cfg.classes <= 6);
+/// Generate the dataset. Rejects configs asking for more than
+/// [`MAX_CLASSES`] classes with a typed error.
+pub fn generate(
+    cfg: &ImageConfig,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> Result<ClsDataset, UnsupportedClasses> {
+    if cfg.classes > MAX_CLASSES {
+        return Err(UnsupportedClasses {
+            requested: cfg.classes,
+            supported: MAX_CLASSES,
+        });
+    }
     let mut rng = Rng::new(seed);
     let make = |rng: &mut Rng| -> ClsExample {
         let label = rng.below(cfg.classes);
@@ -83,13 +123,13 @@ pub fn generate(cfg: &ImageConfig, n_train: usize, n_test: usize, seed: u64) -> 
     };
     let train = (0..n_train).map(|_| make(&mut rng)).collect();
     let test = (0..n_test).map(|_| make(&mut rng)).collect();
-    ClsDataset {
+    Ok(ClsDataset {
         train,
         test,
         vocab: LEVELS,
         classes: cfg.classes,
         seq_len: cfg.edge * cfg.edge,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -103,7 +143,7 @@ mod tests {
             classes: 4,
             noise: 0.5,
         };
-        let ds = generate(&cfg, 100, 20, 1);
+        let ds = generate(&cfg, 100, 20, 1).unwrap();
         ds.sanity_check();
         assert_eq!(ds.seq_len, 64);
         assert_eq!(ds.vocab, LEVELS);
@@ -117,7 +157,7 @@ mod tests {
             classes: 2,
             noise: 0.0,
         };
-        let ds = generate(&cfg, 50, 0, 2);
+        let ds = generate(&cfg, 50, 0, 2).unwrap();
         for ex in &ds.train {
             let edge = 8;
             if ex.label == 0 {
@@ -135,13 +175,31 @@ mod tests {
     }
 
     #[test]
+    fn too_many_classes_is_a_typed_error() {
+        let cfg = ImageConfig {
+            edge: 4,
+            classes: 9,
+            noise: 0.0,
+        };
+        let err = generate(&cfg, 1, 0, 1).unwrap_err();
+        assert_eq!(
+            err,
+            UnsupportedClasses {
+                requested: 9,
+                supported: MAX_CLASSES
+            }
+        );
+        assert!(err.to_string().contains("at most 6"));
+    }
+
+    #[test]
     fn classes_distinguishable_without_noise() {
         let cfg = ImageConfig {
             edge: 8,
             classes: 6,
             noise: 0.0,
         };
-        let ds = generate(&cfg, 120, 0, 3);
+        let ds = generate(&cfg, 120, 0, 3).unwrap();
         // Mean-intensity profiles must differ between stripe classes and
         // blob classes.
         let mean =

@@ -91,6 +91,79 @@ impl<T: Scalar> BatchedMatrix<T> {
         }
     }
 
+    /// Gather heterogeneous same-shape panels (borrowed from anywhere — a
+    /// request queue, a head split, …) into one contiguous stack. This is
+    /// the serving path's *pack* step: independent requests that share a
+    /// shape bucket coalesce into a single batched launch without the
+    /// caller hand-assembling buffers. Inverse of
+    /// [`into_panels`](Self::into_panels) up to the copy.
+    pub fn gather(panels: &[&Matrix<T>]) -> BatchedMatrix<T> {
+        assert!(!panels.is_empty(), "empty panel list");
+        let (rows, cols) = panels[0].shape();
+        let mut data = Vec::with_capacity(panels.len() * rows * cols);
+        for p in panels {
+            assert_eq!(p.shape(), (rows, cols), "panel shape mismatch");
+            data.extend_from_slice(p.as_slice());
+        }
+        BatchedMatrix {
+            batch: panels.len(),
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Scatter the stack back into per-panel matrices (the serving path's
+    /// *unpack* step). Bit-preserving: panel `b` of the result holds exactly
+    /// the bytes [`panel(b)`](Self::panel) held.
+    pub fn into_panels(self) -> Vec<Matrix<T>> {
+        self.assert_materialized();
+        let (rows, cols) = (self.rows, self.cols);
+        let pl = self.panel_len().max(1);
+        self.data
+            .chunks(pl)
+            .map(|p| Matrix::from_vec(rows, cols, p.to_vec()))
+            .collect()
+    }
+
+    /// Split an `n × (H·d_head)` activation into an H-panel stack of
+    /// `n × d_head` head slices in one pass — the batched multi-head
+    /// attention input. Inverse of [`merge_heads`](Self::merge_heads).
+    pub fn split_heads(x: &Matrix<T>, heads: usize) -> BatchedMatrix<T> {
+        let (n, dm) = x.shape();
+        assert_eq!(dm % heads, 0, "d_model must divide into heads");
+        let dh = dm / heads;
+        let mut data = Vec::with_capacity(n * dm);
+        for h in 0..heads {
+            let lo = h * dh;
+            for r in 0..n {
+                data.extend_from_slice(&x.row(r)[lo..lo + dh]);
+            }
+        }
+        BatchedMatrix {
+            batch: heads,
+            rows: n,
+            cols: dh,
+            data,
+        }
+    }
+
+    /// Concatenate an H-panel stack of `n × d_head` head outputs back into
+    /// one `n × (H·d_head)` activation (inverse of
+    /// [`split_heads`](Self::split_heads)).
+    pub fn merge_heads(&self) -> Matrix<T> {
+        self.assert_materialized();
+        let (heads, n, dh) = self.shape();
+        let mut out = Matrix::zeros(n, heads * dh);
+        for h in 0..heads {
+            let lo = h * dh;
+            for r in 0..n {
+                out.row_mut(r)[lo..lo + dh].copy_from_slice(self.row(h, r));
+            }
+        }
+        out
+    }
+
     /// `batch` copies of one panel — how the figure binaries build the §5.2
     /// "large enough to keep the GPU busy" volume from a single sequence.
     pub fn broadcast(panel: &Matrix<T>, batch: usize) -> BatchedMatrix<T> {
@@ -334,6 +407,40 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_checks_length() {
         let _ = BatchedMatrix::<f32>::from_vec(2, 2, 2, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn gather_then_into_panels_is_bit_identity() {
+        let a = Matrix::<f32>::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 0.25);
+        let b = Matrix::<f32>::from_fn(3, 2, |r, c| -((r + c) as f32) - 0.5);
+        let stack = BatchedMatrix::gather(&[&a, &b]);
+        assert_eq!(stack.shape(), (2, 3, 2));
+        let back = stack.into_panels();
+        assert_eq!(back.len(), 2);
+        for (x, y) in back[0].as_slice().iter().zip(a.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in back[1].as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panel shape mismatch")]
+    fn gather_rejects_mixed_shapes() {
+        let a = Matrix::<f32>::zeros(2, 2);
+        let b = Matrix::<f32>::zeros(3, 2);
+        let _ = BatchedMatrix::gather(&[&a, &b]);
+    }
+
+    #[test]
+    fn split_merge_heads_round_trips() {
+        let x = Matrix::<f32>::from_fn(4, 6, |r, c| (r * 10 + c) as f32);
+        let stack = BatchedMatrix::split_heads(&x, 3);
+        assert_eq!(stack.shape(), (3, 4, 2));
+        // Head h holds columns [2h, 2h+2).
+        assert_eq!(stack.row(1, 2), &[22.0, 23.0]);
+        assert_eq!(stack.merge_heads(), x);
     }
 
     #[test]

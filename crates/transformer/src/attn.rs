@@ -17,7 +17,7 @@
 use crate::linear::{matmul, Linear};
 use crate::param::Param;
 use dfss_nmsparse::{BlockedEll, NmPattern};
-use dfss_tensor::{math, Bf16, Matrix, Rng};
+use dfss_tensor::{math, BatchedMatrix, Bf16, Matrix, Rng};
 
 /// Which attention mechanism a layer uses.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -102,31 +102,29 @@ fn round_bf16(x: &mut Matrix<f32>) {
 const HEAD_ROW_CHUNK: usize = 8;
 
 /// One batched "launch": fan out over (head, row-tile) work items across a
-/// stack of same-shape head panels, calling `f(head, row, row_slice)` for
-/// every row. This is the training stack's analogue of the batched B×H
-/// kernels in `dfss-kernels` — all heads' rows feed one parallel dispatch
-/// instead of a serial per-head loop of parallel ops.
-fn batched_rows(
-    panels: &mut [Matrix<f32>],
-    row_len: usize,
-    f: impl Fn(usize, usize, &mut [f32]) + Sync,
-) {
+/// contiguous [`BatchedMatrix`] head stack, calling `f(head, row,
+/// row_slice)` for every row. This is the training stack's analogue of the
+/// batched B×H kernels in `dfss-kernels` — all heads' rows feed one
+/// parallel dispatch over one backing buffer instead of a serial per-head
+/// loop of parallel ops. Per-row work is self-contained, so the result is
+/// bit-identical to any per-head schedule.
+fn batched_rows(stack: &mut BatchedMatrix<f32>, f: impl Fn(usize, usize, &mut [f32]) + Sync) {
     use rayon::prelude::*;
-    let items: Vec<(usize, usize, &mut [f32])> = panels
-        .iter_mut()
+    let row_len = stack.cols().max(1);
+    let rows_per_panel = stack.rows().max(1);
+    stack
+        .as_mut_slice()
+        .par_chunks_mut(row_len * HEAD_ROW_CHUNK)
         .enumerate()
-        .flat_map(|(h, m)| {
-            m.as_mut_slice()
-                .chunks_mut(row_len * HEAD_ROW_CHUNK)
-                .enumerate()
-                .map(move |(ci, c)| (h, ci * HEAD_ROW_CHUNK, c))
-        })
-        .collect();
-    items.into_par_iter().for_each(|(h, row0, chunk)| {
-        for (l, row) in chunk.chunks_mut(row_len).enumerate() {
-            f(h, row0 + l, row);
-        }
-    });
+        .for_each(|(ci, chunk)| {
+            for (global_row, row) in (ci * HEAD_ROW_CHUNK..).zip(chunk.chunks_mut(row_len)) {
+                f(
+                    global_row / rows_per_panel,
+                    global_row % rows_per_panel,
+                    row,
+                );
+            }
+        });
 }
 
 /// Binary group mask: union of index groups, each fully connected.
@@ -504,13 +502,9 @@ impl MultiHeadAttention {
         if self.kind.is_mask_family() {
             // The whole mask family shares the batched multi-head path: all
             // heads run through one fan-out per op (QKᵀ, mask+softmax, AV)
-            // instead of a per-head loop.
+            // over contiguous head stacks instead of a per-head loop.
             let (outs, caches) = self.mask_family_forward_batched(&q, &k, &v, scale, n, dh);
-            for (h, oh) in outs.iter().enumerate() {
-                for r in 0..n {
-                    concat.row_mut(r)[h * dh..(h + 1) * dh].copy_from_slice(oh.row(r));
-                }
-            }
+            concat = outs.merge_heads();
             if train {
                 self.head_caches = caches;
             }
@@ -537,13 +531,16 @@ impl MultiHeadAttention {
         self.wo.forward(&concat, train)
     }
 
-    /// Batched mask-family forward: head panels are split once, then the
+    /// Batched mask-family forward on the shared [`BatchedMatrix`] head
+    /// stacks (the same containers the inference engine's batched kernels
+    /// consume): head panels are packed once via `split_heads`, then the
     /// three ops each run as **one launch across every head** — a single
-    /// (head, row-tile) fan-out for the scaled QKᵀ scores, one for the
-    /// mask + softmax pass, and one for the AV product. Mask construction
-    /// stays per head between launches (host-side metadata, like the
-    /// paper's overhead stage). Numerically identical to the per-head
-    /// loop (same per-element operations in the same order).
+    /// (head, row-tile) fan-out over one contiguous buffer for the scaled
+    /// QKᵀ scores, one for the mask + softmax pass, and one for the AV
+    /// product. Mask construction stays per head between launches
+    /// (host-side metadata, like the paper's overhead stage). Numerically
+    /// identical to the per-head loop (same per-element operations in the
+    /// same order).
     fn mask_family_forward_batched(
         &self,
         q: &Matrix<f32>,
@@ -552,34 +549,38 @@ impl MultiHeadAttention {
         scale: f32,
         n: usize,
         dh: usize,
-    ) -> (Vec<Matrix<f32>>, Vec<HeadCache>) {
+    ) -> (BatchedMatrix<f32>, Vec<HeadCache>) {
         let heads = self.heads;
-        let qh: Vec<Matrix<f32>> = (0..heads).map(|h| self.split_head(q, h)).collect();
-        let kh: Vec<Matrix<f32>> = (0..heads).map(|h| self.split_head(k, h)).collect();
-        let vh: Vec<Matrix<f32>> = (0..heads).map(|h| self.split_head(v, h)).collect();
-        let kt: Vec<Matrix<f32>> = kh.iter().map(|m| m.transpose()).collect();
+        let qh = BatchedMatrix::split_heads(q, heads);
+        let kh = BatchedMatrix::split_heads(k, heads);
+        let vh = BatchedMatrix::split_heads(v, heads);
+        let kt_panels: Vec<Matrix<f32>> = (0..heads).map(|h| kh.to_panel(h).transpose()).collect();
+        let kt = BatchedMatrix::gather(&kt_panels.iter().collect::<Vec<_>>());
 
         // Launch 1: scaled scores for every (head, row).
-        let mut scores: Vec<Matrix<f32>> = (0..heads).map(|_| Matrix::zeros(n, n)).collect();
-        batched_rows(&mut scores, n, |h, i, orow| {
-            for (kk, &av) in qh[h].row(i).iter().enumerate() {
+        let mut scores = BatchedMatrix::<f32>::zeros(heads, n, n);
+        batched_rows(&mut scores, |h, i, orow| {
+            for (kk, &av) in qh.row(h, i).iter().enumerate() {
                 if av == 0.0 {
                     continue;
                 }
-                for (o, &bv) in orow.iter_mut().zip(kt[h].row(kk)) {
+                for (o, &bv) in orow.iter_mut().zip(kt.row(h, kk)) {
                     *o += av * bv;
                 }
             }
             orow.iter_mut().for_each(|x| *x *= scale);
         });
 
-        // Host-side mask metadata per head.
+        // Host-side mask metadata per head (unpacked panel views — mask
+        // builders are per-head score/Q/K consumers).
+        let q_panels: Vec<Matrix<f32>> = (0..heads).map(|h| qh.to_panel(h)).collect();
+        let k_panels: Vec<Matrix<f32>> = (0..heads).map(|h| kh.to_panel(h)).collect();
         let masks: Vec<Matrix<f32>> = (0..heads)
-            .map(|h| build_mask(&self.kind, &scores[h], &qh[h], &kh[h]))
+            .map(|h| build_mask(&self.kind, &scores.to_panel(h), &q_panels[h], &k_panels[h]))
             .collect();
 
         // Launch 2: mask + softmax for every (head, row).
-        batched_rows(&mut scores, n, |h, i, row| {
+        batched_rows(&mut scores, |h, i, row| {
             let mrow = &masks[h].row(i)[..row.len()];
             for (x, &m) in row.iter_mut().zip(mrow) {
                 if m == 0.0 {
@@ -590,23 +591,24 @@ impl MultiHeadAttention {
         });
 
         // Launch 3: AV for every (head, row).
-        let mut outs: Vec<Matrix<f32>> = (0..heads).map(|_| Matrix::zeros(n, dh)).collect();
-        batched_rows(&mut outs, dh, |h, i, orow| {
-            for (kk, &av) in scores[h].row(i).iter().enumerate() {
+        let mut outs = BatchedMatrix::<f32>::zeros(heads, n, dh);
+        batched_rows(&mut outs, |h, i, orow| {
+            for (kk, &av) in scores.row(h, i).iter().enumerate() {
                 if av == 0.0 {
                     continue;
                 }
-                for (o, &bv) in orow.iter_mut().zip(vh[h].row(kk)) {
+                for (o, &bv) in orow.iter_mut().zip(vh.row(h, kk)) {
                     *o += av * bv;
                 }
             }
         });
 
-        let caches: Vec<HeadCache> = qh
+        // Scatter the stacks back into the per-head backward caches.
+        let caches: Vec<HeadCache> = q_panels
             .into_iter()
-            .zip(kh)
-            .zip(vh)
-            .zip(scores)
+            .zip(k_panels)
+            .zip(vh.into_panels())
+            .zip(scores.into_panels())
             .map(|(((q, k), v), a)| HeadCache::Mask(MaskCache { q, k, v, a }))
             .collect();
         (outs, caches)

@@ -40,7 +40,7 @@ fn main() {
     );
 
     // The metadata in the exact Ampere layout (Appendix A.1.1).
-    let dm = comp.to_device_meta();
+    let dm = comp.to_device_meta().expect("hardware pattern");
     println!(
         "device metadata: {} u32 words ({} bytes = dense/16)",
         dm.words().len(),

@@ -48,7 +48,7 @@ fn main() {
         weights.meta_bytes(),
         n * n
     );
-    let dm = weights.to_device_meta();
+    let dm = weights.to_device_meta().expect("hardware pattern");
     println!(
         "device-format metadata (CUTLASS swizzled layout): {} x u32 words",
         dm.words().len()

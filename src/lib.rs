@@ -21,6 +21,7 @@ pub use dfss_core as core;
 pub use dfss_gpusim as gpusim;
 pub use dfss_kernels as kernels;
 pub use dfss_nmsparse as nmsparse;
+pub use dfss_serve as serve;
 pub use dfss_tasks as tasks;
 pub use dfss_tensor as tensor;
 pub use dfss_transformer as transformer;
@@ -28,10 +29,12 @@ pub use dfss_transformer as transformer;
 /// The items most users need.
 pub mod prelude {
     pub use dfss_core::dfss::{DfssAttention, DfssEllAttention};
+    pub use dfss_core::engine::AttentionEngine;
     pub use dfss_core::full::FullAttention;
-    pub use dfss_core::mechanism::Attention;
+    pub use dfss_core::mechanism::{Attention, RequestError};
     pub use dfss_kernels::GpuCtx;
     pub use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern};
+    pub use dfss_serve::{AttentionServer, BatchPolicy};
     pub use dfss_tensor::{BatchedMatrix, Bf16, Matrix, Rng, Scalar};
     pub use dfss_transformer::{AttnKind, Encoder, EncoderConfig, Precision};
 }

@@ -54,7 +54,7 @@ fn quickstart_flow() {
     let (_, weights) = dfss.forward_with_weights(&mut ctx, &q, &k, &v);
     assert_eq!(weights.nonzeros().len(), n * n / 2); // 1:2 density
     assert!(weights.meta_bytes() > 0);
-    assert!(!weights.to_device_meta().words().is_empty());
+    assert!(!weights.to_device_meta().unwrap().words().is_empty());
 }
 
 /// `examples/kernel_fusion_tour.rs`: fused vs unfused SDDMM and the

@@ -24,9 +24,10 @@ fn full_pipeline_composes_across_crates() {
 
     let comp = sddmm::sddmm_nm_fused(&mut ctx, &q, &k, scale, NmPattern::P1_2);
     // Round trip through the swizzled device metadata before consuming.
-    let dm = comp.to_device_meta();
+    let dm = comp.to_device_meta().expect("hardware pattern");
     let mut comp2 =
-        NmCompressed::from_device_meta(NmPattern::P1_2, 64, 64, comp.nonzeros().to_vec(), &dm);
+        NmCompressed::from_device_meta(NmPattern::P1_2, 64, 64, comp.nonzeros().to_vec(), &dm)
+            .expect("hardware pattern");
     assert_eq!(comp2, comp);
 
     softmax::softmax_nm(&mut ctx, &mut comp2);

@@ -41,9 +41,10 @@ proptest! {
         let mut rng = Rng::new(seed);
         let m = Matrix::<f32>::random_normal(32, 32, 0.0, 1.0, &mut rng);
         let comp = NmCompressed::compress(&m, NmPattern::P1_2);
-        let dm = comp.to_device_meta();
+        let dm = comp.to_device_meta().expect("hardware pattern");
         let back = NmCompressed::from_device_meta(
-            NmPattern::P1_2, 32, 32, comp.nonzeros().to_vec(), &dm);
+            NmPattern::P1_2, 32, 32, comp.nonzeros().to_vec(), &dm)
+            .expect("hardware pattern");
         prop_assert_eq!(back, comp);
     }
 
@@ -128,6 +129,54 @@ proptest! {
         let (ra, rb) = (dfss_tensor::tf32_round(a), dfss_tensor::tf32_round(b));
         if a < b {
             prop_assert!(ra <= rb);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The serving contract: pack → batched forward → unpack over randomly
+    // bucketed heterogeneous requests is bit-identical to per-request solo
+    // `forward`, for both the Dfss pipeline and the dense baseline. The
+    // engine shape-buckets an interleaved request stream, coalesces each
+    // bucket into one batched launch per op, and unpacks per-request
+    // outputs; tickets come back in submission order.
+    #[test]
+    fn engine_pack_forward_unpack_matches_solo(
+        seed in 0u64..10_000,
+        picks in proptest::collection::vec(0usize..3, 8),
+    ) {
+        use dfss_core::engine::AttentionEngine;
+        let shapes = [(16usize, 8usize), (32, 8), (32, 16)];
+        let mech_dfss = DfssAttention::new(NmPattern::P1_2);
+        let mech_full = dfss_core::FullAttention;
+        let mech: &dyn Attention<f32> = if seed % 2 == 0 { &mech_full } else { &mech_dfss };
+        let count = 2 + (seed as usize % 7); // 2..=8 requests
+        let mut engine = AttentionEngine::new(mech);
+        let mut rng = Rng::new(seed);
+        let mut solo = Vec::new();
+        for &p in picks.iter().take(count) {
+            let (n, d) = shapes[p];
+            let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let mut sctx = GpuCtx::a100();
+            solo.push(mech.forward(&mut sctx, &q, &k, &v));
+            engine.submit(q, k, v).expect("servable shapes");
+        }
+        let results = engine.flush();
+        prop_assert_eq!(results.len(), solo.len());
+        for (i, (res, want)) in results.iter().zip(&solo).enumerate() {
+            prop_assert_eq!(res.ticket, dfss_core::Ticket(i as u64));
+            let got = res.output.as_ref().expect("exec mode");
+            prop_assert_eq!(got.shape(), want.shape());
+            let same = got
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "request {} diverged from solo forward", i);
         }
     }
 }
