@@ -90,7 +90,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Times a closure: a warm-up window, then [`SAMPLES`] timed samples of an
+/// Times a closure: a warm-up window, then `SAMPLES` (20) timed samples of an
 /// adaptive iteration count each.
 pub struct Bencher {
     /// Per-sample (iterations, elapsed) of the measured phase.

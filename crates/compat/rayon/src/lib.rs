@@ -7,7 +7,7 @@
 //! [`with_serial`] / [`spawned_workers`] helpers are used by tests only).
 //!
 //! The parallelism is real and runs on a **persistent worker pool**
-//! ([`pool`]): workers are spawned once per process (lazily, honoring
+//! (`pool` module): workers are spawned once per process (lazily, honoring
 //! `RAYON_NUM_THREADS`), park on a condvar between jobs, and are fed from a
 //! chunked work queue. Each `par_*` call splits its items into contiguous
 //! ordered chunks; the caller helps execute chunks alongside the workers and

@@ -11,10 +11,13 @@
 //! ablation (separate prune kernel — what §2.3 says existing libraries do),
 //! and the blocked-ELL hybrid for long sequences (A.1.2).
 
-use crate::mechanism::{check_qkv, check_qkv_batched, Attention, RequestError};
-use dfss_kernels::{ell, sddmm, softmax, spmm, GpuCtx};
-use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern};
-use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
+use crate::mechanism::{
+    check_decode, check_decode_ragged, check_qkv, check_qkv_batched, Attention, RequestError,
+};
+use dfss_gpusim::Stage;
+use dfss_kernels::{ell, gemm, sddmm, softmax, spmm, GpuCtx};
+use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern, NmRagged};
+use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
 
 /// The Dfss attention mechanism.
 #[derive(Clone, Copy, Debug)]
@@ -131,6 +134,91 @@ impl<T: Scalar> Attention<T> for DfssAttention {
         };
         softmax::softmax_nm_batched(ctx, &mut comp);
         let out = spmm::spmm_nm_batched(ctx, &comp, v);
+        ctx.mem.free(comp_id);
+        out
+    }
+
+    /// Native decode step: the new score row is pruned N:M over its full
+    /// M-groups with the trailing `len mod M` positions kept **dense** (the
+    /// [`NmRagged`] format), so *any* cache length is servable — unlike
+    /// prefill, decode has no alignment rule, and the most recently cached
+    /// positions are never pruned until their group fills. Pipeline: fused
+    /// decode SDDMM (or the unfused ablation's dense row + separate prune)
+    /// → compressed decode softmax → decode SpMM on the sparse tensor core.
+    fn decode(
+        &self,
+        ctx: &mut GpuCtx,
+        q_row: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Matrix<T> {
+        let (len, d) = check_decode(q_row, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        let kept = NmRagged::<T>::kept_for(self.pattern, len) as u64;
+        let groups = NmRagged::<T>::groups_for(self.pattern, len) as u64;
+        let comp_bytes = kept * T::BYTES as u64 + (groups * 4).div_ceil(8);
+        let comp_id = ctx.mem.alloc("scores_nm_decode", comp_bytes);
+        let mut comp = if self.fused {
+            sddmm::sddmm_nm_decode(ctx, q_row, k, scale, self.pattern)
+        } else {
+            // The unfused ablation additionally materialises the dense row.
+            let dense_id = ctx
+                .mem
+                .alloc("scores_decode_dense_unfused", (len * T::BYTES) as u64);
+            let scores = gemm::gemm_nt_decode(ctx, Stage::Qk, q_row, k, scale);
+            let ragged = RaggedBatch::from_slices(1, &[scores.as_slice()]);
+            let comp = sddmm::dense_prune_ragged(ctx, &ragged, self.pattern);
+            ctx.mem.free(dense_id);
+            comp
+        };
+        softmax::softmax_nm_ragged(ctx, &mut comp);
+        let out = spmm::spmm_nm_decode(ctx, &comp, v);
+        ctx.mem.free(comp_id);
+        out
+    }
+
+    /// Natively ragged batched decode: the whole stream batch runs through
+    /// one fused decode-SDDMM launch, one compressed decode-softmax launch
+    /// and one decode-SpMM launch, each charging a single profile equal to
+    /// the sum of the per-stream [`decode`](Self::decode) charges. Outputs
+    /// are bit-identical to the per-stream solo decode loop.
+    fn decode_ragged(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &Matrix<T>,
+        k: &RaggedBatch<T>,
+        v: &RaggedBatch<T>,
+    ) -> Matrix<T> {
+        let streams = check_decode_ragged(q, k, v);
+        if streams == 0 {
+            return Matrix::zeros(0, v.cols());
+        }
+        let scale = 1.0 / (q.cols() as f32).sqrt();
+        // Every stream's compressed row lives simultaneously in the ragged
+        // launch.
+        let (mut kept, mut groups) = (0u64, 0u64);
+        for &len in k.lens() {
+            kept += NmRagged::<T>::kept_for(self.pattern, len) as u64;
+            groups += NmRagged::<T>::groups_for(self.pattern, len) as u64;
+        }
+        let comp_id = ctx.mem.alloc(
+            "scores_nm_decode",
+            kept * T::BYTES as u64 + (groups * 4).div_ceil(8),
+        );
+        let mut comp = if self.fused {
+            sddmm::sddmm_nm_fused_ragged(ctx, q, k, scale, self.pattern)
+        } else {
+            // The unfused ablation additionally materialises every stream's
+            // dense score row.
+            let dense_bytes = k.lens().iter().map(|&l| l as u64).sum::<u64>() * T::BYTES as u64;
+            let dense_id = ctx.mem.alloc("scores_decode_dense_unfused", dense_bytes);
+            let scores = gemm::gemm_nt_ragged(ctx, Stage::Qk, q, k, scale);
+            let comp = sddmm::dense_prune_ragged(ctx, &scores, self.pattern);
+            ctx.mem.free(dense_id);
+            comp
+        };
+        softmax::softmax_nm_ragged(ctx, &mut comp);
+        let out = spmm::spmm_nm_ragged(ctx, &comp, v);
         ctx.mem.free(comp_id);
         out
     }

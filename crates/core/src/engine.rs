@@ -19,13 +19,60 @@
 //!   per-request outputs bit-identically to what a solo
 //!   [`Attention::forward`] would have produced.
 //!
+//! Decode traffic gets the same treatment:
+//! [`flush_decode`](AttentionEngine::flush_decode) batches **decode steps**
+//! — one new query row per stream against that stream's cached K/V, with
+//! per-stream lengths free to differ — into one **ragged** launch per op
+//! ([`RaggedBatch`] packing, per-stream charges summed into a single
+//! profile), bit-identical to a per-stream solo
+//! [`Attention::decode`] loop.
+//!
 //! `simulate_encoder`, the serving layer (`dfss-serve`) and the load
 //! generator all sit on this engine; none of them touch `BatchedMatrix`
 //! assembly directly.
+//!
+//! ```
+//! use dfss_core::dfss::DfssAttention;
+//! use dfss_core::engine::{AttentionEngine, DecodeStep};
+//! use dfss_nmsparse::NmPattern;
+//! use dfss_tensor::{Matrix, Rng};
+//!
+//! let mech = DfssAttention::new(NmPattern::P1_2);
+//! let mut engine = AttentionEngine::new(&mech);
+//! let mut rng = Rng::new(0);
+//!
+//! // Two decode streams with different (odd!) cached lengths.
+//! let caches: Vec<(Matrix<f32>, Matrix<f32>)> = [5usize, 9]
+//!     .iter()
+//!     .map(|&len| {
+//!         (
+//!             Matrix::random_normal(len, 8, 0.0, 1.0, &mut rng),
+//!             Matrix::random_normal(len, 8, 0.0, 1.0, &mut rng),
+//!         )
+//!     })
+//!     .collect();
+//! let q = Matrix::<f32>::random_normal(2, 8, 0.0, 1.0, &mut rng);
+//! let steps: Vec<DecodeStep<'_, f32>> = caches
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, (k, v))| DecodeStep {
+//!         q_row: q.row(i),
+//!         k_rows: k.as_slice(),
+//!         v_rows: v.as_slice(),
+//!         len: k.rows(),
+//!         d: 8,
+//!         d_v: 8,
+//!     })
+//!     .collect();
+//! let results = engine.flush_decode(&steps).unwrap();
+//! assert_eq!(results.len(), 2);
+//! // One ragged launch per op across both streams (Dfss runs 3 ops).
+//! assert_eq!(engine.last_decode().launches(), 3);
+//! ```
 
 use crate::mechanism::{try_check_qkv, Attention, RequestError};
 use dfss_kernels::GpuCtx;
-use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
+use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
 
 /// Identifier of a submitted request, unique per engine for its lifetime.
 /// Tickets are issued in submission order.
@@ -89,6 +136,120 @@ impl FlushReport {
     }
 }
 
+/// One pending decode step, borrowing the caller's KV storage: the
+/// stream's new query row and its cached K/V row slabs (row-major,
+/// `len × d` and `len × d_v` elements respectively). The serving layer's
+/// session caches hand these out without copying; the engine packs a whole
+/// batch of steps into one ragged launch per op.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeStep<'a, T> {
+    /// The new query row (`d` elements).
+    pub q_row: &'a [T],
+    /// Cached keys, `len × d` row-major elements.
+    pub k_rows: &'a [T],
+    /// Cached values, `len × d_v` row-major elements.
+    pub v_rows: &'a [T],
+    /// Cached positions.
+    pub len: usize,
+    /// Query/key width.
+    pub d: usize,
+    /// Value width.
+    pub d_v: usize,
+}
+
+/// Validate one decode step's declared shape against its buffers, without
+/// panicking — the serving front door rejects malformed steps with a typed
+/// error before they reach a launch.
+pub fn try_check_decode_step<T: Scalar>(step: &DecodeStep<'_, T>) -> Result<(), RequestError> {
+    if step.len == 0 || step.d == 0 || step.d_v == 0 {
+        return Err(RequestError::EmptyRequest);
+    }
+    if step.q_row.len() != step.d {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!(
+                "query row has {} elements, d = {}",
+                step.q_row.len(),
+                step.d
+            ),
+        });
+    }
+    if step.k_rows.len() != step.len * step.d {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!(
+                "K cache has {} elements, expected len x d = {} x {}",
+                step.k_rows.len(),
+                step.len,
+                step.d
+            ),
+        });
+    }
+    if step.v_rows.len() != step.len * step.d_v {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!(
+                "V cache has {} elements, expected len x d_v = {} x {}",
+                step.v_rows.len(),
+                step.len,
+                step.d_v
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// One completed decode step out of a
+/// [`flush_decode`](AttentionEngine::flush_decode).
+#[derive(Debug)]
+pub struct FlushedDecode<T: Scalar> {
+    /// Ticket of the step (monotone with the engine's prefill tickets).
+    pub ticket: Ticket,
+    /// The `1 × d_v` output row — `None` under a charge-only context.
+    pub output: Option<Matrix<T>>,
+    /// Streams that shared the step's ragged launch (its `(d, d_v)`
+    /// bucket).
+    pub batch_size: usize,
+    /// The stream's cached length at launch time.
+    pub cached_len: usize,
+    /// Simulated-device latency of the step's whole ragged launch.
+    pub sim_latency_s: f64,
+}
+
+/// Per-bucket accounting of one decode flush (steps bucket by `(d, d_v)`;
+/// cached lengths stay ragged within a bucket).
+#[derive(Clone, Debug)]
+pub struct DecodeBucketReport {
+    /// Query/key width of the bucket.
+    pub d: usize,
+    /// Value width of the bucket.
+    pub d_v: usize,
+    /// Streams batched into the bucket's ragged launch.
+    pub streams: usize,
+    /// Sum of the streams' cached lengths.
+    pub total_cached: usize,
+    /// Simulated-device latency of the bucket's launches.
+    pub sim_latency_s: f64,
+    /// Kernel launches the bucket recorded (one per op).
+    pub launches: u64,
+}
+
+/// Accounting of one [`flush_decode`](AttentionEngine::flush_decode).
+#[derive(Clone, Debug, Default)]
+pub struct DecodeFlushReport {
+    /// One entry per `(d, d_v)` bucket, in first-seen order.
+    pub buckets: Vec<DecodeBucketReport>,
+}
+
+impl DecodeFlushReport {
+    /// Total simulated-device latency across the flush's buckets.
+    pub fn sim_latency_s(&self) -> f64 {
+        self.buckets.iter().map(|b| b.sim_latency_s).sum()
+    }
+
+    /// Total kernel launches across the flush's buckets.
+    pub fn launches(&self) -> u64 {
+        self.buckets.iter().map(|b| b.launches).sum()
+    }
+}
+
 /// A reusable batching front end over one attention mechanism.
 ///
 /// The engine borrows the mechanism (mechanisms are small, often `Copy`
@@ -101,6 +262,7 @@ pub struct AttentionEngine<'m, T: Scalar> {
     pending: Vec<PendingRequest<T>>,
     next_ticket: u64,
     last_flush: FlushReport,
+    last_decode: DecodeFlushReport,
 }
 
 impl<'m, T: Scalar> AttentionEngine<'m, T> {
@@ -118,6 +280,7 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
             pending: Vec::new(),
             next_ticket: 0,
             last_flush: FlushReport::default(),
+            last_decode: DecodeFlushReport::default(),
         }
     }
 
@@ -151,6 +314,11 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
     /// Accounting of the most recent [`flush`](Self::flush).
     pub fn last_flush(&self) -> &FlushReport {
         &self.last_flush
+    }
+
+    /// Accounting of the most recent [`flush_decode`](Self::flush_decode).
+    pub fn last_decode(&self) -> &DecodeFlushReport {
+        &self.last_decode
     }
 
     /// Validate and admit one request. Returns its [`Ticket`]; malformed
@@ -268,6 +436,86 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
             }],
         };
         out
+    }
+
+    /// Batch a set of **decode steps** (one new query row per stream
+    /// against its own cached K/V length) into ragged launches: steps group
+    /// into `(d, d_v)` buckets (cached lengths stay ragged within a
+    /// bucket), each bucket packs into a [`RaggedBatch`] and runs one
+    /// `decode_ragged` — **one launch per op** across all its streams, with
+    /// per-stream charges summed into a single profile — and outputs unpack
+    /// per step, bit-identical to a per-stream solo `decode` loop. Results
+    /// come back in step order.
+    ///
+    /// A flush with **zero steps is a no-op** — no launch is recorded, no
+    /// ticket issued, and the decode report resets to empty (never a
+    /// zero-size launch). Malformed steps fail the whole flush with a typed
+    /// error before any launch; callers that validated at admission (the
+    /// serving layer) never see one.
+    pub fn flush_decode(
+        &mut self,
+        steps: &[DecodeStep<'_, T>],
+    ) -> Result<Vec<FlushedDecode<T>>, RequestError> {
+        self.last_decode = DecodeFlushReport::default();
+        if steps.is_empty() {
+            return Ok(Vec::new());
+        }
+        for step in steps {
+            try_check_decode_step(step)?;
+        }
+        // Bucket step indices by (d, d_v), first-seen order.
+        let mut buckets: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+        for (i, step) in steps.iter().enumerate() {
+            let key = (step.d, step.d_v);
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => buckets.push((key, vec![i])),
+            }
+        }
+        let first_ticket = self.next_ticket;
+        self.next_ticket += steps.len() as u64;
+
+        let mut results: Vec<FlushedDecode<T>> = Vec::with_capacity(steps.len());
+        for ((d, d_v), idxs) in buckets {
+            let mut q_data = Vec::with_capacity(idxs.len() * d);
+            for &i in &idxs {
+                q_data.extend_from_slice(steps[i].q_row);
+            }
+            let q = Matrix::from_vec(idxs.len(), d, q_data);
+            let k_parts: Vec<&[T]> = idxs.iter().map(|&i| steps[i].k_rows).collect();
+            let v_parts: Vec<&[T]> = idxs.iter().map(|&i| steps[i].v_rows).collect();
+            let k = RaggedBatch::from_slices(d, &k_parts);
+            let v = RaggedBatch::from_slices(d_v, &v_parts);
+
+            let mark = self.ctx.timeline.entries().len();
+            let out = self.mech.decode_ragged(&mut self.ctx, &q, &k, &v);
+            let new_entries = &self.ctx.timeline.entries()[mark..];
+            let sim_latency_s: f64 = new_entries.iter().map(|e| e.latency(&self.ctx.dev)).sum();
+            let launches: u64 = new_entries.iter().map(|e| e.launches).sum();
+            self.last_decode.buckets.push(DecodeBucketReport {
+                d,
+                d_v,
+                streams: idxs.len(),
+                total_cached: idxs.iter().map(|&i| steps[i].len).sum(),
+                sim_latency_s,
+                launches,
+            });
+            for (row, &i) in idxs.iter().enumerate() {
+                let output = self
+                    .ctx
+                    .exec
+                    .then(|| Matrix::from_vec(1, d_v, out.row(row).to_vec()));
+                results.push(FlushedDecode {
+                    ticket: Ticket(first_ticket + i as u64),
+                    output,
+                    batch_size: idxs.len(),
+                    cached_len: steps[i].len,
+                    sim_latency_s,
+                });
+            }
+        }
+        results.sort_by_key(|r| r.ticket);
+        Ok(results)
     }
 
     /// Drop the accumulated kernel timeline (the memory ledger keeps its
@@ -437,6 +685,188 @@ mod tests {
         assert_eq!(sr.buckets[0].batch_size, batch);
         assert_eq!(sr.buckets[0].launches, qr.buckets[0].launches);
         assert!((sr.sim_latency_s() - qr.sim_latency_s()).abs() < 1e-15);
+    }
+
+    fn cache(len: usize, d: usize, d_v: usize, rng: &mut Rng) -> (Matrix<f32>, Matrix<f32>) {
+        (
+            Matrix::random_normal(len, d, 0.0, 1.0, rng),
+            Matrix::random_normal(len, d_v, 0.0, 1.0, rng),
+        )
+    }
+
+    #[test]
+    fn flush_decode_is_bit_identical_to_solo_decode_loop() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(31);
+        // Ragged cached lengths, including odd (dense-tail) ones.
+        let lens = [5usize, 16, 33, 8];
+        let (d, d_v) = (16usize, 8usize);
+        let caches: Vec<(Matrix<f32>, Matrix<f32>)> =
+            lens.iter().map(|&l| cache(l, d, d_v, &mut rng)).collect();
+        let q = Matrix::<f32>::random_normal(lens.len(), d, 0.0, 1.0, &mut rng);
+
+        let steps: Vec<DecodeStep<'_, f32>> = caches
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| DecodeStep {
+                q_row: q.row(i),
+                k_rows: k.as_slice(),
+                v_rows: v.as_slice(),
+                len: lens[i],
+                d,
+                d_v,
+            })
+            .collect();
+        let results = engine.flush_decode(&steps).unwrap();
+        assert_eq!(results.len(), lens.len());
+        // One ragged launch per op: Dfss decode runs 3 ops for the whole
+        // batch.
+        assert_eq!(engine.last_decode().launches(), 3);
+        assert_eq!(engine.ctx().timeline.launches(), 3);
+        assert!(engine.last_decode().sim_latency_s() > 0.0);
+        assert_eq!(engine.last_decode().buckets.len(), 1);
+        assert_eq!(engine.last_decode().buckets[0].total_cached, 62);
+
+        for (i, res) in results.iter().enumerate() {
+            assert_eq!(res.ticket, Ticket(i as u64));
+            assert_eq!(res.cached_len, lens[i]);
+            assert_eq!(res.batch_size, lens.len());
+            let got = res.output.as_ref().expect("exec mode");
+            let mut sctx = GpuCtx::a100();
+            let q_row = Matrix::from_vec(1, d, q.row(i).to_vec());
+            let want = mech.decode(&mut sctx, &q_row, &caches[i].0, &caches[i].1);
+            let same = got
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "step {i} diverged from solo decode");
+        }
+    }
+
+    #[test]
+    fn flush_decode_buckets_by_width_and_keeps_step_order() {
+        let mech = FullAttention;
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(33);
+        // Two (d, d_v) buckets interleaved.
+        let shapes = [(8usize, 8usize), (4, 4), (8, 8), (4, 4)];
+        let lens = [6usize, 9, 3, 5];
+        let caches: Vec<(Matrix<f32>, Matrix<f32>)> = shapes
+            .iter()
+            .zip(&lens)
+            .map(|(&(d, d_v), &l)| cache(l, d, d_v, &mut rng))
+            .collect();
+        let q_rows: Vec<Vec<f32>> = shapes
+            .iter()
+            .map(|&(d, _)| (0..d).map(|_| rng.normal(0.0, 1.0)).collect())
+            .collect();
+        let steps: Vec<DecodeStep<'_, f32>> = caches
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| DecodeStep {
+                q_row: &q_rows[i],
+                k_rows: k.as_slice(),
+                v_rows: v.as_slice(),
+                len: lens[i],
+                d: shapes[i].0,
+                d_v: shapes[i].1,
+            })
+            .collect();
+        let results = engine.flush_decode(&steps).unwrap();
+        assert_eq!(results.len(), 4);
+        for (i, res) in results.iter().enumerate() {
+            assert_eq!(res.ticket, Ticket(i as u64));
+            assert_eq!(res.batch_size, 2);
+            assert_eq!(res.output.as_ref().unwrap().cols(), shapes[i].1);
+        }
+        let report = engine.last_decode();
+        assert_eq!(report.buckets.len(), 2);
+        // The default (dense-row) decode merges the per-stream loop into
+        // one launch per op: gemm_nt + softmax + gemm_nn per bucket.
+        for b in &report.buckets {
+            assert_eq!(b.streams, 2);
+            assert_eq!(b.launches, 3);
+        }
+    }
+
+    #[test]
+    fn empty_decode_flush_is_a_no_op_not_a_zero_size_launch() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let results = engine.flush_decode(&[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(engine.ctx().timeline.launches(), 0);
+        assert!(engine.ctx().timeline.is_empty());
+        assert!(engine.last_decode().buckets.is_empty());
+        // And no ticket was consumed: the next prefill ticket is still 0.
+        let mut rng = Rng::new(35);
+        let (q, k, v) = request(16, 8, &mut rng);
+        assert_eq!(engine.submit(q, k, v).unwrap(), Ticket(0));
+    }
+
+    #[test]
+    fn empty_prefill_flush_is_a_no_op_too() {
+        let mech = FullAttention;
+        let mut engine: AttentionEngine<'_, f32> = AttentionEngine::new(&mech);
+        assert!(engine.flush().is_empty());
+        assert_eq!(engine.ctx().timeline.launches(), 0);
+        assert!(engine.last_flush().buckets.is_empty());
+    }
+
+    #[test]
+    fn flush_decode_rejects_malformed_steps_before_launching() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let q = vec![0.0f32; 8];
+        let k = vec![0.0f32; 4 * 8];
+        let v = vec![0.0f32; 4 * 8];
+        // Wrong query width.
+        let bad = DecodeStep {
+            q_row: &q[..4],
+            k_rows: &k,
+            v_rows: &v,
+            len: 4,
+            d: 8,
+            d_v: 8,
+        };
+        let err = engine.flush_decode(&[bad]).unwrap_err();
+        assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
+        // Empty cache.
+        let empty = DecodeStep {
+            q_row: &q,
+            k_rows: &[],
+            v_rows: &[],
+            len: 0,
+            d: 8,
+            d_v: 8,
+        };
+        let err = engine.flush_decode(&[empty]).unwrap_err();
+        assert_eq!(err, RequestError::EmptyRequest);
+        assert_eq!(engine.ctx().timeline.launches(), 0);
+    }
+
+    #[test]
+    fn decode_and_prefill_share_the_ticket_sequence() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(37);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let t0 = engine.submit(q, k, v).unwrap();
+        let _ = engine.flush();
+        let (kc, vc) = cache(8, 8, 8, &mut rng);
+        let q_row: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+        let step = DecodeStep {
+            q_row: &q_row,
+            k_rows: kc.as_slice(),
+            v_rows: vc.as_slice(),
+            len: 8,
+            d: 8,
+            d_v: 8,
+        };
+        let res = engine.flush_decode(&[step]).unwrap();
+        assert!(res[0].ticket > t0, "decode tickets continue the sequence");
     }
 
     #[test]

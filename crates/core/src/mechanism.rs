@@ -1,7 +1,8 @@
 //! The attention-mechanism interface.
 
-use dfss_kernels::GpuCtx;
-use dfss_tensor::{BatchedMatrix, Matrix, Scalar};
+use dfss_gpusim::Stage;
+use dfss_kernels::{gemm, softmax, GpuCtx};
+use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
 
 /// An attention mechanism: `O = attend(Q, K, V)` with `Q, K, V : n×d`.
 ///
@@ -66,6 +67,84 @@ pub trait Attention<T: Scalar> {
         1.0 / (d as f32).sqrt()
     }
 
+    /// One **decode step**: the stream's new query row (`1 × d`) attends
+    /// over its cached `K` (`len × d`) and `V` (`len × d_v`), returning the
+    /// `1 × d_v` output row — the incremental-inference counterpart of
+    /// [`forward`](Self::forward), where the cache grows by one position per
+    /// generated token and `len` need not satisfy the mechanism's prefill
+    /// alignment rules.
+    ///
+    /// The default runs the generic dense row pipeline (`gemm_nt` scores →
+    /// dense softmax → `gemm_nn` AV) — correct for any mechanism, since a
+    /// single row gains nothing from sparsity without hardware-structured
+    /// metadata. Mechanisms with a native decode format (Dfss: N:M over the
+    /// row's full M-groups with a dense tail) override it.
+    fn decode(
+        &self,
+        ctx: &mut GpuCtx,
+        q_row: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Matrix<T> {
+        let (len, d) = check_decode(q_row, k, v);
+        let scale = self.scale_for(d);
+        let scores_id = ctx
+            .mem
+            .alloc("scores_decode_dense", (len * T::BYTES) as u64);
+        let scores = gemm::gemm_nt(ctx, Stage::Qk, q_row, k, scale);
+        let a = softmax::softmax_dense(ctx, &scores);
+        let out = gemm::gemm_nn(ctx, Stage::Av, &a, v);
+        ctx.mem.free(scores_id);
+        out
+    }
+
+    /// Batched decode across **ragged streams**: row `i` of `q` is stream
+    /// `i`'s new query row, panel `i` of `k`/`v` its cached K/V (lengths
+    /// may differ per stream) — **one launch per op** for the whole ragged
+    /// batch, outputs bit-identical to a per-stream [`decode`](Self::decode)
+    /// loop. Returns the `streams × d_v` output, one row per stream.
+    ///
+    /// The default runs the per-stream loop and merges the per-stream
+    /// kernel logs positionally into batched launches (one launch per op,
+    /// per-stream charges summed — the same model as the batched prefill
+    /// default), reserving the remaining streams' transient working sets
+    /// alongside the first stream's run (sized from stream 0, the same
+    /// first-panel approximation `forward_batched` uses). Mechanisms with
+    /// natively ragged kernels (Dfss) override it with single-profile
+    /// whole-batch launches.
+    fn decode_ragged(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &Matrix<T>,
+        k: &RaggedBatch<T>,
+        v: &RaggedBatch<T>,
+    ) -> Matrix<T> {
+        let streams = check_decode_ragged(q, k, v);
+        let mut out = Matrix::zeros(streams, v.cols());
+        if streams == 0 {
+            return out;
+        }
+        let mark = ctx.timeline.entries().len();
+        let resident = ctx.mem.current();
+        ctx.mem.begin_window();
+        let q0 = Matrix::from_vec(1, q.cols(), q.row(0).to_vec());
+        let o0 = self.decode(ctx, &q0, &k.to_panel(0), &v.to_panel(0));
+        out.row_mut(0).copy_from_slice(o0.as_slice());
+        let transient = ctx.mem.window_peak().saturating_sub(resident);
+        let rsv = ctx.mem.alloc(
+            "decode_streams_concurrent",
+            (streams as u64 - 1) * transient,
+        );
+        for s in 1..streams {
+            let qs = Matrix::from_vec(1, q.cols(), q.row(s).to_vec());
+            let os = self.decode(ctx, &qs, &k.to_panel(s), &v.to_panel(s));
+            out.row_mut(s).copy_from_slice(os.as_slice());
+        }
+        ctx.mem.free(rsv);
+        batch_panel_launches(ctx, mark, streams);
+        out
+    }
+
     /// Validate that this mechanism can run an `n × d` request, without
     /// panicking — the serving front door ([`crate::engine`], `dfss-serve`)
     /// rejects unservable shapes with a typed error before admission.
@@ -96,6 +175,9 @@ pub enum RequestError {
     EmptyRequest,
     /// The mechanism cannot run this shape (e.g. `n` not a multiple of M).
     Unsupported { mechanism: String, reason: String },
+    /// A decode step's buffers disagree with the declared `(len, d, d_v)`
+    /// shape (wrong query-row width, cache slab not `len × d`, …).
+    DecodeShapeMismatch { reason: String },
 }
 
 impl std::fmt::Display for RequestError {
@@ -110,6 +192,9 @@ impl std::fmt::Display for RequestError {
             RequestError::EmptyRequest => write!(f, "empty request"),
             RequestError::Unsupported { mechanism, reason } => {
                 write!(f, "{mechanism} cannot serve this shape: {reason}")
+            }
+            RequestError::DecodeShapeMismatch { reason } => {
+                write!(f, "decode step shape mismatch: {reason}")
             }
         }
     }
@@ -216,6 +301,36 @@ pub fn batch_panel_launches(ctx: &mut GpuCtx, mark: usize, batch: usize) {
             }
         }
     }
+}
+
+/// Validate decode-step preconditions; returns `(len, d)`. The query is a
+/// single row, K is the `len × d` cache, V has `len` rows.
+pub fn check_decode<T: Scalar>(q_row: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> (usize, usize) {
+    assert_eq!(q_row.rows(), 1, "decode takes a single query row");
+    let (len, d) = k.shape();
+    assert!(len > 0, "decode against an empty cache");
+    assert_eq!(q_row.cols(), d, "query width mismatch");
+    assert_eq!(v.rows(), len, "V row mismatch");
+    (len, d)
+}
+
+/// Ragged batched counterpart of [`check_decode`]; returns the stream
+/// count. Row `i` of `q` pairs with panel `i` of `k` and `v`, whose row
+/// counts must agree per stream (column counts may differ between K and V).
+pub fn check_decode_ragged<T: Scalar>(
+    q: &Matrix<T>,
+    k: &RaggedBatch<T>,
+    v: &RaggedBatch<T>,
+) -> usize {
+    let streams = k.streams();
+    assert_eq!(q.rows(), streams, "one query row per stream");
+    assert_eq!(q.cols(), k.cols(), "query width mismatch");
+    assert_eq!(k.lens(), v.lens(), "per-stream K/V length mismatch");
+    assert!(
+        k.lens().iter().all(|&l| l > 0),
+        "decode against an empty cache"
+    );
+    streams
 }
 
 /// Validate common attention preconditions; returns `(n, d)`.

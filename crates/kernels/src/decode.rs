@@ -1,0 +1,250 @@
+//! Shared per-stream inner routines of the decode kernels.
+//!
+//! A decode step computes one new score row per stream (the stream's fresh
+//! query row against its cached keys), prunes it N:M over full M-groups
+//! with a dense tail (see [`NmRagged`]), normalises the kept values, and
+//! contracts them with the cached V rows. The **solo** entry points
+//! (`*_decode`) and the **ragged batched** entry points (`*_ragged`) in the
+//! kernel family modules both drive the routines in this module, so a
+//! ragged launch over B streams is bit-identical to a per-stream solo
+//! decode loop by construction — the launch accounting is the only
+//! difference (one summed [`KernelProfile`] vs. B per-stream profiles).
+//!
+//! Unlike the prefill score kernels (serial-k `axpy` outer products), the
+//! decode scores use the lane-blocked [`micro::dot`]: a decode step has one
+//! output row per stream, so there is no operand panel to stream and the
+//! dot's higher arithmetic intensity wins. Decode outputs are therefore
+//! *not* bit-comparable to a prefill forward over the same cache — only to
+//! other decode paths, which is the invariant the engine pins.
+//!
+//! [`KernelProfile`]: dfss_gpusim::KernelProfile
+//! [`NmRagged`]: dfss_nmsparse::NmRagged
+
+use crate::micro;
+use dfss_nmsparse::{NmPattern, NmRagged};
+use dfss_tensor::{scratch_f32_from, scratch_f32_stale, Scalar, ScratchF32};
+
+/// Widen (and input-round) a row-major slice into a pooled f32 buffer —
+/// the per-stream counterpart of [`micro::widen`].
+pub(crate) fn widen_slice<T: Scalar>(src: &[T]) -> ScratchF32 {
+    scratch_f32_from(src.len(), src.iter().map(|v| v.to_mul()))
+}
+
+/// Dense decode scores of one stream: `acc[j] = dot(q̂, K̂ row j)` over the
+/// widened operands.
+pub(crate) fn decode_scores_into(qw: &[f32], kw: &[f32], d: usize, acc: &mut [f32]) {
+    for (j, o) in acc.iter_mut().enumerate() {
+        *o = micro::dot(qw, &kw[j * d..(j + 1) * d]);
+    }
+}
+
+/// Prune one decode score row from f32 accumulators: N:M selection over the
+/// full M-groups (same [`NmPattern::select_group_into`] semantics as the
+/// prefill epilogue, scale applied at write time), dense tail copied kept.
+pub(crate) fn prune_decode_row<T: Scalar>(
+    pattern: NmPattern,
+    scores: &[f32],
+    scale: f32,
+    nz_out: &mut [T],
+    code_out: &mut [u8],
+) {
+    let m = pattern.m();
+    let groups = scores.len() / m;
+    let mut kept = [0usize; dfss_nmsparse::MAX_M];
+    let mut nz_pos = 0usize;
+    for (g, chunk) in scores[..groups * m].chunks_exact(m).enumerate() {
+        let n_kept = pattern.select_group_into(chunk, &mut kept);
+        let mut code = 0u8;
+        for &ki in &kept[..n_kept] {
+            code |= 1 << ki;
+            nz_out[nz_pos] = T::from_acc(chunk[ki] * scale);
+            nz_pos += 1;
+        }
+        code_out[g] = code;
+    }
+    for &s in &scores[groups * m..] {
+        nz_out[nz_pos] = T::from_acc(s * scale);
+        nz_pos += 1;
+    }
+    debug_assert_eq!(nz_pos, nz_out.len());
+}
+
+/// Fused score + prune of one stream: widen the query row and the cached K
+/// panel, take one dot per cached position, prune into the stream's output
+/// slices.
+pub(crate) fn score_prune_stream<T: Scalar>(
+    q_row: &[T],
+    k_panel: &[T],
+    len: usize,
+    d: usize,
+    scale: f32,
+    pattern: NmPattern,
+    nz_out: &mut [T],
+    code_out: &mut [u8],
+) {
+    let qw = widen_slice(q_row);
+    let kw = widen_slice(k_panel);
+    let mut acc = scratch_f32_stale(len);
+    decode_scores_into(&qw, &kw, d, &mut acc[..len]);
+    prune_decode_row(pattern, &acc[..len], scale, nz_out, code_out);
+}
+
+/// Dense-score variant of one stream (the unfused ablation's first half):
+/// scale applied at write time like the dense GEMM epilogue.
+pub(crate) fn score_dense_stream<T: Scalar>(
+    q_row: &[T],
+    k_panel: &[T],
+    len: usize,
+    d: usize,
+    scale: f32,
+    out: &mut [T],
+) {
+    let qw = widen_slice(q_row);
+    let kw = widen_slice(k_panel);
+    let mut acc = scratch_f32_stale(len);
+    decode_scores_into(&qw, &kw, d, &mut acc[..len]);
+    for (o, &x) in out.iter_mut().zip(acc.iter()) {
+        *o = T::from_acc(x * scale);
+    }
+}
+
+/// Standalone prune of one stream's already-narrowed score values (the
+/// unfused ablation's second half): selection on the widened values, kept
+/// entries copied verbatim like the prefill `dense_prune`.
+pub(crate) fn prune_values_stream<T: Scalar>(
+    pattern: NmPattern,
+    scores: &[T],
+    nz_out: &mut [T],
+    code_out: &mut [u8],
+) {
+    let m = pattern.m();
+    let groups = scores.len() / m;
+    let mut group_scores = [0.0f32; dfss_nmsparse::MAX_M];
+    let mut kept = [0usize; dfss_nmsparse::MAX_M];
+    let mut nz_pos = 0usize;
+    for (g, chunk) in scores[..groups * m].chunks_exact(m).enumerate() {
+        for (s, v) in group_scores.iter_mut().zip(chunk) {
+            *s = v.to_f32();
+        }
+        let n_kept = pattern.select_group_into(&group_scores[..m], &mut kept);
+        let mut code = 0u8;
+        for &ki in &kept[..n_kept] {
+            code |= 1 << ki;
+            nz_out[nz_pos] = chunk[ki];
+            nz_pos += 1;
+        }
+        code_out[g] = code;
+    }
+    for &v in &scores[groups * m..] {
+        nz_out[nz_pos] = v;
+        nz_pos += 1;
+    }
+}
+
+/// SpMM of one stream: contract row `i` of the compressed stack with the
+/// stream's cached V panel into one output row.
+pub(crate) fn spmm_decode_stream<T: Scalar>(
+    a: &NmRagged<T>,
+    i: usize,
+    v_panel: &[T],
+    d_v: usize,
+    out_row: &mut [T],
+) {
+    let vw = widen_slice(v_panel);
+    let mut acc = scratch_f32_stale(d_v);
+    acc.iter_mut().for_each(|x| *x = 0.0);
+    a.scan_row(i, |col, val| {
+        micro::axpy(
+            &mut acc[..d_v],
+            val.to_mul(),
+            &vw[col * d_v..(col + 1) * d_v],
+        );
+    });
+    for (o, &x) in out_row.iter_mut().zip(acc.iter()) {
+        *o = T::from_acc(x);
+    }
+}
+
+/// Allocate a ragged compressed stack for the given per-stream lengths and
+/// fill it with one pool fan-out over streams: `fill(stream, nz_out,
+/// code_out)` writes stream `i`'s kept values and group codes. Shared by
+/// every ragged prune-producing entry point so the output-assembly
+/// scaffolding (kept/group sizing, buffer partitioning, fan-out) lives in
+/// one place.
+pub(crate) fn build_ragged<T: Scalar>(
+    pattern: NmPattern,
+    lens: &[usize],
+    fill: impl Fn(usize, &mut [T], &mut [u8]) + Sync,
+) -> NmRagged<T> {
+    use rayon::prelude::*;
+    let kepts: Vec<usize> = lens
+        .iter()
+        .map(|&l| NmRagged::<T>::kept_for(pattern, l))
+        .collect();
+    let groups: Vec<usize> = lens
+        .iter()
+        .map(|&l| NmRagged::<T>::groups_for(pattern, l))
+        .collect();
+    let mut nonzeros = vec![T::zero(); kepts.iter().sum()];
+    let mut codes = vec![0u8; groups.iter().sum()];
+    let nz_parts = split_by_sizes(&mut nonzeros, &kepts);
+    let code_parts = split_by_sizes(&mut codes, &groups);
+    let items: Vec<(usize, &mut [T], &mut [u8])> = nz_parts
+        .into_iter()
+        .zip(code_parts)
+        .enumerate()
+        .map(|(s, (nz, code))| (s, nz, code))
+        .collect();
+    items
+        .into_par_iter()
+        .for_each(|(s, nz, code)| fill(s, nz, code));
+    NmRagged::from_parts(pattern, lens.to_vec(), nonzeros, codes)
+}
+
+/// Split a buffer into consecutive chunks of the given sizes (the ragged
+/// kernels' per-stream output partitioning; sizes must sum to the buffer
+/// length).
+pub(crate) fn split_by_sizes<'a, T>(buf: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
+    let mut rest = buf;
+    let mut out = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let (head, tail) = rest.split_at_mut(s);
+        out.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_decode_row_keeps_group_maxima_and_tail() {
+        let scores = [1.0f32, 3.0, -2.0, -1.0, 7.0]; // 1:2 → 2 groups + tail
+        let mut nz = [0.0f32; 3];
+        let mut codes = [0u8; 2];
+        prune_decode_row(NmPattern::P1_2, &scores, 0.5, &mut nz, &mut codes);
+        assert_eq!(codes, [0b10, 0b10]); // 3.0 at lane 1, -1.0 at lane 1
+        assert_eq!(nz, [1.5, -0.5, 3.5]); // scaled, tail kept dense
+    }
+
+    #[test]
+    fn prune_values_stream_copies_verbatim() {
+        let scores = [1.0f32, 3.0, -2.0, -1.0, 7.0];
+        let mut nz = [0.0f32; 3];
+        let mut codes = [0u8; 2];
+        prune_values_stream(NmPattern::P1_2, &scores, &mut nz, &mut codes);
+        assert_eq!(nz, [3.0, -1.0, 7.0]);
+        assert_eq!(codes, [0b10, 0b10]);
+    }
+
+    #[test]
+    fn split_by_sizes_partitions_in_order() {
+        let mut buf = [0u8; 6];
+        let parts = split_by_sizes(&mut buf, &[2, 0, 4]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!((parts[0].len(), parts[1].len(), parts[2].len()), (2, 0, 4));
+    }
+}

@@ -15,7 +15,7 @@
 use crate::ctx::{dense_class, GpuCtx};
 use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_tensor::{scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
+use dfss_tensor::{scratch_f32_stale, BatchedMatrix, Matrix, RaggedBatch, Scalar};
 use rayon::prelude::*;
 
 /// Minimum per-thread row chunk, to avoid rayon overhead on small matrices.
@@ -356,6 +356,86 @@ pub fn gemm_tn<T: Scalar>(
             nn_chunk_exec::<T>(&aw, &bw, chunk, chunk_idx * PAR_ROW_CHUNK, n, ka);
         });
     Matrix::from_vec(m, n, out)
+}
+
+/// Per-stream charge of one dense decode score row (`1 × len` against the
+/// `len × d` cached panel): the `m = 1` tiled-GEMM model.
+fn decode_score_charge<T: Scalar>(ctx: &GpuCtx, len: usize, d: usize) -> (u64, u64, u64) {
+    let tn = ctx.tile_for(len) as u64;
+    let (len64, d64) = (len as u64, d as u64);
+    let tiles = len64.div_ceil(tn);
+    let reads = tiles * (d64 + d64 * tn) * T::BYTES as u64;
+    let writes = len64 * T::BYTES as u64;
+    (reads, writes, len64 * d64)
+}
+
+/// Solo dense decode scores: `scale · q·Kᵀ` for one stream's new query row
+/// against its cached K (`len × d`) → a `1 × len` score row. The unfused
+/// decode ablation's first half; uses the same lane-blocked dot inner
+/// routine as the ragged entry point so the per-stream solo loop is
+/// bit-identical to [`gemm_nt_ragged`].
+pub fn gemm_nt_decode<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    q_row: &Matrix<T>,
+    k: &Matrix<T>,
+    scale: f32,
+) -> Matrix<T> {
+    assert_eq!(q_row.rows(), 1, "decode takes a single query row");
+    let (len, d) = k.shape();
+    assert_eq!(q_row.cols(), d, "inner dimensions differ");
+    let (reads, writes, macs) = decode_score_charge::<T>(ctx, len, d);
+    ctx.record(
+        KernelProfile::new("gemm_nt_decode", stage)
+            .with_traffic(reads, writes)
+            .with_tc(macs, dense_class::<T>()),
+    );
+    if !ctx.exec {
+        return Matrix::zeros(1, len);
+    }
+    let mut out = vec![T::zero(); len];
+    crate::decode::score_dense_stream(q_row.row(0), k.as_slice(), len, d, scale, &mut out);
+    Matrix::from_vec(1, len, out)
+}
+
+/// Ragged batched dense decode scores: every stream's new query row (row
+/// `i` of `q`) against its own cached K panel, in **one launch** — a single
+/// profile summing the per-stream [`gemm_nt_decode`] charges, one pool
+/// fan-out over streams. Returns each stream's score row as a `cols == 1`
+/// panel (one scalar per cached position). Bit-identical to the per-stream
+/// solo loop.
+pub fn gemm_nt_ragged<T: Scalar>(
+    ctx: &mut GpuCtx,
+    stage: Stage,
+    q: &Matrix<T>,
+    k: &RaggedBatch<T>,
+    scale: f32,
+) -> RaggedBatch<T> {
+    let streams = k.streams();
+    assert_eq!(q.rows(), streams, "one query row per stream");
+    let d = k.cols();
+    assert_eq!(q.cols(), d, "inner dimensions differ");
+    let (mut reads, mut writes, mut macs) = (0u64, 0u64, 0u64);
+    for &len in k.lens() {
+        let (r, w, m) = decode_score_charge::<T>(ctx, len, d);
+        reads += r;
+        writes += w;
+        macs += m;
+    }
+    ctx.record(
+        KernelProfile::new("gemm_nt_decode", stage)
+            .with_traffic(reads, writes)
+            .with_tc(macs, dense_class::<T>()),
+    );
+    let mut out = RaggedBatch::zeros(1, k.lens());
+    if !ctx.exec {
+        return out;
+    }
+    let items: Vec<(usize, &mut [T])> = out.panels_mut().into_iter().enumerate().collect();
+    items.into_par_iter().for_each(|(s, panel)| {
+        crate::decode::score_dense_stream(q.row(s), k.panel(s), k.len_of(s), d, scale, panel);
+    });
+    out
 }
 
 #[cfg(test)]

@@ -21,11 +21,12 @@
 //!   the vector tiling of Figure 10(B), blocked-ELL × N:M hybrid SpMM.
 //! * [`topk`] — explicit top-k row selection + CSR encoding, charged
 //!   honestly (it is the overhead §4.3 says sinks the top-k baseline).
-//! * [`ctx`] — the [`GpuCtx`](ctx::GpuCtx) bundle of device config, kernel
-//!   timeline and memory tracker threaded through every kernel.
+//! * [`ctx`] — the [`GpuCtx`] bundle of device config, kernel timeline and
+//!   memory tracker threaded through every kernel.
 
 pub mod batched;
 pub mod ctx;
+pub(crate) mod decode;
 pub mod ell;
 pub mod gemm;
 pub mod micro;

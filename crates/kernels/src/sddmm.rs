@@ -19,10 +19,11 @@
 //!    `n²/2 · 4 + n²/16 · 4` bytes of nonzeros + metadata.
 
 use crate::ctx::{dense_class, GpuCtx};
+use crate::decode;
 use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern};
-use dfss_tensor::{scratch_f32, scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
+use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern, NmRagged};
+use dfss_tensor::{scratch_f32, scratch_f32_stale, BatchedMatrix, Matrix, RaggedBatch, Scalar};
 use rayon::prelude::*;
 
 /// ALU cost of pruning one M-group in the epilogue.
@@ -400,6 +401,167 @@ pub fn dense_prune_batched<T: Scalar>(
         },
     );
     NmBatch::from_parts(pattern, batch, rows, cols, nonzeros, codes)
+}
+
+/// Per-stream cost counters `(reads, writes, macs, alu)` of one fused
+/// decode score + prune: a `1 × len` score row against the `len × d` cached
+/// K panel, N:M-pruned over full M-groups with a dense tail (see
+/// [`NmRagged`]). Shared by the solo and ragged entry points so a ragged
+/// launch charges exactly the sum of its streams' solo charges.
+fn decode_charge<T: Scalar>(
+    ctx: &GpuCtx,
+    len: usize,
+    d: usize,
+    pattern: NmPattern,
+) -> (u64, u64, u64, u64) {
+    let tn = ctx.tile_for(len) as u64;
+    let (len64, d64) = (len as u64, d as u64);
+    // tm = 1: the decode grid is one output row per stream.
+    let tiles = len64.div_ceil(tn);
+    let reads = tiles * (d64 + d64 * tn) * T::BYTES as u64;
+    let kept = NmRagged::<T>::kept_for(pattern, len) as u64;
+    let groups = NmRagged::<T>::groups_for(pattern, len) as u64;
+    let writes = kept * T::BYTES as u64 + (groups * 4).div_ceil(8);
+    (
+        reads,
+        writes,
+        len64 * d64,
+        groups * epilogue_ops_per_group(pattern),
+    )
+}
+
+/// Per-stream cost counters `(reads, writes, alu)` of one standalone decode
+/// prune (the unfused ablation reading a dense score row back from memory).
+fn decode_prune_charge<T: Scalar>(len: usize, pattern: NmPattern) -> (u64, u64, u64) {
+    let kept = NmRagged::<T>::kept_for(pattern, len) as u64;
+    let groups = NmRagged::<T>::groups_for(pattern, len) as u64;
+    (
+        len as u64 * T::BYTES as u64,
+        kept * T::BYTES as u64 + (groups * 4).div_ceil(8),
+        groups * epilogue_ops_per_group(pattern),
+    )
+}
+
+/// Solo fused decode step: `compress(scale · q·Kᵀ)` for **one** stream —
+/// the new query row (`1 × d`) against the stream's cached `K` (`len × d`),
+/// pruned N:M over full M-groups with the dense tail kept (see
+/// [`NmRagged`]). Records one per-stream profile; the per-stream solo
+/// decode loop the ragged launch is measured against.
+pub fn sddmm_nm_decode<T: Scalar>(
+    ctx: &mut GpuCtx,
+    q_row: &Matrix<T>,
+    k: &Matrix<T>,
+    scale: f32,
+    pattern: NmPattern,
+) -> NmRagged<T> {
+    assert_eq!(q_row.rows(), 1, "decode takes a single query row");
+    let (len, dk) = k.shape();
+    assert_eq!(q_row.cols(), dk, "inner dimensions differ");
+    let (reads, writes, macs, alu) = decode_charge::<T>(ctx, len, dk, pattern);
+    ctx.record(
+        KernelProfile::new("sddmm_nm_decode", Stage::Qk)
+            .with_traffic(reads, writes)
+            .with_tc(macs, dense_class::<T>())
+            .with_alu(alu),
+    );
+    if !ctx.exec {
+        return NmRagged::zeros(pattern, &[len]);
+    }
+    let mut nonzeros = vec![T::zero(); NmRagged::<T>::kept_for(pattern, len)];
+    let mut codes = vec![0u8; NmRagged::<T>::groups_for(pattern, len)];
+    decode::score_prune_stream(
+        q_row.row(0),
+        k.as_slice(),
+        len,
+        dk,
+        scale,
+        pattern,
+        &mut nonzeros,
+        &mut codes,
+    );
+    NmRagged::from_parts(pattern, vec![len], nonzeros, codes)
+}
+
+/// Ragged batched fused decode: every stream's new query row (row `i` of
+/// `q`) against its own cached K panel, in **one launch** — a single
+/// profile whose counters are the sum of the per-stream
+/// [`sddmm_nm_decode`] charges, one pool fan-out over streams.
+/// Bit-identical to the per-stream solo loop (shared inner routines).
+pub fn sddmm_nm_fused_ragged<T: Scalar>(
+    ctx: &mut GpuCtx,
+    q: &Matrix<T>,
+    k: &RaggedBatch<T>,
+    scale: f32,
+    pattern: NmPattern,
+) -> NmRagged<T> {
+    let streams = k.streams();
+    assert_eq!(q.rows(), streams, "one query row per stream");
+    let d = k.cols();
+    assert_eq!(q.cols(), d, "inner dimensions differ");
+    let (mut reads, mut writes, mut macs, mut alu) = (0u64, 0u64, 0u64, 0u64);
+    for &len in k.lens() {
+        let (r, w, m, a) = decode_charge::<T>(ctx, len, d, pattern);
+        reads += r;
+        writes += w;
+        macs += m;
+        alu += a;
+    }
+    ctx.record(
+        KernelProfile::new("sddmm_nm_decode", Stage::Qk)
+            .with_traffic(reads, writes)
+            .with_tc(macs, dense_class::<T>())
+            .with_alu(alu),
+    );
+    if !ctx.exec {
+        return NmRagged::zeros(pattern, k.lens());
+    }
+    decode::build_ragged(pattern, k.lens(), |s, nz, code| {
+        decode::score_prune_stream(
+            q.row(s),
+            k.panel(s),
+            k.len_of(s),
+            d,
+            scale,
+            pattern,
+            nz,
+            code,
+        );
+    })
+}
+
+/// Ragged standalone decode prune (the unfused ablation): reads every
+/// stream's dense score column (a `cols == 1` [`RaggedBatch`], one scalar
+/// per cached position) back from memory and writes kept values + metadata
+/// — one launch, per-stream charges summed. Kept values are copied
+/// verbatim like the prefill [`dense_prune`].
+pub fn dense_prune_ragged<T: Scalar>(
+    ctx: &mut GpuCtx,
+    scores: &RaggedBatch<T>,
+    pattern: NmPattern,
+) -> NmRagged<T> {
+    assert_eq!(
+        scores.cols(),
+        1,
+        "decode scores are one scalar per position"
+    );
+    let (mut reads, mut writes, mut alu) = (0u64, 0u64, 0u64);
+    for &len in scores.lens() {
+        let (r, w, a) = decode_prune_charge::<T>(len, pattern);
+        reads += r;
+        writes += w;
+        alu += a;
+    }
+    ctx.record(
+        KernelProfile::new("dense_prune_decode", Stage::Overhead)
+            .with_traffic(reads, writes)
+            .with_alu(alu),
+    );
+    if !ctx.exec {
+        return NmRagged::zeros(pattern, scores.lens());
+    }
+    decode::build_ragged(pattern, scores.lens(), |s, nz, code| {
+        decode::prune_values_stream(pattern, scores.panel(s), nz, code);
+    })
 }
 
 /// Batched unfused ablation: batched dense GEMM materialises every panel's

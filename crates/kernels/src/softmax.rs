@@ -10,7 +10,7 @@
 
 use crate::GpuCtx;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{Csr, NmBatch, NmCompressed};
+use dfss_nmsparse::{Csr, NmBatch, NmCompressed, NmRagged};
 use dfss_tensor::{math, BatchedMatrix, Matrix, Scalar};
 use rayon::prelude::*;
 
@@ -164,6 +164,39 @@ pub fn softmax_nm_batched<T: Scalar>(ctx: &mut GpuCtx, comp: &mut NmBatch<T>) {
         return;
     }
     softmax_rows(comp.nonzeros_mut(), kept);
+}
+
+/// Ragged decode softmax: normalises every stream's kept score values
+/// (full-group nonzeros + dense tail) in place, in **one launch** — a
+/// single profile whose counters are the sum of the per-stream charges
+/// (each stream's cache-regime pass count is computed from its own kept
+/// length, so streams on different sides of the cached/streaming boundary
+/// charge differently inside the same launch). With one stream this *is*
+/// the solo decode softmax — the per-stream loop and the ragged launch run
+/// the same per-row routine, so outputs are bit-identical either way.
+pub fn softmax_nm_ragged<T: Scalar>(ctx: &mut GpuCtx, comp: &mut NmRagged<T>) {
+    let (mut reads, mut writes, mut alu) = (0u64, 0u64, 0u64);
+    for i in 0..comp.streams() {
+        let kept = comp.kept_of(i) as u64;
+        let passes = ctx.dev.softmax_read_passes(comp.kept_of(i));
+        reads += passes * kept * T::BYTES as u64;
+        writes += kept * T::BYTES as u64;
+        alu += kept * OPS_PER_ELEM;
+    }
+    ctx.record(
+        KernelProfile::new("softmax_nm_decode", Stage::Softmax)
+            .with_traffic(reads, writes)
+            .with_alu(alu),
+    );
+    if !ctx.exec {
+        return;
+    }
+    comp.rows_mut().into_par_iter().for_each(|row| {
+        if !row.is_empty() {
+            let mut buf = dfss_tensor::scratch_f32_stale(row.len());
+            softmax_into(row, &mut buf);
+        }
+    });
 }
 
 /// CSR softmax for the explicit top-k baseline: normalises each row's

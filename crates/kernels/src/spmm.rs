@@ -10,10 +10,11 @@
 //!   tightly.
 
 use crate::ctx::{sparse_class, GpuCtx};
+use crate::decode;
 use crate::micro;
 use dfss_gpusim::{KernelProfile, Stage};
-use dfss_nmsparse::{Csr, NmBatch, NmCompressed};
-use dfss_tensor::{scratch_f32_stale, BatchedMatrix, Matrix, Scalar};
+use dfss_nmsparse::{Csr, NmBatch, NmCompressed, NmRagged};
+use dfss_tensor::{scratch_f32_stale, BatchedMatrix, Matrix, RaggedBatch, Scalar};
 use rayon::prelude::*;
 
 /// Output rows per parallel work item: one scratch accumulator and one shim
@@ -216,6 +217,88 @@ pub fn spmm_nm_batched<T: Scalar>(
         },
     );
     BatchedMatrix::from_vec(batch, rows, d, out)
+}
+
+/// Per-stream cost counters `(reads, writes, macs)` of one decode SpMM:
+/// the stream's compressed score row (kept values + metadata) against its
+/// cached `len × d_v` V panel, one output row. Same tiled model as
+/// [`spmm_nm`] with a one-row output grid; shared by the solo and ragged
+/// entry points so the ragged launch charges exactly the per-stream sum.
+fn spmm_decode_charge<T: Scalar>(
+    ctx: &GpuCtx,
+    len: usize,
+    d_v: usize,
+    kept: usize,
+    groups: usize,
+) -> (u64, u64, u64) {
+    let tn = ctx.tile_for(d_v) as u64;
+    let tiles = (d_v as u64).div_ceil(tn);
+    let a_row = (kept * T::BYTES) as u64 + (groups as u64 * 4).div_ceil(8);
+    let v_panel = len as u64 * tn * T::BYTES as u64;
+    let reads = tiles * (a_row + v_panel);
+    let writes = (d_v * T::BYTES) as u64;
+    (reads, writes, (kept * d_v) as u64)
+}
+
+/// Solo decode SpMM: one stream's compressed score row (with dense tail)
+/// against its cached V (`len × d_v`) on the simulated sparse tensor core
+/// → a `1 × d_v` output row. Records one per-stream profile.
+pub fn spmm_nm_decode<T: Scalar>(ctx: &mut GpuCtx, a: &NmRagged<T>, v: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.streams(), 1, "solo decode takes a single stream");
+    let len = a.len_of(0);
+    let (vr, d_v) = v.shape();
+    assert_eq!(len, vr, "cached length {len} != V rows {vr}");
+    let (reads, writes, macs) =
+        spmm_decode_charge::<T>(ctx, len, d_v, a.kept_of(0), a.groups_of(0));
+    ctx.record(
+        KernelProfile::new("spmm_nm_decode", Stage::Av)
+            .with_traffic(reads, writes)
+            .with_tc(macs, sparse_class::<T>()),
+    );
+    if !ctx.exec {
+        return Matrix::zeros(1, d_v);
+    }
+    let mut out = vec![T::zero(); d_v];
+    decode::spmm_decode_stream(a, 0, v.as_slice(), d_v, &mut out);
+    Matrix::from_vec(1, d_v, out)
+}
+
+/// Ragged batched decode SpMM: every stream's compressed score row against
+/// its own cached V panel, in **one launch** — a single profile summing the
+/// per-stream [`spmm_nm_decode`] charges, one pool fan-out over streams.
+/// Returns the `streams × d_v` output (one row per stream). Bit-identical
+/// to the per-stream solo loop (shared inner routine).
+pub fn spmm_nm_ragged<T: Scalar>(
+    ctx: &mut GpuCtx,
+    a: &NmRagged<T>,
+    v: &RaggedBatch<T>,
+) -> Matrix<T> {
+    let streams = a.streams();
+    assert_eq!(streams, v.streams(), "stream counts differ");
+    assert_eq!(a.lens(), v.lens(), "cached lengths differ");
+    let d_v = v.cols();
+    let (mut reads, mut writes, mut macs) = (0u64, 0u64, 0u64);
+    for i in 0..streams {
+        let (r, w, m) =
+            spmm_decode_charge::<T>(ctx, a.len_of(i), d_v, a.kept_of(i), a.groups_of(i));
+        reads += r;
+        writes += w;
+        macs += m;
+    }
+    ctx.record(
+        KernelProfile::new("spmm_nm_decode", Stage::Av)
+            .with_traffic(reads, writes)
+            .with_tc(macs, sparse_class::<T>()),
+    );
+    if !ctx.exec {
+        return Matrix::zeros(streams, d_v);
+    }
+    let mut out = vec![T::zero(); streams * d_v];
+    let items: Vec<(usize, &mut [T])> = out.chunks_mut(d_v.max(1)).enumerate().collect();
+    items.into_par_iter().for_each(|(s, orow)| {
+        decode::spmm_decode_stream(a, s, v.panel(s), d_v, orow);
+    });
+    Matrix::from_vec(streams, d_v, out)
 }
 
 /// `O = A · V` with CSR `A` (`n×n`, density s) and dense `V` (`n×d`),

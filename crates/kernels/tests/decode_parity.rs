@@ -1,0 +1,284 @@
+//! Decode-kernel contract: a ragged launch over B streams is bit-identical
+//! to the per-stream solo decode loop, records exactly ONE profile per op,
+//! and its counters are the sum of the per-stream solo charges.
+
+use dfss_gpusim::Stage;
+use dfss_kernels::{gemm, sddmm, softmax, spmm, GpuCtx};
+use dfss_nmsparse::{NmPattern, NmRagged};
+use dfss_tensor::{Matrix, RaggedBatch, Rng};
+
+/// Ragged decode fixture: B streams with deliberately misaligned cached
+/// lengths (odd lens exercise the dense tail), one query row each.
+struct Fixture {
+    q: Matrix<f32>,
+    k_panels: Vec<Matrix<f32>>,
+    v_panels: Vec<Matrix<f32>>,
+    d: usize,
+    d_v: usize,
+}
+
+fn fixture(lens: &[usize], d: usize, d_v: usize, seed: u64) -> Fixture {
+    let mut rng = Rng::new(seed);
+    let q = Matrix::random_normal(lens.len(), d, 0.0, 1.0, &mut rng);
+    let k_panels: Vec<Matrix<f32>> = lens
+        .iter()
+        .map(|&l| Matrix::random_normal(l, d, 0.0, 1.0, &mut rng))
+        .collect();
+    let v_panels: Vec<Matrix<f32>> = lens
+        .iter()
+        .map(|&l| Matrix::random_normal(l, d_v, 0.0, 1.0, &mut rng))
+        .collect();
+    Fixture {
+        q,
+        k_panels,
+        v_panels,
+        d,
+        d_v,
+    }
+}
+
+fn ragged_of(panels: &[Matrix<f32>]) -> RaggedBatch<f32> {
+    let refs: Vec<&Matrix<f32>> = panels.iter().collect();
+    RaggedBatch::gather(&refs)
+}
+
+fn q_row(f: &Fixture, s: usize) -> Matrix<f32> {
+    Matrix::from_vec(1, f.d, f.q.row(s).to_vec())
+}
+
+const LENS: [usize; 4] = [7, 16, 33, 2];
+
+#[test]
+fn fused_ragged_bit_identical_to_solo_loop_with_summed_charges() {
+    let f = fixture(&LENS, 16, 8, 1);
+    let pattern = NmPattern::P1_2;
+    let mut rctx = GpuCtx::a100();
+    let ragged =
+        sddmm::sddmm_nm_fused_ragged(&mut rctx, &f.q, &ragged_of(&f.k_panels), 0.25, pattern);
+    assert_eq!(rctx.timeline.entries().len(), 1);
+    assert_eq!(rctx.timeline.launches(), 1);
+
+    let mut sctx = GpuCtx::a100();
+    for (s, k) in f.k_panels.iter().enumerate() {
+        let solo = sddmm::sddmm_nm_decode(&mut sctx, &q_row(&f, s), k, 0.25, pattern);
+        assert_eq!(solo.row_codes(0), ragged.row_codes(s), "stream {s} codes");
+        let same = solo
+            .row_nonzeros(0)
+            .iter()
+            .zip(ragged.row_nonzeros(s))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "stream {s} values diverged");
+    }
+    // One summed profile: exactly the per-stream charges.
+    assert_eq!(sctx.timeline.entries().len(), LENS.len());
+    assert_eq!(rctx.timeline.total_bytes(), sctx.timeline.total_bytes());
+    let (re, ses) = (&rctx.timeline.entries()[0], sctx.timeline.entries());
+    assert_eq!(re.tc_macs, ses.iter().map(|e| e.tc_macs).sum::<u64>());
+    assert_eq!(re.alu_ops, ses.iter().map(|e| e.alu_ops).sum::<u64>());
+}
+
+#[test]
+fn dense_tail_is_kept_verbatim() {
+    // len = 7 under 1:2: 3 full groups + 1 dense tail position, which must
+    // hold the scaled score of the newest cached position.
+    let f = fixture(&[7], 8, 4, 2);
+    let mut ctx = GpuCtx::a100();
+    let comp = sddmm::sddmm_nm_decode(
+        &mut ctx,
+        &q_row(&f, 0),
+        &f.k_panels[0],
+        1.0,
+        NmPattern::P1_2,
+    );
+    assert_eq!(
+        (comp.kept_of(0), comp.groups_of(0), comp.tail_of(0)),
+        (4, 3, 1)
+    );
+    let mut cols = Vec::new();
+    comp.scan_row(0, |c, _| cols.push(c));
+    assert_eq!(
+        *cols.last().unwrap(),
+        6,
+        "tail column is the newest position"
+    );
+}
+
+#[test]
+fn unfused_ragged_matches_fused_selection() {
+    let f = fixture(&LENS, 8, 4, 3);
+    let pattern = NmPattern::P2_4;
+    let mut c1 = GpuCtx::a100();
+    let fused = sddmm::sddmm_nm_fused_ragged(&mut c1, &f.q, &ragged_of(&f.k_panels), 0.5, pattern);
+    let mut c2 = GpuCtx::a100();
+    let scores = gemm::gemm_nt_ragged(&mut c2, Stage::Qk, &f.q, &ragged_of(&f.k_panels), 0.5);
+    let unfused = sddmm::dense_prune_ragged(&mut c2, &scores, pattern);
+    for s in 0..LENS.len() {
+        assert_eq!(fused.row_codes(s), unfused.row_codes(s), "stream {s}");
+        for (a, b) in fused.row_nonzeros(s).iter().zip(unfused.row_nonzeros(s)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+    // The unfused path costs exactly the dense row writes + reads extra.
+    let dense_elems: u64 = LENS.iter().map(|&l| l as u64).sum();
+    let extra = c2.timeline.total_bytes() - c1.timeline.total_bytes();
+    assert_eq!(extra, 2 * dense_elems * 4);
+    // Two launches (score + prune) instead of one.
+    assert_eq!(c2.timeline.launches(), 2);
+}
+
+#[test]
+fn gemm_nt_ragged_bit_identical_to_solo_rows() {
+    let f = fixture(&LENS, 16, 8, 4);
+    let mut rctx = GpuCtx::a100();
+    let ragged = gemm::gemm_nt_ragged(&mut rctx, Stage::Qk, &f.q, &ragged_of(&f.k_panels), 0.125);
+    let mut sctx = GpuCtx::a100();
+    for (s, k) in f.k_panels.iter().enumerate() {
+        let solo = gemm::gemm_nt_decode(&mut sctx, Stage::Qk, &q_row(&f, s), k, 0.125);
+        let same = solo
+            .as_slice()
+            .iter()
+            .zip(ragged.panel(s))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "stream {s} diverged");
+    }
+    assert_eq!(rctx.timeline.launches(), 1);
+    assert_eq!(rctx.timeline.total_bytes(), sctx.timeline.total_bytes());
+}
+
+#[test]
+fn softmax_ragged_rows_are_distributions_and_charges_sum() {
+    let f = fixture(&LENS, 8, 4, 5);
+    let pattern = NmPattern::P1_2;
+    let mut bctx = GpuCtx::a100();
+    let mut batched =
+        sddmm::sddmm_nm_fused_ragged(&mut bctx, &f.q, &ragged_of(&f.k_panels), 1.0, pattern);
+    let mark = bctx.timeline.entries().len();
+    softmax::softmax_nm_ragged(&mut bctx, &mut batched);
+    assert_eq!(bctx.timeline.entries().len() - mark, 1);
+
+    let mut sctx = GpuCtx::a100();
+    for (s, k) in f.k_panels.iter().enumerate() {
+        let mut solo = sddmm::sddmm_nm_decode(&mut sctx, &q_row(&f, s), k, 1.0, pattern);
+        softmax::softmax_nm_ragged(&mut sctx, &mut solo);
+        let same = solo
+            .row_nonzeros(0)
+            .iter()
+            .zip(batched.row_nonzeros(s))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "stream {s} diverged");
+        let sum: f32 = batched.row_nonzeros(s).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "stream {s} sum {sum}");
+    }
+    assert_eq!(bctx.timeline.total_bytes(), sctx.timeline.total_bytes());
+}
+
+#[test]
+fn full_decode_pipeline_ragged_matches_solo_loop() {
+    // End-to-end over the three decode ops: one launch each, outputs
+    // bit-identical to the per-stream loop.
+    let f = fixture(&LENS, 16, 16, 6);
+    let pattern = NmPattern::P1_2;
+    let kb = ragged_of(&f.k_panels);
+    let vb = ragged_of(&f.v_panels);
+    let mut bctx = GpuCtx::a100();
+    let mut comp = sddmm::sddmm_nm_fused_ragged(&mut bctx, &f.q, &kb, 0.25, pattern);
+    softmax::softmax_nm_ragged(&mut bctx, &mut comp);
+    let out = spmm::spmm_nm_ragged(&mut bctx, &comp, &vb);
+    assert_eq!(out.shape(), (LENS.len(), f.d_v));
+    assert_eq!(bctx.timeline.entries().len(), 3);
+    assert_eq!(bctx.timeline.launches(), 3);
+
+    let mut sctx = GpuCtx::a100();
+    for s in 0..LENS.len() {
+        let mut solo =
+            sddmm::sddmm_nm_decode(&mut sctx, &q_row(&f, s), &f.k_panels[s], 0.25, pattern);
+        softmax::softmax_nm_ragged(&mut sctx, &mut solo);
+        let orow = spmm::spmm_nm_decode(&mut sctx, &solo, &f.v_panels[s]);
+        let same = orow
+            .as_slice()
+            .iter()
+            .zip(out.row(s))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "stream {s} diverged");
+    }
+    // 3 solo launches per stream vs 3 ragged launches total; same bytes.
+    assert_eq!(sctx.timeline.launches(), 3 * LENS.len() as u64);
+    assert_eq!(bctx.timeline.total_bytes(), sctx.timeline.total_bytes());
+}
+
+#[test]
+fn decode_output_approximates_dense_row_attention() {
+    // Semantics check: the Dfss decode row stays close to full dense row
+    // attention over the cache (softmax mass concentrates on kept scores).
+    let f = fixture(&[64], 32, 32, 7);
+    let pattern = NmPattern::P1_2;
+    let scale = 1.0 / (32.0f32).sqrt();
+    let mut ctx = GpuCtx::a100();
+    let mut comp = sddmm::sddmm_nm_decode(&mut ctx, &q_row(&f, 0), &f.k_panels[0], scale, pattern);
+    softmax::softmax_nm_ragged(&mut ctx, &mut comp);
+    let sparse = spmm::spmm_nm_decode(&mut ctx, &comp, &f.v_panels[0]);
+
+    // Dense reference.
+    let mut scores: Vec<f32> = (0..64)
+        .map(|j| {
+            f.q.row(0)
+                .iter()
+                .zip(f.k_panels[0].row(j))
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+                * scale
+        })
+        .collect();
+    dfss_tensor::math::softmax_row(&mut scores);
+    let mut dense = vec![0.0f32; 32];
+    for (j, &w) in scores.iter().enumerate() {
+        for (o, &x) in dense.iter_mut().zip(f.v_panels[0].row(j)) {
+            *o += w * x;
+        }
+    }
+    let err: f32 = sparse
+        .as_slice()
+        .iter()
+        .zip(&dense)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max);
+    let scale_ref: f32 = dense.iter().map(|x| x.abs()).fold(0.0, f32::max);
+    assert!(
+        err < 0.8 * scale_ref.max(1.0),
+        "decode err {err} vs dense {scale_ref}"
+    );
+}
+
+#[test]
+fn charge_only_decode_matches_exec_charges() {
+    let f = fixture(&LENS, 16, 8, 8);
+    let pattern = NmPattern::P1_2;
+    let kb = ragged_of(&f.k_panels);
+    let vb = ragged_of(&f.v_panels);
+    let run = |ctx: &mut GpuCtx| {
+        let mut comp = sddmm::sddmm_nm_fused_ragged(ctx, &f.q, &kb, 0.25, pattern);
+        softmax::softmax_nm_ragged(ctx, &mut comp);
+        let _ = spmm::spmm_nm_ragged(ctx, &comp, &vb);
+        comp
+    };
+    let mut exec = GpuCtx::a100();
+    let _ = run(&mut exec);
+    let mut charge = GpuCtx::a100_charge_only();
+    let comp = run(&mut charge);
+    // Structurally valid placeholder result, identical charges.
+    assert_eq!(comp.lens(), kb.lens());
+    assert!(comp.nonzeros().iter().all(|&x| x == 0.0));
+    assert_eq!(exec.timeline.total_bytes(), charge.timeline.total_bytes());
+    assert_eq!(exec.timeline.launches(), charge.timeline.launches());
+}
+
+#[test]
+fn ragged_kept_counts_follow_the_dense_tail_rule() {
+    for (len, pattern, want_kept) in [
+        (9usize, NmPattern::P1_2, 5usize),
+        (10, NmPattern::P2_4, 6),
+        (1, NmPattern::P1_2, 1),
+    ] {
+        assert_eq!(NmRagged::<f32>::kept_for(pattern, len), want_kept);
+    }
+}

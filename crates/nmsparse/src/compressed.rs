@@ -5,7 +5,9 @@
 //! smaller than the original one" for N/M = 1/2). Selection codes are one
 //! byte per M-group holding a bitmask of kept positions; for the hardware
 //! patterns (1:2 float, 2:4 bf16) the codes convert losslessly to and from
-//! the swizzled [`DeviceMeta`](crate::meta::DeviceMeta) layout.
+//! the swizzled [`DeviceMeta`] layout.
+//!
+//! [`DeviceMeta`]: crate::meta::DeviceMeta
 
 use crate::meta::{self, DeviceMeta, MetaError};
 use crate::pattern::NmPattern;
@@ -259,7 +261,7 @@ impl<T: Scalar> NmCompressed<T> {
     }
 
     /// Rebuild from device metadata + nonzeros (inverse of
-    /// [`to_device_meta`] plus the row-major nonzero store). Rejects
+    /// [`Self::to_device_meta`] plus the row-major nonzero store). Rejects
     /// unsupported patterns and malformed code streams with a typed
     /// [`MetaError`].
     pub fn from_device_meta(

@@ -32,6 +32,7 @@ pub mod csr;
 pub mod interleave;
 pub mod meta;
 pub mod pattern;
+pub mod ragged;
 
 pub use batch::NmBatch;
 pub use blocked_ell::BlockedEll;
@@ -39,3 +40,4 @@ pub use compressed::NmCompressed;
 pub use csr::Csr;
 pub use meta::MetaError;
 pub use pattern::{NmPattern, MAX_M};
+pub use ragged::NmRagged;

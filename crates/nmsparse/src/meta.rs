@@ -261,7 +261,7 @@ impl DeviceMeta {
         }
     }
 
-    /// Decode back to logical row-major codes (inverse of [`encode`]).
+    /// Decode back to logical row-major codes (inverse of [`Self::encode`]).
     pub fn decode(&self) -> Vec<u8> {
         let rows = self.rows;
         let bpr = Self::blocks_per_row(self.codes_per_row);

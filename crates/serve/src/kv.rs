@@ -1,0 +1,186 @@
+//! Append-only per-stream KV caches for decode serving.
+//!
+//! A decode session holds the keys and values of everything generated (or
+//! prefilled) so far; each decode step appends one row to each and attends
+//! the new query row over the whole history. [`KvCache`] backs the K and V
+//! rows **contiguously** (row-major `len × d` / `len × d_v` slabs) with
+//! `Vec`'s amortized doubling growth, so the engine's
+//! [`DecodeStep`](dfss_core::engine::DecodeStep) can borrow the slabs
+//! directly — the pack step copies them into the ragged launch exactly
+//! once, and appends are amortized O(row).
+
+use dfss_core::mechanism::RequestError;
+use dfss_tensor::{Matrix, Scalar};
+
+/// Identifier of an open decode session, unique per server for its
+/// lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// An append-only per-stream KV cache: contiguous row-major K (`len × d`)
+/// and V (`len × d_v`) slabs with amortized growth.
+#[derive(Clone, Debug)]
+pub struct KvCache<T> {
+    d: usize,
+    d_v: usize,
+    k: Vec<T>,
+    v: Vec<T>,
+}
+
+impl<T: Scalar> KvCache<T> {
+    /// Empty cache for keys of width `d` and values of width `d_v`.
+    pub fn new(d: usize, d_v: usize) -> KvCache<T> {
+        assert!(d > 0 && d_v > 0, "zero-width cache");
+        KvCache {
+            d,
+            d_v,
+            k: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Empty cache with room for `rows` positions reserved up front.
+    pub fn with_capacity(d: usize, d_v: usize, rows: usize) -> KvCache<T> {
+        let mut c = KvCache::new(d, d_v);
+        c.k.reserve(rows * d);
+        c.v.reserve(rows * d_v);
+        c
+    }
+
+    /// Key width.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Value width.
+    #[inline]
+    pub fn d_v(&self) -> usize {
+        self.d_v
+    }
+
+    /// Cached positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.k.len() / self.d
+    }
+
+    /// Whether nothing has been appended yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+
+    /// Logical footprint of the cached rows in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        ((self.k.len() + self.v.len()) * T::BYTES) as u64
+    }
+
+    /// Append one position (a `d`-wide key row and a `d_v`-wide value row).
+    pub fn append(&mut self, k_row: &[T], v_row: &[T]) -> Result<(), RequestError> {
+        if k_row.len() != self.d || v_row.len() != self.d_v {
+            return Err(RequestError::DecodeShapeMismatch {
+                reason: format!(
+                    "append rows of width ({}, {}) into a ({}, {}) cache",
+                    k_row.len(),
+                    v_row.len(),
+                    self.d,
+                    self.d_v
+                ),
+            });
+        }
+        self.k.extend_from_slice(k_row);
+        self.v.extend_from_slice(v_row);
+        Ok(())
+    }
+
+    /// Append a block of positions at once (prefill priming): `k` is
+    /// `rows × d`, `v` is `rows × d_v`.
+    pub fn extend(&mut self, k: &Matrix<T>, v: &Matrix<T>) -> Result<(), RequestError> {
+        if k.cols() != self.d || v.cols() != self.d_v || k.rows() != v.rows() {
+            return Err(RequestError::DecodeShapeMismatch {
+                reason: format!(
+                    "extend with K {}x{} / V {}x{} into a ({}, {}) cache",
+                    k.rows(),
+                    k.cols(),
+                    v.rows(),
+                    v.cols(),
+                    self.d,
+                    self.d_v
+                ),
+            });
+        }
+        self.k.extend_from_slice(k.as_slice());
+        self.v.extend_from_slice(v.as_slice());
+        Ok(())
+    }
+
+    /// The contiguous K slab (`len × d` row-major elements).
+    #[inline]
+    pub fn k_rows(&self) -> &[T] {
+        &self.k
+    }
+
+    /// The contiguous V slab (`len × d_v` row-major elements).
+    #[inline]
+    pub fn v_rows(&self) -> &[T] {
+        &self.v
+    }
+
+    /// Copy the cached keys out as a `len × d` matrix (test/reference use).
+    pub fn k_matrix(&self) -> Matrix<T> {
+        Matrix::from_vec(self.len(), self.d, self.k.clone())
+    }
+
+    /// Copy the cached values out as a `len × d_v` matrix.
+    pub fn v_matrix(&self) -> Matrix<T> {
+        Matrix::from_vec(self.len(), self.d_v, self.v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_grows_contiguously() {
+        let mut c = KvCache::<f32>::new(2, 3);
+        assert!(c.is_empty());
+        c.append(&[1.0, 2.0], &[3.0, 4.0, 5.0]).unwrap();
+        c.append(&[6.0, 7.0], &[8.0, 9.0, 10.0]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.k_rows(), &[1.0, 2.0, 6.0, 7.0]);
+        assert_eq!(c.v_rows(), &[3.0, 4.0, 5.0, 8.0, 9.0, 10.0]);
+        assert_eq!(c.bytes(), (4 + 6) * 4);
+        assert_eq!(c.k_matrix().shape(), (2, 2));
+    }
+
+    #[test]
+    fn extend_primes_many_rows() {
+        let mut c = KvCache::<f32>::with_capacity(2, 2, 8);
+        let k = Matrix::from_fn(3, 2, |r, col| (r * 2 + col) as f32);
+        let v = Matrix::from_fn(3, 2, |r, col| -((r + col) as f32));
+        c.extend(&k, &v).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.k_rows(), k.as_slice());
+        assert_eq!(c.v_matrix(), v);
+    }
+
+    #[test]
+    fn mismatched_rows_are_typed_errors() {
+        let mut c = KvCache::<f32>::new(2, 2);
+        let err = c.append(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
+        let k = Matrix::<f32>::zeros(2, 3);
+        let v = Matrix::<f32>::zeros(2, 2);
+        assert!(c.extend(&k, &v).is_err());
+        assert!(c.is_empty(), "failed appends must not mutate the cache");
+    }
+}

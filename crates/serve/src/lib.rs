@@ -1,48 +1,107 @@
 //! # dfss-serve — the async attention serving layer
 //!
-//! The ROADMAP's heavy-traffic story: independent `(Q, K, V)` requests
-//! arrive at unpredictable times; the server admits them into **shape
-//! buckets**, closes a bucket when it is full (`max_batch`) or its oldest
-//! request has waited long enough (`max_delay`), and runs the closed batch
-//! through the [`AttentionEngine`] as **one batched launch per op** —
-//! exactly the deployment regime the paper motivates with its "drop-in
-//! module at inference time" claim (§5.2, A.1.2).
+//! The ROADMAP's heavy-traffic story, in two kinds of traffic:
+//!
+//! * **Prefill** — independent `(Q, K, V)` requests arrive at unpredictable
+//!   times; the server admits them into **shape buckets**, closes a bucket
+//!   when it is full (`max_batch`) or its oldest request has waited long
+//!   enough (`max_delay`), and runs the closed batch through the
+//!   [`AttentionEngine`] as **one batched launch per op** — the deployment
+//!   regime the paper motivates with its "drop-in module at inference time"
+//!   claim (§5.2, A.1.2).
+//! * **Decode** — the traffic that dominates production inference: each
+//!   open **session** owns an append-only KV cache ([`KvCache`]), and every
+//!   [`DecodeRequest`] carries one new query row to attend over the
+//!   session's whole history. Decode steps from *different* sessions
+//!   coalesce into **one ragged launch per op**
+//!   ([`AttentionEngine::flush_decode`]) even though their cached lengths
+//!   differ — outputs stay bit-identical to serving each stream alone.
 //!
 //! Architecture (no tokio — a plain batcher thread; the batched launches
 //! themselves fan out on the vendored rayon-compat worker pool like every
 //! other kernel):
 //!
 //! ```text
-//!  clients ── submit(Q,K,V) ──► admission (typed RequestError on bad shapes)
+//!  clients ── submit(Q,K,V) ───────────► admission (typed RequestError)
+//!          ── open / append / close ───► session registry + KV caches
+//!          ── submit_decode(q_row) ────► admission (session + width checks)
 //!                                   │ mpsc
 //!                                   ▼
 //!                            batcher thread
-//!                  shape-bucketed queue + close policy
+//!              shape-bucketed prefill queue + decode queue
 //!                   (max_batch reached | max_delay due)
 //!                                   │ closed batch
 //!                                   ▼
-//!                       AttentionEngine::submit × B
-//!                       AttentionEngine::flush  ──► one launch per op
-//!                                   │ per-request outputs + latency
+//!              engine.flush()  /  engine.flush_decode(steps)
+//!                                   │ one (ragged) launch per op
 //!                                   ▼
-//!                     ResponseHandle::wait() on each client
+//!              ResponseHandle / DecodeHandle ::wait() on each client
 //! ```
 //!
 //! Every response carries the request's full latency breakdown (queue wait,
 //! service wall-clock, end-to-end) plus the simulated-device latency of its
 //! batch, so the load generator in `dfss-bench` can report host and device
-//! tail latency against offered load.
+//! tail latency against offered load — and tokens/sec against concurrent
+//! decode streams.
+//!
+//! [`AttentionEngine`]: dfss_core::engine::AttentionEngine
+//! [`AttentionEngine::flush_decode`]: dfss_core::engine::AttentionEngine::flush_decode
+//!
+//! ```
+//! use dfss_serve::{AttentionServer, BatchPolicy, DecodeRequest};
+//! use dfss_core::dfss::DfssAttention;
+//! use dfss_core::mechanism::Attention;
+//! use dfss_nmsparse::NmPattern;
+//! use std::{sync::Arc, time::Duration};
+//!
+//! let mech: Arc<dyn Attention<f32> + Send + Sync> =
+//!     Arc::new(DfssAttention::new(NmPattern::P1_2));
+//! let server = AttentionServer::start(mech, BatchPolicy::batched(8, Duration::from_millis(1)));
+//!
+//! // A decode session: open, prime the cache, then decode step by step.
+//! let session = server.open_session(16, 16).unwrap();
+//! for t in 0..5 {
+//!     let row: Vec<f32> = (0..16).map(|i| (t * 16 + i) as f32 * 0.01).collect();
+//!     server.append(session, row.clone(), row).unwrap();
+//! }
+//! let q_row: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+//! let handle = server.submit_decode(DecodeRequest { session, q_row }).unwrap();
+//! let served = handle.wait().unwrap();
+//! assert_eq!(served.output.shape(), (1, 16));
+//! assert_eq!(served.cached_len, 5);
+//! server.close_session(session).unwrap();
+//! let stats = server.shutdown();
+//! assert_eq!(stats.decode_steps, 1);
+//! ```
+#![deny(missing_docs)]
 
+mod kv;
 mod queue;
 mod server;
 
 pub use dfss_core::engine::{ShapeKey, Ticket};
 pub use dfss_core::mechanism::RequestError;
-pub use server::{AttentionServer, ResponseHandle, Served};
+pub use kv::{KvCache, SessionId};
+pub use server::{AttentionServer, DecodeHandle, ResponseHandle, Served, ServedDecode};
 
 use std::time::Duration;
 
-/// When the batcher closes a bucket and launches it.
+/// When the batcher closes a bucket (or the decode queue) and launches it.
+///
+/// The two closing rules interact as follows, for prefill buckets and the
+/// decode queue alike:
+///
+/// * **`max_batch`** closes *immediately on admission*: the push that fills
+///   a bucket to `max_batch` launches it synchronously, without waiting for
+///   the deadline.
+/// * **`max_delay`** closes a *partial* bucket, measured from the admission
+///   of its **oldest** waiting request — later arrivals never extend the
+///   wait. A request therefore waits at most `max_delay` before its launch
+///   starts.
+/// * An expired deadline with **nothing pending is a no-op**: the batcher
+///   never emits a zero-size launch, and an idle server records no batches
+///   (pinned by `queue::tests::empty_queue_has_no_deadline_and_no_due_buckets`
+///   and the engine's empty-flush tests).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Close a bucket as soon as it holds this many requests.
@@ -72,6 +131,36 @@ impl BatchPolicy {
     }
 }
 
+/// A decode-step request: one new query row to attend over everything the
+/// session has cached so far.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodeRequest<T> {
+    /// The open session whose KV cache the step attends over.
+    pub session: SessionId,
+    /// The new query row (`d` elements, the session's key width).
+    pub q_row: Vec<T>,
+}
+
+/// Why a session operation was refused at the front door.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The session was never opened, or was already closed.
+    UnknownSession(SessionId),
+    /// The operation's shapes failed validation against the session.
+    Rejected(RequestError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownSession(id) => write!(f, "unknown {id}"),
+            SessionError::Rejected(e) => write!(f, "session operation rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Why a response never arrived.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
@@ -99,25 +188,51 @@ impl std::error::Error for ServeError {}
 /// [`AttentionServer::shutdown`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServeStats {
-    /// Requests served to completion.
+    /// Prefill requests served to completion.
     pub served: u64,
     /// Requests rejected at admission with a typed error.
     pub rejected: u64,
-    /// Batched launches executed (closed buckets).
+    /// Batched prefill launches executed (closed buckets).
     pub batches: u64,
-    /// Largest batch observed.
+    /// Largest prefill batch observed.
     pub max_batch: usize,
-    /// Total simulated-device latency across all launches.
+    /// Decode steps served to completion.
+    pub decode_steps: u64,
+    /// Ragged decode launches executed (closed decode batches).
+    pub decode_batches: u64,
+    /// Largest decode batch (concurrent streams in one ragged launch)
+    /// observed.
+    pub max_decode_batch: usize,
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed over the server's lifetime.
+    pub sessions_closed: u64,
+    /// KV-cache rows appended across all sessions (decode appends +
+    /// prefill-priming rows).
+    pub kv_rows_appended: u64,
+    /// Peak concurrent KV-cache bytes across all open sessions.
+    pub kv_bytes_peak: u64,
+    /// Total simulated-device latency across all launches (prefill +
+    /// decode).
     pub total_sim_latency_s: f64,
 }
 
 impl ServeStats {
-    /// Mean requests per batched launch.
+    /// Mean requests per batched prefill launch.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
             0.0
         } else {
             self.served as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean concurrent streams per ragged decode launch.
+    pub fn mean_decode_batch(&self) -> f64 {
+        if self.decode_batches == 0 {
+            0.0
+        } else {
+            self.decode_steps as f64 / self.decode_batches as f64
         }
     }
 }

@@ -173,6 +173,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_queue_has_no_deadline_and_no_due_buckets() {
+        // The deadline-close edge the BatchPolicy docs pin: with nothing
+        // pending there is no deadline to arm, and an (impossible) expired
+        // deadline yields zero buckets — never a zero-size launch.
+        let mut q: BucketQueue<f32, usize> =
+            BucketQueue::new(BatchPolicy::batched(4, Duration::ZERO));
+        assert!(q.next_deadline().is_none());
+        assert!(q.take_due(Instant::now()).is_empty());
+        assert!(q.take_all().is_empty());
+    }
+
+    #[test]
     fn take_all_drains() {
         let mut q = BucketQueue::new(BatchPolicy::batched(10, Duration::from_secs(60)));
         let _ = q.push(req(16, 8));

@@ -1,18 +1,32 @@
 //! The attention server: admission front door + batcher thread.
+//!
+//! Prefill requests flow through the shape-bucketed queue exactly as
+//! before; decode traffic adds a session registry (synchronous admission
+//! checks on the caller's thread), per-session [`KvCache`]s owned by the
+//! batcher thread, and a decode queue that coalesces steps from different
+//! sessions into one ragged launch per op.
+//!
+//! **Decode determinism**: a decode step attends over exactly the rows its
+//! session had appended before the step was submitted. The batcher
+//! enforces this by flushing the decode queue before applying an append or
+//! close for a session that already has a queued step — cache mutations
+//! can never race ahead of a waiting decode.
 
+use crate::kv::{KvCache, SessionId};
 use crate::queue::{Bucket, BucketQueue, QueuedRequest};
-use crate::{BatchPolicy, ServeError, ServeStats};
-use dfss_core::engine::{AttentionEngine, ShapeKey, Ticket};
+use crate::{BatchPolicy, DecodeRequest, ServeError, ServeStats, SessionError};
+use dfss_core::engine::{AttentionEngine, DecodeStep, ShapeKey, Ticket};
 use dfss_core::mechanism::{try_check_qkv, Attention, RequestError};
 use dfss_kernels::GpuCtx;
 use dfss_tensor::{Matrix, Scalar};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One served request, with its latency breakdown.
+/// One served prefill request, with its latency breakdown.
 #[derive(Debug)]
 pub struct Served<T: Scalar> {
     /// The attention output, bit-identical to a solo `forward` call.
@@ -34,7 +48,31 @@ pub struct Served<T: Scalar> {
     pub sim_latency_s: f64,
 }
 
-/// Client-side handle for one submitted request.
+/// One served decode step, with its latency breakdown.
+#[derive(Debug)]
+pub struct ServedDecode<T: Scalar> {
+    /// The `1 × d_v` output row, bit-identical to a solo decode of the
+    /// session's cache.
+    pub output: Matrix<T>,
+    /// Engine ticket (shared sequence with prefill tickets).
+    pub ticket: Ticket,
+    /// The session the step decoded.
+    pub session: SessionId,
+    /// The session's cached length the step attended over.
+    pub cached_len: usize,
+    /// Concurrent streams that shared the step's ragged launch.
+    pub batch_size: usize,
+    /// Admission → decode-queue close.
+    pub queue_wait: std::time::Duration,
+    /// Queue close → outputs ready (host wall-clock of the launches).
+    pub service: std::time::Duration,
+    /// Admission → response (end-to-end host latency).
+    pub latency: std::time::Duration,
+    /// Simulated-device latency of the step's whole ragged launch.
+    pub sim_latency_s: f64,
+}
+
+/// Client-side handle for one submitted prefill request.
 #[derive(Debug)]
 pub struct ResponseHandle<T: Scalar> {
     rx: Receiver<Result<Served<T>, ServeError>>,
@@ -50,25 +88,83 @@ impl<T: Scalar> ResponseHandle<T> {
     }
 }
 
+/// Client-side handle for one submitted decode step.
+#[derive(Debug)]
+pub struct DecodeHandle<T: Scalar> {
+    rx: Receiver<Result<ServedDecode<T>, ServeError>>,
+}
+
+impl<T: Scalar> DecodeHandle<T> {
+    /// Block until the step is served (or the server stops).
+    pub fn wait(self) -> Result<ServedDecode<T>, ServeError> {
+        match self.rx.recv() {
+            Ok(res) => res,
+            Err(_) => Err(ServeError::ServerStopped),
+        }
+    }
+}
+
 type Reply<T> = SyncSender<Result<Served<T>, ServeError>>;
+type DecodeReply<T> = SyncSender<Result<ServedDecode<T>, ServeError>>;
+
+/// Synchronous admission view of one session (the caches themselves live
+/// on the batcher thread).
+struct SessionMeta {
+    d: usize,
+    d_v: usize,
+    len: usize,
+}
 
 enum Msg<T: Scalar> {
     Request(QueuedRequest<T, Reply<T>>),
+    Open {
+        id: u64,
+        d: usize,
+        d_v: usize,
+    },
+    Append {
+        id: u64,
+        k_row: Vec<T>,
+        v_row: Vec<T>,
+    },
+    Extend {
+        id: u64,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    },
+    Close {
+        id: u64,
+    },
+    Decode {
+        id: u64,
+        q_row: Vec<T>,
+        submitted: Instant,
+        reply: DecodeReply<T>,
+    },
     Shutdown,
 }
 
 /// An async attention server over one mechanism.
 ///
-/// `submit` is the admission front door: it validates the triple against
-/// the mechanism's shape constraints on the caller's thread (typed
+/// `submit` is the prefill admission front door: it validates the triple
+/// against the mechanism's shape constraints on the caller's thread (typed
 /// [`RequestError`], never a panic) and enqueues it to the batcher thread,
 /// returning a [`ResponseHandle`] immediately. The batcher coalesces
 /// same-shape requests per [`BatchPolicy`] and serves each closed bucket as
 /// one [`AttentionEngine::flush`] — a single batched launch per op.
+///
+/// `open_session` / `append` / `submit_decode` / `close_session` are the
+/// decode front door: sessions own append-only [`KvCache`]s on the batcher
+/// thread, admission checks run synchronously against a shared registry,
+/// and queued decode steps close into one
+/// [`AttentionEngine::flush_decode`] per batch — a single **ragged** launch
+/// per op across all streams, whatever their cached lengths.
 pub struct AttentionServer<T: Scalar> {
     mech: Arc<dyn Attention<T> + Send + Sync>,
     tx: Sender<Msg<T>>,
     rejected: Arc<AtomicU64>,
+    next_session: AtomicU64,
+    sessions: Arc<Mutex<HashMap<u64, SessionMeta>>>,
     worker: Option<JoinHandle<ServeStats>>,
 }
 
@@ -98,13 +194,15 @@ impl<T: Scalar> AttentionServer<T> {
             mech,
             tx,
             rejected: Arc::new(AtomicU64::new(0)),
+            next_session: AtomicU64::new(0),
+            sessions: Arc::new(Mutex::new(HashMap::new())),
             worker: Some(worker),
         }
     }
 
-    /// Validate and enqueue one request. Returns immediately; the output
-    /// arrives on the handle. Malformed or unservable requests come back
-    /// as typed errors without reaching the queue.
+    /// Validate and enqueue one prefill request. Returns immediately; the
+    /// output arrives on the handle. Malformed or unservable requests come
+    /// back as typed errors without reaching the queue.
     pub fn submit(
         &self,
         q: Matrix<T>,
@@ -131,8 +229,145 @@ impl<T: Scalar> AttentionServer<T> {
         Ok(ResponseHandle { rx })
     }
 
-    /// Drain every open bucket, stop the batcher and return lifetime
-    /// counters.
+    /// Open a decode session for keys of width `d` and values of width
+    /// `d_v`. The session's KV cache starts empty; prime it with
+    /// [`append`](Self::append) / [`extend`](Self::extend) before the first
+    /// decode step.
+    pub fn open_session(&self, d: usize, d_v: usize) -> Result<SessionId, SessionError> {
+        if d == 0 || d_v == 0 {
+            return Err(SessionError::Rejected(RequestError::EmptyRequest));
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .unwrap()
+            .insert(id, SessionMeta { d, d_v, len: 0 });
+        let _ = self.tx.send(Msg::Open { id, d, d_v });
+        Ok(SessionId(id))
+    }
+
+    /// Append one position (a key row and a value row) to a session's
+    /// cache. Width mismatches are rejected synchronously with a typed
+    /// error; the rows themselves land on the batcher thread in submission
+    /// order, so a subsequent decode step always sees them.
+    pub fn append(
+        &self,
+        session: SessionId,
+        k_row: Vec<T>,
+        v_row: Vec<T>,
+    ) -> Result<(), SessionError> {
+        {
+            let mut reg = self.sessions.lock().unwrap();
+            let meta = reg
+                .get_mut(&session.0)
+                .ok_or(SessionError::UnknownSession(session))?;
+            if k_row.len() != meta.d || v_row.len() != meta.d_v {
+                return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
+                    reason: format!(
+                        "append rows of width ({}, {}) into a ({}, {}) session",
+                        k_row.len(),
+                        v_row.len(),
+                        meta.d,
+                        meta.d_v
+                    ),
+                }));
+            }
+            meta.len += 1;
+        }
+        let _ = self.tx.send(Msg::Append {
+            id: session.0,
+            k_row,
+            v_row,
+        });
+        Ok(())
+    }
+
+    /// Append a block of positions at once (prefill priming): `k` is
+    /// `rows × d`, `v` is `rows × d_v`.
+    pub fn extend(
+        &self,
+        session: SessionId,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    ) -> Result<(), SessionError> {
+        {
+            let mut reg = self.sessions.lock().unwrap();
+            let meta = reg
+                .get_mut(&session.0)
+                .ok_or(SessionError::UnknownSession(session))?;
+            if k.cols() != meta.d || v.cols() != meta.d_v || k.rows() != v.rows() {
+                return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
+                    reason: format!(
+                        "extend with K {}x{} / V {}x{} into a ({}, {}) session",
+                        k.rows(),
+                        k.cols(),
+                        v.rows(),
+                        v.cols(),
+                        meta.d,
+                        meta.d_v
+                    ),
+                }));
+            }
+            meta.len += k.rows();
+        }
+        let _ = self.tx.send(Msg::Extend {
+            id: session.0,
+            k,
+            v,
+        });
+        Ok(())
+    }
+
+    /// Validate and enqueue one decode step. Returns immediately; the
+    /// output row arrives on the handle. The step attends over exactly the
+    /// rows appended to the session before this call.
+    pub fn submit_decode(&self, req: DecodeRequest<T>) -> Result<DecodeHandle<T>, SessionError> {
+        {
+            let reg = self.sessions.lock().unwrap();
+            let meta = reg
+                .get(&req.session.0)
+                .ok_or(SessionError::UnknownSession(req.session))?;
+            if req.q_row.len() != meta.d {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
+                    reason: format!(
+                        "query row has {} elements, session width is {}",
+                        req.q_row.len(),
+                        meta.d
+                    ),
+                }));
+            }
+            if meta.len == 0 {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SessionError::Rejected(RequestError::EmptyRequest));
+            }
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        let _ = self.tx.send(Msg::Decode {
+            id: req.session.0,
+            q_row: req.q_row,
+            submitted: Instant::now(),
+            reply,
+        });
+        Ok(DecodeHandle { rx })
+    }
+
+    /// Close a session and drop its KV cache. Queued decode steps for the
+    /// session are flushed first, so nothing already admitted is lost;
+    /// subsequent operations on the id get
+    /// [`SessionError::UnknownSession`].
+    pub fn close_session(&self, session: SessionId) -> Result<(), SessionError> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .remove(&session.0)
+            .ok_or(SessionError::UnknownSession(session))?;
+        let _ = self.tx.send(Msg::Close { id: session.0 });
+        Ok(())
+    }
+
+    /// Drain every open bucket and queued decode step, stop the batcher and
+    /// return lifetime counters.
     pub fn shutdown(mut self) -> ServeStats {
         let _ = self.tx.send(Msg::Shutdown);
         let mut stats = match self.worker.take() {
@@ -153,8 +388,46 @@ impl<T: Scalar> Drop for AttentionServer<T> {
     }
 }
 
-/// The batcher thread: shape-bucketed admission, max-batch + deadline close
-/// policy, one engine flush per closed bucket.
+/// One queued decode step on the batcher thread.
+struct PendingDecode<T: Scalar> {
+    id: u64,
+    q_row: Vec<T>,
+    submitted: Instant,
+    reply: DecodeReply<T>,
+}
+
+/// The batcher thread's session + decode state.
+struct DecodeState<T: Scalar> {
+    caches: HashMap<u64, KvCache<T>>,
+    pending: Vec<PendingDecode<T>>,
+    /// Running total of cached bytes across all open sessions.
+    kv_bytes: u64,
+}
+
+impl<T: Scalar> DecodeState<T> {
+    fn new() -> DecodeState<T> {
+        DecodeState {
+            caches: HashMap::new(),
+            pending: Vec::new(),
+            kv_bytes: 0,
+        }
+    }
+
+    fn next_deadline(&self, policy: &BatchPolicy) -> Option<Instant> {
+        self.pending
+            .iter()
+            .map(|p| p.submitted + policy.max_delay)
+            .min()
+    }
+
+    fn has_pending_for(&self, id: u64) -> bool {
+        self.pending.iter().any(|p| p.id == id)
+    }
+}
+
+/// The batcher thread: shape-bucketed prefill admission plus the decode
+/// queue, max-batch + deadline close policy for both, one engine flush per
+/// closed batch.
 fn batcher_loop<T: Scalar>(
     mech: Arc<dyn Attention<T> + Send + Sync>,
     policy: BatchPolicy,
@@ -163,10 +436,15 @@ fn batcher_loop<T: Scalar>(
 ) -> ServeStats {
     let mut engine = AttentionEngine::with_ctx(mech.as_ref(), ctx);
     let mut queue: BucketQueue<T, Reply<T>> = BucketQueue::new(policy);
+    let mut decode = DecodeState::new();
     let mut stats = ServeStats::default();
     let mut stopping = false;
     while !stopping {
-        let msg = match queue.next_deadline() {
+        let deadline = match (queue.next_deadline(), decode.next_deadline(&policy)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let msg = match deadline {
             None => match rx.recv() {
                 Ok(m) => Some(m),
                 Err(_) => break, // all senders gone: drain and stop
@@ -192,6 +470,63 @@ fn batcher_loop<T: Scalar>(
                         serve_bucket(&mut engine, full, &mut stats);
                     }
                 }
+                Some(Msg::Open { id, d, d_v }) => {
+                    decode.caches.insert(id, KvCache::new(d, d_v));
+                    stats.sessions_opened += 1;
+                }
+                Some(Msg::Append { id, k_row, v_row }) => {
+                    // Determinism: a queued decode for this session must
+                    // launch against the cache as of its submission.
+                    if decode.has_pending_for(id) {
+                        serve_decode(&mut engine, &mut decode, &mut stats);
+                    }
+                    if let Some(cache) = decode.caches.get_mut(&id) {
+                        if cache.append(&k_row, &v_row).is_ok() {
+                            stats.kv_rows_appended += 1;
+                            decode.kv_bytes += ((k_row.len() + v_row.len()) * T::BYTES) as u64;
+                            stats.kv_bytes_peak = stats.kv_bytes_peak.max(decode.kv_bytes);
+                        }
+                    }
+                }
+                Some(Msg::Extend { id, k, v }) => {
+                    if decode.has_pending_for(id) {
+                        serve_decode(&mut engine, &mut decode, &mut stats);
+                    }
+                    if let Some(cache) = decode.caches.get_mut(&id) {
+                        let rows = k.rows();
+                        let bytes = ((k.len() + v.len()) * T::BYTES) as u64;
+                        if cache.extend(&k, &v).is_ok() {
+                            stats.kv_rows_appended += rows as u64;
+                            decode.kv_bytes += bytes;
+                            stats.kv_bytes_peak = stats.kv_bytes_peak.max(decode.kv_bytes);
+                        }
+                    }
+                }
+                Some(Msg::Close { id }) => {
+                    if decode.has_pending_for(id) {
+                        serve_decode(&mut engine, &mut decode, &mut stats);
+                    }
+                    if let Some(cache) = decode.caches.remove(&id) {
+                        decode.kv_bytes = decode.kv_bytes.saturating_sub(cache.bytes());
+                        stats.sessions_closed += 1;
+                    }
+                }
+                Some(Msg::Decode {
+                    id,
+                    q_row,
+                    submitted,
+                    reply,
+                }) => {
+                    decode.pending.push(PendingDecode {
+                        id,
+                        q_row,
+                        submitted,
+                        reply,
+                    });
+                    if decode.pending.len() >= policy.max_batch {
+                        serve_decode(&mut engine, &mut decode, &mut stats);
+                    }
+                }
                 Some(Msg::Shutdown) => {
                     stopping = true;
                     break;
@@ -200,18 +535,26 @@ fn batcher_loop<T: Scalar>(
             }
             next = rx.try_recv().ok();
         }
-        for due in queue.take_due(Instant::now()) {
+        let now = Instant::now();
+        for due in queue.take_due(now) {
             serve_bucket(&mut engine, due, &mut stats);
+        }
+        if decode
+            .next_deadline(&policy)
+            .is_some_and(|deadline| deadline <= now)
+        {
+            serve_decode(&mut engine, &mut decode, &mut stats);
         }
     }
     for bucket in queue.take_all() {
         serve_bucket(&mut engine, bucket, &mut stats);
     }
+    serve_decode(&mut engine, &mut decode, &mut stats);
     stats
 }
 
-/// Launch one closed bucket: engine submit × B, one flush (one batched
-/// launch per op), reply per request with its latency breakdown.
+/// Launch one closed prefill bucket: engine submit × B, one flush (one
+/// batched launch per op), reply per request with its latency breakdown.
 fn serve_bucket<T: Scalar>(
     engine: &mut AttentionEngine<'_, T>,
     bucket: Bucket<T, Reply<T>>,
@@ -257,9 +600,93 @@ fn serve_bucket<T: Scalar>(
     engine.reset_timeline();
 }
 
+/// Launch the queued decode steps as one ragged flush (one launch per op
+/// across all streams), reply per step with its latency breakdown. A call
+/// with nothing queued is a no-op.
+fn serve_decode<T: Scalar>(
+    engine: &mut AttentionEngine<'_, T>,
+    decode: &mut DecodeState<T>,
+    stats: &mut ServeStats,
+) {
+    if decode.pending.is_empty() {
+        return;
+    }
+    let closed_at = Instant::now();
+    let pending = std::mem::take(&mut decode.pending);
+    // Admission validated widths and non-empty caches; a session whose
+    // cache vanished between admission and launch (registry/batcher race on
+    // a close) gets a typed rejection, not a panic.
+    let mut live: Vec<&PendingDecode<T>> = Vec::with_capacity(pending.len());
+    for p in &pending {
+        match decode.caches.get(&p.id) {
+            Some(cache) if !cache.is_empty() => live.push(p),
+            _ => {
+                let _ = p
+                    .reply
+                    .send(Err(ServeError::Rejected(RequestError::EmptyRequest)));
+            }
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let steps: Vec<DecodeStep<'_, T>> = live
+        .iter()
+        .map(|p| {
+            let cache = &decode.caches[&p.id];
+            DecodeStep {
+                q_row: &p.q_row,
+                k_rows: cache.k_rows(),
+                v_rows: cache.v_rows(),
+                len: cache.len(),
+                d: cache.d(),
+                d_v: cache.d_v(),
+            }
+        })
+        .collect();
+    match engine.flush_decode(&steps) {
+        Ok(results) => {
+            let service = closed_at.elapsed();
+            // One "batch" per ragged launch group: the engine buckets steps
+            // by (d, d_v), so a flush over mixed-width sessions runs (and
+            // counts) several launches, each sized by its own streams.
+            for bucket in &engine.last_decode().buckets {
+                stats.decode_batches += 1;
+                stats.max_decode_batch = stats.max_decode_batch.max(bucket.streams);
+            }
+            stats.total_sim_latency_s += engine.last_decode().sim_latency_s();
+            // Results come back in step order, matching `live`.
+            for (res, p) in results.into_iter().zip(&live) {
+                stats.decode_steps += 1;
+                let served = ServedDecode {
+                    output: res
+                        .output
+                        .expect("serving engines run in exec mode and materialise outputs"),
+                    ticket: res.ticket,
+                    session: SessionId(p.id),
+                    cached_len: res.cached_len,
+                    batch_size: res.batch_size,
+                    queue_wait: closed_at.saturating_duration_since(p.submitted),
+                    service,
+                    latency: p.submitted.elapsed(),
+                    sim_latency_s: res.sim_latency_s,
+                };
+                let _ = p.reply.send(Ok(served));
+            }
+        }
+        Err(e) => {
+            for p in &live {
+                let _ = p.reply.send(Err(ServeError::Rejected(e.clone())));
+            }
+        }
+    }
+    engine.reset_timeline();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SessionError;
     use dfss_core::dfss::DfssAttention;
     use dfss_core::full::FullAttention;
     use dfss_nmsparse::NmPattern;
@@ -268,10 +695,14 @@ mod tests {
 
     fn request(n: usize, d: usize, rng: &mut Rng) -> (Matrix<f32>, Matrix<f32>, Matrix<f32>) {
         (
-            Matrix::random_normal(n, d, 0.0, 1.0, rng),
-            Matrix::random_normal(n, d, 0.0, 1.0, rng),
-            Matrix::random_normal(n, d, 0.0, 1.0, rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut *rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut *rng),
+            Matrix::random_normal(n, d, 0.0, 1.0, &mut *rng),
         )
+    }
+
+    fn row(d: usize, rng: &mut Rng) -> Vec<f32> {
+        (0..d).map(|_| rng.normal(0.0, 1.0)).collect()
     }
 
     #[test]
@@ -420,5 +851,231 @@ mod tests {
         for h in handles {
             assert!(h.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn decode_steps_batch_across_sessions_and_match_solo_decode() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(3, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(17);
+        let (d, d_v) = (8usize, 8usize);
+        // Three sessions with different (and misaligned) cached lengths.
+        let lens = [5usize, 12, 9];
+        let mut sessions = Vec::new();
+        let mut caches = Vec::new();
+        for &len in &lens {
+            let s = server.open_session(d, d_v).unwrap();
+            let k = Matrix::<f32>::random_normal(len, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::<f32>::random_normal(len, d_v, 0.0, 1.0, &mut rng);
+            server.extend(s, k.clone(), v.clone()).unwrap();
+            sessions.push(s);
+            caches.push((k, v));
+        }
+        let q_rows: Vec<Vec<f32>> = lens.iter().map(|_| row(d, &mut rng)).collect();
+        // max_batch = 3: the third submission closes the decode batch.
+        let handles: Vec<DecodeHandle<f32>> = sessions
+            .iter()
+            .zip(&q_rows)
+            .map(|(&s, q)| {
+                server
+                    .submit_decode(DecodeRequest {
+                        session: s,
+                        q_row: q.clone(),
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let served = h.wait().expect("served");
+            assert_eq!(served.batch_size, 3, "steps must share one ragged launch");
+            assert_eq!(served.cached_len, lens[i]);
+            assert_eq!(served.session, sessions[i]);
+            assert!(served.sim_latency_s > 0.0);
+            let mut sctx = GpuCtx::a100();
+            let q_row = Matrix::from_vec(1, d, q_rows[i].clone());
+            let want = mech.decode(&mut sctx, &q_row, &caches[i].0, &caches[i].1);
+            let same = served
+                .output
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "stream {i} diverged from solo decode");
+        }
+        let stats = server.shutdown();
+        assert_eq!((stats.decode_steps, stats.decode_batches), (3, 1));
+        assert_eq!(stats.max_decode_batch, 3);
+        assert_eq!(stats.sessions_opened, 3);
+        assert_eq!(stats.kv_rows_appended, 26);
+        assert_eq!(stats.kv_bytes_peak, 26 * (8 + 8) * 4);
+    }
+
+    #[test]
+    fn appends_after_a_queued_decode_do_not_leak_into_it() {
+        // The decode step must see the cache as of its submission even if
+        // an append for the same session arrives while it waits for
+        // batch-mates.
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(19);
+        let (d, d_v) = (8usize, 8usize);
+        let s = server.open_session(d, d_v).unwrap();
+        let k = Matrix::<f32>::random_normal(6, d, 0.0, 1.0, &mut rng);
+        let v = Matrix::<f32>::random_normal(6, d_v, 0.0, 1.0, &mut rng);
+        server.extend(s, k.clone(), v.clone()).unwrap();
+        let q = row(d, &mut rng);
+        let handle = server
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: q.clone(),
+            })
+            .unwrap();
+        // This append forces the queued step to flush against the 6-row
+        // cache before the 7th row lands.
+        server
+            .append(s, row(d, &mut rng), row(d_v, &mut rng))
+            .unwrap();
+        let served = handle.wait().expect("served");
+        assert_eq!(served.cached_len, 6);
+        let mut sctx = GpuCtx::a100();
+        let want = mech.decode(&mut sctx, &Matrix::from_vec(1, d, q), &k, &v);
+        let same = served
+            .output
+            .as_slice()
+            .iter()
+            .zip(want.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "queued decode saw appended rows");
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn session_front_door_rejects_bad_operations() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(Arc::clone(&mech), BatchPolicy::per_request());
+        let ghost = SessionId(999);
+        assert_eq!(
+            server
+                .append(ghost, vec![0.0; 4], vec![0.0; 4])
+                .unwrap_err(),
+            SessionError::UnknownSession(ghost)
+        );
+        let s = server.open_session(4, 4).unwrap();
+        // Wrong widths.
+        assert!(matches!(
+            server.append(s, vec![0.0; 3], vec![0.0; 4]).unwrap_err(),
+            SessionError::Rejected(RequestError::DecodeShapeMismatch { .. })
+        ));
+        // Decode against an empty cache.
+        assert!(matches!(
+            server
+                .submit_decode(DecodeRequest {
+                    session: s,
+                    q_row: vec![0.0; 4]
+                })
+                .unwrap_err(),
+            SessionError::Rejected(RequestError::EmptyRequest)
+        ));
+        // Close, then everything is unknown.
+        server.close_session(s).unwrap();
+        assert_eq!(
+            server.close_session(s).unwrap_err(),
+            SessionError::UnknownSession(s)
+        );
+        let stats = server.shutdown();
+        assert_eq!((stats.sessions_opened, stats.sessions_closed), (1, 1));
+        assert_eq!(stats.decode_steps, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_decode_steps() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(23);
+        let s = server.open_session(8, 8).unwrap();
+        server
+            .extend(
+                s,
+                Matrix::random_normal(4, 8, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 8, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let handle = server
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: row(8, &mut rng),
+            })
+            .unwrap();
+        let stats = server.shutdown();
+        assert_eq!((stats.decode_steps, stats.decode_batches), (1, 1));
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn mixed_width_decode_flush_counts_per_launch_batches() {
+        // Two sessions with different head widths land in separate (d, d_v)
+        // buckets of the same flush: stats must count one batch per ragged
+        // launch group, each sized by its own streams — not one flush-wide
+        // blob.
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(2, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(29);
+        let mut handles = Vec::new();
+        for d in [4usize, 8] {
+            let s = server.open_session(d, d).unwrap();
+            server
+                .extend(
+                    s,
+                    Matrix::random_normal(5, d, 0.0, 1.0, &mut rng),
+                    Matrix::random_normal(5, d, 0.0, 1.0, &mut rng),
+                )
+                .unwrap();
+            handles.push(
+                server
+                    .submit_decode(DecodeRequest {
+                        session: s,
+                        q_row: row(d, &mut rng),
+                    })
+                    .unwrap(),
+            );
+        }
+        for h in handles {
+            let served = h.wait().expect("served");
+            assert_eq!(served.batch_size, 1, "each width is its own launch");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.decode_steps, 2);
+        assert_eq!(stats.decode_batches, 2, "one batch per ragged launch");
+        assert_eq!(stats.max_decode_batch, 1);
+    }
+
+    #[test]
+    fn idle_server_records_no_batches() {
+        // Deadline-close with an empty queue must be a no-op: a server that
+        // saw no traffic reports zero launches of either kind.
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server: AttentionServer<f32> = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(4, Duration::from_millis(1)),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = server.shutdown();
+        assert_eq!((stats.batches, stats.decode_batches), (0, 0));
+        assert_eq!(stats.total_sim_latency_s, 0.0);
     }
 }

@@ -27,6 +27,7 @@ pub mod batched;
 pub mod bf16;
 pub mod math;
 pub mod matrix;
+pub mod ragged;
 pub mod rng;
 pub mod scalar;
 pub mod stats;
@@ -35,5 +36,6 @@ pub use arena::{scratch_f32, scratch_f32_from, scratch_f32_stale, ScratchF32};
 pub use batched::BatchedMatrix;
 pub use bf16::{tf32_round, Bf16};
 pub use matrix::Matrix;
+pub use ragged::RaggedBatch;
 pub use rng::Rng;
 pub use scalar::Scalar;

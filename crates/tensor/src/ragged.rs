@@ -1,0 +1,262 @@
+//! Ragged batched stacks — the decode-serving volume: B streams whose
+//! cached K/V panels share a column count but **differ in length**.
+//!
+//! A [`RaggedBatch`] is `streams` row-major panels in one contiguous backing
+//! buffer, panel `i` holding `len(i) × cols` elements. Where
+//! [`BatchedMatrix`](crate::BatchedMatrix) models the uniform B×H grid of a
+//! prefill launch, `RaggedBatch` models the ragged grid of a **decode**
+//! launch: every stream contributes one new query row against its own
+//! cached K/V length, and the kernels fan out once over streams while
+//! charging the simulated device a single summed profile.
+//!
+//! Decode scores (one row of `len(i)` scalars per stream) reuse the same
+//! container with `cols == 1`: panel `i` is then the stream's score column
+//! vector, one scalar per cached position.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// A contiguous stack of row-major panels with per-panel row counts and a
+/// shared column count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RaggedBatch<T> {
+    cols: usize,
+    /// Rows of each panel (`lens[i]` = the stream's cached length).
+    lens: Vec<usize>,
+    /// Prefix row offsets; `offsets[i] * cols` is panel `i`'s element
+    /// offset, `offsets.len() == streams + 1`.
+    offsets: Vec<usize>,
+    data: Vec<T>,
+}
+
+fn offsets_of(lens: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(lens.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &l in lens {
+        acc += l;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+impl<T: Scalar> RaggedBatch<T> {
+    /// Zero-filled stack with the given per-stream row counts.
+    pub fn zeros(cols: usize, lens: &[usize]) -> RaggedBatch<T> {
+        let offsets = offsets_of(lens);
+        let total = offsets[lens.len()];
+        RaggedBatch {
+            cols,
+            lens: lens.to_vec(),
+            offsets,
+            data: vec![T::zero(); total * cols],
+        }
+    }
+
+    /// Pack borrowed per-stream row slices (each `lens[i] × cols` elements,
+    /// row-major — e.g. a serving session's contiguous KV-cache rows) into
+    /// one stack. This is the decode path's *pack* step, the ragged
+    /// counterpart of `BatchedMatrix::gather`.
+    pub fn from_slices(cols: usize, parts: &[&[T]]) -> RaggedBatch<T> {
+        assert!(cols > 0, "cols must be positive");
+        let mut lens = Vec::with_capacity(parts.len());
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            assert_eq!(
+                p.len() % cols,
+                0,
+                "slice length {} is not a multiple of cols = {cols}",
+                p.len()
+            );
+            lens.push(p.len() / cols);
+            data.extend_from_slice(p);
+        }
+        let offsets = offsets_of(&lens);
+        RaggedBatch {
+            cols,
+            lens,
+            offsets,
+            data,
+        }
+    }
+
+    /// Pack borrowed matrices that agree on the column count but may differ
+    /// in row count.
+    pub fn gather(panels: &[&Matrix<T>]) -> RaggedBatch<T> {
+        assert!(!panels.is_empty(), "empty panel list");
+        let cols = panels[0].cols();
+        for p in panels {
+            assert_eq!(p.cols(), cols, "panel column mismatch");
+        }
+        let parts: Vec<&[T]> = panels.iter().map(|p| p.as_slice()).collect();
+        RaggedBatch::from_slices(cols, &parts)
+    }
+
+    /// Number of streams (panels) in the stack.
+    #[inline]
+    pub fn streams(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Shared column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows of panel `i`.
+    #[inline]
+    pub fn len_of(&self, i: usize) -> usize {
+        self.lens[i]
+    }
+
+    /// Per-stream row counts.
+    #[inline]
+    pub fn lens(&self) -> &[usize] {
+        &self.lens
+    }
+
+    /// Sum of all panels' row counts.
+    #[inline]
+    pub fn total_rows(&self) -> usize {
+        self.offsets[self.lens.len()]
+    }
+
+    /// Whether the stack holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total_rows() * self.cols == 0
+    }
+
+    /// Storage footprint in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * T::BYTES
+    }
+
+    /// Contiguous row-major slice of panel `i`.
+    #[inline]
+    pub fn panel(&self, i: usize) -> &[T] {
+        &self.data[self.offsets[i] * self.cols..self.offsets[i + 1] * self.cols]
+    }
+
+    /// Mutable contiguous slice of panel `i`.
+    #[inline]
+    pub fn panel_mut(&mut self, i: usize) -> &mut [T] {
+        let (lo, hi) = (self.offsets[i] * self.cols, self.offsets[i + 1] * self.cols);
+        &mut self.data[lo..hi]
+    }
+
+    /// Copy panel `i` out as a standalone [`Matrix`].
+    pub fn to_panel(&self, i: usize) -> Matrix<T> {
+        Matrix::from_vec(self.lens[i], self.cols, self.panel(i).to_vec())
+    }
+
+    /// Contiguous row `r` of panel `i`.
+    #[inline]
+    pub fn row(&self, i: usize, r: usize) -> &[T] {
+        let start = (self.offsets[i] + r) * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Whole backing buffer (panel-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Whole backing buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Split the backing buffer into per-panel mutable slices, in stream
+    /// order (the kernels' fan-out uses this to hand each stream its own
+    /// output region).
+    pub fn panels_mut(&mut self) -> Vec<&mut [T]> {
+        let cols = self.cols;
+        let mut rest: &mut [T] = &mut self.data;
+        let mut out = Vec::with_capacity(self.lens.len());
+        for &l in &self.lens {
+            let (head, tail) = rest.split_at_mut(l * cols);
+            out.push(head);
+            rest = tail;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slices_lays_panels_out_contiguously() {
+        let a = [0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0]; // 3×2
+        let b = [10.0f32, 11.0]; // 1×2
+        let rb = RaggedBatch::from_slices(2, &[&a, &b]);
+        assert_eq!(rb.streams(), 2);
+        assert_eq!((rb.len_of(0), rb.len_of(1)), (3, 1));
+        assert_eq!(rb.total_rows(), 4);
+        assert_eq!(rb.panel(0), &a);
+        assert_eq!(rb.panel(1), &b);
+        assert_eq!(rb.row(0, 2), &[4.0, 5.0]);
+        assert_eq!(rb.row(1, 0), &[10.0, 11.0]);
+        assert_eq!(rb.bytes(), 8 * 4);
+    }
+
+    #[test]
+    fn gather_matches_matrices_and_to_panel_round_trips() {
+        let a = Matrix::<f32>::from_fn(4, 3, |r, c| (r * 3 + c) as f32 + 0.5);
+        let b = Matrix::<f32>::from_fn(2, 3, |r, c| -((r + c) as f32));
+        let rb = RaggedBatch::gather(&[&a, &b]);
+        assert_eq!(rb.to_panel(0), a);
+        assert_eq!(rb.to_panel(1), b);
+        for (x, y) in rb.panel(1).iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn panels_mut_covers_the_whole_buffer_in_order() {
+        let mut rb = RaggedBatch::<f32>::zeros(2, &[2, 0, 3]);
+        {
+            let panels = rb.panels_mut();
+            assert_eq!(panels.len(), 3);
+            assert_eq!(panels[0].len(), 4);
+            assert_eq!(panels[1].len(), 0);
+            assert_eq!(panels[2].len(), 6);
+            for (i, p) in panels.into_iter().enumerate() {
+                p.iter_mut().for_each(|v| *v = i as f32);
+            }
+        }
+        assert_eq!(rb.panel(0), &[0.0; 4]);
+        assert_eq!(rb.panel(2), &[2.0; 6]);
+    }
+
+    #[test]
+    fn cols_1_panels_model_score_columns() {
+        let s0 = [1.0f32, 2.0, 3.0];
+        let s1 = [4.0f32];
+        let rb = RaggedBatch::from_slices(1, &[&s0, &s1]);
+        assert_eq!(rb.lens(), &[3, 1]);
+        assert_eq!(rb.panel(0), &s0);
+        assert_eq!(rb.panel(1), &s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of cols")]
+    fn from_slices_rejects_misaligned_parts() {
+        let bad = [0.0f32; 5];
+        let _ = RaggedBatch::from_slices(2, &[&bad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel column mismatch")]
+    fn gather_rejects_mixed_widths() {
+        let a = Matrix::<f32>::zeros(2, 2);
+        let b = Matrix::<f32>::zeros(2, 3);
+        let _ = RaggedBatch::gather(&[&a, &b]);
+    }
+}

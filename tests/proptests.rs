@@ -226,3 +226,123 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The decode-serving contract: interleaved prefill + decode traffic
+    // through one `AttentionServer`, across random session open / append /
+    // close orders, stays bit-identical to solo forwards and solo decode
+    // steps computed against a host-side model of each session's cache at
+    // submission time. Decode steps from different sessions (with ragged,
+    // often M-misaligned cached lengths) coalesce into one ragged launch
+    // per op; appends racing a queued decode must not leak into it.
+    #[test]
+    fn server_interleaved_prefill_and_decode_matches_solo(
+        seed in 0u64..10_000,
+        ops in proptest::collection::vec(0usize..8, 24),
+    ) {
+        use dfss_serve::DecodeRequest;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let mech_dfss = DfssAttention::new(NmPattern::P1_2);
+        let mech_full = FullAttention;
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = if seed % 3 == 0 {
+            Arc::new(mech_full)
+        } else {
+            Arc::new(mech_dfss)
+        };
+        let server = dfss_serve::AttentionServer::start(
+            Arc::clone(&mech),
+            dfss_serve::BatchPolicy::batched(3, Duration::from_millis(2)),
+        );
+        let (d, d_v) = (8usize, 8usize);
+        let mut rng = Rng::new(seed);
+        // Host-side model: (session, K rows so far, V rows so far).
+        let mut model: Vec<(dfss_serve::SessionId, Matrix<f32>, Matrix<f32>)> = Vec::new();
+        let mut prefills = Vec::new();
+        let mut decodes = Vec::new();
+        for &op in &ops {
+            match op {
+                // Open a session, primed with a random (possibly odd) block.
+                0 | 1 => {
+                    let len = 1 + rng.below(7);
+                    let k = Matrix::<f32>::random_normal(len, d, 0.0, 1.0, &mut rng);
+                    let v = Matrix::<f32>::random_normal(len, d_v, 0.0, 1.0, &mut rng);
+                    let s = server.open_session(d, d_v).expect("open");
+                    server.extend(s, k.clone(), v.clone()).expect("extend");
+                    model.push((s, k, v));
+                }
+                // Append one row to a random open session.
+                2 | 3 => {
+                    if model.is_empty() { continue; }
+                    let i = rng.below(model.len());
+                    let k_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+                    let v_row: Vec<f32> = (0..d_v).map(|_| rng.normal(0.0, 1.0)).collect();
+                    server
+                        .append(model[i].0, k_row.clone(), v_row.clone())
+                        .expect("append");
+                    let (_, k, v) = &mut model[i];
+                    *k = k.vstack(&Matrix::from_vec(1, d, k_row));
+                    *v = v.vstack(&Matrix::from_vec(1, d_v, v_row));
+                }
+                // Decode on a random open session; expected output from the
+                // model's snapshot of the cache.
+                4..=6 => {
+                    if model.is_empty() { continue; }
+                    let i = rng.below(model.len());
+                    let q_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+                    let (s, k, v) = &model[i];
+                    let mut sctx = GpuCtx::a100();
+                    let want =
+                        mech.decode(&mut sctx, &Matrix::from_vec(1, d, q_row.clone()), k, v);
+                    let handle = server
+                        .submit_decode(DecodeRequest { session: *s, q_row })
+                        .expect("decode");
+                    decodes.push((handle, want, k.rows()));
+                }
+                // A prefill request rides the same server.
+                _ => {
+                    let n = 16;
+                    let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+                    let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+                    let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+                    let mut sctx = GpuCtx::a100();
+                    let want = mech.forward(&mut sctx, &q, &k, &v);
+                    prefills.push((server.submit(q, k, v).expect("submit"), want));
+                }
+            }
+            // Occasionally close the oldest session mid-stream.
+            if op == 6 && !model.is_empty() {
+                let (s, _, _) = model.remove(0);
+                server.close_session(s).expect("close");
+            }
+        }
+        let n_decodes = decodes.len();
+        for (i, (handle, want, len_at_submit)) in decodes.into_iter().enumerate() {
+            let served = handle.wait().expect("decode served");
+            prop_assert_eq!(served.cached_len, len_at_submit);
+            let same = served
+                .output
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "decode {} diverged from solo decode", i);
+        }
+        for (i, (handle, want)) in prefills.into_iter().enumerate() {
+            let served = handle.wait().expect("prefill served");
+            let same = served
+                .output
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "prefill {} diverged from solo forward", i);
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.decode_steps as usize, n_decodes);
+        prop_assert_eq!(stats.rejected, 0);
+    }
+}
