@@ -34,6 +34,17 @@
 //! along un-gated: the host fan-out only pays off with worker threads, and
 //! a single-core CI runner cannot parallelise it.
 //!
+//! A third sweep covers **memory pressure**: a fixed decode fleet
+//! (`sessions` concurrent streams growing to `target_len` cached rows,
+//! decoding every few appends) runs against shrinking KV byte budgets —
+//! multiples of the fleet's exact working-set page count — with LRU
+//! eviction on. Reported per budget point: decode tokens/sec, the typed
+//! rejection rate (`KvBudgetExhausted` at admission plus `Evicted` steps),
+//! and the server's page/eviction counters. Every artifact must show zero
+//! rejections at funded budgets (multiplier ≥ 1) and a non-zero rejection
+//! rate at the starved point — both deterministic, the op order is
+//! single-threaded — so the gate holds in quick mode too.
+//!
 //! Emits schema-stable `results/bench_serving.json`. In full mode the
 //! artifact must show the batched policy beating the baseline on p50 at
 //! ≥ 3 offered loads; every artifact must show batched decode beating the
@@ -50,12 +61,15 @@ use dfss_core::engine::{AttentionEngine, DecodeStep};
 use dfss_core::{Attention, DfssAttention};
 use dfss_kernels::GpuCtx;
 use dfss_nmsparse::NmPattern;
-use dfss_serve::{AttentionServer, BatchPolicy, Served};
+use dfss_serve::{
+    AttentionServer, BatchPolicy, DecodeRequest, KvConfig, ServeStats, Served, SessionError,
+    SessionId,
+};
 use dfss_tensor::{Matrix, Rng};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SCHEMA_VERSION: f64 = 2.0;
+const SCHEMA_VERSION: f64 = 3.0;
 
 /// Offered-load multipliers of the measured per-request capacity. The
 /// first is deliberately sub-capacity (the regime where a deadline policy
@@ -374,13 +388,8 @@ fn run_decode_point(
         d: usize,
     ) -> Vec<DecodeStep<'a, f32>> {
         (0..ks.len())
-            .map(|s| DecodeStep {
-                q_row: q.row(s),
-                k_rows: ks[s].as_slice(),
-                v_rows: vs[s].as_slice(),
-                len: lens[s],
-                d,
-                d_v: d,
+            .map(|s| {
+                DecodeStep::contiguous(q.row(s), ks[s].as_slice(), vs[s].as_slice(), lens[s], d, d)
             })
             .collect()
     }
@@ -491,6 +500,198 @@ fn run_decode_sweep(mech: &DfssAttention, spec: &DecodeSpec) -> (Vec<DecodePoint
         })
         .count();
     (points, wins)
+}
+
+/// Memory-pressure sweep: one decode fleet against shrinking KV budgets.
+struct MemorySpec {
+    /// Concurrent decode sessions.
+    sessions: usize,
+    /// Cached rows each session grows to (one append round per row).
+    target_len: usize,
+    /// Decode once per session every this many append rounds.
+    decode_every: usize,
+    head_dim: usize,
+    page_elems: usize,
+    /// Budget as multiples of the fleet's working-set page count, funded
+    /// first, starved last.
+    budget_mults: Vec<f64>,
+}
+
+fn memory_workload() -> MemorySpec {
+    if quick() {
+        MemorySpec {
+            sessions: 3,
+            target_len: 16,
+            decode_every: 4,
+            head_dim: 32,
+            page_elems: 128,
+            budget_mults: vec![1.5, 1.0, 0.5, 0.25],
+        }
+    } else {
+        MemorySpec {
+            sessions: 8,
+            target_len: 64,
+            decode_every: 8,
+            head_dim: 64,
+            page_elems: 256,
+            budget_mults: vec![1.5, 1.0, 0.5, 0.25],
+        }
+    }
+}
+
+impl MemorySpec {
+    /// Pool pages the whole fleet needs at `target_len` (K + V sides).
+    fn working_set_pages(&self) -> u64 {
+        let rows_per_page = self.page_elems / self.head_dim;
+        (self.sessions * 2 * self.target_len.div_ceil(rows_per_page)) as u64
+    }
+}
+
+/// One budget point of the memory sweep.
+struct MemoryPoint {
+    budget_mult: f64,
+    budget_pages: u64,
+    /// Session operations offered (opens + appends + decode submissions).
+    attempts: u64,
+    /// Operations refused with typed back-pressure (`KvBudgetExhausted`
+    /// at admission, `Evicted` on a reclaimed session's later steps).
+    rejections: u64,
+    /// Decode steps served.
+    tokens: u64,
+    tok_s: f64,
+    stats: ServeStats,
+}
+
+/// Run one budget point: `sessions` slots each growing toward
+/// `target_len`, decoding every `decode_every` rounds. A slot whose
+/// session is evicted closes it and re-opens from scratch — the retry
+/// path a real client runs — and every typed refusal counts against the
+/// rejection rate. The op order is single-threaded, so rejections and
+/// evictions are deterministic.
+fn run_memory_point(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    spec: &MemorySpec,
+    mult: f64,
+    seed: u64,
+) -> MemoryPoint {
+    let d = spec.head_dim;
+    let budget_pages = ((mult * spec.working_set_pages() as f64).ceil() as u64).max(2);
+    let kv = KvConfig {
+        page_elems: spec.page_elems,
+        budget_bytes: budget_pages * (spec.page_elems * 4) as u64,
+        evict_idle: true,
+    };
+    let server = AttentionServer::start_with_kv(
+        Arc::clone(mech),
+        BatchPolicy::batched(spec.sessions.max(1), Duration::from_micros(200)),
+        kv,
+    );
+    let mut rng = Rng::new(seed);
+    // Per slot: the open session and the rows it has cached so far.
+    let mut slots: Vec<Option<(SessionId, usize)>> = vec![None; spec.sessions];
+    let (mut attempts, mut rejections, mut tokens) = (0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    for round in 0..spec.target_len {
+        for slot in slots.iter_mut() {
+            if slot.is_none() {
+                attempts += 1;
+                match server.open_session(d, d) {
+                    Ok(id) => *slot = Some((id, 0)),
+                    Err(_) => {
+                        rejections += 1;
+                        continue;
+                    }
+                }
+            }
+            let (id, len) = slot.expect("slot just filled");
+            let k_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+            let v_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+            attempts += 1;
+            match server.append(id, k_row, v_row) {
+                Ok(()) => *slot = Some((id, len + 1)),
+                Err(SessionError::Evicted(_)) => {
+                    rejections += 1;
+                    server
+                        .close_session(id)
+                        .expect("evicted sessions still close");
+                    *slot = None;
+                }
+                Err(_) => rejections += 1,
+            }
+        }
+        if (round + 1) % spec.decode_every == 0 {
+            let mut handles = Vec::new();
+            for slot in slots.iter_mut() {
+                let Some((id, len)) = *slot else { continue };
+                if len == 0 {
+                    continue;
+                }
+                let q_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+                attempts += 1;
+                match server.submit_decode(DecodeRequest { session: id, q_row }) {
+                    Ok(h) => handles.push(h),
+                    Err(SessionError::Evicted(_)) => {
+                        rejections += 1;
+                        server
+                            .close_session(id)
+                            .expect("evicted sessions still close");
+                        *slot = None;
+                    }
+                    Err(_) => rejections += 1,
+                }
+            }
+            for h in handles {
+                h.wait().expect("admitted decode steps are served");
+                tokens += 1;
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    for (id, _) in slots.into_iter().flatten() {
+        server.close_session(id).expect("close");
+    }
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.kv_pages_allocated, stats.kv_pages_freed,
+        "every session closed — the pool must drain completely"
+    );
+    MemoryPoint {
+        budget_mult: mult,
+        budget_pages,
+        attempts,
+        rejections,
+        tokens,
+        tok_s: tokens as f64 / elapsed.max(1e-9),
+        stats,
+    }
+}
+
+fn run_memory_sweep(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    spec: &MemorySpec,
+) -> Vec<MemoryPoint> {
+    println!(
+        "{:>8}  {:>7}  {:>8}  {:>10}  {:>9}  {:>9}  {:>10}",
+        "budget", "pages", "tok/s", "rejected", "rej rate", "evicted", "attempts"
+    );
+    spec.budget_mults
+        .iter()
+        .enumerate()
+        .map(|(i, &mult)| {
+            let p = run_memory_point(mech, spec, mult, 9000 + i as u64);
+            println!(
+                "{:>7.2}x  {:>7}  {:>8.1}  {:>10}  {:>8.1}%  {:>9}  {:>10}",
+                p.budget_mult,
+                p.budget_pages,
+                p.tok_s,
+                p.rejections,
+                100.0 * p.rejections as f64 / p.attempts.max(1) as f64,
+                p.stats.evictions,
+                p.attempts
+            );
+            p
+        })
+        .collect()
 }
 
 fn round3(x: f64) -> f64 {
@@ -604,6 +805,64 @@ fn main() {
         })
         .collect();
 
+    // Memory-pressure sweep: tokens/sec and typed rejection rate against
+    // shrinking KV budgets. Deterministic (single-threaded op order), so
+    // the funded/starved gates hold in both modes.
+    let mspec = memory_workload();
+    eprintln!(
+        "[serving] memory sweep ({} sessions x {} rows, working set {} pages)",
+        mspec.sessions,
+        mspec.target_len,
+        mspec.working_set_pages()
+    );
+    let memory_points = run_memory_sweep(&mech, &mspec);
+    for p in &memory_points {
+        if p.budget_mult >= 1.0 {
+            assert_eq!(
+                p.rejections, 0,
+                "a funded budget ({}x working set) must serve without rejections",
+                p.budget_mult
+            );
+        }
+    }
+    let starved = memory_points
+        .iter()
+        .min_by(|a, b| a.budget_mult.partial_cmp(&b.budget_mult).unwrap())
+        .expect("at least one budget point");
+    assert!(
+        starved.rejections > 0,
+        "the starved budget ({}x working set) must surface typed back-pressure",
+        starved.budget_mult
+    );
+    let memory_rows: Vec<Json> = memory_points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("budget_mult", Json::Num(p.budget_mult)),
+                ("budget_pages", Json::Num(p.budget_pages as f64)),
+                ("attempts", Json::Num(p.attempts as f64)),
+                ("rejections", Json::Num(p.rejections as f64)),
+                (
+                    "rejection_rate",
+                    Json::Num(round3(p.rejections as f64 / p.attempts.max(1) as f64)),
+                ),
+                ("tokens", Json::Num(p.tokens as f64)),
+                ("tok_s", Json::Num(round3(p.tok_s))),
+                ("evictions", Json::Num(p.stats.evictions as f64)),
+                (
+                    "admission_rejections",
+                    Json::Num(p.stats.admission_rejections as f64),
+                ),
+                (
+                    "kv_pages_allocated",
+                    Json::Num(p.stats.kv_pages_allocated as f64),
+                ),
+                ("kv_pages_freed", Json::Num(p.stats.kv_pages_freed as f64)),
+                ("kv_bytes_peak", Json::Num(p.stats.kv_bytes_peak as f64)),
+            ])
+        })
+        .collect();
+
     let doc = Json::obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("artifact", Json::Str("bench_serving".into())),
@@ -636,6 +895,21 @@ fn main() {
                 ("rounds", Json::Num(dspec.rounds as f64)),
                 ("winning_stream_counts", Json::Num(decode_wins as f64)),
                 ("rows", Json::Arr(decode_rows)),
+            ]),
+        ),
+        (
+            "memory",
+            Json::obj(vec![
+                ("page_elems", Json::Num(mspec.page_elems as f64)),
+                ("sessions", Json::Num(mspec.sessions as f64)),
+                ("target_len", Json::Num(mspec.target_len as f64)),
+                ("decode_every", Json::Num(mspec.decode_every as f64)),
+                ("head_dim", Json::Num(mspec.head_dim as f64)),
+                (
+                    "working_set_pages",
+                    Json::Num(mspec.working_set_pages() as f64),
+                ),
+                ("rows", Json::Arr(memory_rows)),
             ]),
         ),
     ]);
@@ -797,10 +1071,97 @@ fn check(path: &str) -> Result<(), String> {
             "artifact: batched decode wins tokens/sec at only {decode_wins} stream counts (need {MIN_DECODE_WINS})"
         ));
     }
+
+    // Memory-pressure section: structure, counter reconciliation, and the
+    // deterministic back-pressure gates — zero typed rejections at funded
+    // budgets (multiplier >= 1), a non-zero rejection rate at the starved
+    // point. Holds for both modes: the sweep's op order is single-threaded.
+    let memory = doc.get("memory").ok_or("missing memory section")?;
+    for field in [
+        "page_elems",
+        "sessions",
+        "target_len",
+        "decode_every",
+        "head_dim",
+        "working_set_pages",
+    ] {
+        memory
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric memory.{field}"))?;
+    }
+    let mrows = memory
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing memory.rows array")?;
+    if mrows.len() < 2 {
+        return Err(format!(
+            "need >= 2 memory budget points, got {}",
+            mrows.len()
+        ));
+    }
+    let mut funded_points = 0usize;
+    let mut starved: Option<(f64, f64)> = None;
+    for (i, r) in mrows.iter().enumerate() {
+        for field in [
+            "budget_mult",
+            "budget_pages",
+            "attempts",
+            "rejections",
+            "rejection_rate",
+            "tokens",
+            "tok_s",
+            "evictions",
+            "admission_rejections",
+            "kv_pages_allocated",
+            "kv_pages_freed",
+            "kv_bytes_peak",
+        ] {
+            let x = r
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("memory row {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "memory row {i}: {field} = {x} not finite non-negative"
+                ));
+            }
+        }
+        let get = |f: &str| r.get(f).and_then(Json::as_f64).unwrap_or(0.0);
+        if get("kv_pages_allocated") != get("kv_pages_freed") {
+            return Err(format!(
+                "memory row {i}: {} pages allocated but {} freed — the sweep closes every session, the pool must drain",
+                get("kv_pages_allocated"),
+                get("kv_pages_freed")
+            ));
+        }
+        let (mult, rejections) = (get("budget_mult"), get("rejections"));
+        if mult >= 1.0 {
+            funded_points += 1;
+            if rejections > 0.0 {
+                return Err(format!(
+                    "memory row {i}: {rejections} rejections at a funded budget ({mult}x working set)"
+                ));
+            }
+        }
+        if starved.is_none_or(|(m, _)| mult < m) {
+            starved = Some((mult, rejections));
+        }
+    }
+    if funded_points == 0 {
+        return Err("memory sweep has no funded (>= 1x working set) budget point".into());
+    }
+    let (starved_mult, starved_rejections) = starved.expect("rows checked non-empty");
+    if starved_rejections == 0.0 {
+        return Err(format!(
+            "memory sweep: the starved budget ({starved_mult}x working set) shows no typed rejections"
+        ));
+    }
     println!(
-        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins, {} decode points, {decode_wins} decode stream-count wins)",
+        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins, {} decode points, {decode_wins} decode stream-count wins, {} memory budgets, {starved_rejections} rejections at {starved_mult}x)",
         loads.len(),
-        drows.len()
+        drows.len(),
+        mrows.len()
     );
     Ok(())
 }

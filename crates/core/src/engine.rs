@@ -55,13 +55,8 @@
 //! let steps: Vec<DecodeStep<'_, f32>> = caches
 //!     .iter()
 //!     .enumerate()
-//!     .map(|(i, (k, v))| DecodeStep {
-//!         q_row: q.row(i),
-//!         k_rows: k.as_slice(),
-//!         v_rows: v.as_slice(),
-//!         len: k.rows(),
-//!         d: 8,
-//!         d_v: 8,
+//!     .map(|(i, (k, v))| {
+//!         DecodeStep::contiguous(q.row(i), k.as_slice(), v.as_slice(), k.rows(), 8, 8)
 //!     })
 //!     .collect();
 //! let results = engine.flush_decode(&steps).unwrap();
@@ -72,7 +67,7 @@
 
 use crate::mechanism::{try_check_qkv, Attention, RequestError};
 use dfss_kernels::GpuCtx;
-use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
+use dfss_tensor::{BatchedMatrix, Matrix, PagedPanel, RaggedBatch, Scalar};
 
 /// Identifier of a submitted request, unique per engine for its lifetime.
 /// Tickets are issued in submission order.
@@ -136,25 +131,94 @@ impl FlushReport {
     }
 }
 
+/// Where one stream's cached K or V rows live in caller storage.
+///
+/// The engine's pack step copies the rows into the ragged launch layout
+/// exactly once either way, and the copy order is identical, so a paged
+/// source produces **bit-identical** launches to a contiguous slab of the
+/// same rows (pinned by `paged_steps_match_contiguous_steps` here and the
+/// workspace proptest `paged_decode_matches_contiguous`).
+#[derive(Clone, Debug)]
+pub enum KvRows<'a, T> {
+    /// One contiguous row-major slab (`len × width` elements).
+    Contiguous(&'a [T]),
+    /// Fixed-size pages in table order: page `p` holds rows
+    /// `[p·rows_per_page, (p+1)·rows_per_page)`, and every page slice
+    /// carries at least `rows_per_page × width` elements (pool pages may
+    /// have a dead tail when the block size is not a multiple of the row
+    /// width). The last page is partially live.
+    Paged {
+        /// The stream's pages, in table order.
+        pages: Vec<&'a [T]>,
+        /// Rows stored per page.
+        rows_per_page: usize,
+    },
+}
+
+impl<'a, T> KvRows<'a, T> {
+    /// View this source as a [`PagedPanel`] of `len` live rows — a
+    /// contiguous slab is the degenerate one-page table.
+    fn as_panel(&self, len: usize) -> PagedPanel<'a, T> {
+        match self {
+            KvRows::Contiguous(slab) => PagedPanel {
+                pages: vec![slab],
+                rows_per_page: len.max(1),
+                len,
+            },
+            KvRows::Paged {
+                pages,
+                rows_per_page,
+            } => PagedPanel {
+                pages: pages.clone(),
+                rows_per_page: *rows_per_page,
+                len,
+            },
+        }
+    }
+}
+
 /// One pending decode step, borrowing the caller's KV storage: the
-/// stream's new query row and its cached K/V row slabs (row-major,
-/// `len × d` and `len × d_v` elements respectively). The serving layer's
-/// session caches hand these out without copying; the engine packs a whole
-/// batch of steps into one ragged launch per op.
-#[derive(Clone, Copy, Debug)]
+/// stream's new query row and its cached K/V rows — either contiguous
+/// row-major slabs (`len × d` / `len × d_v` elements) or page tables of
+/// fixed-size blocks ([`KvRows`]). The serving layer's session caches hand
+/// these out without copying; the engine packs a whole batch of steps into
+/// one ragged launch per op.
+#[derive(Clone, Debug)]
 pub struct DecodeStep<'a, T> {
     /// The new query row (`d` elements).
     pub q_row: &'a [T],
-    /// Cached keys, `len × d` row-major elements.
-    pub k_rows: &'a [T],
-    /// Cached values, `len × d_v` row-major elements.
-    pub v_rows: &'a [T],
+    /// Cached keys (`len` rows of width `d`).
+    pub k_rows: KvRows<'a, T>,
+    /// Cached values (`len` rows of width `d_v`).
+    pub v_rows: KvRows<'a, T>,
     /// Cached positions.
     pub len: usize,
     /// Query/key width.
     pub d: usize,
     /// Value width.
     pub d_v: usize,
+}
+
+impl<'a, T> DecodeStep<'a, T> {
+    /// A step over contiguous K/V slabs (`len × d` and `len × d_v`
+    /// row-major elements) — the PR 5 call convention.
+    pub fn contiguous(
+        q_row: &'a [T],
+        k_rows: &'a [T],
+        v_rows: &'a [T],
+        len: usize,
+        d: usize,
+        d_v: usize,
+    ) -> DecodeStep<'a, T> {
+        DecodeStep {
+            q_row,
+            k_rows: KvRows::Contiguous(k_rows),
+            v_rows: KvRows::Contiguous(v_rows),
+            len,
+            d,
+            d_v,
+        }
+    }
 }
 
 /// Validate one decode step's declared shape against its buffers, without
@@ -173,25 +237,64 @@ pub fn try_check_decode_step<T: Scalar>(step: &DecodeStep<'_, T>) -> Result<(), 
             ),
         });
     }
-    if step.k_rows.len() != step.len * step.d {
-        return Err(RequestError::DecodeShapeMismatch {
-            reason: format!(
-                "K cache has {} elements, expected len x d = {} x {}",
-                step.k_rows.len(),
-                step.len,
-                step.d
-            ),
-        });
-    }
-    if step.v_rows.len() != step.len * step.d_v {
-        return Err(RequestError::DecodeShapeMismatch {
-            reason: format!(
-                "V cache has {} elements, expected len x d_v = {} x {}",
-                step.v_rows.len(),
-                step.len,
-                step.d_v
-            ),
-        });
+    check_kv_rows(&step.k_rows, step.len, step.d, "K")?;
+    check_kv_rows(&step.v_rows, step.len, step.d_v, "V")?;
+    Ok(())
+}
+
+/// Validate one cache side of a decode step: a contiguous slab must hold
+/// exactly `len × width` elements; a page table must hold exactly the pages
+/// its length implies, each big enough for `rows_per_page` full rows.
+fn check_kv_rows<T: Scalar>(
+    rows: &KvRows<'_, T>,
+    len: usize,
+    width: usize,
+    which: &str,
+) -> Result<(), RequestError> {
+    match rows {
+        KvRows::Contiguous(slab) => {
+            if slab.len() != len * width {
+                return Err(RequestError::DecodeShapeMismatch {
+                    reason: format!(
+                        "{which} cache has {} elements, expected len x width = {len} x {width}",
+                        slab.len()
+                    ),
+                });
+            }
+        }
+        KvRows::Paged {
+            pages,
+            rows_per_page,
+        } => {
+            if *rows_per_page == 0 {
+                return Err(RequestError::DecodeShapeMismatch {
+                    reason: format!("{which} cache declares zero rows per page"),
+                });
+            }
+            let want_pages = len.div_ceil(*rows_per_page);
+            if pages.len() != want_pages {
+                return Err(RequestError::DecodeShapeMismatch {
+                    reason: format!(
+                        "{which} page table holds {} pages, expected {want_pages} for {len} rows \
+                         at {rows_per_page} rows/page",
+                        pages.len()
+                    ),
+                });
+            }
+            if let Some((p, page)) = pages
+                .iter()
+                .enumerate()
+                .find(|(_, page)| page.len() < rows_per_page * width)
+            {
+                return Err(RequestError::DecodeShapeMismatch {
+                    reason: format!(
+                        "{which} page {p} holds {} elements, need rows_per_page x width = \
+                         {rows_per_page} x {width}",
+                        page.len()
+                    ),
+                });
+            }
+        }
     }
     Ok(())
 }
@@ -482,10 +585,19 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
                 q_data.extend_from_slice(steps[i].q_row);
             }
             let q = Matrix::from_vec(idxs.len(), d, q_data);
-            let k_parts: Vec<&[T]> = idxs.iter().map(|&i| steps[i].k_rows).collect();
-            let v_parts: Vec<&[T]> = idxs.iter().map(|&i| steps[i].v_rows).collect();
-            let k = RaggedBatch::from_slices(d, &k_parts);
-            let v = RaggedBatch::from_slices(d_v, &v_parts);
+            // Contiguous and paged sources share one pack path: a slab is
+            // the degenerate one-page table, so `gather_paged` reproduces
+            // the PR 5 `from_slices` layout bit-for-bit.
+            let k_panels: Vec<PagedPanel<'_, T>> = idxs
+                .iter()
+                .map(|&i| steps[i].k_rows.as_panel(steps[i].len))
+                .collect();
+            let v_panels: Vec<PagedPanel<'_, T>> = idxs
+                .iter()
+                .map(|&i| steps[i].v_rows.as_panel(steps[i].len))
+                .collect();
+            let k = RaggedBatch::gather_paged(d, &k_panels);
+            let v = RaggedBatch::gather_paged(d_v, &v_panels);
 
             let mark = self.ctx.timeline.entries().len();
             let out = self.mech.decode_ragged(&mut self.ctx, &q, &k, &v);
@@ -709,13 +821,8 @@ mod tests {
         let steps: Vec<DecodeStep<'_, f32>> = caches
             .iter()
             .enumerate()
-            .map(|(i, (k, v))| DecodeStep {
-                q_row: q.row(i),
-                k_rows: k.as_slice(),
-                v_rows: v.as_slice(),
-                len: lens[i],
-                d,
-                d_v,
+            .map(|(i, (k, v))| {
+                DecodeStep::contiguous(q.row(i), k.as_slice(), v.as_slice(), lens[i], d, d_v)
             })
             .collect();
         let results = engine.flush_decode(&steps).unwrap();
@@ -765,13 +872,15 @@ mod tests {
         let steps: Vec<DecodeStep<'_, f32>> = caches
             .iter()
             .enumerate()
-            .map(|(i, (k, v))| DecodeStep {
-                q_row: &q_rows[i],
-                k_rows: k.as_slice(),
-                v_rows: v.as_slice(),
-                len: lens[i],
-                d: shapes[i].0,
-                d_v: shapes[i].1,
+            .map(|(i, (k, v))| {
+                DecodeStep::contiguous(
+                    &q_rows[i],
+                    k.as_slice(),
+                    v.as_slice(),
+                    lens[i],
+                    shapes[i].0,
+                    shapes[i].1,
+                )
             })
             .collect();
         let results = engine.flush_decode(&steps).unwrap();
@@ -823,27 +932,41 @@ mod tests {
         let k = vec![0.0f32; 4 * 8];
         let v = vec![0.0f32; 4 * 8];
         // Wrong query width.
-        let bad = DecodeStep {
-            q_row: &q[..4],
-            k_rows: &k,
-            v_rows: &v,
+        let bad = DecodeStep::contiguous(&q[..4], &k, &v, 4, 8, 8);
+        let err = engine.flush_decode(&[bad]).unwrap_err();
+        assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
+        // Empty cache.
+        let empty = DecodeStep::contiguous(&q, &[], &[], 0, 8, 8);
+        let err = engine.flush_decode(&[empty]).unwrap_err();
+        assert_eq!(err, RequestError::EmptyRequest);
+        // Paged: a page table that disagrees with the declared length.
+        let short_table = DecodeStep {
+            q_row: &q,
+            k_rows: KvRows::Paged {
+                pages: vec![&k[..16]],
+                rows_per_page: 2,
+            },
+            v_rows: KvRows::Contiguous(&v),
             len: 4,
             d: 8,
             d_v: 8,
         };
-        let err = engine.flush_decode(&[bad]).unwrap_err();
+        let err = engine.flush_decode(&[short_table]).unwrap_err();
         assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
-        // Empty cache.
-        let empty = DecodeStep {
+        // Paged: a page too small for its declared rows_per_page.
+        let thin_page = DecodeStep {
             q_row: &q,
-            k_rows: &[],
-            v_rows: &[],
-            len: 0,
+            k_rows: KvRows::Paged {
+                pages: vec![&k[..16], &k[16..24]],
+                rows_per_page: 2,
+            },
+            v_rows: KvRows::Contiguous(&v),
+            len: 4,
             d: 8,
             d_v: 8,
         };
-        let err = engine.flush_decode(&[empty]).unwrap_err();
-        assert_eq!(err, RequestError::EmptyRequest);
+        let err = engine.flush_decode(&[thin_page]).unwrap_err();
+        assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
         assert_eq!(engine.ctx().timeline.launches(), 0);
     }
 
@@ -857,16 +980,97 @@ mod tests {
         let _ = engine.flush();
         let (kc, vc) = cache(8, 8, 8, &mut rng);
         let q_row: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
-        let step = DecodeStep {
-            q_row: &q_row,
-            k_rows: kc.as_slice(),
-            v_rows: vc.as_slice(),
-            len: 8,
-            d: 8,
-            d_v: 8,
-        };
+        let step = DecodeStep::contiguous(&q_row, kc.as_slice(), vc.as_slice(), 8, 8, 8);
         let res = engine.flush_decode(&[step]).unwrap();
         assert!(res[0].ticket > t0, "decode tickets continue the sequence");
+    }
+
+    #[test]
+    fn paged_steps_match_contiguous_steps() {
+        // Shred each stream's K/V slab into fixed-size pages (with a dead
+        // tail: pages hold more elements than rows_per_page × width needs)
+        // and decode both ways — the ragged launches must be bit-identical.
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut rng = Rng::new(41);
+        let lens = [5usize, 16, 7];
+        let (d, d_v) = (8usize, 8usize);
+        let caches: Vec<(Matrix<f32>, Matrix<f32>)> =
+            lens.iter().map(|&l| cache(l, d, d_v, &mut rng)).collect();
+        let q = Matrix::<f32>::random_normal(lens.len(), d, 0.0, 1.0, &mut rng);
+
+        // rows_per_page = 3 does not divide any of the lengths evenly.
+        let rows_per_page = 3usize;
+        let page_elems = rows_per_page * d + 5; // dead tail of 5 elements
+        let shred = |slab: &[f32], len: usize, width: usize| -> Vec<Vec<f32>> {
+            (0..len.div_ceil(rows_per_page))
+                .map(|p| {
+                    let lo = p * rows_per_page * width;
+                    let hi = slab.len().min(lo + rows_per_page * width);
+                    let mut page = slab[lo..hi].to_vec();
+                    page.resize(page_elems, f32::NAN); // dead tail must never be read
+                    page
+                })
+                .collect()
+        };
+        let k_pages: Vec<Vec<Vec<f32>>> = caches
+            .iter()
+            .zip(&lens)
+            .map(|((k, _), &l)| shred(k.as_slice(), l, d))
+            .collect();
+        let v_pages: Vec<Vec<Vec<f32>>> = caches
+            .iter()
+            .zip(&lens)
+            .map(|((_, v), &l)| shred(v.as_slice(), l, d_v))
+            .collect();
+
+        let contiguous: Vec<DecodeStep<'_, f32>> = caches
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| {
+                DecodeStep::contiguous(q.row(i), k.as_slice(), v.as_slice(), lens[i], d, d_v)
+            })
+            .collect();
+        let paged: Vec<DecodeStep<'_, f32>> = (0..lens.len())
+            .map(|i| DecodeStep {
+                q_row: q.row(i),
+                k_rows: KvRows::Paged {
+                    pages: k_pages[i].iter().map(|p| p.as_slice()).collect(),
+                    rows_per_page,
+                },
+                v_rows: KvRows::Paged {
+                    pages: v_pages[i].iter().map(|p| p.as_slice()).collect(),
+                    rows_per_page,
+                },
+                len: lens[i],
+                d,
+                d_v,
+            })
+            .collect();
+
+        let mut eng_c = AttentionEngine::new(&mech);
+        let mut eng_p = AttentionEngine::new(&mech);
+        let out_c = eng_c.flush_decode(&contiguous).unwrap();
+        let out_p = eng_p.flush_decode(&paged).unwrap();
+        assert_eq!(out_c.len(), out_p.len());
+        for (i, (c, p)) in out_c.iter().zip(&out_p).enumerate() {
+            let (c, p) = (c.output.as_ref().unwrap(), p.output.as_ref().unwrap());
+            let same = c
+                .as_slice()
+                .iter()
+                .zip(p.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "stream {i} diverged between paged and contiguous");
+        }
+        // Same launch count and charges either way: the pack result is the
+        // same contiguous layout, so the kernels cannot tell.
+        assert_eq!(
+            eng_c.last_decode().launches(),
+            eng_p.last_decode().launches()
+        );
+        assert_eq!(
+            eng_c.ctx().timeline.total_bytes(),
+            eng_p.ctx().timeline.total_bytes()
+        );
     }
 
     #[test]

@@ -1,14 +1,32 @@
-//! Append-only per-stream KV caches for decode serving.
+//! Paged per-stream KV caches for decode serving.
 //!
-//! A decode session holds the keys and values of everything generated (or
-//! prefilled) so far; each decode step appends one row to each and attends
-//! the new query row over the whole history. [`KvCache`] backs the K and V
-//! rows **contiguously** (row-major `len × d` / `len × d_v` slabs) with
-//! `Vec`'s amortized doubling growth, so the engine's
-//! [`DecodeStep`](dfss_core::engine::DecodeStep) can borrow the slabs
-//! directly — the pack step copies them into the ragged launch exactly
-//! once, and appends are amortized O(row).
+//! PR 5 backed each session's keys and values with one contiguous
+//! grow-forever slab, so a decode fleet's memory was unbounded and every
+//! growth step risked a realloc-and-copy of the whole history. This module
+//! replaces that with the paged layout production decode servers use:
+//!
+//! * [`KvPool`] — one server-owned arena of fixed-size blocks
+//!   ([`KvConfig::page_elems`] elements each), allocated and freed in O(1)
+//!   through a LIFO free list. Physical pages are created lazily up to the
+//!   configured byte budget and recycled forever after.
+//! * [`PagedKvCache`] — a per-session **page table**: `append`/`extend`
+//!   grab whole pages from the pool instead of reallocating, and
+//!   [`release`](PagedKvCache::release) returns every page in O(pages).
+//!
+//! Pages hold a fixed element count, not a fixed row count, because one
+//! server mixes sessions of different widths: a session of key width `d`
+//! stores `page_elems / d` rows per page (the page's tail beyond
+//! `rows_per_page × d` elements is dead and never read). K and V sides
+//! keep separate page tables so `d ≠ d_v` sessions waste nothing.
+//!
+//! The engine consumes the table directly:
+//! [`k_rows`](PagedKvCache::k_rows)/[`v_rows`](PagedKvCache::v_rows)
+//! borrow the pool's pages into a [`KvRows::Paged`] source, and the
+//! engine's `gather_paged` pack produces the exact contiguous launch
+//! layout the PR 5 slabs produced — bit-identical, pinned by the
+//! `paged_decode_matches_contiguous` workspace proptest.
 
+use dfss_core::engine::KvRows;
 use dfss_core::mechanism::RequestError;
 use dfss_tensor::{Matrix, Scalar};
 
@@ -23,34 +41,329 @@ impl std::fmt::Display for SessionId {
     }
 }
 
-/// An append-only per-stream KV cache: contiguous row-major K (`len × d`)
-/// and V (`len × d_v`) slabs with amortized growth.
-#[derive(Clone, Debug)]
-pub struct KvCache<T> {
-    d: usize,
-    d_v: usize,
-    k: Vec<T>,
-    v: Vec<T>,
+/// Identifier of one fixed-size block inside a [`KvPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Geometry and governance knobs of a server's KV memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Elements per pool page. A session of row width `w` stores
+    /// `page_elems / w` rows per page, so this must be at least the widest
+    /// row the server will admit.
+    pub page_elems: usize,
+    /// Hard ceiling on pool memory in bytes; the pool never holds more
+    /// than `budget_bytes / (page_elems × sizeof(T))` pages. The default
+    /// (`u64::MAX`) is effectively unbounded.
+    pub budget_bytes: u64,
+    /// When the budget is exhausted, evict idle sessions (LRU order,
+    /// deterministic) instead of rejecting the newcomer outright.
+    pub evict_idle: bool,
 }
 
-impl<T: Scalar> KvCache<T> {
-    /// Empty cache for keys of width `d` and values of width `d_v`.
-    pub fn new(d: usize, d_v: usize) -> KvCache<T> {
-        assert!(d > 0 && d_v > 0, "zero-width cache");
-        KvCache {
-            d,
-            d_v,
-            k: Vec::new(),
-            v: Vec::new(),
+impl Default for KvConfig {
+    fn default() -> KvConfig {
+        KvConfig {
+            page_elems: 1024,
+            budget_bytes: u64::MAX,
+            evict_idle: false,
+        }
+    }
+}
+
+impl KvConfig {
+    /// Rows of width `width` one page holds (the page tail past
+    /// `rows_per_page × width` elements is dead).
+    #[inline]
+    pub fn rows_per_page(&self, width: usize) -> usize {
+        self.page_elems / width
+    }
+
+    /// Physical bytes of one page of `T`.
+    #[inline]
+    pub fn page_bytes<T: Scalar>(&self) -> u64 {
+        (self.page_elems * T::BYTES) as u64
+    }
+
+    /// Pages the byte budget admits (the pool's capacity).
+    pub fn capacity_pages<T: Scalar>(&self) -> usize {
+        let pages = self.budget_bytes / self.page_bytes::<T>();
+        pages.min(u32::MAX as u64) as usize
+    }
+}
+
+/// Pages a cache side needs to grow from `len` to `len + new_rows` rows.
+#[inline]
+pub fn pages_for_growth(len: usize, new_rows: usize, rows_per_page: usize) -> usize {
+    (len + new_rows).div_ceil(rows_per_page) - len.div_ceil(rows_per_page)
+}
+
+/// A typed failure out of a pool or paged-cache mutation — never a panic,
+/// so KV exhaustion surfaces as back-pressure, not a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// Row widths disagree with the cache geometry.
+    Shape {
+        /// What disagreed.
+        reason: String,
+    },
+    /// The pool has fewer free pages than the mutation needs. The cache is
+    /// unchanged — no partial allocation.
+    PoolExhausted {
+        /// Pages the mutation needed.
+        need: usize,
+        /// Pages the pool could still hand out.
+        free: usize,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Shape { reason } => write!(f, "kv shape mismatch: {reason}"),
+            KvError::PoolExhausted { need, free } => {
+                write!(f, "kv pool exhausted: need {need} pages, {free} free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<KvError> for RequestError {
+    fn from(e: KvError) -> RequestError {
+        RequestError::DecodeShapeMismatch {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// A server-owned arena of fixed-size KV blocks with O(1) alloc/free.
+///
+/// Physical pages are created lazily: the pool starts empty and grows one
+/// page at a time up to `capacity_pages`, after which allocation recycles
+/// the LIFO free list only. Freed pages keep their storage (and their
+/// stale contents — callers overwrite rows before exposing them).
+#[derive(Debug)]
+pub struct KvPool<T> {
+    page_elems: usize,
+    capacity: usize,
+    /// Physical page storage, grown lazily; index = `PageId.0`.
+    pages: Vec<Box<[T]>>,
+    /// Whether each grown page is currently allocated to a cache.
+    live: Vec<bool>,
+    /// Grown-but-free pages, LIFO so hot pages are reused first.
+    free: Vec<PageId>,
+    total_allocs: u64,
+    total_frees: u64,
+}
+
+impl<T: Scalar> KvPool<T> {
+    /// Empty pool over `config`'s geometry and budget.
+    pub fn new(config: &KvConfig) -> KvPool<T> {
+        assert!(config.page_elems > 0, "zero-element pages");
+        KvPool {
+            page_elems: config.page_elems,
+            capacity: config.capacity_pages::<T>(),
+            pages: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            total_allocs: 0,
+            total_frees: 0,
         }
     }
 
-    /// Empty cache with room for `rows` positions reserved up front.
-    pub fn with_capacity(d: usize, d_v: usize, rows: usize) -> KvCache<T> {
-        let mut c = KvCache::new(d, d_v);
-        c.k.reserve(rows * d);
-        c.v.reserve(rows * d_v);
-        c
+    /// Elements per page.
+    #[inline]
+    pub fn page_elems(&self) -> usize {
+        self.page_elems
+    }
+
+    /// Pages the budget admits in total.
+    #[inline]
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently allocated to caches.
+    #[inline]
+    pub fn allocated(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Pages the pool can still hand out (recycled + never-grown).
+    #[inline]
+    pub fn free_pages(&self) -> usize {
+        self.capacity - self.allocated()
+    }
+
+    /// Lifetime allocation count (monotone).
+    #[inline]
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Lifetime free count (monotone).
+    #[inline]
+    pub fn total_frees(&self) -> u64 {
+        self.total_frees
+    }
+
+    /// Allocate one page: pop the free list, or grow a fresh zeroed page
+    /// if under capacity. `None` when the budget is exhausted.
+    pub fn alloc(&mut self) -> Option<PageId> {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                if self.pages.len() >= self.capacity {
+                    return None;
+                }
+                let id = PageId(self.pages.len() as u32);
+                self.pages
+                    .push(vec![T::zero(); self.page_elems].into_boxed_slice());
+                self.live.push(false);
+                id
+            }
+        };
+        debug_assert!(!self.live[id.0 as usize], "allocating a live page");
+        self.live[id.0 as usize] = true;
+        self.total_allocs += 1;
+        Some(id)
+    }
+
+    /// Return one page to the free list. Freeing a page that is not live
+    /// (double-free, never-allocated id) is a typed error and a no-op.
+    pub fn free(&mut self, id: PageId) -> Result<(), KvError> {
+        match self.live.get_mut(id.0 as usize) {
+            Some(live) if *live => {
+                *live = false;
+                self.free.push(id);
+                self.total_frees += 1;
+                Ok(())
+            }
+            _ => Err(KvError::Shape {
+                reason: format!("freeing page {} which is not live", id.0),
+            }),
+        }
+    }
+
+    /// The page's element storage (full `page_elems` elements; callers
+    /// read only the live row prefix).
+    #[inline]
+    pub fn page(&self, id: PageId) -> &[T] {
+        debug_assert!(self.live[id.0 as usize], "reading a freed page");
+        &self.pages[id.0 as usize]
+    }
+
+    /// Mutable page storage.
+    #[inline]
+    pub fn page_mut(&mut self, id: PageId) -> &mut [T] {
+        debug_assert!(self.live[id.0 as usize], "writing a freed page");
+        &mut self.pages[id.0 as usize]
+    }
+
+    /// Check the free-list invariants: every grown page is exactly one of
+    /// live or free (no leak, no double-count), free-list entries are
+    /// unique and in range, and the lifetime counters reconcile with the
+    /// live count. Returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.pages.len() != self.live.len() {
+            return Err(format!(
+                "{} pages but {} live flags",
+                self.pages.len(),
+                self.live.len()
+            ));
+        }
+        if self.pages.len() > self.capacity {
+            return Err(format!(
+                "grew {} pages past the {}-page budget",
+                self.pages.len(),
+                self.capacity
+            ));
+        }
+        let mut on_free_list = vec![false; self.pages.len()];
+        for id in &self.free {
+            let Some(slot) = on_free_list.get_mut(id.0 as usize) else {
+                return Err(format!("free-list entry {} out of range", id.0));
+            };
+            if *slot {
+                return Err(format!("page {} on the free list twice", id.0));
+            }
+            *slot = true;
+        }
+        for (p, (&live, &free)) in self.live.iter().zip(&on_free_list).enumerate() {
+            if live == free {
+                return Err(format!(
+                    "page {p} is {} — every grown page must be exactly one of live or free",
+                    if live {
+                        "both live and free"
+                    } else {
+                        "neither live nor free"
+                    }
+                ));
+            }
+        }
+        let live_count = self.live.iter().filter(|&&l| l).count();
+        if live_count != self.allocated() {
+            return Err(format!(
+                "{live_count} live flags set but allocated() says {}",
+                self.allocated()
+            ));
+        }
+        if self.total_allocs - self.total_frees != live_count as u64 {
+            return Err(format!(
+                "lifetime counters ({} allocs - {} frees) disagree with {live_count} live pages",
+                self.total_allocs, self.total_frees
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A per-session KV page table over a shared [`KvPool`]: K rows of width
+/// `d` and V rows of width `d_v`, each side packing `page_elems / width`
+/// rows per page. Mutations never move written rows — growth appends
+/// pages to the table.
+#[derive(Clone, Debug)]
+pub struct PagedKvCache<T> {
+    d: usize,
+    d_v: usize,
+    len: usize,
+    rows_per_page_k: usize,
+    rows_per_page_v: usize,
+    k_pages: Vec<PageId>,
+    v_pages: Vec<PageId>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Scalar> PagedKvCache<T> {
+    /// Empty table for keys of width `d` and values of width `d_v` over a
+    /// pool of `config`'s geometry. Fails (typed) when a page cannot hold
+    /// even one row of either width.
+    pub fn new(config: &KvConfig, d: usize, d_v: usize) -> Result<PagedKvCache<T>, KvError> {
+        if d == 0 || d_v == 0 {
+            return Err(KvError::Shape {
+                reason: "zero-width cache".into(),
+            });
+        }
+        if config.page_elems < d || config.page_elems < d_v {
+            return Err(KvError::Shape {
+                reason: format!(
+                    "page holds {} elements, too small for rows of width ({d}, {d_v})",
+                    config.page_elems
+                ),
+            });
+        }
+        Ok(PagedKvCache {
+            d,
+            d_v,
+            len: 0,
+            rows_per_page_k: config.rows_per_page(d),
+            rows_per_page_v: config.rows_per_page(d_v),
+            k_pages: Vec::new(),
+            v_pages: Vec::new(),
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// Key width.
@@ -68,25 +381,59 @@ impl<T: Scalar> KvCache<T> {
     /// Cached positions.
     #[inline]
     pub fn len(&self) -> usize {
-        self.k.len() / self.d
+        self.len
     }
 
     /// Whether nothing has been appended yet.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.k.is_empty()
+        self.len == 0
     }
 
-    /// Logical footprint of the cached rows in bytes.
+    /// K rows one page holds.
+    #[inline]
+    pub fn rows_per_page_k(&self) -> usize {
+        self.rows_per_page_k
+    }
+
+    /// V rows one page holds.
+    #[inline]
+    pub fn rows_per_page_v(&self) -> usize {
+        self.rows_per_page_v
+    }
+
+    /// Pages this session holds across both tables.
+    #[inline]
+    pub fn pages(&self) -> usize {
+        self.k_pages.len() + self.v_pages.len()
+    }
+
+    /// Logical footprint of the cached rows in bytes (what the rows
+    /// contain, not the pages they sit in — the governance budget is
+    /// charged per page, this is the utilization numerator).
     #[inline]
     pub fn bytes(&self) -> u64 {
-        ((self.k.len() + self.v.len()) * T::BYTES) as u64
+        (self.len * (self.d + self.d_v) * T::BYTES) as u64
     }
 
-    /// Append one position (a `d`-wide key row and a `d_v`-wide value row).
-    pub fn append(&mut self, k_row: &[T], v_row: &[T]) -> Result<(), RequestError> {
+    /// Pool pages `new_rows` more positions would need.
+    pub fn pages_needed(&self, new_rows: usize) -> usize {
+        pages_for_growth(self.len, new_rows, self.rows_per_page_k)
+            + pages_for_growth(self.len, new_rows, self.rows_per_page_v)
+    }
+
+    /// Append one position (a `d`-wide key row and a `d_v`-wide value
+    /// row), taking fresh pages from `pool` as row boundaries cross page
+    /// boundaries. On [`KvError::PoolExhausted`] nothing is allocated and
+    /// the cache is unchanged.
+    pub fn append(
+        &mut self,
+        pool: &mut KvPool<T>,
+        k_row: &[T],
+        v_row: &[T],
+    ) -> Result<(), KvError> {
         if k_row.len() != self.d || v_row.len() != self.d_v {
-            return Err(RequestError::DecodeShapeMismatch {
+            return Err(KvError::Shape {
                 reason: format!(
                     "append rows of width ({}, {}) into a ({}, {}) cache",
                     k_row.len(),
@@ -96,16 +443,23 @@ impl<T: Scalar> KvCache<T> {
                 ),
             });
         }
-        self.k.extend_from_slice(k_row);
-        self.v.extend_from_slice(v_row);
+        self.grow(pool, 1)?;
+        self.write_row(pool, self.len, k_row, v_row);
+        self.len += 1;
         Ok(())
     }
 
     /// Append a block of positions at once (prefill priming): `k` is
-    /// `rows × d`, `v` is `rows × d_v`.
-    pub fn extend(&mut self, k: &Matrix<T>, v: &Matrix<T>) -> Result<(), RequestError> {
+    /// `rows × d`, `v` is `rows × d_v`. Atomic like `append` — on
+    /// exhaustion no page is taken and no row written.
+    pub fn extend(
+        &mut self,
+        pool: &mut KvPool<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Result<(), KvError> {
         if k.cols() != self.d || v.cols() != self.d_v || k.rows() != v.rows() {
-            return Err(RequestError::DecodeShapeMismatch {
+            return Err(KvError::Shape {
                 reason: format!(
                     "extend with K {}x{} / V {}x{} into a ({}, {}) cache",
                     k.rows(),
@@ -117,31 +471,99 @@ impl<T: Scalar> KvCache<T> {
                 ),
             });
         }
-        self.k.extend_from_slice(k.as_slice());
-        self.v.extend_from_slice(v.as_slice());
+        self.grow(pool, k.rows())?;
+        for r in 0..k.rows() {
+            self.write_row(pool, self.len + r, k.row(r), v.row(r));
+        }
+        self.len += k.rows();
         Ok(())
     }
 
-    /// The contiguous K slab (`len × d` row-major elements).
-    #[inline]
-    pub fn k_rows(&self) -> &[T] {
-        &self.k
+    /// Return every page to the pool and reset to empty. The widths (and
+    /// the table itself) survive, so an evicted session's geometry is
+    /// still known.
+    pub fn release(&mut self, pool: &mut KvPool<T>) {
+        for id in self.k_pages.drain(..).chain(self.v_pages.drain(..)) {
+            pool.free(id).expect("page table holds a non-live page");
+        }
+        self.len = 0;
     }
 
-    /// The contiguous V slab (`len × d_v` row-major elements).
-    #[inline]
-    pub fn v_rows(&self) -> &[T] {
-        &self.v
+    /// The cached keys as a borrowed page table for the engine's pack.
+    pub fn k_rows<'p>(&self, pool: &'p KvPool<T>) -> KvRows<'p, T> {
+        KvRows::Paged {
+            pages: self.k_pages.iter().map(|&id| pool.page(id)).collect(),
+            rows_per_page: self.rows_per_page_k,
+        }
+    }
+
+    /// The cached values as a borrowed page table for the engine's pack.
+    pub fn v_rows<'p>(&self, pool: &'p KvPool<T>) -> KvRows<'p, T> {
+        KvRows::Paged {
+            pages: self.v_pages.iter().map(|&id| pool.page(id)).collect(),
+            rows_per_page: self.rows_per_page_v,
+        }
     }
 
     /// Copy the cached keys out as a `len × d` matrix (test/reference use).
-    pub fn k_matrix(&self) -> Matrix<T> {
-        Matrix::from_vec(self.len(), self.d, self.k.clone())
+    pub fn k_matrix(&self, pool: &KvPool<T>) -> Matrix<T> {
+        self.assemble(pool, &self.k_pages, self.d, self.rows_per_page_k)
     }
 
     /// Copy the cached values out as a `len × d_v` matrix.
-    pub fn v_matrix(&self) -> Matrix<T> {
-        Matrix::from_vec(self.len(), self.d_v, self.v.clone())
+    pub fn v_matrix(&self, pool: &KvPool<T>) -> Matrix<T> {
+        self.assemble(pool, &self.v_pages, self.d_v, self.rows_per_page_v)
+    }
+
+    fn assemble(
+        &self,
+        pool: &KvPool<T>,
+        table: &[PageId],
+        width: usize,
+        rows_per_page: usize,
+    ) -> Matrix<T> {
+        let mut data = Vec::with_capacity(self.len * width);
+        let mut remaining = self.len;
+        for &id in table {
+            let take = remaining.min(rows_per_page);
+            data.extend_from_slice(&pool.page(id)[..take * width]);
+            remaining -= take;
+        }
+        Matrix::from_vec(self.len, width, data)
+    }
+
+    /// Reserve the pages `new_rows` more positions need — all-or-nothing.
+    fn grow(&mut self, pool: &mut KvPool<T>, new_rows: usize) -> Result<(), KvError> {
+        let need_k = pages_for_growth(self.len, new_rows, self.rows_per_page_k);
+        let need_v = pages_for_growth(self.len, new_rows, self.rows_per_page_v);
+        let need = need_k + need_v;
+        if need > pool.free_pages() {
+            return Err(KvError::PoolExhausted {
+                need,
+                free: pool.free_pages(),
+            });
+        }
+        // Cannot fail past the gate above; the free list is LIFO so these
+        // come out in a deterministic order.
+        for _ in 0..need_k {
+            self.k_pages
+                .push(pool.alloc().expect("gated on free_pages"));
+        }
+        for _ in 0..need_v {
+            self.v_pages
+                .push(pool.alloc().expect("gated on free_pages"));
+        }
+        Ok(())
+    }
+
+    /// Write position `row` (already backed by a page) on both sides.
+    fn write_row(&self, pool: &mut KvPool<T>, row: usize, k_row: &[T], v_row: &[T]) {
+        let kp = self.k_pages[row / self.rows_per_page_k];
+        let ko = (row % self.rows_per_page_k) * self.d;
+        pool.page_mut(kp)[ko..ko + self.d].copy_from_slice(k_row);
+        let vp = self.v_pages[row / self.rows_per_page_v];
+        let vo = (row % self.rows_per_page_v) * self.d_v;
+        pool.page_mut(vp)[vo..vo + self.d_v].copy_from_slice(v_row);
     }
 }
 
@@ -149,38 +571,135 @@ impl<T: Scalar> KvCache<T> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn append_grows_contiguously() {
-        let mut c = KvCache::<f32>::new(2, 3);
-        assert!(c.is_empty());
-        c.append(&[1.0, 2.0], &[3.0, 4.0, 5.0]).unwrap();
-        c.append(&[6.0, 7.0], &[8.0, 9.0, 10.0]).unwrap();
-        assert_eq!(c.len(), 2);
-        assert_eq!(c.k_rows(), &[1.0, 2.0, 6.0, 7.0]);
-        assert_eq!(c.v_rows(), &[3.0, 4.0, 5.0, 8.0, 9.0, 10.0]);
-        assert_eq!(c.bytes(), (4 + 6) * 4);
-        assert_eq!(c.k_matrix().shape(), (2, 2));
+    fn config(page_elems: usize, pages: u64) -> KvConfig {
+        KvConfig {
+            page_elems,
+            budget_bytes: pages * (page_elems * 4) as u64,
+            evict_idle: false,
+        }
     }
 
     #[test]
-    fn extend_primes_many_rows() {
-        let mut c = KvCache::<f32>::with_capacity(2, 2, 8);
-        let k = Matrix::from_fn(3, 2, |r, col| (r * 2 + col) as f32);
-        let v = Matrix::from_fn(3, 2, |r, col| -((r + col) as f32));
-        c.extend(&k, &v).unwrap();
-        assert_eq!(c.len(), 3);
-        assert_eq!(c.k_rows(), k.as_slice());
-        assert_eq!(c.v_matrix(), v);
+    fn append_crosses_page_boundaries() {
+        // 2 K rows or 3 V rows per page (width 2 each, page of 6 elems:
+        // K side wastes 2 elements per page, V side none).
+        let cfg = KvConfig {
+            page_elems: 6,
+            ..KvConfig::default()
+        };
+        let mut pool = KvPool::<f32>::new(&cfg);
+        let mut c = PagedKvCache::<f32>::new(&cfg, 2, 2).unwrap();
+        assert_eq!(c.rows_per_page_k(), 3);
+        assert!(c.is_empty());
+        for i in 0..4 {
+            let x = i as f32;
+            c.append(&mut pool, &[x, x + 0.5], &[-x, -x - 0.5]).unwrap();
+        }
+        assert_eq!(c.len(), 4);
+        // 4 rows at 3 rows/page → 2 pages per side.
+        assert_eq!(c.pages(), 4);
+        assert_eq!(pool.allocated(), 4);
+        assert_eq!(c.bytes(), (4 * (2 + 2) * 4) as u64);
+        let k = c.k_matrix(&pool);
+        assert_eq!(k.shape(), (4, 2));
+        assert_eq!(k.row(3), &[3.0, 3.5]);
+        assert_eq!(c.v_matrix(&pool).row(0), &[0.0, -0.5]);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extend_primes_many_rows_and_release_returns_pages() {
+        let cfg = config(8, 64);
+        let mut pool = KvPool::<f32>::new(&cfg);
+        let mut c = PagedKvCache::<f32>::new(&cfg, 4, 2).unwrap();
+        let k = Matrix::from_fn(5, 4, |r, col| (r * 4 + col) as f32);
+        let v = Matrix::from_fn(5, 2, |r, col| -((r * 2 + col) as f32));
+        c.extend(&mut pool, &k, &v).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.k_matrix(&pool), k);
+        assert_eq!(c.v_matrix(&pool), v);
+        // 5 rows: K at 2 rows/page → 3 pages; V at 4 rows/page → 2 pages.
+        assert_eq!(c.pages(), 5);
+        c.release(&mut pool);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.pages(), 0);
+        assert_eq!(pool.allocated(), 0);
+        assert_eq!(pool.total_frees(), 5);
+        pool.check_invariants().unwrap();
+        // The freed pages recycle without growing new storage.
+        c.extend(&mut pool, &k, &v).unwrap();
+        assert_eq!(pool.total_allocs(), 10);
+        assert_eq!(c.k_matrix(&pool), k);
+        pool.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exhaustion_is_atomic_and_typed() {
+        // Budget of 3 pages; a session needs K+V pages in pairs.
+        let cfg = config(4, 3);
+        let mut pool = KvPool::<f32>::new(&cfg);
+        assert_eq!(pool.capacity_pages(), 3);
+        let mut c = PagedKvCache::<f32>::new(&cfg, 4, 4).unwrap();
+        c.append(&mut pool, &[0.0; 4], &[1.0; 4]).unwrap(); // takes 2 pages
+        let before = (c.len(), c.pages(), pool.allocated());
+        let err = c
+            .extend(
+                &mut pool,
+                &Matrix::<f32>::zeros(2, 4),
+                &Matrix::<f32>::zeros(2, 4),
+            )
+            .unwrap_err();
+        assert_eq!(err, KvError::PoolExhausted { need: 4, free: 1 });
+        assert_eq!((c.len(), c.pages(), pool.allocated()), before);
+        pool.check_invariants().unwrap();
+        // The row already cached is intact.
+        assert_eq!(c.v_matrix(&pool).row(0), &[1.0; 4]);
+    }
+
+    #[test]
+    fn double_free_is_a_typed_error() {
+        let cfg = config(4, 8);
+        let mut pool = KvPool::<f32>::new(&cfg);
+        let id = pool.alloc().unwrap();
+        pool.free(id).unwrap();
+        assert!(matches!(pool.free(id), Err(KvError::Shape { .. })));
+        assert!(matches!(pool.free(PageId(99)), Err(KvError::Shape { .. })));
+        assert_eq!(pool.total_frees(), 1);
+        pool.check_invariants().unwrap();
     }
 
     #[test]
     fn mismatched_rows_are_typed_errors() {
-        let mut c = KvCache::<f32>::new(2, 2);
-        let err = c.append(&[1.0], &[1.0, 2.0]).unwrap_err();
-        assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
+        let cfg = config(8, 8);
+        let mut pool = KvPool::<f32>::new(&cfg);
+        let mut c = PagedKvCache::<f32>::new(&cfg, 2, 2).unwrap();
+        let err = c.append(&mut pool, &[1.0], &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, KvError::Shape { .. }));
         let k = Matrix::<f32>::zeros(2, 3);
         let v = Matrix::<f32>::zeros(2, 2);
-        assert!(c.extend(&k, &v).is_err());
+        assert!(c.extend(&mut pool, &k, &v).is_err());
         assert!(c.is_empty(), "failed appends must not mutate the cache");
+        assert_eq!(pool.allocated(), 0);
+        // A cache whose rows cannot fit one page is rejected at creation.
+        assert!(matches!(
+            PagedKvCache::<f32>::new(&cfg, 16, 2),
+            Err(KvError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn config_capacity_accounts_for_dtype() {
+        let cfg = KvConfig {
+            page_elems: 256,
+            budget_bytes: 1 << 20,
+            evict_idle: false,
+        };
+        assert_eq!(cfg.capacity_pages::<f32>(), 1024);
+        assert_eq!(cfg.capacity_pages::<dfss_tensor::Bf16>(), 2048);
+        assert_eq!(cfg.rows_per_page(64), 4);
+        assert_eq!(pages_for_growth(0, 1, 4), 1);
+        assert_eq!(pages_for_growth(4, 1, 4), 1);
+        assert_eq!(pages_for_growth(3, 1, 4), 0);
+        assert_eq!(pages_for_growth(2, 10, 4), 2);
     }
 }

@@ -10,12 +10,21 @@
 //!   regime the paper motivates with its "drop-in module at inference time"
 //!   claim (§5.2, A.1.2).
 //! * **Decode** — the traffic that dominates production inference: each
-//!   open **session** owns an append-only KV cache ([`KvCache`]), and every
+//!   open **session** owns an append-only KV page table ([`PagedKvCache`])
+//!   over one server-owned block pool ([`KvPool`]), and every
 //!   [`DecodeRequest`] carries one new query row to attend over the
 //!   session's whole history. Decode steps from *different* sessions
 //!   coalesce into **one ragged launch per op**
 //!   ([`AttentionEngine::flush_decode`]) even though their cached lengths
 //!   differ — outputs stay bit-identical to serving each stream alone.
+//!
+//! KV memory is **governed**: [`KvConfig`] sets a byte budget over the
+//! pool, admission reserves pages *before* a row is accepted, and
+//! exhaustion surfaces as typed back-pressure
+//! ([`SessionError::KvBudgetExhausted`]) — or, with
+//! [`KvConfig::evict_idle`], as deterministic LRU eviction of idle
+//! sessions ([`SessionError::Evicted`] for the victim's later steps) —
+//! never as unbounded growth or a panic.
 //!
 //! Architecture (no tokio — a plain batcher thread; the batched launches
 //! themselves fan out on the vendored rayon-compat worker pool like every
@@ -79,9 +88,9 @@ mod kv;
 mod queue;
 mod server;
 
-pub use dfss_core::engine::{ShapeKey, Ticket};
+pub use dfss_core::engine::{KvRows, ShapeKey, Ticket};
 pub use dfss_core::mechanism::RequestError;
-pub use kv::{KvCache, SessionId};
+pub use kv::{pages_for_growth, KvConfig, KvError, KvPool, PageId, PagedKvCache, SessionId};
 pub use server::{AttentionServer, DecodeHandle, ResponseHandle, Served, ServedDecode};
 
 use std::time::Duration;
@@ -148,6 +157,18 @@ pub enum SessionError {
     UnknownSession(SessionId),
     /// The operation's shapes failed validation against the session.
     Rejected(RequestError),
+    /// The KV byte budget cannot back the operation: the pool has no free
+    /// page left and (under `evict_idle`) no idle session to evict. The
+    /// caller's session is intact — retry after other sessions close.
+    KvBudgetExhausted {
+        /// Pages the operation needed.
+        need: usize,
+        /// Pages the pool could still hand out.
+        free: usize,
+    },
+    /// The session's KV pages were reclaimed by the LRU eviction policy;
+    /// its history is gone and only `close_session` is still valid.
+    Evicted(SessionId),
 }
 
 impl std::fmt::Display for SessionError {
@@ -155,6 +176,11 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::UnknownSession(id) => write!(f, "unknown {id}"),
             SessionError::Rejected(e) => write!(f, "session operation rejected: {e}"),
+            SessionError::KvBudgetExhausted { need, free } => write!(
+                f,
+                "kv budget exhausted: operation needs {need} pages, {free} free"
+            ),
+            SessionError::Evicted(id) => write!(f, "{id} was evicted under kv pressure"),
         }
     }
 }
@@ -210,8 +236,18 @@ pub struct ServeStats {
     /// KV-cache rows appended across all sessions (decode appends +
     /// prefill-priming rows).
     pub kv_rows_appended: u64,
-    /// Peak concurrent KV-cache bytes across all open sessions.
+    /// Peak concurrent KV-cache bytes across all open sessions (logical
+    /// row bytes, not page-granular pool bytes).
     pub kv_bytes_peak: u64,
+    /// KV pool pages handed to sessions over the server's lifetime.
+    pub kv_pages_allocated: u64,
+    /// KV pool pages returned (session close + eviction) over the
+    /// server's lifetime.
+    pub kv_pages_freed: u64,
+    /// Idle sessions evicted by the LRU policy to make room.
+    pub evictions: u64,
+    /// Session operations refused with [`SessionError::KvBudgetExhausted`].
+    pub admission_rejections: u64,
     /// Total simulated-device latency across all launches (prefill +
     /// decode).
     pub total_sim_latency_s: f64,

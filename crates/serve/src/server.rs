@@ -2,17 +2,29 @@
 //!
 //! Prefill requests flow through the shape-bucketed queue exactly as
 //! before; decode traffic adds a session registry (synchronous admission
-//! checks on the caller's thread), per-session [`KvCache`]s owned by the
-//! batcher thread, and a decode queue that coalesces steps from different
-//! sessions into one ragged launch per op.
+//! checks on the caller's thread), per-session [`PagedKvCache`] page
+//! tables over one batcher-owned [`KvPool`], and a decode queue that
+//! coalesces steps from different sessions into one ragged launch per op.
 //!
 //! **Decode determinism**: a decode step attends over exactly the rows its
 //! session had appended before the step was submitted. The batcher
 //! enforces this by flushing the decode queue before applying an append or
 //! close for a session that already has a queued step — cache mutations
 //! can never race ahead of a waiting decode.
+//!
+//! **Memory governance**: the registry mirrors every session's page count,
+//! so admission *reserves* pool pages synchronously before a row is
+//! accepted. Reservation failure surfaces as typed back-pressure
+//! ([`SessionError::KvBudgetExhausted`]) or, under
+//! [`KvConfig::evict_idle`], evicts idle sessions in deterministic LRU
+//! order (oldest `last_used`, ties to the smallest id) until the
+//! reservation fits. Every session-mutating message is sent **while the
+//! registry lock is held**, so the batcher observes mutations in the exact
+//! order the accounting admitted them — its pool allocation can therefore
+//! never fail, and the budget is enforced without the batcher ever
+//! blocking a client.
 
-use crate::kv::{KvCache, SessionId};
+use crate::kv::{KvConfig, KvPool, PagedKvCache, SessionId};
 use crate::queue::{Bucket, BucketQueue, QueuedRequest};
 use crate::{BatchPolicy, DecodeRequest, ServeError, ServeStats, SessionError};
 use dfss_core::engine::{AttentionEngine, DecodeStep, ShapeKey, Ticket};
@@ -108,11 +120,94 @@ type Reply<T> = SyncSender<Result<Served<T>, ServeError>>;
 type DecodeReply<T> = SyncSender<Result<ServedDecode<T>, ServeError>>;
 
 /// Synchronous admission view of one session (the caches themselves live
-/// on the batcher thread).
+/// on the batcher thread; the registry mirrors their geometry exactly).
 struct SessionMeta {
     d: usize,
     d_v: usize,
     len: usize,
+    rows_per_page_k: usize,
+    rows_per_page_v: usize,
+    /// Pool pages this session holds (K + V tables).
+    pages: usize,
+    /// Logical LRU timestamp — the registry clock at the session's last
+    /// append/extend/decode admission.
+    last_used: u64,
+    /// Decode steps admitted but not yet served; an inflight session is
+    /// never an eviction victim (its queued steps must see their rows).
+    inflight: usize,
+    /// Whether the LRU policy reclaimed this session's pages.
+    evicted: bool,
+}
+
+/// The shared admission state: session metadata plus the KV governor —
+/// a synchronous mirror of the batcher's pool occupancy that lets the
+/// front door reserve pages (and so apply back-pressure) without a
+/// round-trip to the batcher thread.
+struct Registry {
+    sessions: HashMap<u64, SessionMeta>,
+    /// Pool pages the budget admits in total.
+    capacity_pages: usize,
+    /// Pages reserved by open sessions (== the pool's allocated count
+    /// once the batcher has drained the channel).
+    pages_used: usize,
+    /// Logical bytes cached across open sessions.
+    kv_bytes: u64,
+    kv_bytes_peak: u64,
+    kv_pages_allocated: u64,
+    kv_pages_freed: u64,
+    evictions: u64,
+    admission_rejections: u64,
+    /// LRU clock, bumped on every session touch.
+    clock: u64,
+}
+
+impl Registry {
+    fn new(capacity_pages: usize) -> Registry {
+        Registry {
+            sessions: HashMap::new(),
+            capacity_pages,
+            pages_used: 0,
+            kv_bytes: 0,
+            kv_bytes_peak: 0,
+            kv_pages_allocated: 0,
+            kv_pages_freed: 0,
+            evictions: 0,
+            admission_rejections: 0,
+            clock: 0,
+        }
+    }
+
+    fn free_pages(&self) -> usize {
+        self.capacity_pages - self.pages_used
+    }
+
+    fn touch(&mut self, id: u64) {
+        let t = self.clock;
+        self.clock += 1;
+        if let Some(meta) = self.sessions.get_mut(&id) {
+            meta.last_used = t;
+        }
+    }
+
+    /// The deterministic LRU eviction victim: among sessions other than
+    /// `requester` that are not evicted, hold pages, and have no decode
+    /// step in flight, the least recently used (ties to the smallest id).
+    fn pick_victim(&self, requester: u64) -> Option<u64> {
+        self.sessions
+            .iter()
+            .filter(|(&id, m)| id != requester && !m.evicted && m.pages > 0 && m.inflight == 0)
+            .min_by_key(|(&id, m)| (m.last_used, id))
+            .map(|(&id, _)| id)
+    }
+
+    /// Pages held by sessions `pick_victim` could reclaim for `requester`.
+    fn evictable_pages(&self, requester: u64) -> usize {
+        self.sessions
+            .iter()
+            .filter(|(&id, m)| id != requester && !m.evicted && m.pages > 0 && m.inflight == 0)
+            .map(|(_, m)| m.pages)
+            .sum()
+    }
 }
 
 enum Msg<T: Scalar> {
@@ -135,6 +230,10 @@ enum Msg<T: Scalar> {
     Close {
         id: u64,
     },
+    /// Reclaim the session's pages (registry already marked it evicted).
+    Evict {
+        id: u64,
+    },
     Decode {
         id: u64,
         q_row: Vec<T>,
@@ -154,27 +253,40 @@ enum Msg<T: Scalar> {
 /// one [`AttentionEngine::flush`] — a single batched launch per op.
 ///
 /// `open_session` / `append` / `submit_decode` / `close_session` are the
-/// decode front door: sessions own append-only [`KvCache`]s on the batcher
-/// thread, admission checks run synchronously against a shared registry,
-/// and queued decode steps close into one
-/// [`AttentionEngine::flush_decode`] per batch — a single **ragged** launch
-/// per op across all streams, whatever their cached lengths.
+/// decode front door: sessions own [`PagedKvCache`] page tables over one
+/// batcher-owned [`KvPool`], admission checks (shapes **and** the KV page
+/// budget) run synchronously against a shared registry, and queued decode
+/// steps close into one [`AttentionEngine::flush_decode`] per batch — a
+/// single **ragged** launch per op across all streams, whatever their
+/// cached lengths.
 pub struct AttentionServer<T: Scalar> {
     mech: Arc<dyn Attention<T> + Send + Sync>,
+    kv: KvConfig,
     tx: Sender<Msg<T>>,
     rejected: Arc<AtomicU64>,
     next_session: AtomicU64,
-    sessions: Arc<Mutex<HashMap<u64, SessionMeta>>>,
+    registry: Arc<Mutex<Registry>>,
     worker: Option<JoinHandle<ServeStats>>,
 }
 
 impl<T: Scalar> AttentionServer<T> {
-    /// Start a server on the paper's evaluation device (A100 simulation).
+    /// Start a server on the paper's evaluation device (A100 simulation)
+    /// with an unbounded KV budget.
     pub fn start(
         mech: Arc<dyn Attention<T> + Send + Sync>,
         policy: BatchPolicy,
     ) -> AttentionServer<T> {
         AttentionServer::start_with_ctx(mech, policy, GpuCtx::a100())
+    }
+
+    /// Start a server with an explicit KV geometry and byte budget (A100
+    /// simulation context).
+    pub fn start_with_kv(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        kv: KvConfig,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_with_ctx_kv(mech, policy, GpuCtx::a100(), kv)
     }
 
     /// Start a server whose engine runs on a caller-provided context
@@ -184,20 +296,38 @@ impl<T: Scalar> AttentionServer<T> {
         policy: BatchPolicy,
         ctx: GpuCtx,
     ) -> AttentionServer<T> {
+        AttentionServer::start_with_ctx_kv(mech, policy, ctx, KvConfig::default())
+    }
+
+    /// Start a server with both a caller-provided context and KV config.
+    pub fn start_with_ctx_kv(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        ctx: GpuCtx,
+        kv: KvConfig,
+    ) -> AttentionServer<T> {
         let (tx, rx) = mpsc::channel::<Msg<T>>();
+        let registry = Arc::new(Mutex::new(Registry::new(kv.capacity_pages::<T>())));
         let worker_mech = Arc::clone(&mech);
+        let worker_registry = Arc::clone(&registry);
         let worker = std::thread::Builder::new()
             .name("dfss-serve-batcher".into())
-            .spawn(move || batcher_loop(worker_mech, policy, ctx, rx))
+            .spawn(move || batcher_loop(worker_mech, policy, ctx, kv, worker_registry, rx))
             .expect("spawn batcher thread");
         AttentionServer {
             mech,
             tx,
             rejected: Arc::new(AtomicU64::new(0)),
             next_session: AtomicU64::new(0),
-            sessions: Arc::new(Mutex::new(HashMap::new())),
+            registry,
+            kv,
             worker: Some(worker),
         }
+    }
+
+    /// The server's KV geometry and budget.
+    pub fn kv_config(&self) -> KvConfig {
+        self.kv
     }
 
     /// Validate and enqueue one prefill request. Returns immediately; the
@@ -233,23 +363,117 @@ impl<T: Scalar> AttentionServer<T> {
     /// `d_v`. The session's KV cache starts empty; prime it with
     /// [`append`](Self::append) / [`extend`](Self::extend) before the first
     /// decode step.
+    ///
+    /// Admission checks that the pool could back at least the session's
+    /// first position (one K page + one V page, free now or reclaimable
+    /// under `evict_idle`) — a server already pinned to its budget refuses
+    /// new sessions with [`SessionError::KvBudgetExhausted`] instead of
+    /// accepting a stream it can never grow. Nothing is reserved until the
+    /// first row arrives.
     pub fn open_session(&self, d: usize, d_v: usize) -> Result<SessionId, SessionError> {
         if d == 0 || d_v == 0 {
             return Err(SessionError::Rejected(RequestError::EmptyRequest));
         }
+        if self.kv.page_elems < d || self.kv.page_elems < d_v {
+            return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
+                reason: format!(
+                    "kv pages hold {} elements, too small for rows of width ({d}, {d_v})",
+                    self.kv.page_elems
+                ),
+            }));
+        }
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        self.sessions
-            .lock()
-            .unwrap()
-            .insert(id, SessionMeta { d, d_v, len: 0 });
+        let mut reg = self.registry.lock().unwrap();
+        let reachable = reg.free_pages()
+            + if self.kv.evict_idle {
+                reg.evictable_pages(id)
+            } else {
+                0
+            };
+        if reachable < 2 {
+            reg.admission_rejections += 1;
+            return Err(SessionError::KvBudgetExhausted {
+                need: 2,
+                free: reg.free_pages(),
+            });
+        }
+        let t = reg.clock;
+        reg.clock += 1;
+        reg.sessions.insert(
+            id,
+            SessionMeta {
+                d,
+                d_v,
+                len: 0,
+                rows_per_page_k: self.kv.rows_per_page(d),
+                rows_per_page_v: self.kv.rows_per_page(d_v),
+                pages: 0,
+                last_used: t,
+                inflight: 0,
+                evicted: false,
+            },
+        );
         let _ = self.tx.send(Msg::Open { id, d, d_v });
         Ok(SessionId(id))
     }
 
+    /// Reserve `need` pool pages for `requester`, evicting idle sessions
+    /// in deterministic LRU order when the policy allows. Caller holds the
+    /// registry lock; eviction messages go out under that same lock so the
+    /// batcher frees the victims' pages before the requester's rows land.
+    fn reserve_pages(
+        &self,
+        reg: &mut Registry,
+        requester: u64,
+        need: usize,
+    ) -> Result<(), SessionError> {
+        while reg.free_pages() < need {
+            let victim = if self.kv.evict_idle {
+                reg.pick_victim(requester)
+            } else {
+                None
+            };
+            let Some(vid) = victim else {
+                reg.admission_rejections += 1;
+                return Err(SessionError::KvBudgetExhausted {
+                    need,
+                    free: reg.free_pages(),
+                });
+            };
+            let meta = reg.sessions.get_mut(&vid).expect("victim is registered");
+            let freed = meta.pages;
+            let bytes = (meta.len * (meta.d + meta.d_v) * T::BYTES) as u64;
+            meta.pages = 0;
+            meta.len = 0;
+            meta.evicted = true;
+            reg.pages_used -= freed;
+            reg.kv_pages_freed += freed as u64;
+            reg.kv_bytes = reg.kv_bytes.saturating_sub(bytes);
+            reg.evictions += 1;
+            let _ = self.tx.send(Msg::Evict { id: vid });
+        }
+        reg.pages_used += need;
+        reg.kv_pages_allocated += need as u64;
+        Ok(())
+    }
+
+    /// Charge `rows` admitted positions to the session and the governor.
+    /// Caller holds the registry lock and has already reserved the pages.
+    fn charge_rows(reg: &mut Registry, id: u64, rows: usize, pages: usize) {
+        let meta = reg.sessions.get_mut(&id).expect("session is registered");
+        meta.len += rows;
+        meta.pages += pages;
+        let bytes = (rows * (meta.d + meta.d_v) * T::BYTES) as u64;
+        reg.kv_bytes += bytes;
+        reg.kv_bytes_peak = reg.kv_bytes_peak.max(reg.kv_bytes);
+        reg.touch(id);
+    }
+
     /// Append one position (a key row and a value row) to a session's
-    /// cache. Width mismatches are rejected synchronously with a typed
-    /// error; the rows themselves land on the batcher thread in submission
-    /// order, so a subsequent decode step always sees them.
+    /// cache. Width mismatches and budget exhaustion are rejected
+    /// synchronously with typed errors; the rows themselves land on the
+    /// batcher thread in submission order, so a subsequent decode step
+    /// always sees them.
     pub fn append(
         &self,
         session: SessionId,
@@ -257,10 +481,14 @@ impl<T: Scalar> AttentionServer<T> {
         v_row: Vec<T>,
     ) -> Result<(), SessionError> {
         {
-            let mut reg = self.sessions.lock().unwrap();
+            let mut reg = self.registry.lock().unwrap();
             let meta = reg
-                .get_mut(&session.0)
+                .sessions
+                .get(&session.0)
                 .ok_or(SessionError::UnknownSession(session))?;
+            if meta.evicted {
+                return Err(SessionError::Evicted(session));
+            }
             if k_row.len() != meta.d || v_row.len() != meta.d_v {
                 return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
                     reason: format!(
@@ -272,18 +500,24 @@ impl<T: Scalar> AttentionServer<T> {
                     ),
                 }));
             }
-            meta.len += 1;
+            let need = crate::kv::pages_for_growth(meta.len, 1, meta.rows_per_page_k)
+                + crate::kv::pages_for_growth(meta.len, 1, meta.rows_per_page_v);
+            self.reserve_pages(&mut reg, session.0, need)?;
+            Self::charge_rows(&mut reg, session.0, 1, need);
+            // Send under the lock: the batcher sees mutations in admission
+            // order, so the pages reserved above are free when this lands.
+            let _ = self.tx.send(Msg::Append {
+                id: session.0,
+                k_row,
+                v_row,
+            });
         }
-        let _ = self.tx.send(Msg::Append {
-            id: session.0,
-            k_row,
-            v_row,
-        });
         Ok(())
     }
 
     /// Append a block of positions at once (prefill priming): `k` is
-    /// `rows × d`, `v` is `rows × d_v`.
+    /// `rows × d`, `v` is `rows × d_v`. Atomic under the budget: either
+    /// every page the block needs is reserved or nothing changes.
     pub fn extend(
         &self,
         session: SessionId,
@@ -291,10 +525,14 @@ impl<T: Scalar> AttentionServer<T> {
         v: Matrix<T>,
     ) -> Result<(), SessionError> {
         {
-            let mut reg = self.sessions.lock().unwrap();
+            let mut reg = self.registry.lock().unwrap();
             let meta = reg
-                .get_mut(&session.0)
+                .sessions
+                .get(&session.0)
                 .ok_or(SessionError::UnknownSession(session))?;
+            if meta.evicted {
+                return Err(SessionError::Evicted(session));
+            }
             if k.cols() != meta.d || v.cols() != meta.d_v || k.rows() != v.rows() {
                 return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
                     reason: format!(
@@ -308,25 +546,36 @@ impl<T: Scalar> AttentionServer<T> {
                     ),
                 }));
             }
-            meta.len += k.rows();
+            let rows = k.rows();
+            let need = crate::kv::pages_for_growth(meta.len, rows, meta.rows_per_page_k)
+                + crate::kv::pages_for_growth(meta.len, rows, meta.rows_per_page_v);
+            self.reserve_pages(&mut reg, session.0, need)?;
+            Self::charge_rows(&mut reg, session.0, rows, need);
+            let _ = self.tx.send(Msg::Extend {
+                id: session.0,
+                k,
+                v,
+            });
         }
-        let _ = self.tx.send(Msg::Extend {
-            id: session.0,
-            k,
-            v,
-        });
         Ok(())
     }
 
     /// Validate and enqueue one decode step. Returns immediately; the
     /// output row arrives on the handle. The step attends over exactly the
-    /// rows appended to the session before this call.
+    /// rows appended to the session before this call. A session whose
+    /// pages were reclaimed by eviction gets
+    /// [`SessionError::Evicted`] — its history is gone.
     pub fn submit_decode(&self, req: DecodeRequest<T>) -> Result<DecodeHandle<T>, SessionError> {
+        let (reply, rx) = mpsc::sync_channel(1);
         {
-            let reg = self.sessions.lock().unwrap();
+            let mut reg = self.registry.lock().unwrap();
             let meta = reg
+                .sessions
                 .get(&req.session.0)
                 .ok_or(SessionError::UnknownSession(req.session))?;
+            if meta.evicted {
+                return Err(SessionError::Evicted(req.session));
+            }
             if req.q_row.len() != meta.d {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SessionError::Rejected(RequestError::DecodeShapeMismatch {
@@ -341,27 +590,35 @@ impl<T: Scalar> AttentionServer<T> {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SessionError::Rejected(RequestError::EmptyRequest));
             }
+            let meta = reg.sessions.get_mut(&req.session.0).expect("checked above");
+            meta.inflight += 1;
+            reg.touch(req.session.0);
+            let _ = self.tx.send(Msg::Decode {
+                id: req.session.0,
+                q_row: req.q_row,
+                submitted: Instant::now(),
+                reply,
+            });
         }
-        let (reply, rx) = mpsc::sync_channel(1);
-        let _ = self.tx.send(Msg::Decode {
-            id: req.session.0,
-            q_row: req.q_row,
-            submitted: Instant::now(),
-            reply,
-        });
         Ok(DecodeHandle { rx })
     }
 
-    /// Close a session and drop its KV cache. Queued decode steps for the
-    /// session are flushed first, so nothing already admitted is lost;
-    /// subsequent operations on the id get
-    /// [`SessionError::UnknownSession`].
+    /// Close a session and return its KV pages to the pool. Queued decode
+    /// steps for the session are flushed first, so nothing already
+    /// admitted is lost; subsequent operations on the id get
+    /// [`SessionError::UnknownSession`]. Closing is always valid — also
+    /// for evicted sessions (that is how their ids are retired).
     pub fn close_session(&self, session: SessionId) -> Result<(), SessionError> {
-        self.sessions
-            .lock()
-            .unwrap()
+        let mut reg = self.registry.lock().unwrap();
+        let meta = reg
+            .sessions
             .remove(&session.0)
             .ok_or(SessionError::UnknownSession(session))?;
+        reg.pages_used -= meta.pages;
+        reg.kv_pages_freed += meta.pages as u64;
+        reg.kv_bytes = reg
+            .kv_bytes
+            .saturating_sub((meta.len * (meta.d + meta.d_v) * T::BYTES) as u64);
         let _ = self.tx.send(Msg::Close { id: session.0 });
         Ok(())
     }
@@ -375,6 +632,12 @@ impl<T: Scalar> AttentionServer<T> {
             None => ServeStats::default(),
         };
         stats.rejected = self.rejected.load(Ordering::Relaxed);
+        let reg = self.registry.lock().unwrap();
+        stats.kv_bytes_peak = reg.kv_bytes_peak;
+        stats.kv_pages_allocated = reg.kv_pages_allocated;
+        stats.kv_pages_freed = reg.kv_pages_freed;
+        stats.evictions = reg.evictions;
+        stats.admission_rejections = reg.admission_rejections;
         stats
     }
 }
@@ -396,20 +659,22 @@ struct PendingDecode<T: Scalar> {
     reply: DecodeReply<T>,
 }
 
-/// The batcher thread's session + decode state.
+/// The batcher thread's session + decode state: the page pool, the
+/// per-session page tables over it, and the queued steps.
 struct DecodeState<T: Scalar> {
-    caches: HashMap<u64, KvCache<T>>,
+    pool: KvPool<T>,
+    config: KvConfig,
+    caches: HashMap<u64, PagedKvCache<T>>,
     pending: Vec<PendingDecode<T>>,
-    /// Running total of cached bytes across all open sessions.
-    kv_bytes: u64,
 }
 
 impl<T: Scalar> DecodeState<T> {
-    fn new() -> DecodeState<T> {
+    fn new(config: KvConfig) -> DecodeState<T> {
         DecodeState {
+            pool: KvPool::new(&config),
+            config,
             caches: HashMap::new(),
             pending: Vec::new(),
-            kv_bytes: 0,
         }
     }
 
@@ -432,11 +697,13 @@ fn batcher_loop<T: Scalar>(
     mech: Arc<dyn Attention<T> + Send + Sync>,
     policy: BatchPolicy,
     ctx: GpuCtx,
+    kv: KvConfig,
+    registry: Arc<Mutex<Registry>>,
     rx: Receiver<Msg<T>>,
 ) -> ServeStats {
     let mut engine = AttentionEngine::with_ctx(mech.as_ref(), ctx);
     let mut queue: BucketQueue<T, Reply<T>> = BucketQueue::new(policy);
-    let mut decode = DecodeState::new();
+    let mut decode = DecodeState::new(kv);
     let mut stats = ServeStats::default();
     let mut stopping = false;
     while !stopping {
@@ -471,44 +738,56 @@ fn batcher_loop<T: Scalar>(
                     }
                 }
                 Some(Msg::Open { id, d, d_v }) => {
-                    decode.caches.insert(id, KvCache::new(d, d_v));
-                    stats.sessions_opened += 1;
+                    // Admission validated that a page can hold the widths.
+                    if let Ok(cache) = PagedKvCache::new(&decode.config, d, d_v) {
+                        decode.caches.insert(id, cache);
+                        stats.sessions_opened += 1;
+                    }
                 }
                 Some(Msg::Append { id, k_row, v_row }) => {
                     // Determinism: a queued decode for this session must
                     // launch against the cache as of its submission.
                     if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &mut stats);
+                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
-                        if cache.append(&k_row, &v_row).is_ok() {
+                        // Admission reserved the pages under the registry
+                        // lock before this message was sent, so the pool
+                        // cannot come up short here.
+                        if cache.append(&mut decode.pool, &k_row, &v_row).is_ok() {
                             stats.kv_rows_appended += 1;
-                            decode.kv_bytes += ((k_row.len() + v_row.len()) * T::BYTES) as u64;
-                            stats.kv_bytes_peak = stats.kv_bytes_peak.max(decode.kv_bytes);
                         }
                     }
                 }
                 Some(Msg::Extend { id, k, v }) => {
                     if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &mut stats);
+                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         let rows = k.rows();
-                        let bytes = ((k.len() + v.len()) * T::BYTES) as u64;
-                        if cache.extend(&k, &v).is_ok() {
+                        if cache.extend(&mut decode.pool, &k, &v).is_ok() {
                             stats.kv_rows_appended += rows as u64;
-                            decode.kv_bytes += bytes;
-                            stats.kv_bytes_peak = stats.kv_bytes_peak.max(decode.kv_bytes);
                         }
                     }
                 }
                 Some(Msg::Close { id }) => {
                     if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &mut stats);
+                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
                     }
-                    if let Some(cache) = decode.caches.remove(&id) {
-                        decode.kv_bytes = decode.kv_bytes.saturating_sub(cache.bytes());
+                    if let Some(mut cache) = decode.caches.remove(&id) {
+                        cache.release(&mut decode.pool);
                         stats.sessions_closed += 1;
+                    }
+                }
+                Some(Msg::Evict { id }) => {
+                    // Victims are idle by construction (inflight == 0),
+                    // but flush anyway so a queued step can never attend
+                    // over freed pages.
+                    if decode.has_pending_for(id) {
+                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+                    }
+                    if let Some(cache) = decode.caches.get_mut(&id) {
+                        cache.release(&mut decode.pool);
                     }
                 }
                 Some(Msg::Decode {
@@ -524,7 +803,7 @@ fn batcher_loop<T: Scalar>(
                         reply,
                     });
                     if decode.pending.len() >= policy.max_batch {
-                        serve_decode(&mut engine, &mut decode, &mut stats);
+                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
                     }
                 }
                 Some(Msg::Shutdown) => {
@@ -543,13 +822,14 @@ fn batcher_loop<T: Scalar>(
             .next_deadline(&policy)
             .is_some_and(|deadline| deadline <= now)
         {
-            serve_decode(&mut engine, &mut decode, &mut stats);
+            serve_decode(&mut engine, &mut decode, &registry, &mut stats);
         }
     }
     for bucket in queue.take_all() {
         serve_bucket(&mut engine, bucket, &mut stats);
     }
-    serve_decode(&mut engine, &mut decode, &mut stats);
+    serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+    debug_assert!(decode.pool.check_invariants().is_ok());
     stats
 }
 
@@ -606,6 +886,7 @@ fn serve_bucket<T: Scalar>(
 fn serve_decode<T: Scalar>(
     engine: &mut AttentionEngine<'_, T>,
     decode: &mut DecodeState<T>,
+    registry: &Mutex<Registry>,
     stats: &mut ServeStats,
 ) {
     if decode.pending.is_empty() {
@@ -628,6 +909,7 @@ fn serve_decode<T: Scalar>(
         }
     }
     if live.is_empty() {
+        release_inflight(registry, pending.iter().map(|p| p.id));
         return;
     }
     let steps: Vec<DecodeStep<'_, T>> = live
@@ -636,8 +918,8 @@ fn serve_decode<T: Scalar>(
             let cache = &decode.caches[&p.id];
             DecodeStep {
                 q_row: &p.q_row,
-                k_rows: cache.k_rows(),
-                v_rows: cache.v_rows(),
+                k_rows: cache.k_rows(&decode.pool),
+                v_rows: cache.v_rows(&decode.pool),
                 len: cache.len(),
                 d: cache.d(),
                 d_v: cache.d_v(),
@@ -680,7 +962,21 @@ fn serve_decode<T: Scalar>(
             }
         }
     }
+    // Every queued step is resolved now — the sessions are idle again and
+    // eligible for eviction.
+    release_inflight(registry, pending.iter().map(|p| p.id));
     engine.reset_timeline();
+}
+
+/// Decrement the registry's inflight count for each served step's session
+/// (sessions already closed are simply gone).
+fn release_inflight(registry: &Mutex<Registry>, ids: impl Iterator<Item = u64>) {
+    let mut reg = registry.lock().unwrap();
+    for id in ids {
+        if let Some(meta) = reg.sessions.get_mut(&id) {
+            meta.inflight = meta.inflight.saturating_sub(1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1062,6 +1358,208 @@ mod tests {
         assert_eq!(stats.decode_steps, 2);
         assert_eq!(stats.decode_batches, 2, "one batch per ragged launch");
         assert_eq!(stats.max_decode_batch, 1);
+    }
+
+    /// A 4-wide session at page_elems = 16 stores 4 rows per page per side.
+    fn tight_kv(pages: u64, evict_idle: bool) -> crate::KvConfig {
+        crate::KvConfig {
+            page_elems: 16,
+            budget_bytes: pages * 16 * 4,
+            evict_idle,
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_back_pressure_not_a_panic() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // 4 pages, no eviction: one 8-row session of width 4 fills the pool
+        // (2 K pages + 2 V pages).
+        let server = AttentionServer::start_with_kv(
+            Arc::clone(&mech),
+            BatchPolicy::per_request(),
+            tight_kv(4, false),
+        );
+        let mut rng = Rng::new(41);
+        let s1 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s1,
+                Matrix::random_normal(8, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(8, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        // The 9th row needs a fresh page pair and the pool has none.
+        assert_eq!(
+            server.append(s1, vec![0.0; 4], vec![0.0; 4]).unwrap_err(),
+            SessionError::KvBudgetExhausted { need: 2, free: 0 }
+        );
+        // A pinned pool refuses new sessions too (nothing could ever grow).
+        assert!(matches!(
+            server.open_session(4, 4).unwrap_err(),
+            SessionError::KvBudgetExhausted { .. }
+        ));
+        // The rejected session is intact: decode still serves all 8 rows.
+        let served = server
+            .submit_decode(DecodeRequest {
+                session: s1,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap()
+            .wait()
+            .expect("served");
+        assert_eq!(served.cached_len, 8);
+        // Closing returns the pages; admission recovers.
+        server.close_session(s1).unwrap();
+        let s3 = server.open_session(4, 4).unwrap();
+        server.append(s3, vec![1.0; 4], vec![2.0; 4]).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.admission_rejections, 2);
+        assert_eq!(stats.evictions, 0);
+        // 4 pages for s1 + 2 for s3's first row; only s1's came back.
+        assert_eq!(stats.kv_pages_allocated, 6);
+        assert_eq!(stats.kv_pages_freed, 4);
+    }
+
+    #[test]
+    fn eviction_frees_the_deterministic_lru_victim() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start_with_kv(
+            Arc::clone(&mech),
+            BatchPolicy::per_request(),
+            tight_kv(4, true),
+        );
+        let mut rng = Rng::new(43);
+        // Two sessions fill the pool (2 pages each)…
+        let s1 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s1,
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let s2 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s2,
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        // …then a decode touches s1, making s2 the LRU victim.
+        let served = server
+            .submit_decode(DecodeRequest {
+                session: s1,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap()
+            .wait()
+            .expect("served");
+        assert_eq!(served.cached_len, 4);
+        // A newcomer's first row forces exactly one eviction: s2.
+        let s3 = server.open_session(4, 4).unwrap();
+        server.append(s3, vec![1.0; 4], vec![2.0; 4]).unwrap();
+        // The victim's history is gone — typed errors, not panics.
+        assert_eq!(
+            server
+                .submit_decode(DecodeRequest {
+                    session: s2,
+                    q_row: vec![0.0; 4],
+                })
+                .unwrap_err(),
+            SessionError::Evicted(s2)
+        );
+        assert_eq!(
+            server.append(s2, vec![0.0; 4], vec![0.0; 4]).unwrap_err(),
+            SessionError::Evicted(s2)
+        );
+        // The survivor still decodes over its full history.
+        let served = server
+            .submit_decode(DecodeRequest {
+                session: s1,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap()
+            .wait()
+            .expect("served");
+        assert_eq!(served.cached_len, 4);
+        // Closing retires the evicted id like any other.
+        server.close_session(s2).unwrap();
+        assert_eq!(
+            server.close_session(s2).unwrap_err(),
+            SessionError::UnknownSession(s2)
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.admission_rejections, 0);
+        // Counters reconcile with the lifecycle: 2+2+2 pages handed out,
+        // s2's 2 reclaimed by eviction (its close frees nothing), s1 and
+        // s3 still hold 2 each at shutdown.
+        assert_eq!(stats.kv_pages_allocated, 6);
+        assert_eq!(stats.kv_pages_freed, 2);
+        assert_eq!(stats.sessions_opened, 3);
+        assert_eq!(stats.sessions_closed, 1);
+    }
+
+    #[test]
+    fn inflight_sessions_are_never_evicted() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // Decode queue holds steps until shutdown (huge batch + deadline),
+        // so s1 stays inflight while the newcomer asks for pages.
+        let server = AttentionServer::start_with_kv(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+            tight_kv(2, true),
+        );
+        let mut rng = Rng::new(47);
+        let s1 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s1,
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let handle = server
+            .submit_decode(DecodeRequest {
+                session: s1,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap();
+        // The pool is full and its only occupant is inflight: the
+        // newcomer is refused rather than corrupting the queued step.
+        assert!(matches!(
+            server.open_session(4, 4).unwrap_err(),
+            SessionError::KvBudgetExhausted { .. }
+        ));
+        let stats = server.shutdown();
+        assert!(handle.wait().is_ok(), "queued step still served");
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.admission_rejections, 1);
+    }
+
+    #[test]
+    fn close_decrements_kv_bytes_so_peak_stays_flat() {
+        // Regression: PR 5 never decremented kv_bytes on close, so
+        // open→append→close cycles ratcheted kv_bytes_peak forever.
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(Arc::clone(&mech), BatchPolicy::per_request());
+        let mut rng = Rng::new(53);
+        for _ in 0..3 {
+            let s = server.open_session(8, 8).unwrap();
+            server
+                .extend(
+                    s,
+                    Matrix::random_normal(10, 8, 0.0, 1.0, &mut rng),
+                    Matrix::random_normal(10, 8, 0.0, 1.0, &mut rng),
+                )
+                .unwrap();
+            server.close_session(s).unwrap();
+        }
+        let stats = server.shutdown();
+        // One session's logical bytes, not three sessions' worth.
+        assert_eq!(stats.kv_bytes_peak, 10 * (8 + 8) * 4);
+        assert_eq!(stats.kv_pages_allocated, stats.kv_pages_freed);
     }
 
     #[test]

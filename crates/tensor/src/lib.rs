@@ -36,6 +36,6 @@ pub use arena::{scratch_f32, scratch_f32_from, scratch_f32_stale, ScratchF32};
 pub use batched::BatchedMatrix;
 pub use bf16::{tf32_round, Bf16};
 pub use matrix::Matrix;
-pub use ragged::RaggedBatch;
+pub use ragged::{PagedPanel, RaggedBatch};
 pub use rng::Rng;
 pub use scalar::Scalar;

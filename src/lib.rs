@@ -29,12 +29,14 @@ pub use dfss_transformer as transformer;
 /// The items most users need.
 pub mod prelude {
     pub use dfss_core::dfss::{DfssAttention, DfssEllAttention};
-    pub use dfss_core::engine::{AttentionEngine, DecodeStep};
+    pub use dfss_core::engine::{AttentionEngine, DecodeStep, KvRows};
     pub use dfss_core::full::FullAttention;
     pub use dfss_core::mechanism::{Attention, RequestError};
     pub use dfss_kernels::GpuCtx;
     pub use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern, NmRagged};
-    pub use dfss_serve::{AttentionServer, BatchPolicy, DecodeRequest, KvCache, SessionId};
-    pub use dfss_tensor::{BatchedMatrix, Bf16, Matrix, RaggedBatch, Rng, Scalar};
+    pub use dfss_serve::{
+        AttentionServer, BatchPolicy, DecodeRequest, KvConfig, KvPool, PagedKvCache, SessionId,
+    };
+    pub use dfss_tensor::{BatchedMatrix, Bf16, Matrix, PagedPanel, RaggedBatch, Rng, Scalar};
     pub use dfss_transformer::{AttnKind, Encoder, EncoderConfig, Precision};
 }

@@ -346,3 +346,147 @@ proptest! {
         prop_assert_eq!(stats.rejected, 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The paged-KV contract: page tables over a shared fixed-size block
+    // pool, at random page geometries (including rows-per-page that do not
+    // divide the cached lengths, so pages carry dead tails and partially
+    // live last pages), through random interleaved open / append / extend /
+    // decode / close orders, decode bit-identically to the PR 5 contiguous
+    // slabs — and the pool's free list never leaks or double-counts a page
+    // at any step along the way.
+    #[test]
+    fn paged_decode_matches_contiguous(
+        seed in 0u64..10_000,
+        page_elems in 8usize..40,
+        ops in proptest::collection::vec(0usize..8, 20),
+    ) {
+        use dfss_core::engine::AttentionEngine;
+        use dfss_serve::{KvConfig, KvPool, PagedKvCache};
+
+        let (d, d_v) = (8usize, 8usize);
+        // page_elems in 8..40 at width 8 → 1..=4 rows per page, and most
+        // draws are not a multiple of the width, so pages have dead tails.
+        let cfg = KvConfig { page_elems, budget_bytes: u64::MAX, evict_idle: false };
+        let mut pool = KvPool::<f32>::new(&cfg);
+        let mech_dfss = DfssAttention::new(NmPattern::P1_2);
+        let mech_full = FullAttention;
+        let mech: &dyn Attention<f32> = if seed % 2 == 0 { &mech_full } else { &mech_dfss };
+        let mut rng = Rng::new(seed);
+        // Live sessions: the paged cache plus a host-side contiguous model
+        // of exactly what it should hold.
+        let mut live: Vec<(PagedKvCache<f32>, Matrix<f32>, Matrix<f32>)> = Vec::new();
+        for &op in &ops {
+            match op {
+                // Open a session, primed with a random (often page-misaligned)
+                // block.
+                0 | 1 => {
+                    let len = 1 + rng.below(9);
+                    let k = Matrix::<f32>::random_normal(len, d, 0.0, 1.0, &mut rng);
+                    let v = Matrix::<f32>::random_normal(len, d_v, 0.0, 1.0, &mut rng);
+                    let mut c = PagedKvCache::<f32>::new(&cfg, d, d_v)
+                        .expect("page fits a row");
+                    c.extend(&mut pool, &k, &v).expect("unbounded budget");
+                    live.push((c, k, v));
+                }
+                // Append one row to a random session.
+                2 | 3 => {
+                    if live.is_empty() { continue; }
+                    let i = rng.below(live.len());
+                    let k_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+                    let v_row: Vec<f32> = (0..d_v).map(|_| rng.normal(0.0, 1.0)).collect();
+                    let (c, k, v) = &mut live[i];
+                    c.append(&mut pool, &k_row, &v_row).expect("unbounded budget");
+                    *k = k.vstack(&Matrix::from_vec(1, d, k_row));
+                    *v = v.vstack(&Matrix::from_vec(1, d_v, v_row));
+                }
+                // Extend a random session by a block.
+                4 => {
+                    if live.is_empty() { continue; }
+                    let i = rng.below(live.len());
+                    let rows = 1 + rng.below(6);
+                    let dk = Matrix::<f32>::random_normal(rows, d, 0.0, 1.0, &mut rng);
+                    let dv = Matrix::<f32>::random_normal(rows, d_v, 0.0, 1.0, &mut rng);
+                    let (c, k, v) = &mut live[i];
+                    c.extend(&mut pool, &dk, &dv).expect("unbounded budget");
+                    *k = k.vstack(&dk);
+                    *v = v.vstack(&dv);
+                }
+                // Decode over every live session: the paged page tables and
+                // the contiguous model slabs must coalesce into bit-identical
+                // ragged launches.
+                5 | 6 => {
+                    if live.is_empty() { continue; }
+                    let q = Matrix::<f32>::random_normal(live.len(), d, 0.0, 1.0, &mut rng);
+                    let paged_steps: Vec<DecodeStep<'_, f32>> = live
+                        .iter()
+                        .enumerate()
+                        .map(|(s, (c, _, _))| DecodeStep {
+                            q_row: q.row(s),
+                            k_rows: c.k_rows(&pool),
+                            v_rows: c.v_rows(&pool),
+                            len: c.len(),
+                            d,
+                            d_v,
+                        })
+                        .collect();
+                    let slab_steps: Vec<DecodeStep<'_, f32>> = live
+                        .iter()
+                        .enumerate()
+                        .map(|(s, (c, k, v))| DecodeStep::contiguous(
+                            q.row(s), k.as_slice(), v.as_slice(), c.len(), d, d_v,
+                        ))
+                        .collect();
+                    let paged = AttentionEngine::new(mech)
+                        .flush_decode(&paged_steps)
+                        .expect("well-formed steps");
+                    let slab = AttentionEngine::new(mech)
+                        .flush_decode(&slab_steps)
+                        .expect("well-formed steps");
+                    prop_assert_eq!(paged.len(), slab.len());
+                    for (s, (p, c)) in paged.iter().zip(&slab).enumerate() {
+                        prop_assert_eq!(p.cached_len, c.cached_len);
+                        prop_assert_eq!(p.batch_size, c.batch_size);
+                        let got = p.output.as_ref().expect("exec mode");
+                        let want = c.output.as_ref().expect("exec mode");
+                        let same = got
+                            .as_slice()
+                            .iter()
+                            .zip(want.as_slice())
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        prop_assert!(same, "stream {} diverged from its contiguous slab", s);
+                    }
+                }
+                // Close a random session, returning its pages.
+                _ => {
+                    if live.is_empty() { continue; }
+                    let i = rng.below(live.len());
+                    let (mut c, _, _) = live.remove(i);
+                    c.release(&mut pool);
+                    prop_assert_eq!(c.pages(), 0);
+                }
+            }
+            // After every step: reassembled tables match the model bitwise,
+            // and the pool neither leaks nor double-counts a page.
+            for (c, k, v) in &live {
+                prop_assert_eq!(&c.k_matrix(&pool), k);
+                prop_assert_eq!(&c.v_matrix(&pool), v);
+            }
+            if let Err(why) = pool.check_invariants() {
+                return Err(TestCaseError::fail(format!("pool invariants broken: {why}")));
+            }
+            let held: usize = live.iter().map(|(c, _, _)| c.pages()).sum();
+            prop_assert_eq!(pool.allocated(), held);
+        }
+        // Closing everything drains the pool completely.
+        for (mut c, _, _) in live {
+            c.release(&mut pool);
+        }
+        prop_assert_eq!(pool.allocated(), 0);
+        if let Err(why) = pool.check_invariants() {
+            return Err(TestCaseError::fail(format!("pool invariants broken at drain: {why}")));
+        }
+    }
+}
