@@ -45,6 +45,22 @@
 //! rate at the starved point — both deterministic, the op order is
 //! single-threaded — so the gate holds in quick mode too.
 //!
+//! A fourth sweep covers **overload**: the same Poisson generator drives
+//! the batched server at 0.6/1.0/1.5/2.0× its own saturated-burst
+//! capacity with `max_queue_depth` bounding the unlaunched backlog.
+//! Reported per load: goodput, the typed-shed rate
+//! (`ServeError::Overloaded` at admission) and p50/p99 of the served
+//! requests. The artifact must show **zero** sheds at the sub-capacity
+//! point and a **non-zero** shed count at 2.0× — load shedding engages
+//! exactly when the queue can no longer drain.
+//!
+//! A fifth **chaos** row drives the server through an injected
+//! mid-flush kernel panic (`FaultPlan` → `FaultKind::PanicInBatch` at a
+//! fixed request ordinal): the artifact must show every request resolving
+//! typed (`served + panicked == requests`), at least one `BatchPanicked`
+//! failure, and requests submitted after the poisoned batch being served
+//! normally — the recovery story, measured.
+//!
 //! Emits schema-stable `results/bench_serving.json`. In full mode the
 //! artifact must show the batched policy beating the baseline on p50 at
 //! ≥ 3 offered loads; every artifact must show batched decode beating the
@@ -62,14 +78,14 @@ use dfss_core::{Attention, DfssAttention};
 use dfss_kernels::GpuCtx;
 use dfss_nmsparse::NmPattern;
 use dfss_serve::{
-    AttentionServer, BatchPolicy, DecodeRequest, KvConfig, ServeStats, Served, SessionError,
-    SessionId,
+    AttentionServer, BatchPolicy, DecodeRequest, FaultKind, FaultPlan, KvConfig, ServeError,
+    ServeStats, Served, SessionError, SessionId,
 };
 use dfss_tensor::{Matrix, Rng};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SCHEMA_VERSION: f64 = 3.0;
+const SCHEMA_VERSION: f64 = 4.0;
 
 /// Offered-load multipliers of the measured per-request capacity. The
 /// first is deliberately sub-capacity (the regime where a deadline policy
@@ -82,6 +98,12 @@ const MIN_P50_WINS: usize = 3;
 /// How many distinct concurrent-stream counts batched decode must win on
 /// tokens/sec (at every cached length) for a full-mode artifact.
 const MIN_DECODE_WINS: usize = 2;
+/// Overload sweep: offered load as multiples of the batched server's own
+/// saturated-burst capacity. The first point is comfortably sub-capacity
+/// (zero sheds expected), the last is a 2× overload (sheds required).
+const OVERLOAD_MULTS: [f64; 4] = [0.6, 1.0, 1.5, 2.0];
+/// Queue bound for the overload sweep, in units of `max_batch`.
+const OVERLOAD_DEPTH_BATCHES: usize = 4;
 
 struct WorkloadSpec {
     shapes: Vec<(usize, usize)>,
@@ -694,6 +716,241 @@ fn run_memory_sweep(
         .collect()
 }
 
+/// Saturated throughput of the **batched** server itself: a warm
+/// back-to-back burst through `submit`, full buckets all the way down.
+/// This is the rate the server cannot exceed, so offered overloads are
+/// scaled against it — 2× this rate *must* grow the queue.
+fn measure_batched_capacity(
+    spec: &WorkloadSpec,
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+) -> f64 {
+    let burst = 8 * spec.max_batch;
+    let warm = spec.max_batch;
+    let mut rng = Rng::new(0xBCA11B);
+    let reqs: Vec<(Matrix<f32>, Matrix<f32>, Matrix<f32>)> = (0..warm + burst)
+        .map(|i| {
+            let (n, d) = spec.shapes[i % spec.shapes.len()];
+            (
+                Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(n, d, 0.0, 1.0, &mut rng),
+            )
+        })
+        .collect();
+    let server = AttentionServer::start(
+        Arc::clone(mech),
+        BatchPolicy::batched(spec.max_batch, spec.max_delay),
+    );
+    let submit_all = |range: std::ops::Range<usize>| {
+        let handles: Vec<_> = range
+            .map(|i| {
+                let (q, k, v) = &reqs[i];
+                server
+                    .submit(q.clone(), k.clone(), v.clone())
+                    .expect("capacity burst has no queue bound")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("server alive");
+        }
+    };
+    submit_all(0..warm);
+    let t0 = Instant::now();
+    submit_all(warm..warm + burst);
+    let capacity = burst as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    server.shutdown();
+    capacity
+}
+
+/// One overload point: goodput, typed sheds, and served-request tails.
+struct OverloadPoint {
+    load_mult: f64,
+    offered_rps: f64,
+    requests: usize,
+    served: u64,
+    shed: u64,
+    goodput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Offer one Poisson stream to a **depth-bounded** batched server. Every
+/// submission either returns a handle or the typed `Overloaded` shed —
+/// nothing blocks, nothing is silently dropped — and every admitted
+/// request is served (references stay bit-identical under overload).
+fn run_overload_point(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    policy: BatchPolicy,
+    mult: f64,
+    rate: f64,
+    requests: &[Request],
+) -> OverloadPoint {
+    let server = AttentionServer::start(Arc::clone(mech), policy);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(requests.len());
+    let mut shed = 0u64;
+    for (i, req) in requests.iter().enumerate() {
+        if let Some(wait) = req.arrival.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        match server.submit(req.q.clone(), req.k.clone(), req.v.clone()) {
+            Ok(h) => handles.push((i, h)),
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("overload submit {i} failed with non-shed error: {e}"),
+        }
+    }
+    let mut host_ms = Vec::with_capacity(handles.len());
+    for (i, h) in handles {
+        let out = h.wait().expect("admitted requests are served");
+        if let Some(reference) = &requests[i].reference {
+            assert_bit_identical(reference, &out.output, i, "overload");
+        }
+        host_ms.push(out.latency.as_secs_f64() * 1e3);
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.overload_sheds, shed,
+        "the server's shed counter must agree with the submit-side count"
+    );
+    let served = requests.len() as u64 - shed;
+    assert_eq!(stats.served, served);
+    host_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    OverloadPoint {
+        load_mult: mult,
+        offered_rps: rate,
+        requests: requests.len(),
+        served,
+        shed,
+        goodput_rps: served as f64 / makespan.max(1e-9),
+        p50_ms: percentile(&host_ms, 50.0),
+        p99_ms: percentile(&host_ms, 99.0),
+    }
+}
+
+fn run_overload_sweep(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    spec: &WorkloadSpec,
+    batched_capacity_rps: f64,
+) -> Vec<OverloadPoint> {
+    let depth = OVERLOAD_DEPTH_BATCHES * spec.max_batch;
+    let policy = BatchPolicy::batched(spec.max_batch, spec.max_delay).with_queue_depth(depth);
+    // 3× the latency sweep's request count: a 2× overload must outrun the
+    // queue bound (backlog grows ~half the offered count), and the longer
+    // stream keeps the sub-capacity point honest about steady state.
+    let ospec = WorkloadSpec {
+        shapes: spec.shapes.clone(),
+        requests_per_load: 3 * spec.requests_per_load,
+        max_batch: spec.max_batch,
+        max_delay: spec.max_delay,
+    };
+    println!(
+        "{:>6}  {:>9}  {:>8}  {:>6}  {:>9}  {:>10}  {:>10}",
+        "load", "rps", "served", "shed", "shed rate", "goodput", "p99 ms"
+    );
+    OVERLOAD_MULTS
+        .iter()
+        .enumerate()
+        .map(|(i, &mult)| {
+            let rate = mult * batched_capacity_rps;
+            let requests = build_requests(&ospec, mech.as_ref(), rate, 3000 + i as u64);
+            let p = run_overload_point(mech, policy, mult, rate, &requests);
+            println!(
+                "{:>6.2}  {:>9.1}  {:>8}  {:>6}  {:>8.1}%  {:>10.1}  {:>10.3}",
+                p.load_mult,
+                p.offered_rps,
+                p.served,
+                p.shed,
+                100.0 * p.shed as f64 / p.requests.max(1) as f64,
+                p.goodput_rps,
+                p.p99_ms
+            );
+            p
+        })
+        .collect()
+}
+
+/// The chaos row: a batch panic injected mid-run, measured end to end.
+struct ChaosRow {
+    requests: usize,
+    fault_at: usize,
+    served: u64,
+    panicked: u64,
+    post_fault_served: u64,
+    batch_panics: u64,
+}
+
+/// Drive the server through an injected mid-flush kernel panic at a fixed
+/// front-door ordinal: the poisoned batch fails typed, everything after it
+/// is served — and the served outputs stay bit-identical on the reference
+/// subset even across the recovery.
+fn run_chaos_row(mech: &Arc<dyn Attention<f32> + Send + Sync>, spec: &WorkloadSpec) -> ChaosRow {
+    let total = spec.requests_per_load;
+    let fault_at = total / 4;
+    let plan = FaultPlan::new().inject(fault_at as u64, FaultKind::PanicInBatch);
+    let server = AttentionServer::start_with_faults(
+        Arc::clone(mech),
+        BatchPolicy::batched(spec.max_batch, spec.max_delay),
+        plan,
+    );
+    let mut rng = Rng::new(0xC4A05);
+    let mut handles = Vec::with_capacity(total);
+    for i in 0..total {
+        let (n, d) = spec.shapes[i % spec.shapes.len()];
+        let q = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let k = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let v = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+        let reference = (i % 4 == 0).then(|| {
+            let mut ctx = GpuCtx::a100();
+            mech.forward(&mut ctx, &q, &k, &v)
+        });
+        let handle = server.submit(q, k, v).expect("no queue bound in chaos row");
+        handles.push((i, handle, reference));
+    }
+    let (mut served, mut panicked, mut post_fault_served) = (0u64, 0u64, 0u64);
+    for (i, h, reference) in handles {
+        match h.wait() {
+            Ok(out) => {
+                served += 1;
+                if i > fault_at {
+                    post_fault_served += 1;
+                }
+                if let Some(reference) = &reference {
+                    assert_bit_identical(reference, &out.output, i, "chaos");
+                }
+            }
+            Err(ServeError::BatchPanicked { payload }) => {
+                assert!(
+                    payload.contains("injected kernel panic"),
+                    "panic payload must carry the injected message, got: {payload}"
+                );
+                panicked += 1;
+            }
+            Err(e) => panic!("chaos request {i} failed with a non-panic error: {e}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(
+        served + panicked,
+        total as u64,
+        "every chaos request must resolve typed"
+    );
+    assert!(panicked >= 1, "the injected panic must fail its batch");
+    assert!(
+        post_fault_served > 0,
+        "requests after the poisoned batch must be served — the batcher recovered"
+    );
+    assert!(stats.batch_panics >= 1);
+    ChaosRow {
+        requests: total,
+        fault_at,
+        served,
+        panicked,
+        post_fault_served,
+        batch_panics: stats.batch_panics,
+    }
+}
+
 fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
@@ -863,6 +1120,69 @@ fn main() {
         })
         .collect();
 
+    // Overload sweep: the depth-bounded server against its own saturated
+    // capacity. The shed gates are effectively deterministic — 0.6× of a
+    // just-measured capacity drains, 2.0× cannot — so both modes assert.
+    let batched_capacity_rps = measure_batched_capacity(&spec, &mech);
+    eprintln!("[serving] overload sweep, batched capacity ~{batched_capacity_rps:.1} req/s");
+    let overload_points = run_overload_sweep(&mech, &spec, batched_capacity_rps);
+    for p in &overload_points {
+        if p.load_mult < 1.0 {
+            assert_eq!(
+                p.shed, 0,
+                "a sub-capacity load ({}x) must be served without shedding",
+                p.load_mult
+            );
+        }
+    }
+    let worst = overload_points
+        .iter()
+        .max_by(|a, b| a.load_mult.partial_cmp(&b.load_mult).unwrap())
+        .expect("at least one overload point");
+    assert!(
+        worst.shed > 0,
+        "the {}x overload must engage the typed queue bound",
+        worst.load_mult
+    );
+    let overload_rows: Vec<Json> = overload_points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("load_mult", Json::Num(p.load_mult)),
+                ("offered_rps", Json::Num(round3(p.offered_rps))),
+                ("requests", Json::Num(p.requests as f64)),
+                ("served", Json::Num(p.served as f64)),
+                ("shed", Json::Num(p.shed as f64)),
+                (
+                    "shed_rate",
+                    Json::Num(round3(p.shed as f64 / p.requests.max(1) as f64)),
+                ),
+                ("goodput_rps", Json::Num(round3(p.goodput_rps))),
+                ("p50_ms", Json::Num(round3(p.p50_ms))),
+                ("p99_ms", Json::Num(round3(p.p99_ms))),
+            ])
+        })
+        .collect();
+
+    // Chaos row: one injected mid-flush panic; the default hook would spray
+    // a "thread panicked" banner into the bench output, so silence it for
+    // the duration (the panic is expected and asserted on).
+    eprintln!("[serving] chaos row (injected batch panic)");
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaos = run_chaos_row(&mech, &spec);
+    drop(std::panic::take_hook());
+    std::panic::set_hook(default_hook);
+    println!(
+        "chaos: {} requests, fault at #{}, {} served ({} after the fault), {} failed typed, {} batch panic(s)",
+        chaos.requests,
+        chaos.fault_at,
+        chaos.served,
+        chaos.post_fault_served,
+        chaos.panicked,
+        chaos.batch_panics
+    );
+
     let doc = Json::obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("artifact", Json::Str("bench_serving".into())),
@@ -910,6 +1230,34 @@ fn main() {
                     Json::Num(mspec.working_set_pages() as f64),
                 ),
                 ("rows", Json::Arr(memory_rows)),
+            ]),
+        ),
+        (
+            "overload",
+            Json::obj(vec![
+                (
+                    "max_queue_depth",
+                    Json::Num((OVERLOAD_DEPTH_BATCHES * spec.max_batch) as f64),
+                ),
+                (
+                    "batched_capacity_rps",
+                    Json::Num(round3(batched_capacity_rps)),
+                ),
+                ("rows", Json::Arr(overload_rows)),
+            ]),
+        ),
+        (
+            "chaos",
+            Json::obj(vec![
+                ("requests", Json::Num(chaos.requests as f64)),
+                ("fault_at", Json::Num(chaos.fault_at as f64)),
+                ("served", Json::Num(chaos.served as f64)),
+                ("panicked", Json::Num(chaos.panicked as f64)),
+                (
+                    "post_fault_served",
+                    Json::Num(chaos.post_fault_served as f64),
+                ),
+                ("batch_panics", Json::Num(chaos.batch_panics as f64)),
             ]),
         ),
     ]);
@@ -1157,8 +1505,128 @@ fn check(path: &str) -> Result<(), String> {
             "memory sweep: the starved budget ({starved_mult}x working set) shows no typed rejections"
         ));
     }
+
+    // Overload section: structure, shed/served reconciliation, and the
+    // load-shedding gates — zero typed sheds at the sub-capacity point,
+    // a non-zero shed count at the heaviest (>= 2×-capacity) overload.
+    let overload = doc.get("overload").ok_or("missing overload section")?;
+    for field in ["max_queue_depth", "batched_capacity_rps"] {
+        let x = overload
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric overload.{field}"))?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(format!("overload.{field} = {x} not finite positive"));
+        }
+    }
+    let orows = overload
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing overload.rows array")?;
+    if orows.len() < 3 {
+        return Err(format!("need >= 3 overload points, got {}", orows.len()));
+    }
+    let mut lightest: Option<(f64, f64)> = None;
+    let mut heaviest: Option<(f64, f64)> = None;
+    for (i, r) in orows.iter().enumerate() {
+        for field in [
+            "load_mult",
+            "offered_rps",
+            "requests",
+            "served",
+            "shed",
+            "shed_rate",
+            "goodput_rps",
+            "p50_ms",
+            "p99_ms",
+        ] {
+            let x = r
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("overload row {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "overload row {i}: {field} = {x} not finite non-negative"
+                ));
+            }
+        }
+        let get = |f: &str| r.get(f).and_then(Json::as_f64).unwrap_or(0.0);
+        if get("served") + get("shed") != get("requests") {
+            return Err(format!(
+                "overload row {i}: served {} + shed {} != requests {} — every submission resolves typed",
+                get("served"),
+                get("shed"),
+                get("requests")
+            ));
+        }
+        let (mult, shed) = (get("load_mult"), get("shed"));
+        if lightest.is_none_or(|(m, _)| mult < m) {
+            lightest = Some((mult, shed));
+        }
+        if heaviest.is_none_or(|(m, _)| mult > m) {
+            heaviest = Some((mult, shed));
+        }
+    }
+    let (light_mult, light_shed) = lightest.expect("rows checked non-empty");
+    if light_mult >= 1.0 {
+        return Err(format!(
+            "overload sweep has no sub-capacity point (lightest load is {light_mult}x)"
+        ));
+    }
+    if light_shed > 0.0 {
+        return Err(format!(
+            "overload sweep: {light_shed} sheds at the sub-capacity ({light_mult}x) point"
+        ));
+    }
+    let (heavy_mult, heavy_shed) = heaviest.expect("rows checked non-empty");
+    if heavy_mult < 2.0 {
+        return Err(format!(
+            "overload sweep must reach a 2x overload (heaviest load is {heavy_mult}x)"
+        ));
+    }
+    if heavy_shed == 0.0 {
+        return Err(format!(
+            "overload sweep: the {heavy_mult}x overload shows no typed sheds — the queue bound never engaged"
+        ));
+    }
+
+    // Chaos section: the injected-panic row must reconcile (every request
+    // resolved typed), show at least one poisoned batch, and show requests
+    // served *after* the fault — recovery, not survival by luck.
+    let chaos = doc.get("chaos").ok_or("missing chaos section")?;
+    let cget = |f: &str| -> Result<f64, String> {
+        let x = chaos
+            .get(f)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric chaos.{f}"))?;
+        if !x.is_finite() || x < 0.0 {
+            return Err(format!("chaos.{f} = {x} not finite non-negative"));
+        }
+        Ok(x)
+    };
+    let (c_requests, c_served, c_panicked) =
+        (cget("requests")?, cget("served")?, cget("panicked")?);
+    let (c_post, c_batch_panics, _c_fault_at) = (
+        cget("post_fault_served")?,
+        cget("batch_panics")?,
+        cget("fault_at")?,
+    );
+    if c_served + c_panicked != c_requests {
+        return Err(format!(
+            "chaos: served {c_served} + panicked {c_panicked} != requests {c_requests}"
+        ));
+    }
+    if c_panicked < 1.0 || c_batch_panics < 1.0 {
+        return Err(format!(
+            "chaos: injected panic left no trace (panicked {c_panicked}, batch_panics {c_batch_panics})"
+        ));
+    }
+    if c_post < 1.0 {
+        return Err("chaos: nothing served after the injected panic — no recovery shown".into());
+    }
+
     println!(
-        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins, {} decode points, {decode_wins} decode stream-count wins, {} memory budgets, {starved_rejections} rejections at {starved_mult}x)",
+        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins, {} decode points, {decode_wins} decode stream-count wins, {} memory budgets, {starved_rejections} rejections at {starved_mult}x, {heavy_shed} sheds at {heavy_mult}x overload, {c_panicked} panicked/{c_post} served post-fault in chaos)",
         loads.len(),
         drows.len(),
         mrows.len()

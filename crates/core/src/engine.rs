@@ -636,6 +636,24 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
     pub fn reset_timeline(&mut self) {
         self.ctx.reset_timeline();
     }
+
+    /// Restore the engine to a serviceable state after a panic unwound
+    /// through [`flush`](Self::flush) or
+    /// [`flush_decode`](Self::flush_decode) and was caught by the caller
+    /// (the serving layer's batch-panic isolation).
+    ///
+    /// A panic mid-flush can leave half-admitted pending requests, a
+    /// partially recorded launch timeline, and stale flush reports behind;
+    /// this drops all three so the next flush starts clean. Ticket
+    /// numbering is **not** rewound — tickets stay monotone across the
+    /// engine's whole life, failed launches included, so later results
+    /// never alias an abandoned request's ticket.
+    pub fn recover_after_panic(&mut self) {
+        self.pending.clear();
+        self.ctx.reset_timeline();
+        self.last_flush = FlushReport::default();
+        self.last_decode = DecodeFlushReport::default();
+    }
 }
 
 impl<T: Scalar> std::fmt::Debug for AttentionEngine<'_, T> {
@@ -922,6 +940,56 @@ mod tests {
         assert!(engine.flush().is_empty());
         assert_eq!(engine.ctx().timeline.launches(), 0);
         assert!(engine.last_flush().buckets.is_empty());
+    }
+
+    /// A mechanism that panics on its next forward while armed — stand-in
+    /// for a kernel bug the serving layer must survive.
+    struct PanicOnce {
+        armed: std::cell::Cell<bool>,
+    }
+    impl Attention<f32> for PanicOnce {
+        fn name(&self) -> String {
+            "panic-once".into()
+        }
+        fn forward(
+            &self,
+            ctx: &mut dfss_kernels::GpuCtx,
+            q: &Matrix<f32>,
+            k: &Matrix<f32>,
+            v: &Matrix<f32>,
+        ) -> Matrix<f32> {
+            if self.armed.replace(false) {
+                panic!("injected kernel panic");
+            }
+            FullAttention.forward(ctx, q, k, v)
+        }
+    }
+
+    #[test]
+    fn recover_after_panic_leaves_a_serviceable_engine() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mech = PanicOnce {
+            armed: std::cell::Cell::new(true),
+        };
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(61);
+        let (q, k, v) = request(16, 8, &mut rng);
+        engine.submit(q.clone(), k.clone(), v.clone()).unwrap();
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            let _ = engine.flush();
+        }));
+        assert!(unwound.is_err(), "armed mechanism must panic mid-flush");
+        engine.recover_after_panic();
+        assert_eq!(engine.pending(), 0);
+        assert!(engine.ctx().timeline.is_empty());
+        assert!(engine.last_flush().buckets.is_empty());
+        // The next flush serves normally on a fresh, still-monotone ticket.
+        let t = engine.submit(q, k, v).unwrap();
+        assert!(t > Ticket(0), "tickets never rewind across a recovery");
+        let results = engine.flush();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].output.is_some());
+        assert_eq!(results[0].ticket, t);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Deterministic fault injection for chaos testing the server.
+//!
+//! A [`FaultPlan`] maps **operation indices** to faults. The server counts
+//! every front-door call — `submit`, `open_session`, `append`, `extend`,
+//! `submit_decode` — on one shared counter in call order, so a plan built
+//! from a seed (or by hand) fires at exactly the same operations on every
+//! run with the same traffic. Faults ride the admitted request to the
+//! batcher and trip at launch, so a panic genuinely unwinds *mid-flush*
+//! — through the engine and the mechanism — exactly like a kernel bug
+//! would.
+//!
+//! Injection is opt-in per server ([`crate::AttentionServer::start_with_faults`]);
+//! a server started without a plan never wraps its mechanism and performs
+//! no per-operation lookups.
+
+use dfss_core::mechanism::{Attention, RequestError};
+use dfss_kernels::GpuCtx;
+use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a [`FaultPlan`] entry does to the operation it targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The batched launch containing the targeted prefill or decode
+    /// request panics mid-flush ("injected kernel panic"). Every request
+    /// packed into that batch fails with
+    /// [`ServeError::BatchPanicked`](crate::ServeError::BatchPanicked);
+    /// the server recovers and keeps serving. Ignored on session
+    /// operations (open/append/extend), which never launch.
+    PanicInBatch,
+    /// The batched launch containing the targeted request sleeps this
+    /// long before running — artificial launch slowness for exercising
+    /// deadlines and queue growth. Ignored on session operations.
+    SlowLaunch(Duration),
+    /// The targeted session operation (`open_session`, `append`,
+    /// `extend`) is admitted as if the pool had zero free pages: typed
+    /// [`SessionError::KvBudgetExhausted`](crate::SessionError::KvBudgetExhausted),
+    /// nothing reserved. Ignored on prefill/decode submissions, which
+    /// take no pages.
+    ExhaustPool,
+    /// The batcher thread dies (returns without draining) when the batch
+    /// containing the targeted request closes — the hard-crash case.
+    /// Outstanding and later handles resolve with
+    /// [`ServeError::ServerGone`](crate::ServeError::ServerGone); nothing
+    /// blocks forever.
+    KillServer,
+}
+
+/// A deterministic schedule of injected faults, keyed by front-door
+/// operation index (0-based, in call order).
+///
+/// ```
+/// use dfss_serve::{FaultKind, FaultPlan};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new()
+///     .inject(3, FaultKind::PanicInBatch)
+///     .inject(7, FaultKind::SlowLaunch(Duration::from_millis(2)));
+/// assert_eq!(plan.get(3), Some(FaultKind::PanicInBatch));
+/// assert_eq!(plan.get(4), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire until [`inject`](Self::inject)ed).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `kind` to fire at front-door operation `op` (replacing any
+    /// fault already scheduled there). Builder-style.
+    pub fn inject(mut self, op: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.insert(op, kind);
+        self
+    }
+
+    /// The fault scheduled at operation `op`, if any.
+    pub fn get(&self, op: u64) -> Option<FaultKind> {
+        self.faults.get(&op).copied()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// The armed-fault latch shared between the batcher and the fault-wrapped
+/// mechanism: the batcher arms it from the tags riding a closing batch,
+/// the wrapper trips it at the first batched kernel entry point.
+#[derive(Debug, Default)]
+pub(crate) struct FaultArm {
+    panic_next: AtomicBool,
+    slow_next_ns: AtomicU64,
+}
+
+impl FaultArm {
+    /// Arm a panic for the next batched launch.
+    pub fn arm_panic(&self) {
+        self.panic_next.store(true, Ordering::SeqCst);
+    }
+
+    /// Arm a sleep for the next batched launch (longest wins if several
+    /// tags land in one batch).
+    pub fn arm_slow(&self, delay: Duration) {
+        let ns = delay.as_nanos().min(u64::MAX as u128) as u64;
+        self.slow_next_ns.fetch_max(ns, Ordering::SeqCst);
+    }
+
+    /// Fire-and-clear: sleep if slowness is armed, then panic if a panic
+    /// is armed. Called on the batcher thread at launch entry.
+    fn trip(&self) {
+        let ns = self.slow_next_ns.swap(0, Ordering::SeqCst);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+        if self.panic_next.swap(false, Ordering::SeqCst) {
+            panic!("injected kernel panic");
+        }
+    }
+}
+
+/// A delegating mechanism wrapper that trips armed faults at the batched
+/// launch entry points — the panic unwinds from inside the mechanism call,
+/// exactly where a real kernel bug would surface.
+pub(crate) struct FaultyAttention<T: Scalar> {
+    pub inner: Arc<dyn Attention<T> + Send + Sync>,
+    pub arm: Arc<FaultArm>,
+}
+
+impl<T: Scalar> Attention<T> for FaultyAttention<T> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn forward(&self, ctx: &mut GpuCtx, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+        self.inner.forward(ctx, q, k, v)
+    }
+
+    fn forward_batched(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &BatchedMatrix<T>,
+        k: &BatchedMatrix<T>,
+        v: &BatchedMatrix<T>,
+    ) -> BatchedMatrix<T> {
+        self.arm.trip();
+        self.inner.forward_batched(ctx, q, k, v)
+    }
+
+    fn scale_for(&self, d: usize) -> f32 {
+        self.inner.scale_for(d)
+    }
+
+    fn decode(
+        &self,
+        ctx: &mut GpuCtx,
+        q_row: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Matrix<T> {
+        self.inner.decode(ctx, q_row, k, v)
+    }
+
+    fn decode_ragged(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &Matrix<T>,
+        k: &RaggedBatch<T>,
+        v: &RaggedBatch<T>,
+    ) -> Matrix<T> {
+        self.arm.trip();
+        self.inner.decode_ragged(ctx, q, k, v)
+    }
+
+    fn check_shape(&self, n: usize, d: usize) -> Result<(), RequestError> {
+        self.inner.check_shape(n, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfss_core::full::FullAttention;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn plan_builder_schedules_and_replaces() {
+        let plan = FaultPlan::new()
+            .inject(0, FaultKind::PanicInBatch)
+            .inject(5, FaultKind::ExhaustPool)
+            .inject(0, FaultKind::KillServer);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.get(0), Some(FaultKind::KillServer));
+        assert_eq!(plan.get(5), Some(FaultKind::ExhaustPool));
+        assert_eq!(plan.get(1), None);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn armed_panic_fires_once_inside_the_batched_launch() {
+        let arm = Arc::new(FaultArm::default());
+        let mech = FaultyAttention::<f32> {
+            inner: Arc::new(FullAttention),
+            arm: Arc::clone(&arm),
+        };
+        let q = BatchedMatrix::<f32>::zeros(1, 4, 4);
+        arm.arm_panic();
+        let mut ctx = GpuCtx::a100();
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            let _ = mech.forward_batched(&mut ctx, &q, &q, &q);
+        }));
+        assert!(unwound.is_err(), "armed wrapper must panic at launch");
+        // The latch cleared: the next launch runs clean.
+        let out = mech.forward_batched(&mut ctx, &q, &q, &q);
+        assert_eq!(out.shape(), (1, 4, 4));
+    }
+}

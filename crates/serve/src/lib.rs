@@ -26,6 +26,19 @@
 //! sessions ([`SessionError::Evicted`] for the victim's later steps) —
 //! never as unbounded growth or a panic.
 //!
+//! Failures are **isolated and typed**: every batched launch runs under
+//! `catch_unwind`, so a panicking kernel fails only its own batch's
+//! requests ([`ServeError::BatchPanicked`]) while the batcher recovers the
+//! engine and keeps serving, and the registry mutex heals from poisoning
+//! by rebuilding its governor counters from the per-session metadata.
+//! Requests may carry deadlines (expired ones are shed *before* packing
+//! with [`ServeError::DeadlineExceeded`]), admission is depth-bounded
+//! under [`BatchPolicy::max_queue_depth`] (typed `Overloaded`, paired with
+//! [`retry::with_backoff`]), and a seeded [`FaultPlan`]
+//! ([`AttentionServer::start_with_faults`]) injects kernel panics, launch
+//! slowness, and forced pool exhaustion at chosen operation indices for
+//! deterministic chaos testing — zero cost when absent.
+//!
 //! Architecture (no tokio — a plain batcher thread; the batched launches
 //! themselves fan out on the vendored rayon-compat worker pool like every
 //! other kernel):
@@ -84,12 +97,15 @@
 //! ```
 #![deny(missing_docs)]
 
+mod faults;
 mod kv;
 mod queue;
+pub mod retry;
 mod server;
 
 pub use dfss_core::engine::{KvRows, ShapeKey, Ticket};
 pub use dfss_core::mechanism::RequestError;
+pub use faults::{FaultKind, FaultPlan};
 pub use kv::{pages_for_growth, KvConfig, KvError, KvPool, PageId, PagedKvCache, SessionId};
 pub use server::{AttentionServer, DecodeHandle, ResponseHandle, Served, ServedDecode};
 
@@ -111,12 +127,24 @@ use std::time::Duration;
 ///   never emits a zero-size launch, and an idle server records no batches
 ///   (pinned by `queue::tests::empty_queue_has_no_deadline_and_no_due_buckets`
 ///   and the engine's empty-flush tests).
+///
+/// **Load shedding**: with [`max_queue_depth`](Self::max_queue_depth) set,
+/// admission counts requests that are enqueued but not yet launched
+/// (prefill and decode together) and refuses submissions beyond the bound
+/// with typed [`ServeError::Overloaded`] / [`SessionError::Overloaded`] —
+/// queue memory stays bounded at any offered load, and callers get an
+/// immediate, retryable signal ([`retry::with_backoff`]) instead of an
+/// ever-growing tail latency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Close a bucket as soon as it holds this many requests.
     pub max_batch: usize,
     /// Close a bucket once its oldest request has waited this long.
     pub max_delay: Duration,
+    /// Refuse new submissions while this many requests (prefill + decode)
+    /// are already queued and unlaunched. `None` (the default) admits
+    /// without bound.
+    pub max_queue_depth: Option<usize>,
 }
 
 impl BatchPolicy {
@@ -126,6 +154,7 @@ impl BatchPolicy {
         BatchPolicy {
             max_batch: 1,
             max_delay: Duration::ZERO,
+            max_queue_depth: None,
         }
     }
 
@@ -136,7 +165,16 @@ impl BatchPolicy {
         BatchPolicy {
             max_batch,
             max_delay,
+            max_queue_depth: None,
         }
+    }
+
+    /// Bound the admission queue: submissions beyond `depth` unlaunched
+    /// requests are shed with a typed `Overloaded` error.
+    pub fn with_queue_depth(mut self, depth: usize) -> BatchPolicy {
+        assert!(depth >= 1, "max_queue_depth must be at least 1");
+        self.max_queue_depth = Some(depth);
+        self
     }
 }
 
@@ -169,6 +207,13 @@ pub enum SessionError {
     /// The session's KV pages were reclaimed by the LRU eviction policy;
     /// its history is gone and only `close_session` is still valid.
     Evicted(SessionId),
+    /// The admission queue is at [`BatchPolicy::max_queue_depth`]; the
+    /// step was shed before queueing. Transient — retry after backoff
+    /// ([`retry::with_backoff`]).
+    Overloaded {
+        /// Unlaunched requests queued when the step was refused.
+        depth: usize,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -181,29 +226,67 @@ impl std::fmt::Display for SessionError {
                 "kv budget exhausted: operation needs {need} pages, {free} free"
             ),
             SessionError::Evicted(id) => write!(f, "{id} was evicted under kv pressure"),
+            SessionError::Overloaded { depth } => {
+                write!(f, "queue at max depth ({depth} unlaunched requests)")
+            }
         }
     }
 }
 
 impl std::error::Error for SessionError {}
 
-/// Why a response never arrived.
+/// Why a request failed or its response never arrived. Every variant is a
+/// *typed* outcome: under faults, overload, or shutdown a caller always
+/// gets one of these — never a hang, never a propagated panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
-    /// The server stopped (shut down or worker died) before serving the
-    /// request.
-    ServerStopped,
-    /// The request failed validation after admission (only reachable if
-    /// the mechanism's constraints changed between admission and launch —
-    /// kept typed so the worker never panics on it).
+    /// The server is gone (shut down, or the batcher thread died) and the
+    /// request will never be served.
+    ServerGone,
+    /// The request failed validation with a typed error — at the front
+    /// door, or at launch if the mechanism's constraints diverged after
+    /// admission (kept typed so the worker never panics on it).
     Rejected(RequestError),
+    /// The batched launch this request was packed into panicked. Only the
+    /// panicking batch's own requests fail — the server recovers the
+    /// engine and keeps serving. `payload` is the panic message.
+    BatchPanicked {
+        /// The panic's message (downcast from the unwind payload).
+        payload: String,
+    },
+    /// The request's deadline expired while it waited in the queue; it was
+    /// shed before packing and never launched.
+    DeadlineExceeded {
+        /// How long the request had been queued when it was shed.
+        queued_for: Duration,
+    },
+    /// The admission queue is at [`BatchPolicy::max_queue_depth`]; the
+    /// request was shed at submission. Transient — retry after backoff
+    /// ([`retry::with_backoff`]).
+    Overloaded {
+        /// Unlaunched requests queued when the submission was refused.
+        depth: usize,
+    },
+    /// A `wait_timeout` elapsed before the response arrived. The request
+    /// is still in flight — wait again or abandon the handle.
+    WaitTimeout,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::ServerStopped => write!(f, "server stopped before serving the request"),
+            ServeError::ServerGone => write!(f, "server gone before serving the request"),
             ServeError::Rejected(e) => write!(f, "request rejected: {e}"),
+            ServeError::BatchPanicked { payload } => {
+                write!(f, "the request's batch panicked: {payload}")
+            }
+            ServeError::DeadlineExceeded { queued_for } => {
+                write!(f, "deadline exceeded after {queued_for:?} in queue")
+            }
+            ServeError::Overloaded { depth } => {
+                write!(f, "queue at max depth ({depth} unlaunched requests)")
+            }
+            ServeError::WaitTimeout => write!(f, "timed out waiting for the response"),
         }
     }
 }
@@ -248,6 +331,14 @@ pub struct ServeStats {
     pub evictions: u64,
     /// Session operations refused with [`SessionError::KvBudgetExhausted`].
     pub admission_rejections: u64,
+    /// Batched launches (prefill or decode) that panicked and were
+    /// isolated: their requests failed typed, the batcher kept serving.
+    pub batch_panics: u64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`] before packing.
+    pub deadline_sheds: u64,
+    /// Submissions refused with a typed `Overloaded` error at admission
+    /// (prefill and decode together).
+    pub overload_sheds: u64,
     /// Total simulated-device latency across all launches (prefill +
     /// decode).
     pub total_sim_latency_s: f64,

@@ -1,5 +1,6 @@
 //! Shape-bucketed admission queue — the batcher thread's in-memory state.
 
+use crate::faults::FaultKind;
 use crate::BatchPolicy;
 use dfss_core::engine::ShapeKey;
 use dfss_tensor::{Matrix, Scalar};
@@ -12,6 +13,11 @@ pub(crate) struct QueuedRequest<T: Scalar, R> {
     pub v: Matrix<T>,
     /// When the client submitted it (queue-wait measurement origin).
     pub submitted: Instant,
+    /// Absolute shed point: if the bucket closes after this instant the
+    /// request is dropped with `DeadlineExceeded` instead of packed.
+    pub deadline: Option<Instant>,
+    /// Injected fault riding this request to its launch (chaos harness).
+    pub fault: Option<FaultKind>,
     /// Whatever the server uses to deliver the response.
     pub reply: R,
 }
@@ -116,6 +122,8 @@ mod tests {
             k: Matrix::zeros(n, d),
             v: Matrix::zeros(n, d),
             submitted: Instant::now(),
+            deadline: None,
+            fault: None,
             reply: 0,
         }
     }

@@ -24,6 +24,7 @@
 //! never fail, and the budget is enforced without the batcher ever
 //! blocking a client.
 
+use crate::faults::{FaultArm, FaultKind, FaultPlan, FaultyAttention};
 use crate::kv::{KvConfig, KvPool, PagedKvCache, SessionId};
 use crate::queue::{Bucket, BucketQueue, QueuedRequest};
 use crate::{BatchPolicy, DecodeRequest, ServeError, ServeStats, SessionError};
@@ -32,11 +33,12 @@ use dfss_core::mechanism::{try_check_qkv, Attention, RequestError};
 use dfss_kernels::GpuCtx;
 use dfss_tensor::{Matrix, Scalar};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One served prefill request, with its latency breakdown.
 #[derive(Debug)]
@@ -91,11 +93,25 @@ pub struct ResponseHandle<T: Scalar> {
 }
 
 impl<T: Scalar> ResponseHandle<T> {
-    /// Block until the request is served (or the server stops).
+    /// Block until the request is served, or fail typed: a dead batcher
+    /// (crash or shutdown before service) surfaces as
+    /// [`ServeError::ServerGone`], never a hang or a propagated panic.
     pub fn wait(self) -> Result<Served<T>, ServeError> {
         match self.rx.recv() {
             Ok(res) => res,
-            Err(_) => Err(ServeError::ServerStopped),
+            Err(_) => Err(ServeError::ServerGone),
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but bounded: returns
+    /// [`ServeError::WaitTimeout`] if the response has not arrived within
+    /// `timeout`. Takes `&self`, so a timed-out handle can be waited
+    /// again (the request is still in flight).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Served<T>, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => res,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::WaitTimeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::ServerGone),
         }
     }
 }
@@ -107,11 +123,24 @@ pub struct DecodeHandle<T: Scalar> {
 }
 
 impl<T: Scalar> DecodeHandle<T> {
-    /// Block until the step is served (or the server stops).
+    /// Block until the step is served, or fail typed: a dead batcher
+    /// surfaces as [`ServeError::ServerGone`], never a hang.
     pub fn wait(self) -> Result<ServedDecode<T>, ServeError> {
         match self.rx.recv() {
             Ok(res) => res,
-            Err(_) => Err(ServeError::ServerStopped),
+            Err(_) => Err(ServeError::ServerGone),
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but bounded: returns
+    /// [`ServeError::WaitTimeout`] if the response has not arrived within
+    /// `timeout`. Takes `&self`, so a timed-out handle can be waited
+    /// again.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<ServedDecode<T>, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => res,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::WaitTimeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::ServerGone),
         }
     }
 }
@@ -129,6 +158,10 @@ struct SessionMeta {
     rows_per_page_v: usize,
     /// Pool pages this session holds (K + V tables).
     pages: usize,
+    /// Logical bytes this session's cached rows occupy — the per-session
+    /// term of the governor's `kv_bytes` sum, kept here so a poisoned
+    /// registry can rebuild its aggregates from the sessions alone.
+    bytes: u64,
     /// Logical LRU timestamp — the registry clock at the session's last
     /// append/extend/decode admission.
     last_used: u64,
@@ -208,6 +241,36 @@ impl Registry {
             .map(|(_, m)| m.pages)
             .sum()
     }
+
+    /// Rebuild the governor aggregates (`pages_used`, `kv_bytes`) from the
+    /// per-session metadata — the recovery step after a thread panicked
+    /// while holding the registry lock. A panicking mutation can leave the
+    /// aggregates mid-update, but the per-session rows it had not reached
+    /// are still exact, so summing them restores a consistent (and safe:
+    /// reservation-side) view. Monotone lifetime counters
+    /// (`kv_pages_allocated`/`freed`, peaks) are left as recorded.
+    fn restore_invariants(&mut self) {
+        self.pages_used = self.sessions.values().map(|m| m.pages).sum();
+        self.kv_bytes = self.sessions.values().map(|m| m.bytes).sum();
+        self.kv_bytes_peak = self.kv_bytes_peak.max(self.kv_bytes);
+    }
+}
+
+/// Lock the registry, healing a poisoned mutex instead of propagating the
+/// panic: the guard is taken out of the `PoisonError` and the governor's
+/// invariants are restored from the per-session metadata. One panicked
+/// thread (a client killed mid-call, a batcher fault) therefore cannot
+/// brick every later API call — the poison-recovery half of the server's
+/// panic-isolation story.
+fn lock_healed(registry: &Mutex<Registry>) -> MutexGuard<'_, Registry> {
+    match registry.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            guard.restore_invariants();
+            guard
+        }
+    }
 }
 
 enum Msg<T: Scalar> {
@@ -238,6 +301,8 @@ enum Msg<T: Scalar> {
         id: u64,
         q_row: Vec<T>,
         submitted: Instant,
+        deadline: Option<Instant>,
+        fault: Option<FaultKind>,
         reply: DecodeReply<T>,
     },
     Shutdown,
@@ -262,9 +327,17 @@ enum Msg<T: Scalar> {
 pub struct AttentionServer<T: Scalar> {
     mech: Arc<dyn Attention<T> + Send + Sync>,
     kv: KvConfig,
+    policy: BatchPolicy,
     tx: Sender<Msg<T>>,
     rejected: Arc<AtomicU64>,
+    overload_sheds: AtomicU64,
     next_session: AtomicU64,
+    /// Front-door operation ordinal — the key space of [`FaultPlan`].
+    next_op: AtomicU64,
+    faults: Option<Arc<FaultPlan>>,
+    /// Requests enqueued but not yet launched (prefill + decode), the
+    /// quantity [`BatchPolicy::max_queue_depth`] bounds.
+    depth: Arc<AtomicU64>,
     registry: Arc<Mutex<Registry>>,
     worker: Option<JoinHandle<ServeStats>>,
 }
@@ -286,7 +359,7 @@ impl<T: Scalar> AttentionServer<T> {
         policy: BatchPolicy,
         kv: KvConfig,
     ) -> AttentionServer<T> {
-        AttentionServer::start_with_ctx_kv(mech, policy, GpuCtx::a100(), kv)
+        AttentionServer::start_inner(mech, policy, GpuCtx::a100(), kv, None)
     }
 
     /// Start a server whose engine runs on a caller-provided context
@@ -306,23 +379,113 @@ impl<T: Scalar> AttentionServer<T> {
         ctx: GpuCtx,
         kv: KvConfig,
     ) -> AttentionServer<T> {
+        AttentionServer::start_inner(mech, policy, ctx, kv, None)
+    }
+
+    /// Start a server with a deterministic [`FaultPlan`] (chaos testing):
+    /// the plan's faults fire at the scheduled front-door operation
+    /// indices — see [`FaultKind`] for what each does. A100 context,
+    /// unbounded KV budget.
+    pub fn start_with_faults(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        faults: FaultPlan,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_inner(
+            mech,
+            policy,
+            GpuCtx::a100(),
+            KvConfig::default(),
+            Some(faults),
+        )
+    }
+
+    /// [`start_with_faults`](Self::start_with_faults) with an explicit KV
+    /// geometry and budget.
+    pub fn start_with_kv_faults(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        kv: KvConfig,
+        faults: FaultPlan,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_inner(mech, policy, GpuCtx::a100(), kv, Some(faults))
+    }
+
+    fn start_inner(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        ctx: GpuCtx,
+        kv: KvConfig,
+        faults: Option<FaultPlan>,
+    ) -> AttentionServer<T> {
         let (tx, rx) = mpsc::channel::<Msg<T>>();
         let registry = Arc::new(Mutex::new(Registry::new(kv.capacity_pages::<T>())));
-        let worker_mech = Arc::clone(&mech);
+        let depth = Arc::new(AtomicU64::new(0));
+        let arm = Arc::new(FaultArm::default());
+        // Fault injection is zero-cost when absent: without a plan the
+        // engine runs the mechanism directly (no wrapper, no per-launch
+        // latch check) and the front door never consults a plan.
+        let worker_mech: Arc<dyn Attention<T> + Send + Sync> = if faults.is_some() {
+            Arc::new(FaultyAttention {
+                inner: Arc::clone(&mech),
+                arm: Arc::clone(&arm),
+            })
+        } else {
+            Arc::clone(&mech)
+        };
         let worker_registry = Arc::clone(&registry);
+        let worker_depth = Arc::clone(&depth);
         let worker = std::thread::Builder::new()
             .name("dfss-serve-batcher".into())
-            .spawn(move || batcher_loop(worker_mech, policy, ctx, kv, worker_registry, rx))
+            .spawn(move || {
+                batcher_loop(
+                    worker_mech,
+                    policy,
+                    ctx,
+                    kv,
+                    worker_registry,
+                    worker_depth,
+                    arm,
+                    rx,
+                )
+            })
             .expect("spawn batcher thread");
         AttentionServer {
             mech,
             tx,
+            policy,
             rejected: Arc::new(AtomicU64::new(0)),
+            overload_sheds: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
+            next_op: AtomicU64::new(0),
+            faults: faults.map(Arc::new),
+            depth,
             registry,
             kv,
             worker: Some(worker),
         }
+    }
+
+    /// The fault scheduled for this front-door operation, consuming one
+    /// operation ordinal. No-op (and no ordinal bookkeeping observable)
+    /// without a plan.
+    fn next_fault(&self) -> Option<FaultKind> {
+        let plan = self.faults.as_ref()?;
+        let op = self.next_op.fetch_add(1, Ordering::Relaxed);
+        plan.get(op)
+    }
+
+    /// Shed at admission when the unlaunched-request count is at the
+    /// policy bound. Returns the observed depth on refusal.
+    fn check_depth(&self) -> Result<(), usize> {
+        if let Some(bound) = self.policy.max_queue_depth {
+            let depth = self.depth.load(Ordering::SeqCst) as usize;
+            if depth >= bound {
+                self.overload_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(depth);
+            }
+        }
+        Ok(())
     }
 
     /// The server's KV geometry and budget.
@@ -332,17 +495,39 @@ impl<T: Scalar> AttentionServer<T> {
 
     /// Validate and enqueue one prefill request. Returns immediately; the
     /// output arrives on the handle. Malformed or unservable requests come
-    /// back as typed errors without reaching the queue.
+    /// back as [`ServeError::Rejected`] without reaching the queue, and a
+    /// queue at [`BatchPolicy::max_queue_depth`] sheds the submission with
+    /// [`ServeError::Overloaded`] (transient — see [`crate::retry`]).
     pub fn submit(
         &self,
         q: Matrix<T>,
         k: Matrix<T>,
         v: Matrix<T>,
-    ) -> Result<ResponseHandle<T>, RequestError> {
+    ) -> Result<ResponseHandle<T>, ServeError> {
+        self.submit_with_deadline(q, k, v, None)
+    }
+
+    /// [`submit`](Self::submit) with a deadline: if the request is still
+    /// queued (its bucket unclosed) past `deadline`, it is shed *before*
+    /// packing and its handle resolves with
+    /// [`ServeError::DeadlineExceeded`] — it never occupies a launch it
+    /// cannot use.
+    pub fn submit_with_deadline(
+        &self,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+        deadline: Option<Instant>,
+    ) -> Result<ResponseHandle<T>, ServeError> {
+        let fault = self.next_fault();
         if let Err(e) = try_check_qkv(self.mech.as_ref(), &q, &k, &v) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
+            return Err(ServeError::Rejected(e));
         }
+        if let Err(depth) = self.check_depth() {
+            return Err(ServeError::Overloaded { depth });
+        }
+        self.depth.fetch_add(1, Ordering::SeqCst);
         // Rendezvous capacity 1: the batcher never blocks sending a
         // response, clients may wait lazily.
         let (reply, rx) = mpsc::sync_channel(1);
@@ -351,9 +536,11 @@ impl<T: Scalar> AttentionServer<T> {
             k,
             v,
             submitted: Instant::now(),
+            deadline,
+            fault,
             reply,
         });
-        // A dropped batcher surfaces as ServerStopped on wait(); submission
+        // A dropped batcher surfaces as ServerGone on wait(); submission
         // itself stays infallible for valid requests.
         let _ = self.tx.send(msg);
         Ok(ResponseHandle { rx })
@@ -382,19 +569,25 @@ impl<T: Scalar> AttentionServer<T> {
                 ),
             }));
         }
+        let fault = self.next_fault();
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        let mut reg = self.registry.lock().unwrap();
-        let reachable = reg.free_pages()
-            + if self.kv.evict_idle {
-                reg.evictable_pages(id)
-            } else {
-                0
-            };
+        let mut reg = lock_healed(&self.registry);
+        let reachable = if matches!(fault, Some(FaultKind::ExhaustPool)) {
+            // Injected exhaustion: admit as if the pool had nothing left.
+            0
+        } else {
+            reg.free_pages()
+                + if self.kv.evict_idle {
+                    reg.evictable_pages(id)
+                } else {
+                    0
+                }
+        };
         if reachable < 2 {
             reg.admission_rejections += 1;
             return Err(SessionError::KvBudgetExhausted {
                 need: 2,
-                free: reg.free_pages(),
+                free: reachable.min(reg.free_pages()),
             });
         }
         let t = reg.clock;
@@ -408,6 +601,7 @@ impl<T: Scalar> AttentionServer<T> {
                 rows_per_page_k: self.kv.rows_per_page(d),
                 rows_per_page_v: self.kv.rows_per_page(d_v),
                 pages: 0,
+                bytes: 0,
                 last_used: t,
                 inflight: 0,
                 evicted: false,
@@ -442,9 +636,10 @@ impl<T: Scalar> AttentionServer<T> {
             };
             let meta = reg.sessions.get_mut(&vid).expect("victim is registered");
             let freed = meta.pages;
-            let bytes = (meta.len * (meta.d + meta.d_v) * T::BYTES) as u64;
+            let bytes = meta.bytes;
             meta.pages = 0;
             meta.len = 0;
+            meta.bytes = 0;
             meta.evicted = true;
             reg.pages_used -= freed;
             reg.kv_pages_freed += freed as u64;
@@ -464,6 +659,7 @@ impl<T: Scalar> AttentionServer<T> {
         meta.len += rows;
         meta.pages += pages;
         let bytes = (rows * (meta.d + meta.d_v) * T::BYTES) as u64;
+        meta.bytes += bytes;
         reg.kv_bytes += bytes;
         reg.kv_bytes_peak = reg.kv_bytes_peak.max(reg.kv_bytes);
         reg.touch(id);
@@ -481,7 +677,8 @@ impl<T: Scalar> AttentionServer<T> {
         v_row: Vec<T>,
     ) -> Result<(), SessionError> {
         {
-            let mut reg = self.registry.lock().unwrap();
+            let fault = self.next_fault();
+            let mut reg = lock_healed(&self.registry);
             let meta = reg
                 .sessions
                 .get(&session.0)
@@ -502,6 +699,10 @@ impl<T: Scalar> AttentionServer<T> {
             }
             let need = crate::kv::pages_for_growth(meta.len, 1, meta.rows_per_page_k)
                 + crate::kv::pages_for_growth(meta.len, 1, meta.rows_per_page_v);
+            if matches!(fault, Some(FaultKind::ExhaustPool)) {
+                reg.admission_rejections += 1;
+                return Err(SessionError::KvBudgetExhausted { need, free: 0 });
+            }
             self.reserve_pages(&mut reg, session.0, need)?;
             Self::charge_rows(&mut reg, session.0, 1, need);
             // Send under the lock: the batcher sees mutations in admission
@@ -525,7 +726,8 @@ impl<T: Scalar> AttentionServer<T> {
         v: Matrix<T>,
     ) -> Result<(), SessionError> {
         {
-            let mut reg = self.registry.lock().unwrap();
+            let fault = self.next_fault();
+            let mut reg = lock_healed(&self.registry);
             let meta = reg
                 .sessions
                 .get(&session.0)
@@ -549,6 +751,10 @@ impl<T: Scalar> AttentionServer<T> {
             let rows = k.rows();
             let need = crate::kv::pages_for_growth(meta.len, rows, meta.rows_per_page_k)
                 + crate::kv::pages_for_growth(meta.len, rows, meta.rows_per_page_v);
+            if matches!(fault, Some(FaultKind::ExhaustPool)) {
+                reg.admission_rejections += 1;
+                return Err(SessionError::KvBudgetExhausted { need, free: 0 });
+            }
             self.reserve_pages(&mut reg, session.0, need)?;
             Self::charge_rows(&mut reg, session.0, rows, need);
             let _ = self.tx.send(Msg::Extend {
@@ -564,11 +770,25 @@ impl<T: Scalar> AttentionServer<T> {
     /// output row arrives on the handle. The step attends over exactly the
     /// rows appended to the session before this call. A session whose
     /// pages were reclaimed by eviction gets
-    /// [`SessionError::Evicted`] — its history is gone.
+    /// [`SessionError::Evicted`] — its history is gone — and a queue at
+    /// [`BatchPolicy::max_queue_depth`] sheds the step with
+    /// [`SessionError::Overloaded`] (transient — see [`crate::retry`]).
     pub fn submit_decode(&self, req: DecodeRequest<T>) -> Result<DecodeHandle<T>, SessionError> {
+        self.submit_decode_with_deadline(req, None)
+    }
+
+    /// [`submit_decode`](Self::submit_decode) with a deadline: a step
+    /// still queued past `deadline` is shed *before* packing and its
+    /// handle resolves with [`ServeError::DeadlineExceeded`].
+    pub fn submit_decode_with_deadline(
+        &self,
+        req: DecodeRequest<T>,
+        deadline: Option<Instant>,
+    ) -> Result<DecodeHandle<T>, SessionError> {
+        let fault = self.next_fault();
         let (reply, rx) = mpsc::sync_channel(1);
         {
-            let mut reg = self.registry.lock().unwrap();
+            let mut reg = lock_healed(&self.registry);
             let meta = reg
                 .sessions
                 .get(&req.session.0)
@@ -590,6 +810,10 @@ impl<T: Scalar> AttentionServer<T> {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SessionError::Rejected(RequestError::EmptyRequest));
             }
+            if let Err(depth) = self.check_depth() {
+                return Err(SessionError::Overloaded { depth });
+            }
+            self.depth.fetch_add(1, Ordering::SeqCst);
             let meta = reg.sessions.get_mut(&req.session.0).expect("checked above");
             meta.inflight += 1;
             reg.touch(req.session.0);
@@ -597,6 +821,8 @@ impl<T: Scalar> AttentionServer<T> {
                 id: req.session.0,
                 q_row: req.q_row,
                 submitted: Instant::now(),
+                deadline,
+                fault,
                 reply,
             });
         }
@@ -609,22 +835,22 @@ impl<T: Scalar> AttentionServer<T> {
     /// [`SessionError::UnknownSession`]. Closing is always valid — also
     /// for evicted sessions (that is how their ids are retired).
     pub fn close_session(&self, session: SessionId) -> Result<(), SessionError> {
-        let mut reg = self.registry.lock().unwrap();
+        let mut reg = lock_healed(&self.registry);
         let meta = reg
             .sessions
             .remove(&session.0)
             .ok_or(SessionError::UnknownSession(session))?;
         reg.pages_used -= meta.pages;
         reg.kv_pages_freed += meta.pages as u64;
-        reg.kv_bytes = reg
-            .kv_bytes
-            .saturating_sub((meta.len * (meta.d + meta.d_v) * T::BYTES) as u64);
+        reg.kv_bytes = reg.kv_bytes.saturating_sub(meta.bytes);
         let _ = self.tx.send(Msg::Close { id: session.0 });
         Ok(())
     }
 
     /// Drain every open bucket and queued decode step, stop the batcher and
-    /// return lifetime counters.
+    /// return lifetime counters. Sessions still open are drained too —
+    /// their pages count as freed, so a clean shutdown always reconciles
+    /// to `kv_pages_allocated == kv_pages_freed`.
     pub fn shutdown(mut self) -> ServeStats {
         let _ = self.tx.send(Msg::Shutdown);
         let mut stats = match self.worker.take() {
@@ -632,7 +858,15 @@ impl<T: Scalar> AttentionServer<T> {
             None => ServeStats::default(),
         };
         stats.rejected = self.rejected.load(Ordering::Relaxed);
-        let reg = self.registry.lock().unwrap();
+        stats.overload_sheds = self.overload_sheds.load(Ordering::Relaxed);
+        let mut reg = lock_healed(&self.registry);
+        // The batcher's exit released every remaining cache into the pool;
+        // mirror that drain here so the lifetime counters reconcile.
+        let remaining: u64 = reg.sessions.values().map(|m| m.pages as u64).sum();
+        reg.kv_pages_freed += remaining;
+        reg.pages_used = 0;
+        reg.kv_bytes = 0;
+        reg.sessions.clear();
         stats.kv_bytes_peak = reg.kv_bytes_peak;
         stats.kv_pages_allocated = reg.kv_pages_allocated;
         stats.kv_pages_freed = reg.kv_pages_freed;
@@ -656,6 +890,8 @@ struct PendingDecode<T: Scalar> {
     id: u64,
     q_row: Vec<T>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    fault: Option<FaultKind>,
     reply: DecodeReply<T>,
 }
 
@@ -699,6 +935,8 @@ fn batcher_loop<T: Scalar>(
     ctx: GpuCtx,
     kv: KvConfig,
     registry: Arc<Mutex<Registry>>,
+    depth: Arc<AtomicU64>,
+    arm: Arc<FaultArm>,
     rx: Receiver<Msg<T>>,
 ) -> ServeStats {
     let mut engine = AttentionEngine::with_ctx(mech.as_ref(), ctx);
@@ -734,7 +972,9 @@ fn batcher_loop<T: Scalar>(
             match next {
                 Some(Msg::Request(req)) => {
                     if let Some(full) = queue.push(req) {
-                        serve_bucket(&mut engine, full, &mut stats);
+                        if !serve_bucket(&mut engine, full, &arm, &depth, &mut stats) {
+                            return stats;
+                        }
                     }
                 }
                 Some(Msg::Open { id, d, d_v }) => {
@@ -747,8 +987,17 @@ fn batcher_loop<T: Scalar>(
                 Some(Msg::Append { id, k_row, v_row }) => {
                     // Determinism: a queued decode for this session must
                     // launch against the cache as of its submission.
-                    if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+                    if decode.has_pending_for(id)
+                        && !serve_decode(
+                            &mut engine,
+                            &mut decode,
+                            &registry,
+                            &arm,
+                            &depth,
+                            &mut stats,
+                        )
+                    {
+                        return stats;
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         // Admission reserved the pages under the registry
@@ -760,8 +1009,17 @@ fn batcher_loop<T: Scalar>(
                     }
                 }
                 Some(Msg::Extend { id, k, v }) => {
-                    if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+                    if decode.has_pending_for(id)
+                        && !serve_decode(
+                            &mut engine,
+                            &mut decode,
+                            &registry,
+                            &arm,
+                            &depth,
+                            &mut stats,
+                        )
+                    {
+                        return stats;
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         let rows = k.rows();
@@ -771,8 +1029,17 @@ fn batcher_loop<T: Scalar>(
                     }
                 }
                 Some(Msg::Close { id }) => {
-                    if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+                    if decode.has_pending_for(id)
+                        && !serve_decode(
+                            &mut engine,
+                            &mut decode,
+                            &registry,
+                            &arm,
+                            &depth,
+                            &mut stats,
+                        )
+                    {
+                        return stats;
                     }
                     if let Some(mut cache) = decode.caches.remove(&id) {
                         cache.release(&mut decode.pool);
@@ -783,8 +1050,17 @@ fn batcher_loop<T: Scalar>(
                     // Victims are idle by construction (inflight == 0),
                     // but flush anyway so a queued step can never attend
                     // over freed pages.
-                    if decode.has_pending_for(id) {
-                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+                    if decode.has_pending_for(id)
+                        && !serve_decode(
+                            &mut engine,
+                            &mut decode,
+                            &registry,
+                            &arm,
+                            &depth,
+                            &mut stats,
+                        )
+                    {
+                        return stats;
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         cache.release(&mut decode.pool);
@@ -794,16 +1070,29 @@ fn batcher_loop<T: Scalar>(
                     id,
                     q_row,
                     submitted,
+                    deadline,
+                    fault,
                     reply,
                 }) => {
                     decode.pending.push(PendingDecode {
                         id,
                         q_row,
                         submitted,
+                        deadline,
+                        fault,
                         reply,
                     });
-                    if decode.pending.len() >= policy.max_batch {
-                        serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+                    if decode.pending.len() >= policy.max_batch
+                        && !serve_decode(
+                            &mut engine,
+                            &mut decode,
+                            &registry,
+                            &arm,
+                            &depth,
+                            &mut stats,
+                        )
+                    {
+                        return stats;
                     }
                 }
                 Some(Msg::Shutdown) => {
@@ -816,33 +1105,110 @@ fn batcher_loop<T: Scalar>(
         }
         let now = Instant::now();
         for due in queue.take_due(now) {
-            serve_bucket(&mut engine, due, &mut stats);
+            if !serve_bucket(&mut engine, due, &arm, &depth, &mut stats) {
+                return stats;
+            }
         }
         if decode
             .next_deadline(&policy)
             .is_some_and(|deadline| deadline <= now)
+            && !serve_decode(
+                &mut engine,
+                &mut decode,
+                &registry,
+                &arm,
+                &depth,
+                &mut stats,
+            )
         {
-            serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+            return stats;
         }
     }
     for bucket in queue.take_all() {
-        serve_bucket(&mut engine, bucket, &mut stats);
+        if !serve_bucket(&mut engine, bucket, &arm, &depth, &mut stats) {
+            return stats;
+        }
     }
-    serve_decode(&mut engine, &mut decode, &registry, &mut stats);
+    if !serve_decode(
+        &mut engine,
+        &mut decode,
+        &registry,
+        &arm,
+        &depth,
+        &mut stats,
+    ) {
+        return stats;
+    }
+    // Shutdown drain: return every open session's pages to the pool so the
+    // pool invariants (free + used == capacity, no leaked pages) verify even
+    // when clients abandon sessions without closing them.
+    for (_, mut cache) in decode.caches.drain() {
+        cache.release(&mut decode.pool);
+    }
     debug_assert!(decode.pool.check_invariants().is_ok());
     stats
 }
 
+/// Best-effort human-readable panic payload (panics carry `&str` or
+/// `String` in practice; anything else is reported opaquely).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Launch one closed prefill bucket: engine submit × B, one flush (one
 /// batched launch per op), reply per request with its latency breakdown.
+///
+/// Expired-deadline requests are shed *before* packing — they get a typed
+/// [`ServeError::DeadlineExceeded`] instead of occupying batch slots. A
+/// panic inside the flush is caught here: every request packed into the
+/// batch fails with [`ServeError::BatchPanicked`] and the engine is
+/// restored to a serviceable state, so one poisoned batch never takes the
+/// batcher down. Returns `false` only when an injected [`FaultKind::KillServer`]
+/// fires — the caller must exit immediately without draining (the
+/// hard-crash simulation).
 fn serve_bucket<T: Scalar>(
     engine: &mut AttentionEngine<'_, T>,
     bucket: Bucket<T, Reply<T>>,
+    arm: &FaultArm,
+    depth: &AtomicU64,
     stats: &mut ServeStats,
-) {
+) -> bool {
     let closed_at = Instant::now();
-    let mut waiting = Vec::with_capacity(bucket.requests.len());
+    depth.fetch_sub(bucket.requests.len() as u64, Ordering::SeqCst);
+    // Deadline shed before packing: an expired request never occupies a
+    // batch slot and its injected fault (if any) never arms.
+    let mut live = Vec::with_capacity(bucket.requests.len());
     for req in bucket.requests {
+        if expired(req.deadline, closed_at) {
+            stats.deadline_sheds += 1;
+            let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
+                queued_for: closed_at.saturating_duration_since(req.submitted),
+            }));
+        } else {
+            live.push(req);
+        }
+    }
+    if live.is_empty() {
+        return true;
+    }
+    if live.iter().any(|r| r.fault == Some(FaultKind::KillServer)) {
+        return false;
+    }
+    for req in &live {
+        match req.fault {
+            Some(FaultKind::PanicInBatch) => arm.arm_panic(),
+            Some(FaultKind::SlowLaunch(delay)) => arm.arm_slow(delay),
+            _ => {}
+        }
+    }
+    let mut waiting = Vec::with_capacity(live.len());
+    for req in live {
         match engine.submit(req.q, req.k, req.v) {
             Ok(_) => waiting.push((req.reply, req.submitted)),
             Err(e) => {
@@ -852,7 +1218,23 @@ fn serve_bucket<T: Scalar>(
             }
         }
     }
-    let results = engine.flush();
+    let results = match catch_unwind(AssertUnwindSafe(|| engine.flush())) {
+        Ok(results) => results,
+        Err(payload) => {
+            // The panic unwound mid-flush: the batch is lost, the server
+            // is not. Fail exactly the requests that were packed into it,
+            // restore the engine, and keep serving.
+            stats.batch_panics += 1;
+            engine.recover_after_panic();
+            let msg = panic_message(payload);
+            for (reply, _) in waiting {
+                let _ = reply.send(Err(ServeError::BatchPanicked {
+                    payload: msg.clone(),
+                }));
+            }
+            return true;
+        }
+    };
     let service = closed_at.elapsed();
     stats.batches += 1;
     stats.max_batch = stats.max_batch.max(results.len());
@@ -878,27 +1260,51 @@ fn serve_bucket<T: Scalar>(
     // Bound the owned context: the timeline's job is done once the flush
     // report is folded into the stats.
     engine.reset_timeline();
+    true
 }
 
 /// Launch the queued decode steps as one ragged flush (one launch per op
 /// across all streams), reply per step with its latency breakdown. A call
 /// with nothing queued is a no-op.
+///
+/// Same failure domains as [`serve_bucket`]: expired deadlines shed typed
+/// before packing, an in-flush panic fails only this batch's steps
+/// ([`ServeError::BatchPanicked`]) and always releases the sessions'
+/// inflight marks. Returns `false` only on an injected
+/// [`FaultKind::KillServer`].
 fn serve_decode<T: Scalar>(
     engine: &mut AttentionEngine<'_, T>,
     decode: &mut DecodeState<T>,
     registry: &Mutex<Registry>,
+    arm: &FaultArm,
+    depth: &AtomicU64,
     stats: &mut ServeStats,
-) {
+) -> bool {
     if decode.pending.is_empty() {
-        return;
+        return true;
     }
     let closed_at = Instant::now();
     let pending = std::mem::take(&mut decode.pending);
+    depth.fetch_sub(pending.len() as u64, Ordering::SeqCst);
+    if pending
+        .iter()
+        .any(|p| p.fault == Some(FaultKind::KillServer) && !expired(p.deadline, closed_at))
+    {
+        return false;
+    }
     // Admission validated widths and non-empty caches; a session whose
     // cache vanished between admission and launch (registry/batcher race on
-    // a close) gets a typed rejection, not a panic.
+    // a close) gets a typed rejection, not a panic. Expired deadlines shed
+    // typed before packing; shed steps never arm their injected fault.
     let mut live: Vec<&PendingDecode<T>> = Vec::with_capacity(pending.len());
     for p in &pending {
+        if expired(p.deadline, closed_at) {
+            stats.deadline_sheds += 1;
+            let _ = p.reply.send(Err(ServeError::DeadlineExceeded {
+                queued_for: closed_at.saturating_duration_since(p.submitted),
+            }));
+            continue;
+        }
         match decode.caches.get(&p.id) {
             Some(cache) if !cache.is_empty() => live.push(p),
             _ => {
@@ -910,7 +1316,14 @@ fn serve_decode<T: Scalar>(
     }
     if live.is_empty() {
         release_inflight(registry, pending.iter().map(|p| p.id));
-        return;
+        return true;
+    }
+    for p in &live {
+        match p.fault {
+            Some(FaultKind::PanicInBatch) => arm.arm_panic(),
+            Some(FaultKind::SlowLaunch(delay)) => arm.arm_slow(delay),
+            _ => {}
+        }
     }
     let steps: Vec<DecodeStep<'_, T>> = live
         .iter()
@@ -926,8 +1339,24 @@ fn serve_decode<T: Scalar>(
             }
         })
         .collect();
-    match engine.flush_decode(&steps) {
-        Ok(results) => {
+    match catch_unwind(AssertUnwindSafe(|| engine.flush_decode(&steps))) {
+        Err(payload) => {
+            // The ragged flush panicked: fail this batch's steps typed,
+            // restore the engine, release the sessions' inflight marks (the
+            // caches themselves are untouched — decode reads them, never
+            // writes), and keep serving.
+            stats.batch_panics += 1;
+            engine.recover_after_panic();
+            let msg = panic_message(payload);
+            for p in &live {
+                let _ = p.reply.send(Err(ServeError::BatchPanicked {
+                    payload: msg.clone(),
+                }));
+            }
+            release_inflight(registry, pending.iter().map(|p| p.id));
+            return true;
+        }
+        Ok(Ok(results)) => {
             let service = closed_at.elapsed();
             // One "batch" per ragged launch group: the engine buckets steps
             // by (d, d_v), so a flush over mixed-width sessions runs (and
@@ -956,7 +1385,7 @@ fn serve_decode<T: Scalar>(
                 let _ = p.reply.send(Ok(served));
             }
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             for p in &live {
                 let _ = p.reply.send(Err(ServeError::Rejected(e.clone())));
             }
@@ -966,12 +1395,18 @@ fn serve_decode<T: Scalar>(
     // eligible for eviction.
     release_inflight(registry, pending.iter().map(|p| p.id));
     engine.reset_timeline();
+    true
+}
+
+/// Whether a request's deadline has passed as of `now`.
+fn expired(deadline: Option<Instant>, now: Instant) -> bool {
+    deadline.is_some_and(|d| now > d)
 }
 
 /// Decrement the registry's inflight count for each served step's session
 /// (sessions already closed are simply gone).
 fn release_inflight(registry: &Mutex<Registry>, ids: impl Iterator<Item = u64>) {
-    let mut reg = registry.lock().unwrap();
+    let mut reg = lock_healed(registry);
     for id in ids {
         if let Some(meta) = reg.sessions.get_mut(&id) {
             meta.inflight = meta.inflight.saturating_sub(1);
@@ -1113,12 +1548,18 @@ mod tests {
         // n = 31 violates the 1:2 group alignment.
         let q = Matrix::<f32>::zeros(31, 8);
         let err = server.submit(q.clone(), q.clone(), q.clone()).unwrap_err();
-        assert!(matches!(err, RequestError::Unsupported { .. }));
+        assert!(matches!(
+            err,
+            ServeError::Rejected(RequestError::Unsupported { .. })
+        ));
         // K mismatch.
         let q32 = Matrix::<f32>::zeros(32, 8);
         let k_bad = Matrix::<f32>::zeros(16, 8);
         let err = server.submit(q32.clone(), k_bad, q32.clone()).unwrap_err();
-        assert!(matches!(err, RequestError::KShapeMismatch { .. }));
+        assert!(matches!(
+            err,
+            ServeError::Rejected(RequestError::KShapeMismatch { .. })
+        ));
         // The server still serves valid traffic afterwards.
         let mut rng = Rng::new(11);
         let (q, k, v) = request(32, 8, &mut rng);
@@ -1415,9 +1856,10 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.admission_rejections, 2);
         assert_eq!(stats.evictions, 0);
-        // 4 pages for s1 + 2 for s3's first row; only s1's came back.
+        // 4 pages for s1 + 2 for s3's first row; s1's came back at close,
+        // s3's at the shutdown drain — allocated and freed reconcile.
         assert_eq!(stats.kv_pages_allocated, 6);
-        assert_eq!(stats.kv_pages_freed, 4);
+        assert_eq!(stats.kv_pages_freed, 6);
     }
 
     #[test]
@@ -1493,10 +1935,10 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.admission_rejections, 0);
         // Counters reconcile with the lifecycle: 2+2+2 pages handed out,
-        // s2's 2 reclaimed by eviction (its close frees nothing), s1 and
-        // s3 still hold 2 each at shutdown.
+        // s2's 2 reclaimed by eviction (its close frees nothing), s1's and
+        // s3's 2 each reclaimed by the shutdown drain.
         assert_eq!(stats.kv_pages_allocated, 6);
-        assert_eq!(stats.kv_pages_freed, 2);
+        assert_eq!(stats.kv_pages_freed, 6);
         assert_eq!(stats.sessions_opened, 3);
         assert_eq!(stats.sessions_closed, 1);
     }
@@ -1575,5 +2017,352 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!((stats.batches, stats.decode_batches), (0, 0));
         assert_eq!(stats.total_sim_latency_s, 0.0);
+    }
+
+    #[test]
+    fn poisoned_registry_heals_and_restores_invariants() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start_with_kv(
+            Arc::clone(&mech),
+            BatchPolicy::per_request(),
+            tight_kv(4, false),
+        );
+        let mut rng = Rng::new(59);
+        let s1 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s1,
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        // A client thread dies while holding the registry lock, leaving
+        // scribbled mirror counters behind a poisoned mutex.
+        let registry = Arc::clone(&server.registry);
+        let scribbler = std::thread::spawn(move || {
+            let mut reg = registry.lock().unwrap();
+            reg.pages_used = 9999;
+            reg.kv_bytes = u64::MAX;
+            panic!("client died mid-critical-section");
+        });
+        assert!(scribbler.join().is_err(), "scribbler must poison the lock");
+        // Every later lock heals the poison and recomputes the mirrors from
+        // the per-session metadata — without the heal, free-page arithmetic
+        // under pages_used = 9999 would underflow on the next admission.
+        let s2 = server.open_session(4, 4).unwrap();
+        server.append(s2, vec![1.0; 4], vec![2.0; 4]).unwrap();
+        let served = server
+            .submit_decode(DecodeRequest {
+                session: s1,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap()
+            .wait()
+            .expect("served after heal");
+        assert_eq!(served.cached_len, 4);
+        server.close_session(s1).unwrap();
+        server.close_session(s2).unwrap();
+        let stats = server.shutdown();
+        // The lifetime counters come out exact, not scribbled: s1's 4 rows
+        // took a K+V page pair, s2's single row another.
+        assert_eq!(stats.kv_pages_allocated, 4);
+        assert_eq!(stats.kv_pages_freed, 4);
+        assert_eq!(stats.kv_bytes_peak, (4 * 8 * 4 + 8 * 4) as u64);
+    }
+
+    #[test]
+    fn batch_panic_fails_only_its_batch_and_the_server_keeps_serving() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let plan = FaultPlan::new().inject(0, FaultKind::PanicInBatch);
+        let server = AttentionServer::start_with_faults(
+            Arc::clone(&mech),
+            BatchPolicy::batched(2, Duration::from_millis(5)),
+            plan,
+        );
+        let mut rng = Rng::new(61);
+        // First batch of two is poisoned by the fault riding request 0:
+        // both its requests fail typed, with the payload preserved.
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h0 = server.submit(q, k, v).unwrap();
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h1 = server.submit(q, k, v).unwrap();
+        for h in [h0, h1] {
+            match h.wait().expect_err("batch poisoned") {
+                ServeError::BatchPanicked { payload } => {
+                    assert!(payload.contains("injected kernel panic"));
+                }
+                other => panic!("want BatchPanicked, got {other}"),
+            }
+        }
+        // The next batch is served normally by the same recovered batcher.
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h2 = server.submit(q, k, v).unwrap();
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h3 = server.submit(q, k, v).unwrap();
+        assert!(h2.wait().is_ok());
+        assert!(h3.wait().is_ok());
+        let stats = server.shutdown();
+        assert_eq!(stats.batch_panics, 1);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.batches, 1, "the poisoned launch never counts");
+    }
+
+    #[test]
+    fn decode_batch_panic_is_isolated_and_the_session_survives() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // Front-door ordinals: open = 0, extend = 1, decode = 2.
+        let plan = FaultPlan::new().inject(2, FaultKind::PanicInBatch);
+        let server =
+            AttentionServer::start_with_faults(Arc::clone(&mech), BatchPolicy::per_request(), plan);
+        let mut rng = Rng::new(67);
+        let s = server.open_session(8, 8).unwrap();
+        server
+            .extend(
+                s,
+                Matrix::random_normal(6, 8, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(6, 8, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let err = server
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: row(8, &mut rng),
+            })
+            .unwrap()
+            .wait()
+            .expect_err("poisoned step");
+        assert!(matches!(err, ServeError::BatchPanicked { .. }));
+        // The cache is untouched (decode reads it, never writes) and the
+        // inflight mark was released: the very next step serves over the
+        // full history.
+        let served = server
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: row(8, &mut rng),
+            })
+            .unwrap()
+            .wait()
+            .expect("served after recovery");
+        assert_eq!(served.cached_len, 6);
+        server.close_session(s).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.batch_panics, 1);
+        assert_eq!(stats.decode_steps, 1);
+        assert_eq!(stats.kv_pages_allocated, stats.kv_pages_freed);
+    }
+
+    #[test]
+    fn expired_deadlines_shed_typed_before_packing() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(8, Duration::from_millis(20)),
+        );
+        let mut rng = Rng::new(71);
+        let (q, k, v) = request(16, 8, &mut rng);
+        // Already expired at submission: shed when the bucket closes,
+        // never packed into the launch.
+        let past = Instant::now() - Duration::from_millis(1);
+        let doomed = server.submit_with_deadline(q, k, v, Some(past)).unwrap();
+        let (q, k, v) = request(16, 8, &mut rng);
+        let live = server.submit(q, k, v).unwrap();
+        match doomed.wait().expect_err("shed") {
+            ServeError::DeadlineExceeded { queued_for } => assert!(queued_for > Duration::ZERO),
+            other => panic!("want DeadlineExceeded, got {other}"),
+        }
+        let served = live.wait().expect("served");
+        assert_eq!(served.batch_size, 1, "the shed request freed its slot");
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_sheds, 1);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn expired_decode_deadlines_shed_typed() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(8, Duration::from_millis(20)),
+        );
+        let mut rng = Rng::new(73);
+        let s = server.open_session(8, 8).unwrap();
+        server
+            .extend(
+                s,
+                Matrix::random_normal(2, 8, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(2, 8, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        let doomed = server
+            .submit_decode_with_deadline(
+                DecodeRequest {
+                    session: s,
+                    q_row: row(8, &mut rng),
+                },
+                Some(past),
+            )
+            .unwrap();
+        let live = server
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: row(8, &mut rng),
+            })
+            .unwrap();
+        assert!(matches!(
+            doomed.wait(),
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(live.wait().expect("served").cached_len, 2);
+        server.close_session(s).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_sheds, 1);
+        assert_eq!(stats.decode_steps, 1);
+    }
+
+    #[test]
+    fn queue_depth_bound_sheds_submissions_typed() {
+        use crate::retry::Transient;
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // Huge batch + deadline: the two admitted requests stay queued, so
+        // the third submission observes the bound deterministically.
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)).with_queue_depth(2),
+        );
+        let mut rng = Rng::new(79);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h0 = server.submit(q, k, v).unwrap();
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h1 = server.submit(q, k, v).unwrap();
+        let (q, k, v) = request(16, 8, &mut rng);
+        let err = server.submit(q, k, v).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { depth: 2 }));
+        assert!(err.is_transient(), "overload is worth retrying");
+        // The bound spans prefill and decode: the same full queue sheds a
+        // decode step with the session-typed twin.
+        let s = server.open_session(8, 8).unwrap();
+        server
+            .extend(
+                s,
+                Matrix::random_normal(2, 8, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(2, 8, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let err = server
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: row(8, &mut rng),
+            })
+            .unwrap_err();
+        assert_eq!(err, SessionError::Overloaded { depth: 2 });
+        assert!(err.is_transient());
+        let stats = server.shutdown();
+        assert!(h0.wait().is_ok(), "admitted requests drain at shutdown");
+        assert!(h1.wait().is_ok());
+        assert_eq!(stats.overload_sheds, 2);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.decode_steps, 0);
+    }
+
+    #[test]
+    fn killed_batcher_never_blocks_waiters() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let plan = FaultPlan::new().inject(0, FaultKind::KillServer);
+        let server =
+            AttentionServer::start_with_faults(Arc::clone(&mech), BatchPolicy::per_request(), plan);
+        let mut rng = Rng::new(83);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h = server.submit(q, k, v).unwrap();
+        assert!(matches!(h.wait(), Err(ServeError::ServerGone)));
+        // Later submissions still enqueue (submission is infallible for
+        // valid requests) but resolve ServerGone too — nothing hangs.
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h = server.submit(q, k, v).unwrap();
+        assert!(matches!(
+            h.wait_timeout(Duration::from_secs(30)),
+            Err(ServeError::ServerGone)
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn wait_timeout_is_typed_and_rewaitable() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(89);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h = server.submit(q, k, v).unwrap();
+        // The bucket stays open for 600 s; a bounded wait gives up typed
+        // instead of blocking.
+        assert!(matches!(
+            h.wait_timeout(Duration::from_millis(30)),
+            Err(ServeError::WaitTimeout)
+        ));
+        // The request itself is still queued: the shutdown drain serves it
+        // and the same handle then resolves with the output.
+        let stats = server.shutdown();
+        let served = h.wait().expect("drained at shutdown");
+        assert_eq!(served.batch_size, 1);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_steps_open_sessions_and_inflight_faults() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // Ordinals: open = 0, extend = 1, open = 2, extend = 3, decode = 4,
+        // decode = 5 — the second queued step rides a slowed launch.
+        let plan = FaultPlan::new().inject(5, FaultKind::SlowLaunch(Duration::from_millis(2)));
+        let server = AttentionServer::start_with_kv_faults(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+            tight_kv(8, false),
+            plan,
+        );
+        let mut rng = Rng::new(97);
+        let s1 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s1,
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let s2 = server.open_session(4, 4).unwrap();
+        server
+            .extend(
+                s2,
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+                Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng),
+            )
+            .unwrap();
+        let h1 = server
+            .submit_decode(DecodeRequest {
+                session: s1,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap();
+        let h2 = server
+            .submit_decode(DecodeRequest {
+                session: s2,
+                q_row: row(4, &mut rng),
+            })
+            .unwrap();
+        // Shutdown with both steps queued and both sessions still open:
+        // the drain serves the steps (through the slowed launch) and the
+        // abandoned sessions' pages come back, so the lifetime counters
+        // reconcile exactly.
+        let stats = server.shutdown();
+        assert_eq!(h1.wait().expect("drained").cached_len, 4);
+        assert_eq!(h2.wait().expect("drained").cached_len, 4);
+        assert_eq!(stats.decode_steps, 2);
+        assert_eq!(stats.sessions_opened, 2);
+        assert_eq!(stats.sessions_closed, 0);
+        assert_eq!(stats.kv_pages_allocated, 4);
+        assert_eq!(stats.kv_pages_freed, 4);
     }
 }

@@ -35,7 +35,8 @@ pub mod prelude {
     pub use dfss_kernels::GpuCtx;
     pub use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern, NmRagged};
     pub use dfss_serve::{
-        AttentionServer, BatchPolicy, DecodeRequest, KvConfig, KvPool, PagedKvCache, SessionId,
+        AttentionServer, BatchPolicy, DecodeRequest, FaultKind, FaultPlan, KvConfig, KvPool,
+        PagedKvCache, ServeError, SessionId,
     };
     pub use dfss_tensor::{BatchedMatrix, Bf16, Matrix, PagedPanel, RaggedBatch, Rng, Scalar};
     pub use dfss_transformer::{AttnKind, Encoder, EncoderConfig, Precision};
