@@ -77,15 +77,18 @@ use dfss_core::engine::{AttentionEngine, DecodeStep};
 use dfss_core::{Attention, DfssAttention};
 use dfss_kernels::GpuCtx;
 use dfss_nmsparse::NmPattern;
+use dfss_serve::http::{HttpConfig, HttpServer};
+use dfss_serve::wire::{self, Json as WireJson, RequestReader, WireLimits};
 use dfss_serve::{
     AttentionServer, BatchPolicy, DecodeRequest, FaultKind, FaultPlan, KvConfig, ServeError,
     ServeStats, Served, SessionError, SessionId,
 };
 use dfss_tensor::{Matrix, Rng};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SCHEMA_VERSION: f64 = 4.0;
+const SCHEMA_VERSION: f64 = 5.0;
 
 /// Offered-load multipliers of the measured per-request capacity. The
 /// first is deliberately sub-capacity (the regime where a deadline policy
@@ -951,6 +954,343 @@ fn run_chaos_row(mech: &Arc<dyn Attention<f32> + Send + Sync>, spec: &WorkloadSp
     }
 }
 
+/// Socket-level sweep shape: one fixed prefill shape through the HTTP
+/// front door, batched behind a bounded queue.
+struct HttpSpec {
+    shape: (usize, usize),
+    requests_per_load: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    queue_depth: usize,
+    max_connections: usize,
+}
+
+fn http_workload() -> HttpSpec {
+    if quick() {
+        HttpSpec {
+            shape: (32, 16),
+            requests_per_load: 96,
+            max_batch: 8,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 16,
+            max_connections: 256,
+        }
+    } else {
+        HttpSpec {
+            shape: (64, 32),
+            requests_per_load: 192,
+            max_batch: 16,
+            max_delay: Duration::from_millis(1),
+            queue_depth: 32,
+            max_connections: 256,
+        }
+    }
+}
+
+/// One pre-rendered wire request: raw bytes, Poisson arrival offset, and
+/// (on the reference subset) the solo-forward output to bit-compare.
+struct HttpRequest {
+    bytes: Vec<u8>,
+    arrival: Duration,
+    reference: Option<Matrix<f32>>,
+}
+
+fn wire_matrix(m: &Matrix<f32>) -> WireJson {
+    WireJson::Arr(
+        (0..m.rows())
+            .map(|i| WireJson::f32_row(&m.as_slice()[i * m.cols()..(i + 1) * m.cols()]))
+            .collect(),
+    )
+}
+
+/// Render one `POST` as raw HTTP/1.1 bytes. `connection: close` keeps the
+/// load generator honest: every request is a full connect/serve/teardown,
+/// so the server's accept counter equals the offered request count.
+fn http_request_bytes(path: &str, body: &WireJson) -> Vec<u8> {
+    let payload = body.render();
+    let mut out = format!(
+        "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+fn build_http_requests(
+    spec: &HttpSpec,
+    mech: &dyn Attention<f32>,
+    rate: f64,
+    seed: u64,
+) -> Vec<HttpRequest> {
+    let mut rng = Rng::new(seed);
+    let (n, d) = spec.shape;
+    let mut at = 0.0f64;
+    (0..spec.requests_per_load)
+        .map(|i| {
+            let q = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let k = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let reference = (i % 8 == 0).then(|| {
+                let mut ctx = GpuCtx::a100();
+                mech.forward(&mut ctx, &q, &k, &v)
+            });
+            let body = WireJson::obj(vec![
+                ("q", wire_matrix(&q)),
+                ("k", wire_matrix(&k)),
+                ("v", wire_matrix(&v)),
+            ]);
+            let u: f64 = rng.uniform().max(1e-12);
+            at += -u.ln() / rate;
+            HttpRequest {
+                bytes: http_request_bytes("/v1/prefill", &body),
+                arrival: Duration::from_secs_f64(at),
+                reference,
+            }
+        })
+        .collect()
+}
+
+/// One blocking wire exchange: connect, send the pre-rendered request,
+/// read the typed response. Any transport failure is a bench bug, not a
+/// measurement — the server must always answer typed.
+fn http_exchange(addr: SocketAddr, bytes: &[u8]) -> wire::Response {
+    use std::io::Write;
+    let stream = TcpStream::connect(addr).expect("connect loopback");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .expect("write timeout");
+    stream.set_nodelay(true).ok();
+    (&stream).write_all(bytes).expect("send request");
+    let mut reader = RequestReader::new(&stream);
+    wire::read_response(&mut reader, &WireLimits::default()).expect("typed response")
+}
+
+/// Saturated throughput of the whole front door — parse, batch, serve,
+/// render — measured with `2 × max_batch` closed-loop clients so batching
+/// is fully engaged. Offered wire loads are scaled against this rate:
+/// 2× of it *must* grow the bounded queue.
+fn measure_http_capacity(mech: &Arc<dyn Attention<f32> + Send + Sync>, spec: &HttpSpec) -> f64 {
+    let att = AttentionServer::start(
+        Arc::clone(mech),
+        BatchPolicy::batched(spec.max_batch, spec.max_delay),
+    );
+    let http = HttpServer::bind(
+        att,
+        HttpConfig {
+            max_connections: spec.max_connections,
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = http.local_addr();
+    let clients = 2 * spec.max_batch;
+    let per_client = 6usize;
+    let mut rng = Rng::new(0x117CAB);
+    let (n, d) = spec.shape;
+    let bodies: Vec<Vec<u8>> = (0..clients)
+        .map(|_| {
+            let body = WireJson::obj(vec![
+                (
+                    "q",
+                    wire_matrix(&Matrix::random_normal(n, d, 0.0, 1.0, &mut rng)),
+                ),
+                (
+                    "k",
+                    wire_matrix(&Matrix::random_normal(n, d, 0.0, 1.0, &mut rng)),
+                ),
+                (
+                    "v",
+                    wire_matrix(&Matrix::random_normal(n, d, 0.0, 1.0, &mut rng)),
+                ),
+            ]);
+            http_request_bytes("/v1/prefill", &body)
+        })
+        .collect();
+    let run_round = |reps: usize| {
+        let threads: Vec<_> = bodies
+            .iter()
+            .map(|b| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..reps {
+                        let resp = http_exchange(addr, &b);
+                        assert_eq!(resp.status, 200, "capacity burst has no queue bound");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("capacity client");
+        }
+    };
+    run_round(1); // warm: listener, threads, allocator, batcher
+    let t0 = Instant::now();
+    run_round(per_client);
+    let capacity = (clients * per_client) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    http.shutdown();
+    capacity
+}
+
+/// One wire overload point: goodput, client-observed tails, typed 503s.
+struct HttpPoint {
+    load_mult: f64,
+    offered_rps: f64,
+    requests: usize,
+    ok: u64,
+    shed: u64,
+    goodput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    overload_sheds: u64,
+    conn_sheds: u64,
+    accepted: u64,
+}
+
+/// Offer one Poisson stream over loopback sockets, one connection per
+/// request. Every exchange resolves to `200` (latency recorded, reference
+/// subset bit-compared) or a typed `503 Retry-After` — any other status
+/// for a valid request is a front-door bug and panics the bench.
+fn run_http_point(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    spec: &HttpSpec,
+    mult: f64,
+    rate: f64,
+    requests: Vec<HttpRequest>,
+) -> HttpPoint {
+    let policy =
+        BatchPolicy::batched(spec.max_batch, spec.max_delay).with_queue_depth(spec.queue_depth);
+    let att = AttentionServer::start(Arc::clone(mech), policy);
+    let http = HttpServer::bind(
+        att,
+        HttpConfig {
+            max_connections: spec.max_connections,
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = http.local_addr();
+    let total = requests.len();
+    let start = Instant::now();
+    let mut workers = Vec::with_capacity(total);
+    for req in requests {
+        if let Some(wait) = req.arrival.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        workers.push(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let resp = http_exchange(addr, &req.bytes);
+            (resp, t0.elapsed(), req.reference)
+        }));
+    }
+    let (mut ok, mut shed) = (0u64, 0u64);
+    let mut client_ms = Vec::with_capacity(total);
+    for w in workers {
+        let (resp, latency, reference) = w.join().expect("load-gen worker");
+        match resp.status {
+            200 => {
+                ok += 1;
+                client_ms.push(latency.as_secs_f64() * 1e3);
+                if let Some(reference) = &reference {
+                    let doc = WireJson::parse(&resp.body).expect("served body is JSON");
+                    let rows = doc
+                        .get("output")
+                        .and_then(WireJson::as_arr)
+                        .expect("served body carries the output matrix");
+                    let got: Vec<f32> = rows
+                        .iter()
+                        .flat_map(|r| r.to_f32_row().expect("float rows"))
+                        .collect();
+                    assert_eq!(got.len(), reference.as_slice().len());
+                    for (a, b) in got.iter().zip(reference.as_slice()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "HTTP prefill must stay bit-identical under load"
+                        );
+                    }
+                }
+            }
+            503 => {
+                assert!(
+                    resp.retry_after().is_some(),
+                    "typed sheds must carry Retry-After"
+                );
+                shed += 1;
+            }
+            other => panic!(
+                "wire sweep answered {other}; valid requests resolve only to 200 or a typed 503"
+            ),
+        }
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    let stats = http.shutdown();
+    assert_eq!(ok + shed, total as u64);
+    assert_eq!(
+        stats.overload_sheds + stats.http_connections_shed,
+        shed,
+        "every 503 on the wire must map to a typed shed counter"
+    );
+    assert_eq!(
+        stats.served, ok,
+        "the batcher's served count must agree with the 200s on the wire"
+    );
+    client_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50_ms, p99_ms) = if client_ms.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (percentile(&client_ms, 50.0), percentile(&client_ms, 99.0))
+    };
+    HttpPoint {
+        load_mult: mult,
+        offered_rps: rate,
+        requests: total,
+        ok,
+        shed,
+        goodput_rps: ok as f64 / makespan.max(1e-9),
+        p50_ms,
+        p99_ms,
+        overload_sheds: stats.overload_sheds,
+        conn_sheds: stats.http_connections_shed,
+        accepted: stats.http_connections_accepted,
+    }
+}
+
+fn run_http_sweep(
+    mech: &Arc<dyn Attention<f32> + Send + Sync>,
+    spec: &HttpSpec,
+    wire_capacity_rps: f64,
+) -> Vec<HttpPoint> {
+    println!(
+        "{:>6}  {:>9}  {:>6}  {:>6}  {:>9}  {:>10}  {:>10}  {:>10}",
+        "load", "rps", "ok", "shed", "shed rate", "goodput", "p50 ms", "p99 ms"
+    );
+    OVERLOAD_MULTS
+        .iter()
+        .enumerate()
+        .map(|(i, &mult)| {
+            let rate = mult * wire_capacity_rps;
+            let requests = build_http_requests(spec, mech.as_ref(), rate, 7000 + i as u64);
+            let p = run_http_point(mech, spec, mult, rate, requests);
+            println!(
+                "{:>6.2}  {:>9.1}  {:>6}  {:>6}  {:>8.1}%  {:>10.1}  {:>10.3}  {:>10.3}",
+                p.load_mult,
+                p.offered_rps,
+                p.ok,
+                p.shed,
+                100.0 * p.shed as f64 / p.requests.max(1) as f64,
+                p.goodput_rps,
+                p.p50_ms,
+                p.p99_ms
+            );
+            p
+        })
+        .collect()
+}
+
 fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
@@ -1183,6 +1523,54 @@ fn main() {
         chaos.batch_panics
     );
 
+    // HTTP front-door sweep: the overload story again, measured at the
+    // socket — goodput, client-observed tails, and the typed 503 shed
+    // rate over loopback against the wire-measured capacity.
+    let hspec = http_workload();
+    let wire_capacity_rps = measure_http_capacity(&mech, &hspec);
+    eprintln!("[serving] http sweep, wire capacity ~{wire_capacity_rps:.1} req/s");
+    let http_points = run_http_sweep(&mech, &hspec, wire_capacity_rps);
+    for p in &http_points {
+        if p.load_mult < 1.0 {
+            assert_eq!(
+                p.shed, 0,
+                "a sub-capacity wire load ({}x) must be served without 503s",
+                p.load_mult
+            );
+        }
+    }
+    let worst_http = http_points
+        .iter()
+        .max_by(|a, b| a.load_mult.partial_cmp(&b.load_mult).unwrap())
+        .expect("at least one http point");
+    assert!(
+        worst_http.shed > 0,
+        "the {}x wire overload must shed typed 503s",
+        worst_http.load_mult
+    );
+    let http_rows: Vec<Json> = http_points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("load_mult", Json::Num(p.load_mult)),
+                ("offered_rps", Json::Num(round3(p.offered_rps))),
+                ("requests", Json::Num(p.requests as f64)),
+                ("ok", Json::Num(p.ok as f64)),
+                ("shed", Json::Num(p.shed as f64)),
+                (
+                    "shed_rate",
+                    Json::Num(round3(p.shed as f64 / p.requests.max(1) as f64)),
+                ),
+                ("goodput_rps", Json::Num(round3(p.goodput_rps))),
+                ("p50_ms", Json::Num(round3(p.p50_ms))),
+                ("p99_ms", Json::Num(round3(p.p99_ms))),
+                ("overload_sheds", Json::Num(p.overload_sheds as f64)),
+                ("conn_sheds", Json::Num(p.conn_sheds as f64)),
+                ("accepted", Json::Num(p.accepted as f64)),
+            ])
+        })
+        .collect();
+
     let doc = Json::obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("artifact", Json::Str("bench_serving".into())),
@@ -1258,6 +1646,18 @@ fn main() {
                     Json::Num(chaos.post_fault_served as f64),
                 ),
                 ("batch_panics", Json::Num(chaos.batch_panics as f64)),
+            ]),
+        ),
+        (
+            "http",
+            Json::obj(vec![
+                ("shape_n", Json::Num(hspec.shape.0 as f64)),
+                ("shape_d", Json::Num(hspec.shape.1 as f64)),
+                ("max_batch", Json::Num(hspec.max_batch as f64)),
+                ("max_queue_depth", Json::Num(hspec.queue_depth as f64)),
+                ("max_connections", Json::Num(hspec.max_connections as f64)),
+                ("wire_capacity_rps", Json::Num(round3(wire_capacity_rps))),
+                ("rows", Json::Arr(http_rows)),
             ]),
         ),
     ]);
@@ -1625,8 +2025,110 @@ fn check(path: &str) -> Result<(), String> {
         return Err("chaos: nothing served after the injected panic — no recovery shown".into());
     }
 
+    // HTTP section: the same back-pressure gates, but measured at the
+    // socket — and every wire 503 must reconcile against a typed shed
+    // counter (queue bound or connection cap), nothing unaccounted.
+    let http = doc.get("http").ok_or("missing http section")?;
+    for field in [
+        "shape_n",
+        "shape_d",
+        "max_batch",
+        "max_queue_depth",
+        "max_connections",
+        "wire_capacity_rps",
+    ] {
+        let x = http
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing numeric http.{field}"))?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(format!("http.{field} = {x} not finite positive"));
+        }
+    }
+    let hrows = http
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing http.rows array")?;
+    if hrows.len() < 3 {
+        return Err(format!("need >= 3 http points, got {}", hrows.len()));
+    }
+    let mut h_lightest: Option<(f64, f64)> = None;
+    let mut h_heaviest: Option<(f64, f64)> = None;
+    for (i, r) in hrows.iter().enumerate() {
+        for field in [
+            "load_mult",
+            "offered_rps",
+            "requests",
+            "ok",
+            "shed",
+            "shed_rate",
+            "goodput_rps",
+            "p50_ms",
+            "p99_ms",
+            "overload_sheds",
+            "conn_sheds",
+            "accepted",
+        ] {
+            let x = r
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("http row {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "http row {i}: {field} = {x} not finite non-negative"
+                ));
+            }
+        }
+        let get = |f: &str| r.get(f).and_then(Json::as_f64).unwrap_or(0.0);
+        if get("ok") + get("shed") != get("requests") {
+            return Err(format!(
+                "http row {i}: ok {} + shed {} != requests {} — every exchange resolves typed",
+                get("ok"),
+                get("shed"),
+                get("requests")
+            ));
+        }
+        if get("overload_sheds") + get("conn_sheds") != get("shed") {
+            return Err(format!(
+                "http row {i}: overload_sheds {} + conn_sheds {} != shed {} — a 503 left no typed trace",
+                get("overload_sheds"),
+                get("conn_sheds"),
+                get("shed")
+            ));
+        }
+        let (mult, shed) = (get("load_mult"), get("shed"));
+        if h_lightest.is_none_or(|(m, _)| mult < m) {
+            h_lightest = Some((mult, shed));
+        }
+        if h_heaviest.is_none_or(|(m, _)| mult > m) {
+            h_heaviest = Some((mult, shed));
+        }
+    }
+    let (h_light_mult, h_light_shed) = h_lightest.expect("rows checked non-empty");
+    if h_light_mult >= 1.0 {
+        return Err(format!(
+            "http sweep has no sub-capacity point (lightest load is {h_light_mult}x)"
+        ));
+    }
+    if h_light_shed > 0.0 {
+        return Err(format!(
+            "http sweep: {h_light_shed} wire sheds at the sub-capacity ({h_light_mult}x) point"
+        ));
+    }
+    let (h_heavy_mult, h_heavy_shed) = h_heaviest.expect("rows checked non-empty");
+    if h_heavy_mult < 2.0 {
+        return Err(format!(
+            "http sweep must reach a 2x overload (heaviest load is {h_heavy_mult}x)"
+        ));
+    }
+    if h_heavy_shed == 0.0 {
+        return Err(format!(
+            "http sweep: the {h_heavy_mult}x wire overload shows no typed 503s — back-pressure never reached the socket"
+        ));
+    }
+
     println!(
-        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins, {} decode points, {decode_wins} decode stream-count wins, {} memory budgets, {starved_rejections} rejections at {starved_mult}x, {heavy_shed} sheds at {heavy_mult}x overload, {c_panicked} panicked/{c_post} served post-fault in chaos)",
+        "{path}: schema OK (bench_serving {mode} mode, {} loads, {wins} p50 wins, {} decode points, {decode_wins} decode stream-count wins, {} memory budgets, {starved_rejections} rejections at {starved_mult}x, {heavy_shed} sheds at {heavy_mult}x overload, {c_panicked} panicked/{c_post} served post-fault in chaos, {h_heavy_shed} wire 503s at {h_heavy_mult}x over http)",
         loads.len(),
         drows.len(),
         mrows.len()

@@ -47,6 +47,36 @@ pub enum FaultKind {
     /// [`ServeError::ServerGone`](crate::ServeError::ServerGone); nothing
     /// blocks forever.
     KillServer,
+    /// **Wire fault** (interpreted by the socket-level chaos client, not
+    /// the batcher): the client sends roughly half the request's bytes,
+    /// then closes the connection. The server must drop the
+    /// half-request silently — no response, no hung handler, no leaked
+    /// session state.
+    DisconnectMidRequest,
+    /// **Wire fault**: the client stalls this long between sending its
+    /// request and reading the response — the server's write lands in
+    /// the socket buffer (or blocks against its bounded write deadline)
+    /// while the acceptor keeps serving other connections.
+    StallMidResponse(Duration),
+    /// **Wire fault**: the client sends bytes that are not HTTP at all.
+    /// The server must answer with a typed `400` (counted in
+    /// `http_parse_rejects`), never panic or hang.
+    GarbageBytes,
+}
+
+impl FaultKind {
+    /// Whether this fault acts at the socket layer (client-side, keyed
+    /// by wire-request ordinal) rather than inside the batcher (keyed
+    /// by front-door operation ordinal). The server's own fault lookup
+    /// ignores wire faults; the chaos client ignores batcher faults.
+    pub fn is_wire(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DisconnectMidRequest
+                | FaultKind::StallMidResponse(_)
+                | FaultKind::GarbageBytes
+        )
+    }
 }
 
 /// A deterministic schedule of injected faults, keyed by front-door

@@ -98,16 +98,20 @@
 #![deny(missing_docs)]
 
 mod faults;
+pub mod http;
 mod kv;
 mod queue;
 pub mod retry;
 mod server;
+pub mod wire;
 
 pub use dfss_core::engine::{KvRows, ShapeKey, Ticket};
 pub use dfss_core::mechanism::RequestError;
 pub use faults::{FaultKind, FaultPlan};
 pub use kv::{pages_for_growth, KvConfig, KvError, KvPool, PageId, PagedKvCache, SessionId};
-pub use server::{AttentionServer, DecodeHandle, ResponseHandle, Served, ServedDecode};
+pub use server::{
+    AttentionServer, DecodeHandle, QueueDepths, ResponseHandle, Served, ServedDecode,
+};
 
 use std::time::Duration;
 
@@ -342,6 +346,20 @@ pub struct ServeStats {
     /// Total simulated-device latency across all launches (prefill +
     /// decode).
     pub total_sim_latency_s: f64,
+    /// Connections the HTTP front door accepted (zero for servers used
+    /// as an in-process library). Counts every accepted socket,
+    /// including ones later shed or closed without a complete request.
+    pub http_connections_accepted: u64,
+    /// Connections refused with `503 Retry-After` because the hard
+    /// connection cap was reached. (Connections arriving after drain
+    /// begins are dropped before processing and counted nowhere.)
+    pub http_connections_shed: u64,
+    /// Requests answered `400` because the bytes were not a well-formed
+    /// HTTP request (the malformed-input counter of the wire layer).
+    pub http_parse_rejects: u64,
+    /// Connections force-closed because they outlived the graceful
+    /// drain deadline at shutdown.
+    pub drain_force_closed: u64,
 }
 
 impl ServeStats {

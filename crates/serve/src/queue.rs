@@ -109,6 +109,15 @@ impl<T: Scalar, R> BucketQueue<T, R> {
     pub fn take_all(&mut self) -> Vec<Bucket<T, R>> {
         std::mem::take(&mut self.buckets)
     }
+
+    /// Per-bucket queued-request counts, in first-opened order — the
+    /// observability snapshot `/metrics` exports.
+    pub fn depths(&self) -> Vec<(ShapeKey, usize)> {
+        self.buckets
+            .iter()
+            .map(|b| (b.key, b.requests.len()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 //! [`SessionError::Overloaded`]: crate::SessionError::Overloaded
 //! [`SessionError::KvBudgetExhausted`]: crate::SessionError::KvBudgetExhausted
 
+use crate::http::HttpClientError;
 use crate::{ServeError, SessionError};
 use dfss_tensor::Rng;
 use std::time::Duration;
@@ -58,6 +59,61 @@ impl Transient for SessionError {
         matches!(
             self,
             SessionError::Overloaded { .. } | SessionError::KvBudgetExhausted { .. }
+        )
+    }
+}
+
+/// The wire-level view of the same contract: a `503` is a shed
+/// (connection cap, queue overload, or KV back-pressure — all of which
+/// clear) and a `408` is a tripped read deadline; both are worth
+/// retrying. Every other status reflects the request itself, and a
+/// transport failure means there is no server answer to classify.
+///
+/// A full client retry loop against a server with an injected pool
+/// exhaustion — the first append is shed with `503 Retry-After`, the
+/// retry succeeds:
+///
+/// ```
+/// use dfss_core::full::FullAttention;
+/// use dfss_serve::http::{HttpClient, HttpConfig, HttpServer};
+/// use dfss_serve::retry::{with_backoff, Backoff};
+/// use dfss_serve::wire::Json;
+/// use dfss_serve::{AttentionServer, BatchPolicy, FaultKind, FaultPlan};
+/// use std::sync::Arc;
+///
+/// // Operation 0 is the open; operation 1 (the first append) is
+/// // admitted as if the KV pool had zero free pages.
+/// let att = AttentionServer::<f32>::start_with_faults(
+///     Arc::new(FullAttention),
+///     BatchPolicy::per_request(),
+///     FaultPlan::new().inject(1, FaultKind::ExhaustPool),
+/// );
+/// let server = HttpServer::bind(att, HttpConfig::default()).unwrap();
+/// let mut client = HttpClient::connect(server.local_addr());
+///
+/// let opened = client
+///     .call("POST", "/v1/sessions", Some(&Json::obj(vec![("d", Json::Num(4.0))])))
+///     .unwrap();
+/// let sid = opened.get("session").unwrap().as_f64().unwrap() as u64;
+/// let body = Json::obj(vec![
+///     ("k_row", Json::f32_row(&[1.0; 4])),
+///     ("v_row", Json::f32_row(&[2.0; 4])),
+/// ]);
+/// let out = with_backoff(Backoff::quick(3), || {
+///     client.call("POST", &format!("/v1/sessions/{sid}/append"), Some(&body))
+/// });
+/// assert!(out.is_ok(), "the 503 Retry-After was transient");
+/// let stats = server.shutdown();
+/// assert_eq!(stats.kv_rows_appended, 1);
+/// ```
+impl Transient for HttpClientError {
+    fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            HttpClientError::Status {
+                status: 503 | 408,
+                ..
+            }
         )
     }
 }

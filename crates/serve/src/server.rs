@@ -273,6 +273,28 @@ fn lock_healed(registry: &Mutex<Registry>) -> MutexGuard<'_, Registry> {
     }
 }
 
+/// Lock the shared lifetime counters, healing poison. The serve paths
+/// catch panics before they can unwind through an increment, but the
+/// counters are observable live (`/metrics`), so a reader must never be
+/// brickable by a writer's death either.
+fn lock_stats(stats: &Mutex<ServeStats>) -> MutexGuard<'_, ServeStats> {
+    match stats.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A live snapshot of the batcher's queues — what `GET /metrics` reports
+/// as per-bucket depth gauges. Refreshed by the batcher once per loop
+/// iteration, so it trails the true queue by at most one message drain.
+#[derive(Clone, Debug, Default)]
+pub struct QueueDepths {
+    /// Open prefill buckets: shape key → requests waiting in it.
+    pub prefill: Vec<(ShapeKey, usize)>,
+    /// Decode steps queued for the next ragged launch.
+    pub decode: usize,
+}
+
 enum Msg<T: Scalar> {
     Request(QueuedRequest<T, Reply<T>>),
     Open {
@@ -339,7 +361,13 @@ pub struct AttentionServer<T: Scalar> {
     /// quantity [`BatchPolicy::max_queue_depth`] bounds.
     depth: Arc<AtomicU64>,
     registry: Arc<Mutex<Registry>>,
-    worker: Option<JoinHandle<ServeStats>>,
+    /// Lifetime counters, shared with the batcher so observers can read
+    /// them live ([`stats_snapshot`](Self::stats_snapshot)) instead of
+    /// only at shutdown.
+    stats: Arc<Mutex<ServeStats>>,
+    /// Live queue-depth snapshot, refreshed by the batcher each loop.
+    depths: Arc<Mutex<QueueDepths>>,
+    worker: Option<JoinHandle<()>>,
 }
 
 impl<T: Scalar> AttentionServer<T> {
@@ -433,8 +461,12 @@ impl<T: Scalar> AttentionServer<T> {
         } else {
             Arc::clone(&mech)
         };
+        let stats = Arc::new(Mutex::new(ServeStats::default()));
+        let depths = Arc::new(Mutex::new(QueueDepths::default()));
         let worker_registry = Arc::clone(&registry);
         let worker_depth = Arc::clone(&depth);
+        let worker_stats = Arc::clone(&stats);
+        let worker_depths = Arc::clone(&depths);
         let worker = std::thread::Builder::new()
             .name("dfss-serve-batcher".into())
             .spawn(move || {
@@ -445,6 +477,8 @@ impl<T: Scalar> AttentionServer<T> {
                     kv,
                     worker_registry,
                     worker_depth,
+                    worker_stats,
+                    worker_depths,
                     arm,
                     rx,
                 )
@@ -461,6 +495,8 @@ impl<T: Scalar> AttentionServer<T> {
             faults: faults.map(Arc::new),
             depth,
             registry,
+            stats,
+            depths,
             kv,
             worker: Some(worker),
         }
@@ -853,10 +889,10 @@ impl<T: Scalar> AttentionServer<T> {
     /// to `kv_pages_allocated == kv_pages_freed`.
     pub fn shutdown(mut self) -> ServeStats {
         let _ = self.tx.send(Msg::Shutdown);
-        let mut stats = match self.worker.take() {
-            Some(w) => w.join().unwrap_or_default(),
-            None => ServeStats::default(),
-        };
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        let mut stats = lock_stats(&self.stats).clone();
         stats.rejected = self.rejected.load(Ordering::Relaxed);
         stats.overload_sheds = self.overload_sheds.load(Ordering::Relaxed);
         let mut reg = lock_healed(&self.registry);
@@ -873,6 +909,48 @@ impl<T: Scalar> AttentionServer<T> {
         stats.evictions = reg.evictions;
         stats.admission_rejections = reg.admission_rejections;
         stats
+    }
+
+    /// A live copy of the lifetime counters — the same aggregates
+    /// [`shutdown`](Self::shutdown) returns, readable while the server
+    /// is serving (`GET /metrics` is built on this). Counters the
+    /// batcher owns trail its in-progress launch by at most one lock
+    /// acquisition.
+    pub fn stats_snapshot(&self) -> ServeStats {
+        let mut stats = lock_stats(&self.stats).clone();
+        stats.rejected = self.rejected.load(Ordering::Relaxed);
+        stats.overload_sheds = self.overload_sheds.load(Ordering::Relaxed);
+        let reg = lock_healed(&self.registry);
+        stats.kv_bytes_peak = reg.kv_bytes_peak;
+        stats.kv_pages_allocated = reg.kv_pages_allocated;
+        stats.kv_pages_freed = reg.kv_pages_freed;
+        stats.evictions = reg.evictions;
+        stats.admission_rejections = reg.admission_rejections;
+        stats
+    }
+
+    /// The batcher's live queue-depth snapshot (per-bucket prefill
+    /// depths + the decode queue), refreshed once per batcher loop.
+    pub fn queue_depths(&self) -> QueueDepths {
+        match self.depths.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Test hook: kill a thread while it holds the registry lock with
+    /// scribbled mirror counters, leaving the mutex poisoned — the
+    /// setup for every `lock_healed` recovery test.
+    #[cfg(test)]
+    pub(crate) fn poison_registry_for_test(&self) {
+        let registry = Arc::clone(&self.registry);
+        let scribbler = std::thread::spawn(move || {
+            let mut reg = registry.lock().unwrap();
+            reg.pages_used = 9999;
+            reg.kv_bytes = u64::MAX;
+            panic!("client died mid-critical-section");
+        });
+        assert!(scribbler.join().is_err(), "scribbler must poison the lock");
     }
 }
 
@@ -936,13 +1014,27 @@ fn batcher_loop<T: Scalar>(
     kv: KvConfig,
     registry: Arc<Mutex<Registry>>,
     depth: Arc<AtomicU64>,
+    stats: Arc<Mutex<ServeStats>>,
+    depths: Arc<Mutex<QueueDepths>>,
     arm: Arc<FaultArm>,
     rx: Receiver<Msg<T>>,
-) -> ServeStats {
+) {
     let mut engine = AttentionEngine::with_ctx(mech.as_ref(), ctx);
     let mut queue: BucketQueue<T, Reply<T>> = BucketQueue::new(policy);
     let mut decode = DecodeState::new(kv);
-    let mut stats = ServeStats::default();
+    let stats = &*stats;
+    // Publish the (empty) queue geometry once per loop iteration so
+    // observers read depths at most one message drain stale.
+    let publish = |queue: &BucketQueue<T, Reply<T>>, decode: &DecodeState<T>| {
+        let snapshot = QueueDepths {
+            prefill: queue.depths(),
+            decode: decode.pending.len(),
+        };
+        match depths.lock() {
+            Ok(mut guard) => *guard = snapshot,
+            Err(poisoned) => *poisoned.into_inner() = snapshot,
+        }
+    };
     let mut stopping = false;
     while !stopping {
         let deadline = match (queue.next_deadline(), decode.next_deadline(&policy)) {
@@ -972,8 +1064,8 @@ fn batcher_loop<T: Scalar>(
             match next {
                 Some(Msg::Request(req)) => {
                     if let Some(full) = queue.push(req) {
-                        if !serve_bucket(&mut engine, full, &arm, &depth, &mut stats) {
-                            return stats;
+                        if !serve_bucket(&mut engine, full, &arm, &depth, stats) {
+                            return;
                         }
                     }
                 }
@@ -981,69 +1073,48 @@ fn batcher_loop<T: Scalar>(
                     // Admission validated that a page can hold the widths.
                     if let Ok(cache) = PagedKvCache::new(&decode.config, d, d_v) {
                         decode.caches.insert(id, cache);
-                        stats.sessions_opened += 1;
+                        lock_stats(stats).sessions_opened += 1;
                     }
                 }
                 Some(Msg::Append { id, k_row, v_row }) => {
                     // Determinism: a queued decode for this session must
                     // launch against the cache as of its submission.
                     if decode.has_pending_for(id)
-                        && !serve_decode(
-                            &mut engine,
-                            &mut decode,
-                            &registry,
-                            &arm,
-                            &depth,
-                            &mut stats,
-                        )
+                        && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
                     {
-                        return stats;
+                        return;
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         // Admission reserved the pages under the registry
                         // lock before this message was sent, so the pool
                         // cannot come up short here.
                         if cache.append(&mut decode.pool, &k_row, &v_row).is_ok() {
-                            stats.kv_rows_appended += 1;
+                            lock_stats(stats).kv_rows_appended += 1;
                         }
                     }
                 }
                 Some(Msg::Extend { id, k, v }) => {
                     if decode.has_pending_for(id)
-                        && !serve_decode(
-                            &mut engine,
-                            &mut decode,
-                            &registry,
-                            &arm,
-                            &depth,
-                            &mut stats,
-                        )
+                        && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
                     {
-                        return stats;
+                        return;
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         let rows = k.rows();
                         if cache.extend(&mut decode.pool, &k, &v).is_ok() {
-                            stats.kv_rows_appended += rows as u64;
+                            lock_stats(stats).kv_rows_appended += rows as u64;
                         }
                     }
                 }
                 Some(Msg::Close { id }) => {
                     if decode.has_pending_for(id)
-                        && !serve_decode(
-                            &mut engine,
-                            &mut decode,
-                            &registry,
-                            &arm,
-                            &depth,
-                            &mut stats,
-                        )
+                        && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
                     {
-                        return stats;
+                        return;
                     }
                     if let Some(mut cache) = decode.caches.remove(&id) {
                         cache.release(&mut decode.pool);
-                        stats.sessions_closed += 1;
+                        lock_stats(stats).sessions_closed += 1;
                     }
                 }
                 Some(Msg::Evict { id }) => {
@@ -1051,16 +1122,9 @@ fn batcher_loop<T: Scalar>(
                     // but flush anyway so a queued step can never attend
                     // over freed pages.
                     if decode.has_pending_for(id)
-                        && !serve_decode(
-                            &mut engine,
-                            &mut decode,
-                            &registry,
-                            &arm,
-                            &depth,
-                            &mut stats,
-                        )
+                        && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
                     {
-                        return stats;
+                        return;
                     }
                     if let Some(cache) = decode.caches.get_mut(&id) {
                         cache.release(&mut decode.pool);
@@ -1083,16 +1147,9 @@ fn batcher_loop<T: Scalar>(
                         reply,
                     });
                     if decode.pending.len() >= policy.max_batch
-                        && !serve_decode(
-                            &mut engine,
-                            &mut decode,
-                            &registry,
-                            &arm,
-                            &depth,
-                            &mut stats,
-                        )
+                        && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
                     {
-                        return stats;
+                        return;
                     }
                 }
                 Some(Msg::Shutdown) => {
@@ -1105,39 +1162,26 @@ fn batcher_loop<T: Scalar>(
         }
         let now = Instant::now();
         for due in queue.take_due(now) {
-            if !serve_bucket(&mut engine, due, &arm, &depth, &mut stats) {
-                return stats;
+            if !serve_bucket(&mut engine, due, &arm, &depth, stats) {
+                return;
             }
         }
         if decode
             .next_deadline(&policy)
             .is_some_and(|deadline| deadline <= now)
-            && !serve_decode(
-                &mut engine,
-                &mut decode,
-                &registry,
-                &arm,
-                &depth,
-                &mut stats,
-            )
+            && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
         {
-            return stats;
+            return;
         }
+        publish(&queue, &decode);
     }
     for bucket in queue.take_all() {
-        if !serve_bucket(&mut engine, bucket, &arm, &depth, &mut stats) {
-            return stats;
+        if !serve_bucket(&mut engine, bucket, &arm, &depth, stats) {
+            return;
         }
     }
-    if !serve_decode(
-        &mut engine,
-        &mut decode,
-        &registry,
-        &arm,
-        &depth,
-        &mut stats,
-    ) {
-        return stats;
+    if !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats) {
+        return;
     }
     // Shutdown drain: return every open session's pages to the pool so the
     // pool invariants (free + used == capacity, no leaked pages) verify even
@@ -1146,7 +1190,7 @@ fn batcher_loop<T: Scalar>(
         cache.release(&mut decode.pool);
     }
     debug_assert!(decode.pool.check_invariants().is_ok());
-    stats
+    publish(&queue, &decode);
 }
 
 /// Best-effort human-readable panic payload (panics carry `&str` or
@@ -1177,7 +1221,7 @@ fn serve_bucket<T: Scalar>(
     bucket: Bucket<T, Reply<T>>,
     arm: &FaultArm,
     depth: &AtomicU64,
-    stats: &mut ServeStats,
+    stats: &Mutex<ServeStats>,
 ) -> bool {
     let closed_at = Instant::now();
     depth.fetch_sub(bucket.requests.len() as u64, Ordering::SeqCst);
@@ -1186,7 +1230,7 @@ fn serve_bucket<T: Scalar>(
     let mut live = Vec::with_capacity(bucket.requests.len());
     for req in bucket.requests {
         if expired(req.deadline, closed_at) {
-            stats.deadline_sheds += 1;
+            lock_stats(stats).deadline_sheds += 1;
             let _ = req.reply.send(Err(ServeError::DeadlineExceeded {
                 queued_for: closed_at.saturating_duration_since(req.submitted),
             }));
@@ -1224,7 +1268,7 @@ fn serve_bucket<T: Scalar>(
             // The panic unwound mid-flush: the batch is lost, the server
             // is not. Fail exactly the requests that were packed into it,
             // restore the engine, and keep serving.
-            stats.batch_panics += 1;
+            lock_stats(stats).batch_panics += 1;
             engine.recover_after_panic();
             let msg = panic_message(payload);
             for (reply, _) in waiting {
@@ -1236,13 +1280,14 @@ fn serve_bucket<T: Scalar>(
         }
     };
     let service = closed_at.elapsed();
-    stats.batches += 1;
-    stats.max_batch = stats.max_batch.max(results.len());
-    stats.total_sim_latency_s += engine.last_flush().sim_latency_s();
+    let mut st = lock_stats(stats);
+    st.batches += 1;
+    st.max_batch = st.max_batch.max(results.len());
+    st.total_sim_latency_s += engine.last_flush().sim_latency_s();
     // Flush results come back in ticket (= submission) order, matching
     // `waiting`.
     for (res, (reply, submitted)) in results.into_iter().zip(waiting) {
-        stats.served += 1;
+        st.served += 1;
         let served = Served {
             output: res
                 .output
@@ -1257,6 +1302,7 @@ fn serve_bucket<T: Scalar>(
         };
         let _ = reply.send(Ok(served));
     }
+    drop(st);
     // Bound the owned context: the timeline's job is done once the flush
     // report is folded into the stats.
     engine.reset_timeline();
@@ -1278,7 +1324,7 @@ fn serve_decode<T: Scalar>(
     registry: &Mutex<Registry>,
     arm: &FaultArm,
     depth: &AtomicU64,
-    stats: &mut ServeStats,
+    stats: &Mutex<ServeStats>,
 ) -> bool {
     if decode.pending.is_empty() {
         return true;
@@ -1299,7 +1345,7 @@ fn serve_decode<T: Scalar>(
     let mut live: Vec<&PendingDecode<T>> = Vec::with_capacity(pending.len());
     for p in &pending {
         if expired(p.deadline, closed_at) {
-            stats.deadline_sheds += 1;
+            lock_stats(stats).deadline_sheds += 1;
             let _ = p.reply.send(Err(ServeError::DeadlineExceeded {
                 queued_for: closed_at.saturating_duration_since(p.submitted),
             }));
@@ -1345,7 +1391,7 @@ fn serve_decode<T: Scalar>(
             // restore the engine, release the sessions' inflight marks (the
             // caches themselves are untouched — decode reads them, never
             // writes), and keep serving.
-            stats.batch_panics += 1;
+            lock_stats(stats).batch_panics += 1;
             engine.recover_after_panic();
             let msg = panic_message(payload);
             for p in &live {
@@ -1358,17 +1404,18 @@ fn serve_decode<T: Scalar>(
         }
         Ok(Ok(results)) => {
             let service = closed_at.elapsed();
+            let mut st = lock_stats(stats);
             // One "batch" per ragged launch group: the engine buckets steps
             // by (d, d_v), so a flush over mixed-width sessions runs (and
             // counts) several launches, each sized by its own streams.
             for bucket in &engine.last_decode().buckets {
-                stats.decode_batches += 1;
-                stats.max_decode_batch = stats.max_decode_batch.max(bucket.streams);
+                st.decode_batches += 1;
+                st.max_decode_batch = st.max_decode_batch.max(bucket.streams);
             }
-            stats.total_sim_latency_s += engine.last_decode().sim_latency_s();
+            st.total_sim_latency_s += engine.last_decode().sim_latency_s();
             // Results come back in step order, matching `live`.
             for (res, p) in results.into_iter().zip(&live) {
-                stats.decode_steps += 1;
+                st.decode_steps += 1;
                 let served = ServedDecode {
                     output: res
                         .output
@@ -2285,6 +2332,35 @@ mod tests {
         ));
         let stats = server.shutdown();
         assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn wait_blocked_before_shutdown_resolves_never_hangs() {
+        // The latent drain race: a caller already blocked in wait() when
+        // shutdown() starts must resolve — served by the drain or typed
+        // ServerGone — never hang on a channel whose sender is being torn
+        // down. Pinned with a bucket that would otherwise stay open 600 s.
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start(
+            Arc::clone(&mech),
+            BatchPolicy::batched(1000, Duration::from_secs(600)),
+        );
+        let mut rng = Rng::new(97);
+        let (q, k, v) = request(16, 8, &mut rng);
+        let h = server.submit(q, k, v).unwrap();
+        let waiter = std::thread::spawn(move || h.wait());
+        // Give the waiter time to actually block in recv() first.
+        std::thread::sleep(Duration::from_millis(50));
+        let stats = server.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !waiter.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(waiter.is_finished(), "wait() hung across shutdown");
+        let resolved = waiter.join().expect("waiter must not panic");
+        let served = resolved.expect("the shutdown drain serves queued work");
+        assert_eq!(served.batch_size, 1);
+        assert_eq!(stats.served, 1);
     }
 
     #[test]

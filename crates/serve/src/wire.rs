@@ -1,0 +1,930 @@
+//! HTTP/1.1 wire framing and a minimal JSON codec — no dependencies.
+//!
+//! This is the byte-level half of the HTTP front door
+//! ([`crate::http`]): request parsing with **bounded** header/body
+//! limits, response serialisation, and the JSON value type the endpoint
+//! bodies use. The design constraints mirror the batcher's no-tokio
+//! style, plus one that only matters at a network boundary: **parsing
+//! arbitrary bytes can never panic**. Every malformed input is a typed
+//! [`WireError`] (the front door maps it to a `400`), every slow or
+//! oversized input is a typed [`WireError::TimedOut`] /
+//! [`WireError::TooLarge`] (`408` / `413`), and the JSON parser carries
+//! an explicit recursion-depth cap so `[[[[…` from a hostile client
+//! exhausts a counter, not the stack. `tests/http_chaos.rs` pins the
+//! never-panics property with a fuzz-style proptest over random byte
+//! streams.
+//!
+//! Framing is deliberately small: request-line + headers +
+//! `Content-Length` bodies (no chunked transfer encoding, no HTTP/2),
+//! which is exactly what `curl`, the bench load generator, and the
+//! chaos client speak.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{ErrorKind, Read, Write};
+use std::time::Duration;
+
+/// Byte budgets for one parsed request. Exceeding either limit is a
+/// typed refusal ([`WireError::TooLarge`] → `413`), never unbounded
+/// buffering.
+#[derive(Clone, Copy, Debug)]
+pub struct WireLimits {
+    /// Most bytes the request line + headers may occupy.
+    pub max_header_bytes: usize,
+    /// Most bytes a declared `Content-Length` body may occupy.
+    pub max_body_bytes: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read off the wire. Every variant maps to
+/// one HTTP status (or a silent close) in [`crate::http`] — a byte
+/// stream can *never* hang the connection handler or panic it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The bytes are not a well-formed HTTP/1.1 request (bad request
+    /// line, bad header syntax, unparseable `Content-Length`,
+    /// unsupported framing). Mapped to `400`.
+    Malformed(String),
+    /// Headers or declared body exceed [`WireLimits`]. Mapped to `413`.
+    TooLarge {
+        /// What overflowed, for the error body.
+        what: &'static str,
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// The socket's read deadline expired mid-request (slow-loris or an
+    /// idle keep-alive connection). Mapped to `408`.
+    TimedOut,
+    /// The peer closed the connection mid-request — there is nobody
+    /// left to answer, the handler just closes.
+    ConnectionClosed,
+    /// A transport error other than a timeout (reset, broken pipe).
+    /// The handler closes without answering.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(why) => write!(f, "malformed request: {why}"),
+            WireError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the {limit}-byte limit")
+            }
+            WireError::TimedOut => write!(f, "read deadline expired mid-request"),
+            WireError::ConnectionClosed => write!(f, "peer closed the connection mid-request"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub target: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` framing; empty if absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A buffered request reader over one connection. Keep-alive leftovers
+/// (bytes of the next request that arrived with the previous one) stay
+/// in the buffer between [`read_request`](Self::read_request) calls.
+pub struct RequestReader<R: Read> {
+    inner: R,
+    buf: VecDeque<u8>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wrap a byte stream (a `TcpStream` with its read deadline already
+    /// set, or a byte slice in tests).
+    pub fn new(inner: R) -> RequestReader<R> {
+        RequestReader {
+            inner,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Pull more bytes from the stream into the buffer. `Ok(0)` is EOF.
+    fn fill(&mut self) -> Result<usize, WireError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.inner.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(WireError::TimedOut)
+                }
+                Err(e) => return Err(WireError::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// Read and parse one request. `Ok(None)` is a clean close: the peer
+    /// hung up on a request boundary (no bytes of a next request seen).
+    /// Everything else — partial request then EOF, limits, timeouts,
+    /// garbage — is a typed [`WireError`].
+    pub fn read_request(&mut self, limits: &WireLimits) -> Result<Option<Request>, WireError> {
+        // Accumulate until the blank line that ends the header block.
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > limits.max_header_bytes {
+                return Err(WireError::TooLarge {
+                    what: "request headers",
+                    limit: limits.max_header_bytes,
+                });
+            }
+            if self.fill()? == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(WireError::ConnectionClosed)
+                };
+            }
+        };
+        if head_end.head_len > limits.max_header_bytes {
+            return Err(WireError::TooLarge {
+                what: "request headers",
+                limit: limits.max_header_bytes,
+            });
+        }
+        let head: Vec<u8> = self.buf.drain(..head_end.head_len).collect();
+        self.buf.drain(..head_end.sep_len);
+        let mut request = parse_head(&head)?;
+        let body_len = content_length(&request)?;
+        if body_len > limits.max_body_bytes {
+            return Err(WireError::TooLarge {
+                what: "request body",
+                limit: limits.max_body_bytes,
+            });
+        }
+        while self.buf.len() < body_len {
+            if self.fill()? == 0 {
+                return Err(WireError::ConnectionClosed);
+            }
+        }
+        request.body = self.buf.drain(..body_len).collect();
+        Ok(Some(request))
+    }
+}
+
+/// Where the header block ends: `head_len` bytes of head, then
+/// `sep_len` bytes of blank-line separator.
+struct HeadEnd {
+    head_len: usize,
+    sep_len: usize,
+}
+
+/// Find the end of the header block — `\r\n\r\n`, or a tolerated bare
+/// `\n\n`.
+fn find_head_end(buf: &VecDeque<u8>) -> Option<HeadEnd> {
+    let (a, b) = buf.as_slices();
+    // Work over a contiguous view only when the buffer wraps (rare:
+    // the deque is drained from the front each request).
+    let joined;
+    let bytes: &[u8] = if b.is_empty() {
+        a
+    } else {
+        joined = buf.iter().copied().collect::<Vec<u8>>();
+        &joined
+    };
+    for i in 0..bytes.len() {
+        if bytes[i] != b'\n' {
+            continue;
+        }
+        if i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+            return Some(HeadEnd {
+                head_len: i + 1,
+                sep_len: 1,
+            });
+        }
+        if i + 2 < bytes.len() && bytes[i + 1] == b'\r' && bytes[i + 2] == b'\n' {
+            return Some(HeadEnd {
+                head_len: i + 1,
+                sep_len: 2,
+            });
+        }
+    }
+    None
+}
+
+/// Parse the request line + headers (everything before the blank line).
+fn parse_head(head: &[u8]) -> Result<Request, WireError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| WireError::Malformed("headers are not valid UTF-8".into()))?;
+    let mut lines = text.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(WireError::Malformed("extra tokens on request line".into()));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.is_empty() {
+        return Err(WireError::Malformed(format!("bad method {method:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::Malformed(format!("header line without colon: {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(WireError::Malformed(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// The request's declared body length. Chunked transfer encoding is not
+/// supported (typed refusal, not a misframed read).
+fn content_length(req: &Request) -> Result<usize, WireError> {
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(WireError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    match req.header("content-length") {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| WireError::Malformed(format!("bad content-length {v:?}"))),
+    }
+}
+
+/// Standard reason phrase for the status codes the front door emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        410 => "Gone",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// Serialise one response. `retry_after` adds a `Retry-After` header
+/// (the transient-shed contract `retry::with_backoff` keys on);
+/// `close` adds `Connection: close`.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    retry_after: Option<Duration>,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    if let Some(after) = retry_after {
+        let _ = write!(head, "retry-after: {}\r\n", after.as_secs().max(1));
+    }
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A parsed HTTP response (the client half of the wire — the bench load
+/// generator, the chaos harness, and [`crate::http::HttpClient`] read
+/// responses through this).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header (name lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` header in whole seconds, if present and numeric.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after").and_then(|v| v.parse().ok())
+    }
+}
+
+/// Read one response off a stream (same bounded, typed discipline as
+/// the request path).
+pub fn read_response(
+    reader: &mut RequestReader<impl Read>,
+    limits: &WireLimits,
+) -> Result<Response, WireError> {
+    let head_end = loop {
+        if let Some(end) = find_head_end(&reader.buf) {
+            break end;
+        }
+        if reader.buf.len() > limits.max_header_bytes {
+            return Err(WireError::TooLarge {
+                what: "response headers",
+                limit: limits.max_header_bytes,
+            });
+        }
+        if reader.fill()? == 0 {
+            return Err(WireError::ConnectionClosed);
+        }
+    };
+    let head: Vec<u8> = reader.buf.drain(..head_end.head_len).collect();
+    reader.buf.drain(..head_end.sep_len);
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| WireError::Malformed("response headers are not valid UTF-8".into()))?;
+    let mut lines = text.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty response".into()))?;
+    let mut parts = status_line.split_ascii_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => return Err(WireError::Malformed(format!("bad status line: {other:?}"))),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| WireError::Malformed("bad status code".into()))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::Malformed(format!("header line without colon: {line:?}")))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut resp = Response {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let req_view = Request {
+        method: String::new(),
+        target: String::new(),
+        headers: resp.headers.clone(),
+        body: Vec::new(),
+    };
+    let body_len = content_length(&req_view)?;
+    if body_len > limits.max_body_bytes {
+        return Err(WireError::TooLarge {
+            what: "response body",
+            limit: limits.max_body_bytes,
+        });
+    }
+    while reader.buf.len() < body_len {
+        if reader.fill()? == 0 {
+            return Err(WireError::ConnectionClosed);
+        }
+    }
+    resp.body = reader.buf.drain(..body_len).collect();
+    Ok(resp)
+}
+
+/// Deepest JSON nesting the parser follows before refusing — bounds the
+/// recursion a hostile `[[[[…` body can force.
+const MAX_JSON_DEPTH: usize = 64;
+
+/// A JSON value — the endpoint body format of the HTTP front door.
+///
+/// Same shape as the bench artifact codec, with the two properties the
+/// wire needs: a recursion-depth cap on parsing (network bytes are
+/// hostile) and exact `f32` round-trips (numbers render as shortest
+/// `f64` strings, and every `f32` is exactly representable as `f64`, so
+/// `output` matrices survive serialisation bit-identically — the chaos
+/// harness asserts this end to end).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object literal.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Field lookup on objects; `None` for other variants or missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A row of `f32`s as a JSON array (exact: each `f32` widens to
+    /// `f64` losslessly).
+    pub fn f32_row(row: &[f32]) -> Json {
+        Json::Arr(row.iter().map(|&x| Json::Num(f64::from(x))).collect())
+    }
+
+    /// Parse this value as a row of `f32`s (exact inverse of
+    /// [`f32_row`](Self::f32_row)).
+    pub fn to_f32_row(&self) -> Option<Vec<f32>> {
+        self.as_arr()?
+            .iter()
+            .map(|v| v.as_f64().map(|x| x as f32))
+            .collect()
+    }
+
+    /// Render compactly (single line, no trailing newline) — the wire
+    /// format of request and response bodies.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if *x == 0.0 && x.is_sign_negative() {
+                    // The integer fast-path below would erase the sign
+                    // of -0.0, breaking f32 bit-identity on the wire.
+                    out.push_str("-0");
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document from raw bytes (must be UTF-8 and consume
+    /// the whole input). Never panics: depth, syntax, and encoding
+    /// errors are all `Err`.
+    pub fn parse(bytes: &[u8]) -> Result<Json, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "body is not valid UTF-8".to_string())?;
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err(format!("nesting deeper than {MAX_JSON_DEPTH}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences arrive
+                // intact because the input was validated as a &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let parsed = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map_err(|_| format!("invalid number at byte {start}"))?;
+    if parsed.is_finite() {
+        Ok(parsed)
+    } else {
+        Err(format!("non-finite number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Option<Request>, WireError> {
+        RequestReader::new(bytes).read_request(&WireLimits::default())
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_keepalive_leftover() {
+        let bytes =
+            b"POST /v1/prefill HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = RequestReader::new(&bytes[..]);
+        let limits = WireLimits::default();
+        let first = reader.read_request(&limits).unwrap().unwrap();
+        assert_eq!(first.body, b"abcd");
+        let second = reader.read_request(&limits).unwrap().unwrap();
+        assert_eq!(second.target, "/healthz");
+        assert!(reader.read_request(&limits).unwrap().is_none());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse_bytes(b"GET / HTTP/1.1\nhost: x\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.target, "/");
+    }
+
+    #[test]
+    fn clean_close_is_none_and_partial_close_is_typed() {
+        assert!(parse_bytes(b"").unwrap().is_none());
+        assert_eq!(
+            parse_bytes(b"GET / HT").unwrap_err(),
+            WireError::ConnectionClosed
+        );
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for bad in [
+            &b"\x00\xff\xfe garbage\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_bytes(bad), Err(WireError::Malformed(_))),
+                "expected Malformed for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_header_and_body_are_typed() {
+        let limits = WireLimits {
+            max_header_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(200));
+        let err = RequestReader::new(huge.as_bytes())
+            .read_request(&limits)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::TooLarge {
+                what: "request headers",
+                ..
+            }
+        ));
+        let body = b"POST / HTTP/1.1\r\ncontent-length: 99\r\n\r\n";
+        let err = RequestReader::new(&body[..])
+            .read_request(&limits)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::TooLarge {
+                what: "request body",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "application/json",
+            br#"{"error":"overloaded"}"#,
+            Some(Duration::from_secs(1)),
+            true,
+        )
+        .unwrap();
+        let mut reader = RequestReader::new(&out[..]);
+        let resp = read_response(&mut reader, &WireLimits::default()).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after(), Some(1));
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert_eq!(resp.body, br#"{"error":"overloaded"}"#);
+    }
+
+    #[test]
+    fn json_f32_rows_roundtrip_bit_identically() {
+        let row: Vec<f32> = vec![0.1, -3.25e-8, f32::MIN_POSITIVE, 1.0 / 3.0, -0.0, 123456.78];
+        let text = Json::f32_row(&row).render();
+        let back = Json::parse(text.as_bytes()).unwrap().to_f32_row().unwrap();
+        for (a, b) in row.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} diverged through JSON");
+        }
+    }
+
+    #[test]
+    fn json_depth_cap_refuses_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(deep.as_bytes()).is_err());
+        let obj = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(obj.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn json_rejects_garbage_and_non_finite() {
+        for bad in [
+            &b"{"[..],
+            b"[1, ]",
+            b"12 34",
+            b"nul",
+            b"1e999",
+            b"\"\\q\"",
+            b"[\xff",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

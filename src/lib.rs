@@ -34,6 +34,9 @@ pub mod prelude {
     pub use dfss_core::mechanism::{Attention, RequestError};
     pub use dfss_kernels::GpuCtx;
     pub use dfss_nmsparse::{NmBatch, NmCompressed, NmPattern, NmRagged};
+    pub use dfss_serve::http::{HttpClient, HttpClientError, HttpConfig, HttpServer};
+    pub use dfss_serve::retry::{with_backoff, Backoff, Transient};
+    pub use dfss_serve::wire::{Json as WireJson, WireError, WireLimits};
     pub use dfss_serve::{
         AttentionServer, BatchPolicy, DecodeRequest, FaultKind, FaultPlan, KvConfig, KvPool,
         PagedKvCache, ServeError, SessionId,
