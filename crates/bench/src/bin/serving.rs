@@ -601,10 +601,17 @@ fn run_memory_point(
 ) -> MemoryPoint {
     let d = spec.head_dim;
     let budget_pages = ((mult * spec.working_set_pages() as f64).ceil() as u64).max(2);
-    let kv = KvConfig {
+    // Express the budget through the config's own storage accounting —
+    // a hard-coded `* 4` here would silently misprice the budget the day
+    // this sweep runs with a bf16 KV store or a non-f32 compute dtype.
+    let geometry = KvConfig {
         page_elems: spec.page_elems,
-        budget_bytes: budget_pages * (spec.page_elems * 4) as u64,
         evict_idle: true,
+        ..KvConfig::default()
+    };
+    let kv = KvConfig {
+        budget_bytes: budget_pages * geometry.storage_page_bytes::<f32>(),
+        ..geometry
     };
     let server = AttentionServer::start_with_kv(
         Arc::clone(mech),

@@ -27,18 +27,26 @@
 //! batched (one launch per op across the whole stack) vs the per-head loop,
 //! emitted as `results/bench_attention.json` so the trajectory tooling can
 //! track batched-vs-looped speedups across PRs.
+//!
+//! Schema 2.0 adds a **`simd` section** to `bench_kernels.json`: each kernel
+//! family timed under the forced-scalar backend vs the runtime-dispatched
+//! one (interleaved, min-based speedup), plus decode tokens/sec against
+//! cache length for f32 vs bf16-quantised KV. In full mode `--check` gates
+//! on it: no family may regress past the noise floor, at least one family
+//! must clear 1.3x, and bf16 decode must beat f32 at the longest cache.
 
 use dfss_bench::json::Json;
 use dfss_bench::{quick, results_dir, Report};
 use dfss_core::{Attention, DfssAttention};
 use dfss_gpusim::Stage;
+use dfss_kernels::simd::{self, Backend};
 use dfss_kernels::{gemm, sddmm, softmax, spmm, GpuCtx};
 use dfss_nmsparse::{NmCompressed, NmPattern};
-use dfss_tensor::{BatchedMatrix, Matrix, Rng};
+use dfss_tensor::{BatchedMatrix, Bf16, Matrix, RaggedBatch, Rng};
 use std::hint::black_box;
 use std::time::Instant;
 
-const SCHEMA_VERSION: f64 = 1.0;
+const SCHEMA_VERSION: f64 = 2.0;
 const HEAD_DIM: usize = 64;
 
 /// One measured configuration.
@@ -421,6 +429,258 @@ fn emit_attention(measurements: &[AttnMeasurement]) {
     println!("[saved {}]", path.display());
 }
 
+/// One scalar-vs-dispatched comparison for a kernel family: the same inputs
+/// timed under `simd::force(Scalar)` and under the runtime-detected backend,
+/// interleaved so host-load drift hits both sides equally.
+struct SimdMeasurement {
+    family: &'static str,
+    n: usize,
+    scalar_s: Vec<f64>,
+    simd_s: Vec<f64>,
+}
+
+/// One decode throughput point: tokens/sec for a fixed stream batch at one
+/// cache length, f32 KV vs bf16-quantised KV (both under the dispatched
+/// backend — this isolates the storage dtype, not the instruction set).
+struct DecodeMeasurement {
+    cache_len: usize,
+    streams: usize,
+    f32_s: Vec<f64>,
+    bf16_s: Vec<f64>,
+}
+
+/// Time `f` once under each forced backend, alternating per sample.
+fn measure_forced(
+    family: &'static str,
+    n: usize,
+    dispatched: Backend,
+    samples: usize,
+    mut f: impl FnMut(),
+) -> SimdMeasurement {
+    let mut m = SimdMeasurement {
+        family,
+        n,
+        scalar_s: Vec::with_capacity(samples),
+        simd_s: Vec::with_capacity(samples),
+    };
+    // Warm up each backend once before timing.
+    simd::force(Some(Backend::Scalar));
+    f();
+    simd::force(Some(dispatched));
+    f();
+    for _ in 0..samples {
+        simd::force(Some(Backend::Scalar));
+        let t = Instant::now();
+        f();
+        m.scalar_s.push(t.elapsed().as_secs_f64());
+        simd::force(Some(dispatched));
+        let t = Instant::now();
+        f();
+        m.simd_s.push(t.elapsed().as_secs_f64());
+    }
+    simd::force(None);
+    m
+}
+
+/// Measure the `simd` section: every kernel family scalar-vs-dispatched at
+/// one representative size, then decode tokens/sec against cache length for
+/// f32 vs bf16-quantised KV.
+fn run_simd_grid() -> (Vec<SimdMeasurement>, Vec<DecodeMeasurement>) {
+    let dispatched = simd::active();
+    let n = if quick() { 128 } else { 512 };
+    let d = HEAD_DIM;
+    let samples = if quick() { 3 } else { 11 };
+    let mut rng = Rng::new(0x51D);
+    let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let scores = Matrix::<f32>::random_normal(n, n, 0.0, 1.0, &mut rng);
+    let comp = NmCompressed::compress(&scores, NmPattern::P1_2);
+    let mut softmax_comp = comp.clone();
+
+    eprintln!(
+        "[speedup] simd section: {} vs scalar, n = {n} ...",
+        dispatched.name()
+    );
+    let mut kernels = Vec::new();
+    kernels.push(measure_forced("gemm_nt", n, dispatched, samples, || {
+        let mut ctx = GpuCtx::a100();
+        black_box(gemm::gemm_nt(&mut ctx, Stage::Qk, &q, &k, 0.125));
+    }));
+    kernels.push(measure_forced("gemm_nn", n, dispatched, samples, || {
+        let mut ctx = GpuCtx::a100();
+        black_box(gemm::gemm_nn(&mut ctx, Stage::Av, &scores, &v));
+    }));
+    kernels.push(measure_forced(
+        "sddmm_nm_fused",
+        n,
+        dispatched,
+        samples,
+        || {
+            let mut ctx = GpuCtx::a100();
+            black_box(sddmm::sddmm_nm_fused(
+                &mut ctx,
+                &q,
+                &k,
+                0.125,
+                NmPattern::P1_2,
+            ));
+        },
+    ));
+    kernels.push(measure_forced(
+        "softmax_dense",
+        n,
+        dispatched,
+        samples,
+        || {
+            let mut ctx = GpuCtx::a100();
+            black_box(softmax::softmax_dense(&mut ctx, &scores));
+        },
+    ));
+    kernels.push(measure_forced("softmax_nm", n, dispatched, samples, || {
+        let mut ctx = GpuCtx::a100();
+        softmax::softmax_nm(&mut ctx, &mut softmax_comp);
+        black_box(&mut softmax_comp);
+    }));
+    kernels.push(measure_forced("spmm_nm", n, dispatched, samples, || {
+        let mut ctx = GpuCtx::a100();
+        black_box(spmm::spmm_nm(&mut ctx, &comp, &v));
+    }));
+
+    // Decode throughput vs cache length, f32 vs bf16 KV. One call = one
+    // decode step for the whole stream batch, so tokens/call = streams.
+    let cache_lens: &[usize] = if quick() { &[256] } else { &[256, 1024, 4096] };
+    let streams = 8;
+    let decode_samples = if quick() { 3 } else { 9 };
+    let mech = DfssAttention::new(NmPattern::P1_2);
+    let mut decode = Vec::new();
+    for &len in cache_lens {
+        let mut rng = Rng::new(len as u64);
+        let q = Matrix::<f32>::random_normal(streams, d, 0.0, 1.0, &mut rng);
+        let lens = vec![len; streams];
+        let mut kf = RaggedBatch::<f32>::zeros(d, &lens);
+        let mut vf = RaggedBatch::<f32>::zeros(d, &lens);
+        for x in kf.as_mut_slice() {
+            *x = rng.normal(0.0, 1.0);
+        }
+        for x in vf.as_mut_slice() {
+            *x = rng.normal(0.0, 1.0);
+        }
+        // The bf16 side holds the same cache, narrowed once at build time —
+        // exactly what `KvStore::Quant` stores after narrow-on-write.
+        let mut kb = RaggedBatch::<Bf16>::zeros(d, &lens);
+        let mut vb = RaggedBatch::<Bf16>::zeros(d, &lens);
+        for (o, x) in kb.as_mut_slice().iter_mut().zip(kf.as_slice()) {
+            *o = Bf16::from_f32(*x);
+        }
+        for (o, x) in vb.as_mut_slice().iter_mut().zip(vf.as_slice()) {
+            *o = Bf16::from_f32(*x);
+        }
+
+        eprintln!("[speedup] simd decode: cache_len = {len} ...");
+        let mut m = DecodeMeasurement {
+            cache_len: len,
+            streams,
+            f32_s: Vec::with_capacity(decode_samples),
+            bf16_s: Vec::with_capacity(decode_samples),
+        };
+        // Warm-up.
+        let mut ctx = GpuCtx::a100();
+        black_box(mech.decode_ragged(&mut ctx, &q, &kf, &vf));
+        black_box(mech.decode_ragged_bf16(&mut ctx, &q, &kb, &vb));
+        for _ in 0..decode_samples {
+            let mut ctx = GpuCtx::a100();
+            let t = Instant::now();
+            black_box(mech.decode_ragged(&mut ctx, &q, &kf, &vf));
+            m.f32_s.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            black_box(mech.decode_ragged_bf16(&mut ctx, &q, &kb, &vb));
+            m.bf16_s.push(t.elapsed().as_secs_f64());
+        }
+        decode.push(m);
+    }
+    (kernels, decode)
+}
+
+/// Render the `simd` section object and print its human-readable tables.
+fn emit_simd(kernels: &[SimdMeasurement], decode: &[DecodeMeasurement]) -> Json {
+    let mut kernel_report = Report::new(
+        "scalar vs dispatched SIMD backend (exec mode wall-clock)",
+        &["family", "n", "scalar_min_ms", "simd_min_ms", "speedup"],
+    );
+    let kernel_entries: Vec<Json> = kernels
+        .iter()
+        .map(|m| {
+            let (smin, sp50) = stats_of(&m.scalar_s);
+            let (dmin, dp50) = stats_of(&m.simd_s);
+            let speedup = smin / dmin.max(1e-12);
+            kernel_report.row(vec![
+                m.family.to_string(),
+                m.n.to_string(),
+                format!("{:.3}", smin * 1e3),
+                format!("{:.3}", dmin * 1e3),
+                format!("{speedup:.2}x"),
+            ]);
+            Json::obj(vec![
+                ("family", Json::Str(m.family.into())),
+                ("n", Json::Num(m.n as f64)),
+                ("samples", Json::Num(m.scalar_s.len() as f64)),
+                ("scalar_min_ms", Json::Num(round3(smin * 1e3))),
+                ("scalar_p50_ms", Json::Num(round3(sp50 * 1e3))),
+                ("simd_min_ms", Json::Num(round3(dmin * 1e3))),
+                ("simd_p50_ms", Json::Num(round3(dp50 * 1e3))),
+                ("speedup", Json::Num(round3(speedup))),
+            ])
+        })
+        .collect();
+
+    let mut decode_report = Report::new(
+        "decode tokens/sec vs cache length, f32 vs bf16 KV",
+        &[
+            "cache_len",
+            "streams",
+            "f32 tok/s",
+            "bf16 tok/s",
+            "bf16 speedup",
+        ],
+    );
+    let decode_entries: Vec<Json> = decode
+        .iter()
+        .map(|m| {
+            let (fmin, _) = stats_of(&m.f32_s);
+            let (bmin, _) = stats_of(&m.bf16_s);
+            let f_tps = m.streams as f64 / fmin.max(1e-12);
+            let b_tps = m.streams as f64 / bmin.max(1e-12);
+            decode_report.row(vec![
+                m.cache_len.to_string(),
+                m.streams.to_string(),
+                format!("{f_tps:.0}"),
+                format!("{b_tps:.0}"),
+                format!("{:.2}x", fmin / bmin.max(1e-12)),
+            ]);
+            Json::obj(vec![
+                ("cache_len", Json::Num(m.cache_len as f64)),
+                ("streams", Json::Num(m.streams as f64)),
+                ("d", Json::Num(HEAD_DIM as f64)),
+                ("samples", Json::Num(m.f32_s.len() as f64)),
+                ("f32_min_ms", Json::Num(round3(fmin * 1e3))),
+                ("f32_tokens_per_sec", Json::Num(f_tps.round())),
+                ("bf16_min_ms", Json::Num(round3(bmin * 1e3))),
+                ("bf16_tokens_per_sec", Json::Num(b_tps.round())),
+                ("bf16_speedup", Json::Num(round3(fmin / bmin.max(1e-12)))),
+            ])
+        })
+        .collect();
+
+    println!("{}", kernel_report.render());
+    println!("{}", decode_report.render());
+    Json::obj(vec![
+        ("backend", Json::Str(simd::active().name().into())),
+        ("kernels", Json::Arr(kernel_entries)),
+        ("decode", Json::Arr(decode_entries)),
+    ])
+}
+
 /// Load a baseline artifact: `(kernel, n, d, min_ms, p50_ms)` per entry.
 fn load_baseline(path: &str) -> Vec<(String, usize, usize, f64, f64)> {
     let text =
@@ -444,7 +704,7 @@ fn load_baseline(path: &str) -> Vec<(String, usize, usize, f64, f64)> {
     out
 }
 
-fn emit(measurements: &[Measurement]) {
+fn emit(measurements: &[Measurement], simd_section: Json) {
     let baseline = std::env::var("DFSS_BENCH_BASELINE")
         .ok()
         .map(|p| load_baseline(&p));
@@ -513,7 +773,7 @@ fn emit(measurements: &[Measurement]) {
         eprintln!("[speedup] no kernel samples; leaving bench_kernels.json untouched");
         return;
     }
-    let doc = Json::obj(vec![
+    let mut doc_fields = vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("artifact", Json::Str("bench_kernels".into())),
         (
@@ -524,7 +784,13 @@ fn emit(measurements: &[Measurement]) {
         ("dtype", Json::Str("float".into())),
         ("pattern", Json::Str("1:2".into())),
         ("entries", Json::Arr(entries)),
-    ]);
+    ];
+    // `DFSS_BENCH_ONLY` pinned to another kernel skips the simd section;
+    // the resulting artifact is an A/B aid and won't pass `--check`.
+    if !matches!(simd_section, Json::Null) {
+        doc_fields.push(("simd", simd_section));
+    }
+    let doc = Json::obj(doc_fields);
     println!("{}", report.render());
     let path = results_dir().join("bench_kernels.json");
     std::fs::write(&path, doc.render()).expect("write bench_kernels.json");
@@ -567,7 +833,10 @@ fn check(path: &str) -> Result<(), String> {
     let artifact = doc.get("artifact").and_then(Json::as_str);
     let n_entries = entries.len();
     match artifact {
-        Some("bench_kernels") => check_kernel_entries(entries, mode)?,
+        Some("bench_kernels") => {
+            check_kernel_entries(entries, mode)?;
+            check_simd_section(&doc, mode)?;
+        }
         Some("bench_attention") => check_attention_entries(entries, mode)?,
         other => {
             return Err(format!(
@@ -618,6 +887,132 @@ fn check_kernel_entries(entries: &[Json], mode: &str) -> Result<(), String> {
         })
     {
         return Err("full-mode artifact lacks the gemm_nt n=1024 entry".into());
+    }
+    Ok(())
+}
+
+/// Allowed wall-clock regression for the scalar-vs-dispatched comparison:
+/// min-of-interleaved-samples on a shared host still jitters by a few
+/// percent, so "no family regresses" means `speedup >= 0.95`, not `>= 1.0`.
+const SIMD_NOISE_FLOOR: f64 = 0.95;
+/// At least one family must clear this under the dispatched backend.
+const SIMD_WIN_GATE: f64 = 1.3;
+
+/// Validate the schema-2.0 `simd` section and, in full mode, its perf
+/// gates: no kernel family regresses past the noise floor, at least one
+/// clears [`SIMD_WIN_GATE`], and bf16-quantised KV decode beats f32 at the
+/// longest measured cache length (which must reach 1024 rows).
+fn check_simd_section(doc: &Json, mode: &str) -> Result<(), String> {
+    let simd = doc.get("simd").ok_or("missing simd section")?;
+    let backend = simd
+        .get("backend")
+        .and_then(Json::as_str)
+        .ok_or("simd: missing backend")?;
+    if !["scalar", "avx2", "avx512", "neon"].contains(&backend) {
+        return Err(format!("simd: unknown backend `{backend}`"));
+    }
+    let kernels = simd
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or("simd: missing kernels array")?;
+    if kernels.is_empty() {
+        return Err("simd: kernels array is empty".into());
+    }
+    let mut best = 0.0f64;
+    for (i, e) in kernels.iter().enumerate() {
+        let family = e
+            .get("family")
+            .and_then(Json::as_str)
+            .ok_or(format!("simd kernel {i}: missing family"))?;
+        for field in [
+            "n",
+            "samples",
+            "scalar_min_ms",
+            "scalar_p50_ms",
+            "simd_min_ms",
+            "simd_p50_ms",
+            "speedup",
+        ] {
+            let x = e
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("simd kernel {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "simd kernel {i}: {field} = {x} not a finite non-negative"
+                ));
+            }
+        }
+        let speedup = e.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+        best = best.max(speedup);
+        if mode == "full" && speedup < SIMD_NOISE_FLOOR {
+            return Err(format!(
+                "simd: family {family} regressed under the dispatched backend \
+                 (speedup {speedup} < {SIMD_NOISE_FLOOR})"
+            ));
+        }
+    }
+    if mode == "full" && best < SIMD_WIN_GATE {
+        return Err(format!(
+            "simd: no kernel family clears {SIMD_WIN_GATE}x (best {best})"
+        ));
+    }
+    let decode = simd
+        .get("decode")
+        .and_then(Json::as_arr)
+        .ok_or("simd: missing decode array")?;
+    if decode.is_empty() {
+        return Err("simd: decode array is empty".into());
+    }
+    let mut longest: Option<(f64, f64, f64)> = None; // (cache_len, f32 tok/s, bf16 tok/s)
+    for (i, e) in decode.iter().enumerate() {
+        for field in [
+            "cache_len",
+            "streams",
+            "d",
+            "samples",
+            "f32_min_ms",
+            "f32_tokens_per_sec",
+            "bf16_min_ms",
+            "bf16_tokens_per_sec",
+            "bf16_speedup",
+        ] {
+            let x = e
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("simd decode {i}: missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!(
+                    "simd decode {i}: {field} = {x} not a finite non-negative"
+                ));
+            }
+        }
+        let len = e.get("cache_len").and_then(Json::as_f64).unwrap_or(0.0);
+        if longest.is_none_or(|(l, _, _)| len > l) {
+            longest = Some((
+                len,
+                e.get("f32_tokens_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                e.get("bf16_tokens_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            ));
+        }
+    }
+    if mode == "full" {
+        let (len, f_tps, b_tps) = longest.unwrap();
+        if len < 1024.0 {
+            return Err(format!(
+                "simd: full-mode decode sweep must reach cache_len >= 1024 (longest {len})"
+            ));
+        }
+        if b_tps <= f_tps {
+            return Err(format!(
+                "simd: bf16 KV decode does not beat f32 at cache_len {len} \
+                 ({b_tps} <= {f_tps} tokens/sec)"
+            ));
+        }
     }
     Ok(())
 }
@@ -695,7 +1090,15 @@ fn main() {
         let total: usize = measurements.iter().map(|m| m.samples.len()).sum();
         eprintln!("[speedup] sample cache {cache}: {total} samples total");
     }
-    emit(&measurements);
+    // Scalar-vs-dispatched comparison + bf16-KV decode sweep (skipped when
+    // DFSS_BENCH_ONLY pins another kernel).
+    let simd_section = if kernel_enabled("simd") {
+        let (kernels, decode) = run_simd_grid();
+        emit_simd(&kernels, &decode)
+    } else {
+        Json::Null
+    };
+    emit(&measurements, simd_section);
     // Batched-attention section (skipped when DFSS_BENCH_ONLY pins another
     // kernel).
     if kernel_enabled("attention") {

@@ -17,7 +17,7 @@ use crate::mechanism::{
 use dfss_gpusim::Stage;
 use dfss_kernels::{ell, gemm, sddmm, softmax, spmm, GpuCtx};
 use dfss_nmsparse::{BlockedEll, NmCompressed, NmPattern, NmRagged};
-use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
+use dfss_tensor::{BatchedMatrix, Bf16, Matrix, RaggedBatch, Scalar};
 
 /// The Dfss attention mechanism.
 #[derive(Clone, Copy, Debug)]
@@ -210,6 +210,51 @@ impl<T: Scalar> Attention<T> for DfssAttention {
         } else {
             // The unfused ablation additionally materialises every stream's
             // dense score row.
+            let dense_bytes = k.lens().iter().map(|&l| l as u64).sum::<u64>() * T::BYTES as u64;
+            let dense_id = ctx.mem.alloc("scores_decode_dense_unfused", dense_bytes);
+            let scores = gemm::gemm_nt_ragged(ctx, Stage::Qk, q, k, scale);
+            let comp = sddmm::dense_prune_ragged(ctx, &scores, self.pattern);
+            ctx.mem.free(dense_id);
+            comp
+        };
+        softmax::softmax_nm_ragged(ctx, &mut comp);
+        let out = spmm::spmm_nm_ragged(ctx, &comp, v);
+        ctx.mem.free(comp_id);
+        out
+    }
+
+    /// Fused widen-on-load decode over a bf16-quantised KV cache: the same
+    /// three-launch pipeline as [`decode_ragged`](Attention::decode_ragged),
+    /// but the cached K/V panels stream through the decode microkernels at
+    /// their stored 2-byte width (widened to f32 in-register, see
+    /// `dfss_kernels::simd`), halving decode cache traffic. Because bf16 →
+    /// f32 widening is exact and TF32 rounding keeps every bf16 mantissa
+    /// bit, outputs are bitwise identical to widening the cache host-side
+    /// and running the `T = f32` decode pipeline.
+    fn decode_ragged_bf16(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &Matrix<T>,
+        k: &RaggedBatch<Bf16>,
+        v: &RaggedBatch<Bf16>,
+    ) -> Matrix<T> {
+        let streams = check_decode_ragged(q, k, v);
+        if streams == 0 {
+            return Matrix::zeros(0, v.cols());
+        }
+        let scale = 1.0 / (q.cols() as f32).sqrt();
+        let (mut kept, mut groups) = (0u64, 0u64);
+        for &len in k.lens() {
+            kept += NmRagged::<T>::kept_for(self.pattern, len) as u64;
+            groups += NmRagged::<T>::groups_for(self.pattern, len) as u64;
+        }
+        let comp_id = ctx.mem.alloc(
+            "scores_nm_decode",
+            kept * T::BYTES as u64 + (groups * 4).div_ceil(8),
+        );
+        let mut comp = if self.fused {
+            sddmm::sddmm_nm_fused_ragged(ctx, q, k, scale, self.pattern)
+        } else {
             let dense_bytes = k.lens().iter().map(|&l| l as u64).sum::<u64>() * T::BYTES as u64;
             let dense_id = ctx.mem.alloc("scores_decode_dense_unfused", dense_bytes);
             let scores = gemm::gemm_nt_ragged(ctx, Stage::Qk, q, k, scale);

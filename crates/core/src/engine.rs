@@ -67,7 +67,7 @@
 
 use crate::mechanism::{try_check_qkv, Attention, RequestError};
 use dfss_kernels::GpuCtx;
-use dfss_tensor::{BatchedMatrix, Matrix, PagedPanel, RaggedBatch, Scalar};
+use dfss_tensor::{BatchedMatrix, Bf16, Matrix, PagedPanel, RaggedBatch, Scalar};
 
 /// Identifier of a submitted request, unique per engine for its lifetime.
 /// Tickets are issued in submission order.
@@ -153,27 +153,61 @@ pub enum KvRows<'a, T> {
         /// Rows stored per page.
         rows_per_page: usize,
     },
+    /// Same page-table layout, but the cache stores **bf16-quantised**
+    /// rows regardless of the compute type `T`: decode widens them to f32
+    /// in-register (fused widen-on-load, see `dfss_kernels::simd`), so the
+    /// launch reads the cache at 2 bytes per element. Both sides (K and V)
+    /// of a step must agree on quantisation.
+    PagedBf16 {
+        /// The stream's pages, in table order.
+        pages: Vec<&'a [Bf16]>,
+        /// Rows stored per page.
+        rows_per_page: usize,
+    },
 }
 
 impl<'a, T> KvRows<'a, T> {
     /// View this source as a [`PagedPanel`] of `len` live rows — a
-    /// contiguous slab is the degenerate one-page table.
-    fn as_panel(&self, len: usize) -> PagedPanel<'a, T> {
+    /// contiguous slab is the degenerate one-page table. `None` for a
+    /// quantised source (see [`Self::as_panel_bf16`]).
+    fn as_panel(&self, len: usize) -> Option<PagedPanel<'a, T>> {
         match self {
-            KvRows::Contiguous(slab) => PagedPanel {
+            KvRows::Contiguous(slab) => Some(PagedPanel {
                 pages: vec![slab],
                 rows_per_page: len.max(1),
                 len,
-            },
+            }),
             KvRows::Paged {
                 pages,
                 rows_per_page,
-            } => PagedPanel {
+            } => Some(PagedPanel {
                 pages: pages.clone(),
                 rows_per_page: *rows_per_page,
                 len,
-            },
+            }),
+            KvRows::PagedBf16 { .. } => None,
         }
+    }
+
+    /// View a quantised source as a [`PagedPanel`] of bf16 rows; `None`
+    /// for native (`T`-width) sources.
+    fn as_panel_bf16(&self, len: usize) -> Option<PagedPanel<'a, Bf16>> {
+        match self {
+            KvRows::PagedBf16 {
+                pages,
+                rows_per_page,
+            } => Some(PagedPanel {
+                pages: pages.clone(),
+                rows_per_page: *rows_per_page,
+                len,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether the rows are stored bf16-quantised.
+    fn is_quantized(&self) -> bool {
+        matches!(self, KvRows::PagedBf16 { .. })
     }
 }
 
@@ -237,6 +271,15 @@ pub fn try_check_decode_step<T: Scalar>(step: &DecodeStep<'_, T>) -> Result<(), 
             ),
         });
     }
+    if step.k_rows.is_quantized() != step.v_rows.is_quantized() {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!(
+                "K and V disagree on KV quantisation (K bf16: {}, V bf16: {})",
+                step.k_rows.is_quantized(),
+                step.v_rows.is_quantized()
+            ),
+        });
+    }
     check_kv_rows(&step.k_rows, step.len, step.d, "K")?;
     check_kv_rows(&step.v_rows, step.len, step.d_v, "V")?;
     Ok(())
@@ -265,36 +308,51 @@ fn check_kv_rows<T: Scalar>(
         KvRows::Paged {
             pages,
             rows_per_page,
-        } => {
-            if *rows_per_page == 0 {
-                return Err(RequestError::DecodeShapeMismatch {
-                    reason: format!("{which} cache declares zero rows per page"),
-                });
-            }
-            let want_pages = len.div_ceil(*rows_per_page);
-            if pages.len() != want_pages {
-                return Err(RequestError::DecodeShapeMismatch {
-                    reason: format!(
-                        "{which} page table holds {} pages, expected {want_pages} for {len} rows \
-                         at {rows_per_page} rows/page",
-                        pages.len()
-                    ),
-                });
-            }
-            if let Some((p, page)) = pages
-                .iter()
-                .enumerate()
-                .find(|(_, page)| page.len() < rows_per_page * width)
-            {
-                return Err(RequestError::DecodeShapeMismatch {
-                    reason: format!(
-                        "{which} page {p} holds {} elements, need rows_per_page x width = \
-                         {rows_per_page} x {width}",
-                        page.len()
-                    ),
-                });
-            }
-        }
+        } => check_page_table(pages, *rows_per_page, len, width, which)?,
+        KvRows::PagedBf16 {
+            pages,
+            rows_per_page,
+        } => check_page_table(pages, *rows_per_page, len, width, which)?,
+    }
+    Ok(())
+}
+
+/// Validate one page table (any element type): exactly the pages `len`
+/// implies, each big enough for `rows_per_page` full rows.
+fn check_page_table<E>(
+    pages: &[&[E]],
+    rows_per_page: usize,
+    len: usize,
+    width: usize,
+    which: &str,
+) -> Result<(), RequestError> {
+    if rows_per_page == 0 {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!("{which} cache declares zero rows per page"),
+        });
+    }
+    let want_pages = len.div_ceil(rows_per_page);
+    if pages.len() != want_pages {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!(
+                "{which} page table holds {} pages, expected {want_pages} for {len} rows \
+                 at {rows_per_page} rows/page",
+                pages.len()
+            ),
+        });
+    }
+    if let Some((p, page)) = pages
+        .iter()
+        .enumerate()
+        .find(|(_, page)| page.len() < rows_per_page * width)
+    {
+        return Err(RequestError::DecodeShapeMismatch {
+            reason: format!(
+                "{which} page {p} holds {} elements, need rows_per_page x width = \
+                 {rows_per_page} x {width}",
+                page.len()
+            ),
+        });
     }
     Ok(())
 }
@@ -332,6 +390,9 @@ pub struct DecodeBucketReport {
     pub sim_latency_s: f64,
     /// Kernel launches the bucket recorded (one per op).
     pub launches: u64,
+    /// Whether the bucket's KV rows were bf16-quantised (quantised and
+    /// native steps never share a launch).
+    pub quantized: bool,
 }
 
 /// Accounting of one [`flush_decode`](AttentionEngine::flush_decode).
@@ -566,10 +627,11 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
         for step in steps {
             try_check_decode_step(step)?;
         }
-        // Bucket step indices by (d, d_v), first-seen order.
-        let mut buckets: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+        // Bucket step indices by (d, d_v, quantised), first-seen order —
+        // bf16-KV and native-KV steps run different launches and never mix.
+        let mut buckets: Vec<((usize, usize, bool), Vec<usize>)> = Vec::new();
         for (i, step) in steps.iter().enumerate() {
-            let key = (step.d, step.d_v);
+            let key = (step.d, step.d_v, step.k_rows.is_quantized());
             match buckets.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, idxs)) => idxs.push(i),
                 None => buckets.push((key, vec![i])),
@@ -579,28 +641,42 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
         self.next_ticket += steps.len() as u64;
 
         let mut results: Vec<FlushedDecode<T>> = Vec::with_capacity(steps.len());
-        for ((d, d_v), idxs) in buckets {
+        for ((d, d_v, quantized), idxs) in buckets {
             let mut q_data = Vec::with_capacity(idxs.len() * d);
             for &i in &idxs {
                 q_data.extend_from_slice(steps[i].q_row);
             }
             let q = Matrix::from_vec(idxs.len(), d, q_data);
-            // Contiguous and paged sources share one pack path: a slab is
-            // the degenerate one-page table, so `gather_paged` reproduces
-            // the PR 5 `from_slices` layout bit-for-bit.
-            let k_panels: Vec<PagedPanel<'_, T>> = idxs
-                .iter()
-                .map(|&i| steps[i].k_rows.as_panel(steps[i].len))
-                .collect();
-            let v_panels: Vec<PagedPanel<'_, T>> = idxs
-                .iter()
-                .map(|&i| steps[i].v_rows.as_panel(steps[i].len))
-                .collect();
-            let k = RaggedBatch::gather_paged(d, &k_panels);
-            let v = RaggedBatch::gather_paged(d_v, &v_panels);
 
             let mark = self.ctx.timeline.entries().len();
-            let out = self.mech.decode_ragged(&mut self.ctx, &q, &k, &v);
+            let out = if quantized {
+                let k_panels: Vec<PagedPanel<'_, Bf16>> = idxs
+                    .iter()
+                    .map(|&i| steps[i].k_rows.as_panel_bf16(steps[i].len).unwrap())
+                    .collect();
+                let v_panels: Vec<PagedPanel<'_, Bf16>> = idxs
+                    .iter()
+                    .map(|&i| steps[i].v_rows.as_panel_bf16(steps[i].len).unwrap())
+                    .collect();
+                let k = RaggedBatch::gather_paged(d, &k_panels);
+                let v = RaggedBatch::gather_paged(d_v, &v_panels);
+                self.mech.decode_ragged_bf16(&mut self.ctx, &q, &k, &v)
+            } else {
+                // Contiguous and paged sources share one pack path: a slab
+                // is the degenerate one-page table, so `gather_paged`
+                // reproduces the PR 5 `from_slices` layout bit-for-bit.
+                let k_panels: Vec<PagedPanel<'_, T>> = idxs
+                    .iter()
+                    .map(|&i| steps[i].k_rows.as_panel(steps[i].len).unwrap())
+                    .collect();
+                let v_panels: Vec<PagedPanel<'_, T>> = idxs
+                    .iter()
+                    .map(|&i| steps[i].v_rows.as_panel(steps[i].len).unwrap())
+                    .collect();
+                let k = RaggedBatch::gather_paged(d, &k_panels);
+                let v = RaggedBatch::gather_paged(d_v, &v_panels);
+                self.mech.decode_ragged(&mut self.ctx, &q, &k, &v)
+            };
             let new_entries = &self.ctx.timeline.entries()[mark..];
             let sim_latency_s: f64 = new_entries.iter().map(|e| e.latency(&self.ctx.dev)).sum();
             let launches: u64 = new_entries.iter().map(|e| e.launches).sum();
@@ -611,6 +687,7 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
                 total_cached: idxs.iter().map(|&i| steps[i].len).sum(),
                 sim_latency_s,
                 launches,
+                quantized,
             });
             for (row, &i) in idxs.iter().enumerate() {
                 let output = self
@@ -1139,6 +1216,120 @@ mod tests {
             eng_c.ctx().timeline.total_bytes(),
             eng_p.ctx().timeline.total_bytes()
         );
+    }
+
+    #[test]
+    fn quantized_steps_match_host_widen_model_and_charge_half_the_kv_bytes() {
+        // A bf16 ragged flush must be bit-identical to widening the pages
+        // on the host and flushing f32 steps, while its KV-panel traffic
+        // charges at 2 bytes/element — the whole point of the quant store.
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut rng = Rng::new(43);
+        let lens = [5usize, 9];
+        let (d, d_v) = (8usize, 8usize);
+        let rows_per_page = 4usize;
+        let q = Matrix::<f32>::random_normal(lens.len(), d, 0.0, 1.0, &mut rng);
+        let make_pages = |len: usize, width: usize, rng: &mut Rng| -> Vec<Vec<Bf16>> {
+            (0..len.div_ceil(rows_per_page))
+                .map(|_| {
+                    (0..rows_per_page * width)
+                        .map(|_| Bf16::from_f32(rng.normal(0.0, 1.0)))
+                        .collect()
+                })
+                .collect()
+        };
+        let k_pages: Vec<Vec<Vec<Bf16>>> =
+            lens.iter().map(|&l| make_pages(l, d, &mut rng)).collect();
+        let v_pages: Vec<Vec<Vec<Bf16>>> =
+            lens.iter().map(|&l| make_pages(l, d_v, &mut rng)).collect();
+        let widen = |pages: &[Vec<Bf16>], len: usize, width: usize| -> Vec<f32> {
+            pages
+                .iter()
+                .flat_map(|p| p.iter().map(|x| x.to_f32()))
+                .take(len * width)
+                .collect()
+        };
+        let k_host: Vec<Vec<f32>> = k_pages
+            .iter()
+            .zip(&lens)
+            .map(|(p, &l)| widen(p, l, d))
+            .collect();
+        let v_host: Vec<Vec<f32>> = v_pages
+            .iter()
+            .zip(&lens)
+            .map(|(p, &l)| widen(p, l, d_v))
+            .collect();
+
+        let quant: Vec<DecodeStep<'_, f32>> = (0..lens.len())
+            .map(|i| DecodeStep {
+                q_row: q.row(i),
+                k_rows: KvRows::PagedBf16 {
+                    pages: k_pages[i].iter().map(|p| p.as_slice()).collect(),
+                    rows_per_page,
+                },
+                v_rows: KvRows::PagedBf16 {
+                    pages: v_pages[i].iter().map(|p| p.as_slice()).collect(),
+                    rows_per_page,
+                },
+                len: lens[i],
+                d,
+                d_v,
+            })
+            .collect();
+        let host: Vec<DecodeStep<'_, f32>> = (0..lens.len())
+            .map(|i| DecodeStep::contiguous(q.row(i), &k_host[i], &v_host[i], lens[i], d, d_v))
+            .collect();
+
+        let mut eng_q = AttentionEngine::new(&mech);
+        let mut eng_h = AttentionEngine::new(&mech);
+        let out_q = eng_q.flush_decode(&quant).unwrap();
+        let out_h = eng_h.flush_decode(&host).unwrap();
+        for (i, (a, b)) in out_q.iter().zip(&out_h).enumerate() {
+            let (a, b) = (a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
+            let same = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "stream {i}: fused bf16 diverged from host widen");
+        }
+        // The quant bucket reports itself, and moves fewer bytes (the KV
+        // panels at half width; everything else is unchanged).
+        assert!(eng_q.last_decode().buckets.iter().all(|b| b.quantized));
+        assert!(eng_h.last_decode().buckets.iter().all(|b| !b.quantized));
+        assert!(
+            eng_q.ctx().timeline.total_bytes() < eng_h.ctx().timeline.total_bytes(),
+            "bf16 KV panels must charge fewer bytes than f32 ({} vs {})",
+            eng_q.ctx().timeline.total_bytes(),
+            eng_h.ctx().timeline.total_bytes()
+        );
+    }
+
+    #[test]
+    fn mixed_kv_quantisation_is_a_typed_rejection() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(47);
+        let q: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+        let k_bf16: Vec<Bf16> = (0..4 * 8)
+            .map(|_| Bf16::from_f32(rng.normal(0.0, 1.0)))
+            .collect();
+        let v_f32: Vec<f32> = (0..4 * 8).map(|_| rng.normal(0.0, 1.0)).collect();
+        let step = DecodeStep {
+            q_row: &q,
+            k_rows: KvRows::PagedBf16 {
+                pages: vec![k_bf16.as_slice()],
+                rows_per_page: 4,
+            },
+            v_rows: KvRows::Contiguous(&v_f32),
+            len: 4,
+            d: 8,
+            d_v: 8,
+        };
+        let err = engine.flush_decode(&[step]).unwrap_err();
+        assert!(matches!(err, RequestError::DecodeShapeMismatch { .. }));
+        assert!(err.to_string().contains("quantisation"), "got: {err}");
+        assert_eq!(engine.ctx().timeline.launches(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use dfss_gpusim::Stage;
 use dfss_kernels::{gemm, softmax, GpuCtx};
-use dfss_tensor::{BatchedMatrix, Matrix, RaggedBatch, Scalar};
+use dfss_tensor::{BatchedMatrix, Bf16, Matrix, RaggedBatch, Scalar};
 
 /// An attention mechanism: `O = attend(Q, K, V)` with `Q, K, V : n×d`.
 ///
@@ -143,6 +143,34 @@ pub trait Attention<T: Scalar> {
         ctx.mem.free(rsv);
         batch_panel_launches(ctx, mark, streams);
         out
+    }
+
+    /// [`decode_ragged`](Self::decode_ragged) over a **bf16-quantised KV
+    /// cache**: the cached K/V panels arrive at their stored 2-byte width
+    /// and are widened to the compute type on load. Queries and outputs
+    /// stay `T`.
+    ///
+    /// The default widens the panels to `T` host-side and delegates to
+    /// [`decode_ragged`](Self::decode_ragged) — correct for any mechanism,
+    /// and honest about its traffic (the kernels really do read widened
+    /// `T`-width panels, so they charge `T::BYTES`). Mechanisms with
+    /// fused widen-on-load decode kernels (Dfss) override this to stream
+    /// the cache at 2 bytes per element.
+    fn decode_ragged_bf16(
+        &self,
+        ctx: &mut GpuCtx,
+        q: &Matrix<T>,
+        k: &RaggedBatch<Bf16>,
+        v: &RaggedBatch<Bf16>,
+    ) -> Matrix<T> {
+        let widen = |b: &RaggedBatch<Bf16>| {
+            let mut out = RaggedBatch::<T>::zeros(b.cols(), b.lens());
+            for (o, x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                *o = T::from_f32(x.to_f32());
+            }
+            out
+        };
+        self.decode_ragged(ctx, q, &widen(k), &widen(v))
     }
 
     /// Validate that this mechanism can run an `n × d` request, without
@@ -317,10 +345,12 @@ pub fn check_decode<T: Scalar>(q_row: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) 
 /// Ragged batched counterpart of [`check_decode`]; returns the stream
 /// count. Row `i` of `q` pairs with panel `i` of `k` and `v`, whose row
 /// counts must agree per stream (column counts may differ between K and V).
-pub fn check_decode_ragged<T: Scalar>(
+/// The cached panels' element type `S` may differ from the compute type
+/// `T` (bf16-quantised KV).
+pub fn check_decode_ragged<T: Scalar, S: Scalar>(
     q: &Matrix<T>,
-    k: &RaggedBatch<T>,
-    v: &RaggedBatch<T>,
+    k: &RaggedBatch<S>,
+    v: &RaggedBatch<S>,
 ) -> usize {
     let streams = k.streams();
     assert_eq!(q.rows(), streams, "one query row per stream");

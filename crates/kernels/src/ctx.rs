@@ -24,6 +24,9 @@ pub struct GpuCtx {
 
 impl GpuCtx {
     pub fn new(dev: DeviceConfig) -> GpuCtx {
+        // Pin (and log) the process-wide SIMD backend before any kernel
+        // runs: dispatch happens once, not per call.
+        let _ = crate::simd::active();
         GpuCtx {
             dev,
             timeline: Timeline::new(),

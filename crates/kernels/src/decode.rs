@@ -11,30 +11,45 @@
 //! difference (one summed [`KernelProfile`] vs. B per-stream profiles).
 //!
 //! Unlike the prefill score kernels (serial-k `axpy` outer products), the
-//! decode scores use the lane-blocked [`micro::dot`]: a decode step has one
-//! output row per stream, so there is no operand panel to stream and the
-//! dot's higher arithmetic intensity wins. Decode outputs are therefore
-//! *not* bit-comparable to a prefill forward over the same cache — only to
-//! other decode paths, which is the invariant the engine pins.
+//! decode scores use the lane-blocked [`micro::dot`] shape: a decode step
+//! has one output row per stream, so there is no operand panel to stream
+//! and the dot's higher arithmetic intensity wins. Decode outputs are
+//! therefore *not* bit-comparable to a prefill forward over the same cache
+//! — only to other decode paths, which is the invariant the engine pins.
+//!
+//! The routines are generic over the cached K/V element type `S`
+//! separately from the compute type `T`: the serving layer can quantise the
+//! KV cache to [`dfss_tensor::Bf16`] while queries and outputs stay `T`.
+//! Cached rows are **widened on load inside the microkernel**
+//! ([`crate::simd::dot_widen`] / [`crate::simd::axpy_widen`]) — TF32
+//! rounding for f32 KV, exact widening for bf16 KV, no intermediate widened
+//! panel — so decode reads the cache at its true element width. Each cached
+//! element is touched exactly once per decode step, so fusing the widen
+//! drops the panel-sized scratch buffer without re-doing any conversion,
+//! and because [`Scalar::to_mul`] is applied per element in the same order,
+//! results are bit-identical to the historical widen-then-dot path.
 //!
 //! [`KernelProfile`]: dfss_gpusim::KernelProfile
 //! [`NmRagged`]: dfss_nmsparse::NmRagged
 
-use crate::micro;
+use crate::simd;
 use dfss_nmsparse::{NmPattern, NmRagged};
 use dfss_tensor::{scratch_f32_from, scratch_f32_stale, Scalar, ScratchF32};
 
 /// Widen (and input-round) a row-major slice into a pooled f32 buffer —
 /// the per-stream counterpart of [`micro::widen`].
+///
+/// [`micro::widen`]: crate::micro::widen
 pub(crate) fn widen_slice<T: Scalar>(src: &[T]) -> ScratchF32 {
     scratch_f32_from(src.len(), src.iter().map(|v| v.to_mul()))
 }
 
-/// Dense decode scores of one stream: `acc[j] = dot(q̂, K̂ row j)` over the
-/// widened operands.
-pub(crate) fn decode_scores_into(qw: &[f32], kw: &[f32], d: usize, acc: &mut [f32]) {
+/// Dense decode scores of one stream: `acc[j] = dot(q̂, to_mul(K row j))`,
+/// the K rows widened in-register from their stored element type.
+pub(crate) fn decode_scores_widen<S: Scalar>(qw: &[f32], k_panel: &[S], d: usize, acc: &mut [f32]) {
+    let backend = simd::active();
     for (j, o) in acc.iter_mut().enumerate() {
-        *o = micro::dot(qw, &kw[j * d..(j + 1) * d]);
+        *o = simd::dot_widen(backend, qw, &k_panel[j * d..(j + 1) * d]);
     }
 }
 
@@ -69,12 +84,12 @@ pub(crate) fn prune_decode_row<T: Scalar>(
     debug_assert_eq!(nz_pos, nz_out.len());
 }
 
-/// Fused score + prune of one stream: widen the query row and the cached K
-/// panel, take one dot per cached position, prune into the stream's output
-/// slices.
-pub(crate) fn score_prune_stream<T: Scalar>(
+/// Fused score + prune of one stream: widen the query row, stream the
+/// cached K panel at its stored width (widen-on-load), take one dot per
+/// cached position, prune into the stream's output slices.
+pub(crate) fn score_prune_stream<T: Scalar, S: Scalar>(
     q_row: &[T],
-    k_panel: &[T],
+    k_panel: &[S],
     len: usize,
     d: usize,
     scale: f32,
@@ -83,26 +98,24 @@ pub(crate) fn score_prune_stream<T: Scalar>(
     code_out: &mut [u8],
 ) {
     let qw = widen_slice(q_row);
-    let kw = widen_slice(k_panel);
     let mut acc = scratch_f32_stale(len);
-    decode_scores_into(&qw, &kw, d, &mut acc[..len]);
+    decode_scores_widen(&qw, k_panel, d, &mut acc[..len]);
     prune_decode_row(pattern, &acc[..len], scale, nz_out, code_out);
 }
 
 /// Dense-score variant of one stream (the unfused ablation's first half):
 /// scale applied at write time like the dense GEMM epilogue.
-pub(crate) fn score_dense_stream<T: Scalar>(
+pub(crate) fn score_dense_stream<T: Scalar, S: Scalar>(
     q_row: &[T],
-    k_panel: &[T],
+    k_panel: &[S],
     len: usize,
     d: usize,
     scale: f32,
     out: &mut [T],
 ) {
     let qw = widen_slice(q_row);
-    let kw = widen_slice(k_panel);
     let mut acc = scratch_f32_stale(len);
-    decode_scores_into(&qw, &kw, d, &mut acc[..len]);
+    decode_scores_widen(&qw, k_panel, d, &mut acc[..len]);
     for (o, &x) in out.iter_mut().zip(acc.iter()) {
         *o = T::from_acc(x * scale);
     }
@@ -142,22 +155,24 @@ pub(crate) fn prune_values_stream<T: Scalar>(
 }
 
 /// SpMM of one stream: contract row `i` of the compressed stack with the
-/// stream's cached V panel into one output row.
-pub(crate) fn spmm_decode_stream<T: Scalar>(
+/// stream's cached V panel (streamed at its stored width, widen-on-load)
+/// into one output row.
+pub(crate) fn spmm_decode_stream<T: Scalar, S: Scalar>(
     a: &NmRagged<T>,
     i: usize,
-    v_panel: &[T],
+    v_panel: &[S],
     d_v: usize,
     out_row: &mut [T],
 ) {
-    let vw = widen_slice(v_panel);
+    let backend = simd::active();
     let mut acc = scratch_f32_stale(d_v);
     acc.iter_mut().for_each(|x| *x = 0.0);
     a.scan_row(i, |col, val| {
-        micro::axpy(
+        simd::axpy_widen(
+            backend,
             &mut acc[..d_v],
             val.to_mul(),
-            &vw[col * d_v..(col + 1) * d_v],
+            &v_panel[col * d_v..(col + 1) * d_v],
         );
     });
     for (o, &x) in out_row.iter_mut().zip(acc.iter()) {

@@ -359,12 +359,18 @@ pub fn gemm_tn<T: Scalar>(
 }
 
 /// Per-stream charge of one dense decode score row (`1 × len` against the
-/// `len × d` cached panel): the `m = 1` tiled-GEMM model.
-fn decode_score_charge<T: Scalar>(ctx: &GpuCtx, len: usize, d: usize) -> (u64, u64, u64) {
+/// `len × d` cached panel): the `m = 1` tiled-GEMM model. The cached K
+/// panel is charged at its stored element width `S`; the query row and
+/// score outputs stay at the compute width `T`.
+fn decode_score_charge<T: Scalar, S: Scalar>(
+    ctx: &GpuCtx,
+    len: usize,
+    d: usize,
+) -> (u64, u64, u64) {
     let tn = ctx.tile_for(len) as u64;
     let (len64, d64) = (len as u64, d as u64);
     let tiles = len64.div_ceil(tn);
-    let reads = tiles * (d64 + d64 * tn) * T::BYTES as u64;
+    let reads = tiles * (d64 * T::BYTES as u64 + d64 * tn * S::BYTES as u64);
     let writes = len64 * T::BYTES as u64;
     (reads, writes, len64 * d64)
 }
@@ -374,17 +380,17 @@ fn decode_score_charge<T: Scalar>(ctx: &GpuCtx, len: usize, d: usize) -> (u64, u
 /// decode ablation's first half; uses the same lane-blocked dot inner
 /// routine as the ragged entry point so the per-stream solo loop is
 /// bit-identical to [`gemm_nt_ragged`].
-pub fn gemm_nt_decode<T: Scalar>(
+pub fn gemm_nt_decode<T: Scalar, S: Scalar>(
     ctx: &mut GpuCtx,
     stage: Stage,
     q_row: &Matrix<T>,
-    k: &Matrix<T>,
+    k: &Matrix<S>,
     scale: f32,
 ) -> Matrix<T> {
     assert_eq!(q_row.rows(), 1, "decode takes a single query row");
     let (len, d) = k.shape();
     assert_eq!(q_row.cols(), d, "inner dimensions differ");
-    let (reads, writes, macs) = decode_score_charge::<T>(ctx, len, d);
+    let (reads, writes, macs) = decode_score_charge::<T, S>(ctx, len, d);
     ctx.record(
         KernelProfile::new("gemm_nt_decode", stage)
             .with_traffic(reads, writes)
@@ -404,11 +410,11 @@ pub fn gemm_nt_decode<T: Scalar>(
 /// fan-out over streams. Returns each stream's score row as a `cols == 1`
 /// panel (one scalar per cached position). Bit-identical to the per-stream
 /// solo loop.
-pub fn gemm_nt_ragged<T: Scalar>(
+pub fn gemm_nt_ragged<T: Scalar, S: Scalar>(
     ctx: &mut GpuCtx,
     stage: Stage,
     q: &Matrix<T>,
-    k: &RaggedBatch<T>,
+    k: &RaggedBatch<S>,
     scale: f32,
 ) -> RaggedBatch<T> {
     let streams = k.streams();
@@ -417,7 +423,7 @@ pub fn gemm_nt_ragged<T: Scalar>(
     assert_eq!(q.cols(), d, "inner dimensions differ");
     let (mut reads, mut writes, mut macs) = (0u64, 0u64, 0u64);
     for &len in k.lens() {
-        let (r, w, m) = decode_score_charge::<T>(ctx, len, d);
+        let (r, w, m) = decode_score_charge::<T, S>(ctx, len, d);
         reads += r;
         writes += w;
         macs += m;

@@ -23,6 +23,8 @@
 //!   honestly (it is the overhead §4.3 says sinks the top-k baseline).
 //! * [`ctx`] — the [`GpuCtx`] bundle of device config, kernel timeline and
 //!   memory tracker threaded through every kernel.
+//! * [`simd`] — explicit-SIMD microkernel backends (AVX2 / AVX-512 / NEON)
+//!   with one-time runtime dispatch; every hot loop above routes through it.
 
 pub mod batched;
 pub mod ctx;
@@ -31,6 +33,7 @@ pub mod ell;
 pub mod gemm;
 pub mod micro;
 pub mod sddmm;
+pub mod simd;
 pub mod softmax;
 pub mod spmm;
 pub mod topk;

@@ -1,23 +1,29 @@
-//! Packed, autovectorizable microkernels shared by every compute kernel.
+//! Packed microkernels shared by every compute kernel, dispatched to the
+//! explicit-SIMD backend chosen once at startup (see [`crate::simd`]).
 //!
 //! The paper's speedups presume the three attention kernels run at hardware
-//! speed; on the host side that means the inner loops must vectorize. Two
-//! loop shapes do so *robustly* with rustc (verified by disassembly — the
-//! dot-product-with-lane-accumulators shape vectorizes but loses its
-//! unrolling under inlining pressure and lands 3–4× off peak, so the score
-//! kernels avoid it):
+//! speed; on the host side that means the inner loops must run wide. Each
+//! public microkernel here routes through [`crate::simd::active`] — AVX2,
+//! AVX-512 or NEON when the CPU has them, the always-compiled scalar
+//! reference otherwise (or under `DFSS_SIMD=scalar`). Every backend is
+//! bit-identical to the scalar reference by construction (no FMA, scalar
+//! reduction tree preserved; see the parity gauntlet in
+//! `tests/simd_parity.rs`), so kernel results do not depend on the host CPU.
+//!
+//! Loop-shape inventory:
 //!
 //! * [`axpy`] / [`axpy2`] — `acc[j] += s · row[j]` over a long contiguous
-//!   row. The lanes are independent, so the vectorizer needs no reduction
-//!   reasoning. Score kernels (`gemm_nt`, fused SDDMM, blocked-ELL SDDMM)
-//!   therefore run as an **outer product over the K dimension** against a
-//!   widen-transposed operand panel, accumulating whole output rows; this
-//!   reproduces the *serial left-to-right* per-element summation order, so
-//!   scores are bit-identical across every kernel that computes them, and
-//!   [`axpy2`] processes two output rows per operand-panel pass (the panel
-//!   stream is the bandwidth bottleneck).
+//!   row. The lanes are independent. Score kernels (`gemm_nt`, fused SDDMM,
+//!   blocked-ELL SDDMM) run as an **outer product over the K dimension**
+//!   against a widen-transposed operand panel, accumulating whole output
+//!   rows; this reproduces the *serial left-to-right* per-element summation
+//!   order, so scores are bit-identical across every kernel that computes
+//!   them, and [`axpy2`] processes two output rows per operand-panel pass
+//!   (the panel stream is the bandwidth bottleneck).
 //! * [`dot`] — 8-lane blocked reduction, for call sites that genuinely need
 //!   a single standalone dot product.
+//! * [`panel_product`] — register-tiled batched microkernel (4 rows × 16
+//!   columns per tile, accumulated in registers over the whole k extent).
 //!
 //! Operand widening ([`widen`], [`widen_transposed`]) goes through the
 //! thread-local scratch arena: the f32 copies (and the per-row accumulators
@@ -25,53 +31,31 @@
 //! instead of re-allocated — the persistent worker pool keeps each worker's
 //! arena warm for the whole process lifetime.
 
+use crate::simd;
 use dfss_tensor::{scratch_f32_from, Matrix, Scalar, ScratchF32};
 
 /// Accumulator width of the [`dot`] microkernel. Eight f32 lanes = one AVX2
 /// register (or two NEON registers).
 pub const LANES: usize = 8;
 
-/// Lane-blocked dot product with a fixed, deterministic reduction order.
+/// Lane-blocked dot product with a fixed, deterministic reduction order
+/// (8 lane accumulators, pairwise tree reduce — see [`simd::dot_ref`]).
 ///
 /// `a` and `b` must have equal length. The result is *not* equal to a serial
 /// left-to-right sum (the score kernels use the [`axpy`] form precisely so
 /// their sums stay serial-order); use this only where a standalone dot is
 /// needed and no cross-kernel bit-identity is required.
-#[inline(always)]
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let full = a.len() / LANES * LANES;
-    let mut lanes = [0.0f32; LANES];
-    // Fixed-size array views: rustc reliably vectorizes this shape at every
-    // inlined call site (the slice-iterator formulation can regress to
-    // scalar code under inlining pressure — measured, not theoretical).
-    for c in (0..full).step_by(LANES) {
-        let xa: &[f32; LANES] = a[c..c + LANES].try_into().unwrap();
-        let xb: &[f32; LANES] = b[c..c + LANES].try_into().unwrap();
-        for l in 0..LANES {
-            lanes[l] += xa[l] * xb[l];
-        }
-    }
-    // Pairwise tree reduction: fixed order, and better rounding than a
-    // serial lane sweep.
-    let q0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
-    let q1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
-    let mut acc = q0 + q1;
-    for (x, y) in a[full..].iter().zip(&b[full..]) {
-        acc += x * y;
-    }
-    acc
+    simd::active().dot(a, b)
 }
 
 /// `acc[j] += s * row[j]` over the whole slice. The lanes are independent,
-/// so this shape autovectorizes as-is; the helper exists to keep the update
-/// in one place (and one idiom) across every row-accumulation loop.
-#[inline(always)]
+/// so any SIMD width computes the same bits; the helper exists to keep the
+/// update in one place (and one idiom) across every row-accumulation loop.
+#[inline]
 pub fn axpy(acc: &mut [f32], s: f32, row: &[f32]) {
-    debug_assert_eq!(acc.len(), row.len());
-    for (o, &x) in acc.iter_mut().zip(row) {
-        *o += s * x;
-    }
+    simd::active().axpy(acc, s, row);
 }
 
 /// Fused update of **two** accumulator rows against one shared operand row:
@@ -82,14 +66,9 @@ pub fn axpy(acc: &mut [f32], s: f32, row: &[f32]) {
 /// doubles its arithmetic intensity. Per accumulator row the update is the
 /// **same element-wise operation in the same order** as [`axpy`], so pairing
 /// rows never changes a result bit.
-#[inline(always)]
+#[inline]
 pub fn axpy2(acc0: &mut [f32], acc1: &mut [f32], s0: f32, s1: f32, row: &[f32]) {
-    debug_assert_eq!(acc0.len(), row.len());
-    debug_assert_eq!(acc1.len(), row.len());
-    for ((o0, o1), &x) in acc0.iter_mut().zip(acc1.iter_mut()).zip(row) {
-        *o0 += s0 * x;
-        *o1 += s1 * x;
-    }
+    simd::active().axpy2(acc0, acc1, s0, s1, row);
 }
 
 /// Column-tile width of the register-tiled batched kernels: 16 f32 lanes =
@@ -152,36 +131,6 @@ pub fn widen_packed_batched<T: Scalar>(m: &dfss_tensor::BatchedMatrix<T>) -> Scr
     out
 }
 
-#[inline(always)]
-fn panel_tile<const R: usize>(
-    arows: &[&[f32]; TILE_ROWS],
-    block: &[f32],
-    n: usize,
-    j0: usize,
-    w: usize,
-    acc_out: &mut [f32],
-) {
-    let ka = arows[0].len();
-    // The accumulator block lives in registers for the whole k-loop — the
-    // single-head kernels' slice accumulators round-trip through L1 on every
-    // k step instead, which is what bounds them.
-    let mut acc = [[0.0f32; TILE_COLS]; R];
-    for kk in 0..ka {
-        let row: &[f32; TILE_COLS] = block[kk * TILE_COLS..(kk + 1) * TILE_COLS]
-            .try_into()
-            .unwrap();
-        for r in 0..R {
-            let s = arows[r][kk];
-            for (o, &x) in acc[r].iter_mut().zip(row) {
-                *o += s * x;
-            }
-        }
-    }
-    for r in 0..R {
-        acc_out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[r][..w]);
-    }
-}
-
 /// Register-tiled product of `rcnt ≤ 4` consecutive rows of `aw` (row-major,
 /// `ka` columns, starting at row `i0`) against a [`widen_packed`] panel of
 /// logical shape `ka × n`: **overwrites** the first `rcnt × n` entries of
@@ -205,23 +154,19 @@ pub fn panel_product(
     debug_assert!((1..=TILE_ROWS).contains(&rcnt));
     debug_assert!(acc.len() >= rcnt * n);
     debug_assert!(packed.len() >= n.div_ceil(TILE_COLS) * ka * TILE_COLS);
-    // Fixed-size row-slice array (pad unused slots with the last row — a
-    // `panel_tile::<R>` only ever reads its first `R = rcnt` entries).
+    // Fixed-size row-slice array (pad unused slots with the last row — the
+    // backend tile only ever reads its first `rcnt` entries).
     let arows: [&[f32]; TILE_ROWS] = std::array::from_fn(|r| {
         let i = i0 + r.min(rcnt - 1);
         &aw[i * ka..(i + 1) * ka]
     });
+    let backend = simd::active();
     let mut j0 = 0;
     let mut jt = 0;
     while j0 < n {
         let w = TILE_COLS.min(n - j0);
         let block = &packed[jt * ka * TILE_COLS..(jt + 1) * ka * TILE_COLS];
-        match rcnt {
-            4 => panel_tile::<4>(&arows, block, n, j0, w, acc),
-            3 => panel_tile::<3>(&arows, block, n, j0, w, acc),
-            2 => panel_tile::<2>(&arows, block, n, j0, w, acc),
-            _ => panel_tile::<1>(&arows, block, n, j0, w, acc),
-        }
+        backend.panel_tile(&arows, rcnt, block, n, j0, w, acc);
         j0 += w;
         jt += 1;
     }

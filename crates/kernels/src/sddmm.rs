@@ -407,8 +407,11 @@ pub fn dense_prune_batched<T: Scalar>(
 /// decode score + prune: a `1 × len` score row against the `len × d` cached
 /// K panel, N:M-pruned over full M-groups with a dense tail (see
 /// [`NmRagged`]). Shared by the solo and ragged entry points so a ragged
-/// launch charges exactly the sum of its streams' solo charges.
-fn decode_charge<T: Scalar>(
+/// launch charges exactly the sum of its streams' solo charges. The K
+/// panel is charged at its stored element width `S` (half the traffic
+/// when the serving layer quantises the KV cache to bf16); the query row
+/// and pruned outputs stay at the compute width `T`.
+fn decode_charge<T: Scalar, S: Scalar>(
     ctx: &GpuCtx,
     len: usize,
     d: usize,
@@ -418,7 +421,7 @@ fn decode_charge<T: Scalar>(
     let (len64, d64) = (len as u64, d as u64);
     // tm = 1: the decode grid is one output row per stream.
     let tiles = len64.div_ceil(tn);
-    let reads = tiles * (d64 + d64 * tn) * T::BYTES as u64;
+    let reads = tiles * (d64 * T::BYTES as u64 + d64 * tn * S::BYTES as u64);
     let kept = NmRagged::<T>::kept_for(pattern, len) as u64;
     let groups = NmRagged::<T>::groups_for(pattern, len) as u64;
     let writes = kept * T::BYTES as u64 + (groups * 4).div_ceil(8);
@@ -447,17 +450,17 @@ fn decode_prune_charge<T: Scalar>(len: usize, pattern: NmPattern) -> (u64, u64, 
 /// pruned N:M over full M-groups with the dense tail kept (see
 /// [`NmRagged`]). Records one per-stream profile; the per-stream solo
 /// decode loop the ragged launch is measured against.
-pub fn sddmm_nm_decode<T: Scalar>(
+pub fn sddmm_nm_decode<T: Scalar, S: Scalar>(
     ctx: &mut GpuCtx,
     q_row: &Matrix<T>,
-    k: &Matrix<T>,
+    k: &Matrix<S>,
     scale: f32,
     pattern: NmPattern,
 ) -> NmRagged<T> {
     assert_eq!(q_row.rows(), 1, "decode takes a single query row");
     let (len, dk) = k.shape();
     assert_eq!(q_row.cols(), dk, "inner dimensions differ");
-    let (reads, writes, macs, alu) = decode_charge::<T>(ctx, len, dk, pattern);
+    let (reads, writes, macs, alu) = decode_charge::<T, S>(ctx, len, dk, pattern);
     ctx.record(
         KernelProfile::new("sddmm_nm_decode", Stage::Qk)
             .with_traffic(reads, writes)
@@ -487,10 +490,10 @@ pub fn sddmm_nm_decode<T: Scalar>(
 /// profile whose counters are the sum of the per-stream
 /// [`sddmm_nm_decode`] charges, one pool fan-out over streams.
 /// Bit-identical to the per-stream solo loop (shared inner routines).
-pub fn sddmm_nm_fused_ragged<T: Scalar>(
+pub fn sddmm_nm_fused_ragged<T: Scalar, S: Scalar>(
     ctx: &mut GpuCtx,
     q: &Matrix<T>,
-    k: &RaggedBatch<T>,
+    k: &RaggedBatch<S>,
     scale: f32,
     pattern: NmPattern,
 ) -> NmRagged<T> {
@@ -500,7 +503,7 @@ pub fn sddmm_nm_fused_ragged<T: Scalar>(
     assert_eq!(q.cols(), d, "inner dimensions differ");
     let (mut reads, mut writes, mut macs, mut alu) = (0u64, 0u64, 0u64, 0u64);
     for &len in k.lens() {
-        let (r, w, m, a) = decode_charge::<T>(ctx, len, d, pattern);
+        let (r, w, m, a) = decode_charge::<T, S>(ctx, len, d, pattern);
         reads += r;
         writes += w;
         macs += m;

@@ -1,0 +1,1159 @@
+//! Explicit-SIMD microkernel backends with one-time runtime dispatch.
+//!
+//! The paper's premise is that N:M sparsity exists to feed fixed-function
+//! units at their roofline; the host engine chases the same roofline here
+//! instead of hoping autovectorisation fires. Every hot inner loop of the
+//! microkernels ([`crate::micro`], the decode routines in the private
+//! `decode` module) routes through a [`Backend`] chosen **once per
+//! process** by `std::arch` runtime feature detection — AVX-512 / AVX2 on
+//! x86-64, NEON on aarch64 — with the scalar reference path always
+//! compiled in (it is the semantics every SIMD implementation must match
+//! bit for bit, and the `DFSS_SIMD=scalar` CI leg runs the whole suite on
+//! it).
+//!
+//! **Bit-parity is a hard contract**, not a best-effort goal. The existing
+//! test suites pin exact bitwise equality between kernels (batched vs
+//! looped, ragged vs solo, paged vs contiguous), so a SIMD backend may not
+//! change a single ulp. Three rules make that possible:
+//!
+//! * **No FMA.** The scalar path rounds every product before adding
+//!   (`acc += s * x` is an IEEE multiply then an IEEE add); fused
+//!   multiply-add keeps the infinite-precision product and produces
+//!   different bits. All backends use separate multiply and add.
+//! * **Element-wise ops vectorise freely.** [`Backend::axpy`],
+//!   [`Backend::axpy2`] and the register tiles of [`Backend::panel_tile`]
+//!   update independent output lanes in serial k-order; lane width does
+//!   not touch the per-lane operation order, so any width is
+//!   bit-identical.
+//! * **Reductions keep the scalar shape.** [`crate::micro::dot`]
+//!   accumulates into 8 lanes (serially across 8-blocks) and reduces with
+//!   a fixed tree `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`. The AVX2
+//!   horizontal sum — add the high 128-bit half onto the low, then
+//!   pairwise-add — performs *exactly* that tree. AVX-512 must **not**
+//!   widen the dot accumulator to 16 lanes (that changes the summation
+//!   order); it reuses the 8-lane dot and spends its width on the
+//!   element-wise ops instead.
+//!
+//! The decode path additionally gets **fused widen-on-load** operands
+//! ([`dot_widen`] / [`axpy_widen`]): cached K/V rows stored as `f32` are
+//! TF32-rounded in-register (bit-exact replica of
+//! [`dfss_tensor::tf32_round`], including NaN/Inf passthrough), and rows
+//! stored as [`Bf16`] are widened by a zero-extend + 16-bit shift — exact
+//! by construction — so the bf16-quantised KV cache is read at half the
+//! memory traffic with no intermediate widened buffer. Because bf16→f32
+//! widening is exact and TF32 keeps more mantissa bits than bf16 has,
+//! the fused bf16 path is bitwise identical to a host-side
+//! widen-then-f32 model.
+//!
+//! Dispatch order: `DFSS_SIMD` env override (`scalar`/`avx2`/`avx512`/
+//! `neon`) → runtime detection → scalar. The choice is logged once to
+//! stderr at startup (the serving layer also exports it in `/metrics`).
+//! [`force`] overrides the choice at runtime for A/B benchmarking
+//! (`dfss-bench`'s scalar-vs-dispatched section).
+
+// The one place the workspace's `unsafe_code = "deny"` is relaxed:
+// `std::arch` intrinsics are inherently `unsafe fn`. Safety arguments are
+// local and mechanical — every vector load/store stays inside `full`
+// (the largest lane multiple ≤ len) and every `target_feature` function is
+// reached only through a `Backend` variant whose `available()` check passed.
+#![allow(unsafe_code)]
+
+use dfss_tensor::{tf32_round, Bf16, Scalar};
+use std::any::TypeId;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Lane width of the blocked-dot accumulator (see [`crate::micro::LANES`]);
+/// every backend must reduce over exactly this many lanes.
+const LANES: usize = 8;
+
+/// One SIMD instruction-set backend. `Scalar` is the always-available
+/// reference; the others are selected only when the CPU supports them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable reference implementation (also the `DFSS_SIMD=scalar` CI
+    /// leg). Defines the bit-exact semantics of every operation.
+    Scalar,
+    /// 256-bit x86-64 path (8 f32 lanes).
+    Avx2,
+    /// 512-bit x86-64 path: 16-lane element-wise ops, 8-lane dot (the dot's
+    /// reduction shape is part of the bit contract and cannot widen).
+    Avx512,
+    /// 128-bit aarch64 path (4 f32 lanes, paired to 8-lane blocks).
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase name (used by `DFSS_SIMD`, logs and `/metrics`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Avx512 => "avx512",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            Backend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            Backend::Avx512 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("avx512f")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            Backend::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    std::arch::is_aarch64_feature_detected!("neon")
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    fn parse(name: &str) -> Option<Backend> {
+        match name {
+            "scalar" => Some(Backend::Scalar),
+            "avx2" => Some(Backend::Avx2),
+            "avx512" => Some(Backend::Avx512),
+            "neon" => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+}
+
+/// Best backend the current CPU supports.
+fn detect() -> Backend {
+    for b in [Backend::Avx512, Backend::Avx2, Backend::Neon] {
+        if b.available() {
+            return b;
+        }
+    }
+    Backend::Scalar
+}
+
+/// Resolve the process-wide backend: `DFSS_SIMD` override if set and
+/// available, else runtime detection. Logs the choice once.
+fn choose() -> Backend {
+    let detected = detect();
+    let chosen = match std::env::var("DFSS_SIMD") {
+        Err(_) => detected,
+        Ok(req) => match Backend::parse(&req) {
+            Some(b) if b.available() => b,
+            Some(b) => {
+                eprintln!(
+                    "dfss-simd: DFSS_SIMD={} not available on this CPU, using {}",
+                    b.name(),
+                    detected.name()
+                );
+                detected
+            }
+            None => {
+                eprintln!(
+                    "dfss-simd: unknown DFSS_SIMD value {req:?} \
+                     (expected scalar|avx2|avx512|neon), using {}",
+                    detected.name()
+                );
+                detected
+            }
+        },
+    };
+    eprintln!(
+        "dfss-simd: backend={} (detected={}; set DFSS_SIMD=scalar|avx2|avx512|neon to override)",
+        chosen.name(),
+        detected.name()
+    );
+    chosen
+}
+
+static CHOSEN: OnceLock<Backend> = OnceLock::new();
+/// 0 = no forced override; otherwise `backend as u8 + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// The backend every microkernel call site dispatches through. Resolved
+/// (and logged) exactly once per process, on first use — kernel pools call
+/// this at startup so the choice is pinned before any compute runs.
+#[inline]
+pub fn active() -> Backend {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 => Backend::Avx2,
+        3 => Backend::Avx512,
+        4 => Backend::Neon,
+        _ => *CHOSEN.get_or_init(choose),
+    }
+}
+
+/// Force a specific backend process-wide (`None` restores the dispatched
+/// choice). For A/B benchmarking and backend-pinned tests only; panics if
+/// the backend is not available on this CPU.
+pub fn force(backend: Option<Backend>) {
+    let code = match backend {
+        None => 0,
+        Some(b) => {
+            assert!(b.available(), "backend {} not available here", b.name());
+            match b {
+                Backend::Scalar => 1,
+                Backend::Avx2 => 2,
+                Backend::Avx512 => 3,
+                Backend::Neon => 4,
+            }
+        }
+    };
+    FORCED.store(code, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations (the bit-exact semantics).
+// ---------------------------------------------------------------------------
+
+/// Reference 8-lane blocked dot (see [`crate::micro::dot`] for the shape's
+/// rationale). Every SIMD backend must reproduce this bit for bit.
+#[inline(always)]
+pub fn dot_ref(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let full = a.len() / LANES * LANES;
+    let mut lanes = [0.0f32; LANES];
+    for c in (0..full).step_by(LANES) {
+        let xa: &[f32; LANES] = a[c..c + LANES].try_into().unwrap();
+        let xb: &[f32; LANES] = b[c..c + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lanes[l] += xa[l] * xb[l];
+        }
+    }
+    let q0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let q1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    let mut acc = q0 + q1;
+    for (x, y) in a[full..].iter().zip(&b[full..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Reference `acc[j] += s · row[j]`.
+#[inline(always)]
+pub fn axpy_ref(acc: &mut [f32], s: f32, row: &[f32]) {
+    debug_assert_eq!(acc.len(), row.len());
+    for (o, &x) in acc.iter_mut().zip(row) {
+        *o += s * x;
+    }
+}
+
+/// Reference paired-row axpy (each `row[j]` loaded once for both outputs).
+#[inline(always)]
+pub fn axpy2_ref(acc0: &mut [f32], acc1: &mut [f32], s0: f32, s1: f32, row: &[f32]) {
+    debug_assert_eq!(acc0.len(), row.len());
+    debug_assert_eq!(acc1.len(), row.len());
+    for ((o0, o1), &x) in acc0.iter_mut().zip(acc1.iter_mut()).zip(row) {
+        *o0 += s0 * x;
+        *o1 += s1 * x;
+    }
+}
+
+#[inline(always)]
+fn panel_tile_ref_r<const R: usize>(
+    arows: &[&[f32]; 4],
+    block: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    acc_out: &mut [f32],
+) {
+    let ka = arows[0].len();
+    let mut acc = [[0.0f32; 16]; R];
+    for kk in 0..ka {
+        let row: &[f32; 16] = block[kk * 16..(kk + 1) * 16].try_into().unwrap();
+        for r in 0..R {
+            let s = arows[r][kk];
+            for (o, &x) in acc[r].iter_mut().zip(row) {
+                *o += s * x;
+            }
+        }
+    }
+    for r in 0..R {
+        acc_out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[r][..w]);
+    }
+}
+
+/// Reference register tile of [`crate::micro::panel_product`]: `rcnt ≤ 4`
+/// accumulator rows of one 16-column tile, serial k-order per element.
+pub fn panel_tile_ref(
+    arows: &[&[f32]; 4],
+    rcnt: usize,
+    block: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    acc_out: &mut [f32],
+) {
+    match rcnt {
+        4 => panel_tile_ref_r::<4>(arows, block, n, j0, w, acc_out),
+        3 => panel_tile_ref_r::<3>(arows, block, n, j0, w, acc_out),
+        2 => panel_tile_ref_r::<2>(arows, block, n, j0, w, acc_out),
+        _ => panel_tile_ref_r::<1>(arows, block, n, j0, w, acc_out),
+    }
+}
+
+/// Reference lane-blocked row maximum (see `softmax`): `f32::max` is
+/// associative, commutative and NaN-ignoring, and a `±0.0` tie is invisible
+/// downstream, so lane regrouping cannot change softmax results.
+#[inline(always)]
+pub fn row_max_ref(buf: &[f32]) -> f32 {
+    let full = buf.len() / LANES * LANES;
+    let mut lanes = [f32::NEG_INFINITY; LANES];
+    for c in (0..full).step_by(LANES) {
+        let xb: &[f32; LANES] = buf[c..c + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lanes[l] = lanes[l].max(xb[l]);
+        }
+    }
+    let mut max = f32::NEG_INFINITY;
+    for &l in &lanes {
+        max = max.max(l);
+    }
+    for &x in &buf[full..] {
+        max = max.max(x);
+    }
+    max
+}
+
+/// Reference fused widen-on-load dot: `dot(q, to_mul(row))` without the
+/// intermediate widened buffer — TF32 rounding for `f32` KV, exact widening
+/// for [`Bf16`] KV, via [`Scalar::to_mul`]. Bitwise equal to widening the
+/// row first and calling [`dot_ref`].
+#[inline(always)]
+pub fn dot_widen_ref<S: Scalar>(q: &[f32], row: &[S]) -> f32 {
+    debug_assert_eq!(q.len(), row.len());
+    let full = q.len() / LANES * LANES;
+    let mut lanes = [0.0f32; LANES];
+    for c in (0..full).step_by(LANES) {
+        let xq: &[f32; LANES] = q[c..c + LANES].try_into().unwrap();
+        let xr: &[S; LANES] = row[c..c + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lanes[l] += xq[l] * xr[l].to_mul();
+        }
+    }
+    let q0 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let q1 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    let mut acc = q0 + q1;
+    for (x, y) in q[full..].iter().zip(&row[full..]) {
+        acc += x * y.to_mul();
+    }
+    acc
+}
+
+/// Reference fused widen-on-load axpy: `acc[j] += s · to_mul(row[j])`.
+#[inline(always)]
+pub fn axpy_widen_ref<S: Scalar>(acc: &mut [f32], s: f32, row: &[S]) {
+    debug_assert_eq!(acc.len(), row.len());
+    for (o, &x) in acc.iter_mut().zip(row) {
+        *o += s * x.to_mul();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched operations.
+// ---------------------------------------------------------------------------
+
+impl Backend {
+    /// Lane-blocked dot product (bit-identical across backends).
+    #[inline]
+    pub fn dot(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            // AVX-512 keeps the 8-lane dot: widening the accumulator would
+            // change the reduction order (see module docs).
+            Backend::Avx2 | Backend::Avx512 => unsafe { x86::dot_avx2(a, b) },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe { neon::dot_neon(a, b) },
+            _ => dot_ref(a, b),
+        }
+    }
+
+    /// `acc[j] += s · row[j]` (element-wise; bit-identical at any width).
+    #[inline]
+    pub fn axpy(self, acc: &mut [f32], s: f32, row: &[f32]) {
+        debug_assert_eq!(acc.len(), row.len());
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => unsafe { x86::axpy_avx512(acc, s, row) },
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { x86::axpy_avx2(acc, s, row) },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe { neon::axpy_neon(acc, s, row) },
+            _ => axpy_ref(acc, s, row),
+        }
+    }
+
+    /// Paired-row axpy (each operand element loaded once for both rows).
+    #[inline]
+    pub fn axpy2(self, acc0: &mut [f32], acc1: &mut [f32], s0: f32, s1: f32, row: &[f32]) {
+        debug_assert_eq!(acc0.len(), row.len());
+        debug_assert_eq!(acc1.len(), row.len());
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => unsafe { x86::axpy2_avx512(acc0, acc1, s0, s1, row) },
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { x86::axpy2_avx2(acc0, acc1, s0, s1, row) },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe { neon::axpy2_neon(acc0, acc1, s0, s1, row) },
+            _ => axpy2_ref(acc0, acc1, s0, s1, row),
+        }
+    }
+
+    /// One register tile of `panel_product`: `rcnt ≤ 4` rows × 16 columns,
+    /// accumulated over the whole k extent in registers. `block` holds
+    /// `ka × 16` packed elements; results overwrite
+    /// `acc_out[r·n + j0 .. r·n + j0 + w]`.
+    #[inline]
+    pub fn panel_tile(
+        self,
+        arows: &[&[f32]; 4],
+        rcnt: usize,
+        block: &[f32],
+        n: usize,
+        j0: usize,
+        w: usize,
+        acc_out: &mut [f32],
+    ) {
+        debug_assert!((1..=4).contains(&rcnt));
+        debug_assert!(block.len() >= arows[0].len() * 16);
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => unsafe {
+                x86::panel_tile_avx512(arows, rcnt, block, n, j0, w, acc_out)
+            },
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { x86::panel_tile_avx2(arows, rcnt, block, n, j0, w, acc_out) },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe {
+                neon::panel_tile_neon(arows, rcnt, block, n, j0, w, acc_out)
+            },
+            _ => panel_tile_ref(arows, rcnt, block, n, j0, w, acc_out),
+        }
+    }
+
+    /// Row maximum (softmax phase 1; order-insensitive by `f32::max`
+    /// algebra, see [`row_max_ref`]).
+    #[inline]
+    pub fn row_max(self, buf: &[f32]) -> f32 {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 | Backend::Avx512 => unsafe { x86::row_max_avx2(buf) },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe { neon::row_max_neon(buf) },
+            _ => row_max_ref(buf),
+        }
+    }
+}
+
+/// Fused widen-on-load dot against a raw KV row (`f32` → TF32-rounded
+/// in-register, [`Bf16`] → exact widen in-register): the decode score
+/// microkernel. Bitwise equal to [`dot_widen_ref`] (= widen then
+/// [`dot_ref`]) on every backend.
+#[inline]
+pub fn dot_widen<S: Scalar>(backend: Backend, q: &[f32], row: &[S]) -> f32 {
+    debug_assert_eq!(q.len(), row.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => {
+            if TypeId::of::<S>() == TypeId::of::<f32>() {
+                // SAFETY: S == f32 (checked above); slices of a type are
+                // slices of itself.
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<f32>(), row.len()) };
+                return unsafe { x86::dot_tf32_avx2(q, row) };
+            }
+            if TypeId::of::<S>() == TypeId::of::<Bf16>() {
+                // SAFETY: S == Bf16, which is repr(transparent) over u16.
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u16>(), row.len()) };
+                return unsafe { x86::dot_bf16_avx2(q, row) };
+            }
+            dot_widen_ref(q, row)
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => {
+            if TypeId::of::<S>() == TypeId::of::<f32>() {
+                // SAFETY: S == f32 (checked above).
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<f32>(), row.len()) };
+                return unsafe { neon::dot_tf32_neon(q, row) };
+            }
+            if TypeId::of::<S>() == TypeId::of::<Bf16>() {
+                // SAFETY: S == Bf16, which is repr(transparent) over u16.
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u16>(), row.len()) };
+                return unsafe { neon::dot_bf16_neon(q, row) };
+            }
+            dot_widen_ref(q, row)
+        }
+        _ => dot_widen_ref(q, row),
+    }
+}
+
+/// Fused widen-on-load axpy against a raw KV row: the decode SpMM
+/// microkernel. Bitwise equal to [`axpy_widen_ref`] on every backend.
+#[inline]
+pub fn axpy_widen<S: Scalar>(backend: Backend, acc: &mut [f32], s: f32, row: &[S]) {
+    debug_assert_eq!(acc.len(), row.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => {
+            if TypeId::of::<S>() == TypeId::of::<f32>() {
+                // SAFETY: S == f32 (checked above).
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<f32>(), row.len()) };
+                return unsafe { x86::axpy_tf32_avx2(acc, s, row) };
+            }
+            if TypeId::of::<S>() == TypeId::of::<Bf16>() {
+                // SAFETY: S == Bf16, which is repr(transparent) over u16.
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u16>(), row.len()) };
+                return unsafe { x86::axpy_bf16_avx2(acc, s, row) };
+            }
+            axpy_widen_ref(acc, s, row)
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => {
+            if TypeId::of::<S>() == TypeId::of::<f32>() {
+                // SAFETY: S == f32 (checked above).
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<f32>(), row.len()) };
+                return unsafe { neon::axpy_tf32_neon(acc, s, row) };
+            }
+            if TypeId::of::<S>() == TypeId::of::<Bf16>() {
+                // SAFETY: S == Bf16, which is repr(transparent) over u16.
+                let row =
+                    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u16>(), row.len()) };
+                return unsafe { neon::axpy_bf16_neon(acc, s, row) };
+            }
+            axpy_widen_ref(acc, s, row)
+        }
+        _ => axpy_widen_ref(acc, s, row),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 implementations.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::tf32_round;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of an 8-lane accumulator in the scalar tree order:
+    /// adding the high 128-bit half onto the low yields
+    /// `[l0+l4, l1+l5, l2+l6, l3+l7]`, one `hadd` yields
+    /// `[(l0+l4)+(l1+l5), (l2+l6)+(l3+l7), …]`, and the final scalar add
+    /// is `q0 + q1` — exactly `dot_ref`'s reduction.
+    #[inline(always)]
+    unsafe fn hsum_tree(acc: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        let lo = _mm256_castps256_ps128(acc);
+        let s = _mm_add_ps(lo, hi);
+        let h = _mm_hadd_ps(s, s);
+        _mm_cvtss_f32(_mm_add_ss(h, _mm_movehdup_ps(h)))
+    }
+
+    /// Bit-exact vector replica of [`dfss_tensor::tf32_round`]: round to
+    /// nearest-even at 10 mantissa bits, NaN/Inf passed through (exponent
+    /// all-ones lanes keep their input bits).
+    #[inline(always)]
+    unsafe fn tf32_round8(v: __m256) -> __m256 {
+        let bits = _mm256_castps_si256(v);
+        let lsb = _mm256_and_si256(_mm256_srli_epi32::<13>(bits), _mm256_set1_epi32(1));
+        let rounded = _mm256_add_epi32(bits, _mm256_add_epi32(_mm256_set1_epi32(0xFFF), lsb));
+        let masked = _mm256_and_si256(rounded, _mm256_set1_epi32(!0x1FFFi32));
+        let exp = _mm256_and_si256(bits, _mm256_set1_epi32(0x7F80_0000));
+        let special = _mm256_cmpeq_epi32(exp, _mm256_set1_epi32(0x7F80_0000));
+        _mm256_blendv_ps(_mm256_castsi256_ps(masked), v, _mm256_castsi256_ps(special))
+    }
+
+    /// Widen 8 bf16 values (as raw u16 bits) to f32: zero-extend, shift
+    /// left 16 — exact, the scalar `Bf16::to_f32` lane by lane.
+    #[inline(always)]
+    unsafe fn widen_bf16_8(p: *const u16) -> __m256 {
+        let half = _mm_loadu_si128(p.cast::<__m128i>());
+        let wide = _mm256_cvtepu16_epi32(half);
+        _mm256_castsi256_ps(_mm256_slli_epi32::<16>(wide))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let full = a.len() / 8 * 8;
+        let mut acc = _mm256_setzero_ps();
+        let mut c = 0;
+        while c < full {
+            let va = _mm256_loadu_ps(a.as_ptr().add(c));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(c));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            c += 8;
+        }
+        let mut out = hsum_tree(acc);
+        for i in full..a.len() {
+            out += a.get_unchecked(i) * b.get_unchecked(i);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_tf32_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let full = a.len() / 8 * 8;
+        let mut acc = _mm256_setzero_ps();
+        let mut c = 0;
+        while c < full {
+            let va = _mm256_loadu_ps(a.as_ptr().add(c));
+            let vb = tf32_round8(_mm256_loadu_ps(b.as_ptr().add(c)));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            c += 8;
+        }
+        let mut out = hsum_tree(acc);
+        for i in full..a.len() {
+            out += a.get_unchecked(i) * tf32_round(*b.get_unchecked(i));
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_bf16_avx2(a: &[f32], b: &[u16]) -> f32 {
+        let full = a.len() / 8 * 8;
+        let mut acc = _mm256_setzero_ps();
+        let mut c = 0;
+        while c < full {
+            let va = _mm256_loadu_ps(a.as_ptr().add(c));
+            let vb = widen_bf16_8(b.as_ptr().add(c));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            c += 8;
+        }
+        let mut out = hsum_tree(acc);
+        for i in full..a.len() {
+            out += a.get_unchecked(i) * f32::from_bits((*b.get_unchecked(i) as u32) << 16);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(acc: &mut [f32], s: f32, row: &[f32]) {
+        let n = acc.len();
+        let full = n / 8 * 8;
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i < full {
+            let o = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let x = _mm256_loadu_ps(row.as_ptr().add(i));
+            _mm256_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_ps(o, _mm256_mul_ps(vs, x)),
+            );
+            i += 8;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * row.get_unchecked(j);
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn axpy_avx512(acc: &mut [f32], s: f32, row: &[f32]) {
+        let n = acc.len();
+        let full = n / 16 * 16;
+        let vs = _mm512_set1_ps(s);
+        let mut i = 0;
+        while i < full {
+            let o = _mm512_loadu_ps(acc.as_ptr().add(i));
+            let x = _mm512_loadu_ps(row.as_ptr().add(i));
+            _mm512_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm512_add_ps(o, _mm512_mul_ps(vs, x)),
+            );
+            i += 16;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * row.get_unchecked(j);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy2_avx2(
+        acc0: &mut [f32],
+        acc1: &mut [f32],
+        s0: f32,
+        s1: f32,
+        row: &[f32],
+    ) {
+        let n = row.len();
+        let full = n / 8 * 8;
+        let v0 = _mm256_set1_ps(s0);
+        let v1 = _mm256_set1_ps(s1);
+        let mut i = 0;
+        while i < full {
+            let x = _mm256_loadu_ps(row.as_ptr().add(i));
+            let o0 = _mm256_loadu_ps(acc0.as_ptr().add(i));
+            let o1 = _mm256_loadu_ps(acc1.as_ptr().add(i));
+            _mm256_storeu_ps(
+                acc0.as_mut_ptr().add(i),
+                _mm256_add_ps(o0, _mm256_mul_ps(v0, x)),
+            );
+            _mm256_storeu_ps(
+                acc1.as_mut_ptr().add(i),
+                _mm256_add_ps(o1, _mm256_mul_ps(v1, x)),
+            );
+            i += 8;
+        }
+        for j in full..n {
+            let x = *row.get_unchecked(j);
+            *acc0.get_unchecked_mut(j) += s0 * x;
+            *acc1.get_unchecked_mut(j) += s1 * x;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn axpy2_avx512(
+        acc0: &mut [f32],
+        acc1: &mut [f32],
+        s0: f32,
+        s1: f32,
+        row: &[f32],
+    ) {
+        let n = row.len();
+        let full = n / 16 * 16;
+        let v0 = _mm512_set1_ps(s0);
+        let v1 = _mm512_set1_ps(s1);
+        let mut i = 0;
+        while i < full {
+            let x = _mm512_loadu_ps(row.as_ptr().add(i));
+            let o0 = _mm512_loadu_ps(acc0.as_ptr().add(i));
+            let o1 = _mm512_loadu_ps(acc1.as_ptr().add(i));
+            _mm512_storeu_ps(
+                acc0.as_mut_ptr().add(i),
+                _mm512_add_ps(o0, _mm512_mul_ps(v0, x)),
+            );
+            _mm512_storeu_ps(
+                acc1.as_mut_ptr().add(i),
+                _mm512_add_ps(o1, _mm512_mul_ps(v1, x)),
+            );
+            i += 16;
+        }
+        for j in full..n {
+            let x = *row.get_unchecked(j);
+            *acc0.get_unchecked_mut(j) += s0 * x;
+            *acc1.get_unchecked_mut(j) += s1 * x;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_tf32_avx2(acc: &mut [f32], s: f32, row: &[f32]) {
+        let n = acc.len();
+        let full = n / 8 * 8;
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i < full {
+            let o = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let x = tf32_round8(_mm256_loadu_ps(row.as_ptr().add(i)));
+            _mm256_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_ps(o, _mm256_mul_ps(vs, x)),
+            );
+            i += 8;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * tf32_round(*row.get_unchecked(j));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_bf16_avx2(acc: &mut [f32], s: f32, row: &[u16]) {
+        let n = acc.len();
+        let full = n / 8 * 8;
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i < full {
+            let o = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let x = widen_bf16_8(row.as_ptr().add(i));
+            _mm256_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_ps(o, _mm256_mul_ps(vs, x)),
+            );
+            i += 8;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * f32::from_bits((*row.get_unchecked(j) as u32) << 16);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel_tile_avx2(
+        arows: &[&[f32]; 4],
+        rcnt: usize,
+        block: &[f32],
+        n: usize,
+        j0: usize,
+        w: usize,
+        acc_out: &mut [f32],
+    ) {
+        let ka = arows[0].len();
+        let mut lo = [_mm256_setzero_ps(); 4];
+        let mut hi = [_mm256_setzero_ps(); 4];
+        for kk in 0..ka {
+            let b0 = _mm256_loadu_ps(block.as_ptr().add(kk * 16));
+            let b1 = _mm256_loadu_ps(block.as_ptr().add(kk * 16 + 8));
+            for r in 0..rcnt {
+                let s = _mm256_set1_ps(*arows[r].get_unchecked(kk));
+                lo[r] = _mm256_add_ps(lo[r], _mm256_mul_ps(s, b0));
+                hi[r] = _mm256_add_ps(hi[r], _mm256_mul_ps(s, b1));
+            }
+        }
+        let mut tile = [0.0f32; 16];
+        for r in 0..rcnt {
+            _mm256_storeu_ps(tile.as_mut_ptr(), lo[r]);
+            _mm256_storeu_ps(tile.as_mut_ptr().add(8), hi[r]);
+            acc_out[r * n + j0..r * n + j0 + w].copy_from_slice(&tile[..w]);
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn panel_tile_avx512(
+        arows: &[&[f32]; 4],
+        rcnt: usize,
+        block: &[f32],
+        n: usize,
+        j0: usize,
+        w: usize,
+        acc_out: &mut [f32],
+    ) {
+        let ka = arows[0].len();
+        let mut acc = [_mm512_setzero_ps(); 4];
+        for kk in 0..ka {
+            let b = _mm512_loadu_ps(block.as_ptr().add(kk * 16));
+            for r in 0..rcnt {
+                let s = _mm512_set1_ps(*arows[r].get_unchecked(kk));
+                acc[r] = _mm512_add_ps(acc[r], _mm512_mul_ps(s, b));
+            }
+        }
+        let mut tile = [0.0f32; 16];
+        for r in 0..rcnt {
+            _mm512_storeu_ps(tile.as_mut_ptr(), acc[r]);
+            acc_out[r * n + j0..r * n + j0 + w].copy_from_slice(&tile[..w]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn row_max_avx2(buf: &[f32]) -> f32 {
+        let full = buf.len() / 8 * 8;
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut c = 0;
+        while c < full {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(buf.as_ptr().add(c)));
+            c += 8;
+        }
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        let lo = _mm256_castps256_ps128(acc);
+        let m4 = _mm_max_ps(lo, hi);
+        let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+        let m1 = _mm_max_ss(m2, _mm_movehdup_ps(m2));
+        let mut max = _mm_cvtss_f32(m1);
+        for i in full..buf.len() {
+            max = max.max(*buf.get_unchecked(i));
+        }
+        max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 implementations (4-lane NEON, paired into the 8-lane block shape).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::tf32_round;
+    use std::arch::aarch64::*;
+
+    /// Reduce the paired accumulators `[l0..l3]`/`[l4..l7]` in the scalar
+    /// tree order: the vector add gives `[l0+l4, l1+l5, l2+l6, l3+l7]`,
+    /// one pairwise add gives `[q0, q1, …]`, and the final scalar add is
+    /// `q0 + q1`.
+    #[inline(always)]
+    unsafe fn hsum_tree(acc_lo: float32x4_t, acc_hi: float32x4_t) -> f32 {
+        let s = vaddq_f32(acc_lo, acc_hi);
+        let p = vpaddq_f32(s, s);
+        vgetq_lane_f32::<0>(p) + vgetq_lane_f32::<1>(p)
+    }
+
+    /// Bit-exact vector replica of `tf32_round` (see the x86 twin).
+    #[inline(always)]
+    unsafe fn tf32_round4(v: float32x4_t) -> float32x4_t {
+        let bits = vreinterpretq_u32_f32(v);
+        let lsb = vandq_u32(vshrq_n_u32::<13>(bits), vdupq_n_u32(1));
+        let rounded = vaddq_u32(bits, vaddq_u32(vdupq_n_u32(0xFFF), lsb));
+        let masked = vandq_u32(rounded, vdupq_n_u32(!0x1FFF));
+        let exp = vandq_u32(bits, vdupq_n_u32(0x7F80_0000));
+        let special = vceqq_u32(exp, vdupq_n_u32(0x7F80_0000));
+        vreinterpretq_f32_u32(vbslq_u32(special, bits, masked))
+    }
+
+    /// Widen 4 bf16 values (raw u16 bits) to f32: zero-extend + shift 16.
+    #[inline(always)]
+    unsafe fn widen_bf16_4(p: *const u16) -> float32x4_t {
+        let half = vld1_u16(p);
+        let wide = vmovl_u16(half);
+        vreinterpretq_f32_u32(vshlq_n_u32::<16>(wide))
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+        let full = a.len() / 8 * 8;
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        let mut c = 0;
+        while c < full {
+            let a0 = vld1q_f32(a.as_ptr().add(c));
+            let a1 = vld1q_f32(a.as_ptr().add(c + 4));
+            let b0 = vld1q_f32(b.as_ptr().add(c));
+            let b1 = vld1q_f32(b.as_ptr().add(c + 4));
+            acc_lo = vaddq_f32(acc_lo, vmulq_f32(a0, b0));
+            acc_hi = vaddq_f32(acc_hi, vmulq_f32(a1, b1));
+            c += 8;
+        }
+        let mut out = hsum_tree(acc_lo, acc_hi);
+        for i in full..a.len() {
+            out += a.get_unchecked(i) * b.get_unchecked(i);
+        }
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_tf32_neon(a: &[f32], b: &[f32]) -> f32 {
+        let full = a.len() / 8 * 8;
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        let mut c = 0;
+        while c < full {
+            let a0 = vld1q_f32(a.as_ptr().add(c));
+            let a1 = vld1q_f32(a.as_ptr().add(c + 4));
+            let b0 = tf32_round4(vld1q_f32(b.as_ptr().add(c)));
+            let b1 = tf32_round4(vld1q_f32(b.as_ptr().add(c + 4)));
+            acc_lo = vaddq_f32(acc_lo, vmulq_f32(a0, b0));
+            acc_hi = vaddq_f32(acc_hi, vmulq_f32(a1, b1));
+            c += 8;
+        }
+        let mut out = hsum_tree(acc_lo, acc_hi);
+        for i in full..a.len() {
+            out += a.get_unchecked(i) * tf32_round(*b.get_unchecked(i));
+        }
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_bf16_neon(a: &[f32], b: &[u16]) -> f32 {
+        let full = a.len() / 8 * 8;
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        let mut c = 0;
+        while c < full {
+            let a0 = vld1q_f32(a.as_ptr().add(c));
+            let a1 = vld1q_f32(a.as_ptr().add(c + 4));
+            let b0 = widen_bf16_4(b.as_ptr().add(c));
+            let b1 = widen_bf16_4(b.as_ptr().add(c + 4));
+            acc_lo = vaddq_f32(acc_lo, vmulq_f32(a0, b0));
+            acc_hi = vaddq_f32(acc_hi, vmulq_f32(a1, b1));
+            c += 8;
+        }
+        let mut out = hsum_tree(acc_lo, acc_hi);
+        for i in full..a.len() {
+            out += a.get_unchecked(i) * f32::from_bits((*b.get_unchecked(i) as u32) << 16);
+        }
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_neon(acc: &mut [f32], s: f32, row: &[f32]) {
+        let n = acc.len();
+        let full = n / 4 * 4;
+        let vs = vdupq_n_f32(s);
+        let mut i = 0;
+        while i < full {
+            let o = vld1q_f32(acc.as_ptr().add(i));
+            let x = vld1q_f32(row.as_ptr().add(i));
+            vst1q_f32(acc.as_mut_ptr().add(i), vaddq_f32(o, vmulq_f32(vs, x)));
+            i += 4;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * row.get_unchecked(j);
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy2_neon(
+        acc0: &mut [f32],
+        acc1: &mut [f32],
+        s0: f32,
+        s1: f32,
+        row: &[f32],
+    ) {
+        let n = row.len();
+        let full = n / 4 * 4;
+        let v0 = vdupq_n_f32(s0);
+        let v1 = vdupq_n_f32(s1);
+        let mut i = 0;
+        while i < full {
+            let x = vld1q_f32(row.as_ptr().add(i));
+            let o0 = vld1q_f32(acc0.as_ptr().add(i));
+            let o1 = vld1q_f32(acc1.as_ptr().add(i));
+            vst1q_f32(acc0.as_mut_ptr().add(i), vaddq_f32(o0, vmulq_f32(v0, x)));
+            vst1q_f32(acc1.as_mut_ptr().add(i), vaddq_f32(o1, vmulq_f32(v1, x)));
+            i += 4;
+        }
+        for j in full..n {
+            let x = *row.get_unchecked(j);
+            *acc0.get_unchecked_mut(j) += s0 * x;
+            *acc1.get_unchecked_mut(j) += s1 * x;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_tf32_neon(acc: &mut [f32], s: f32, row: &[f32]) {
+        let n = acc.len();
+        let full = n / 4 * 4;
+        let vs = vdupq_n_f32(s);
+        let mut i = 0;
+        while i < full {
+            let o = vld1q_f32(acc.as_ptr().add(i));
+            let x = tf32_round4(vld1q_f32(row.as_ptr().add(i)));
+            vst1q_f32(acc.as_mut_ptr().add(i), vaddq_f32(o, vmulq_f32(vs, x)));
+            i += 4;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * tf32_round(*row.get_unchecked(j));
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_bf16_neon(acc: &mut [f32], s: f32, row: &[u16]) {
+        let n = acc.len();
+        let full = n / 4 * 4;
+        let vs = vdupq_n_f32(s);
+        let mut i = 0;
+        while i < full {
+            let o = vld1q_f32(acc.as_ptr().add(i));
+            let x = widen_bf16_4(row.as_ptr().add(i));
+            vst1q_f32(acc.as_mut_ptr().add(i), vaddq_f32(o, vmulq_f32(vs, x)));
+            i += 4;
+        }
+        for j in full..n {
+            *acc.get_unchecked_mut(j) += s * f32::from_bits((*row.get_unchecked(j) as u32) << 16);
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn panel_tile_neon(
+        arows: &[&[f32]; 4],
+        rcnt: usize,
+        block: &[f32],
+        n: usize,
+        j0: usize,
+        w: usize,
+        acc_out: &mut [f32],
+    ) {
+        let ka = arows[0].len();
+        // rcnt ≤ 4 rows × 4 quads of 4 lanes = up to 16 accumulator regs.
+        let mut acc = [[vdupq_n_f32(0.0); 4]; 4];
+        for kk in 0..ka {
+            let b0 = vld1q_f32(block.as_ptr().add(kk * 16));
+            let b1 = vld1q_f32(block.as_ptr().add(kk * 16 + 4));
+            let b2 = vld1q_f32(block.as_ptr().add(kk * 16 + 8));
+            let b3 = vld1q_f32(block.as_ptr().add(kk * 16 + 12));
+            for r in 0..rcnt {
+                let s = vdupq_n_f32(*arows[r].get_unchecked(kk));
+                acc[r][0] = vaddq_f32(acc[r][0], vmulq_f32(s, b0));
+                acc[r][1] = vaddq_f32(acc[r][1], vmulq_f32(s, b1));
+                acc[r][2] = vaddq_f32(acc[r][2], vmulq_f32(s, b2));
+                acc[r][3] = vaddq_f32(acc[r][3], vmulq_f32(s, b3));
+            }
+        }
+        let mut tile = [0.0f32; 16];
+        for r in 0..rcnt {
+            for q in 0..4 {
+                vst1q_f32(tile.as_mut_ptr().add(q * 4), acc[r][q]);
+            }
+            acc_out[r * n + j0..r * n + j0 + w].copy_from_slice(&tile[..w]);
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn row_max_neon(buf: &[f32]) -> f32 {
+        let full = buf.len() / 4 * 4;
+        let mut acc = vdupq_n_f32(f32::NEG_INFINITY);
+        let mut c = 0;
+        while c < full {
+            acc = vmaxq_f32(acc, vld1q_f32(buf.as_ptr().add(c)));
+            c += 4;
+        }
+        let mut max = vmaxvq_f32(acc);
+        for i in full..buf.len() {
+            max = max.max(*buf.get_unchecked(i));
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available_and_parse_round_trips() {
+        assert!(Backend::Scalar.available());
+        for b in [
+            Backend::Scalar,
+            Backend::Avx2,
+            Backend::Avx512,
+            Backend::Neon,
+        ] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("sse9"), None);
+    }
+
+    #[test]
+    fn active_backend_is_available_and_stable() {
+        let b = active();
+        assert!(b.available());
+        assert_eq!(active(), b);
+    }
+
+    #[test]
+    fn force_overrides_and_restores() {
+        let dispatched = active();
+        force(Some(Backend::Scalar));
+        assert_eq!(active(), Backend::Scalar);
+        force(None);
+        assert_eq!(active(), dispatched);
+    }
+
+    #[test]
+    fn detect_never_picks_an_unavailable_backend() {
+        assert!(detect().available());
+    }
+}

@@ -45,29 +45,15 @@ fn record_softmax_batched<T: Scalar>(
 const ROW_CHUNK: usize = 16;
 
 /// Lane-blocked row maximum (a serial `fold(NEG_INFINITY, f32::max)` is a
-/// scalar dependency chain the vectorizer cannot break). `f32::max` is
-/// associative, commutative, and NaN-ignoring, and the only order-sensitive
-/// case — a `±0.0` tie for the row maximum — is invisible downstream
-/// because `exp(x - -0.0) == exp(x - 0.0)` exactly; softmax results are
-/// identical to the serial fold.
+/// scalar dependency chain the vectorizer cannot break), dispatched to the
+/// SIMD backend. `f32::max` is associative, commutative, and NaN-ignoring,
+/// and the only order-sensitive case — a `±0.0` tie for the row maximum —
+/// is invisible downstream because `exp(x - -0.0) == exp(x - 0.0)` exactly;
+/// softmax results are identical to the serial fold on every backend. The
+/// exp pass and the normalising sum stay scalar: they are order-sensitive
+/// and part of the bit contract.
 fn row_max(buf: &[f32]) -> f32 {
-    const LANES: usize = 8;
-    let full = buf.len() / LANES * LANES;
-    let mut lanes = [f32::NEG_INFINITY; LANES];
-    for c in (0..full).step_by(LANES) {
-        let xb: &[f32; LANES] = buf[c..c + LANES].try_into().unwrap();
-        for l in 0..LANES {
-            lanes[l] = lanes[l].max(xb[l]);
-        }
-    }
-    let mut max = f32::NEG_INFINITY;
-    for l in 0..LANES {
-        max = max.max(lanes[l]);
-    }
-    for &x in &buf[full..] {
-        max = max.max(x);
-    }
-    max
+    crate::simd::active().row_max(buf)
 }
 
 /// Stable softmax of one row in place through a caller-provided f32 scratch

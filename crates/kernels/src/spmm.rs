@@ -224,7 +224,9 @@ pub fn spmm_nm_batched<T: Scalar>(
 /// cached `len × d_v` V panel, one output row. Same tiled model as
 /// [`spmm_nm`] with a one-row output grid; shared by the solo and ragged
 /// entry points so the ragged launch charges exactly the per-stream sum.
-fn spmm_decode_charge<T: Scalar>(
+/// The V panel is charged at its stored element width `S`; compressed
+/// scores and outputs stay at the compute width `T`.
+fn spmm_decode_charge<T: Scalar, S: Scalar>(
     ctx: &GpuCtx,
     len: usize,
     d_v: usize,
@@ -234,7 +236,7 @@ fn spmm_decode_charge<T: Scalar>(
     let tn = ctx.tile_for(d_v) as u64;
     let tiles = (d_v as u64).div_ceil(tn);
     let a_row = (kept * T::BYTES) as u64 + (groups as u64 * 4).div_ceil(8);
-    let v_panel = len as u64 * tn * T::BYTES as u64;
+    let v_panel = len as u64 * tn * S::BYTES as u64;
     let reads = tiles * (a_row + v_panel);
     let writes = (d_v * T::BYTES) as u64;
     (reads, writes, (kept * d_v) as u64)
@@ -243,13 +245,17 @@ fn spmm_decode_charge<T: Scalar>(
 /// Solo decode SpMM: one stream's compressed score row (with dense tail)
 /// against its cached V (`len × d_v`) on the simulated sparse tensor core
 /// → a `1 × d_v` output row. Records one per-stream profile.
-pub fn spmm_nm_decode<T: Scalar>(ctx: &mut GpuCtx, a: &NmRagged<T>, v: &Matrix<T>) -> Matrix<T> {
+pub fn spmm_nm_decode<T: Scalar, S: Scalar>(
+    ctx: &mut GpuCtx,
+    a: &NmRagged<T>,
+    v: &Matrix<S>,
+) -> Matrix<T> {
     assert_eq!(a.streams(), 1, "solo decode takes a single stream");
     let len = a.len_of(0);
     let (vr, d_v) = v.shape();
     assert_eq!(len, vr, "cached length {len} != V rows {vr}");
     let (reads, writes, macs) =
-        spmm_decode_charge::<T>(ctx, len, d_v, a.kept_of(0), a.groups_of(0));
+        spmm_decode_charge::<T, S>(ctx, len, d_v, a.kept_of(0), a.groups_of(0));
     ctx.record(
         KernelProfile::new("spmm_nm_decode", Stage::Av)
             .with_traffic(reads, writes)
@@ -268,10 +274,10 @@ pub fn spmm_nm_decode<T: Scalar>(ctx: &mut GpuCtx, a: &NmRagged<T>, v: &Matrix<T
 /// per-stream [`spmm_nm_decode`] charges, one pool fan-out over streams.
 /// Returns the `streams × d_v` output (one row per stream). Bit-identical
 /// to the per-stream solo loop (shared inner routine).
-pub fn spmm_nm_ragged<T: Scalar>(
+pub fn spmm_nm_ragged<T: Scalar, S: Scalar>(
     ctx: &mut GpuCtx,
     a: &NmRagged<T>,
-    v: &RaggedBatch<T>,
+    v: &RaggedBatch<S>,
 ) -> Matrix<T> {
     let streams = a.streams();
     assert_eq!(streams, v.streams(), "stream counts differ");
@@ -280,7 +286,7 @@ pub fn spmm_nm_ragged<T: Scalar>(
     let (mut reads, mut writes, mut macs) = (0u64, 0u64, 0u64);
     for i in 0..streams {
         let (r, w, m) =
-            spmm_decode_charge::<T>(ctx, a.len_of(i), d_v, a.kept_of(i), a.groups_of(i));
+            spmm_decode_charge::<T, S>(ctx, a.len_of(i), d_v, a.kept_of(i), a.groups_of(i));
         reads += r;
         writes += w;
         macs += m;

@@ -1,0 +1,343 @@
+//! Bit-parity gauntlet: every SIMD microkernel backend available on this
+//! host must produce **bitwise identical** results to the always-compiled
+//! scalar reference, for every microkernel, over adversarial lengths.
+//!
+//! This is the contract that lets `DFSS_SIMD` pick a backend freely
+//! without perturbing a single downstream test, proptest, or golden
+//! artifact: the vector kernels keep the scalar reference's reduction
+//! trees and never contract mul+add into FMA, so regrouping into lanes is
+//! the *only* transformation — and the references are written in the same
+//! lane-blocked order.
+//!
+//! Lengths cover 0, 1, lane−1, lane, lane+1, tail-only, exact multiples,
+//! multiples±1 and large-ish odd sizes, for both the 8-lane (AVX2/NEON
+//! pairs) and 16-lane (AVX-512) widths.
+
+use dfss_kernels::simd::{
+    self, axpy2_ref, axpy_ref, axpy_widen, axpy_widen_ref, dot_ref, dot_widen, dot_widen_ref,
+    panel_tile_ref, row_max_ref, Backend,
+};
+use dfss_tensor::{Bf16, Rng};
+
+/// Every backend the host CPU can actually run (always includes Scalar).
+fn available_backends() -> Vec<Backend> {
+    [
+        Backend::Scalar,
+        Backend::Avx2,
+        Backend::Avx512,
+        Backend::Neon,
+    ]
+    .into_iter()
+    .filter(|b| b.available())
+    .collect()
+}
+
+/// Adversarial slice lengths around both vector widths.
+const LENGTHS: &[usize] = &[
+    0, 1, 2, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33, 63, 64, 65, 100, 127, 257,
+];
+
+fn vec_of(len: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.normal(0.0, 1.0)).collect()
+}
+
+#[test]
+fn dot_is_bit_identical_across_backends() {
+    let mut rng = Rng::new(0xD07);
+    for &len in LENGTHS {
+        let a = vec_of(len, &mut rng);
+        let b = vec_of(len, &mut rng);
+        let want = dot_ref(&a, &b);
+        for backend in available_backends() {
+            let got = backend.dot(&a, &b);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "dot len {len} on {}: {got} != {want}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn axpy_is_bit_identical_across_backends() {
+    let mut rng = Rng::new(0xA11);
+    for &len in LENGTHS {
+        let row = vec_of(len, &mut rng);
+        let acc0 = vec_of(len, &mut rng);
+        let s = rng.normal(0.0, 1.0);
+        let mut want = acc0.clone();
+        axpy_ref(&mut want, s, &row);
+        for backend in available_backends() {
+            let mut got = acc0.clone();
+            backend.axpy(&mut got, s, &row);
+            let same = got
+                .iter()
+                .zip(&want)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "axpy len {len} diverged on {}", backend.name());
+        }
+    }
+}
+
+#[test]
+fn axpy2_is_bit_identical_across_backends() {
+    let mut rng = Rng::new(0xA22);
+    for &len in LENGTHS {
+        let row = vec_of(len, &mut rng);
+        let acc0 = vec_of(len, &mut rng);
+        let acc1 = vec_of(len, &mut rng);
+        let (s0, s1) = (rng.normal(0.0, 1.0), rng.normal(0.0, 1.0));
+        let (mut w0, mut w1) = (acc0.clone(), acc1.clone());
+        axpy2_ref(&mut w0, &mut w1, s0, s1, &row);
+        for backend in available_backends() {
+            let (mut g0, mut g1) = (acc0.clone(), acc1.clone());
+            backend.axpy2(&mut g0, &mut g1, s0, s1, &row);
+            let same = g0
+                .iter()
+                .zip(&w0)
+                .chain(g1.iter().zip(&w1))
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "axpy2 len {len} diverged on {}", backend.name());
+        }
+    }
+}
+
+#[test]
+fn panel_tile_is_bit_identical_across_backends() {
+    // One register tile: rcnt rows × w≤16 columns over ka packed steps.
+    // Element-wise mul+add per k step, so any lane width is exact — but
+    // the tails (w < 16, rcnt < 4) are where the masking bugs live.
+    let mut rng = Rng::new(0x7113);
+    for &ka in &[1usize, 2, 3, 7, 8, 9, 33] {
+        for rcnt in 1usize..=4 {
+            for &w in &[1usize, 7, 8, 9, 15, 16] {
+                let rows: Vec<Vec<f32>> = (0..4).map(|_| vec_of(ka, &mut rng)).collect();
+                let arows: [&[f32]; 4] =
+                    [&rows[0], &rows[1], &rows[2], &rows[3]].map(|r: &Vec<f32>| r.as_slice());
+                let block = vec_of(ka * 16, &mut rng);
+                let n = 24usize; // acc stride wider than the tile
+                let j0 = 3usize;
+                let mut want = vec![0.0f32; 4 * n];
+                panel_tile_ref(&arows, rcnt, &block, n, j0, w, &mut want);
+                for backend in available_backends() {
+                    let mut got = vec![0.0f32; 4 * n];
+                    backend.panel_tile(&arows, rcnt, &block, n, j0, w, &mut got);
+                    let same = got
+                        .iter()
+                        .zip(&want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(
+                        same,
+                        "panel_tile ka={ka} rcnt={rcnt} w={w} diverged on {}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn row_max_is_bit_identical_across_backends() {
+    let mut rng = Rng::new(0x3A);
+    for &len in LENGTHS {
+        let mut buf = vec_of(len, &mut rng);
+        if len > 2 {
+            buf[len / 2] = f32::NEG_INFINITY;
+            buf[len - 1] = 100.0;
+        }
+        let want = row_max_ref(&buf);
+        for backend in available_backends() {
+            let got = backend.row_max(&buf);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "row_max len {len} on {}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dot_widen_f32_is_bit_identical_across_backends() {
+    // S = f32 runs the TF32-truncating widen (to_mul) inside the dot.
+    let mut rng = Rng::new(0x1F32);
+    for &len in LENGTHS {
+        let q = vec_of(len, &mut rng);
+        let row = vec_of(len, &mut rng);
+        let want = dot_widen_ref::<f32>(&q, &row);
+        for backend in available_backends() {
+            let got = dot_widen::<f32>(backend, &q, &row);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "dot_widen<f32> len {len} on {}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dot_widen_bf16_is_bit_identical_across_backends() {
+    let mut rng = Rng::new(0x1B16);
+    for &len in LENGTHS {
+        let q = vec_of(len, &mut rng);
+        let row: Vec<Bf16> = (0..len)
+            .map(|_| Bf16::from_f32(rng.normal(0.0, 1.0)))
+            .collect();
+        let want = dot_widen_ref::<Bf16>(&q, &row);
+        for backend in available_backends() {
+            let got = dot_widen::<Bf16>(backend, &q, &row);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "dot_widen<Bf16> len {len} on {}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn axpy_widen_is_bit_identical_across_backends_for_both_dtypes() {
+    let mut rng = Rng::new(0xA3);
+    for &len in LENGTHS {
+        let row_f: Vec<f32> = vec_of(len, &mut rng);
+        let row_b: Vec<Bf16> = (0..len)
+            .map(|_| Bf16::from_f32(rng.normal(0.0, 1.0)))
+            .collect();
+        let acc0 = vec_of(len, &mut rng);
+        let s = rng.normal(0.0, 1.0);
+        let mut want_f = acc0.clone();
+        axpy_widen_ref::<f32>(&mut want_f, s, &row_f);
+        let mut want_b = acc0.clone();
+        axpy_widen_ref::<Bf16>(&mut want_b, s, &row_b);
+        for backend in available_backends() {
+            let mut got = acc0.clone();
+            axpy_widen::<f32>(backend, &mut got, s, &row_f);
+            let same = got
+                .iter()
+                .zip(&want_f)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                same,
+                "axpy_widen<f32> len {len} diverged on {}",
+                backend.name()
+            );
+            let mut got = acc0.clone();
+            axpy_widen::<Bf16>(backend, &mut got, s, &row_b);
+            let same = got
+                .iter()
+                .zip(&want_b)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                same,
+                "axpy_widen<Bf16> len {len} diverged on {}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tf32_widen_preserves_nan_and_infinity_lanes() {
+    // The SIMD TF32 rounding uses an integer add on the exponent/mantissa
+    // bits — a naive version corrupts NaN payloads and can carry Inf into
+    // NaN. Specials must pass through on every backend, in every lane
+    // position of a vector body (not just the scalar tail).
+    //
+    // When several distinct NaNs meet in one reduction (a propagated qNaN
+    // and the `inf + -inf` indefinite), *which payload* survives depends
+    // on the operand order LLVM happens to emit for each fadd — it is not
+    // stable even scalar-vs-scalar across inlining contexts. NaN-ness is
+    // the contract there, payload bits are not; everything non-NaN
+    // (including exact ±inf and MAX overflowing to inf under TF32
+    // rounding) must still match bitwise.
+    let specials = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::MAX,
+        1.000_000_1,
+    ];
+    for lane in 0..8 {
+        let mut row = vec![1.0f32; 16];
+        for (off, &s) in specials.iter().enumerate() {
+            row[(lane + off * 3) % 16] = s;
+        }
+        let q = vec![1.0f32; 16];
+        let want = dot_widen_ref::<f32>(&q, &row);
+        for backend in available_backends() {
+            let got = dot_widen::<f32>(backend, &q, &row);
+            if want.is_nan() {
+                assert!(
+                    got.is_nan(),
+                    "specials at lane {lane} on {}: lost the NaN ({got})",
+                    backend.name()
+                );
+            } else {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "specials at lane {lane} diverged on {}",
+                    backend.name()
+                );
+            }
+        }
+    }
+    // Single-special rows exercise each passthrough without NaN-vs-NaN
+    // ambiguity: at most one NaN source means every fadd has at most one
+    // NaN operand and the result is deterministic — full bit parity.
+    for &s in &specials {
+        for pos in [0usize, 5, 8, 15] {
+            let mut row = vec![1.0f32; 16];
+            row[pos] = s;
+            let q = vec![1.0f32; 16];
+            let want = dot_widen_ref::<f32>(&q, &row);
+            for backend in available_backends() {
+                let got = dot_widen::<f32>(backend, &q, &row);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "single special {s:?} at {pos} diverged on {}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forcing_each_available_backend_runs_the_full_dispatched_surface() {
+    // Drive the public micro-kernel entry points (the ones production code
+    // calls) under each forced backend and compare against Scalar-forced
+    // runs: the dispatcher must route every family, not just the ones the
+    // unit tests above touch directly.
+    let mut rng = Rng::new(0xF0);
+    let a = vec_of(100, &mut rng);
+    let b = vec_of(100, &mut rng);
+    let acc0 = vec_of(100, &mut rng);
+    let s = rng.normal(0.0, 1.0);
+    simd::force(Some(Backend::Scalar));
+    let want_dot = dfss_kernels::micro::dot(&a, &b);
+    let mut want_axpy = acc0.clone();
+    dfss_kernels::micro::axpy(&mut want_axpy, s, &a);
+    for backend in available_backends() {
+        simd::force(Some(backend));
+        assert_eq!(simd::active(), backend);
+        let got_dot = dfss_kernels::micro::dot(&a, &b);
+        assert_eq!(got_dot.to_bits(), want_dot.to_bits(), "{}", backend.name());
+        let mut got_axpy = acc0.clone();
+        dfss_kernels::micro::axpy(&mut got_axpy, s, &a);
+        let same = got_axpy
+            .iter()
+            .zip(&want_axpy)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "micro::axpy diverged under forced {}", backend.name());
+    }
+    simd::force(None);
+}

@@ -837,6 +837,12 @@ fn metrics_text(shared: &Shared) -> String {
             key.n, key.d, depth
         ));
     }
+    // Which SIMD microkernel backend this process dispatched to (pinned
+    // once at pool startup; `DFSS_SIMD` overrides — see dfss-kernels).
+    out.push_str(&format!(
+        "dfss_simd_backend{{name=\"{}\"}} 1\n",
+        dfss_kernels::simd::active().name()
+    ));
     out
 }
 
@@ -1319,6 +1325,7 @@ mod tests {
                 page_elems: 64,
                 budget_bytes: 16 * 1024,
                 evict_idle: false,
+                ..KvConfig::default()
             },
         );
         let server = HttpServer::bind(att, quick_config()).unwrap();
@@ -1444,6 +1451,11 @@ mod tests {
         assert!(
             text.contains("dfss_queue_depth_prefill{n=\"4\",d=\"4\"} 1"),
             "queued request missing from depth gauges:\n{text}"
+        );
+        let backend = dfss_kernels::simd::active().name();
+        assert!(
+            text.contains(&format!("dfss_simd_backend{{name=\"{backend}\"}} 1")),
+            "metrics missing the dispatched SIMD backend:\n{text}"
         );
         assert!(t.join().unwrap().is_ok());
         let _ = server.shutdown();

@@ -28,7 +28,7 @@
 
 use dfss_core::engine::KvRows;
 use dfss_core::mechanism::RequestError;
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{Bf16, Matrix, Scalar};
 
 /// Identifier of an open decode session, unique per server for its
 /// lifetime.
@@ -45,6 +45,23 @@ impl std::fmt::Display for SessionId {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
+/// Storage dtype of a server's KV pages.
+///
+/// `Native` stores rows at the server's compute dtype `T` (the PR 5
+/// behaviour). `Bf16` stores rows bf16-quantised regardless of `T`:
+/// appends narrow each element through [`Bf16::from_f32`] once at write
+/// time and the decode microkernels widen on load (exactly — bf16 → f32
+/// is a left shift), so a page holds twice as many f32-computed rows for
+/// the same byte budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KvDtype {
+    /// Store KV rows at the compute dtype.
+    #[default]
+    Native,
+    /// Store KV rows bf16-quantised (half the bytes of f32 compute).
+    Bf16,
+}
+
 /// Geometry and governance knobs of a server's KV memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KvConfig {
@@ -59,6 +76,8 @@ pub struct KvConfig {
     /// When the budget is exhausted, evict idle sessions (LRU order,
     /// deterministic) instead of rejecting the newcomer outright.
     pub evict_idle: bool,
+    /// Storage dtype of the pool's pages (see [`KvDtype`]).
+    pub kv_dtype: KvDtype,
 }
 
 impl Default for KvConfig {
@@ -67,6 +86,7 @@ impl Default for KvConfig {
             page_elems: 1024,
             budget_bytes: u64::MAX,
             evict_idle: false,
+            kv_dtype: KvDtype::Native,
         }
     }
 }
@@ -88,6 +108,33 @@ impl KvConfig {
     /// Pages the byte budget admits (the pool's capacity).
     pub fn capacity_pages<T: Scalar>(&self) -> usize {
         let pages = self.budget_bytes / self.page_bytes::<T>();
+        pages.min(u32::MAX as u64) as usize
+    }
+
+    /// Bytes one **stored** element occupies when the server computes in
+    /// `T`: `T::BYTES` under [`KvDtype::Native`], 2 under
+    /// [`KvDtype::Bf16`]. All budget and utilization accounting must go
+    /// through this (not a literal `T::BYTES`, and never a literal `4`) so
+    /// the governor charges what the pages physically hold.
+    #[inline]
+    pub fn storage_elem_bytes<T: Scalar>(&self) -> usize {
+        match self.kv_dtype {
+            KvDtype::Native => T::BYTES,
+            KvDtype::Bf16 => Bf16::BYTES,
+        }
+    }
+
+    /// Physical bytes of one page at the stored element width.
+    #[inline]
+    pub fn storage_page_bytes<T: Scalar>(&self) -> u64 {
+        (self.page_elems * self.storage_elem_bytes::<T>()) as u64
+    }
+
+    /// Pages the byte budget admits at the stored element width — the
+    /// capacity a `T`-computing server actually governs. A bf16 store
+    /// doubles this over f32 compute for the same `budget_bytes`.
+    pub fn storage_capacity_pages<T: Scalar>(&self) -> usize {
+        let pages = self.budget_bytes / self.storage_page_bytes::<T>();
         pages.min(u32::MAX as u64) as usize
     }
 }
@@ -556,6 +603,40 @@ impl<T: Scalar> PagedKvCache<T> {
         Ok(())
     }
 
+    /// Append one position given at the compute dtype `C`, narrowing each
+    /// element through bf16 at write time. The quantisation loss is paid
+    /// exactly once — decode widens the stored row back losslessly.
+    pub fn append_narrowed<C: Scalar>(
+        &mut self,
+        pool: &mut KvPool<T>,
+        k_row: &[C],
+        v_row: &[C],
+    ) -> Result<(), KvError> {
+        let narrow =
+            |row: &[C]| -> Vec<T> { row.iter().map(|x| T::from_f32(x.to_f32())).collect() };
+        self.append(pool, &narrow(k_row), &narrow(v_row))
+    }
+
+    /// Block form of [`append_narrowed`](Self::append_narrowed).
+    pub fn extend_narrowed<C: Scalar>(
+        &mut self,
+        pool: &mut KvPool<T>,
+        k: &Matrix<C>,
+        v: &Matrix<C>,
+    ) -> Result<(), KvError> {
+        let narrow = |m: &Matrix<C>| -> Matrix<T> {
+            Matrix::from_vec(
+                m.rows(),
+                m.cols(),
+                m.as_slice()
+                    .iter()
+                    .map(|x| T::from_f32(x.to_f32()))
+                    .collect(),
+            )
+        };
+        self.extend(pool, &narrow(k), &narrow(v))
+    }
+
     /// Write position `row` (already backed by a page) on both sides.
     fn write_row(&self, pool: &mut KvPool<T>, row: usize, k_row: &[T], v_row: &[T]) {
         let kp = self.k_pages[row / self.rows_per_page_k];
@@ -564,6 +645,27 @@ impl<T: Scalar> PagedKvCache<T> {
         let vp = self.v_pages[row / self.rows_per_page_v];
         let vo = (row % self.rows_per_page_v) * self.d_v;
         pool.page_mut(vp)[vo..vo + self.d_v].copy_from_slice(v_row);
+    }
+}
+
+impl PagedKvCache<Bf16> {
+    /// The cached bf16 keys as a borrowed page table for the engine's
+    /// pack, tagged quantised so a `T`-computing engine routes the step
+    /// through its fused widen-on-load decode path.
+    pub fn k_rows_quant<'p, T: Scalar>(&self, pool: &'p KvPool<Bf16>) -> KvRows<'p, T> {
+        KvRows::PagedBf16 {
+            pages: self.k_pages.iter().map(|&id| pool.page(id)).collect(),
+            rows_per_page: self.rows_per_page_k,
+        }
+    }
+
+    /// The cached bf16 values as a borrowed page table (see
+    /// [`k_rows_quant`](Self::k_rows_quant)).
+    pub fn v_rows_quant<'p, T: Scalar>(&self, pool: &'p KvPool<Bf16>) -> KvRows<'p, T> {
+        KvRows::PagedBf16 {
+            pages: self.v_pages.iter().map(|&id| pool.page(id)).collect(),
+            rows_per_page: self.rows_per_page_v,
+        }
     }
 }
 
@@ -576,6 +678,7 @@ mod tests {
             page_elems,
             budget_bytes: pages * (page_elems * 4) as u64,
             evict_idle: false,
+            kv_dtype: KvDtype::Native,
         }
     }
 
@@ -693,6 +796,7 @@ mod tests {
             page_elems: 256,
             budget_bytes: 1 << 20,
             evict_idle: false,
+            kv_dtype: KvDtype::Native,
         };
         assert_eq!(cfg.capacity_pages::<f32>(), 1024);
         assert_eq!(cfg.capacity_pages::<dfss_tensor::Bf16>(), 2048);
@@ -701,5 +805,59 @@ mod tests {
         assert_eq!(pages_for_growth(4, 1, 4), 1);
         assert_eq!(pages_for_growth(3, 1, 4), 0);
         assert_eq!(pages_for_growth(2, 10, 4), 2);
+        // Storage-width accounting: a Native store charges T::BYTES, a
+        // Bf16 store charges 2 bytes/element whatever the compute dtype —
+        // the same byte budget backs twice the pages.
+        assert_eq!(cfg.storage_elem_bytes::<f32>(), 4);
+        assert_eq!(cfg.storage_capacity_pages::<f32>(), 1024);
+        let quant = KvConfig {
+            kv_dtype: KvDtype::Bf16,
+            ..cfg
+        };
+        assert_eq!(quant.storage_elem_bytes::<f32>(), 2);
+        assert_eq!(quant.storage_capacity_pages::<f32>(), 2048);
+        assert_eq!(
+            quant.storage_capacity_pages::<f32>(),
+            quant.capacity_pages::<Bf16>(),
+            "the registry's governed capacity must match the Bf16 pool's"
+        );
+    }
+
+    #[test]
+    fn quant_cache_narrows_on_write_and_exposes_bf16_pages() {
+        let cfg = KvConfig {
+            page_elems: 8,
+            kv_dtype: KvDtype::Bf16,
+            ..KvConfig::default()
+        };
+        let mut pool = KvPool::<Bf16>::new(&cfg);
+        let mut c = PagedKvCache::<Bf16>::new(&cfg, 4, 2).unwrap();
+        // 1.0 and -2.5 are exactly representable in bf16; 1.0000001 is not
+        // and must round to the stored bf16, not survive at f32 precision.
+        let k = Matrix::from_vec(1, 4, vec![1.0f32, -2.5, 1.000_000_1, 0.0]);
+        let v = Matrix::from_vec(1, 2, vec![3.0f32, -0.5]);
+        c.extend_narrowed(&mut pool, &k, &v).unwrap();
+        c.append_narrowed(&mut pool, &[1.0f32, 2.0, 3.0, 4.0], &[5.0f32, 6.0])
+            .unwrap();
+        assert_eq!(c.len(), 2);
+        let stored = c.k_matrix(&pool);
+        assert_eq!(stored.row(0)[0], Bf16::from_f32(1.0));
+        assert_eq!(stored.row(0)[2], Bf16::from_f32(1.000_000_1));
+        assert_ne!(stored.row(0)[2].to_f32(), 1.000_000_1f32);
+        // Logical bytes are charged at the stored width (2 bytes/elem).
+        assert_eq!(c.bytes(), (2 * (4 + 2) * 2) as u64);
+        // The quant row views carry the bf16 pages under the compute-dtype
+        // tag the engine dispatches on.
+        match c.k_rows_quant::<f32>(&pool) {
+            KvRows::PagedBf16 {
+                pages,
+                rows_per_page,
+            } => {
+                assert_eq!(rows_per_page, 2);
+                assert_eq!(pages.len(), 1);
+                assert_eq!(pages[0][0], Bf16::from_f32(1.0));
+            }
+            other => panic!("expected PagedBf16, got {other:?}"),
+        }
     }
 }

@@ -108,7 +108,9 @@ pub mod wire;
 pub use dfss_core::engine::{KvRows, ShapeKey, Ticket};
 pub use dfss_core::mechanism::RequestError;
 pub use faults::{FaultKind, FaultPlan};
-pub use kv::{pages_for_growth, KvConfig, KvError, KvPool, PageId, PagedKvCache, SessionId};
+pub use kv::{
+    pages_for_growth, KvConfig, KvDtype, KvError, KvPool, PageId, PagedKvCache, SessionId,
+};
 pub use server::{
     AttentionServer, DecodeHandle, QueueDepths, ResponseHandle, Served, ServedDecode,
 };

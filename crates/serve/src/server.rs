@@ -25,13 +25,13 @@
 //! blocking a client.
 
 use crate::faults::{FaultArm, FaultKind, FaultPlan, FaultyAttention};
-use crate::kv::{KvConfig, KvPool, PagedKvCache, SessionId};
+use crate::kv::{KvConfig, KvDtype, KvPool, PagedKvCache, SessionId};
 use crate::queue::{Bucket, BucketQueue, QueuedRequest};
 use crate::{BatchPolicy, DecodeRequest, ServeError, ServeStats, SessionError};
 use dfss_core::engine::{AttentionEngine, DecodeStep, ShapeKey, Ticket};
 use dfss_core::mechanism::{try_check_qkv, Attention, RequestError};
 use dfss_kernels::GpuCtx;
-use dfss_tensor::{Matrix, Scalar};
+use dfss_tensor::{Bf16, Matrix, Scalar};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -447,7 +447,10 @@ impl<T: Scalar> AttentionServer<T> {
         faults: Option<FaultPlan>,
     ) -> AttentionServer<T> {
         let (tx, rx) = mpsc::channel::<Msg<T>>();
-        let registry = Arc::new(Mutex::new(Registry::new(kv.capacity_pages::<T>())));
+        // The governed capacity is the pool's physical capacity at the
+        // *stored* element width — a bf16 store doubles it over f32
+        // compute for the same byte budget.
+        let registry = Arc::new(Mutex::new(Registry::new(kv.storage_capacity_pages::<T>())));
         let depth = Arc::new(AtomicU64::new(0));
         let arm = Arc::new(FaultArm::default());
         // Fault injection is zero-cost when absent: without a plan the
@@ -690,11 +693,13 @@ impl<T: Scalar> AttentionServer<T> {
 
     /// Charge `rows` admitted positions to the session and the governor.
     /// Caller holds the registry lock and has already reserved the pages.
-    fn charge_rows(reg: &mut Registry, id: u64, rows: usize, pages: usize) {
+    /// Bytes are charged at the **stored** element width — half of
+    /// `T::BYTES` under a bf16 KV store.
+    fn charge_rows(&self, reg: &mut Registry, id: u64, rows: usize, pages: usize) {
         let meta = reg.sessions.get_mut(&id).expect("session is registered");
         meta.len += rows;
         meta.pages += pages;
-        let bytes = (rows * (meta.d + meta.d_v) * T::BYTES) as u64;
+        let bytes = (rows * (meta.d + meta.d_v) * self.kv.storage_elem_bytes::<T>()) as u64;
         meta.bytes += bytes;
         reg.kv_bytes += bytes;
         reg.kv_bytes_peak = reg.kv_bytes_peak.max(reg.kv_bytes);
@@ -740,7 +745,7 @@ impl<T: Scalar> AttentionServer<T> {
                 return Err(SessionError::KvBudgetExhausted { need, free: 0 });
             }
             self.reserve_pages(&mut reg, session.0, need)?;
-            Self::charge_rows(&mut reg, session.0, 1, need);
+            self.charge_rows(&mut reg, session.0, 1, need);
             // Send under the lock: the batcher sees mutations in admission
             // order, so the pages reserved above are free when this lands.
             let _ = self.tx.send(Msg::Append {
@@ -792,7 +797,7 @@ impl<T: Scalar> AttentionServer<T> {
                 return Err(SessionError::KvBudgetExhausted { need, free: 0 });
             }
             self.reserve_pages(&mut reg, session.0, need)?;
-            Self::charge_rows(&mut reg, session.0, rows, need);
+            self.charge_rows(&mut reg, session.0, rows, need);
             let _ = self.tx.send(Msg::Extend {
                 id: session.0,
                 k,
@@ -973,21 +978,197 @@ struct PendingDecode<T: Scalar> {
     reply: DecodeReply<T>,
 }
 
-/// The batcher thread's session + decode state: the page pool, the
-/// per-session page tables over it, and the queued steps.
+/// The batcher's KV storage, resolved once from [`KvConfig::kv_dtype`]:
+/// one pool plus the per-session page tables over it, either at the
+/// compute dtype (`Native`) or bf16-quantised (`Quant`). Appends narrow
+/// at write time in the `Quant` arm; decode steps carry the stored pages
+/// to the engine tagged with their quantisation so the launch widens on
+/// load instead of materialising an f32 copy.
+enum KvStore<T: Scalar> {
+    Native {
+        pool: KvPool<T>,
+        caches: HashMap<u64, PagedKvCache<T>>,
+    },
+    Quant {
+        pool: KvPool<Bf16>,
+        caches: HashMap<u64, PagedKvCache<Bf16>>,
+    },
+}
+
+impl<T: Scalar> KvStore<T> {
+    fn new(config: &KvConfig) -> KvStore<T> {
+        match config.kv_dtype {
+            KvDtype::Native => KvStore::Native {
+                pool: KvPool::new(config),
+                caches: HashMap::new(),
+            },
+            KvDtype::Bf16 => KvStore::Quant {
+                pool: KvPool::new(config),
+                caches: HashMap::new(),
+            },
+        }
+    }
+
+    /// Create the session's (empty) page table. `false` if the geometry
+    /// cannot back it (admission already validated, so this is defensive).
+    fn open(&mut self, config: &KvConfig, id: u64, d: usize, d_v: usize) -> bool {
+        match self {
+            KvStore::Native { caches, .. } => match PagedKvCache::new(config, d, d_v) {
+                Ok(cache) => {
+                    caches.insert(id, cache);
+                    true
+                }
+                Err(_) => false,
+            },
+            KvStore::Quant { caches, .. } => match PagedKvCache::new(config, d, d_v) {
+                Ok(cache) => {
+                    caches.insert(id, cache);
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Append one position, narrowing to bf16 in the `Quant` arm. `false`
+    /// when the session is unknown or the pool refuses (admission reserved
+    /// the pages, so a refusal is defensive).
+    fn append(&mut self, id: u64, k_row: &[T], v_row: &[T]) -> bool {
+        match self {
+            KvStore::Native { pool, caches } => caches
+                .get_mut(&id)
+                .is_some_and(|c| c.append(pool, k_row, v_row).is_ok()),
+            KvStore::Quant { pool, caches } => caches
+                .get_mut(&id)
+                .is_some_and(|c| c.append_narrowed(pool, k_row, v_row).is_ok()),
+        }
+    }
+
+    /// Append a block of positions (see [`append`](Self::append)).
+    fn extend(&mut self, id: u64, k: &Matrix<T>, v: &Matrix<T>) -> bool {
+        match self {
+            KvStore::Native { pool, caches } => caches
+                .get_mut(&id)
+                .is_some_and(|c| c.extend(pool, k, v).is_ok()),
+            KvStore::Quant { pool, caches } => caches
+                .get_mut(&id)
+                .is_some_and(|c| c.extend_narrowed(pool, k, v).is_ok()),
+        }
+    }
+
+    /// Drop the session and return its pages. `false` if unknown.
+    fn close(&mut self, id: u64) -> bool {
+        match self {
+            KvStore::Native { pool, caches } => match caches.remove(&id) {
+                Some(mut cache) => {
+                    cache.release(pool);
+                    true
+                }
+                None => false,
+            },
+            KvStore::Quant { pool, caches } => match caches.remove(&id) {
+                Some(mut cache) => {
+                    cache.release(pool);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Return the session's pages but keep its (now empty) table — the
+    /// eviction half-close.
+    fn evict(&mut self, id: u64) {
+        match self {
+            KvStore::Native { pool, caches } => {
+                if let Some(cache) = caches.get_mut(&id) {
+                    cache.release(pool);
+                }
+            }
+            KvStore::Quant { pool, caches } => {
+                if let Some(cache) = caches.get_mut(&id) {
+                    cache.release(pool);
+                }
+            }
+        }
+    }
+
+    /// Cached positions of a session, `None` if unknown.
+    fn len_of(&self, id: u64) -> Option<usize> {
+        match self {
+            KvStore::Native { caches, .. } => caches.get(&id).map(|c| c.len()),
+            KvStore::Quant { caches, .. } => caches.get(&id).map(|c| c.len()),
+        }
+    }
+
+    /// Build the engine-facing decode step for a known, non-empty session:
+    /// `Native` borrows the pages at `T`, `Quant` borrows them as
+    /// [`dfss_core::engine::KvRows::PagedBf16`] so the engine routes the
+    /// step through the fused widen-on-load path.
+    fn step<'a>(&'a self, id: u64, q_row: &'a [T]) -> DecodeStep<'a, T> {
+        match self {
+            KvStore::Native { pool, caches } => {
+                let cache = &caches[&id];
+                DecodeStep {
+                    q_row,
+                    k_rows: cache.k_rows(pool),
+                    v_rows: cache.v_rows(pool),
+                    len: cache.len(),
+                    d: cache.d(),
+                    d_v: cache.d_v(),
+                }
+            }
+            KvStore::Quant { pool, caches } => {
+                let cache = &caches[&id];
+                DecodeStep {
+                    q_row,
+                    k_rows: cache.k_rows_quant(pool),
+                    v_rows: cache.v_rows_quant(pool),
+                    len: cache.len(),
+                    d: cache.d(),
+                    d_v: cache.d_v(),
+                }
+            }
+        }
+    }
+
+    /// Shutdown drain: return every session's pages to the pool.
+    fn release_all(&mut self) {
+        match self {
+            KvStore::Native { pool, caches } => {
+                for (_, mut cache) in caches.drain() {
+                    cache.release(pool);
+                }
+            }
+            KvStore::Quant { pool, caches } => {
+                for (_, mut cache) in caches.drain() {
+                    cache.release(pool);
+                }
+            }
+        }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            KvStore::Native { pool, .. } => pool.check_invariants(),
+            KvStore::Quant { pool, .. } => pool.check_invariants(),
+        }
+    }
+}
+
+/// The batcher thread's session + decode state: the KV store (pool +
+/// per-session page tables) and the queued steps.
 struct DecodeState<T: Scalar> {
-    pool: KvPool<T>,
+    store: KvStore<T>,
     config: KvConfig,
-    caches: HashMap<u64, PagedKvCache<T>>,
     pending: Vec<PendingDecode<T>>,
 }
 
 impl<T: Scalar> DecodeState<T> {
     fn new(config: KvConfig) -> DecodeState<T> {
         DecodeState {
-            pool: KvPool::new(&config),
+            store: KvStore::new(&config),
             config,
-            caches: HashMap::new(),
             pending: Vec::new(),
         }
     }
@@ -1071,8 +1252,7 @@ fn batcher_loop<T: Scalar>(
                 }
                 Some(Msg::Open { id, d, d_v }) => {
                     // Admission validated that a page can hold the widths.
-                    if let Ok(cache) = PagedKvCache::new(&decode.config, d, d_v) {
-                        decode.caches.insert(id, cache);
+                    if decode.store.open(&decode.config, id, d, d_v) {
                         lock_stats(stats).sessions_opened += 1;
                     }
                 }
@@ -1084,13 +1264,11 @@ fn batcher_loop<T: Scalar>(
                     {
                         return;
                     }
-                    if let Some(cache) = decode.caches.get_mut(&id) {
-                        // Admission reserved the pages under the registry
-                        // lock before this message was sent, so the pool
-                        // cannot come up short here.
-                        if cache.append(&mut decode.pool, &k_row, &v_row).is_ok() {
-                            lock_stats(stats).kv_rows_appended += 1;
-                        }
+                    // Admission reserved the pages under the registry lock
+                    // before this message was sent, so the pool cannot
+                    // come up short here.
+                    if decode.store.append(id, &k_row, &v_row) {
+                        lock_stats(stats).kv_rows_appended += 1;
                     }
                 }
                 Some(Msg::Extend { id, k, v }) => {
@@ -1099,11 +1277,9 @@ fn batcher_loop<T: Scalar>(
                     {
                         return;
                     }
-                    if let Some(cache) = decode.caches.get_mut(&id) {
-                        let rows = k.rows();
-                        if cache.extend(&mut decode.pool, &k, &v).is_ok() {
-                            lock_stats(stats).kv_rows_appended += rows as u64;
-                        }
+                    let rows = k.rows();
+                    if decode.store.extend(id, &k, &v) {
+                        lock_stats(stats).kv_rows_appended += rows as u64;
                     }
                 }
                 Some(Msg::Close { id }) => {
@@ -1112,8 +1288,7 @@ fn batcher_loop<T: Scalar>(
                     {
                         return;
                     }
-                    if let Some(mut cache) = decode.caches.remove(&id) {
-                        cache.release(&mut decode.pool);
+                    if decode.store.close(id) {
                         lock_stats(stats).sessions_closed += 1;
                     }
                 }
@@ -1126,9 +1301,7 @@ fn batcher_loop<T: Scalar>(
                     {
                         return;
                     }
-                    if let Some(cache) = decode.caches.get_mut(&id) {
-                        cache.release(&mut decode.pool);
-                    }
+                    decode.store.evict(id);
                 }
                 Some(Msg::Decode {
                     id,
@@ -1186,10 +1359,8 @@ fn batcher_loop<T: Scalar>(
     // Shutdown drain: return every open session's pages to the pool so the
     // pool invariants (free + used == capacity, no leaked pages) verify even
     // when clients abandon sessions without closing them.
-    for (_, mut cache) in decode.caches.drain() {
-        cache.release(&mut decode.pool);
-    }
-    debug_assert!(decode.pool.check_invariants().is_ok());
+    decode.store.release_all();
+    debug_assert!(decode.store.check_invariants().is_ok());
     publish(&queue, &decode);
 }
 
@@ -1351,8 +1522,8 @@ fn serve_decode<T: Scalar>(
             }));
             continue;
         }
-        match decode.caches.get(&p.id) {
-            Some(cache) if !cache.is_empty() => live.push(p),
+        match decode.store.len_of(p.id) {
+            Some(len) if len > 0 => live.push(p),
             _ => {
                 let _ = p
                     .reply
@@ -1373,17 +1544,7 @@ fn serve_decode<T: Scalar>(
     }
     let steps: Vec<DecodeStep<'_, T>> = live
         .iter()
-        .map(|p| {
-            let cache = &decode.caches[&p.id];
-            DecodeStep {
-                q_row: &p.q_row,
-                k_rows: cache.k_rows(&decode.pool),
-                v_rows: cache.v_rows(&decode.pool),
-                len: cache.len(),
-                d: cache.d(),
-                d_v: cache.d_v(),
-            }
-        })
+        .map(|p| decode.store.step(p.id, &p.q_row))
         .collect();
     match catch_unwind(AssertUnwindSafe(|| engine.flush_decode(&steps))) {
         Err(payload) => {
@@ -1698,6 +1859,146 @@ mod tests {
         assert_eq!(stats.kv_bytes_peak, 26 * (8 + 8) * 4);
     }
 
+    /// Round-trip a matrix through bf16 — the host-side model of what a
+    /// quantised KV store does to each row at append time.
+    fn bf16_round_trip(m: &Matrix<f32>) -> Matrix<f32> {
+        Matrix::from_vec(
+            m.rows(),
+            m.cols(),
+            m.as_slice()
+                .iter()
+                .map(|&x| Bf16::from_f32(x).to_f32())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bf16_kv_decode_matches_host_widen_model_bitwise() {
+        // Three servers over the same mechanism: a bf16-KV server fed the
+        // original f32 rows, a native server fed the host-side bf16
+        // round-trip of those rows, and a native server fed the originals.
+        // The first two must agree BITWISE (bf16 → f32 widening is exact,
+        // and the fused widen-on-load kernels keep the reference operation
+        // order); the third pins the quantisation error bound.
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P2_4));
+        let quant_kv = KvConfig {
+            kv_dtype: KvDtype::Bf16,
+            ..KvConfig::default()
+        };
+        let server_q =
+            AttentionServer::start_with_kv(Arc::clone(&mech), BatchPolicy::per_request(), quant_kv);
+        let server_model = AttentionServer::start(Arc::clone(&mech), BatchPolicy::per_request());
+        let server_f32 = AttentionServer::start(Arc::clone(&mech), BatchPolicy::per_request());
+        let mut rng = Rng::new(41);
+        let (d, d_v) = (8usize, 8usize);
+        for len in [1usize, 5, 12, 33] {
+            let k = Matrix::<f32>::random_normal(len, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::<f32>::random_normal(len, d_v, 0.0, 1.0, &mut rng);
+            let q = row(d, &mut rng);
+            let serve_one = |server: &AttentionServer<f32>, k: &Matrix<f32>, v: &Matrix<f32>| {
+                let s = server.open_session(d, d_v).unwrap();
+                server.extend(s, k.clone(), v.clone()).unwrap();
+                let out = server
+                    .submit_decode(DecodeRequest {
+                        session: s,
+                        q_row: q.clone(),
+                    })
+                    .unwrap()
+                    .wait()
+                    .expect("served")
+                    .output;
+                server.close_session(s).unwrap();
+                out
+            };
+            let got = serve_one(&server_q, &k, &v);
+            let model = serve_one(&server_model, &bf16_round_trip(&k), &bf16_round_trip(&v));
+            let exact = serve_one(&server_f32, &k, &v);
+            for (i, (a, b)) in got.as_slice().iter().zip(model.as_slice()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "len {len} elem {i}: fused bf16 decode diverged from the \
+                     host widen-then-f32 model ({a} vs {b})"
+                );
+            }
+            // Error bound vs unquantised f32 KV: bf16 keeps 8 mantissa
+            // bits, so each stored element carries relative error ≤ 2⁻⁹.
+            // The output is a softmax-convex combination of V rows (|V|
+            // drawn standard normal), with the scores themselves perturbed
+            // through exp(); a loose but documented envelope is a few
+            // times 2⁻⁹ · (1 + |exact|), far below f32 noise only if
+            // quantisation were accidentally bypassed.
+            for (i, (a, b)) in got.as_slice().iter().zip(exact.as_slice()).enumerate() {
+                let tol = 0.05f32 * (1.0 + b.abs());
+                assert!(
+                    (a - b).abs() <= tol,
+                    "len {len} elem {i}: bf16 decode {a} strayed past the \
+                     quantisation envelope around f32 decode {b}"
+                );
+            }
+            assert!(
+                got.as_slice()
+                    .iter()
+                    .zip(exact.as_slice())
+                    .any(|(a, b)| a.to_bits() != b.to_bits()),
+                "len {len}: bf16 decode was bitwise identical to f32 — \
+                 quantisation is being bypassed"
+            );
+        }
+        let _ = server_q.shutdown();
+        let _ = server_model.shutdown();
+        let _ = server_f32.shutdown();
+    }
+
+    #[test]
+    fn bf16_kv_halves_governed_bytes_and_doubles_capacity() {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        // A budget of one f32 page (= two bf16 pages): a session needs one
+        // K page + one V page, so the native store cannot admit anyone.
+        let tight = KvConfig {
+            page_elems: 16,
+            budget_bytes: 16 * 4,
+            evict_idle: false,
+            kv_dtype: KvDtype::Native,
+        };
+        let native =
+            AttentionServer::start_with_kv(Arc::clone(&mech), BatchPolicy::per_request(), tight);
+        assert!(matches!(
+            native.open_session(4, 4),
+            Err(SessionError::KvBudgetExhausted { .. })
+        ));
+        let _ = native.shutdown();
+        let quant = AttentionServer::start_with_kv(
+            Arc::clone(&mech),
+            BatchPolicy::per_request(),
+            KvConfig {
+                kv_dtype: KvDtype::Bf16,
+                ..tight
+            },
+        );
+        let s = quant.open_session(4, 4).unwrap();
+        let mut rng = Rng::new(7);
+        // 4 rows of width 4 fill exactly one bf16 page per side.
+        for _ in 0..4 {
+            quant.append(s, row(4, &mut rng), row(4, &mut rng)).unwrap();
+        }
+        let q = row(4, &mut rng);
+        let served = quant
+            .submit_decode(DecodeRequest {
+                session: s,
+                q_row: q,
+            })
+            .unwrap()
+            .wait()
+            .expect("served");
+        assert_eq!(served.cached_len, 4);
+        let stats = quant.shutdown();
+        // Governed bytes are charged at the stored width: 2 bytes/element.
+        assert_eq!(stats.kv_bytes_peak, 4 * (4 + 4) * 2);
+        assert_eq!(stats.kv_pages_allocated, 2);
+    }
+
     #[test]
     fn appends_after_a_queued_decode_do_not_leak_into_it() {
         // The decode step must see the cache as of its submission even if
@@ -1854,6 +2155,7 @@ mod tests {
             page_elems: 16,
             budget_bytes: pages * 16 * 4,
             evict_idle,
+            ..crate::KvConfig::default()
         }
     }
 

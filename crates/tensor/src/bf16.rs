@@ -13,7 +13,11 @@
 /// Conversion from `f32` uses round-to-nearest-even, matching hardware
 /// `cvt.rn.bf16.f32`. All arithmetic is performed by widening to `f32`,
 /// which is exact (every `Bf16` is exactly representable as `f32`).
+///
+/// `repr(transparent)` is load-bearing: the SIMD microkernels reinterpret
+/// `&[Bf16]` as `&[u16]` to feed vector widening instructions.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
 pub struct Bf16(pub u16);
 
 impl Bf16 {

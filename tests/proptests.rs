@@ -369,7 +369,7 @@ proptest! {
         let (d, d_v) = (8usize, 8usize);
         // page_elems in 8..40 at width 8 → 1..=4 rows per page, and most
         // draws are not a multiple of the width, so pages have dead tails.
-        let cfg = KvConfig { page_elems, budget_bytes: u64::MAX, evict_idle: false };
+        let cfg = KvConfig { page_elems, budget_bytes: u64::MAX, evict_idle: false, ..KvConfig::default() };
         let mut pool = KvPool::<f32>::new(&cfg);
         let mech_dfss = DfssAttention::new(NmPattern::P1_2);
         let mech_full = FullAttention;
