@@ -12,7 +12,8 @@
 //! and the blocked-ELL hybrid for long sequences (A.1.2).
 
 use crate::mechanism::{
-    check_decode, check_decode_ragged, check_qkv, check_qkv_batched, Attention, RequestError,
+    check_decode, check_decode_ragged, check_qkv, check_qkv_batched, check_qkv_rows, Attention,
+    RequestError,
 };
 use dfss_gpusim::Stage;
 use dfss_kernels::{ell, gemm, sddmm, softmax, spmm, GpuCtx};
@@ -136,6 +137,53 @@ impl<T: Scalar> Attention<T> for DfssAttention {
         let out = spmm::spmm_nm_batched(ctx, &comp, v);
         ctx.mem.free(comp_id);
         out
+    }
+
+    /// Rectangular N:M pipeline for a `c × d` query chunk against the full
+    /// `n`-key K/V: fused SDDMM prunes each of the `c` score rows over its
+    /// `n/M` groups exactly as the whole-Q kernel does (the prune epilogue
+    /// is per score row and never looks at the query row's global index),
+    /// compressed softmax and SpMM are per-row too — so stacking chunk
+    /// outputs is bit-identical to [`forward`](Attention::forward).
+    fn forward_rows(
+        &self,
+        ctx: &mut GpuCtx,
+        q_rows: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Matrix<T> {
+        let (c, n, d) = check_qkv_rows(q_rows, k, v);
+        let scale = 1.0 / (d as f32).sqrt();
+        // Compressed chunk scores: c·n·N/M values + metadata for c rows.
+        let kept = self.pattern.kept_per_row(n);
+        let nz_bytes = (c * kept * T::BYTES) as u64;
+        let meta_bytes = ((c * n / self.pattern.m()) as u64 * 4).div_ceil(8);
+        let comp_id = ctx.mem.alloc("scores_nm_compressed", nz_bytes + meta_bytes);
+        let mut comp = if self.fused {
+            sddmm::sddmm_nm_fused(ctx, q_rows, k, scale, self.pattern)
+        } else {
+            // The unfused ablation additionally materialises the chunk's
+            // dense c × n score panel.
+            let dense_id = ctx
+                .mem
+                .alloc("scores_dense_unfused", (c * n * T::BYTES) as u64);
+            let comp = sddmm::sddmm_nm_unfused(ctx, q_rows, k, scale, self.pattern);
+            ctx.mem.free(dense_id);
+            comp
+        };
+        softmax::softmax_nm(ctx, &mut comp);
+        let out = spmm::spmm_nm(ctx, &comp, v);
+        ctx.mem.free(comp_id);
+        out
+    }
+
+    /// The N:M prune, compressed softmax and SpMM are all per-score-row
+    /// over the key columns, so chunked prefill stacks bit-identically.
+    /// (The blocked-ELL hybrid does **not** share this property — its
+    /// sliding window depends on the query row's global index — and keeps
+    /// the default `false`.)
+    fn supports_row_chunking(&self) -> bool {
+        true
     }
 
     /// Native decode step: the new score row is pruned N:M over its full

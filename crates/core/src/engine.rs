@@ -65,7 +65,7 @@
 //! assert_eq!(engine.last_decode().launches(), 3);
 //! ```
 
-use crate::mechanism::{try_check_qkv, Attention, RequestError};
+use crate::mechanism::{try_check_qkv, try_check_qkv_rows, Attention, RequestError};
 use dfss_kernels::GpuCtx;
 use dfss_tensor::{BatchedMatrix, Bf16, Matrix, PagedPanel, RaggedBatch, Scalar};
 
@@ -355,6 +355,22 @@ fn check_page_table<E>(
         });
     }
     Ok(())
+}
+
+/// One completed prefill **chunk** out of a
+/// [`forward_chunk`](AttentionEngine::forward_chunk) — a `c`-row slice of a
+/// session's query run against the full K/V, the resumable unit the
+/// continuous batching scheduler interleaves with decode steps.
+#[derive(Debug)]
+pub struct FlushedChunk<T: Scalar> {
+    /// Query rows in the chunk.
+    pub rows: usize,
+    /// The `c × d_v` output rows — `None` under a charge-only context.
+    pub output: Option<Matrix<T>>,
+    /// Simulated-device latency of the chunk's launches.
+    pub sim_latency_s: f64,
+    /// Kernel launches the chunk recorded (one per op).
+    pub launches: u64,
 }
 
 /// One completed decode step out of a
@@ -705,6 +721,40 @@ impl<'m, T: Scalar> AttentionEngine<'m, T> {
         }
         results.sort_by_key(|r| r.ticket);
         Ok(results)
+    }
+
+    /// Run one resumable **prefill chunk** — a `c × d` row slice of a
+    /// session's query against the full `n`-key K/V — as an immediate
+    /// launch group, bypassing the pending queue (the continuous scheduler
+    /// owns its own queue and calls this once per packed chunk).
+    ///
+    /// When the mechanism
+    /// [`supports_row_chunking`](Attention::supports_row_chunking), the
+    /// output is **bit-identical** to rows `[lo, lo+c)` of a whole-Q solo
+    /// [`Attention::forward`] — the parity contract the scheduler gauntlet
+    /// and the serving bench's `--check` pin. Malformed chunks come back as
+    /// typed errors without recording a launch; ticket numbering is not
+    /// consumed (chunks belong to a session-level request, not to a fresh
+    /// ticket).
+    pub fn forward_chunk(
+        &mut self,
+        q_rows: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Result<FlushedChunk<T>, RequestError> {
+        let (rows, _n) = try_check_qkv_rows(self.mech, q_rows, k, v)?;
+        let mark = self.ctx.timeline.entries().len();
+        let out = self.mech.forward_rows(&mut self.ctx, q_rows, k, v);
+        let new_entries = &self.ctx.timeline.entries()[mark..];
+        let sim_latency_s: f64 = new_entries.iter().map(|e| e.latency(&self.ctx.dev)).sum();
+        let launches: u64 = new_entries.iter().map(|e| e.launches).sum();
+        let output = self.ctx.exec.then_some(out);
+        Ok(FlushedChunk {
+            rows,
+            output,
+            sim_latency_s,
+            launches,
+        })
     }
 
     /// Drop the accumulated kernel timeline (the memory ledger keeps its
@@ -1357,5 +1407,76 @@ mod tests {
                 .abs()
                 < 1e-15
         );
+    }
+
+    /// The continuous-batching parity contract: for every chunk-opted-in
+    /// mechanism, stacking `forward_chunk` outputs over any row partition —
+    /// including odd, unaligned chunk sizes — is bit-identical to one solo
+    /// whole-Q `forward`.
+    #[test]
+    fn chunked_forward_stacks_bit_identical_to_whole_forward() {
+        let mechs: Vec<(&str, Box<dyn Attention<f32>>)> = vec![
+            ("full", Box::new(FullAttention)),
+            ("dfss-fused", Box::new(DfssAttention::new(NmPattern::P1_2))),
+            (
+                "dfss-unfused",
+                Box::new(DfssAttention::unfused(NmPattern::P1_2)),
+            ),
+        ];
+        let mut rng = Rng::new(41);
+        for (name, mech) in &mechs {
+            assert!(mech.supports_row_chunking(), "{name}");
+            let (n, d) = (48, 16);
+            let (q, k, v) = request(n, d, &mut rng);
+            let solo = {
+                let mut ctx = GpuCtx::a100();
+                mech.forward(&mut ctx, &q, &k, &v)
+            };
+            // Uneven partition: 17 + 17 + 14 rows.
+            for chunk in [17usize, 48, 5] {
+                let mut engine = AttentionEngine::with_ctx(mech.as_ref(), GpuCtx::a100());
+                let mut got: Vec<f32> = Vec::new();
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    let mut rows = Vec::with_capacity((hi - lo) * d);
+                    for r in lo..hi {
+                        rows.extend_from_slice(q.row(r));
+                    }
+                    let q_rows = Matrix::from_vec(hi - lo, d, rows);
+                    let res = engine.forward_chunk(&q_rows, &k, &v).unwrap();
+                    assert_eq!(res.rows, hi - lo);
+                    assert!(res.launches > 0 && res.sim_latency_s > 0.0);
+                    got.extend_from_slice(res.output.as_ref().unwrap().as_slice());
+                    lo = hi;
+                }
+                let solo_bits: Vec<u32> = solo.as_slice().iter().map(|x| x.to_bits()).collect();
+                let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(solo_bits, got_bits, "{name} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_chunk_rejects_malformed_chunks_without_launching() {
+        let mech = DfssAttention::new(NmPattern::P1_2);
+        let mut engine = AttentionEngine::new(&mech);
+        let mut rng = Rng::new(42);
+        let (_, k, v) = request(32, 16, &mut rng);
+        // Wrong head dim vs K.
+        let q_bad = Matrix::<f32>::random_normal(4, 8, 0.0, 1.0, &mut rng);
+        assert!(matches!(
+            engine.forward_chunk(&q_bad, &k, &v),
+            Err(RequestError::KShapeMismatch { .. })
+        ));
+        // Key count violating the mechanism's N:M alignment.
+        let q_rows = Matrix::<f32>::random_normal(4, 16, 0.0, 1.0, &mut rng);
+        let k_odd = Matrix::<f32>::random_normal(31, 16, 0.0, 1.0, &mut rng);
+        let v_odd = Matrix::<f32>::random_normal(31, 16, 0.0, 1.0, &mut rng);
+        assert!(matches!(
+            engine.forward_chunk(&q_rows, &k_odd, &v_odd),
+            Err(RequestError::Unsupported { .. })
+        ));
+        assert_eq!(engine.ctx().timeline.entries().len(), 0);
     }
 }

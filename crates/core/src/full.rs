@@ -56,6 +56,14 @@ impl<T: Scalar> Attention<T> for FullAttention {
         ctx.mem.free(weights_id);
         out
     }
+
+    /// Dense scores are row-separable: the default rectangular
+    /// [`Attention::forward_rows`] pipeline (same kernels, same serial-k
+    /// accumulation per element) stacks bit-identically to
+    /// [`forward`](Attention::forward), so chunked prefill is safe.
+    fn supports_row_chunking(&self) -> bool {
+        true
+    }
 }
 
 /// Reference attention computed with naive host math (no simulator, no

@@ -186,6 +186,56 @@ pub trait Attention<T: Scalar> {
         }
         Ok(())
     }
+
+    /// Compute a **row slice** of the prefill output: `q_rows` is a `c × d`
+    /// chunk of the full query matrix, attended against the *full* `K`
+    /// (`n × d`) and `V` (`n × d_v`) — the resumable unit a continuous
+    /// batching scheduler interleaves with decode steps.
+    ///
+    /// The contract, when [`supports_row_chunking`](Self::supports_row_chunking)
+    /// is `true`: for any partition of Q's rows, stacking the chunk outputs
+    /// in row order is **bit-identical** to one [`forward`](Self::forward)
+    /// over the whole Q. That holds whenever the mechanism's score
+    /// pipeline is row-separable over the key columns — scores keep the
+    /// serial-k per-element sum order, softmax and any pruning act per
+    /// score row — which is true of the dense pipeline and of Dfss's N:M
+    /// epilogue, but *not* of row-position-dependent structures (the
+    /// blocked-ELL sliding window).
+    ///
+    /// The default runs the generic dense pipeline on the rectangular
+    /// `c × n` score panel (the same kernels, allocation names and charge
+    /// shapes as the dense baseline). Mechanisms with a native sparse
+    /// pipeline (Dfss) override it.
+    fn forward_rows(
+        &self,
+        ctx: &mut GpuCtx,
+        q_rows: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Matrix<T> {
+        let (c, n, d) = check_qkv_rows(q_rows, k, v);
+        let scale = self.scale_for(d);
+        let scores_id = ctx.mem.alloc("scores_dense", (c * n * T::BYTES) as u64);
+        let scores = gemm::gemm_nt(ctx, Stage::Qk, q_rows, k, scale);
+        let weights_id = ctx.mem.alloc("weights_dense", (c * n * T::BYTES) as u64);
+        let weights = softmax::softmax_dense(ctx, &scores);
+        ctx.mem.free(scores_id);
+        let out = gemm::gemm_nn(ctx, Stage::Av, &weights, v);
+        ctx.mem.free(weights_id);
+        out
+    }
+
+    /// Whether [`forward_rows`](Self::forward_rows) chunk outputs stack
+    /// bit-identically to one whole-Q [`forward`](Self::forward).
+    ///
+    /// `false` (the default) tells the serving scheduler to run this
+    /// mechanism's prefills whole — correctness never depends on a
+    /// mechanism opting in. Row-separable mechanisms (the dense
+    /// transformer, Dfss N:M) override this to `true` to unlock chunked,
+    /// decode-interleaved prefill.
+    fn supports_row_chunking(&self) -> bool {
+        false
+    }
 }
 
 /// Typed rejection of an attention request — serving must not abort the
@@ -256,6 +306,55 @@ pub fn try_check_qkv<T: Scalar>(
     }
     mech.check_shape(n, d)?;
     Ok((n, d))
+}
+
+/// Validate a chunked-prefill triple — a `c × d` query row slice against the
+/// full `n × d` K and `n`-row V — returning `(c, n, d)`. Panicking twin of
+/// [`try_check_qkv_rows`], for kernel-level callers that already validated.
+pub fn check_qkv_rows<T: Scalar>(
+    q_rows: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+) -> (usize, usize, usize) {
+    let (c, d) = q_rows.shape();
+    let (n, dk) = k.shape();
+    assert!(c > 0 && d > 0, "empty query chunk");
+    assert!(n > 0, "chunked prefill against an empty K");
+    assert_eq!(d, dk, "Q chunk and K disagree on head dim");
+    assert_eq!(v.rows(), n, "V rows != key count");
+    (c, n, d)
+}
+
+/// Non-panicking validation of a chunked-prefill triple (`c × d` query rows,
+/// full `n × d` K, `n`-row V), returning `(c, n)`. The mechanism's own
+/// [`Attention::check_shape`] runs against the **key count** `n` — structural
+/// constraints like N:M group alignment bind the score-row width, not the
+/// number of query rows in this chunk.
+pub fn try_check_qkv_rows<T: Scalar>(
+    mech: &dyn Attention<T>,
+    q_rows: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+) -> Result<(usize, usize), RequestError> {
+    let (c, d) = q_rows.shape();
+    if c == 0 || d == 0 {
+        return Err(RequestError::EmptyRequest);
+    }
+    let (n, dk) = k.shape();
+    if n == 0 || dk != d {
+        return Err(RequestError::KShapeMismatch {
+            q: (c, d),
+            k: (n, dk),
+        });
+    }
+    if v.rows() != n {
+        return Err(RequestError::VRowsMismatch {
+            n,
+            v_rows: v.rows(),
+        });
+    }
+    mech.check_shape(n, d)?;
+    Ok((c, n))
 }
 
 /// Merge the per-panel kernel logs recorded since `mark` into batched

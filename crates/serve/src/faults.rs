@@ -217,6 +217,24 @@ impl<T: Scalar> Attention<T> for FaultyAttention<T> {
     fn check_shape(&self, n: usize, d: usize) -> Result<(), RequestError> {
         self.inner.check_shape(n, d)
     }
+
+    fn forward_rows(
+        &self,
+        ctx: &mut GpuCtx,
+        q_rows: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Matrix<T> {
+        // Chunked prefill is a launch entry point too: an armed fault
+        // trips inside the chunk, unwinding through the mechanism exactly
+        // like the batched paths.
+        self.arm.trip();
+        self.inner.forward_rows(ctx, q_rows, k, v)
+    }
+
+    fn supports_row_chunking(&self) -> bool {
+        self.inner.supports_row_chunking()
+    }
 }
 
 #[cfg(test)]

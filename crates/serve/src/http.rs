@@ -1,5 +1,6 @@
 //! The HTTP/1.1 front door: a hardened network edge over
-//! [`AttentionServer`].
+//! [`AttentionServer`] — or, via [`HttpServer::bind_sharded`], over a
+//! whole [`ShardedServer`] fleet behind the same routes.
 //!
 //! Everything PR 7 guaranteed in-process — typed sheds, deadlines,
 //! panic isolation, reconciled counters — stops mattering the moment a
@@ -53,7 +54,8 @@
 
 use crate::wire::{self, Json, Request, RequestReader, WireError, WireLimits};
 use crate::{
-    AttentionServer, DecodeRequest, RequestError, ServeError, ServeStats, SessionError, SessionId,
+    AttentionServer, DecodeHandle, DecodeRequest, QueueDepths, RequestError, ResponseHandle,
+    ServeError, ServeStats, SessionError, SessionId, ShapeKey, ShardedServer,
 };
 use dfss_tensor::Matrix;
 use std::collections::HashMap;
@@ -107,10 +109,147 @@ impl Default for HttpConfig {
     }
 }
 
+/// The attention backend behind the front door: one engine, or a
+/// sharded fleet reached through the same routes. Requests are
+/// delegated verbatim — the sharded arm keeps all of its routing
+/// semantics (session pinning, least-loaded prefill, work stealing) —
+/// and the metrics path folds per-shard counters into one fleet rollup
+/// while also exporting each shard as a labelled gauge set.
+enum Backend {
+    Single(AttentionServer<f32>),
+    Sharded(ShardedServer<f32>),
+}
+
+impl Backend {
+    fn submit(
+        &self,
+        q: Matrix<f32>,
+        k: Matrix<f32>,
+        v: Matrix<f32>,
+    ) -> Result<ResponseHandle<f32>, ServeError> {
+        match self {
+            Backend::Single(att) => att.submit(q, k, v),
+            Backend::Sharded(fleet) => fleet.submit(q, k, v),
+        }
+    }
+
+    fn open_session(&self, d: usize, d_v: usize) -> Result<SessionId, SessionError> {
+        match self {
+            Backend::Single(att) => att.open_session(d, d_v),
+            Backend::Sharded(fleet) => fleet.open_session(d, d_v),
+        }
+    }
+
+    fn append(
+        &self,
+        session: SessionId,
+        k_row: Vec<f32>,
+        v_row: Vec<f32>,
+    ) -> Result<(), SessionError> {
+        match self {
+            Backend::Single(att) => att.append(session, k_row, v_row),
+            Backend::Sharded(fleet) => fleet.append(session, k_row, v_row),
+        }
+    }
+
+    fn extend(
+        &self,
+        session: SessionId,
+        k: Matrix<f32>,
+        v: Matrix<f32>,
+    ) -> Result<(), SessionError> {
+        match self {
+            Backend::Single(att) => att.extend(session, k, v),
+            Backend::Sharded(fleet) => fleet.extend(session, k, v),
+        }
+    }
+
+    fn submit_decode(&self, req: DecodeRequest<f32>) -> Result<DecodeHandle<f32>, SessionError> {
+        match self {
+            Backend::Single(att) => att.submit_decode(req),
+            Backend::Sharded(fleet) => fleet.submit_decode(req),
+        }
+    }
+
+    fn close_session(&self, session: SessionId) -> Result<(), SessionError> {
+        match self {
+            Backend::Single(att) => att.close_session(session),
+            Backend::Sharded(fleet) => fleet.close_session(session),
+        }
+    }
+
+    /// Fleet rollup of the live counters (see [`ServeStats::absorb`]
+    /// for the per-field fold rules).
+    fn stats_snapshot(&self) -> ServeStats {
+        match self {
+            Backend::Single(att) => att.stats_snapshot(),
+            Backend::Sharded(fleet) => {
+                let mut folded = ServeStats::default();
+                for shard in fleet.stats_snapshot() {
+                    folded.absorb(&shard);
+                }
+                folded
+            }
+        }
+    }
+
+    /// Live queue depths, summed across shards (prefill buckets merge
+    /// by shape key).
+    fn queue_depths(&self) -> QueueDepths {
+        match self {
+            Backend::Single(att) => att.queue_depths(),
+            Backend::Sharded(fleet) => {
+                let mut decode = 0usize;
+                let mut prefill: Vec<(ShapeKey, usize)> = Vec::new();
+                for depths in fleet.queue_depths() {
+                    decode += depths.decode;
+                    for (key, depth) in depths.prefill {
+                        match prefill.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, have)) => *have += depth,
+                            None => prefill.push((key, depth)),
+                        }
+                    }
+                }
+                QueueDepths { prefill, decode }
+            }
+        }
+    }
+
+    /// Per-shard counters and queue depths (None for a single engine).
+    fn per_shard(&self) -> Option<(Vec<ServeStats>, Vec<QueueDepths>)> {
+        match self {
+            Backend::Single(_) => None,
+            Backend::Sharded(fleet) => Some((fleet.stats_snapshot(), fleet.queue_depths())),
+        }
+    }
+
+    /// Drain every engine and return the folded lifetime counters.
+    fn shutdown(self) -> ServeStats {
+        match self {
+            Backend::Single(att) => att.shutdown(),
+            Backend::Sharded(fleet) => {
+                let mut folded = ServeStats::default();
+                for shard in fleet.shutdown() {
+                    folded.absorb(&shard);
+                }
+                folded
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn poison_registry_for_test(&self) {
+        match self {
+            Backend::Single(att) => att.poison_registry_for_test(),
+            Backend::Sharded(fleet) => fleet.shard(0).poison_registry_for_test(),
+        }
+    }
+}
+
 /// State shared between the acceptor, the connection handlers, and the
 /// drain path.
 struct Shared {
-    att: AttentionServer<f32>,
+    att: Backend,
     config: HttpConfig,
     draining: AtomicBool,
     active: AtomicUsize,
@@ -169,6 +308,24 @@ impl HttpServer {
     /// [`crate::FaultPlan`] — the front door inherits all of its typed
     /// semantics.
     pub fn bind(att: AttentionServer<f32>, config: HttpConfig) -> std::io::Result<HttpServer> {
+        HttpServer::bind_backend(Backend::Single(att), config)
+    }
+
+    /// [`bind`](Self::bind) over a sharded fleet: the same routes, the
+    /// same typed errors and drain semantics, with requests fanned out
+    /// by the [`ShardedServer`]'s routing policy (session-pinned
+    /// decode, least-loaded + work-stolen prefill). `GET /metrics`
+    /// reports the fleet rollup plus one labelled gauge set per shard
+    /// (`dfss_shard_*{shard="i"}`), and [`shutdown`](Self::shutdown)
+    /// drains every shard before returning the folded counters.
+    pub fn bind_sharded(
+        fleet: ShardedServer<f32>,
+        config: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
+        HttpServer::bind_backend(Backend::Sharded(fleet), config)
+    }
+
+    fn bind_backend(att: Backend, config: HttpConfig) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -778,6 +935,9 @@ fn metrics_text(shared: &Shared) -> String {
         http_connections_shed: _,
         http_parse_rejects: _,
         drain_force_closed: _,
+        sched_iterations,
+        prefill_chunks,
+        chunks_stolen,
     } = stats;
     let mut out = String::new();
     let mut line = |name: &str, value: f64| {
@@ -809,6 +969,9 @@ fn metrics_text(shared: &Shared) -> String {
     line("deadline_sheds", deadline_sheds as f64);
     line("overload_sheds", overload_sheds as f64);
     line("total_sim_latency_s", total_sim_latency_s);
+    line("sched_iterations", sched_iterations as f64);
+    line("prefill_chunks", prefill_chunks as f64);
+    line("chunks_stolen", chunks_stolen as f64);
     line(
         "http_connections_accepted",
         shared.accepted.load(Ordering::SeqCst) as f64,
@@ -836,6 +999,44 @@ fn metrics_text(shared: &Shared) -> String {
             "dfss_queue_depth_prefill{{n=\"{}\",d=\"{}\"}} {}\n",
             key.n, key.d, depth
         ));
+    }
+    // Sharded backend: the rollup above, plus one labelled gauge set
+    // per shard so dashboards can see routing balance, steal traffic,
+    // and per-pool KV reconciliation directly.
+    if let Some((per_stats, per_depths)) = shared.att.per_shard() {
+        for (i, s) in per_stats.iter().enumerate() {
+            let mut gauge = |name: &str, value: f64| {
+                if value.fract() == 0.0 && value.abs() < 1e15 {
+                    out.push_str(&format!(
+                        "dfss_shard_{name}{{shard=\"{i}\"}} {}\n",
+                        value as i64
+                    ));
+                } else {
+                    out.push_str(&format!("dfss_shard_{name}{{shard=\"{i}\"}} {value}\n"));
+                }
+            };
+            gauge("served", s.served as f64);
+            gauge("decode_steps", s.decode_steps as f64);
+            gauge("sessions_opened", s.sessions_opened as f64);
+            gauge("sessions_closed", s.sessions_closed as f64);
+            gauge("kv_bytes_peak", s.kv_bytes_peak as f64);
+            gauge("kv_pages_allocated", s.kv_pages_allocated as f64);
+            gauge("kv_pages_freed", s.kv_pages_freed as f64);
+            gauge("evictions", s.evictions as f64);
+            gauge("admission_rejections", s.admission_rejections as f64);
+            gauge("batch_panics", s.batch_panics as f64);
+            gauge("deadline_sheds", s.deadline_sheds as f64);
+            gauge("sched_iterations", s.sched_iterations as f64);
+            gauge("prefill_chunks", s.prefill_chunks as f64);
+            gauge("chunks_stolen", s.chunks_stolen as f64);
+            gauge("total_sim_latency_s", s.total_sim_latency_s);
+        }
+        for (i, d) in per_depths.iter().enumerate() {
+            out.push_str(&format!(
+                "dfss_shard_queue_depth_decode{{shard=\"{i}\"}} {}\n",
+                d.decode
+            ));
+        }
     }
     // Which SIMD microkernel backend this process dispatched to (pinned
     // once at pool startup; `DFSS_SIMD` overrides — see dfss-kernels).

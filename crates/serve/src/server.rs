@@ -27,6 +27,8 @@
 use crate::faults::{FaultArm, FaultKind, FaultPlan, FaultyAttention};
 use crate::kv::{KvConfig, KvDtype, KvPool, PagedKvCache, SessionId};
 use crate::queue::{Bucket, BucketQueue, QueuedRequest};
+use crate::sched::{ChunkPlan, SchedPolicy, SchedTrace, Scheduler};
+use crate::shard::{StealChunk, StealPool};
 use crate::{BatchPolicy, DecodeRequest, ServeError, ServeStats, SessionError};
 use dfss_core::engine::{AttentionEngine, DecodeStep, ShapeKey, Ticket};
 use dfss_core::mechanism::{try_check_qkv, Attention, RequestError};
@@ -145,8 +147,16 @@ impl<T: Scalar> DecodeHandle<T> {
     }
 }
 
-type Reply<T> = SyncSender<Result<Served<T>, ServeError>>;
+pub(crate) type Reply<T> = SyncSender<Result<Served<T>, ServeError>>;
 type DecodeReply<T> = SyncSender<Result<ServedDecode<T>, ServeError>>;
+
+impl<T: Scalar> ResponseHandle<T> {
+    /// Build a handle over a raw reply channel — the sharded front door
+    /// replies from whichever shard finishes the job's last chunk.
+    pub(crate) fn from_rx(rx: Receiver<Result<Served<T>, ServeError>>) -> ResponseHandle<T> {
+        ResponseHandle { rx }
+    }
+}
 
 /// Synchronous admission view of one session (the caches themselves live
 /// on the batcher thread; the registry mirrors their geometry exactly).
@@ -367,6 +377,10 @@ pub struct AttentionServer<T: Scalar> {
     stats: Arc<Mutex<ServeStats>>,
     /// Live queue-depth snapshot, refreshed by the batcher each loop.
     depths: Arc<Mutex<QueueDepths>>,
+    /// The continuous scheduler's replayable event log (empty under the
+    /// classic flush-cadence batcher), published incrementally by the
+    /// worker once per loop pass.
+    sched_trace: Arc<Mutex<SchedTrace>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -439,12 +453,94 @@ impl<T: Scalar> AttentionServer<T> {
         AttentionServer::start_inner(mech, policy, GpuCtx::a100(), kv, Some(faults))
     }
 
+    /// Start a **continuous batching** server: instead of the separate
+    /// prefill/decode flush cadence, one admission loop packs — every
+    /// scheduler iteration — all ready decode steps together with chunked
+    /// prefill work (`SchedPolicy::prefill_chunk`-row slices, resumable
+    /// across iterations) under `SchedPolicy::iter_budget_rows`. No decode
+    /// step waits behind a whole cold prefill; no prefill starves under
+    /// decode-heavy load. A100 context, unbounded KV budget.
+    pub fn start_continuous(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_continuous_inner(
+            mech,
+            policy,
+            sched,
+            GpuCtx::a100(),
+            KvConfig::default(),
+            None,
+            None,
+        )
+    }
+
+    /// [`start_continuous`](Self::start_continuous) with an explicit KV
+    /// geometry and byte budget.
+    pub fn start_continuous_with_kv(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+        kv: KvConfig,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_continuous_inner(mech, policy, sched, GpuCtx::a100(), kv, None, None)
+    }
+
+    /// [`start_continuous`](Self::start_continuous) with a KV config and a
+    /// deterministic [`FaultPlan`] — the chaos harness for the continuous
+    /// path.
+    pub fn start_continuous_with_kv_faults(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+        kv: KvConfig,
+        faults: FaultPlan,
+    ) -> AttentionServer<T> {
+        AttentionServer::start_continuous_inner(
+            mech,
+            policy,
+            sched,
+            GpuCtx::a100(),
+            kv,
+            Some(faults),
+            None,
+        )
+    }
+
+    /// One shard of a [`crate::ShardedServer`]: a continuous server that
+    /// additionally polls the shared steal pool for queued prefill chunks
+    /// (its own first, foreign shards' when otherwise idle).
+    pub(crate) fn start_continuous_inner(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+        ctx: GpuCtx,
+        kv: KvConfig,
+        faults: Option<FaultPlan>,
+        steal: Option<(usize, Arc<StealPool<T>>)>,
+    ) -> AttentionServer<T> {
+        AttentionServer::spawn(mech, policy, ctx, kv, faults, Some(sched), steal)
+    }
+
     fn start_inner(
         mech: Arc<dyn Attention<T> + Send + Sync>,
         policy: BatchPolicy,
         ctx: GpuCtx,
         kv: KvConfig,
         faults: Option<FaultPlan>,
+    ) -> AttentionServer<T> {
+        AttentionServer::spawn(mech, policy, ctx, kv, faults, None, None)
+    }
+
+    fn spawn(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        ctx: GpuCtx,
+        kv: KvConfig,
+        faults: Option<FaultPlan>,
+        sched: Option<SchedPolicy>,
+        steal: Option<(usize, Arc<StealPool<T>>)>,
     ) -> AttentionServer<T> {
         let (tx, rx) = mpsc::channel::<Msg<T>>();
         // The governed capacity is the pool's physical capacity at the
@@ -466,14 +562,31 @@ impl<T: Scalar> AttentionServer<T> {
         };
         let stats = Arc::new(Mutex::new(ServeStats::default()));
         let depths = Arc::new(Mutex::new(QueueDepths::default()));
+        let sched_trace = Arc::new(Mutex::new(SchedTrace::default()));
         let worker_registry = Arc::clone(&registry);
         let worker_depth = Arc::clone(&depth);
         let worker_stats = Arc::clone(&stats);
         let worker_depths = Arc::clone(&depths);
+        let worker_trace = Arc::clone(&sched_trace);
         let worker = std::thread::Builder::new()
             .name("dfss-serve-batcher".into())
-            .spawn(move || {
-                batcher_loop(
+            .spawn(move || match sched {
+                Some(sched) => continuous_loop(
+                    worker_mech,
+                    policy,
+                    sched,
+                    ctx,
+                    kv,
+                    worker_registry,
+                    worker_depth,
+                    worker_stats,
+                    worker_depths,
+                    worker_trace,
+                    arm,
+                    rx,
+                    steal,
+                ),
+                None => batcher_loop(
                     worker_mech,
                     policy,
                     ctx,
@@ -484,7 +597,7 @@ impl<T: Scalar> AttentionServer<T> {
                     worker_depths,
                     arm,
                     rx,
-                )
+                ),
             })
             .expect("spawn batcher thread");
         AttentionServer {
@@ -500,8 +613,20 @@ impl<T: Scalar> AttentionServer<T> {
             registry,
             stats,
             depths,
+            sched_trace,
             kv,
             worker: Some(worker),
+        }
+    }
+
+    /// The continuous scheduler's replayable event log so far (empty for
+    /// a classic flush-cadence server). Logical content only — two
+    /// servers fed the same admission sequence under the same policy
+    /// render byte-identical traces ([`SchedTrace::render`]).
+    pub fn sched_trace(&self) -> SchedTrace {
+        match self.sched_trace.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
         }
     }
 
@@ -1362,6 +1487,485 @@ fn batcher_loop<T: Scalar>(
     decode.store.release_all();
     debug_assert!(decode.store.check_invariants().is_ok());
     publish(&queue, &decode);
+}
+
+/// One prefill job resumable across continuous-scheduler iterations: the
+/// admitted triple plus the output rows accumulated chunk by chunk.
+struct PrefillJob<T: Scalar> {
+    id: u64,
+    q: Matrix<T>,
+    k: Matrix<T>,
+    v: Matrix<T>,
+    /// Output rows completed so far (row-major, grows front to back —
+    /// chunks are planned in row order).
+    out: Vec<T>,
+    sim_latency_s: f64,
+    /// Whether the job's first chunk has launched (fault arming point).
+    launched: bool,
+    submitted: Instant,
+    /// First chunk's launch time (queue-wait measurement point).
+    started: Option<Instant>,
+    deadline: Option<Instant>,
+    fault: Option<FaultKind>,
+    reply: Reply<T>,
+}
+
+/// Copy rows `[lo, hi)` of `m` into a fresh matrix — the chunk slice the
+/// scheduler hands to [`AttentionEngine::forward_chunk`].
+fn slice_rows<T: Scalar>(m: &Matrix<T>, lo: usize, hi: usize) -> Matrix<T> {
+    let d = m.cols();
+    let mut rows = Vec::with_capacity((hi - lo) * d);
+    for r in lo..hi {
+        rows.extend_from_slice(m.row(r));
+    }
+    Matrix::from_vec(hi - lo, d, rows)
+}
+
+/// Append the scheduler's unpublished events to the shared trace.
+fn publish_trace(shared: &Mutex<SchedTrace>, sched: &Scheduler, published: &mut usize) {
+    let events = sched.trace().events();
+    if *published >= events.len() {
+        return;
+    }
+    let mut guard = match shared.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    for e in &events[*published..] {
+        guard.push(e.clone());
+    }
+    *published = events.len();
+}
+
+/// The continuous-batching worker: one admission loop that, every
+/// scheduler iteration, flushes **all ready decode steps** and then runs
+/// the iteration's planned prefill chunks — the single-cadence replacement
+/// for the separate prefill/decode flushes of [`batcher_loop`].
+///
+/// Sessions, KV governance, fault arming, deadline shedding and panic
+/// isolation behave exactly as in the classic batcher; the decode
+/// determinism rule (a queued step launches before an append/extend/close/
+/// evict touches its session) is preserved by a forced decode flush,
+/// recorded distinctly in the trace. With a steal pool attached (sharded
+/// mode), the loop additionally executes queued pool chunks — its own
+/// shard's eagerly, foreign shards' only when otherwise idle.
+#[allow(clippy::too_many_arguments)]
+fn continuous_loop<T: Scalar>(
+    mech: Arc<dyn Attention<T> + Send + Sync>,
+    policy: BatchPolicy,
+    sched_policy: SchedPolicy,
+    ctx: GpuCtx,
+    kv: KvConfig,
+    registry: Arc<Mutex<Registry>>,
+    depth: Arc<AtomicU64>,
+    stats: Arc<Mutex<ServeStats>>,
+    depths: Arc<Mutex<QueueDepths>>,
+    trace_out: Arc<Mutex<SchedTrace>>,
+    arm: Arc<FaultArm>,
+    rx: Receiver<Msg<T>>,
+    steal: Option<(usize, Arc<StealPool<T>>)>,
+) {
+    let mut engine = AttentionEngine::with_ctx(mech.as_ref(), ctx);
+    let mut decode = DecodeState::new(kv);
+    let mut sched = Scheduler::new(sched_policy);
+    let mut jobs: HashMap<u64, PrefillJob<T>> = HashMap::new();
+    let mut next_job: u64 = 0;
+    let mut next_step: u64 = 0;
+    let mut published = 0usize;
+    let stats = &*stats;
+    let chunkable = mech.supports_row_chunking();
+    let publish = |jobs: &HashMap<u64, PrefillJob<T>>, decode: &DecodeState<T>| {
+        let mut prefill: Vec<(ShapeKey, usize)> = Vec::new();
+        for job in jobs.values() {
+            let key = ShapeKey {
+                n: job.q.rows(),
+                d: job.q.cols(),
+                d_v: job.v.cols(),
+            };
+            match prefill.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => prefill.push((key, 1)),
+            }
+        }
+        prefill.sort_by_key(|(k, _)| (k.n, k.d, k.d_v));
+        let snapshot = QueueDepths {
+            prefill,
+            decode: decode.pending.len(),
+        };
+        match depths.lock() {
+            Ok(mut guard) => *guard = snapshot,
+            Err(poisoned) => *poisoned.into_inner() = snapshot,
+        }
+    };
+    let mut stopping = false;
+    loop {
+        // Receive: block when idle (poll with a short timeout in sharded
+        // mode so foreign pool work can be stolen), drain greedily when
+        // the scheduler has work queued.
+        let msg = if stopping {
+            None
+        } else if sched.has_work() {
+            rx.try_recv().ok()
+        } else {
+            match &steal {
+                None => match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => {
+                        stopping = true;
+                        None
+                    }
+                },
+                Some((_, pool)) if !pool.is_drained() => rx.try_recv().ok(),
+                Some(_) => match rx.recv_timeout(Duration::from_micros(500)) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        stopping = true;
+                        None
+                    }
+                },
+            }
+        };
+        let mut next = msg;
+        while let Some(m) = next.take() {
+            match m {
+                Msg::Request(req) => {
+                    if req.fault == Some(FaultKind::KillServer) {
+                        return;
+                    }
+                    if chunkable {
+                        let id = next_job;
+                        next_job += 1;
+                        sched.admit_prefill(id, req.q.rows());
+                        jobs.insert(
+                            id,
+                            PrefillJob {
+                                id,
+                                q: req.q,
+                                k: req.k,
+                                v: req.v,
+                                out: Vec::new(),
+                                sim_latency_s: 0.0,
+                                launched: false,
+                                submitted: req.submitted,
+                                started: None,
+                                deadline: req.deadline,
+                                fault: req.fault,
+                                reply: req.reply,
+                            },
+                        );
+                    } else {
+                        // Mechanisms without row-separable scores (the
+                        // blocked-ELL hybrid) run whole, as one
+                        // single-request bucket — correctness never
+                        // depends on chunking being safe.
+                        let key = ShapeKey {
+                            n: req.q.rows(),
+                            d: req.q.cols(),
+                            d_v: req.v.cols(),
+                        };
+                        let oldest = req.submitted;
+                        let bucket = Bucket {
+                            key,
+                            requests: vec![req],
+                            oldest,
+                        };
+                        if !serve_bucket(&mut engine, bucket, &arm, &depth, stats) {
+                            return;
+                        }
+                    }
+                }
+                Msg::Open { id, d, d_v } => {
+                    if decode.store.open(&decode.config, id, d, d_v) {
+                        lock_stats(stats).sessions_opened += 1;
+                    }
+                }
+                Msg::Append { id, k_row, v_row } => {
+                    if decode.has_pending_for(id) {
+                        let _ = sched.force_decode_flush();
+                        if !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats) {
+                            return;
+                        }
+                    }
+                    if decode.store.append(id, &k_row, &v_row) {
+                        lock_stats(stats).kv_rows_appended += 1;
+                    }
+                }
+                Msg::Extend { id, k, v } => {
+                    if decode.has_pending_for(id) {
+                        let _ = sched.force_decode_flush();
+                        if !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats) {
+                            return;
+                        }
+                    }
+                    let rows = k.rows();
+                    if decode.store.extend(id, &k, &v) {
+                        lock_stats(stats).kv_rows_appended += rows as u64;
+                    }
+                }
+                Msg::Close { id } => {
+                    if decode.has_pending_for(id) {
+                        let _ = sched.force_decode_flush();
+                        if !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats) {
+                            return;
+                        }
+                    }
+                    if decode.store.close(id) {
+                        lock_stats(stats).sessions_closed += 1;
+                    }
+                }
+                Msg::Evict { id } => {
+                    if decode.has_pending_for(id) {
+                        let _ = sched.force_decode_flush();
+                        if !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats) {
+                            return;
+                        }
+                    }
+                    decode.store.evict(id);
+                }
+                Msg::Decode {
+                    id,
+                    q_row,
+                    submitted,
+                    deadline,
+                    fault,
+                    reply,
+                } => {
+                    decode.pending.push(PendingDecode {
+                        id,
+                        q_row,
+                        submitted,
+                        deadline,
+                        fault,
+                        reply,
+                    });
+                    sched.admit_decode(next_step);
+                    next_step += 1;
+                }
+                Msg::Shutdown => {
+                    stopping = true;
+                    break;
+                }
+            }
+            next = rx.try_recv().ok();
+        }
+        // One scheduler iteration: all ready decode first, then the
+        // planned prefill chunks.
+        if let Some(plan) = sched.next_iteration() {
+            lock_stats(stats).sched_iterations += 1;
+            // Publish the iteration event *before* executing it: a client
+            // whose reply arrives from this iteration must find it in the
+            // trace already.
+            publish_trace(&trace_out, &sched, &mut published);
+            if !plan.decode.is_empty()
+                && !serve_decode(&mut engine, &mut decode, &registry, &arm, &depth, stats)
+            {
+                return;
+            }
+            for chunk in plan.chunks {
+                if !run_chunk(
+                    &mut engine,
+                    &mut jobs,
+                    &mut sched,
+                    chunk,
+                    &arm,
+                    &depth,
+                    stats,
+                ) {
+                    return;
+                }
+            }
+        }
+        // Pool work (sharded mode): own-home chunks eagerly, one foreign
+        // (stolen) chunk per pass only when the local scheduler is idle.
+        if let Some((me, pool)) = &steal {
+            let allow_steal = !sched.has_work() || stopping;
+            if let Some(chunk) = pool.claim(*me, allow_steal) {
+                run_pool_chunk(&mut engine, chunk, *me, &mut sched, stats);
+            }
+        }
+        publish_trace(&trace_out, &sched, &mut published);
+        publish(&jobs, &decode);
+        if stopping {
+            let pool_drained = match &steal {
+                None => true,
+                Some((_, pool)) => pool.is_drained(),
+            };
+            if !sched.has_work() && decode.pending.is_empty() && pool_drained {
+                break;
+            }
+        }
+    }
+    let _ = policy; // close cadence is the scheduler's; depth bound is enforced at admission
+    decode.store.release_all();
+    debug_assert!(decode.store.check_invariants().is_ok());
+    publish_trace(&trace_out, &sched, &mut published);
+    publish(&jobs, &decode);
+}
+
+/// Execute one planned prefill chunk: deadline shed, fault arming on the
+/// job's first chunk, one [`AttentionEngine::forward_chunk`] under panic
+/// isolation, output-row accumulation, and the completed-job reply.
+/// Returns `false` never today (kill-server faults fire at admission in
+/// continuous mode), kept `bool` to mirror [`serve_bucket`].
+fn run_chunk<T: Scalar>(
+    engine: &mut AttentionEngine<'_, T>,
+    jobs: &mut HashMap<u64, PrefillJob<T>>,
+    sched: &mut Scheduler,
+    chunk: ChunkPlan,
+    arm: &FaultArm,
+    depth: &AtomicU64,
+    stats: &Mutex<ServeStats>,
+) -> bool {
+    let now = Instant::now();
+    let Some(job) = jobs.get_mut(&chunk.job) else {
+        return true;
+    };
+    if expired(job.deadline, now) {
+        lock_stats(stats).deadline_sheds += 1;
+        sched.cancel(chunk.job);
+        let job = jobs.remove(&chunk.job).expect("job present above");
+        depth.fetch_sub(1, Ordering::SeqCst);
+        let _ = job.reply.send(Err(ServeError::DeadlineExceeded {
+            queued_for: now.saturating_duration_since(job.submitted),
+        }));
+        return true;
+    }
+    if job.started.is_none() {
+        job.started = Some(now);
+    }
+    if !job.launched {
+        job.launched = true;
+        match job.fault {
+            Some(FaultKind::PanicInBatch) => arm.arm_panic(),
+            Some(FaultKind::SlowLaunch(delay)) => arm.arm_slow(delay),
+            _ => {}
+        }
+    }
+    let q_rows = slice_rows(&job.q, chunk.lo, chunk.hi);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        engine.forward_chunk(&q_rows, &job.k, &job.v)
+    }));
+    match result {
+        Err(payload) => {
+            // The chunk's launch panicked: fail this job alone, restore
+            // the engine, keep the loop (and every other job) serving.
+            lock_stats(stats).batch_panics += 1;
+            engine.recover_after_panic();
+            let msg = panic_message(payload);
+            sched.cancel(chunk.job);
+            let job = jobs.remove(&chunk.job).expect("job present above");
+            depth.fetch_sub(1, Ordering::SeqCst);
+            let _ = job
+                .reply
+                .send(Err(ServeError::BatchPanicked { payload: msg }));
+        }
+        Ok(Err(e)) => {
+            sched.cancel(chunk.job);
+            let job = jobs.remove(&chunk.job).expect("job present above");
+            depth.fetch_sub(1, Ordering::SeqCst);
+            let _ = job.reply.send(Err(ServeError::Rejected(e)));
+        }
+        Ok(Ok(res)) => {
+            job.sim_latency_s += res.sim_latency_s;
+            job.out.extend_from_slice(
+                res.output
+                    .as_ref()
+                    .expect("serving engines run in exec mode and materialise outputs")
+                    .as_slice(),
+            );
+            {
+                let mut st = lock_stats(stats);
+                st.prefill_chunks += 1;
+                st.total_sim_latency_s += res.sim_latency_s;
+            }
+            if chunk.hi == job.q.rows() {
+                let job = jobs.remove(&chunk.job).expect("job present above");
+                depth.fetch_sub(1, Ordering::SeqCst);
+                let (n, d) = job.q.shape();
+                let d_v = job.v.cols();
+                let started = job.started.unwrap_or(now);
+                let served = Served {
+                    output: Matrix::from_vec(n, d_v, job.out),
+                    // Continuous jobs are identified by admission ordinal
+                    // (monotone, like engine tickets in launch order).
+                    ticket: Ticket(job.id),
+                    bucket: ShapeKey { n, d, d_v },
+                    batch_size: 1,
+                    queue_wait: started.saturating_duration_since(job.submitted),
+                    service: started.elapsed(),
+                    latency: job.submitted.elapsed(),
+                    sim_latency_s: job.sim_latency_s,
+                };
+                lock_stats(stats).served += 1;
+                let _ = job.reply.send(Ok(served));
+            }
+        }
+    }
+    engine.reset_timeline();
+    true
+}
+
+/// Execute one claimed steal-pool chunk on this shard's engine. Outputs
+/// are bit-identical whichever shard runs the chunk (same mechanism, same
+/// inputs, same kernels); the shard that completes the job's **last**
+/// chunk assembles the output rows in row order and replies.
+fn run_pool_chunk<T: Scalar>(
+    engine: &mut AttentionEngine<'_, T>,
+    chunk: StealChunk<T>,
+    me: usize,
+    sched: &mut Scheduler,
+    stats: &Mutex<ServeStats>,
+) {
+    let now = Instant::now();
+    let job = &chunk.job;
+    if expired(job.deadline, now) {
+        if job.shed() {
+            lock_stats(stats).deadline_sheds += 1;
+        }
+        return;
+    }
+    if job.is_dead() {
+        return;
+    }
+    if chunk.stolen {
+        sched.note_steal(job.id, chunk.lo, chunk.hi, me);
+    }
+    let q_rows = slice_rows(&job.q, chunk.lo, chunk.hi);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        engine.forward_chunk(&q_rows, &job.k, &job.v)
+    }));
+    match result {
+        Err(payload) => {
+            lock_stats(stats).batch_panics += 1;
+            engine.recover_after_panic();
+            job.fail(ServeError::BatchPanicked {
+                payload: panic_message(payload),
+            });
+        }
+        Ok(Err(e)) => {
+            job.fail(ServeError::Rejected(e));
+        }
+        Ok(Ok(res)) => {
+            {
+                let mut st = lock_stats(stats);
+                st.prefill_chunks += 1;
+                if chunk.stolen {
+                    st.chunks_stolen += 1;
+                }
+                st.total_sim_latency_s += res.sim_latency_s;
+            }
+            let out = res
+                .output
+                .expect("serving engines run in exec mode and materialise outputs");
+            if job.complete_chunk(chunk.idx, out.as_slice().to_vec(), res.sim_latency_s) {
+                // This shard finished the job's last chunk: it assembles
+                // and replies, and counts the serve in its own stats.
+                lock_stats(stats).served += 1;
+            }
+        }
+    }
+    engine.reset_timeline();
 }
 
 /// Best-effort human-readable panic payload (panics carry `&str` or

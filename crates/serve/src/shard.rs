@@ -1,0 +1,560 @@
+//! Sharded multi-engine serving: N continuous-batching engines behind one
+//! front door, with work stealing for stateless prefill.
+//!
+//! A [`ShardedServer`] runs one [`AttentionServer`] per shard, each with
+//! its **own** batcher thread, engine and [`crate::KvPool`] (the configured
+//! byte budget is divided evenly across shards). Traffic splits by state:
+//!
+//! * **Decode sessions are shard-pinned.** `open_session` hashes the
+//!   session id to a shard once (splitmix64 — stable for the session's
+//!   whole lifetime) and every later `append`/`extend`/`submit_decode`/
+//!   `close_session` goes to that shard. KV pages never migrate, so
+//!   decode outputs are bit-identical to a solo server's.
+//! * **Prefill is stateless and work-stolen.** `submit` validates at the
+//!   front door, enqueues the request as a [`StealJob`] of
+//!   `prefill_chunk`-row chunks on the shared [`StealPool`], homed on the
+//!   least-loaded shard. Every shard drains its *own* chunks eagerly and
+//!   steals *foreign* chunks only when its local scheduler is idle —
+//!   queued prefill never waits on a busy shard while another sits idle.
+//!   Chunk outputs are bit-identical whichever shard computes them (same
+//!   mechanism, same kernels), so stealing never changes results; the
+//!   shard that finishes a job's **last** chunk assembles the output rows
+//!   in row order and replies.
+//!
+//! Mechanisms that are not row-chunkable (the blocked-ELL hybrid) bypass
+//! the pool: their prefills run whole on the home shard's continuous
+//! server, preserving correctness at the cost of stealability.
+
+use crate::faults::FaultPlan;
+use crate::kv::{KvConfig, SessionId};
+use crate::sched::SchedPolicy;
+use crate::server::{AttentionServer, Reply, ResponseHandle, Served};
+use crate::{
+    BatchPolicy, DecodeHandle, DecodeRequest, QueueDepths, SchedTrace, ServeError, ServeStats,
+    SessionError, Ticket,
+};
+use dfss_core::engine::ShapeKey;
+use dfss_core::mechanism::{try_check_qkv, Attention};
+use dfss_tensor::{Matrix, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+fn lock_healed<'a, U>(m: &'a Mutex<U>) -> MutexGuard<'a, U> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The splitmix64 finalizer — the session→shard hash. Deterministic,
+/// well-mixed for sequential ids, and dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mutable half of a [`StealJob`]: the claim cursor, the per-chunk output
+/// slots, and the reply channel the finishing shard consumes.
+struct StealState<T: Scalar> {
+    /// First unclaimed row (chunks are claimed in row order).
+    next_lo: usize,
+    /// One slot per chunk, filled by whichever shard ran it.
+    outputs: Vec<Option<Vec<T>>>,
+    /// Chunks completed so far.
+    done: usize,
+    sim_latency_s: f64,
+    /// When the job's first chunk was claimed (queue-wait mark).
+    started: Option<Instant>,
+    /// Taken exactly once — by the finisher, or by the first failure.
+    reply: Option<Reply<T>>,
+    /// Set on deadline shed or failure; later chunks are skipped.
+    dead: bool,
+}
+
+/// One stateless prefill request queued on the [`StealPool`] as
+/// `ceil(rows / chunk_rows)` independently executable row chunks.
+pub(crate) struct StealJob<T: Scalar> {
+    pub(crate) id: u64,
+    /// The shard the router homed the job on (its chunks are stolen only
+    /// by shards that would otherwise idle).
+    pub(crate) home: usize,
+    pub(crate) q: Matrix<T>,
+    pub(crate) k: Matrix<T>,
+    pub(crate) v: Matrix<T>,
+    chunk_rows: usize,
+    n_chunks: usize,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Option<Instant>,
+    state: Mutex<StealState<T>>,
+}
+
+impl<T: Scalar> StealJob<T> {
+    /// Rows still unclaimed — the router's load signal for this job.
+    fn pending_rows(&self) -> usize {
+        let state = lock_healed(&self.state);
+        if state.dead {
+            0
+        } else {
+            self.q.rows() - state.next_lo
+        }
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        lock_healed(&self.state).dead
+    }
+
+    /// Claim the next chunk in row order. Returns `(lo, hi, idx, last)`.
+    /// Caller holds the pool's job-list lock, so claims are serialized.
+    fn claim_next(&self) -> (usize, usize, usize, bool) {
+        let mut state = lock_healed(&self.state);
+        let lo = state.next_lo;
+        let hi = (lo + self.chunk_rows).min(self.q.rows());
+        state.next_lo = hi;
+        if state.started.is_none() {
+            state.started = Some(Instant::now());
+        }
+        (lo, hi, lo / self.chunk_rows, hi == self.q.rows())
+    }
+
+    /// Deadline shed: mark the job dead and resolve its handle typed.
+    /// Returns whether this call performed the shed (counted once).
+    pub(crate) fn shed(&self) -> bool {
+        let mut state = lock_healed(&self.state);
+        if state.dead {
+            return false;
+        }
+        state.dead = true;
+        if let Some(reply) = state.reply.take() {
+            let _ = reply.send(Err(ServeError::DeadlineExceeded {
+                queued_for: self.submitted.elapsed(),
+            }));
+        }
+        true
+    }
+
+    /// Fail the whole job (chunk panic or typed launch rejection): later
+    /// chunks are skipped and the handle resolves with `e`. First failure
+    /// wins; repeats are no-ops.
+    pub(crate) fn fail(&self, e: ServeError) {
+        let mut state = lock_healed(&self.state);
+        if state.dead {
+            return;
+        }
+        state.dead = true;
+        if let Some(reply) = state.reply.take() {
+            let _ = reply.send(Err(e));
+        }
+    }
+
+    /// Record chunk `idx`'s output rows. If this was the job's last
+    /// outstanding chunk, assemble the full output in row order and reply
+    /// — returns `true` exactly once, on the finishing shard.
+    pub(crate) fn complete_chunk(&self, idx: usize, rows: Vec<T>, sim_latency_s: f64) -> bool {
+        let mut state = lock_healed(&self.state);
+        if state.dead {
+            return false;
+        }
+        debug_assert!(state.outputs[idx].is_none(), "chunk completed twice");
+        state.outputs[idx] = Some(rows);
+        state.done += 1;
+        state.sim_latency_s += sim_latency_s;
+        if state.done < self.n_chunks {
+            return false;
+        }
+        let Some(reply) = state.reply.take() else {
+            return false;
+        };
+        let (n, d) = self.q.shape();
+        let d_v = self.v.cols();
+        let mut out = Vec::with_capacity(n * d_v);
+        for slot in state.outputs.iter_mut() {
+            out.extend_from_slice(slot.as_ref().expect("all chunks done"));
+            *slot = None;
+        }
+        let started = state.started.unwrap_or(self.submitted);
+        let _ = reply.send(Ok(Served {
+            output: Matrix::from_vec(n, d_v, out),
+            ticket: Ticket(self.id),
+            bucket: ShapeKey { n, d, d_v },
+            batch_size: 1,
+            queue_wait: started.saturating_duration_since(self.submitted),
+            service: started.elapsed(),
+            latency: self.submitted.elapsed(),
+            sim_latency_s: state.sim_latency_s,
+        }));
+        true
+    }
+}
+
+/// One claimed chunk: the job, the row range, and whether the claiming
+/// shard is foreign (a steal).
+pub(crate) struct StealChunk<T: Scalar> {
+    pub(crate) job: Arc<StealJob<T>>,
+    /// Chunk ordinal within the job (`lo / chunk_rows`).
+    pub(crate) idx: usize,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    /// `home != executing shard`: a stolen chunk.
+    pub(crate) stolen: bool,
+}
+
+/// The shared queue of stateless prefill chunks all shards drain.
+pub(crate) struct StealPool<T: Scalar> {
+    jobs: Mutex<Vec<Arc<StealJob<T>>>>,
+}
+
+impl<T: Scalar> StealPool<T> {
+    pub(crate) fn new() -> StealPool<T> {
+        StealPool {
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, job: Arc<StealJob<T>>) {
+        lock_healed(&self.jobs).push(job);
+    }
+
+    /// Whether every queued chunk has been claimed (in-flight chunks are
+    /// finished by the shard that claimed them before it exits).
+    pub(crate) fn is_drained(&self) -> bool {
+        lock_healed(&self.jobs).is_empty()
+    }
+
+    /// Rows still unclaimed per home shard — the router's load signal.
+    fn pending_rows_by_home(&self, shards: usize) -> Vec<usize> {
+        let mut rows = vec![0usize; shards];
+        for job in lock_healed(&self.jobs).iter() {
+            rows[job.home] += job.pending_rows();
+        }
+        rows
+    }
+
+    /// Claim one chunk for shard `me`: its own oldest job first; a foreign
+    /// (stolen) one only when `allow_steal` — the caller passes its local
+    /// scheduler's idleness, so stealing never delays a shard's own work.
+    /// Jobs fully claimed (or dead) leave the queue.
+    pub(crate) fn claim(&self, me: usize, allow_steal: bool) -> Option<StealChunk<T>> {
+        let mut jobs = lock_healed(&self.jobs);
+        jobs.retain(|j| !j.is_dead());
+        let pos =
+            jobs.iter()
+                .position(|j| j.home == me)
+                .or(if allow_steal && !jobs.is_empty() {
+                    Some(0)
+                } else {
+                    None
+                })?;
+        let job = Arc::clone(&jobs[pos]);
+        let (lo, hi, idx, last) = job.claim_next();
+        if last {
+            jobs.remove(pos);
+        }
+        drop(jobs);
+        Some(StealChunk {
+            stolen: job.home != me,
+            job,
+            idx,
+            lo,
+            hi,
+        })
+    }
+}
+
+/// N continuous-batching engines behind one front door — shard-pinned
+/// decode sessions, least-loaded routing and work stealing for stateless
+/// prefill. See the crate docs for the full routing and stealing policy.
+pub struct ShardedServer<T: Scalar> {
+    mech: Arc<dyn Attention<T> + Send + Sync>,
+    sched: SchedPolicy,
+    shards: Vec<AttentionServer<T>>,
+    pool: Arc<StealPool<T>>,
+    /// Global session id → (owning shard, that shard's local id).
+    sessions: Mutex<HashMap<u64, (usize, SessionId)>>,
+    next_session: AtomicU64,
+    next_job: AtomicU64,
+    /// Rotating tie-break for least-loaded prefill routing.
+    rr: AtomicU64,
+}
+
+impl<T: Scalar> ShardedServer<T> {
+    /// Start `shards` continuous engines over one mechanism. The KV byte
+    /// budget in `kv` is divided evenly: each shard owns an independent
+    /// pool of `budget_bytes / shards` (decode sessions are pinned, so a
+    /// shard's pool only ever backs its own sessions).
+    pub fn start(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+        kv: KvConfig,
+        shards: usize,
+    ) -> ShardedServer<T> {
+        ShardedServer::start_with_faults(mech, policy, sched, kv, shards, Vec::new())
+    }
+
+    /// [`start`](Self::start) with one engine per host worker thread
+    /// (`rayon::current_num_threads()`), the deployment default.
+    pub fn start_auto(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+        kv: KvConfig,
+    ) -> ShardedServer<T> {
+        ShardedServer::start(mech, policy, sched, kv, rayon::current_num_threads().max(1))
+    }
+
+    /// [`start`](Self::start) with a per-shard [`FaultPlan`] (chaos
+    /// testing): `plans[i]` fires on shard `i`'s front-door operations —
+    /// session traffic routed to it and decode launches it runs. Missing
+    /// entries mean no faults on that shard. (Pool prefill bypasses the
+    /// shard front doors, so prefill chunks fault only through deadline
+    /// expiry and real launch errors.)
+    pub fn start_with_faults(
+        mech: Arc<dyn Attention<T> + Send + Sync>,
+        policy: BatchPolicy,
+        sched: SchedPolicy,
+        kv: KvConfig,
+        shards: usize,
+        mut plans: Vec<FaultPlan>,
+    ) -> ShardedServer<T> {
+        assert!(shards >= 1, "a sharded server needs at least one shard");
+        let pool = Arc::new(StealPool::new());
+        let mut kv_shard = kv;
+        kv_shard.budget_bytes = kv.budget_bytes / shards as u64;
+        plans.resize(shards, FaultPlan::new());
+        let servers = plans
+            .drain(..)
+            .enumerate()
+            .map(|(i, plan)| {
+                let faults = if plan.is_empty() { None } else { Some(plan) };
+                AttentionServer::start_continuous_inner(
+                    Arc::clone(&mech),
+                    policy,
+                    sched,
+                    dfss_kernels::GpuCtx::a100(),
+                    kv_shard,
+                    faults,
+                    Some((i, Arc::clone(&pool))),
+                )
+            })
+            .collect();
+        ShardedServer {
+            mech,
+            sched,
+            shards: servers,
+            pool,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            rr: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read-only access to shard `i` (metrics, traces, queue depths).
+    pub fn shard(&self, i: usize) -> &AttentionServer<T> {
+        &self.shards[i]
+    }
+
+    /// The shard a session is pinned to — constant for the session's
+    /// whole lifetime ([`None`] once closed or never opened).
+    pub fn shard_of(&self, session: SessionId) -> Option<usize> {
+        lock_healed(&self.sessions)
+            .get(&session.0)
+            .map(|&(shard, _)| shard)
+    }
+
+    /// Least-loaded shard by unclaimed pool rows, rotating ties so a
+    /// burst of equal-load submissions spreads round-robin.
+    fn least_loaded(&self) -> usize {
+        let n = self.shards.len();
+        let pending = self.pool.pending_rows_by_home(n);
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) as usize % n;
+        (0..n)
+            .map(|i| (start + i) % n)
+            .min_by_key(|&i| pending[i])
+            .expect("at least one shard")
+    }
+
+    /// Validate and enqueue one stateless prefill request. Chunkable
+    /// mechanisms go to the steal pool (least-loaded home, any shard may
+    /// execute chunks); non-chunkable ones run whole on the home shard.
+    pub fn submit(
+        &self,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    ) -> Result<ResponseHandle<T>, ServeError> {
+        self.submit_with_deadline(q, k, v, None)
+    }
+
+    /// [`submit`](Self::submit) with a deadline: chunks claimed past it
+    /// are shed and the handle resolves with
+    /// [`ServeError::DeadlineExceeded`]. A job already partially computed
+    /// sheds its remaining chunks too — a late job never occupies launches
+    /// it cannot use.
+    pub fn submit_with_deadline(
+        &self,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+        deadline: Option<Instant>,
+    ) -> Result<ResponseHandle<T>, ServeError> {
+        if !self.mech.supports_row_chunking() {
+            let home = self.rr.fetch_add(1, Ordering::Relaxed) as usize % self.shards.len();
+            return self.shards[home].submit_with_deadline(q, k, v, deadline);
+        }
+        if let Err(e) = try_check_qkv(self.mech.as_ref(), &q, &k, &v) {
+            return Err(ServeError::Rejected(e));
+        }
+        let home = self.least_loaded();
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::sync_channel(1);
+        let chunk_rows = self.sched.prefill_chunk;
+        let n_chunks = q.rows().div_ceil(chunk_rows);
+        self.pool.push(Arc::new(StealJob {
+            id,
+            home,
+            state: Mutex::new(StealState {
+                next_lo: 0,
+                outputs: vec![None; n_chunks],
+                done: 0,
+                sim_latency_s: 0.0,
+                started: None,
+                reply: Some(reply),
+                dead: false,
+            }),
+            q,
+            k,
+            v,
+            chunk_rows,
+            n_chunks,
+            submitted: Instant::now(),
+            deadline,
+        }));
+        Ok(ResponseHandle::from_rx(rx))
+    }
+
+    /// Open a decode session, pinning it to `splitmix64(id) % shards` for
+    /// life. Admission (widths, per-shard KV budget) runs on the owning
+    /// shard; the returned id is global — use it with every later call.
+    pub fn open_session(&self, d: usize, d_v: usize) -> Result<SessionId, SessionError> {
+        let gid = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let shard = (splitmix64(gid) % self.shards.len() as u64) as usize;
+        let local = self.shards[shard].open_session(d, d_v)?;
+        lock_healed(&self.sessions).insert(gid, (shard, local));
+        Ok(SessionId(gid))
+    }
+
+    /// Look up a global session, or fail typed.
+    fn route(&self, session: SessionId) -> Result<(usize, SessionId), SessionError> {
+        lock_healed(&self.sessions)
+            .get(&session.0)
+            .copied()
+            .ok_or(SessionError::UnknownSession(session))
+    }
+
+    /// Rewrite shard-local session ids in errors back to the global id —
+    /// callers never see a shard's private id space.
+    fn reglobal(e: SessionError, session: SessionId) -> SessionError {
+        match e {
+            SessionError::UnknownSession(_) => SessionError::UnknownSession(session),
+            SessionError::Evicted(_) => SessionError::Evicted(session),
+            other => other,
+        }
+    }
+
+    /// Append one position to a session's cache on its owning shard.
+    pub fn append(
+        &self,
+        session: SessionId,
+        k_row: Vec<T>,
+        v_row: Vec<T>,
+    ) -> Result<(), SessionError> {
+        let (shard, local) = self.route(session)?;
+        self.shards[shard]
+            .append(local, k_row, v_row)
+            .map_err(|e| ShardedServer::<T>::reglobal(e, session))
+    }
+
+    /// Append a block of positions at once on the owning shard.
+    pub fn extend(
+        &self,
+        session: SessionId,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    ) -> Result<(), SessionError> {
+        let (shard, local) = self.route(session)?;
+        self.shards[shard]
+            .extend(local, k, v)
+            .map_err(|e| ShardedServer::<T>::reglobal(e, session))
+    }
+
+    /// Enqueue one decode step on the session's owning shard — decode is
+    /// session-pinned and never stolen, so the step attends over exactly
+    /// the pages that shard holds for the session.
+    pub fn submit_decode(&self, req: DecodeRequest<T>) -> Result<DecodeHandle<T>, SessionError> {
+        self.submit_decode_with_deadline(req, None)
+    }
+
+    /// [`submit_decode`](Self::submit_decode) with a deadline.
+    pub fn submit_decode_with_deadline(
+        &self,
+        req: DecodeRequest<T>,
+        deadline: Option<Instant>,
+    ) -> Result<DecodeHandle<T>, SessionError> {
+        let session = req.session;
+        let (shard, local) = self.route(session)?;
+        self.shards[shard]
+            .submit_decode_with_deadline(
+                DecodeRequest {
+                    session: local,
+                    q_row: req.q_row,
+                },
+                deadline,
+            )
+            .map_err(|e| ShardedServer::<T>::reglobal(e, session))
+    }
+
+    /// Close a session on its owning shard and retire the global id.
+    pub fn close_session(&self, session: SessionId) -> Result<(), SessionError> {
+        let (shard, local) = self.route(session)?;
+        let res = self.shards[shard]
+            .close_session(local)
+            .map_err(|e| ShardedServer::<T>::reglobal(e, session));
+        lock_healed(&self.sessions).remove(&session.0);
+        res
+    }
+
+    /// Per-shard live counters, in shard order (`GET /metrics` renders
+    /// one gauge set per shard from this).
+    pub fn stats_snapshot(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(|s| s.stats_snapshot()).collect()
+    }
+
+    /// Per-shard live queue depths, in shard order.
+    pub fn queue_depths(&self) -> Vec<QueueDepths> {
+        self.shards.iter().map(|s| s.queue_depths()).collect()
+    }
+
+    /// Per-shard scheduler traces, in shard order. Each shard's trace is
+    /// deterministic given its own admission order; steal executions are
+    /// recorded distinctly on the executing shard.
+    pub fn sched_traces(&self) -> Vec<SchedTrace> {
+        self.shards.iter().map(|s| s.sched_trace()).collect()
+    }
+
+    /// Drain all shards (every queued chunk — own or stolen — runs before
+    /// an engine exits) and return their lifetime counters in shard order.
+    pub fn shutdown(self) -> Vec<ServeStats> {
+        self.shards.into_iter().map(|s| s.shutdown()).collect()
+    }
+}

@@ -1,0 +1,364 @@
+//! The continuous-batching fairness/starvation gauntlet, pinning the
+//! scheduler contract end to end:
+//!
+//! - **Decode never waits behind a cold prefill**: every decode step
+//!   admitted before an iteration packs *into* that iteration, whatever
+//!   the prefill backlog (K = 1 iteration of worst-case wait).
+//! - **Prefill never starves**: whenever prefill is pending, every
+//!   iteration packs at least one chunk — saturating decode load slows
+//!   prefill to one chunk per iteration, never to zero.
+//! - **Chunking is exact**: the chunks planned for a job partition its
+//!   row range `[0, rows)` in order, each at most `prefill_chunk` rows.
+//! - **Bit-parity**: outputs of the chunked, interleaved continuous
+//!   server are bit-identical to solo unchunked, unsharded computation.
+//! - **Trace determinism**: the same admission sequence under the same
+//!   policy renders byte-identical [`SchedTrace`]s — across runs, across
+//!   serial vs parallel kernel execution, and against a pure replay of
+//!   the admission sequence (the property that makes the trace an
+//!   executable spec for `RAYON_NUM_THREADS=1` vs default CI legs).
+
+use dfss::prelude::*;
+use dfss_serve::sched::SchedEvent;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bounded wait: long enough that a live batcher always answers, short
+/// enough that a hang fails the test instead of wedging CI.
+const NO_HANG: Duration = Duration::from_secs(30);
+
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Solo, unchunked, unsharded reference computation.
+fn solo_forward(
+    mech: &(dyn Attention<f32> + Send + Sync),
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+) -> Matrix<f32> {
+    let mut ctx = GpuCtx::a100();
+    mech.forward(&mut ctx, q, k, v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rule 1: every ready decode step packs into the very next
+    /// iteration, however deep the prefill backlog — and rule 3: an
+    /// iteration with prefill pending always packs at least one chunk.
+    #[test]
+    fn decode_waits_at_most_one_iteration_and_prefill_never_starves(
+        chunk in 1usize..32,
+        budget in 1usize..64,
+        jobs in proptest::collection::vec(1usize..200, 6),
+        decode_bursts in proptest::collection::vec(0usize..12, 16),
+    ) {
+        let mut s = Scheduler::new(SchedPolicy::new(chunk, budget));
+        let mut next_job = 0u64;
+        let mut next_step = 0u64;
+        let mut jobs_iter = jobs.iter();
+        for &burst in &decode_bursts {
+            // Interleave admissions: maybe one prefill job, then a burst
+            // of decode steps.
+            if let Some(&rows) = jobs_iter.next() {
+                s.admit_prefill(next_job, rows);
+                next_job += 1;
+            }
+            let ready: Vec<u64> = (0..burst).map(|i| next_step + i as u64).collect();
+            for &step in &ready {
+                s.admit_decode(step);
+            }
+            next_step += burst as u64;
+            let had_prefill = s.pending_jobs() > 0;
+            if let Some(plan) = s.next_iteration() {
+                // Every step admitted before the iteration is in it.
+                prop_assert_eq!(&plan.decode, &ready);
+                // Prefill pending ⇒ at least one chunk packs, and the
+                // first chunk ignores the budget floor.
+                if had_prefill {
+                    prop_assert!(!plan.chunks.is_empty());
+                }
+                for c in &plan.chunks {
+                    prop_assert!(c.hi > c.lo);
+                    prop_assert!(c.hi - c.lo <= chunk);
+                }
+            } else {
+                prop_assert!(ready.is_empty());
+                prop_assert!(!had_prefill);
+            }
+        }
+    }
+
+    /// Chunks planned for each job partition `[0, rows)` exactly, in row
+    /// order, and every admitted job completes in bounded iterations —
+    /// even under a saturating decode load that leaves zero spare budget.
+    #[test]
+    fn every_job_completes_with_exact_row_coverage_under_decode_saturation(
+        chunk in 1usize..32,
+        budget in 1usize..64,
+        jobs in proptest::collection::vec(1usize..200, 4),
+    ) {
+        let mut s = Scheduler::new(SchedPolicy::new(chunk, budget));
+        for (id, &rows) in jobs.iter().enumerate() {
+            s.admit_prefill(id as u64, rows);
+        }
+        let mut cursors = vec![0usize; jobs.len()];
+        let mut step = 0u64;
+        // Worst case: one chunk per iteration for the whole backlog.
+        let bound: usize = jobs.iter().map(|r| r.div_ceil(chunk)).sum();
+        let mut iterations = 0usize;
+        while s.pending_jobs() > 0 {
+            // Saturate: fill the entire budget with fresh decode steps.
+            for _ in 0..budget {
+                s.admit_decode(step);
+                step += 1;
+            }
+            let plan = s.next_iteration().unwrap();
+            prop_assert!(!plan.chunks.is_empty(), "prefill starved");
+            for c in &plan.chunks {
+                // In-order, gap-free coverage per job.
+                prop_assert_eq!(c.lo, cursors[c.job as usize]);
+                cursors[c.job as usize] = c.hi;
+            }
+            iterations += 1;
+            prop_assert!(iterations <= bound, "jobs not completing");
+        }
+        for (cursor, &rows) in cursors.iter().zip(&jobs) {
+            prop_assert_eq!(*cursor, rows);
+        }
+    }
+
+    /// Bit-parity: a continuous server with an aggressive chunk size
+    /// (forcing multi-chunk prefills interleaved with decode) returns
+    /// outputs bit-identical to solo unchunked computation — for the
+    /// dense baseline and the paper's N:M mechanism alike.
+    #[test]
+    fn continuous_chunked_interleaved_outputs_match_solo_bitwise(
+        seed in 0u64..1000,
+        n_quads in 3usize..12,
+        mech_pick in 0usize..2,
+    ) {
+        // N:M admission binds the key count to a multiple of m = 4; the
+        // chunk size of 5 still splits every prefill unevenly.
+        let n = n_quads * 4;
+        let d = 16usize;
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = match mech_pick {
+            0 => Arc::new(FullAttention),
+            _ => Arc::new(DfssAttention::new(NmPattern::P2_4)),
+        };
+        let server = AttentionServer::start_continuous(
+            Arc::clone(&mech),
+            BatchPolicy::per_request(),
+            SchedPolicy::new(5, 8), // chunks of 5 rows: every prefill splits
+        );
+        let mut rng = Rng::new(seed);
+        // A decode session interleaves with the chunked prefills.
+        let session = server.open_session(d, d).unwrap();
+        let mut cache_k = Matrix::<f32>::zeros(0, d);
+        let mut cache_v = Matrix::<f32>::zeros(0, d);
+        let mut handles = Vec::new();
+        let mut inputs = Vec::new();
+        for _ in 0..3 {
+            let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            handles.push(server.submit(q.clone(), k.clone(), v.clone()).unwrap());
+            inputs.push((q, k, v));
+            let k_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+            let v_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+            server.append(session, k_row.clone(), v_row.clone()).unwrap();
+            cache_k = cache_k.vstack(&Matrix::from_vec(1, d, k_row));
+            cache_v = cache_v.vstack(&Matrix::from_vec(1, d, v_row));
+            let q_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+            let dh = server
+                .submit_decode(DecodeRequest { session, q_row: q_row.clone() })
+                .unwrap();
+            let got = dh.wait_timeout(NO_HANG).unwrap();
+            let solo = {
+                let mut ctx = GpuCtx::a100();
+                mech.decode(&mut ctx, &Matrix::from_vec(1, d, q_row), &cache_k, &cache_v)
+            };
+            prop_assert!(bits_equal(got.output.as_slice(), solo.as_slice()));
+        }
+        for (handle, (q, k, v)) in handles.into_iter().zip(&inputs) {
+            let served = handle.wait_timeout(NO_HANG).unwrap();
+            let solo = solo_forward(mech.as_ref(), q, k, v);
+            prop_assert!(
+                bits_equal(served.output.as_slice(), solo.as_slice()),
+                "chunked continuous output diverged from solo forward"
+            );
+        }
+        server.close_session(session).unwrap();
+        let stats = server.shutdown();
+        // Chunking really happened: every job needs at least ceil(n/5)
+        // chunks (budget pressure can split them further).
+        assert!(stats.prefill_chunks >= 3 * n.div_ceil(5) as u64);
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.decode_steps, 3);
+    }
+}
+
+/// The same admission sequence and policy render byte-identical traces
+/// across two server runs with sequential (submit-and-wait) traffic, and
+/// both equal a pure [`Scheduler`] replay of the admission sequence. The
+/// replay target is thread-count-independent by construction, so this
+/// test pins trace stability for the `RAYON_NUM_THREADS=1` CI leg too.
+#[test]
+fn server_traces_are_byte_identical_across_runs_and_match_pure_replay() {
+    let policy = SchedPolicy::new(7, 16);
+    let rows = [23usize, 7, 40];
+    let run = || {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+        let server = AttentionServer::start_continuous(mech, BatchPolicy::per_request(), policy);
+        let mut rng = Rng::new(11);
+        let d = 8usize;
+        for &n in &rows {
+            let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+            // Sequential submit-and-wait: admission order (and so the
+            // trace) is fully determined by this loop.
+            let handle = server.submit(q, k, v).unwrap();
+            handle.wait_timeout(NO_HANG).unwrap();
+        }
+        let trace = server.sched_trace();
+        server.shutdown();
+        trace.render()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.as_bytes(), b.as_bytes(), "trace diverged across runs");
+    // Pure replay: admit each job, drain its iterations to completion —
+    // exactly what sequential traffic makes the server do.
+    let mut replay = Scheduler::new(policy);
+    for (id, &n) in rows.iter().enumerate() {
+        replay.admit_prefill(id as u64, n);
+        while replay.next_iteration().is_some() {}
+    }
+    assert_eq!(
+        a,
+        replay.trace().render(),
+        "server trace diverged from the pure scheduler replay"
+    );
+}
+
+/// Serial vs parallel kernel execution cannot leak into the trace: the
+/// same traffic under `rayon::with_serial` renders the same bytes (the
+/// in-process analogue of the `test-1thread` CI leg).
+#[test]
+fn trace_is_identical_under_serial_kernel_execution() {
+    let policy = SchedPolicy::new(4, 8);
+    let run = || {
+        let mech: Arc<dyn Attention<f32> + Send + Sync> =
+            Arc::new(DfssAttention::new(NmPattern::P1_2));
+        let server = AttentionServer::start_continuous(mech, BatchPolicy::per_request(), policy);
+        let mut rng = Rng::new(3);
+        for _ in 0..2 {
+            let q = Matrix::<f32>::random_normal(12, 8, 0.0, 1.0, &mut rng);
+            let k = Matrix::<f32>::random_normal(12, 8, 0.0, 1.0, &mut rng);
+            let v = Matrix::<f32>::random_normal(12, 8, 0.0, 1.0, &mut rng);
+            server
+                .submit(q, k, v)
+                .unwrap()
+                .wait_timeout(NO_HANG)
+                .unwrap();
+        }
+        let trace = server.sched_trace();
+        server.shutdown();
+        trace.render()
+    };
+    let parallel = run();
+    let serial = rayon::with_serial(run);
+    assert_eq!(parallel.as_bytes(), serial.as_bytes());
+}
+
+/// Mechanisms without row-separable scores (the blocked-ELL hybrid) fall
+/// back to whole-prefill execution on the continuous server: outputs stay
+/// bit-identical to solo forward and the trace records no chunked jobs.
+#[test]
+fn non_chunkable_mechanism_runs_whole_and_matches_solo() {
+    let mech_concrete = DfssEllAttention::new(NmPattern::P2_4, 8, 2);
+    assert!(
+        !Attention::<f32>::supports_row_chunking(&mech_concrete),
+        "the ELL hybrid's sliding window depends on global row indices"
+    );
+    let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(mech_concrete);
+    let server = AttentionServer::start_continuous(
+        Arc::clone(&mech),
+        BatchPolicy::per_request(),
+        SchedPolicy::new(5, 8),
+    );
+    let mut rng = Rng::new(5);
+    let (n, d) = (32usize, 16usize);
+    let q = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let k = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let v = Matrix::<f32>::random_normal(n, d, 0.0, 1.0, &mut rng);
+    let served = server
+        .submit(q.clone(), k.clone(), v.clone())
+        .unwrap()
+        .wait_timeout(NO_HANG)
+        .unwrap();
+    let solo = solo_forward(mech.as_ref(), &q, &k, &v);
+    assert!(bits_equal(served.output.as_slice(), solo.as_slice()));
+    let trace = server.sched_trace();
+    let stats = server.shutdown();
+    assert_eq!(stats.prefill_chunks, 0, "whole-prefill fallback chunked");
+    assert!(
+        !trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, SchedEvent::AdmitPrefill { .. })),
+        "non-chunkable prefill must bypass the chunk scheduler"
+    );
+}
+
+/// The decode-before-mutation determinism rule survives the continuous
+/// path: an append racing a queued decode forces a flush, recorded as a
+/// distinct `forced_decode` trace event, and the step's output reflects
+/// only the rows cached at its submission.
+#[test]
+fn forced_decode_flush_is_traced_and_preserves_decode_determinism() {
+    let mech: Arc<dyn Attention<f32> + Send + Sync> = Arc::new(FullAttention);
+    let server = AttentionServer::start_continuous(
+        Arc::clone(&mech),
+        BatchPolicy::per_request(),
+        SchedPolicy::default(),
+    );
+    let d = 8usize;
+    let mut rng = Rng::new(9);
+    let session = server.open_session(d, d).unwrap();
+    let k1: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+    let v1: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+    server.append(session, k1.clone(), v1.clone()).unwrap();
+    let q_row: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+    let handle = server
+        .submit_decode(DecodeRequest {
+            session,
+            q_row: q_row.clone(),
+        })
+        .unwrap();
+    // Race an append right behind the queued step: the batcher must
+    // flush the step before the row lands.
+    let k2: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+    let v2: Vec<f32> = (0..d).map(|_| rng.normal(0.0, 1.0)).collect();
+    server.append(session, k2, v2).unwrap();
+    let got = handle.wait_timeout(NO_HANG).unwrap();
+    assert_eq!(
+        got.cached_len, 1,
+        "decode saw rows appended after its submission"
+    );
+    let solo = {
+        let mut ctx = GpuCtx::a100();
+        mech.decode(
+            &mut ctx,
+            &Matrix::from_vec(1, d, q_row),
+            &Matrix::from_vec(1, d, k1),
+            &Matrix::from_vec(1, d, v1),
+        )
+    };
+    assert!(bits_equal(got.output.as_slice(), solo.as_slice()));
+    server.close_session(session).unwrap();
+    server.shutdown();
+}
